@@ -1,0 +1,53 @@
+//! Metric-derivation throughput: the cost of each §4.3 metric family over a
+//! 10 000-transaction blockchain log (the paper's standard log size).
+
+use blockoptr::log::BlockchainLog;
+use blockoptr::metrics::{
+    BlockMetrics, CorrelationMetrics, EndorserMetrics, InvokerMetrics, KeyMetrics, MetricConfig,
+    Metrics, RateMetrics,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_core::time::SimDuration;
+use std::hint::black_box;
+use workload::spec::ControlVariables;
+
+fn bench_metrics(c: &mut Criterion) {
+    let cv = ControlVariables::default(); // 10 000 transactions
+    let bundle = workload::synthetic::generate(&cv);
+    let output = bundle.run(cv.network_config());
+    let log = BlockchainLog::from_ledger(&output.ledger);
+    let config = MetricConfig::default();
+
+    let mut group = c.benchmark_group("metrics_10k_log");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(log.len() as u64));
+
+    group.bench_function("all_families", |b| {
+        b.iter(|| black_box(Metrics::derive(&log, &config)))
+    });
+    group.bench_function("rates", |b| {
+        b.iter(|| black_box(RateMetrics::derive(&log, SimDuration::from_secs(1))))
+    });
+    group.bench_function("blocks", |b| {
+        b.iter(|| black_box(BlockMetrics::derive(&log)))
+    });
+    group.bench_function("endorsers", |b| {
+        b.iter(|| black_box(EndorserMetrics::derive(&log)))
+    });
+    group.bench_function("invokers", |b| {
+        b.iter(|| black_box(InvokerMetrics::derive(&log)))
+    });
+    group.bench_function("keys", |b| {
+        b.iter(|| black_box(KeyMetrics::derive(&log, &config)))
+    });
+    group.bench_function("correlation", |b| {
+        b.iter(|| black_box(CorrelationMetrics::derive(&log)))
+    });
+    group.bench_function("csv_export", |b| {
+        b.iter(|| black_box(blockoptr::export::to_csv(&log)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Process-mining cost: event-log generation, the Alpha miner (Figures 2/4)
+//! and the heuristics miner over the SCM and LAP logs.
+
+use blockoptr::eventlog::to_event_log;
+use blockoptr::log::BlockchainLog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_sim::config::NetworkConfig;
+use process_mining::alpha::alpha_miner;
+use process_mining::conformance::replay_fitness;
+use process_mining::dfg::DirectlyFollowsGraph;
+use process_mining::heuristics::{heuristics_miner, HeuristicsConfig};
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let scm_bundle = workload::scm::generate(&workload::scm::ScmSpec {
+        transactions: 5_000,
+        ..Default::default()
+    });
+    let scm_log = BlockchainLog::from_ledger(&scm_bundle.run(NetworkConfig::default()).ledger);
+    let scm_events = to_event_log(&scm_log);
+
+    let lap_bundle = workload::lap::generate(&workload::lap::LapSpec {
+        applications: 500,
+        ..Default::default()
+    });
+    let lap_log = BlockchainLog::from_ledger(&lap_bundle.run(NetworkConfig::default()).ledger);
+    let lap_events = to_event_log(&lap_log);
+
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(20);
+
+    group.bench_function("event_log_generation_scm", |b| {
+        b.iter(|| black_box(to_event_log(&scm_log)))
+    });
+    group.bench_function("dfg_scm", |b| {
+        b.iter(|| black_box(DirectlyFollowsGraph::from_log(&scm_events)))
+    });
+    group.bench_function("alpha_scm", |b| {
+        b.iter(|| black_box(alpha_miner(&scm_events)))
+    });
+    group.bench_function("heuristics_scm", |b| {
+        b.iter(|| black_box(heuristics_miner(&scm_events, &HeuristicsConfig::default())))
+    });
+    group.bench_function("alpha_lap", |b| {
+        b.iter(|| black_box(alpha_miner(&lap_events)))
+    });
+    let net = alpha_miner(&scm_events);
+    group.bench_function("replay_fitness_scm", |b| {
+        b.iter(|| black_box(replay_fitness(&net, &scm_events)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- fig13 fig14
+//! cargo run --release -p bench --bin experiments -- --quick tab3
+//! cargo run --release -p bench --bin experiments -- --list
+//! ```
+//!
+//! `--quick` scales workloads down to ~20 % for smoke runs.
+
+use bench::experiments::{registry, ExpCtx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpCtx::default();
+    let mut wanted: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => ctx.scale = 0.2,
+            "--list" => {
+                for e in registry() {
+                    println!("{:<8} {}", e.id, e.title);
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: experiments [--quick] [--list] <id|all> ...");
+        eprintln!("known ids:");
+        for e in registry() {
+            eprintln!("  {:<8} {}", e.id, e.title);
+        }
+        std::process::exit(2);
+    }
+
+    let run_all = wanted.iter().any(|w| w == "all");
+    let mut ran = 0;
+    for e in registry() {
+        if run_all || wanted.iter().any(|w| w == e.id) {
+            eprintln!("▶ {} — {}", e.id, e.title);
+            let started = std::time::Instant::now();
+            print!("{}", (e.run)(&ctx));
+            eprintln!("  ({} done in {:.1}s)", e.id, started.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {wanted:?}; try --list");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Figures 2–4: the process-perspective artifacts (§3).
+
+use super::ExpCtx;
+use blockoptr::eventlog::to_event_log;
+use blockoptr::log::BlockchainLog;
+use fabric_sim::config::NetworkConfig;
+use process_mining::conformance::footprint_conformance;
+use process_mining::dfg::DirectlyFollowsGraph;
+use process_mining::dot::dfg_to_dot;
+use process_mining::eventlog::log_from;
+use std::fmt::Write as _;
+use workload::scm;
+
+fn scm_spec(ctx: &ExpCtx) -> scm::ScmSpec {
+    scm::ScmSpec {
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    }
+}
+
+/// Figure 2: the process model mined from the SCM blockchain log, with the
+/// anomalous branches (Ship before PushASN, Unload without Ship) visible.
+pub fn fig2(ctx: &ExpCtx) -> String {
+    let bundle = scm::generate(&scm_spec(ctx));
+    let output = bundle.run(NetworkConfig::default());
+    let log = BlockchainLog::from_ledger(&output.ledger);
+    let event_log = to_event_log(&log);
+    let dfg = DirectlyFollowsGraph::from_log(&event_log);
+
+    let mut out = String::from("\n=== Figure 2: derived SCM process model ===\n");
+    let _ = writeln!(
+        out,
+        "{} traces over activities {:?}",
+        event_log.len(),
+        event_log.activities()
+    );
+    let _ = writeln!(out, "top trace variants:");
+    for (variant, count) in event_log.variants().into_iter().take(6) {
+        let _ = writeln!(out, "  {:>5}× {}", count, variant.join(" → "));
+    }
+    let _ = writeln!(out, "anomalous branches (the highlighted paths of Figure 2):");
+    for (a, b) in [("ship", "pushASN"), ("unload", "queryASN")] {
+        let n = dfg.count(a, b);
+        if n > 0 {
+            let _ = writeln!(out, "  {a} ≻ {b} observed {n}× (illogical ordering)");
+        }
+    }
+    let ship_starts = dfg.starts().get("ship").copied().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  traces starting with ship (no PushASN first): {ship_starts}"
+    );
+    let _ = writeln!(out, "\nDOT (render with graphviz):\n{}", dfg_to_dot(&dfg));
+    out
+}
+
+/// Figure 3: the dependency-conflict example — UpdateAuditInfo aborts when
+/// interleaved with PushASN on the same product, succeeds when reordered.
+pub fn fig3(_ctx: &ExpCtx) -> String {
+    use fabric_sim::sim::{Simulation, TxRequest};
+    use fabric_sim::types::{OrgId, Value};
+    use sim_core::time::SimTime;
+    use std::sync::Arc;
+
+    let build = || {
+        let mut sim = Simulation::new(NetworkConfig::default());
+        sim.install(Arc::new(chaincode::ScmContract::base()));
+        sim.seed("scm", "P0001", Value::Int(1));
+        sim.seed("scm", "A0001", Value::Str("audit:init".into()));
+        sim
+    };
+    let req = |ms: u64, activity: &str, args: Vec<Value>| TxRequest {
+        send_time: SimTime::from_millis(ms),
+        contract: "scm".into(),
+        activity: activity.into(),
+        args,
+        invoker_org: OrgId(0),
+    };
+
+    let mut out = String::from("\n=== Figure 3: transaction dependency conflict ===\n");
+    // Without reordering: both transactions endorse against the same
+    // snapshot; PushASN commits first, invalidating UpdateAuditInfo's read.
+    let sim = build();
+    let reqs = vec![
+        req(0, "pushASN", vec!["P0001".into()]),
+        req(1, "updateAuditInfo", vec!["P0001".into(), "A0001".into(), Value::Int(1)]),
+    ];
+    let res = sim.run(&reqs);
+    let _ = writeln!(out, "without activity reordering:");
+    for tx in res.ledger.transactions() {
+        let _ = writeln!(out, "  {:<16} → {}", tx.activity, tx.status);
+    }
+
+    // With reordering: UpdateAuditInfo runs before PushASN — both succeed.
+    let sim = build();
+    let reqs = vec![
+        req(0, "updateAuditInfo", vec!["P0001".into(), "A0001".into(), Value::Int(1)]),
+        req(2_500, "pushASN", vec!["P0001".into()]),
+    ];
+    let res = sim.run(&reqs);
+    let _ = writeln!(out, "with activity reordering:");
+    for tx in res.ledger.transactions() {
+        let _ = writeln!(out, "  {:<16} → {}", tx.activity, tx.status);
+    }
+    out
+}
+
+/// Figure 4: the SCM model after reordering — queryProducts and
+/// updateAuditInfo move behind the product flows (the paper\'s §3 redesign),
+/// and the re-mined log confirms the adherence.
+pub fn fig4(ctx: &ExpCtx) -> String {
+    let bundle = scm::generate(&scm_spec(ctx));
+    let cfg = NetworkConfig::default;
+
+    // Interleaving metric: the share of queryProducts/updateAuditInfo
+    // transactions that commit before the last product-flow transaction.
+    let interleaving = |log: &BlockchainLog| -> f64 {
+        let last_flow = log
+            .records()
+            .iter()
+            .filter(|r| matches!(r.activity.as_str(), "pushASN" | "ship" | "queryASN" | "unload"))
+            .map(|r| r.commit_index)
+            .max()
+            .unwrap_or(0);
+        let (inside, total) = log.records().iter().fold((0usize, 0usize), |acc, r| {
+            if scm::REORDERABLE.contains(&r.activity.as_str()) {
+                (acc.0 + usize::from(r.commit_index < last_flow), acc.1 + 1)
+            } else {
+                acc
+            }
+        });
+        if total == 0 {
+            0.0
+        } else {
+            inside as f64 / total as f64
+        }
+    };
+
+    let before_out = bundle.run(cfg());
+    let before_log = BlockchainLog::from_ledger(&before_out.ledger);
+    let before_dfg = DirectlyFollowsGraph::from_log(&to_event_log(&before_log));
+
+    // The paper\'s redesign: the two reporting activities run after the
+    // PushASN/Ship/Unload flows ("rescheduled to take place only at specific
+    // times when traffic is low").
+    let reordered = bundle.clone().with_requests(workload::optimize::move_to_end(
+        &bundle.requests,
+        &scm::REORDERABLE,
+    ));
+    let output = reordered.run(cfg());
+    let log = BlockchainLog::from_ledger(&output.ledger);
+    let event_log = to_event_log(&log);
+    let dfg = DirectlyFollowsGraph::from_log(&event_log);
+
+    let mut out = String::from("\n=== Figure 4: SCM model after activity reordering ===\n");
+    let _ = writeln!(
+        out,
+        "redesign: {} executed after the product flows",
+        scm::REORDERABLE.join(" and ")
+    );
+    let _ = writeln!(
+        out,
+        "reporting activities interleaved within active flows: {:.0} % → {:.0} %",
+        interleaving(&before_log) * 100.0,
+        interleaving(&log) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "updateAuditInfo directly after pushASN: {} → {} (Figure 2\'s hot path gone)",
+        before_dfg.count("pushASN", "updateAuditInfo"),
+        dfg.count("pushASN", "updateAuditInfo"),
+    );
+    let _ = writeln!(
+        out,
+        "flow edges dominate: pushASN≻ship {}, ship≻queryASN {}, queryASN≻unload {}",
+        dfg.count("pushASN", "ship"),
+        dfg.count("ship", "queryASN"),
+        dfg.count("queryASN", "unload"),
+    );
+
+    // Compliance check over the flow projection: drop the (now trailing)
+    // reporting activities and compare against the designed flow.
+    let projected = process_mining::eventlog::EventLog::from_traces(
+        event_log
+            .traces()
+            .iter()
+            .map(|t| {
+                process_mining::eventlog::Trace::new(
+                    t.case_id.clone(),
+                    t.activities
+                        .iter()
+                        .filter(|a| !scm::REORDERABLE.contains(&a.as_str()))
+                        .cloned()
+                        .collect(),
+                )
+            })
+            .filter(|t| !t.is_empty())
+            .collect(),
+    );
+    let designed = log_from(&[&["pushASN", "ship", "queryASN", "unload"]]);
+    let net = process_mining::alpha::alpha_miner(&designed);
+    let fit = process_mining::conformance::replay_fitness(&net, &projected);
+    let _ = writeln!(
+        out,
+        "compliance: {:.0} % of flow traces replay the designed model exactly \
+         (token fitness {:.2}); footprint agreement {:.2}",
+        fit.trace_fitness() * 100.0,
+        fit.fitness,
+        footprint_conformance(&designed, &projected)
+    );
+    let _ = writeln!(out, "\nDOT (render with graphviz):\n{}", dfg_to_dot(&dfg));
+    out
+}

@@ -1,0 +1,289 @@
+//! Table 3 and Figures 7–12: the synthetic-workload experiments.
+
+use super::{only, run_and_analyze, ExpCtx};
+use crate::table::FigureTable;
+use blockoptr::apply::{apply_system_level, apply_user_level};
+use workload::spec::{ControlVariables, PolicyChoice, WorkloadType};
+use workload::synthetic;
+
+/// The 15 experiments of Table 3 with the recommendations the paper reports.
+pub fn experiments_table3(ctx: &ExpCtx) -> Vec<(usize, ControlVariables, &'static str)> {
+    let base = ControlVariables {
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    };
+    vec![
+        (1, ControlVariables { policy: PolicyChoice::P1, ..base.clone() },
+            "Endorser restructuring, Activity reordering"),
+        (2, ControlVariables { policy: PolicyChoice::P2, endorser_skew: 6.0, ..base.clone() },
+            "Endorser restructuring, Activity reordering"),
+        (3, ControlVariables { orgs: 4, ..base.clone() }, "Transaction rate control"),
+        (4, ControlVariables { workload: WorkloadType::ReadHeavy, ..base.clone() },
+            "Activity reordering"),
+        (5, ControlVariables { workload: WorkloadType::UpdateHeavy, ..base.clone() },
+            "Transaction rate control"),
+        (6, ControlVariables { workload: WorkloadType::InsertHeavy, ..base.clone() },
+            "Activity reordering"),
+        (7, ControlVariables { workload: WorkloadType::RangeReadHeavy, ..base.clone() },
+            "Activity reordering, Transaction rate control"),
+        (8, ControlVariables { key_skew: 2.0, ..base.clone() },
+            "Activity reordering, Smart contract partitioning, Block size adaptation"),
+        (9, ControlVariables { block_count: 50, ..base.clone() },
+            "Activity reordering, Transaction rate control"),
+        (10, ControlVariables { block_count: 300, ..base.clone() },
+            "Activity reordering, Transaction rate control"),
+        (11, ControlVariables { block_count: 1000, ..base.clone() }, "Activity reordering"),
+        (12, ControlVariables { send_rate: 50.0, ..base.clone() }, "Activity reordering"),
+        (13, base.clone(),
+            "Activity reordering, Block size adaptation, Transaction rate control"),
+        (14, ControlVariables { send_rate: 1000.0, ..base.clone() },
+            "Activity reordering, Transaction rate control"),
+        (15, ControlVariables { tx_dist_skew: 0.7, ..base },
+            "Activity reordering, Client resource boost"),
+    ]
+}
+
+/// Table 3: run all 15 experiments, print derived vs paper recommendations.
+pub fn tab3(ctx: &ExpCtx) -> String {
+    let mut out = String::from(
+        "\n=== Table 3: optimizations recommended for the synthetic workloads ===\n",
+    );
+    out.push_str(&format!(
+        "{:<4} {:<42} {:<72} {}\n",
+        "#", "control variable", "BlockOptR (this reproduction)", "paper"
+    ));
+    out.push_str(&"-".repeat(190));
+    out.push('\n');
+    for (num, cv, paper) in experiments_table3(ctx) {
+        let bundle = synthetic::generate(&cv);
+        let (_, analysis) = run_and_analyze(&bundle, cv.network_config());
+        out.push_str(&format!(
+            "{:<4} {:<42} {:<72} {}\n",
+            num,
+            cv.label(),
+            analysis.recommendation_names().join(", "),
+            paper
+        ));
+    }
+    out
+}
+
+/// Figure 7: endorser restructuring (experiments 1 and 2).
+pub fn fig7(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 7: endorser restructuring");
+    let configs = vec![
+        ControlVariables {
+            policy: PolicyChoice::P1,
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        },
+        ControlVariables {
+            policy: PolicyChoice::P2,
+            endorser_skew: 6.0,
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        },
+    ];
+    for cv in configs {
+        let bundle = synthetic::generate(&cv);
+        let (wo, analysis) = run_and_analyze(&bundle, cv.network_config());
+        t.add(&cv.label(), "W/O", &wo);
+        let (cfg, _) = apply_system_level(
+            &cv.network_config(),
+            &only(&analysis, "Endorser restructuring"),
+        );
+        let (w, _) = run_and_analyze(&bundle, cfg);
+        t.add(&cv.label(), "W (restructured)", &w);
+    }
+    t.render()
+}
+
+/// Figure 8: client resource boost (experiment 15).
+pub fn fig8(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 8: client resource boost");
+    let cv = ControlVariables {
+        tx_dist_skew: 0.7,
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    };
+    let bundle = synthetic::generate(&cv);
+    let (wo, analysis) = run_and_analyze(&bundle, cv.network_config());
+    t.add(&cv.label(), "W/O", &wo);
+    let (cfg, _) = apply_system_level(
+        &cv.network_config(),
+        &only(&analysis, "Client resource boost"),
+    );
+    let (w, _) = run_and_analyze(&bundle, cfg);
+    t.add(&cv.label(), "W (boosted clients)", &w);
+    t.render()
+}
+
+/// Figure 9: block size adaptation (block counts and high send rates).
+pub fn fig9(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 9: block size adaptation");
+    let configs = vec![
+        ControlVariables {
+            block_count: 50,
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        },
+        ControlVariables {
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        }, // block count 100 (default)
+        ControlVariables {
+            send_rate: 500.0,
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        },
+        ControlVariables {
+            send_rate: 1000.0,
+            transactions: ctx.txs(10_000),
+            ..Default::default()
+        },
+    ];
+    for cv in configs {
+        let bundle = synthetic::generate(&cv);
+        let (wo, analysis) = run_and_analyze(&bundle, cv.network_config());
+        let label = if cv.label() == "Defaults" {
+            "Block count: 100".to_string()
+        } else {
+            cv.label()
+        };
+        t.add(&label, "W/O", &wo);
+        let recs = only(&analysis, "Block size adaptation");
+        if recs.is_empty() {
+            t.add(&label, "W (no change)", &wo);
+            continue;
+        }
+        let (cfg, _) = apply_system_level(&cv.network_config(), &recs);
+        let (w, _) = run_and_analyze(&bundle, cfg);
+        t.add(&label, "W (adapted)", &w);
+    }
+    t.render()
+}
+
+/// Figure 10: transaction rate control (eleven configurations).
+pub fn fig10(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 10: transaction rate control");
+    let n = ctx.txs(10_000);
+    let configs = vec![
+        ControlVariables { transactions: n, ..Default::default() }, // P3 = default
+        ControlVariables { orgs: 4, transactions: n, ..Default::default() },
+        ControlVariables {
+            workload: WorkloadType::UpdateHeavy,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 500, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
+        ControlVariables { send_rate: 500.0, transactions: n, ..Default::default() },
+        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
+        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+    ];
+    for cv in configs {
+        let bundle = synthetic::generate(&cv);
+        let (wo, _) = run_and_analyze(&bundle, cv.network_config());
+        t.add(&cv.label(), "W/O", &wo);
+        // Table 4: set the send rate to 100 tps.
+        let throttled = bundle.clone().with_requests(workload::optimize::rate_control(
+            &bundle.requests,
+            100.0,
+        ));
+        let (w, _) = run_and_analyze(&throttled, cv.network_config());
+        t.add(&cv.label(), "W (rate 100)", &w);
+    }
+    t.render()
+}
+
+/// Figure 11: activity reordering (thirteen configurations).
+pub fn fig11(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 11: activity reordering");
+    let n = ctx.txs(10_000);
+    let configs = vec![
+        ControlVariables { policy: PolicyChoice::P1, transactions: n, ..Default::default() },
+        ControlVariables {
+            policy: PolicyChoice::P2,
+            endorser_skew: 6.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            workload: WorkloadType::ReadHeavy,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            workload: WorkloadType::InsertHeavy,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            workload: WorkloadType::RangeReadHeavy,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 50, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
+        ControlVariables { send_rate: 50.0, transactions: n, ..Default::default() },
+        ControlVariables { transactions: n, ..Default::default() }, // send 300
+        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
+        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+    ];
+    for cv in configs {
+        let bundle = synthetic::generate(&cv);
+        let (wo, analysis) = run_and_analyze(&bundle, cv.network_config());
+        let label = if cv.label() == "Defaults" {
+            "Send rate: 300".to_string()
+        } else {
+            cv.label()
+        };
+        t.add(&label, "W/O", &wo);
+        let recs = only(&analysis, "Activity reordering");
+        if recs.is_empty() {
+            t.add(&label, "W (not recommended)", &wo);
+            continue;
+        }
+        let (requests, _) = apply_user_level(&bundle.requests, &recs);
+        let reordered = bundle.clone().with_requests(requests);
+        let (w, _) = run_and_analyze(&reordered, cv.network_config());
+        t.add(&label, "W (reordered)", &w);
+    }
+    t.render()
+}
+
+/// Figure 12: every recommended optimization applied together.
+pub fn fig12(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 12: all recommended optimizations combined");
+    let n = ctx.txs(10_000);
+    let configs = vec![
+        ControlVariables { policy: PolicyChoice::P1, transactions: n, ..Default::default() },
+        ControlVariables {
+            policy: PolicyChoice::P2,
+            endorser_skew: 6.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 50, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
+        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
+        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
+        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+    ];
+    for cv in configs {
+        let bundle = synthetic::generate(&cv);
+        let (wo, analysis) = run_and_analyze(&bundle, cv.network_config());
+        t.add(&cv.label(), "W/O", &wo);
+        let (requests, _) = apply_user_level(&bundle.requests, &analysis.recommendations);
+        let (cfg, _) = apply_system_level(&cv.network_config(), &analysis.recommendations);
+        let optimized = bundle.clone().with_requests(requests);
+        let (w, _) = run_and_analyze(&optimized, cfg);
+        t.add(&cv.label(), "W (all)", &w);
+    }
+    t.render()
+}

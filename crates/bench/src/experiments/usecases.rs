@@ -1,0 +1,192 @@
+//! Figures 13–17: the use-case experiments (§6.2–6.3).
+
+use super::{only, run_and_analyze, ExpCtx};
+use crate::table::FigureTable;
+use blockoptr::apply::apply_user_level;
+use fabric_sim::config::NetworkConfig;
+use workload::optimize;
+use workload::{drm, dv, ehr, lap, scm};
+
+/// Figure 13: SCM — reordering, pruning, rate control, all.
+pub fn fig13(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 13: SCM use case");
+    let spec = scm::ScmSpec {
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    };
+    let bundle = scm::generate(&spec);
+    let cfg = NetworkConfig::default;
+    let (wo, analysis) = run_and_analyze(&bundle, cfg());
+    t.add("SCM", "W/O", &wo);
+
+    // Transaction rate control (Table 4: 100 tps).
+    let throttled = bundle
+        .clone()
+        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
+    let (w, _) = run_and_analyze(&throttled, cfg());
+    t.add("SCM", "rate control", &w);
+
+    // Activity reordering (queryProducts + updateAuditInfo to the end).
+    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
+    let reordered = bundle.clone().with_requests(requests);
+    let (w, _) = run_and_analyze(&reordered, cfg());
+    t.add("SCM", "activity reordering", &w);
+
+    // Process model pruning (the pruned smart contract).
+    let pruned = scm::pruned(bundle.clone());
+    let (w, _) = run_and_analyze(&pruned, cfg());
+    t.add("SCM", "model pruning", &w);
+
+    // All optimizations together.
+    let (requests, _) = apply_user_level(&bundle.requests, &analysis.recommendations);
+    let all = scm::pruned(bundle.clone()).with_requests(optimize::rate_control(&requests, 100.0));
+    let (w, _) = run_and_analyze(&all, cfg());
+    t.add("SCM", "all optimizations", &w);
+    t.render()
+}
+
+/// Figure 14: DRM — delta writes, reordering, partitioning, all.
+pub fn fig14(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 14: DRM use case");
+    let spec = drm::DrmSpec {
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    };
+    let bundle = drm::generate(&spec);
+    let cfg = NetworkConfig::default;
+    let (wo, analysis) = run_and_analyze(&bundle, cfg());
+    t.add("DRM", "W/O", &wo);
+
+    let delta = drm::delta_writes(bundle.clone());
+    let (w, _) = run_and_analyze(&delta, cfg());
+    t.add("DRM", "delta writes", &w);
+
+    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
+    let reordered = bundle.clone().with_requests(requests);
+    let (w, _) = run_and_analyze(&reordered, cfg());
+    t.add("DRM", "activity reordering", &w);
+
+    let partitioned = drm::partitioned(bundle.clone(), &spec);
+    let (w, _) = run_and_analyze(&partitioned, cfg());
+    t.add("DRM", "contract partition", &w);
+
+    // All: partitioned chaincodes with delta-write plays + reordering.
+    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
+    let all = drm::partitioned_delta(bundle.clone().with_requests(requests), &spec);
+    let (w, _) = run_and_analyze(&all, cfg());
+    t.add("DRM", "all optimizations", &w);
+    t.render()
+}
+
+/// Figure 15: EHR — rate control, reordering, pruning, all.
+pub fn fig15(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 15: EHR use case");
+    let spec = ehr::EhrSpec {
+        transactions: ctx.txs(10_000),
+        ..Default::default()
+    };
+    let bundle = ehr::generate(&spec);
+    let cfg = NetworkConfig::default;
+    let (wo, analysis) = run_and_analyze(&bundle, cfg());
+    t.add("EHR", "W/O", &wo);
+
+    let throttled = bundle
+        .clone()
+        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
+    let (w, _) = run_and_analyze(&throttled, cfg());
+    t.add("EHR", "rate control", &w);
+
+    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
+    let reordered = bundle.clone().with_requests(requests);
+    let (w, _) = run_and_analyze(&reordered, cfg());
+    t.add("EHR", "activity reordering", &w);
+
+    let pruned = ehr::pruned(bundle.clone());
+    let (w, _) = run_and_analyze(&pruned, cfg());
+    t.add("EHR", "model pruning", &w);
+
+    let (requests, _) = apply_user_level(&bundle.requests, &analysis.recommendations);
+    let all = ehr::pruned(bundle.clone()).with_requests(optimize::rate_control(&requests, 100.0));
+    let (w, _) = run_and_analyze(&all, cfg());
+    t.add("EHR", "all optimizations", &w);
+    t.render()
+}
+
+/// Figure 16: Digital Voting — rate control, data-model alteration, all.
+pub fn fig16(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 16: Digital Voting use case");
+    let spec = dv::DvSpec {
+        queries: ctx.txs(1_000),
+        votes: ctx.txs(5_000),
+        ..Default::default()
+    };
+    let bundle = dv::generate(&spec);
+    let cfg = NetworkConfig::default;
+    let (wo, _) = run_and_analyze(&bundle, cfg());
+    t.add("DV", "W/O", &wo);
+
+    let throttled = bundle
+        .clone()
+        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
+    let (w, _) = run_and_analyze(&throttled, cfg());
+    t.add("DV", "rate control", &w);
+
+    let altered = dv::per_voter(bundle.clone());
+    let (w, _) = run_and_analyze(&altered, cfg());
+    t.add("DV", "data model alteration", &w);
+
+    let all = dv::per_voter(
+        bundle
+            .clone()
+            .with_requests(optimize::rate_control(&bundle.requests, 100.0)),
+    );
+    let (w, _) = run_and_analyze(&all, cfg());
+    t.add("DV", "all optimizations", &w);
+    t.render()
+}
+
+/// Figure 17: LAP at 10 tps and 300 tps.
+pub fn fig17(ctx: &ExpCtx) -> String {
+    let mut t = FigureTable::new("Figure 17: Loan Application Process use case");
+    let cfg = NetworkConfig::default;
+    let apps = ((2_000.0 * ctx.scale) as usize).max(100);
+
+    // Manual processing: 10 tps.
+    let slow = lap::LapSpec {
+        applications: apps,
+        send_rate: 10.0,
+        ..Default::default()
+    };
+    let bundle = lap::generate(&slow);
+    let (wo, _) = run_and_analyze(&bundle, cfg());
+    t.add("Send rate: 10 tps", "W/O", &wo);
+    let altered = lap::by_application(bundle.clone());
+    let (w, _) = run_and_analyze(&altered, cfg());
+    t.add("Send rate: 10 tps", "data model alteration", &w);
+
+    // Automated processing: 300 tps.
+    let fast = lap::LapSpec {
+        applications: apps,
+        send_rate: 300.0,
+        ..Default::default()
+    };
+    let bundle = lap::generate(&fast);
+    let (wo, _) = run_and_analyze(&bundle, cfg());
+    t.add("Send rate: 300 tps", "W/O", &wo);
+    let altered = lap::by_application(bundle.clone());
+    let (w, _) = run_and_analyze(&altered, cfg());
+    t.add("Send rate: 300 tps", "data model alteration", &w);
+    let throttled = bundle
+        .clone()
+        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
+    let (w, _) = run_and_analyze(&throttled, cfg());
+    t.add("Send rate: 300 tps", "rate control", &w);
+    let all = lap::by_application(
+        bundle
+            .clone()
+            .with_requests(optimize::rate_control(&bundle.requests, 100.0)),
+    );
+    let (w, _) = run_and_analyze(&all, cfg());
+    t.add("Send rate: 300 tps", "all optimizations", &w);
+    t.render()
+}

@@ -1,0 +1,22 @@
+//! # bench
+//!
+//! The experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) against the simulated Fabric substrate, plus Criterion
+//! micro-benchmarks of the tool itself.
+//!
+//! Run everything: `cargo run --release -p bench --bin experiments -- all`
+//! or a single artifact: `… -- fig13`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{pct, FigureTable};
+
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::report::SimReport;
+use workload::WorkloadBundle;
+
+/// Run one configuration and return its report (convenience wrapper).
+pub fn run(bundle: &WorkloadBundle, config: NetworkConfig) -> SimReport {
+    bundle.run(config).report
+}

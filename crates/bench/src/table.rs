@@ -1,0 +1,126 @@
+//! Paper-style result tables.
+//!
+//! Every figure in the paper plots (success throughput, average latency,
+//! success percentage) for a W/O-vs-W pair of runs per configuration.
+//! [`FigureTable`] renders the same rows.
+
+use fabric_sim::report::SimReport;
+
+/// Percentage-change helper (positive = improvement for "higher is better").
+pub fn pct(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        (after - before) / before * 100.0
+    }
+}
+
+/// A printable table with one row per (configuration, variant) run.
+#[derive(Debug, Default)]
+pub struct FigureTable {
+    title: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug)]
+struct Row {
+    config: String,
+    variant: String,
+    tput: f64,
+    latency: f64,
+    success: f64,
+}
+
+impl FigureTable {
+    /// A table titled like the paper's figure caption.
+    pub fn new(title: &str) -> Self {
+        FigureTable {
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one run.
+    pub fn add(&mut self, config: &str, variant: &str, report: &SimReport) {
+        self.rows.push(Row {
+            config: config.to_string(),
+            variant: variant.to_string(),
+            tput: report.success_throughput,
+            latency: report.avg_latency_s,
+            success: report.success_rate_pct,
+        });
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        out.push_str(&format!(
+            "{:<44} {:<22} {:>12} {:>12} {:>10}\n",
+            "configuration", "variant", "tput (tps)", "latency (s)", "success %"
+        ));
+        out.push_str(&"-".repeat(104));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<44} {:<22} {:>12.1} {:>12.2} {:>10.1}\n",
+                truncate(&r.config, 44),
+                truncate(&r.variant, 22),
+                r.tput,
+                r.latency,
+                r.success
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_changes() {
+        assert!((pct(100.0, 150.0) - 50.0).abs() < 1e-9);
+        assert!((pct(100.0, 80.0) + 20.0).abs() < 1e-9);
+        assert_eq!(pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let mut t = FigureTable::new("Figure X");
+        let ledger = fabric_sim::ledger::Ledger::new();
+        let r = SimReport::from_ledger(&ledger, 0, sim_core::time::SimTime::ZERO);
+        t.add("Block count: 50", "W/O", &r);
+        t.add("Block count: 50", "W", &r);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("Block count: 50"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn truncate_caps_width() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("abcdefghijk", 5), "abcd…");
+    }
+}

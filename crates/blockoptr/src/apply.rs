@@ -1,0 +1,263 @@
+//! Optimization implementation (paper §4.5, Table 4).
+//!
+//! BlockOptR's recommendations are implemented at three places (paper
+//! Figure 6): the client/workflow engine (reordering, rate control, client
+//! scaling), the smart contract (pruning and all data-level changes), and
+//! the channel configuration (block size, endorsement policy).
+//!
+//! This module automates what can be automated without domain knowledge:
+//!
+//! * [`apply_user_level`] rewrites the request schedule — activity
+//!   reordering via the client manager, rate control via re-pacing;
+//! * [`apply_system_level`] rewrites the network configuration — block
+//!   count, endorsement policy (Table 4 switches to an `OutOf` policy),
+//!   client boost.
+//!
+//! Smart-contract rewrites (pruning, delta writes, partitioning, data-model
+//! alteration) "need to be manually implemented by the user" (paper §7) —
+//! the experiment harness selects the prepared contract variants from the
+//! `chaincode` crate, exactly as the authors modified their Go contracts.
+
+use crate::recommend::Recommendation;
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::policy::EndorsementPolicy;
+use fabric_sim::sim::TxRequest;
+use std::collections::BTreeSet;
+use workload::optimize;
+
+/// Rewrite the request schedule according to the user-level
+/// recommendations. Returns the new schedule and a description of the
+/// transformations applied.
+pub fn apply_user_level(
+    requests: &[TxRequest],
+    recommendations: &[Recommendation],
+) -> (Vec<TxRequest>, Vec<String>) {
+    let mut out = requests.to_vec();
+    let mut applied = Vec::new();
+    for rec in recommendations {
+        match rec {
+            Recommendation::ActivityReordering { pairs, .. } => {
+                let deferred = deferrable_activities(pairs);
+                if !deferred.is_empty() {
+                    let names: Vec<&str> = deferred.iter().map(String::as_str).collect();
+                    out = optimize::move_to_end(&out, &names);
+                    applied.push(format!(
+                        "activity reordering: deferred {}",
+                        names.join(", ")
+                    ));
+                }
+            }
+            Recommendation::TransactionRateControl { suggested_rate, .. } => {
+                out = optimize::rate_control(&out, *suggested_rate);
+                applied.push(format!("rate control: {suggested_rate:.0} tps"));
+            }
+            _ => {}
+        }
+    }
+    (out, applied)
+}
+
+/// The activities worth deferring: those that fail against other activities'
+/// writes (the conflicting-reader side of each reorderable pair).
+fn deferrable_activities(pairs: &[((String, String), usize)]) -> Vec<String> {
+    let total: usize = pairs.iter().map(|(_, n)| *n).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut failed_counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for ((failed, _writer), n) in pairs {
+        *failed_counts.entry(failed.as_str()).or_insert(0) += *n;
+    }
+    let writers: BTreeSet<&str> = pairs.iter().map(|((_, w), _)| w.as_str()).collect();
+    failed_counts
+        .into_iter()
+        // Keep significant offenders; never defer an activity that is also a
+        // frequent conflict *writer* (deferring it would only move the
+        // conflict).
+        .filter(|(a, n)| *n * 10 >= total && !writers.contains(a))
+        .map(|(a, _)| a.to_string())
+        .collect()
+}
+
+/// Rewrite the network configuration according to the system-level
+/// recommendations. Returns the new configuration and the changes applied.
+pub fn apply_system_level(
+    config: &NetworkConfig,
+    recommendations: &[Recommendation],
+) -> (NetworkConfig, Vec<String>) {
+    let mut out = config.clone();
+    let mut applied = Vec::new();
+    for rec in recommendations {
+        match rec {
+            Recommendation::BlockSizeAdaptation {
+                suggested_count, ..
+            } => {
+                out.block_count = (*suggested_count).max(1);
+                applied.push(format!("block count → {}", out.block_count));
+            }
+            Recommendation::EndorserRestructuring { .. } => {
+                // Table 4: "Set endorsement policy to P4" — generalized: the
+                // same required-endorsement count, but satisfiable by any
+                // organizations, so clients can spread the load.
+                let k = config.endorsement_policy.min_endorsers().max(1);
+                out.endorsement_policy = EndorsementPolicy::out_of(k, config.orgs);
+                out.endorser_skew = 0.0;
+                applied.push(format!(
+                    "endorsement policy → {}",
+                    out.endorsement_policy
+                ));
+            }
+            Recommendation::ClientResourceBoost { org, .. } => {
+                if let Some(idx) = parse_org_index(org) {
+                    out.client_boost = Some((idx, 2));
+                    applied.push(format!("clients of {org} doubled"));
+                }
+            }
+            _ => {}
+        }
+    }
+    (out, applied)
+}
+
+/// Parse `"Org3"` → organization index 2.
+fn parse_org_index(display: &str) -> Option<u16> {
+    display
+        .strip_prefix("Org")?
+        .parse::<u16>()
+        .ok()
+        .and_then(|n| n.checked_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::types::OrgId;
+    use sim_core::time::SimTime;
+
+    fn req(i: u64, activity: &str) -> TxRequest {
+        TxRequest {
+            send_time: SimTime::from_millis(i * 10),
+            contract: "cc".into(),
+            activity: activity.into(),
+            args: vec![],
+            invoker_org: OrgId(0),
+        }
+    }
+
+    #[test]
+    fn reordering_defers_failed_readers() {
+        let reqs = vec![req(0, "query"), req(1, "write"), req(2, "query")];
+        let recs = vec![Recommendation::ActivityReordering {
+            pairs: vec![(("query".into(), "write".into()), 10)],
+            share: 0.8,
+        }];
+        let (out, applied) = apply_user_level(&reqs, &recs);
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["write", "query", "query"]);
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].contains("query"));
+    }
+
+    #[test]
+    fn reordering_never_defers_writers() {
+        // "upd" is both a failed activity and the main writer: deferring it
+        // would be self-defeating.
+        let recs = vec![Recommendation::ActivityReordering {
+            pairs: vec![
+                (("upd".into(), "upd".into()), 10),
+                (("query".into(), "upd".into()), 10),
+            ],
+            share: 0.5,
+        }];
+        let reqs = vec![req(0, "upd"), req(1, "query")];
+        let (out, _) = apply_user_level(&reqs, &recs);
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["upd", "query"], "only query deferred (no-op here)");
+    }
+
+    #[test]
+    fn rate_control_respaces() {
+        let reqs = vec![req(0, "a"), req(1, "a"), req(2, "a")];
+        let recs = vec![Recommendation::TransactionRateControl {
+            intervals: vec![0],
+            peak_rate: 300.0,
+            suggested_rate: 10.0,
+        }];
+        let (out, applied) = apply_user_level(&reqs, &recs);
+        assert_eq!(
+            out[2].send_time.as_micros() - out[0].send_time.as_micros(),
+            200_000,
+            "2 gaps at 10 tps = 200 ms"
+        );
+        assert!(applied[0].contains("10 tps"));
+    }
+
+    #[test]
+    fn system_level_block_count() {
+        let cfg = NetworkConfig::default();
+        let recs = vec![Recommendation::BlockSizeAdaptation {
+            current_avg: 100.0,
+            tr: 300.0,
+            suggested_count: 300,
+        }];
+        let (out, applied) = apply_system_level(&cfg, &recs);
+        assert_eq!(out.block_count, 300);
+        assert_eq!(applied, vec!["block count → 300"]);
+    }
+
+    #[test]
+    fn system_level_restructures_policy() {
+        let cfg = NetworkConfig {
+            orgs: 4,
+            endorsement_policy: EndorsementPolicy::p1(),
+            endorser_skew: 6.0,
+            ..NetworkConfig::default()
+        };
+        let recs = vec![Recommendation::EndorserRestructuring {
+            shares: vec![("Org1".into(), 0.5)],
+            overloaded: vec!["Org1".into()],
+        }];
+        let (out, _) = apply_system_level(&cfg, &recs);
+        assert_eq!(
+            out.endorsement_policy.to_string(),
+            "OutOf(2,Org1,Org2,Org3,Org4)",
+            "P1 needs 2 endorsers → generalized to P4"
+        );
+        assert_eq!(out.endorser_skew, 0.0, "skew removed by the measure");
+        assert!(out.endorsement_policy.mandatory_orgs().is_empty());
+    }
+
+    #[test]
+    fn system_level_boosts_clients() {
+        let cfg = NetworkConfig::default();
+        let recs = vec![Recommendation::ClientResourceBoost {
+            org: "Org2".into(),
+            share: 0.7,
+        }];
+        let (out, applied) = apply_system_level(&cfg, &recs);
+        assert_eq!(out.client_boost, Some((1, 2)));
+        assert!(applied[0].contains("Org2"));
+    }
+
+    #[test]
+    fn org_parsing() {
+        assert_eq!(parse_org_index("Org1"), Some(0));
+        assert_eq!(parse_org_index("Org12"), Some(11));
+        assert_eq!(parse_org_index("weird"), None);
+    }
+
+    #[test]
+    fn data_level_recommendations_are_left_alone() {
+        let cfg = NetworkConfig::default();
+        let recs = vec![Recommendation::DeltaWrites {
+            activities: vec![("play".into(), 9)],
+        }];
+        let (out, applied) = apply_system_level(&cfg, &recs);
+        assert_eq!(out, cfg);
+        assert!(applied.is_empty());
+        let reqs = vec![req(0, "play")];
+        let (out_reqs, applied_u) = apply_user_level(&reqs, &recs);
+        assert_eq!(out_reqs.len(), 1);
+        assert!(applied_u.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! The BlockOptR command-line tool.
+//!
+//! ```text
+//! blockoptr demo scm --out scm.json          # simulate a scenario, save its log
+//! blockoptr analyze scm.json                 # metrics + recommendations
+//! blockoptr analyze scm.json --auto-tune     # with deployment-tuned thresholds
+//! blockoptr analyze scm.json --csv log.csv --xes log.xes --dot model.dot
+//! blockoptr compare before.json after.json   # compliance check of a rollout
+//! ```
+//!
+//! Mirrors the paper's tool: read a blockchain log, derive the metrics and
+//! the process model, and print the multi-level recommendations (Figure 5's
+//! workflow), plus the §7 compliance checking.
+
+use blockoptr::autotune::auto_tune;
+use blockoptr::compliance::verify_rollout;
+use blockoptr::export;
+use blockoptr::log::BlockchainLog;
+use blockoptr::pipeline::{Analysis, BlockOptR};
+use fabric_sim::config::NetworkConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json]\n  \
+         blockoptr analyze LOG.json [--auto-tune] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
+         blockoptr compare BEFORE.json AFTER.json"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<BlockchainLog, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    export::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn analyze_log(log: BlockchainLog, tune: bool) -> Analysis {
+    let analyzer = if tune {
+        let tuned = auto_tune(&log);
+        eprintln!(
+            "auto-tune: sustainable rate {:.0} tx/s → Rt1 {:.0}, controlled rate {:.0}",
+            tuned.sustainable_rate, tuned.thresholds.rt1, tuned.thresholds.controlled_rate
+        );
+        BlockOptR {
+            thresholds: tuned.thresholds,
+            ..Default::default()
+        }
+    } else {
+        BlockOptR::new()
+    };
+    analyzer.analyze_log(log)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let scenario = args.first().map(String::as_str).unwrap_or("synthetic");
+    let cfg = NetworkConfig::default();
+    let output = match scenario {
+        "synthetic" => {
+            let cv = workload::spec::ControlVariables::default();
+            workload::synthetic::generate(&cv).run(cv.network_config())
+        }
+        "scm" => workload::scm::generate(&workload::scm::ScmSpec::default()).run(cfg),
+        "drm" => workload::drm::generate(&workload::drm::DrmSpec::default()).run(cfg),
+        "ehr" => workload::ehr::generate(&workload::ehr::EhrSpec::default()).run(cfg),
+        "dv" => workload::dv::generate(&workload::dv::DvSpec::default()).run(cfg),
+        "lap" => workload::lap::generate(&workload::lap::LapSpec::default()).run(cfg),
+        other => return Err(format!("unknown scenario {other:?}")),
+    };
+    eprintln!("simulated {scenario}: {}", output.report.figure_row());
+    let log = BlockchainLog::from_ledger(&output.ledger);
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(&path, export::to_json(&log)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("log saved to {path} ({} transactions)", log.len());
+    }
+    let analysis = analyze_log(log, false);
+    print!("{}", blockoptr::report::render(&analysis));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("analyze needs a LOG.json path".into());
+    };
+    let log = load(path)?;
+    if let Some(csv_path) = flag_value(args, "--csv") {
+        std::fs::write(&csv_path, export::to_csv(&log))
+            .map_err(|e| format!("writing {csv_path}: {e}"))?;
+        eprintln!("CSV written to {csv_path}");
+    }
+    let analysis = analyze_log(log, args.iter().any(|a| a == "--auto-tune"));
+    if let Some(xes_path) = flag_value(args, "--xes") {
+        std::fs::write(&xes_path, process_mining::xes::to_xes(&analysis.event_log))
+            .map_err(|e| format!("writing {xes_path}: {e}"))?;
+        eprintln!("XES event log written to {xes_path}");
+    }
+    if let Some(dot_path) = flag_value(args, "--dot") {
+        let dfg = process_mining::dfg::DirectlyFollowsGraph::from_log(&analysis.event_log);
+        std::fs::write(&dot_path, process_mining::dot::dfg_to_dot(&dfg))
+            .map_err(|e| format!("writing {dot_path}: {e}"))?;
+        eprintln!("process model DOT written to {dot_path}");
+    }
+    print!("{}", blockoptr::report::render(&analysis));
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (Some(before_path), Some(after_path)) = (args.first(), args.get(1)) else {
+        return Err("compare needs BEFORE.json and AFTER.json".into());
+    };
+    let before = analyze_log(load(before_path)?, false);
+    let after = analyze_log(load(after_path)?, false);
+    let report = verify_rollout(&before, &after);
+    print!("{report}");
+    if report.improved() {
+        eprintln!("rollout verified: recommendations resolved without new findings");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "demo" => cmd_demo(rest),
+        "analyze" => cmd_analyze(rest),
+        "compare" => cmd_compare(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! CaseID derivation (paper §4.2).
+//!
+//! Blockchain logs have no explicit CaseID, and "in most of the use-cases
+//! we observed, no single attribute is common to all activities" — so
+//! BlockOptR derives a *common element* from the function arguments and the
+//! read-write sets.
+//!
+//! Automation (mirrors the paper's approach, generalized): every string
+//! argument and every accessed key contributes a *candidate identifier*;
+//! candidates are grouped into **families** by their non-numeric prefix
+//! (`P0042` → family `P`, `APP00007` → family `APP`). The family that covers
+//! the most transactions wins; near-ties (within 5 % coverage) are broken
+//! toward the family with more distinct values — process instances are the
+//! finest-grained shared entity (e.g. LAP's `applicationID` over its
+//! `employeeID`). Each transaction's case is its first candidate of the
+//! winning family.
+
+use crate::log::{BlockchainLog, TxRecord};
+use fabric_sim::types::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a case id was derived for the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDerivation {
+    /// The winning identifier family (non-numeric prefix).
+    pub family: String,
+    /// Fraction of transactions covered by the family.
+    pub coverage: f64,
+    /// Distinct case values observed.
+    pub distinct_cases: usize,
+    /// Per-transaction case ids (`None` where no candidate matched).
+    pub case_ids: Vec<Option<String>>,
+}
+
+/// The non-numeric prefix of an identifier (`"APP00012"` → `"APP"`).
+/// Identifiers without a digit have no family (returns `None`), which keeps
+/// free-form strings (metadata, nonces) out of the candidate pool.
+fn family_of(ident: &str) -> Option<&str> {
+    let digit_at = ident.find(|c: char| c.is_ascii_digit())?;
+    if digit_at == 0 {
+        return None;
+    }
+    Some(&ident[..digit_at])
+}
+
+fn candidates(record: &TxRecord) -> Vec<&str> {
+    let mut out: Vec<&str> = Vec::new();
+    for arg in &record.args {
+        if let Value::Str(s) = arg {
+            out.push(s.as_str());
+        }
+    }
+    for key in record.rwset.all_keys() {
+        // Strip the namespace prefix: "scm/P0001" → "P0001".
+        let short = key.rsplit('/').next().unwrap_or(key);
+        out.push(short);
+    }
+    out
+}
+
+/// Derive case ids for every transaction in the log.
+pub fn derive_case_ids(log: &BlockchainLog) -> CaseDerivation {
+    // Family → (covered tx count, distinct values).
+    let mut coverage: BTreeMap<String, usize> = BTreeMap::new();
+    let mut distinct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for record in log.records() {
+        let mut seen_families: BTreeSet<&str> = BTreeSet::new();
+        for cand in candidates(record) {
+            if let Some(fam) = family_of(cand) {
+                if seen_families.insert(fam) {
+                    *coverage.entry(fam.to_string()).or_insert(0) += 1;
+                }
+                distinct
+                    .entry(fam.to_string())
+                    .or_default()
+                    .insert(cand.to_string());
+            }
+        }
+    }
+
+    let total = log.len().max(1);
+    let best = coverage
+        .iter()
+        .map(|(fam, &cov)| {
+            let d = distinct.get(fam).map(BTreeSet::len).unwrap_or(0);
+            (fam.clone(), cov, d)
+        })
+        .max_by(|a, b| {
+            // Primary: coverage within 5% counts as a tie; secondary:
+            // distinct values; tertiary: family name for determinism.
+            let band = (total as f64 * 0.05) as usize;
+            if a.1.abs_diff(b.1) <= band {
+                a.2.cmp(&b.2).then_with(|| b.0.cmp(&a.0))
+            } else {
+                a.1.cmp(&b.1)
+            }
+        });
+
+    let Some((family, covered, d)) = best else {
+        return CaseDerivation {
+            family: String::new(),
+            coverage: 0.0,
+            distinct_cases: 0,
+            case_ids: vec![None; log.len()],
+        };
+    };
+
+    let case_ids: Vec<Option<String>> = log
+        .records()
+        .iter()
+        .map(|r| {
+            candidates(r)
+                .into_iter()
+                .find(|c| family_of(c) == Some(family.as_str()))
+                .map(str::to_string)
+        })
+        .collect();
+
+    CaseDerivation {
+        family,
+        coverage: covered as f64 / total as f64,
+        distinct_cases: d,
+        case_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+
+    #[test]
+    fn family_extraction() {
+        assert_eq!(family_of("P0042"), Some("P"));
+        assert_eq!(family_of("APP00007"), Some("APP"));
+        assert_eq!(family_of("party:P1"), Some("party:P"));
+        assert_eq!(family_of("nodigits"), None);
+        assert_eq!(family_of("42abc"), None, "leading digit has no prefix");
+    }
+
+    #[test]
+    fn scm_like_log_picks_products() {
+        let log = log_of(vec![
+            Rec::new(0, "pushASN")
+                .args(vec!["P0001".into()])
+                .reads(&["scm/P0001"])
+                .writes(&["scm/P0001"])
+                .build(),
+            Rec::new(1, "updateAuditInfo")
+                .args(vec!["P0001".into(), "A0001".into()])
+                .reads(&["scm/P0001", "scm/A0001"])
+                .writes(&["scm/A0001"])
+                .build(),
+            Rec::new(2, "ship")
+                .args(vec!["P0002".into()])
+                .reads(&["scm/P0002"])
+                .build(),
+        ]);
+        let d = derive_case_ids(&log);
+        assert_eq!(d.family, "P", "products cover all txs, audits only one");
+        assert_eq!(d.case_ids[0].as_deref(), Some("P0001"));
+        assert_eq!(d.case_ids[1].as_deref(), Some("P0001"));
+        assert_eq!(d.case_ids[2].as_deref(), Some("P0002"));
+        assert!((d.coverage - 1.0).abs() < 1e-9);
+        assert_eq!(d.distinct_cases, 2);
+    }
+
+    #[test]
+    fn tie_breaks_toward_finer_family() {
+        // Both E and APP cover everything (LAP shape) — APP has more
+        // distinct values, so applications become the cases.
+        let log = log_of(vec![
+            Rec::new(0, "create")
+                .args(vec!["E001".into(), "APP00001".into()])
+                .build(),
+            Rec::new(1, "submit")
+                .args(vec!["E001".into(), "APP00002".into()])
+                .build(),
+            Rec::new(2, "validate")
+                .args(vec!["E002".into(), "APP00003".into()])
+                .build(),
+        ]);
+        let d = derive_case_ids(&log);
+        assert_eq!(d.family, "APP");
+        assert_eq!(d.distinct_cases, 3);
+    }
+
+    #[test]
+    fn candidates_come_from_keys_too() {
+        // No string args at all: keys carry the identifier.
+        let log = log_of(vec![
+            Rec::new(0, "read").reads(&["genchain/k00001"]).build(),
+            Rec::new(1, "update")
+                .reads(&["genchain/k00002"])
+                .writes(&["genchain/k00002"])
+                .build(),
+        ]);
+        let d = derive_case_ids(&log);
+        assert_eq!(d.family, "k");
+        assert_eq!(d.case_ids[1].as_deref(), Some("k00002"));
+    }
+
+    #[test]
+    fn uncovered_txs_get_none() {
+        let log = log_of(vec![
+            Rec::new(0, "vote").args(vec!["party:P1".into()]).build(),
+            Rec::new(1, "queryParties").build(), // no candidates at all
+        ]);
+        let d = derive_case_ids(&log);
+        assert_eq!(d.family, "party:P");
+        assert!(d.case_ids[1].is_none());
+    }
+
+    #[test]
+    fn empty_log_yields_empty_derivation() {
+        let d = derive_case_ids(&BlockchainLog::default());
+        assert!(d.family.is_empty());
+        assert!(d.case_ids.is_empty());
+    }
+}

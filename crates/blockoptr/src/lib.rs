@@ -1,0 +1,66 @@
+//! # blockoptr
+//!
+//! **BlockOptR** — the paper's primary contribution: a multi-level blockchain
+//! optimization recommender. It reads a blockchain's transaction log,
+//! derives metrics and a process model, and recommends nine optimizations at
+//! three abstraction levels (paper Figure 1):
+//!
+//! * **user level** — activity reordering, process model pruning,
+//!   transaction rate control;
+//! * **data level** — delta writes, smart contract partitioning, data model
+//!   alteration;
+//! * **system level** — block size adaptation, endorser restructuring,
+//!   client resource boost.
+//!
+//! The pipeline (paper Figure 5):
+//!
+//! ```text
+//! Fabric network ─► blockchain data preprocessing ─► metrics derivation
+//!                                 │                        │
+//!                                 ▼                        ▼
+//!                         event log generation ─► optimization
+//!                                 │                recommendation
+//!                                 ▼
+//!                        process model generation
+//! ```
+//!
+//! Entry point: [`BlockOptR::analyze_ledger`](pipeline::BlockOptR::analyze_ledger) over a [`fabric_sim::Ledger`], or the
+//! end-to-end [`pipeline::run_and_analyze`].
+
+pub mod apply;
+pub mod autotune;
+pub mod compliance;
+pub mod caseid;
+pub mod eventlog;
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod pipeline;
+pub mod recommend;
+pub mod report;
+
+pub use apply::{apply_system_level, apply_user_level};
+pub use autotune::auto_tune;
+pub use caseid::derive_case_ids;
+pub use compliance::{verify_rollout, ComplianceReport};
+pub use eventlog::to_event_log;
+pub use log::{BlockchainLog, TxRecord};
+pub use pipeline::{Analysis, BlockOptR};
+pub use recommend::{Level, Recommendation, Thresholds};
+
+/// One-stop imports for the common pipeline.
+pub mod prelude {
+    pub use crate::apply::{apply_system_level, apply_user_level};
+    pub use crate::autotune::auto_tune;
+    pub use crate::compliance::{verify_rollout, ComplianceReport};
+    pub use crate::log::BlockchainLog;
+    pub use crate::pipeline::{Analysis, BlockOptR};
+    pub use crate::recommend::{Level, Recommendation, Thresholds};
+    pub use chaincode;
+    pub use fabric_sim::config::{NetworkConfig, SchedulerKind};
+    pub use fabric_sim::policy::EndorsementPolicy;
+    pub use fabric_sim::sim::{SimOutput, Simulation, TxRequest};
+    pub use fabric_sim::types::Value;
+    pub use process_mining;
+    pub use workload::{self, WorkloadBundle};
+}

@@ -1,0 +1,366 @@
+//! Blockchain data preprocessing (paper §4.1).
+//!
+//! BlockOptR reads the entire chain and produces a *blockchain log*: one
+//! record per transaction with the paper's nine attributes —
+//!
+//! 1. client timestamp, 2. activity name, 3. function arguments,
+//! 4. endorsers, 5. invokers, 6. read-write set, 7. transaction status,
+//! 8. transaction type (derived), 9. commit order.
+//!
+//! Setup/configuration transactions are cleaned out by a caller-supplied
+//! predicate (the simulated networks have none by default, but the hook
+//! mirrors the tool's cleaning step).
+
+use fabric_sim::ledger::{Ledger, TransactionEnvelope, TxStatus};
+use fabric_sim::rwset::ReadWriteSet;
+use fabric_sim::types::{ClientId, PeerId, TxType, Value};
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+
+/// One preprocessed transaction record (the nine attributes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxRecord {
+    /// Attribute 9: position in commit order (0-based over the whole log).
+    pub commit_index: usize,
+    /// Block that carried the transaction.
+    pub block: u64,
+    /// Attribute 1: client timestamp.
+    pub client_ts: SimTime,
+    /// Commit timestamp (for latency analyses).
+    pub commit_ts: SimTime,
+    /// Chaincode name.
+    pub contract: String,
+    /// Attribute 2: activity (smart-contract function) name.
+    pub activity: String,
+    /// Attribute 3: function arguments.
+    pub args: Vec<Value>,
+    /// Attribute 4: endorsing peers.
+    pub endorsers: Vec<PeerId>,
+    /// Attribute 5: invoking client (carries its organization).
+    pub invoker: ClientId,
+    /// Attribute 6: the read-write set.
+    pub rwset: ReadWriteSet,
+    /// Attribute 7: transaction status.
+    pub status: TxStatus,
+    /// Attribute 8: transaction type (derived from the read-write set).
+    pub tx_type: TxType,
+}
+
+impl TxRecord {
+    /// Whether the transaction failed validation.
+    pub fn failed(&self) -> bool {
+        !self.status.is_success()
+    }
+}
+
+/// The preprocessed blockchain log, in commit order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockchainLog {
+    records: Vec<TxRecord>,
+    blocks: usize,
+}
+
+impl BlockchainLog {
+    /// Extract the log from a ledger, keeping every transaction.
+    pub fn from_ledger(ledger: &Ledger) -> Self {
+        Self::from_ledger_filtered(ledger, |_| true)
+    }
+
+    /// Extract the log, keeping transactions for which `keep` returns true
+    /// (the cleaning step: drop configuration/setup transactions).
+    pub fn from_ledger_filtered(
+        ledger: &Ledger,
+        keep: impl Fn(&TransactionEnvelope) -> bool,
+    ) -> Self {
+        let mut records = Vec::with_capacity(ledger.tx_count());
+        let mut commit_index = 0usize;
+        for block in ledger.blocks() {
+            for tx in &block.txs {
+                if !keep(tx) {
+                    continue;
+                }
+                records.push(TxRecord {
+                    commit_index,
+                    block: block.number,
+                    client_ts: tx.client_ts,
+                    commit_ts: tx.commit_ts,
+                    contract: tx.contract.clone(),
+                    activity: tx.activity.clone(),
+                    args: tx.args.clone(),
+                    endorsers: tx.endorsers.clone(),
+                    invoker: tx.invoker,
+                    rwset: tx.rwset.clone(),
+                    status: tx.status,
+                    tx_type: tx.tx_type,
+                });
+                commit_index += 1;
+            }
+        }
+        BlockchainLog {
+            records,
+            blocks: ledger.blocks().len(),
+        }
+    }
+
+    /// All records in commit order.
+    pub fn records(&self) -> &[TxRecord] {
+        &self.records
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of blocks the log spans.
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Mean transactions per block (`Bsizeavg`).
+    pub fn avg_block_size(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.records.len() as f64 / self.blocks as f64
+        }
+    }
+
+    /// Failed transactions.
+    pub fn failures(&self) -> impl Iterator<Item = &TxRecord> {
+        self.records.iter().filter(|r| r.failed())
+    }
+
+    /// Count by status.
+    pub fn count_status(&self, status: TxStatus) -> usize {
+        self.records.iter().filter(|r| r.status == status).count()
+    }
+
+    /// The distinct activity names, sorted.
+    pub fn activities(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.records.iter().map(|r| r.activity.clone()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The measurement window (first client send → last commit), seconds.
+    pub fn window_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let first = self.records.iter().map(|r| r.client_ts).min().unwrap();
+        let last = self.records.iter().map(|r| r.commit_ts).max().unwrap();
+        last.since(first).as_secs_f64()
+    }
+
+    /// Construct directly from records (tests, imports).
+    pub fn from_records(records: Vec<TxRecord>, blocks: usize) -> Self {
+        BlockchainLog { records, blocks }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared builders for the metric and recommendation tests.
+
+    use super::*;
+    use fabric_sim::rwset::Version;
+    use fabric_sim::types::OrgId;
+
+    /// A configurable record builder.
+    pub struct Rec {
+        pub record: TxRecord,
+    }
+
+    impl Rec {
+        pub fn new(commit_index: usize, activity: &str) -> Self {
+            Rec {
+                record: TxRecord {
+                    commit_index,
+                    block: (commit_index / 10) as u64 + 1,
+                    client_ts: SimTime::from_millis(commit_index as u64 * 100),
+                    commit_ts: SimTime::from_millis(commit_index as u64 * 100 + 1_000),
+                    contract: "cc".into(),
+                    activity: activity.into(),
+                    args: vec![],
+                    endorsers: vec![PeerId {
+                        org: OrgId(0),
+                        index: 0,
+                    }],
+                    invoker: ClientId {
+                        org: OrgId(0),
+                        index: 0,
+                    },
+                    rwset: ReadWriteSet::new(),
+                    status: TxStatus::Success,
+                    tx_type: TxType::Read,
+                },
+            }
+        }
+
+        pub fn status(mut self, status: TxStatus) -> Self {
+            self.record.status = status;
+            self
+        }
+
+        pub fn reads(mut self, keys: &[&str]) -> Self {
+            for k in keys {
+                self.record
+                    .rwset
+                    .record_read(k.to_string(), Some(Version::new(0, 0)));
+            }
+            self.record.tx_type = self.record.rwset.tx_type();
+            self
+        }
+
+        pub fn writes(mut self, keys: &[&str]) -> Self {
+            for k in keys {
+                self.record
+                    .rwset
+                    .record_write(k.to_string(), Some(Value::Int(1)));
+            }
+            self.record.tx_type = self.record.rwset.tx_type();
+            self
+        }
+
+        pub fn writes_value(mut self, key: &str, value: Value) -> Self {
+            self.record.rwset.record_write(key.to_string(), Some(value));
+            self.record.tx_type = self.record.rwset.tx_type();
+            self
+        }
+
+        pub fn args(mut self, args: Vec<Value>) -> Self {
+            self.record.args = args;
+            self
+        }
+
+        pub fn invoker_org(mut self, org: u16) -> Self {
+            self.record.invoker.org = OrgId(org);
+            self
+        }
+
+        pub fn endorsed_by(mut self, orgs: &[u16]) -> Self {
+            self.record.endorsers = orgs
+                .iter()
+                .map(|&o| PeerId {
+                    org: OrgId(o),
+                    index: 0,
+                })
+                .collect();
+            self
+        }
+
+        pub fn client_ts_ms(mut self, ms: u64) -> Self {
+            self.record.client_ts = SimTime::from_millis(ms);
+            self
+        }
+
+        pub fn block(mut self, block: u64) -> Self {
+            self.record.block = block;
+            self
+        }
+
+        pub fn build(self) -> TxRecord {
+            self.record
+        }
+    }
+
+    pub fn log_of(records: Vec<TxRecord>) -> BlockchainLog {
+        let blocks = records.iter().map(|r| r.block).max().unwrap_or(0) as usize;
+        BlockchainLog::from_records(records, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn extraction_preserves_commit_order() {
+        let log = log_of(vec![
+            Rec::new(0, "a").build(),
+            Rec::new(1, "b").build(),
+            Rec::new(2, "a").build(),
+        ]);
+        let idx: Vec<usize> = log.records().iter().map(|r| r.commit_index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.activities(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn status_counting_and_failures() {
+        let log = log_of(vec![
+            Rec::new(0, "a").build(),
+            Rec::new(1, "a").status(TxStatus::MvccReadConflict).build(),
+            Rec::new(2, "a")
+                .status(TxStatus::EndorsementPolicyFailure)
+                .build(),
+        ]);
+        assert_eq!(log.count_status(TxStatus::Success), 1);
+        assert_eq!(log.failures().count(), 2);
+    }
+
+    #[test]
+    fn window_spans_send_to_commit() {
+        let log = log_of(vec![
+            Rec::new(0, "a").client_ts_ms(0).build(),
+            Rec::new(1, "a").client_ts_ms(500).build(),
+        ]);
+        // Last commit = 1*100+1000 = 1100 ms.
+        assert!((log.window_secs() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = BlockchainLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.window_secs(), 0.0);
+        assert_eq!(log.avg_block_size(), 0.0);
+    }
+
+    #[test]
+    fn from_ledger_applies_filter() {
+        // Build a tiny ledger through the simulator types directly.
+        use fabric_sim::ledger::{Block, CutReason, Ledger, TransactionEnvelope};
+        use fabric_sim::types::{OrgId, TxId};
+        let env = |id: u64, activity: &str| TransactionEnvelope {
+            id: TxId(id),
+            client_ts: SimTime::ZERO,
+            submit_ts: SimTime::ZERO,
+            commit_ts: SimTime::from_millis(10),
+            contract: "cc".into(),
+            activity: activity.into(),
+            args: vec![],
+            endorsers: vec![],
+            invoker: ClientId {
+                org: OrgId(0),
+                index: 0,
+            },
+            rwset: ReadWriteSet::new(),
+            status: TxStatus::Success,
+            tx_type: TxType::Read,
+        };
+        let mut ledger = Ledger::new();
+        ledger.append(Block {
+            number: 1,
+            cut_reason: CutReason::Count,
+            cut_ts: SimTime::ZERO,
+            commit_ts: SimTime::from_millis(10),
+            txs: vec![env(0, "setup"), env(1, "work")],
+        });
+        let log = BlockchainLog::from_ledger_filtered(&ledger, |t| t.activity != "setup");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].activity, "work");
+        assert_eq!(log.records()[0].commit_index, 0, "re-indexed after clean");
+        let full = BlockchainLog::from_ledger(&ledger);
+        assert_eq!(full.len(), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Transaction correlations (paper §4.3 (7)–(8)).
+//!
+//! * **Data-value correlation** `corDV`: a failed transaction is correlated
+//!   with the transaction whose committed write invalidated its read — found
+//!   by tracking the most recent writer of every key in commit order.
+//! * **Proximity correlation** `corP`: the commit-order distance between the
+//!   two (compared against `Bsizeavg` to split intra- vs inter-block
+//!   conflicts).
+//! * **Activity proximity** `corPA`: distances between consecutive
+//!   transactions of the same activity; adjacent failed increment-writes are
+//!   the *delta write* candidates.
+
+use crate::log::BlockchainLog;
+use fabric_sim::ledger::TxStatus;
+use fabric_sim::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One identified conflict: a failed reader and the writer that invalidated
+/// its read.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConflictPair {
+    /// Commit index of the failed transaction.
+    pub failed_index: usize,
+    /// Activity of the failed transaction.
+    pub failed_activity: String,
+    /// Commit index of the conflicting (committed) writer.
+    pub writer_index: usize,
+    /// Activity of the writer.
+    pub writer_activity: String,
+    /// The contended key.
+    pub key: String,
+    /// Commit-order distance (`corP`).
+    pub distance: usize,
+    /// Whether the two transactions' write sets are disjoint — the paper's
+    /// reorderability condition (`WS(x) ∩ WS(y) = ∅`).
+    pub reorderable: bool,
+}
+
+/// Aggregated correlation metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorrelationMetrics {
+    /// Every identified conflict pair.
+    pub conflicts: Vec<ConflictPair>,
+    /// Read-conflict failures with an identified writer.
+    pub identified: usize,
+    /// Read-conflict failures in total (MVCC + phantom).
+    pub read_conflicts: usize,
+    /// Conflicts whose pair is reorderable.
+    pub reorderable: usize,
+    /// Conflict counts per (failed activity, writer activity).
+    pub pair_counts: BTreeMap<(String, String), usize>,
+    /// Mean commit-order distance of identified conflicts (`corP`).
+    pub mean_distance: f64,
+    /// Activities with adjacent failed single-key increment writes — the
+    /// delta-write candidates, with occurrence counts.
+    pub delta_candidates: BTreeMap<String, usize>,
+}
+
+impl CorrelationMetrics {
+    /// Derive from a log.
+    pub fn derive(log: &BlockchainLog) -> CorrelationMetrics {
+        let mut m = CorrelationMetrics::default();
+
+        // Most recent committed writer per key: (commit_index, activity,
+        // record position).
+        let mut last_writer: HashMap<&str, usize> = HashMap::new();
+        // Previous transaction (any status) per activity, for corPA.
+        let mut prev_of_activity: HashMap<&str, usize> = HashMap::new();
+
+        let records = log.records();
+        let mut distance_sum = 0usize;
+        for (pos, r) in records.iter().enumerate() {
+            if r.status.is_read_conflict() {
+                m.read_conflicts += 1;
+                // Find the most recent writer of any key this tx read.
+                let mut best: Option<(usize, &str)> = None;
+                for read in &r.rwset.reads {
+                    if let Some(&wpos) = last_writer.get(read.key.as_str()) {
+                        if best.is_none_or(|(b, _)| wpos > b) {
+                            best = Some((wpos, read.key.as_str()));
+                        }
+                    }
+                }
+                for rr in &r.rwset.range_reads {
+                    for (key, _) in &rr.observed {
+                        if let Some(&wpos) = last_writer.get(key.as_str()) {
+                            if best.is_none_or(|(b, _)| wpos > b) {
+                                best = Some((wpos, key.as_str()));
+                            }
+                        }
+                    }
+                }
+                if let Some((wpos, key)) = best {
+                    let writer = &records[wpos];
+                    let write_keys = r.rwset.write_keys();
+                    let writer_keys = writer.rwset.write_keys();
+                    let reorderable = write_keys.is_disjoint(&writer_keys);
+                    let distance = r.commit_index - writer.commit_index;
+                    distance_sum += distance;
+                    m.identified += 1;
+                    if reorderable {
+                        m.reorderable += 1;
+                    }
+                    *m.pair_counts
+                        .entry((r.activity.clone(), writer.activity.clone()))
+                        .or_insert(0) += 1;
+                    m.conflicts.push(ConflictPair {
+                        failed_index: r.commit_index,
+                        failed_activity: r.activity.clone(),
+                        writer_index: writer.commit_index,
+                        writer_activity: writer.activity.clone(),
+                        key: key.to_string(),
+                        distance,
+                        reorderable,
+                    });
+                }
+            }
+
+            // Delta-write candidates: this tx and the previous tx of the
+            // same activity are adjacent in the activity's own sequence
+            // (corPA(x, y) == 1); the earlier failed with an MVCC conflict;
+            // both write a single key; the written values differ by one.
+            if let Some(&ppos) = prev_of_activity.get(r.activity.as_str()) {
+                let prev = &records[ppos];
+                if prev.status == TxStatus::MvccReadConflict
+                    && prev.rwset.writes.len() == 1
+                    && r.rwset.writes.len() == 1
+                    && prev.rwset.writes[0].key == r.rwset.writes[0].key
+                {
+                    let delta = value_delta(
+                        prev.rwset.writes[0].value.as_ref(),
+                        r.rwset.writes[0].value.as_ref(),
+                    );
+                    if matches!(delta, Some(d) if d.abs() == 1) {
+                        *m.delta_candidates
+                            .entry(r.activity.clone())
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+            prev_of_activity.insert(r.activity.as_str(), pos);
+
+            // Only *successful* writes update the committed state.
+            if r.status.is_success() {
+                for w in &r.rwset.writes {
+                    last_writer.insert(w.key.as_str(), pos);
+                }
+            }
+        }
+
+        m.mean_distance = if m.identified == 0 {
+            0.0
+        } else {
+            distance_sum as f64 / m.identified as f64
+        };
+        m
+    }
+
+    /// Fraction of read-conflict failures whose conflict pair is
+    /// reorderable (the 40 % trigger of the reordering recommendation).
+    pub fn reorderable_share(&self) -> f64 {
+        if self.read_conflicts == 0 {
+            0.0
+        } else {
+            self.reorderable as f64 / self.read_conflicts as f64
+        }
+    }
+
+    /// Conflicts with distance below `block_size` (intra-block likelihood).
+    pub fn intra_block_share(&self, block_size: f64) -> f64 {
+        if self.conflicts.is_empty() {
+            return 0.0;
+        }
+        let intra = self
+            .conflicts
+            .iter()
+            .filter(|c| (c.distance as f64) < block_size)
+            .count();
+        intra as f64 / self.conflicts.len() as f64
+    }
+
+    /// The activity pairs most involved in reorderable conflicts,
+    /// descending by count.
+    pub fn top_reorderable_pairs(&self) -> Vec<((String, String), usize)> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for c in self.conflicts.iter().filter(|c| c.reorderable) {
+            *counts
+                .entry((c.failed_activity.clone(), c.writer_activity.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// The integer delta between two written values, when both are integers or
+/// both are records differing in exactly one integer field.
+pub fn value_delta(a: Option<&Value>, b: Option<&Value>) -> Option<i64> {
+    match (a, b) {
+        (Some(Value::Int(x)), Some(Value::Int(y))) => Some(y - x),
+        (Some(Value::Map(ma)), Some(Value::Map(mb))) => {
+            if ma.len() != mb.len() || ma.keys().ne(mb.keys()) {
+                return None;
+            }
+            let mut delta: Option<i64> = None;
+            for (k, va) in ma {
+                let vb = &mb[k];
+                if va == vb {
+                    continue;
+                }
+                match (va, vb, delta) {
+                    (Value::Int(x), Value::Int(y), None) => delta = Some(y - x),
+                    _ => return None, // second differing field or non-int
+                }
+            }
+            delta
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+    use std::collections::BTreeMap as Map;
+
+    #[test]
+    fn conflict_pair_identified_with_distance() {
+        // tx0 writes k (success); tx3 reads k and fails.
+        let log = log_of(vec![
+            Rec::new(0, "writer").writes(&["k"]).build(),
+            Rec::new(1, "noise").build(),
+            Rec::new(2, "noise").build(),
+            Rec::new(3, "reader")
+                .reads(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert_eq!(m.identified, 1);
+        assert_eq!(m.conflicts[0].writer_activity, "writer");
+        assert_eq!(m.conflicts[0].distance, 3);
+        assert!(m.conflicts[0].reorderable, "reader writes nothing");
+        assert!((m.mean_distance - 3.0).abs() < 1e-9);
+        assert!((m.reorderable_share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_update_conflict_is_not_reorderable() {
+        let log = log_of(vec![
+            Rec::new(0, "upd").reads(&["k"]).writes(&["k"]).build(),
+            Rec::new(1, "upd")
+                .reads(&["k"])
+                .writes(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert_eq!(m.identified, 1);
+        assert!(!m.conflicts[0].reorderable, "write sets overlap");
+        assert_eq!(m.reorderable_share(), 0.0);
+    }
+
+    #[test]
+    fn failed_writes_do_not_become_writers() {
+        // tx0 fails; its write must not be blamed for tx1's conflict.
+        let log = log_of(vec![
+            Rec::new(0, "a")
+                .writes(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(1, "b")
+                .reads(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert_eq!(m.identified, 0, "no committed writer exists");
+        assert_eq!(m.read_conflicts, 2);
+    }
+
+    #[test]
+    fn range_read_conflicts_traced_to_writer() {
+        let mut scan = Rec::new(1, "scan").status(TxStatus::PhantomReadConflict);
+        scan.record
+            .rwset
+            .record_range("a".into(), "z".into(), vec![
+                ("k".to_string(), fabric_sim::rwset::Version::new(0, 0)),
+            ]);
+        let log = log_of(vec![
+            Rec::new(0, "writer").writes(&["k"]).build(),
+            scan.build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert_eq!(m.identified, 1);
+        assert_eq!(m.conflicts[0].key, "k");
+    }
+
+    #[test]
+    fn delta_candidates_detect_increments() {
+        let log = log_of(vec![
+            Rec::new(0, "play")
+                .writes_value("m", Value::Int(6))
+                .reads(&["m"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(1, "play")
+                .writes_value("m", Value::Int(7))
+                .reads(&["m"])
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert_eq!(m.delta_candidates.get("play"), Some(&1));
+    }
+
+    #[test]
+    fn multi_field_changes_are_not_delta_candidates() {
+        let mut v1 = Map::new();
+        v1.insert("votes".to_string(), Value::Int(5));
+        v1.insert("voters".to_string(), Value::Str("a".into()));
+        let mut v2 = Map::new();
+        v2.insert("votes".to_string(), Value::Int(6));
+        v2.insert("voters".to_string(), Value::Str("a,b".into()));
+        let log = log_of(vec![
+            Rec::new(0, "vote")
+                .writes_value("p", Value::Map(v1))
+                .reads(&["p"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(1, "vote")
+                .writes_value("p", Value::Map(v2))
+                .reads(&["p"])
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert!(m.delta_candidates.is_empty(), "two fields changed");
+    }
+
+    #[test]
+    fn value_delta_rules() {
+        assert_eq!(
+            value_delta(Some(&Value::Int(5)), Some(&Value::Int(6))),
+            Some(1)
+        );
+        assert_eq!(
+            value_delta(Some(&Value::Int(9)), Some(&Value::Int(7))),
+            Some(-2)
+        );
+        assert_eq!(value_delta(Some(&Value::Int(1)), None), None);
+        // Single differing int field in a map.
+        let mut a = Map::new();
+        a.insert("plays".to_string(), Value::Int(3));
+        a.insert("meta".to_string(), Value::Str("m".into()));
+        let mut b = a.clone();
+        b.insert("plays".to_string(), Value::Int(4));
+        assert_eq!(
+            value_delta(Some(&Value::Map(a)), Some(&Value::Map(b))),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn intra_block_share_uses_distance() {
+        let log = log_of(vec![
+            Rec::new(0, "w").writes(&["k"]).build(),
+            Rec::new(1, "r")
+                .reads(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(2, "w2").writes(&["j"]).build(),
+            Rec::new(50, "r2")
+                .reads(&["j"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let m = CorrelationMetrics::derive(&log);
+        assert!((m.intra_block_share(10.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_reorderable_pairs_sorted() {
+        let mut records = vec![Rec::new(0, "writer").writes(&["k"]).build()];
+        for i in 1..4 {
+            records.push(
+                Rec::new(i, "reader")
+                    .reads(&["k"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let m = CorrelationMetrics::derive(&log_of(records));
+        let pairs = m.top_reorderable_pairs();
+        assert_eq!(pairs[0].0, ("reader".to_string(), "writer".to_string()));
+        assert_eq!(pairs[0].1, 3);
+    }
+}

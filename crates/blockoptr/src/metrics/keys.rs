@@ -1,0 +1,250 @@
+//! Key frequency and significance (paper §4.3 (6)).
+//!
+//! * `Kfreq(k)` — the number of **failed** transactions that access key `k`;
+//! * `Ksig(k)` — the number of distinct activities accessing `k`.
+//!
+//! Hotkeys `HK` are keys whose failure frequency exceeds the configurable
+//! share `Kt` of all failed accesses.
+//!
+//! Implementation note (documented deviation): `Ksig` is computed over the
+//! *failed* transactions. The paper's prose defines it over all accesses,
+//! but its reported recommendations (DV → data-model alteration although
+//! `seeResults` also scans party keys; DRM → partitioning) are reproduced
+//! exactly when significance counts the activities that actually *fail* on
+//! the key — failures are what the data-level redesign must eliminate.
+
+use crate::log::BlockchainLog;
+use crate::metrics::MetricConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-key failure statistics and the derived hotkey set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KeyMetrics {
+    /// `Kfreq`: failed transactions accessing each key (only keys with at
+    /// least one failed access are tracked).
+    pub kfreq: BTreeMap<String, usize>,
+    /// Activities of failed transactions accessing each key, with counts.
+    pub failing_activity_counts: BTreeMap<String, BTreeMap<String, usize>>,
+    /// The hotkey set `HK`, most frequent first.
+    pub hotkeys: Vec<String>,
+    /// Total failed transactions (the hotkey threshold base).
+    pub total_failures: usize,
+}
+
+impl KeyMetrics {
+    /// Derive from a log.
+    pub fn derive(log: &BlockchainLog, config: &MetricConfig) -> KeyMetrics {
+        let mut m = KeyMetrics::default();
+        for r in log.failures() {
+            m.total_failures += 1;
+            for key in r.rwset.all_keys() {
+                *m.kfreq.entry(key.to_string()).or_insert(0) += 1;
+                *m
+                    .failing_activity_counts
+                    .entry(key.to_string())
+                    .or_default()
+                    .entry(r.activity.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+        if m.total_failures >= config.min_failures_for_hotkeys {
+            let threshold =
+                (config.hotkey_share * m.total_failures as f64).ceil() as usize;
+            let mut hot: Vec<(String, usize)> = m
+                .kfreq
+                .iter()
+                .filter(|(_, &c)| c >= threshold.max(1))
+                .map(|(k, &c)| (k.clone(), c))
+                .collect();
+            hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            m.hotkeys = hot.into_iter().map(|(k, _)| k).collect();
+        }
+        m
+    }
+
+    /// Minimum failed accesses before an activity counts toward `Ksig`
+    /// (a single failed one-off query must not reshape the data-level
+    /// diagnosis).
+    pub const KSIG_MIN_SUPPORT: usize = 3;
+
+    /// `Ksig` of a key: distinct activities with at least
+    /// [`Self::KSIG_MIN_SUPPORT`] failed accesses to it.
+    pub fn ksig(&self, key: &str) -> usize {
+        self.significant_activities(key).len()
+    }
+
+    /// The activities counting toward `Ksig(key)`.
+    pub fn significant_activities(&self, key: &str) -> Vec<String> {
+        self.failing_activity_counts
+            .get(key)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, &c)| c >= Self::KSIG_MIN_SUPPORT)
+                    .map(|(a, _)| a.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `Kfreq` of a key.
+    pub fn kfreq_of(&self, key: &str) -> usize {
+        self.kfreq.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether any hotkeys were detected.
+    pub fn has_hotkeys(&self) -> bool {
+        !self.hotkeys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+    use fabric_sim::ledger::TxStatus;
+
+    fn config() -> MetricConfig {
+        MetricConfig {
+            min_failures_for_hotkeys: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kfreq_counts_failed_accesses_only() {
+        let log = log_of(vec![
+            Rec::new(0, "play")
+                .reads(&["drm/M1"])
+                .writes(&["drm/M1"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(1, "play")
+                .reads(&["drm/M1"])
+                .writes(&["drm/M1"])
+                .build(), // success: not counted
+            Rec::new(2, "view")
+                .reads(&["drm/M1"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let m = KeyMetrics::derive(&log, &config());
+        assert_eq!(m.kfreq_of("drm/M1"), 2);
+        assert_eq!(m.total_failures, 2);
+    }
+
+    #[test]
+    fn ksig_counts_distinct_failing_activities_with_support() {
+        // play fails 3× (significant), view only once (below support).
+        let mut records = Vec::new();
+        for i in 0..3 {
+            records.push(
+                Rec::new(i, "play")
+                    .reads(&["drm/M1"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        records.push(
+            Rec::new(3, "view")
+                .reads(&["drm/M1"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        );
+        let m = KeyMetrics::derive(&log_of(records), &config());
+        assert_eq!(m.ksig("drm/M1"), 1, "view lacks support");
+        assert_eq!(m.significant_activities("drm/M1"), vec!["play"]);
+        assert_eq!(m.ksig("unknown"), 0);
+
+        // Two more view failures push it over the support threshold.
+        let mut records2 = Vec::new();
+        for i in 0..3 {
+            records2.push(
+                Rec::new(i, "play")
+                    .reads(&["drm/M1"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        for i in 3..6 {
+            records2.push(
+                Rec::new(i, "view")
+                    .reads(&["drm/M1"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let m2 = KeyMetrics::derive(&log_of(records2), &config());
+        assert_eq!(m2.ksig("drm/M1"), 2);
+    }
+
+    #[test]
+    fn hotkeys_require_share_threshold() {
+        // 10 failures on hot, 1 on cold: Kt = 0.05 → threshold ~1... use 0.3.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(
+                Rec::new(i, "a")
+                    .reads(&["hot"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        records.push(
+            Rec::new(10, "a")
+                .reads(&["cold"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        );
+        let m = KeyMetrics::derive(
+            &log_of(records),
+            &MetricConfig {
+                hotkey_share: 0.3,
+                min_failures_for_hotkeys: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.hotkeys, vec!["hot"]);
+        assert!(m.has_hotkeys());
+    }
+
+    #[test]
+    fn too_few_failures_no_hotkeys() {
+        let log = log_of(vec![Rec::new(0, "a")
+            .reads(&["k"])
+            .status(TxStatus::MvccReadConflict)
+            .build()]);
+        let m = KeyMetrics::derive(
+            &log,
+            &MetricConfig {
+                min_failures_for_hotkeys: 20,
+                ..Default::default()
+            },
+        );
+        assert!(!m.has_hotkeys());
+        assert_eq!(m.total_failures, 1);
+    }
+
+    #[test]
+    fn hotkeys_sorted_by_frequency() {
+        let mut records = Vec::new();
+        for i in 0..6 {
+            records.push(
+                Rec::new(i, "a")
+                    .reads(&["k1"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        for i in 6..10 {
+            records.push(
+                Rec::new(i, "a")
+                    .reads(&["k2"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let m = KeyMetrics::derive(&log_of(records), &config());
+        assert_eq!(m.hotkeys, vec!["k1", "k2"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Metric derivation (paper §4.3).
+//!
+//! Eight metric families derived from the blockchain log:
+//!
+//! | Paper metric | Module |
+//! |---|---|
+//! | `Tr`, `Trdᵢ` (rates) / `TFr`, `Frdᵢ` (failures) | [`rates`] |
+//! | `Bcount`, `Btimeout`, `Bsizeavg` | [`block`] |
+//! | `EDsig` (endorser significance) | [`endorser`] |
+//! | `IVsig` (invoker significance) | [`invoker`] |
+//! | `Kfreq`, `Ksig`, `HK` (hotkeys) | [`keys`] |
+//! | `corDV`, `corP`, `corPA` (correlations) | [`correlation`] |
+
+pub mod block;
+pub mod correlation;
+pub mod endorser;
+pub mod invoker;
+pub mod keys;
+pub mod rates;
+
+pub use block::BlockMetrics;
+pub use correlation::CorrelationMetrics;
+pub use endorser::EndorserMetrics;
+pub use invoker::InvokerMetrics;
+pub use keys::KeyMetrics;
+pub use rates::RateMetrics;
+
+use crate::log::BlockchainLog;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimDuration;
+
+/// All metric families of one analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rate metrics.
+    pub rates: RateMetrics,
+    /// Block statistics.
+    pub block: BlockMetrics,
+    /// Endorser significance.
+    pub endorsers: EndorserMetrics,
+    /// Invoker significance.
+    pub invokers: InvokerMetrics,
+    /// Key frequency/significance and hotkeys.
+    pub keys: KeyMetrics,
+    /// Transaction correlations.
+    pub correlation: CorrelationMetrics,
+}
+
+/// Knobs for metric derivation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetricConfig {
+    /// Interval size `ins` for the rate distributions (paper §4.3 (1)).
+    pub interval: SimDuration,
+    /// Hotkey threshold `Kt`: a key is hot when it appears in at least this
+    /// fraction of failed-transaction accesses.
+    pub hotkey_share: f64,
+    /// Minimum failures before hotkey analysis is meaningful.
+    pub min_failures_for_hotkeys: usize,
+}
+
+impl Default for MetricConfig {
+    fn default() -> Self {
+        MetricConfig {
+            interval: SimDuration::from_secs(1),
+            hotkey_share: 0.05,
+            min_failures_for_hotkeys: 20,
+        }
+    }
+}
+
+impl Metrics {
+    /// Derive every metric family from a log.
+    pub fn derive(log: &BlockchainLog, config: &MetricConfig) -> Metrics {
+        Metrics {
+            rates: RateMetrics::derive(log, config.interval),
+            block: BlockMetrics::derive(log),
+            endorsers: EndorserMetrics::derive(log),
+            invokers: InvokerMetrics::derive(log),
+            keys: KeyMetrics::derive(log, config),
+            correlation: CorrelationMetrics::derive(log),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Rate and failure metrics (paper §4.3 (1)–(2)).
+
+use crate::log::BlockchainLog;
+use fabric_sim::ledger::TxStatus;
+use serde::{Deserialize, Serialize};
+use sim_core::stats::TimeBuckets;
+use sim_core::time::SimDuration;
+
+/// `Tr`, `Trdᵢ`, `TFr`, `Frdᵢ` and the per-failure-type totals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateMetrics {
+    /// Average transaction rate `Tr` (tx/s, from client timestamps).
+    pub tr: f64,
+    /// Total failure rate `TFr` (failed tx/s over the same window).
+    pub tfr: f64,
+    /// Transactions per interval (`Trdᵢ · ins`).
+    pub tx_per_interval: Vec<u64>,
+    /// Failures per interval (`Frdᵢ · ins`).
+    pub failures_per_interval: Vec<u64>,
+    /// Interval size used.
+    pub interval: SimDuration,
+    /// Committed transactions.
+    pub total: usize,
+    /// Failed transactions.
+    pub failed: usize,
+    /// MVCC read conflicts.
+    pub mvcc: usize,
+    /// Phantom read conflicts.
+    pub phantom: usize,
+    /// Endorsement policy failures.
+    pub endorsement: usize,
+}
+
+impl RateMetrics {
+    /// Derive from a log with the given interval size.
+    pub fn derive(log: &BlockchainLog, interval: SimDuration) -> RateMetrics {
+        let mut tx_buckets = TimeBuckets::new(interval);
+        let mut fail_buckets = TimeBuckets::new(interval);
+        let mut first = None;
+        let mut last = None;
+        for r in log.records() {
+            tx_buckets.record(r.client_ts);
+            if r.failed() {
+                fail_buckets.record(r.client_ts);
+            }
+            first = Some(first.map_or(r.client_ts, |f: sim_core::time::SimTime| f.min(r.client_ts)));
+            last = Some(last.map_or(r.client_ts, |l: sim_core::time::SimTime| l.max(r.client_ts)));
+        }
+        let span = match (first, last) {
+            (Some(f), Some(l)) if l > f => l.since(f).as_secs_f64(),
+            _ => 0.0,
+        };
+        let total = log.len();
+        let failed = log.failures().count();
+        // Failure buckets must align with tx buckets in length.
+        let mut failures_per_interval = fail_buckets.counts().to_vec();
+        failures_per_interval.resize(tx_buckets.len(), 0);
+        RateMetrics {
+            tr: if span > 0.0 { total as f64 / span } else { 0.0 },
+            tfr: if span > 0.0 { failed as f64 / span } else { 0.0 },
+            tx_per_interval: tx_buckets.counts().to_vec(),
+            failures_per_interval,
+            interval,
+            total,
+            failed,
+            mvcc: log.count_status(TxStatus::MvccReadConflict),
+            phantom: log.count_status(TxStatus::PhantomReadConflict),
+            endorsement: log.count_status(TxStatus::EndorsementPolicyFailure),
+        }
+    }
+
+    /// Rate (tx/s) in interval `i`.
+    pub fn rate_in(&self, i: usize) -> f64 {
+        self.tx_per_interval.get(i).copied().unwrap_or(0) as f64
+            / self.interval.as_secs_f64()
+    }
+
+    /// Failure rate (tx/s) in interval `i`.
+    pub fn failure_rate_in(&self, i: usize) -> f64 {
+        self.failures_per_interval.get(i).copied().unwrap_or(0) as f64
+            / self.interval.as_secs_f64()
+    }
+
+    /// Number of intervals observed.
+    pub fn intervals(&self) -> usize {
+        self.tx_per_interval.len()
+    }
+
+    /// Overall failure fraction.
+    pub fn failure_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+
+    #[test]
+    fn tr_is_count_over_span() {
+        // 11 txs, 100 ms apart: span = 1 s → Tr = 11.
+        let log = log_of(
+            (0..11)
+                .map(|i| Rec::new(i, "a").client_ts_ms(i as u64 * 100).build())
+                .collect(),
+        );
+        let m = RateMetrics::derive(&log, SimDuration::from_secs(1));
+        assert!((m.tr - 11.0).abs() < 1e-9, "{}", m.tr);
+        assert_eq!(m.total, 11);
+    }
+
+    #[test]
+    fn interval_distribution_buckets_by_client_ts() {
+        let log = log_of(vec![
+            Rec::new(0, "a").client_ts_ms(100).build(),
+            Rec::new(1, "a").client_ts_ms(900).build(),
+            Rec::new(2, "a").client_ts_ms(1_500).build(),
+        ]);
+        let m = RateMetrics::derive(&log, SimDuration::from_secs(1));
+        assert_eq!(m.tx_per_interval, vec![2, 1]);
+        assert!((m.rate_in(0) - 2.0).abs() < 1e-9);
+        assert_eq!(m.intervals(), 2);
+    }
+
+    #[test]
+    fn failure_buckets_align_with_tx_buckets() {
+        use fabric_sim::ledger::TxStatus;
+        let log = log_of(vec![
+            Rec::new(0, "a")
+                .client_ts_ms(100)
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+            Rec::new(1, "a").client_ts_ms(2_500).build(),
+        ]);
+        let m = RateMetrics::derive(&log, SimDuration::from_secs(1));
+        assert_eq!(m.failures_per_interval.len(), m.tx_per_interval.len());
+        assert_eq!(m.failures_per_interval, vec![1, 0, 0]);
+        assert!((m.failure_rate_in(0) - 1.0).abs() < 1e-9);
+        assert_eq!(m.mvcc, 1);
+        assert!((m.failure_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn status_totals() {
+        use fabric_sim::ledger::TxStatus;
+        let log = log_of(vec![
+            Rec::new(0, "a").status(TxStatus::PhantomReadConflict).build(),
+            Rec::new(1, "a")
+                .status(TxStatus::EndorsementPolicyFailure)
+                .build(),
+            Rec::new(2, "a").build(),
+        ]);
+        let m = RateMetrics::derive(&log, SimDuration::from_secs(1));
+        assert_eq!(m.phantom, 1);
+        assert_eq!(m.endorsement, 1);
+        assert_eq!(m.failed, 2);
+    }
+
+    #[test]
+    fn empty_log_rates_are_zero() {
+        let m = RateMetrics::derive(&BlockchainLog::default(), SimDuration::from_secs(1));
+        assert_eq!(m.tr, 0.0);
+        assert_eq!(m.tfr, 0.0);
+        assert_eq!(m.intervals(), 0);
+        assert_eq!(m.failure_fraction(), 0.0);
+    }
+}

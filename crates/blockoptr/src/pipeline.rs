@@ -1,0 +1,164 @@
+//! The end-to-end BlockOptR workflow (paper Figure 5).
+//!
+//! ```no_run
+//! use blockoptr::pipeline::BlockOptR;
+//! use workload::spec::ControlVariables;
+//!
+//! let cv = ControlVariables::default();
+//! let bundle = workload::synthetic::generate(&cv);
+//! let output = bundle.run(cv.network_config());
+//! let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+//! for rec in &analysis.recommendations {
+//!     println!("[{}] {}: {}", rec.level(), rec.name(), rec.rationale());
+//! }
+//! ```
+
+use crate::caseid::{derive_case_ids, CaseDerivation};
+use crate::eventlog::to_event_log;
+use crate::log::BlockchainLog;
+use crate::metrics::{MetricConfig, Metrics};
+use crate::recommend::{recommend, Recommendation, Thresholds};
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::ledger::Ledger;
+use fabric_sim::sim::SimOutput;
+use process_mining::eventlog::EventLog;
+use process_mining::heuristics::{heuristics_miner, DependencyGraph, HeuristicsConfig};
+use workload::WorkloadBundle;
+
+/// The configured analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct BlockOptR {
+    /// Metric-derivation knobs (interval size, hotkey threshold).
+    pub metric_config: MetricConfig,
+    /// Recommendation thresholds.
+    pub thresholds: Thresholds,
+    /// Process-model mining thresholds.
+    pub mining: HeuristicsConfig,
+}
+
+/// Everything one analysis produces.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The preprocessed blockchain log.
+    pub log: BlockchainLog,
+    /// The derived metrics.
+    pub metrics: Metrics,
+    /// How CaseIDs were derived.
+    pub case_derivation: CaseDerivation,
+    /// The generated event log.
+    pub event_log: EventLog,
+    /// The mined process model (heuristics dependency graph — robust to the
+    /// noise that transaction failures inject; the Alpha net is available
+    /// via `process_mining::alpha_miner(&analysis.event_log)`).
+    pub model: DependencyGraph,
+    /// The recommendations, sorted by level then name.
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl BlockOptR {
+    /// Analyzer with the paper's default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyze a ledger: preprocess → metrics → event log → model →
+    /// recommendations.
+    pub fn analyze_ledger(&self, ledger: &Ledger) -> Analysis {
+        self.analyze_log(BlockchainLog::from_ledger(ledger))
+    }
+
+    /// Analyze an already-extracted blockchain log.
+    pub fn analyze_log(&self, log: BlockchainLog) -> Analysis {
+        let metrics = Metrics::derive(&log, &self.metric_config);
+        let case_derivation = derive_case_ids(&log);
+        let event_log = to_event_log(&log);
+        let model = heuristics_miner(&event_log, &self.mining);
+        let recommendations = recommend(&log, &metrics, &self.thresholds);
+        Analysis {
+            log,
+            metrics,
+            case_derivation,
+            event_log,
+            model,
+            recommendations,
+        }
+    }
+}
+
+impl Analysis {
+    /// Recommendation names, for quick assertions and table rendering.
+    pub fn recommendation_names(&self) -> Vec<&'static str> {
+        self.recommendations.iter().map(|r| r.name()).collect()
+    }
+
+    /// Whether a recommendation with the given name is present.
+    pub fn recommends(&self, name: &str) -> bool {
+        self.recommendations.iter().any(|r| r.name() == name)
+    }
+}
+
+/// Convenience: run a workload and analyze the resulting ledger.
+pub fn run_and_analyze(
+    bundle: &WorkloadBundle,
+    config: NetworkConfig,
+) -> (SimOutput, Analysis) {
+    let output = bundle.run(config);
+    let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+    (output, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::spec::ControlVariables;
+
+    fn small_cv() -> ControlVariables {
+        ControlVariables {
+            transactions: 2_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_complete_analysis() {
+        let cv = small_cv();
+        let bundle = workload::synthetic::generate(&cv);
+        let (output, analysis) = run_and_analyze(&bundle, cv.network_config());
+        assert_eq!(analysis.log.len(), output.report.committed);
+        assert!(analysis.metrics.rates.tr > 0.0);
+        assert!(!analysis.event_log.is_empty());
+        assert_eq!(analysis.case_derivation.family, "k");
+        assert!(analysis.model.activity_counts.len() >= 4);
+    }
+
+    #[test]
+    fn default_synthetic_recommends_sensibly() {
+        // At send rate 300 with block count 100, the mismatch fires block
+        // size adaptation; conflicts are mostly read-vs-update (reorderable).
+        let cv = ControlVariables::default();
+        let bundle = workload::synthetic::generate(&cv);
+        let (_, analysis) = run_and_analyze(&bundle, cv.network_config());
+        assert!(
+            analysis.recommends("Block size adaptation"),
+            "{:?}",
+            analysis.recommendation_names()
+        );
+        // Never the data-level or pruning rules on the plain contract.
+        assert!(!analysis.recommends("Process model pruning"));
+        assert!(!analysis.recommends("Delta writes"));
+        assert!(!analysis.recommends("Data model alteration"));
+        assert!(!analysis.recommends("Smart contract partitioning"));
+    }
+
+    #[test]
+    fn analysis_accessors() {
+        let cv = small_cv();
+        let bundle = workload::synthetic::generate(&cv);
+        let (_, analysis) = run_and_analyze(&bundle, cv.network_config());
+        let names = analysis.recommendation_names();
+        for n in &names {
+            assert!(analysis.recommends(n));
+        }
+        assert!(!analysis.recommends("Nonexistent rule"));
+    }
+}

@@ -1,0 +1,827 @@
+//! The nine optimization recommendations (paper §4.4, Table 1).
+//!
+//! | Level | Recommendation | Necessary condition (as implemented) |
+//! |---|---|---|
+//! | user | Activity reordering | ≥ `reorder_share` of read-conflicts stem from pairs with `corDV = 1 ∧ WS(x) ∩ WS(y) = ∅` |
+//! | user | Process model pruning | an activity has both writing and read-only executions (`A(x) = A(y) ∧ TT(x) ≠ TT(y)`) |
+//! | user | Transaction rate control | ∃ interval: `Trdᵢ ≥ Rt1 ∧ Frdᵢ ≥ Trdᵢ · Rt2` |
+//! | data | Delta writes | adjacent failed single-key writes differing by ±1 (`corPA = 1 ∧ ST = MRC ∧ |WS| = 1 ∧ WS ± 1`) |
+//! | data | Smart contract partitioning | hotkey with `Ksig > 1` (and more than one hotkey) |
+//! | data | Data model alteration | `|HK| = 1`, or hotkeys with `Ksig = 1` |
+//! | system | Block size adaptation | `|Bsizeavg − Tr| > Bt · Tr` |
+//! | system | Endorser restructuring | some org's endorsement share > `(1 + Et) ·` even share |
+//! | system | Client resource boost | some org invokes > `It` of all transactions |
+//!
+//! Defaults follow §6: `Et = 0.5, Rt1 = 300, Rt2 = 0.3, Bt = 0.6, It = 0.5`.
+
+use crate::log::BlockchainLog;
+use crate::metrics::Metrics;
+use fabric_sim::types::TxType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Abstraction level of a recommendation (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Business-process / workload level.
+    User,
+    /// Smart-contract / data-model level.
+    Data,
+    /// Configuration / resource level.
+    System,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::User => "user",
+            Level::Data => "data",
+            Level::System => "system",
+        };
+        f.write_str(s)
+    }
+}
+
+/// User-configurable detection thresholds (paper §4.4 and §6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// `Et`: endorser-imbalance tolerance (an org fires above
+    /// `(1 + Et) ·` even share).
+    pub et: f64,
+    /// `Rt1`: the interval rate (tx/s) considered "high traffic".
+    pub rt1: f64,
+    /// `Rt2`: the failure fraction within a high interval that triggers rate
+    /// control.
+    pub rt2: f64,
+    /// `Bt`: relative mismatch between `Bsizeavg` and `Tr` that triggers
+    /// block-size adaptation.
+    pub bt: f64,
+    /// `It`: invoker share that triggers the client resource boost.
+    pub it: f64,
+    /// Share of read conflicts that must be reorderable (§6.1.5 sets 40 %).
+    pub reorder_share: f64,
+    /// Minimum read conflicts before reordering/pruning analysis fires.
+    pub min_conflicts: usize,
+    /// Minimum adjacent increment pairs before delta writes fire.
+    pub min_delta_pairs: usize,
+    /// Minimum anomalous executions before pruning flags an activity.
+    pub min_anomalies: usize,
+    /// Rate applied when implementing rate control (Table 4: 100 tps).
+    pub controlled_rate: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            et: 0.5,
+            rt1: 300.0,
+            rt2: 0.3,
+            bt: 0.6,
+            it: 0.5,
+            reorder_share: 0.4,
+            min_conflicts: 25,
+            min_delta_pairs: 5,
+            min_anomalies: 10,
+            controlled_rate: 100.0,
+        }
+    }
+}
+
+/// An anomalously-used activity (pruning target).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalousActivity {
+    /// Activity name.
+    pub activity: String,
+    /// Its dominant (expected) transaction type.
+    pub dominant_type: String,
+    /// Executions of the dominant type.
+    pub dominant_count: usize,
+    /// Read-only (anomalous) executions.
+    pub anomalous_count: usize,
+}
+
+/// One recommendation with its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Recommendation {
+    /// Redesign the process so correlated activities stop conflicting.
+    ActivityReordering {
+        /// `(failed activity, writer activity) → conflicts` — top offenders.
+        pairs: Vec<((String, String), usize)>,
+        /// Share of read conflicts that are reorderable.
+        share: f64,
+    },
+    /// Prune illogical activity paths (early-abort in the contract or
+    /// enforce organizational measures).
+    ProcessModelPruning {
+        /// The anomalously-used activities.
+        anomalous: Vec<AnomalousActivity>,
+    },
+    /// Throttle clients during high-failure periods.
+    TransactionRateControl {
+        /// Interval indices where the condition fired.
+        intervals: Vec<usize>,
+        /// The highest interval rate observed (tx/s).
+        peak_rate: f64,
+        /// The rate to throttle to (Table 4: 100 tps).
+        suggested_rate: f64,
+    },
+    /// Convert increment/decrement updates into delta writes.
+    DeltaWrites {
+        /// Activities with adjacent failed increments, with pair counts.
+        activities: Vec<(String, usize)>,
+    },
+    /// Split the smart contract so hot keys live in separate world states.
+    SmartContractPartitioning {
+        /// Hot keys and the activities failing on them.
+        hotkeys: Vec<(String, Vec<String>)>,
+    },
+    /// Re-key the data model (e.g. `partyID` → `voterID`).
+    DataModelAlteration {
+        /// Hot keys and the activities failing on them.
+        hotkeys: Vec<(String, Vec<String>)>,
+        /// Whether the trigger was a single dominant hotkey.
+        single_hotkey: bool,
+    },
+    /// Match the block count to the observed transaction rate.
+    BlockSizeAdaptation {
+        /// Realized average block size.
+        current_avg: f64,
+        /// Observed transaction rate `Tr`.
+        tr: f64,
+        /// Suggested block count (`min{Bcount, Tr · Btimeout} = Tr`).
+        suggested_count: usize,
+    },
+    /// Rebalance the endorsement policy / endorser assignment.
+    EndorserRestructuring {
+        /// Per-organization endorsement shares, descending.
+        shares: Vec<(String, f64)>,
+        /// Organizations above the imbalance threshold.
+        overloaded: Vec<String>,
+    },
+    /// Scale the clients of an overloaded organization.
+    ClientResourceBoost {
+        /// The organization invoking the majority of transactions.
+        org: String,
+        /// Its invocation share.
+        share: f64,
+    },
+}
+
+impl Recommendation {
+    /// The abstraction level this recommendation belongs to.
+    pub fn level(&self) -> Level {
+        match self {
+            Recommendation::ActivityReordering { .. }
+            | Recommendation::ProcessModelPruning { .. }
+            | Recommendation::TransactionRateControl { .. } => Level::User,
+            Recommendation::DeltaWrites { .. }
+            | Recommendation::SmartContractPartitioning { .. }
+            | Recommendation::DataModelAlteration { .. } => Level::Data,
+            Recommendation::BlockSizeAdaptation { .. }
+            | Recommendation::EndorserRestructuring { .. }
+            | Recommendation::ClientResourceBoost { .. } => Level::System,
+        }
+    }
+
+    /// Short name matching the paper's vocabulary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Recommendation::ActivityReordering { .. } => "Activity reordering",
+            Recommendation::ProcessModelPruning { .. } => "Process model pruning",
+            Recommendation::TransactionRateControl { .. } => "Transaction rate control",
+            Recommendation::DeltaWrites { .. } => "Delta writes",
+            Recommendation::SmartContractPartitioning { .. } => "Smart contract partitioning",
+            Recommendation::DataModelAlteration { .. } => "Data model alteration",
+            Recommendation::BlockSizeAdaptation { .. } => "Block size adaptation",
+            Recommendation::EndorserRestructuring { .. } => "Endorser restructuring",
+            Recommendation::ClientResourceBoost { .. } => "Client resource boost",
+        }
+    }
+
+    /// Human-readable explanation with the supporting evidence.
+    pub fn rationale(&self) -> String {
+        match self {
+            Recommendation::ActivityReordering { pairs, share } => {
+                let top: Vec<String> = pairs
+                    .iter()
+                    .take(3)
+                    .map(|((a, b), n)| format!("{a} ↔ {b} ({n}×)"))
+                    .collect();
+                format!(
+                    "{:.0} % of read conflicts involve reorderable activity pairs: {}",
+                    share * 100.0,
+                    top.join(", ")
+                )
+            }
+            Recommendation::ProcessModelPruning { anomalous } => {
+                let list: Vec<String> = anomalous
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "{} ({} anomalous read-only of {} total)",
+                            a.activity,
+                            a.anomalous_count,
+                            a.anomalous_count + a.dominant_count
+                        )
+                    })
+                    .collect();
+                format!("activities deviate from expected behaviour: {}", list.join(", "))
+            }
+            Recommendation::TransactionRateControl {
+                intervals,
+                peak_rate,
+                suggested_rate,
+            } => format!(
+                "{} high-traffic intervals with high failure rates (peak {:.0} tx/s); throttle to {:.0} tx/s",
+                intervals.len(),
+                peak_rate,
+                suggested_rate
+            ),
+            Recommendation::DeltaWrites { activities } => {
+                let list: Vec<String> = activities
+                    .iter()
+                    .map(|(a, n)| format!("{a} ({n} increment pairs)"))
+                    .collect();
+                format!("increment-only updates detected: {}", list.join(", "))
+            }
+            Recommendation::SmartContractPartitioning { hotkeys } => {
+                let list: Vec<String> = hotkeys
+                    .iter()
+                    .take(3)
+                    .map(|(k, acts)| format!("{k} ← {{{}}}", acts.join(",")))
+                    .collect();
+                format!("hot keys shared by multiple activities: {}", list.join("; "))
+            }
+            Recommendation::DataModelAlteration {
+                hotkeys,
+                single_hotkey,
+            } => {
+                let list: Vec<String> = hotkeys
+                    .iter()
+                    .take(3)
+                    .map(|(k, acts)| format!("{k} ← {{{}}}", acts.join(",")))
+                    .collect();
+                format!(
+                    "{}: {}",
+                    if *single_hotkey {
+                        "a single dominant hotkey indicates a skewed data model"
+                    } else {
+                        "hotkeys accessed by a single activity"
+                    },
+                    list.join("; ")
+                )
+            }
+            Recommendation::BlockSizeAdaptation {
+                current_avg,
+                tr,
+                suggested_count,
+            } => format!(
+                "average block size {current_avg:.0} mismatches the transaction rate {tr:.0} tx/s; set block count ≈ {suggested_count}"
+            ),
+            Recommendation::EndorserRestructuring { shares, overloaded } => format!(
+                "endorsement load imbalance: {} (top share {:.0} %)",
+                overloaded.join(", "),
+                shares.first().map(|(_, s)| s * 100.0).unwrap_or(0.0)
+            ),
+            Recommendation::ClientResourceBoost { org, share } => format!(
+                "{org} invokes {:.0} % of transactions; scale its clients",
+                share * 100.0
+            ),
+        }
+    }
+}
+
+/// Evaluate all nine rules.
+pub fn recommend(
+    log: &BlockchainLog,
+    metrics: &Metrics,
+    thresholds: &Thresholds,
+) -> Vec<Recommendation> {
+    let mut out = Vec::new();
+
+    // (1) Activity reordering. Two triggers (paper §6.1.5 uses the global
+    // 40 % rule; §6.2 reorders specific read activities even when hot-key
+    // self-conflicts dominate globally — the per-activity tier):
+    //   (a) globally, ≥ `reorder_share` of read conflicts are reorderable;
+    //   (b) the activities whose own conflicts are mostly (≥ 60 %)
+    //       reorderable together account for ≥ `reorder_share`/2 of all
+    //       read conflicts.
+    let corr = &metrics.correlation;
+    if corr.read_conflicts >= thresholds.min_conflicts {
+        let global = corr.reorderable_share() >= thresholds.reorder_share;
+        let mut per_activity: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for c in &corr.conflicts {
+            let e = per_activity.entry(c.failed_activity.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            if c.reorderable {
+                e.1 += 1;
+            }
+        }
+        let qualifying: usize = per_activity
+            .values()
+            .filter(|(total, reord)| *total > 0 && (*reord as f64) >= 0.6 * (*total as f64))
+            .map(|(total, _)| *total)
+            .sum();
+        let targeted =
+            qualifying as f64 / corr.read_conflicts as f64 >= thresholds.reorder_share / 2.0;
+        if global || targeted {
+            out.push(Recommendation::ActivityReordering {
+                pairs: corr.top_reorderable_pairs().into_iter().take(8).collect(),
+                share: corr.reorderable_share(),
+            });
+        }
+    }
+
+    // (2) Process model pruning: per-activity type histograms.
+    let mut type_hist: BTreeMap<&str, BTreeMap<TxType, usize>> = BTreeMap::new();
+    for r in log.records() {
+        *type_hist
+            .entry(r.activity.as_str())
+            .or_default()
+            .entry(r.tx_type)
+            .or_insert(0) += 1;
+    }
+    let mut anomalous = Vec::new();
+    for (activity, hist) in &type_hist {
+        let reads = hist.get(&TxType::Read).copied().unwrap_or(0);
+        let writes: usize = hist
+            .iter()
+            .filter(|(t, _)| !matches!(t, TxType::Read | TxType::RangeRead))
+            .map(|(_, c)| *c)
+            .sum();
+        // An activity that both writes and commits read-only executions
+        // deviates from its expected behaviour (Table 1: A(x) = A(y) and
+        // TT(x) != TT(y)); either side may dominate — under heavy failure
+        // cascades most executions degenerate to the read-only path.
+        if writes >= thresholds.min_anomalies && reads >= thresholds.min_anomalies {
+            let (dominant_type, dominant_count) = hist
+                .iter()
+                .filter(|(t, _)| !matches!(t, TxType::Read))
+                .max_by_key(|(_, c)| **c)
+                .map(|(t, c)| (t.to_string(), *c))
+                .unwrap_or_default();
+            anomalous.push(AnomalousActivity {
+                activity: activity.to_string(),
+                dominant_type,
+                dominant_count,
+                anomalous_count: reads,
+            });
+        }
+    }
+    if !anomalous.is_empty() {
+        out.push(Recommendation::ProcessModelPruning { anomalous });
+    }
+
+    // (3) Transaction rate control.
+    let rates = &metrics.rates;
+    let mut fired_intervals = Vec::new();
+    let mut peak = 0.0f64;
+    for i in 0..rates.intervals() {
+        let rate = rates.rate_in(i);
+        let fail = rates.failure_rate_in(i);
+        peak = peak.max(rate);
+        if rate >= thresholds.rt1 && fail >= rate * thresholds.rt2 {
+            fired_intervals.push(i);
+        }
+    }
+    if !fired_intervals.is_empty() {
+        out.push(Recommendation::TransactionRateControl {
+            intervals: fired_intervals,
+            peak_rate: peak,
+            suggested_rate: thresholds.controlled_rate,
+        });
+    }
+
+    // (4) Delta writes.
+    let deltas: Vec<(String, usize)> = corr
+        .delta_candidates
+        .iter()
+        .filter(|(_, &n)| n >= thresholds.min_delta_pairs)
+        .map(|(a, &n)| (a.clone(), n))
+        .collect();
+    if !deltas.is_empty() {
+        out.push(Recommendation::DeltaWrites { activities: deltas });
+    }
+
+    // (5) + (6) Hotkey-driven data-level rules.
+    let keys = &metrics.keys;
+    if keys.has_hotkeys() {
+        let described: Vec<(String, Vec<String>)> = keys
+            .hotkeys
+            .iter()
+            .map(|k| (k.clone(), keys.significant_activities(k)))
+            .collect();
+        if keys.hotkeys.len() == 1 {
+            out.push(Recommendation::DataModelAlteration {
+                hotkeys: described,
+                single_hotkey: true,
+            });
+        } else if described.iter().any(|(_, acts)| acts.len() > 1) {
+            out.push(Recommendation::SmartContractPartitioning {
+                hotkeys: described
+                    .into_iter()
+                    .filter(|(_, acts)| acts.len() > 1)
+                    .collect(),
+            });
+        } else {
+            out.push(Recommendation::DataModelAlteration {
+                hotkeys: described,
+                single_hotkey: false,
+            });
+        }
+    }
+
+    // (7) Block size adaptation.
+    let block = &metrics.block;
+    if block.blocks >= 5 && rates.tr > 0.0 {
+        let mismatch = (block.avg_block_size - rates.tr).abs();
+        if mismatch > thresholds.bt * rates.tr {
+            out.push(Recommendation::BlockSizeAdaptation {
+                current_avg: block.avg_block_size,
+                tr: rates.tr,
+                suggested_count: rates.tr.round() as usize,
+            });
+        }
+    }
+
+    // (8) Endorser restructuring.
+    let endorsers = &metrics.endorsers;
+    let even = endorsers.even_share();
+    if even > 0.0 {
+        let shares = endorsers.org_shares();
+        let overloaded: Vec<String> = shares
+            .iter()
+            .filter(|(_, s)| *s > (1.0 + thresholds.et) * even)
+            .map(|(o, _)| o.clone())
+            .collect();
+        if !overloaded.is_empty() {
+            out.push(Recommendation::EndorserRestructuring { shares, overloaded });
+        }
+    }
+
+    // (9) Client resource boost.
+    let invokers = &metrics.invokers;
+    if let Some((org, share)) = invokers.org_shares().into_iter().next() {
+        if share > thresholds.it + 0.05 {
+            out.push(Recommendation::ClientResourceBoost { org, share });
+        }
+    }
+
+    out.sort_by_key(|r| (r.level(), r.name()));
+    out
+}
+
+/// Whether a recommendation list contains a given rule (by name).
+pub fn contains(recs: &[Recommendation], name: &str) -> bool {
+    recs.iter().any(|r| r.name() == name)
+}
+
+impl Recommendation {
+    /// Keep only the recommendations with the given name (figures evaluate
+    /// one optimization at a time before combining them).
+    pub fn filter_by_name(recs: &[Recommendation], name: &str) -> Vec<Recommendation> {
+        recs.iter().filter(|r| r.name() == name).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+    use crate::metrics::{MetricConfig, Metrics};
+    use fabric_sim::ledger::TxStatus;
+    use fabric_sim::types::Value;
+
+    fn analyze(log: &BlockchainLog, thresholds: &Thresholds) -> Vec<Recommendation> {
+        let metrics = Metrics::derive(
+            log,
+            &MetricConfig {
+                min_failures_for_hotkeys: 5,
+                ..Default::default()
+            },
+        );
+        recommend(log, &metrics, thresholds)
+    }
+
+    fn lenient() -> Thresholds {
+        Thresholds {
+            min_conflicts: 2,
+            min_delta_pairs: 1,
+            min_anomalies: 1,
+            rt1: 5.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reordering_fires_on_reorderable_conflicts() {
+        let mut records = vec![Rec::new(0, "writer").writes(&["k"]).build()];
+        for i in 1..6 {
+            records.push(
+                Rec::new(i, "reader")
+                    .reads(&["k"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(contains(&recs, "Activity reordering"), "{recs:?}");
+    }
+
+    #[test]
+    fn reordering_silent_for_self_dependent_updates() {
+        // Update-update conflicts are unreorderable (Experiment 5's shape).
+        let mut records = vec![Rec::new(0, "upd").reads(&["k"]).writes(&["k"]).build()];
+        for i in 1..8 {
+            records.push(
+                Rec::new(i, "upd")
+                    .reads(&["k"])
+                    .writes(&["k"])
+                    .status(if i % 2 == 0 {
+                        TxStatus::MvccReadConflict
+                    } else {
+                        TxStatus::Success
+                    })
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(!contains(&recs, "Activity reordering"), "{recs:?}");
+    }
+
+    #[test]
+    fn pruning_fires_on_mixed_type_activity() {
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(Rec::new(i, "ship").reads(&["p"]).writes(&["p"]).build());
+        }
+        for i in 10..14 {
+            // Anomalous read-only ships.
+            records.push(Rec::new(i, "ship").reads(&["p"]).build());
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        let pruning = recs
+            .iter()
+            .find(|r| r.name() == "Process model pruning")
+            .expect("fires");
+        match pruning {
+            Recommendation::ProcessModelPruning { anomalous } => {
+                assert_eq!(anomalous.len(), 1);
+                assert_eq!(anomalous[0].activity, "ship");
+                assert_eq!(anomalous[0].anomalous_count, 4);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pruning_silent_for_pure_queries() {
+        let records = (0..20)
+            .map(|i| Rec::new(i, "query").reads(&["k"]).build())
+            .collect();
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(!contains(&recs, "Process model pruning"));
+    }
+
+    #[test]
+    fn rate_control_needs_both_rate_and_failures() {
+        // 20 txs in one second (rate 20 ≥ rt1=5), half failing.
+        let mut records = Vec::new();
+        for i in 0..20 {
+            records.push(
+                Rec::new(i, "a")
+                    .client_ts_ms(i as u64 * 50)
+                    .status(if i % 2 == 0 {
+                        TxStatus::MvccReadConflict
+                    } else {
+                        TxStatus::Success
+                    })
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(contains(&recs, "Transaction rate control"), "{recs:?}");
+
+        // Same rate but no failures → silent.
+        let healthy: Vec<_> = (0..20)
+            .map(|i| Rec::new(i, "a").client_ts_ms(i as u64 * 50).build())
+            .collect();
+        let recs2 = analyze(&log_of(healthy), &lenient());
+        assert!(!contains(&recs2, "Transaction rate control"));
+    }
+
+    #[test]
+    fn delta_writes_fire_on_increment_chains() {
+        let mut records = Vec::new();
+        for i in 0..6 {
+            records.push(
+                Rec::new(i, "play")
+                    .reads(&["m"])
+                    .writes_value("m", Value::Int(i as i64))
+                    .status(if i < 5 {
+                        TxStatus::MvccReadConflict
+                    } else {
+                        TxStatus::Success
+                    })
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(contains(&recs, "Delta writes"), "{recs:?}");
+    }
+
+    #[test]
+    fn partitioning_vs_data_model_alteration() {
+        // Two hotkeys, each failed on by two well-supported activities →
+        // partitioning.
+        let mut records = Vec::new();
+        for i in 0..24 {
+            let act = if i % 2 == 0 { "play" } else { "view" };
+            let key = if i < 12 { "m1" } else { "m2" };
+            records.push(
+                Rec::new(i, act)
+                    .reads(&[key])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(contains(&recs, "Smart contract partitioning"), "{recs:?}");
+        assert!(!contains(&recs, "Data model alteration"));
+    }
+
+    #[test]
+    fn single_hotkey_triggers_data_model_alteration() {
+        let mut records = Vec::new();
+        for i in 0..8 {
+            records.push(
+                Rec::new(i, "vote")
+                    .reads(&["party"])
+                    .writes(&["party"])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        let dm = recs
+            .iter()
+            .find(|r| r.name() == "Data model alteration")
+            .expect("fires");
+        match dm {
+            Recommendation::DataModelAlteration { single_hotkey, .. } => {
+                assert!(single_hotkey);
+            }
+            _ => unreachable!(),
+        }
+        assert!(!contains(&recs, "Smart contract partitioning"));
+    }
+
+    #[test]
+    fn multiple_single_activity_hotkeys_alter_data_model() {
+        // Several hotkeys, each failed on by ONE activity → data model.
+        let mut records = Vec::new();
+        for i in 0..12 {
+            let key = ["p1", "p2", "p3", "p4"][i % 4];
+            records.push(
+                Rec::new(i, "vote")
+                    .reads(&[key])
+                    .writes(&[key])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(contains(&recs, "Data model alteration"), "{recs:?}");
+        assert!(!contains(&recs, "Smart contract partitioning"));
+    }
+
+    #[test]
+    fn block_size_adaptation_on_mismatch() {
+        // Rate ≈ 100 tx/s, block size 10 → mismatch 90 > 0.6·100.
+        let mut records = Vec::new();
+        for i in 0..100 {
+            records.push(
+                Rec::new(i, "a")
+                    .client_ts_ms(i as u64 * 10)
+                    .block((i / 10) as u64 + 1)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        let bs = recs
+            .iter()
+            .find(|r| r.name() == "Block size adaptation")
+            .expect("fires");
+        match bs {
+            Recommendation::BlockSizeAdaptation {
+                suggested_count, ..
+            } => assert!((90..=112).contains(suggested_count), "{suggested_count}"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn block_size_silent_when_matched() {
+        // Rate ≈ 10 tx/s, block size 10 → no mismatch.
+        let mut records = Vec::new();
+        for i in 0..100 {
+            records.push(
+                Rec::new(i, "a")
+                    .client_ts_ms(i as u64 * 100)
+                    .block((i / 10) as u64 + 1)
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(!contains(&recs, "Block size adaptation"), "{recs:?}");
+    }
+
+    #[test]
+    fn endorser_restructuring_on_imbalance() {
+        // Org1 endorses everything (often alone), Org2/3 split the rest.
+        let mut records = Vec::new();
+        for i in 0..20 {
+            let mut rec = Rec::new(i, "a");
+            rec = if i % 2 == 0 {
+                rec.endorsed_by(&[0])
+            } else {
+                rec.endorsed_by(&[0, if i % 4 == 1 { 1 } else { 2 }])
+            };
+            records.push(rec.build());
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        let er = recs
+            .iter()
+            .find(|r| r.name() == "Endorser restructuring")
+            .expect("fires");
+        match er {
+            Recommendation::EndorserRestructuring { overloaded, .. } => {
+                assert_eq!(overloaded, &vec!["Org1".to_string()]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn endorser_silent_when_even() {
+        let mut records = Vec::new();
+        for i in 0..20 {
+            records.push(Rec::new(i, "a").endorsed_by(&[(i % 2) as u16]).build());
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(!contains(&recs, "Endorser restructuring"));
+    }
+
+    #[test]
+    fn client_boost_on_invoker_skew() {
+        let mut records = Vec::new();
+        for i in 0..20 {
+            records.push(
+                Rec::new(i, "a")
+                    .invoker_org(if i < 14 { 0 } else { 1 })
+                    .build(),
+            );
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        let cb = recs
+            .iter()
+            .find(|r| r.name() == "Client resource boost")
+            .expect("fires");
+        match cb {
+            Recommendation::ClientResourceBoost { org, share } => {
+                assert_eq!(org, "Org1");
+                assert!((share - 0.7).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn client_boost_silent_on_even_split() {
+        let mut records = Vec::new();
+        for i in 0..20 {
+            records.push(Rec::new(i, "a").invoker_org((i % 2) as u16).build());
+        }
+        let recs = analyze(&log_of(records), &lenient());
+        assert!(!contains(&recs, "Client resource boost"));
+    }
+
+    #[test]
+    fn levels_and_names_are_consistent() {
+        let r = Recommendation::DeltaWrites {
+            activities: vec![("play".into(), 7)],
+        };
+        assert_eq!(r.level(), Level::Data);
+        assert_eq!(r.name(), "Delta writes");
+        assert!(r.rationale().contains("play"));
+        assert_eq!(Level::User.to_string(), "user");
+        assert_eq!(Level::System.to_string(), "system");
+    }
+
+    #[test]
+    fn empty_log_yields_no_recommendations() {
+        let recs = analyze(&BlockchainLog::default(), &Thresholds::default());
+        assert!(recs.is_empty());
+    }
+}

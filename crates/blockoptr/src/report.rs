@@ -1,0 +1,112 @@
+//! The analyst-facing report.
+//!
+//! Renders an [`Analysis`] the way BlockOptR presents results: a log
+//! summary, the key metrics, and the recommendations grouped by abstraction
+//! level with their evidence.
+
+use crate::pipeline::Analysis;
+use crate::recommend::Level;
+use std::fmt::Write as _;
+
+/// Render the full text report.
+pub fn render(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let log = &analysis.log;
+    let m = &analysis.metrics;
+
+    let _ = writeln!(out, "══ BlockOptR analysis ══");
+    let _ = writeln!(
+        out,
+        "log: {} transactions in {} blocks over {:.1} s (Bsizeavg {:.1})",
+        log.len(),
+        log.block_count(),
+        log.window_secs(),
+        log.avg_block_size()
+    );
+    let _ = writeln!(
+        out,
+        "rates: Tr {:.1} tx/s, TFr {:.1} tx/s ({:.1} % failures)",
+        m.rates.tr,
+        m.rates.tfr,
+        m.rates.failure_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "failures: {} MVCC ({} reorderable pairs, mean corP {:.0}), {} phantom, {} endorsement",
+        m.rates.mvcc, m.correlation.reorderable, m.correlation.mean_distance,
+        m.rates.phantom, m.rates.endorsement
+    );
+    if m.keys.has_hotkeys() {
+        let _ = writeln!(
+            out,
+            "hotkeys ({}): {}",
+            m.keys.hotkeys.len(),
+            m.keys
+                .hotkeys
+                .iter()
+                .take(5)
+                .map(|k| format!("{k} (Kfreq {}, Ksig {})", m.keys.kfreq_of(k), m.keys.ksig(k)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cases: family {:?}, {:.0} % coverage, {} cases; model: {} activities, {} edges",
+        analysis.case_derivation.family,
+        analysis.case_derivation.coverage * 100.0,
+        analysis.case_derivation.distinct_cases,
+        analysis.model.activity_counts.len(),
+        analysis.model.edge_count()
+    );
+
+    let _ = writeln!(out, "── recommendations ──");
+    if analysis.recommendations.is_empty() {
+        let _ = writeln!(out, "(none — the system looks healthy)");
+    }
+    for level in [Level::User, Level::Data, Level::System] {
+        let of_level: Vec<_> = analysis
+            .recommendations
+            .iter()
+            .filter(|r| r.level() == level)
+            .collect();
+        if of_level.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "[{level} level]");
+        for rec in of_level {
+            let _ = writeln!(out, "  • {}: {}", rec.name(), rec.rationale());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_and_analyze;
+    use workload::spec::ControlVariables;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let cv = ControlVariables {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let bundle = workload::synthetic::generate(&cv);
+        let (_, analysis) = run_and_analyze(&bundle, cv.network_config());
+        let text = render(&analysis);
+        assert!(text.contains("BlockOptR analysis"));
+        assert!(text.contains("rates: Tr"));
+        assert!(text.contains("recommendations"));
+        assert!(text.contains("cases: family"));
+    }
+
+    #[test]
+    fn empty_analysis_renders_healthy() {
+        let analysis = crate::pipeline::BlockOptR::new()
+            .analyze_log(crate::log::BlockchainLog::default());
+        let text = render(&analysis);
+        assert!(text.contains("none — the system looks healthy"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Ordering-service block cutting.
+//!
+//! Fabric's orderer buffers endorsed transactions and cuts a block whenever
+//! the first of three conditions is met (paper §2.1): the buffered count
+//! reaches `block_count`, the buffered bytes reach `block_bytes`, or
+//! `block_timeout` has elapsed since the first transaction was buffered.
+//!
+//! [`BlockCutter`] implements exactly that state machine; the simulation
+//! drives it with arrival and timer events and feeds each cut through the
+//! configured [`crate::scheduler`].
+
+use crate::ledger::CutReason;
+use sim_core::time::{SimDuration, SimTime};
+
+/// A cut block: the buffered transaction handles and why/when they were cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Indices (simulation transaction handles) in arrival order.
+    pub txs: Vec<usize>,
+    /// Which condition triggered the cut.
+    pub reason: CutReason,
+    /// When the cut happened.
+    pub at: SimTime,
+}
+
+/// The orderer's transaction buffer and cutting rules.
+#[derive(Debug, Clone)]
+pub struct BlockCutter {
+    block_count: usize,
+    block_bytes: u64,
+    timeout: SimDuration,
+    buffer: Vec<usize>,
+    buffered_bytes: u64,
+    /// Invalidates stale timeout events: a timer fires only if its epoch is
+    /// still current.
+    epoch: u64,
+    first_buffered_at: Option<SimTime>,
+}
+
+/// What the simulation should do after an arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalOutcome {
+    /// First transaction of a fresh buffer: arm a timer for `deadline`
+    /// with the given epoch.
+    ArmTimer {
+        /// Timer expiry (arrival + block timeout).
+        deadline: SimTime,
+        /// Epoch to validate when the timer fires.
+        epoch: u64,
+    },
+    /// A size or byte threshold was reached: a block was cut.
+    CutNow(Cut),
+    /// Buffered; an earlier timer is already armed.
+    Buffered,
+}
+
+impl BlockCutter {
+    /// A cutter with the given thresholds.
+    pub fn new(block_count: usize, block_bytes: u64, timeout: SimDuration) -> Self {
+        assert!(block_count >= 1, "block_count must be at least 1");
+        assert!(block_bytes >= 1, "block_bytes must be at least 1");
+        BlockCutter {
+            block_count,
+            block_bytes,
+            timeout,
+            buffer: Vec::new(),
+            buffered_bytes: 0,
+            epoch: 0,
+            first_buffered_at: None,
+        }
+    }
+
+    /// Current timer epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of buffered transactions.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Handle a transaction arriving at `t` with serialized size `bytes`.
+    pub fn on_arrival(&mut self, t: SimTime, tx: usize, bytes: u64) -> ArrivalOutcome {
+        let was_empty = self.buffer.is_empty();
+        self.buffer.push(tx);
+        self.buffered_bytes += bytes;
+        if was_empty {
+            self.first_buffered_at = Some(t);
+        }
+
+        if self.buffer.len() >= self.block_count {
+            ArrivalOutcome::CutNow(self.cut(t, CutReason::Count))
+        } else if self.buffered_bytes >= self.block_bytes {
+            ArrivalOutcome::CutNow(self.cut(t, CutReason::Bytes))
+        } else if was_empty {
+            ArrivalOutcome::ArmTimer {
+                deadline: t + self.timeout,
+                epoch: self.epoch,
+            }
+        } else {
+            ArrivalOutcome::Buffered
+        }
+    }
+
+    /// Handle a timer firing at `t` that was armed under `epoch`.
+    /// Returns a cut only if the timer is still current and work is buffered.
+    pub fn on_timeout(&mut self, t: SimTime, epoch: u64) -> Option<Cut> {
+        if epoch != self.epoch || self.buffer.is_empty() {
+            return None;
+        }
+        Some(self.cut(t, CutReason::Timeout))
+    }
+
+    /// Flush a partial buffer at end of run.
+    pub fn flush(&mut self, t: SimTime) -> Option<Cut> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.cut(t, CutReason::Flush))
+        }
+    }
+
+    fn cut(&mut self, t: SimTime, reason: CutReason) -> Cut {
+        self.epoch += 1;
+        self.buffered_bytes = 0;
+        self.first_buffered_at = None;
+        Cut {
+            txs: std::mem::take(&mut self.buffer),
+            reason,
+            at: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cutter(count: usize) -> BlockCutter {
+        BlockCutter::new(count, 1 << 30, SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn first_arrival_arms_timer() {
+        let mut c = cutter(10);
+        match c.on_arrival(SimTime::from_millis(100), 0, 10) {
+            ArrivalOutcome::ArmTimer { deadline, epoch } => {
+                assert_eq!(deadline, SimTime::from_millis(1_100));
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("expected ArmTimer, got {other:?}"),
+        }
+        assert_eq!(c.buffered(), 1);
+    }
+
+    #[test]
+    fn count_threshold_cuts_immediately() {
+        let mut c = cutter(3);
+        c.on_arrival(SimTime::from_millis(1), 0, 1);
+        c.on_arrival(SimTime::from_millis(2), 1, 1);
+        match c.on_arrival(SimTime::from_millis(3), 2, 1) {
+            ArrivalOutcome::CutNow(cut) => {
+                assert_eq!(cut.txs, vec![0, 1, 2]);
+                assert_eq!(cut.reason, CutReason::Count);
+                assert_eq!(cut.at, SimTime::from_millis(3));
+            }
+            other => panic!("expected CutNow, got {other:?}"),
+        }
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn bytes_threshold_cuts() {
+        let mut c = BlockCutter::new(1000, 100, SimDuration::from_secs(1));
+        c.on_arrival(SimTime::from_millis(1), 0, 60);
+        match c.on_arrival(SimTime::from_millis(2), 1, 50) {
+            ArrivalOutcome::CutNow(cut) => assert_eq!(cut.reason, CutReason::Bytes),
+            other => panic!("expected CutNow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut c = cutter(2);
+        let epoch0 = match c.on_arrival(SimTime::from_millis(1), 0, 1) {
+            ArrivalOutcome::ArmTimer { epoch, .. } => epoch,
+            other => panic!("{other:?}"),
+        };
+        // Count cut advances the epoch...
+        c.on_arrival(SimTime::from_millis(2), 1, 1);
+        // ...so the old timer must be a no-op even though a new tx is buffered.
+        c.on_arrival(SimTime::from_millis(3), 2, 1);
+        assert_eq!(c.on_timeout(SimTime::from_millis(1_001), epoch0), None);
+        assert_eq!(c.buffered(), 1, "tx 2 still buffered");
+    }
+
+    #[test]
+    fn current_timer_cuts_partial_block() {
+        let mut c = cutter(100);
+        let (deadline, epoch) = match c.on_arrival(SimTime::from_millis(5), 7, 1) {
+            ArrivalOutcome::ArmTimer { deadline, epoch } => (deadline, epoch),
+            other => panic!("{other:?}"),
+        };
+        c.on_arrival(SimTime::from_millis(6), 8, 1);
+        let cut = c.on_timeout(deadline, epoch).expect("timer fires");
+        assert_eq!(cut.txs, vec![7, 8]);
+        assert_eq!(cut.reason, CutReason::Timeout);
+        assert_eq!(cut.at, deadline);
+    }
+
+    #[test]
+    fn timer_on_empty_buffer_is_noop() {
+        let mut c = cutter(2);
+        assert_eq!(c.on_timeout(SimTime::from_secs(5), 0), None);
+    }
+
+    #[test]
+    fn flush_returns_partial_block() {
+        let mut c = cutter(100);
+        assert!(c.flush(SimTime::from_secs(1)).is_none(), "nothing buffered");
+        c.on_arrival(SimTime::from_millis(1), 0, 1);
+        let cut = c.flush(SimTime::from_secs(2)).unwrap();
+        assert_eq!(cut.reason, CutReason::Flush);
+        assert_eq!(cut.txs, vec![0]);
+    }
+
+    #[test]
+    fn epochs_advance_per_cut() {
+        let mut c = cutter(1);
+        assert_eq!(c.epoch(), 0);
+        c.on_arrival(SimTime::ZERO, 0, 1);
+        assert_eq!(c.epoch(), 1);
+        c.on_arrival(SimTime::ZERO, 1, 1);
+        assert_eq!(c.epoch(), 2);
+    }
+
+    #[test]
+    fn byte_counter_resets_after_cut() {
+        let mut c = BlockCutter::new(1000, 100, SimDuration::from_secs(1));
+        c.on_arrival(SimTime::ZERO, 0, 99);
+        match c.on_arrival(SimTime::ZERO, 1, 1) {
+            ArrivalOutcome::CutNow(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // Fresh buffer starts from zero bytes.
+        match c.on_arrival(SimTime::ZERO, 2, 99) {
+            ArrivalOutcome::ArmTimer { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Endorsement-policy parser.
+//!
+//! Parses the paper's policy syntax — `And(Org1, Or(Org2, Org3, Org4))`,
+//! `OutOf(2, Org1, Org2, Org3, Org4)`, `Majority(Org1, Org2)` — back into an
+//! [`EndorsementPolicy`]. Round-trips with the `Display` implementation, so
+//! policies can live in configuration files and experiment specs.
+
+use crate::policy::EndorsementPolicy;
+use crate::types::OrgId;
+use std::fmt;
+
+/// A policy parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            Err(self.error("expected an identifier"))
+        } else {
+            Ok(&self.input[start..self.pos])
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        let word = self.ident()?;
+        word.parse()
+            .map_err(|_| self.error(format!("expected a number, got {word:?}")))
+    }
+
+    fn args(&mut self) -> Result<Vec<EndorsementPolicy>, ParseError> {
+        self.eat('(')?;
+        let mut out = Vec::new();
+        loop {
+            out.push(self.policy()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                }
+                Some(')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or ')'")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn policy(&mut self) -> Result<EndorsementPolicy, ParseError> {
+        let word = self.ident()?;
+        match word {
+            "And" | "AND" | "and" => Ok(EndorsementPolicy::And(self.args()?)),
+            "Or" | "OR" | "or" => Ok(EndorsementPolicy::Or(self.args()?)),
+            "OutOf" | "outof" | "OUTOF" => {
+                self.eat('(')?;
+                let k = self.number()?;
+                self.eat(',')?;
+                let mut rest = Vec::new();
+                loop {
+                    rest.push(self.policy()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.pos += 1,
+                        Some(')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.error("expected ',' or ')'")),
+                    }
+                }
+                if k == 0 || k > rest.len() {
+                    return Err(self.error(format!(
+                        "OutOf threshold {k} outside 1..={}",
+                        rest.len()
+                    )));
+                }
+                Ok(EndorsementPolicy::OutOf(k, rest))
+            }
+            "Majority" | "majority" => {
+                let orgs = self.args()?;
+                Ok(EndorsementPolicy::OutOf(orgs.len() / 2 + 1, orgs))
+            }
+            org if org.starts_with("Org") || org.starts_with("org") => {
+                let n: u16 = org[3..]
+                    .parse()
+                    .map_err(|_| self.error(format!("bad organization {org:?}")))?;
+                if n == 0 {
+                    return Err(self.error("organizations are 1-based (Org1, Org2, …)"));
+                }
+                Ok(EndorsementPolicy::Org(OrgId(n - 1)))
+            }
+            other => Err(self.error(format!("unknown policy combinator {other:?}"))),
+        }
+    }
+}
+
+/// Parse a policy expression.
+pub fn parse_policy(input: &str) -> Result<EndorsementPolicy, ParseError> {
+    let mut p = Parser::new(input);
+    let policy = p.policy()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.error("trailing input after policy"));
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_policies() {
+        assert_eq!(
+            parse_policy("And(Org1,Or(Org2,Org3,Org4))").unwrap(),
+            EndorsementPolicy::p1()
+        );
+        assert_eq!(
+            parse_policy("And(Or(Org1,Org2),Or(Org3,Org4))").unwrap(),
+            EndorsementPolicy::p2()
+        );
+        assert_eq!(
+            parse_policy("OutOf(2,Org1,Org2,Org3,Org4)").unwrap(),
+            EndorsementPolicy::p4()
+        );
+        assert_eq!(
+            parse_policy("Majority(Org1,Org2,Org3,Org4)").unwrap(),
+            EndorsementPolicy::p3(4)
+        );
+    }
+
+    #[test]
+    fn whitespace_and_case_tolerated() {
+        assert_eq!(
+            parse_policy("  and( Org1 , or(Org2, Org3) ) ").unwrap(),
+            EndorsementPolicy::And(vec![
+                EndorsementPolicy::Org(OrgId(0)),
+                EndorsementPolicy::Or(vec![
+                    EndorsementPolicy::Org(OrgId(1)),
+                    EndorsementPolicy::Org(OrgId(2)),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn round_trips_display() {
+        for policy in [
+            EndorsementPolicy::p1(),
+            EndorsementPolicy::p2(),
+            EndorsementPolicy::p3(4),
+            EndorsementPolicy::p4(),
+            EndorsementPolicy::Org(OrgId(6)),
+            EndorsementPolicy::out_of(3, 5),
+        ] {
+            let text = policy.to_string();
+            assert_eq!(parse_policy(&text).unwrap(), policy, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_out_of() {
+        let p = parse_policy("OutOf(1,And(Org1,Org2),Org3)").unwrap();
+        let set: std::collections::BTreeSet<OrgId> = [OrgId(2)].into_iter().collect();
+        assert!(p.satisfied_by(&set));
+    }
+
+    #[test]
+    fn errors_carry_position_and_reason() {
+        let err = parse_policy("And(Org1").unwrap_err();
+        assert!(err.message.contains("','") || err.message.contains("')'"), "{err}");
+        let err = parse_policy("Xor(Org1,Org2)").unwrap_err();
+        assert!(err.message.contains("unknown policy combinator"));
+        let err = parse_policy("Org0").unwrap_err();
+        assert!(err.message.contains("1-based"));
+        let err = parse_policy("OutOf(9,Org1,Org2)").unwrap_err();
+        assert!(err.message.contains("threshold"));
+        let err = parse_policy("Org1 junk").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn single_org() {
+        assert_eq!(
+            parse_policy("Org7").unwrap(),
+            EndorsementPolicy::Org(OrgId(6))
+        );
+    }
+}

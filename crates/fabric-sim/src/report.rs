@@ -1,0 +1,304 @@
+//! Run-level measurements.
+//!
+//! [`SimReport`] carries the three numbers every figure in the paper plots —
+//! *success throughput (tps)*, *average latency (s)* and *percentage of
+//! successful transactions* — plus the supporting detail (failure breakdown,
+//! block statistics, resource utilizations) used by the experiment harness
+//! and the tests.
+
+use crate::ledger::{CutReason, Ledger, TxStatus};
+use serde::{Deserialize, Serialize};
+use sim_core::stats::Summary;
+use sim_core::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Transactions the workload submitted.
+    pub requests: usize,
+    /// Proposals the chaincode rejected during endorsement (process-model
+    /// pruning's early aborts); these never reach the ledger.
+    pub early_aborted: usize,
+    /// Transactions committed to the ledger (valid + invalid).
+    pub committed: usize,
+    /// Valid transactions.
+    pub successes: usize,
+    /// MVCC read conflicts.
+    pub mvcc_conflicts: usize,
+    /// …of which the conflicting write was in the same block.
+    pub intra_block_conflicts: usize,
+    /// …of which the conflicting write was in an earlier block.
+    pub inter_block_conflicts: usize,
+    /// Phantom read conflicts.
+    pub phantom_conflicts: usize,
+    /// Endorsement policy failures.
+    pub endorsement_failures: usize,
+    /// Measurement window: first client send → last block commit, seconds.
+    pub duration_s: f64,
+    /// Successful transactions per second over the measurement window.
+    pub success_throughput: f64,
+    /// Mean end-to-end latency of successful transactions, seconds.
+    pub avg_latency_s: f64,
+    /// Latency distribution of successful transactions (seconds).
+    pub latency: Summary,
+    /// `successes / committed`, in percent.
+    pub success_rate_pct: f64,
+    /// Number of blocks committed.
+    pub blocks: usize,
+    /// Mean transactions per block (`Bsizeavg`).
+    pub avg_block_size: f64,
+    /// Blocks by cut reason.
+    pub cut_reasons: BTreeMap<String, usize>,
+    /// Client-fleet utilization in `[0, 1]`.
+    pub client_utilization: f64,
+    /// Endorser-fleet utilization in `[0, 1]`.
+    pub endorser_utilization: f64,
+    /// Ordering-service utilization in `[0, 1]`.
+    pub orderer_utilization: f64,
+    /// Validation-pipeline utilization in `[0, 1]`.
+    pub validator_utilization: f64,
+    /// Endorsements per peer, as `(peer name, count)`.
+    pub endorsements_per_peer: Vec<(String, u64)>,
+}
+
+impl SimReport {
+    /// Derive the ledger-borne part of the report (counts, rates, latency).
+    ///
+    /// `first_send` anchors the measurement window; utilization and fleet
+    /// fields are filled in by the simulation driver afterwards.
+    pub fn from_ledger(ledger: &Ledger, requests: usize, first_send: SimTime) -> SimReport {
+        let committed = ledger.tx_count();
+        let successes = ledger.count_status(TxStatus::Success);
+        let mvcc = ledger.count_status(TxStatus::MvccReadConflict);
+        let phantom = ledger.count_status(TxStatus::PhantomReadConflict);
+        let epf = ledger.count_status(TxStatus::EndorsementPolicyFailure);
+
+        let last_commit = ledger
+            .blocks()
+            .last()
+            .map(|b| b.commit_ts)
+            .unwrap_or(first_send);
+        let duration_s = last_commit.since(first_send).as_secs_f64().max(1e-9);
+
+        let latencies: Vec<f64> = ledger
+            .transactions()
+            .filter(|t| t.status.is_success())
+            .map(|t| t.latency().as_secs_f64())
+            .collect();
+        let latency = Summary::of(&latencies);
+
+        let mut cut_reasons: BTreeMap<String, usize> = BTreeMap::new();
+        for b in ledger.blocks() {
+            *cut_reasons
+                .entry(format!("{:?}", b.cut_reason).to_lowercase())
+                .or_insert(0) += 1;
+        }
+
+        SimReport {
+            requests,
+            early_aborted: 0,
+            committed,
+            successes,
+            mvcc_conflicts: mvcc,
+            intra_block_conflicts: 0,
+            inter_block_conflicts: 0,
+            phantom_conflicts: phantom,
+            endorsement_failures: epf,
+            duration_s,
+            success_throughput: successes as f64 / duration_s,
+            avg_latency_s: latency.mean,
+            latency,
+            success_rate_pct: if committed == 0 {
+                0.0
+            } else {
+                successes as f64 / committed as f64 * 100.0
+            },
+            blocks: ledger.blocks().len(),
+            avg_block_size: ledger.avg_block_size(),
+            cut_reasons,
+            client_utilization: 0.0,
+            endorser_utilization: 0.0,
+            orderer_utilization: 0.0,
+            validator_utilization: 0.0,
+            endorsements_per_peer: Vec::new(),
+        }
+    }
+
+    /// Total failed (committed-but-invalid) transactions.
+    pub fn failures(&self) -> usize {
+        self.mvcc_conflicts + self.phantom_conflicts + self.endorsement_failures
+    }
+
+    /// One-line figure-style summary:
+    /// `tput=… tps lat=… s success=… %`.
+    pub fn figure_row(&self) -> String {
+        format!(
+            "tput={:7.1} tps  lat={:6.2} s  success={:5.1} %",
+            self.success_throughput, self.avg_latency_s, self.success_rate_pct
+        )
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "requests            : {}", self.requests)?;
+        writeln!(f, "early aborted       : {}", self.early_aborted)?;
+        writeln!(f, "committed           : {}", self.committed)?;
+        writeln!(
+            f,
+            "successes           : {} ({:.1} %)",
+            self.successes, self.success_rate_pct
+        )?;
+        writeln!(
+            f,
+            "mvcc conflicts      : {} (intra {}, inter {})",
+            self.mvcc_conflicts, self.intra_block_conflicts, self.inter_block_conflicts
+        )?;
+        writeln!(f, "phantom conflicts   : {}", self.phantom_conflicts)?;
+        writeln!(f, "endorsement failures: {}", self.endorsement_failures)?;
+        writeln!(f, "duration            : {:.2} s", self.duration_s)?;
+        writeln!(
+            f,
+            "success throughput  : {:.1} tps",
+            self.success_throughput
+        )?;
+        writeln!(
+            f,
+            "avg latency         : {:.3} s (p95 {:.3} s)",
+            self.avg_latency_s, self.latency.p95
+        )?;
+        writeln!(
+            f,
+            "blocks              : {} (avg size {:.1})",
+            self.blocks, self.avg_block_size
+        )?;
+        writeln!(
+            f,
+            "utilization         : clients {:.0} % endorsers {:.0} % orderer {:.0} % validator {:.0} %",
+            self.client_utilization * 100.0,
+            self.endorser_utilization * 100.0,
+            self.orderer_utilization * 100.0,
+            self.validator_utilization * 100.0
+        )
+    }
+}
+
+/// Helper: human-readable cut-reason key used in [`SimReport::cut_reasons`].
+pub fn cut_reason_key(reason: CutReason) -> String {
+    format!("{reason:?}").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{Block, TransactionEnvelope};
+    use crate::rwset::ReadWriteSet;
+    use crate::types::{ClientId, OrgId, PeerId, TxId, TxType};
+
+    fn env(id: u64, status: TxStatus, latency_ms: u64) -> TransactionEnvelope {
+        TransactionEnvelope {
+            id: TxId(id),
+            client_ts: SimTime::from_millis(0),
+            submit_ts: SimTime::from_millis(1),
+            commit_ts: SimTime::from_millis(latency_ms),
+            contract: "cc".into(),
+            activity: "a".into(),
+            args: vec![],
+            endorsers: vec![PeerId {
+                org: OrgId(0),
+                index: 0,
+            }],
+            invoker: ClientId {
+                org: OrgId(0),
+                index: 0,
+            },
+            rwset: ReadWriteSet::new(),
+            status,
+            tx_type: TxType::Read,
+        }
+    }
+
+    fn ledger_with(statuses: &[(TxStatus, u64)]) -> Ledger {
+        let mut l = Ledger::new();
+        l.append(Block {
+            number: 1,
+            cut_reason: CutReason::Count,
+            cut_ts: SimTime::from_millis(50),
+            commit_ts: SimTime::from_millis(1000),
+            txs: statuses
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, lat))| env(i as u64, s, lat))
+                .collect(),
+        });
+        l
+    }
+
+    #[test]
+    fn report_counts_statuses() {
+        let l = ledger_with(&[
+            (TxStatus::Success, 100),
+            (TxStatus::Success, 200),
+            (TxStatus::MvccReadConflict, 300),
+            (TxStatus::PhantomReadConflict, 300),
+            (TxStatus::EndorsementPolicyFailure, 300),
+        ]);
+        let r = SimReport::from_ledger(&l, 5, SimTime::ZERO);
+        assert_eq!(r.committed, 5);
+        assert_eq!(r.successes, 2);
+        assert_eq!(r.failures(), 3);
+        assert!((r.success_rate_pct - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_uses_commit_window() {
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let r = SimReport::from_ledger(&l, 1, SimTime::ZERO);
+        // 1 success over 1.0 s (commit_ts of the block).
+        assert!((r.success_throughput - 1.0).abs() < 1e-6);
+        assert!((r.duration_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_only_over_successes() {
+        let l = ledger_with(&[(TxStatus::Success, 100), (TxStatus::MvccReadConflict, 900)]);
+        let r = SimReport::from_ledger(&l, 2, SimTime::ZERO);
+        assert!((r.avg_latency_s - 0.1).abs() < 1e-9);
+        assert_eq!(r.latency.count, 1);
+    }
+
+    #[test]
+    fn empty_ledger_is_safe() {
+        let l = Ledger::new();
+        let r = SimReport::from_ledger(&l, 0, SimTime::ZERO);
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.success_rate_pct, 0.0);
+        assert_eq!(r.blocks, 0);
+    }
+
+    #[test]
+    fn figure_row_formats() {
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let r = SimReport::from_ledger(&l, 1, SimTime::ZERO);
+        let row = r.figure_row();
+        assert!(row.contains("tps") && row.contains("success"));
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let r = SimReport::from_ledger(&l, 1, SimTime::ZERO);
+        let text = r.to_string();
+        assert!(text.contains("success throughput"));
+        assert!(text.contains("avg latency"));
+        assert!(text.contains("blocks"));
+    }
+
+    #[test]
+    fn cut_reason_keys_are_lowercase() {
+        assert_eq!(cut_reason_key(CutReason::Count), "count");
+        assert_eq!(cut_reason_key(CutReason::Timeout), "timeout");
+    }
+}

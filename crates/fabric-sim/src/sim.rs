@@ -1,0 +1,762 @@
+//! The end-to-end simulation driver.
+//!
+//! [`Simulation`] wires the pieces together and runs a workload (a time-
+//! stamped list of [`TxRequest`]s) through the full EOV pipeline:
+//!
+//! ```text
+//! client worker ──► endorsers (execute @ endorsement time) ──► client
+//!   (proposal)        per selected org, queued FIFO           (assemble)
+//!        │                                                        │
+//!        ▼                                                        ▼
+//!   BlockValidated ◄── validator queue ◄── Raft ◄── orderer (block cutter
+//!   (MVCC + commit)                                  + scheduler + assembly)
+//! ```
+//!
+//! Every stage is a finite-rate queueing server, and all state reads happen
+//! at their simulated instant in global event order, so MVCC conflict
+//! windows — endorsement time to commit time — emerge from queueing dynamics
+//! rather than being injected.
+
+use crate::client::{EndorserFleet, EndorserSelector, WorkerFleet};
+use crate::config::NetworkConfig;
+use crate::contract::{Contract, ExecStatus, TxContext};
+use crate::ledger::{Block, CutReason, Ledger, TransactionEnvelope, TxStatus};
+use crate::orderer::{ArrivalOutcome, BlockCutter, Cut};
+use crate::report::SimReport;
+use crate::rwset::ReadWriteSet;
+use crate::scheduler::{schedule_block, stale_tolerance_blocks, SchedTx};
+use crate::state::WorldState;
+use crate::types::{ClientId, OrgId, PeerId, TxId, Value};
+use crate::validator::{validate_block, TxToValidate};
+use sim_core::events::EventQueue;
+use sim_core::rng::SimRng;
+use sim_core::server::QueueServer;
+use sim_core::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One workload transaction to inject.
+#[derive(Debug, Clone)]
+pub struct TxRequest {
+    /// When the client creates the proposal.
+    pub send_time: SimTime,
+    /// Target chaincode (must be registered on the simulation).
+    pub contract: String,
+    /// Smart-contract function to invoke.
+    pub activity: String,
+    /// Function arguments (contracts must be deterministic in these).
+    pub args: Vec<Value>,
+    /// Organization whose client invokes the transaction.
+    pub invoker_org: OrgId,
+}
+
+/// Everything a finished run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The committed chain (the input to BlockOptR).
+    pub ledger: Ledger,
+    /// Aggregate measurements.
+    pub report: SimReport,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    ClientSend(usize),
+    ProposalReady(usize),
+    EndorseExec { tx: usize, slot: usize },
+    Assemble(usize),
+    OrdererReceive(usize),
+    OrdererTimeout { epoch: u64 },
+    BlockValidated { block: usize },
+}
+
+#[derive(Debug, Clone)]
+enum EndorseResult {
+    Ok(ReadWriteSet),
+    Abort(#[allow(dead_code)] String),
+}
+
+#[derive(Debug, Clone, Default)]
+struct Pending {
+    worker: Option<ClientId>,
+    client_ts: SimTime,
+    submit_ts: SimTime,
+    endorse_orgs: Vec<OrgId>,
+    endorse_peers: Vec<PeerId>,
+    endorse_starts: Vec<SimTime>,
+    results: Vec<Option<EndorseResult>>,
+    mismatch: bool,
+    dropped: bool,
+}
+
+/// Blocks in flight between cutting and validation.
+struct InFlightBlock {
+    txs: Vec<usize>,
+    order: Vec<usize>,
+    aborted: std::collections::HashSet<usize>,
+    policy_failed: std::collections::HashSet<usize>,
+    cut_reason: CutReason,
+    cut_ts: SimTime,
+}
+
+/// A configured Fabric network ready to run workloads.
+pub struct Simulation {
+    config: NetworkConfig,
+    contracts: HashMap<String, Arc<dyn Contract>>,
+    genesis: Vec<(String, String, Value)>,
+}
+
+impl Simulation {
+    /// A simulation over `config` with no contracts installed yet.
+    pub fn new(config: NetworkConfig) -> Self {
+        Simulation {
+            config,
+            contracts: HashMap::new(),
+            genesis: Vec::new(),
+        }
+    }
+
+    /// Install (deploy) a chaincode.
+    pub fn install(&mut self, contract: Arc<dyn Contract>) {
+        self.contracts.insert(contract.name().to_string(), contract);
+    }
+
+    /// Seed genesis state: `key` under `namespace` gets `value` at version 0:0.
+    pub fn seed(&mut self, namespace: &str, key: &str, value: Value) {
+        self.genesis
+            .push((namespace.to_string(), key.to_string(), value));
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Run the workload to completion and return the ledger + report.
+    ///
+    /// Panics if a request names an uninstalled contract.
+    pub fn run(&self, requests: &[TxRequest]) -> SimOutput {
+        let cfg = &self.config;
+        let res = &cfg.resources;
+
+        // Sorted injection schedule (stable by original index for ties).
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].send_time, i));
+
+        let mut state = WorldState::new();
+        for (ns, key, value) in &self.genesis {
+            state.seed(format!("{ns}/{key}"), value.clone());
+        }
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut workers = WorkerFleet::new(cfg.orgs, cfg.clients_per_org);
+        if let Some((org, factor)) = cfg.client_boost {
+            workers.scale_org(OrgId(org), factor);
+        }
+        let mut endorsers = EndorserFleet::new(cfg.orgs, cfg.endorsers_per_org());
+        let selector = EndorserSelector::new(
+            &cfg.endorsement_policy,
+            cfg.orgs,
+            self.endorser_skew_from_seed(),
+        );
+        let mut rng = SimRng::derive(cfg.seed, 0xE5D0);
+        let mut cutter = BlockCutter::new(cfg.block_count, cfg.block_bytes, cfg.block_timeout);
+        let mut orderer_srv = QueueServer::new();
+        let mut validator_srv = QueueServer::new();
+
+        let mut pending: Vec<Pending> = vec![Pending::default(); requests.len()];
+        let mut inflight: Vec<InFlightBlock> = Vec::new();
+        let mut ledger = Ledger::new();
+        let mut early_aborted = 0usize;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+
+        let proposal_time = res.client_per_tx.mul_f64(0.6);
+        let assemble_time = res.client_per_tx.mul_f64(0.4);
+
+        let first_send = order
+            .first()
+            .map(|&i| requests[i].send_time)
+            .unwrap_or(SimTime::ZERO);
+        for &i in &order {
+            queue.schedule(requests[i].send_time, Ev::ClientSend(i));
+        }
+
+        loop {
+            while let Some((now, ev)) = queue.pop() {
+                match ev {
+                    Ev::ClientSend(i) => {
+                        let req = &requests[i];
+                        let worker = workers.assign(req.invoker_org);
+                        pending[i].worker = Some(worker);
+                        pending[i].client_ts = now;
+                        let (_, done) = workers.submit(worker, now, proposal_time);
+                        queue.schedule(done, Ev::ProposalReady(i));
+                    }
+
+                    Ev::ProposalReady(i) => {
+                        let req = &requests[i];
+                        let contract = self
+                            .contracts
+                            .get(&req.contract)
+                            .unwrap_or_else(|| panic!("contract {:?} not installed", req.contract));
+                        // Cost estimate from a dry execution at proposal time.
+                        let mut est_ctx = TxContext::new(&state, contract.name());
+                        let _ = contract.execute(&mut est_ctx, &req.activity, &req.args);
+                        let accesses = est_ctx.access_count();
+                        let service = res.endorse_exec_base
+                            + res.endorse_exec_per_access.mul(accesses as u64);
+
+                        let orgs: Vec<OrgId> =
+                            selector.choose(&mut rng).iter().copied().collect();
+                        let arrival = now + res.net_delay;
+                        let mut last_done = now;
+                        for (slot, &org) in orgs.iter().enumerate() {
+                            let (peer, start, done) = endorsers.submit(org, arrival, service);
+                            pending[i].endorse_peers.push(peer);
+                            pending[i].endorse_starts.push(start);
+                            pending[i].results.push(None);
+                            last_done = last_done.max(done);
+                            queue.schedule(start, Ev::EndorseExec { tx: i, slot });
+                        }
+                        pending[i].endorse_orgs = orgs;
+                        queue.schedule(last_done + res.net_delay, Ev::Assemble(i));
+                    }
+
+                    Ev::EndorseExec { tx, slot } => {
+                        let req = &requests[tx];
+                        let contract = &self.contracts[&req.contract];
+                        let mut ctx = TxContext::new(&state, contract.name());
+                        let status = contract.execute(&mut ctx, &req.activity, &req.args);
+                        pending[tx].results[slot] = Some(match status {
+                            ExecStatus::Ok => EndorseResult::Ok(ctx.into_rwset()),
+                            ExecStatus::Abort(reason) => EndorseResult::Abort(reason),
+                        });
+                    }
+
+                    Ev::Assemble(i) => {
+                        let p = &mut pending[i];
+                        let mut rwsets: Vec<&ReadWriteSet> = Vec::new();
+                        let mut aborts = 0usize;
+                        for r in p.results.iter().flatten() {
+                            match r {
+                                EndorseResult::Ok(rw) => rwsets.push(rw),
+                                EndorseResult::Abort(_) => aborts += 1,
+                            }
+                        }
+                        if aborts > 0 || rwsets.is_empty() {
+                            // The chaincode rejected the proposal on at least
+                            // one endorser: the client cannot assemble a
+                            // valid transaction — early abort (pruning path).
+                            p.dropped = true;
+                            early_aborted += 1;
+                            continue;
+                        }
+                        let first = rwsets[0].clone();
+                        p.mismatch = rwsets.iter().any(|rw| **rw != first);
+                        let worker = p.worker.expect("assigned at ClientSend");
+                        let (_, done) = workers.submit(worker, now, assemble_time);
+                        p.submit_ts = done;
+                        // Store the canonical rwset in slot 0 result.
+                        p.results[0] = Some(EndorseResult::Ok(first));
+                        queue.schedule(done + res.net_delay, Ev::OrdererReceive(i));
+                    }
+
+                    Ev::OrdererReceive(i) => {
+                        let size = self.proposal_size(&pending[i], &requests[i]);
+                        match cutter.on_arrival(now, i, size) {
+                            ArrivalOutcome::ArmTimer { deadline, epoch } => {
+                                queue.schedule(deadline, Ev::OrdererTimeout { epoch });
+                            }
+                            ArrivalOutcome::CutNow(cut) => {
+                                self.process_cut(
+                                    cut,
+                                    &pending,
+                                    &mut inflight,
+                                    &mut orderer_srv,
+                                    &mut validator_srv,
+                                    &mut queue,
+                                );
+                            }
+                            ArrivalOutcome::Buffered => {}
+                        }
+                    }
+
+                    Ev::OrdererTimeout { epoch } => {
+                        if let Some(cut) = cutter.on_timeout(now, epoch) {
+                            self.process_cut(
+                                cut,
+                                &pending,
+                                &mut inflight,
+                                &mut orderer_srv,
+                                &mut validator_srv,
+                                &mut queue,
+                            );
+                        }
+                    }
+
+                    Ev::BlockValidated { block } => {
+                        let fb = &inflight[block];
+                        let number = ledger.height() + 1;
+                        let to_validate: Vec<TxToValidate<'_>> = fb
+                            .order
+                            .iter()
+                            .map(|&pos| {
+                                let tx_idx = fb.txs[pos];
+                                let rwset = match pending[tx_idx].results[0]
+                                    .as_ref()
+                                    .expect("assembled tx has canonical rwset")
+                                {
+                                    EndorseResult::Ok(rw) => rw,
+                                    EndorseResult::Abort(_) => {
+                                        unreachable!("aborted txs never reach ordering")
+                                    }
+                                };
+                                TxToValidate {
+                                    rwset,
+                                    endorse_mismatch: pending[tx_idx].mismatch,
+                                    sched_aborted: fb.aborted.contains(&pos),
+                                    sched_policy_failed: fb.policy_failed.contains(&pos),
+                                }
+                            })
+                            .collect();
+                        let tolerance = stale_tolerance_blocks(cfg.scheduler);
+                        let verdicts =
+                            validate_block(&mut state, number, &to_validate, tolerance);
+
+                        let mut envelopes = Vec::with_capacity(fb.order.len());
+                        for (k, &pos) in fb.order.iter().enumerate() {
+                            let tx_idx = fb.txs[pos];
+                            let verdict = verdicts[k];
+                            if verdict.status == TxStatus::MvccReadConflict {
+                                if verdict.intra_block {
+                                    intra += 1;
+                                } else {
+                                    inter += 1;
+                                }
+                            }
+                            let p = &pending[tx_idx];
+                            let rwset = match p.results[0].as_ref().unwrap() {
+                                EndorseResult::Ok(rw) => rw.clone(),
+                                EndorseResult::Abort(_) => unreachable!(),
+                            };
+                            let req = &requests[tx_idx];
+                            envelopes.push(TransactionEnvelope {
+                                id: TxId(tx_idx as u64),
+                                client_ts: p.client_ts,
+                                submit_ts: p.submit_ts,
+                                commit_ts: now,
+                                contract: req.contract.clone(),
+                                activity: req.activity.clone(),
+                                args: req.args.clone(),
+                                endorsers: p.endorse_peers.clone(),
+                                invoker: p.worker.expect("assigned"),
+                                tx_type: rwset.tx_type(),
+                                rwset,
+                                status: verdict.status,
+                            });
+                        }
+                        ledger.append(Block {
+                            number,
+                            cut_reason: fb.cut_reason,
+                            cut_ts: fb.cut_ts,
+                            commit_ts: now,
+                            txs: envelopes,
+                        });
+                    }
+                }
+            }
+
+            // Queue drained: flush any partial block, then keep going until
+            // genuinely nothing is left.
+            if let Some(cut) = cutter.flush(queue.now()) {
+                self.process_cut(
+                    cut,
+                    &pending,
+                    &mut inflight,
+                    &mut orderer_srv,
+                    &mut validator_srv,
+                    &mut queue,
+                );
+            } else {
+                break;
+            }
+        }
+
+        let mut report = SimReport::from_ledger(&ledger, requests.len(), first_send);
+        report.early_aborted = early_aborted;
+        report.intra_block_conflicts = intra;
+        report.inter_block_conflicts = inter;
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(report.duration_s)
+            + first_send.since(SimTime::ZERO);
+        report.client_utilization = ratio(
+            workers.total_busy(),
+            horizon,
+            workers.total_workers(),
+        );
+        report.endorser_utilization = ratio(
+            endorsers.total_busy(),
+            horizon,
+            endorsers.total_peers(),
+        );
+        report.orderer_utilization = orderer_srv.utilization(horizon);
+        report.validator_utilization = validator_srv.utilization(horizon);
+        report.endorsements_per_peer = endorsers
+            .endorsement_counts()
+            .into_iter()
+            .map(|(p, c)| (p.to_string(), c))
+            .collect();
+
+        SimOutput { ledger, report }
+    }
+
+    /// Endorser-selection skew; stored on the config via the seed field would
+    /// be opaque, so it lives in [`NetworkConfig`] — see `endorser_skew`.
+    fn endorser_skew_from_seed(&self) -> f64 {
+        self.config.endorser_skew
+    }
+
+    fn proposal_size(&self, p: &Pending, req: &TxRequest) -> u64 {
+        let rw = match p.results[0].as_ref() {
+            Some(EndorseResult::Ok(rw)) => rw.approx_size(),
+            _ => 0,
+        };
+        let args: u64 = req.args.iter().map(Value::approx_size).sum();
+        // Envelope framing + one signature per endorsement.
+        256 + rw + args + 96 * p.endorse_peers.len() as u64
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_cut(
+        &self,
+        cut: Cut,
+        pending: &[Pending],
+        inflight: &mut Vec<InFlightBlock>,
+        orderer_srv: &mut QueueServer,
+        validator_srv: &mut QueueServer,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let res = &self.config.resources;
+        let sched_txs: Vec<SchedTx<'_>> = cut
+            .txs
+            .iter()
+            .map(|&i| {
+                let p = &pending[i];
+                let rwset = match p.results[0].as_ref().expect("assembled") {
+                    EndorseResult::Ok(rw) => rw,
+                    EndorseResult::Abort(_) => unreachable!(),
+                };
+                let spread = p
+                    .endorse_starts
+                    .iter()
+                    .max()
+                    .copied()
+                    .unwrap_or(SimTime::ZERO)
+                    .since(
+                        p.endorse_starts
+                            .iter()
+                            .min()
+                            .copied()
+                            .unwrap_or(SimTime::ZERO),
+                    );
+                SchedTx {
+                    rwset,
+                    endorse_spread: spread,
+                }
+            })
+            .collect();
+        let outcome = schedule_block(self.config.scheduler, &sched_txs);
+
+        let n = cut.txs.len() as u64;
+        let assembly =
+            res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
+        let (_, assembled) = orderer_srv.submit(cut.at, assembly);
+        let delivered = assembled + res.raft_delay + res.net_delay;
+
+        let mut validation = res.validate_block_fixed;
+        for &i in &cut.txs {
+            let p = &pending[i];
+            let items = match p.results[0].as_ref() {
+                Some(EndorseResult::Ok(rw)) => {
+                    rw.reads.len()
+                        + rw.range_reads
+                            .iter()
+                            .map(|r| r.observed.len())
+                            .sum::<usize>()
+                }
+                _ => 0,
+            };
+            validation += res.validate_per_tx
+                + res.validate_per_item.mul(items as u64)
+                + res.validate_per_endorsement.mul(p.endorse_peers.len() as u64);
+        }
+        let (_, validated) = validator_srv.submit(delivered, validation);
+
+        inflight.push(InFlightBlock {
+            txs: cut.txs,
+            order: outcome.order,
+            aborted: outcome.aborted,
+            policy_failed: outcome.policy_failed,
+            cut_reason: cut.reason,
+            cut_ts: cut.at,
+        });
+        queue.schedule(
+            validated,
+            Ev::BlockValidated {
+                block: inflight.len() - 1,
+            },
+        );
+    }
+}
+
+fn ratio(busy: SimDuration, horizon: SimTime, servers: usize) -> f64 {
+    let cap = horizon.as_micros() as f64 * servers.max(1) as f64;
+    if cap <= 0.0 {
+        0.0
+    } else {
+        (busy.as_micros() as f64 / cap).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use crate::policy::EndorsementPolicy;
+
+    /// A minimal key-value contract for driver tests:
+    /// `put k v`, `get k`, `upd k` (read+write), `fail` (always aborts).
+    struct KvContract;
+
+    impl Contract for KvContract {
+        fn name(&self) -> &str {
+            "kv"
+        }
+        fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
+            match activity {
+                "put" => {
+                    let k = args[0].as_str().unwrap();
+                    ctx.put_state(k, args[1].clone());
+                    ExecStatus::Ok
+                }
+                "get" => {
+                    let k = args[0].as_str().unwrap();
+                    let _ = ctx.get_state(k);
+                    ExecStatus::Ok
+                }
+                "upd" => {
+                    let k = args[0].as_str().unwrap();
+                    let v = ctx.get_state(k).and_then(|v| v.as_int()).unwrap_or(0);
+                    ctx.put_state(k, Value::Int(v + 1));
+                    ExecStatus::Ok
+                }
+                "fail" => ExecStatus::Abort("nope".into()),
+                other => panic!("unknown activity {other}"),
+            }
+        }
+        fn activities(&self) -> Vec<&'static str> {
+            vec!["put", "get", "upd", "fail"]
+        }
+    }
+
+    fn sim() -> Simulation {
+        let cfg = NetworkConfig {
+            orgs: 2,
+            endorsement_policy: EndorsementPolicy::p3(2),
+            block_count: 10,
+            ..NetworkConfig::default()
+        };
+        let mut s = Simulation::new(cfg);
+        s.install(Arc::new(KvContract));
+        s.seed("kv", "counter", Value::Int(0));
+        s
+    }
+
+    fn req(i: u64, activity: &str, args: Vec<Value>) -> TxRequest {
+        TxRequest {
+            send_time: SimTime::from_millis(i * 10),
+            contract: "kv".into(),
+            activity: activity.into(),
+            args,
+            invoker_org: OrgId((i % 2) as u16),
+        }
+    }
+
+    #[test]
+    fn single_write_commits() {
+        let s = sim();
+        let out = s.run(&[req(0, "put", vec!["a".into(), Value::Int(1)])]);
+        assert_eq!(out.report.committed, 1);
+        assert_eq!(out.report.successes, 1);
+        assert_eq!(out.report.blocks, 1);
+        assert_eq!(out.ledger.blocks()[0].cut_reason, CutReason::Timeout);
+        let tx = out.ledger.transactions().next().unwrap();
+        assert_eq!(tx.activity, "put");
+        assert_eq!(tx.status, TxStatus::Success);
+        assert!(tx.commit_ts > tx.submit_ts);
+        assert!(tx.submit_ts > tx.client_ts);
+    }
+
+    #[test]
+    fn concurrent_updates_conflict() {
+        let s = sim();
+        // 20 updates of the same key sent in a burst: within each block only
+        // the first updater wins; later ones read a stale version.
+        let reqs: Vec<TxRequest> = (0..20)
+            .map(|i| TxRequest {
+                send_time: SimTime::from_micros(i * 100),
+                contract: "kv".into(),
+                activity: "upd".into(),
+                args: vec!["counter".into()],
+                invoker_org: OrgId((i % 2) as u16),
+            })
+            .collect();
+        let out = s.run(&reqs);
+        assert_eq!(out.report.committed, 20);
+        assert!(
+            out.report.mvcc_conflicts > 10,
+            "hot-key burst conflicts: {}",
+            out.report.mvcc_conflicts
+        );
+        assert!(out.report.successes >= 1);
+        assert!(out.report.intra_block_conflicts + out.report.inter_block_conflicts
+            == out.report.mvcc_conflicts);
+    }
+
+    #[test]
+    fn spaced_updates_all_succeed() {
+        let s = sim();
+        // 5 updates two seconds apart: every block commits before the next
+        // endorsement, so no conflicts.
+        let reqs: Vec<TxRequest> = (0..5)
+            .map(|i| TxRequest {
+                send_time: SimTime::from_secs(i * 2),
+                contract: "kv".into(),
+                activity: "upd".into(),
+                args: vec!["counter".into()],
+                invoker_org: OrgId(0),
+            })
+            .collect();
+        let out = s.run(&reqs);
+        assert_eq!(out.report.successes, 5, "{}", out.report);
+        assert_eq!(out.report.mvcc_conflicts, 0);
+    }
+
+    #[test]
+    fn early_abort_skips_ledger() {
+        let s = sim();
+        let out = s.run(&[
+            req(0, "fail", vec![]),
+            req(1, "put", vec!["x".into(), Value::Int(1)]),
+        ]);
+        assert_eq!(out.report.early_aborted, 1);
+        assert_eq!(out.report.committed, 1, "aborted tx never ordered");
+        assert_eq!(out.report.requests, 2);
+    }
+
+    #[test]
+    fn block_count_cut_fires() {
+        let s = sim(); // block_count = 10
+        let reqs: Vec<TxRequest> = (0..25)
+            .map(|i| req(i, "put", vec![format!("k{i}").into(), Value::Int(1)]))
+            .collect();
+        let out = s.run(&reqs);
+        assert_eq!(out.report.committed, 25);
+        let reasons: Vec<CutReason> =
+            out.ledger.blocks().iter().map(|b| b.cut_reason).collect();
+        assert!(
+            reasons.iter().filter(|r| **r == CutReason::Count).count() >= 2,
+            "{reasons:?}"
+        );
+        assert_eq!(out.ledger.blocks()[0].len(), 10);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s1 = sim();
+        let s2 = sim();
+        let reqs: Vec<TxRequest> = (0..50)
+            .map(|i| req(i, "upd", vec!["counter".into()]))
+            .collect();
+        let a = s1.run(&reqs);
+        let b = s2.run(&reqs);
+        assert_eq!(a.report.successes, b.report.successes);
+        assert_eq!(a.report.mvcc_conflicts, b.report.mvcc_conflicts);
+        assert!((a.report.avg_latency_s - b.report.avg_latency_s).abs() < 1e-12);
+        let ids_a: Vec<u64> = a.ledger.transactions().map(|t| t.id.0).collect();
+        let ids_b: Vec<u64> = b.ledger.transactions().map(|t| t.id.0).collect();
+        assert_eq!(ids_a, ids_b, "identical commit order");
+    }
+
+    #[test]
+    fn endorsers_recorded_per_policy() {
+        let s = sim(); // majority of 2 orgs = both
+        let out = s.run(&[req(0, "get", vec!["counter".into()])]);
+        let tx = out.ledger.transactions().next().unwrap();
+        assert_eq!(tx.endorsers.len(), 2, "both orgs endorse under majority");
+        let orgs: std::collections::BTreeSet<u16> =
+            tx.endorsers.iter().map(|p| p.org.0).collect();
+        assert_eq!(orgs.len(), 2);
+    }
+
+    #[test]
+    fn fabric_plus_plus_rescues_intra_block_readers() {
+        // Interleave writers and readers of one key in a single burst. The
+        // vanilla scheduler commits in arrival order (readers after writers
+        // fail); Fabric++ moves readers first.
+        let build = |kind: SchedulerKind| {
+            let cfg = NetworkConfig {
+                scheduler: kind,
+                block_count: 20,
+                ..NetworkConfig::default()
+            };
+            let mut s = Simulation::new(cfg);
+            s.install(Arc::new(KvContract));
+            s.seed("kv", "hot", Value::Int(0));
+            s
+        };
+        let reqs: Vec<TxRequest> = (0..20)
+            .map(|i| TxRequest {
+                send_time: SimTime::from_micros(i * 200),
+                contract: "kv".into(),
+                activity: if i % 2 == 0 { "upd" } else { "get" }.into(),
+                args: vec!["hot".into()],
+                invoker_org: OrgId((i % 2) as u16),
+            })
+            .collect();
+        let vanilla = build(SchedulerKind::Vanilla).run(&reqs);
+        let pp = build(SchedulerKind::FabricPlusPlus).run(&reqs);
+        assert!(
+            pp.report.successes > vanilla.report.successes,
+            "fabric++ {} vs vanilla {}",
+            pp.report.successes,
+            vanilla.report.successes
+        );
+    }
+
+    #[test]
+    fn utilizations_are_bounded() {
+        let s = sim();
+        let reqs: Vec<TxRequest> = (0..100)
+            .map(|i| req(i, "put", vec![format!("k{i}").into(), Value::Int(1)]))
+            .collect();
+        let out = s.run(&reqs);
+        for u in [
+            out.report.client_utilization,
+            out.report.endorser_utilization,
+            out.report.orderer_utilization,
+            out.report.validator_utilization,
+        ] {
+            assert!((0.0..=1.0).contains(&u), "{u}");
+        }
+        assert!(out.report.endorser_utilization > 0.0);
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let s = sim();
+        let out = s.run(&[]);
+        assert_eq!(out.report.committed, 0);
+        assert_eq!(out.report.blocks, 0);
+    }
+}

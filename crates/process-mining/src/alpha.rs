@@ -1,0 +1,217 @@
+//! The Alpha miner (van der Aalst, Weijters, Maruster — TKDE 2004).
+//!
+//! The algorithm the paper uses to derive the process models of Figures 2
+//! and 4 (§4.2). Classic eight-step construction:
+//!
+//! 1. `T_L` — the activity alphabet;
+//! 2. `T_I` / `T_O` — start/end activities;
+//! 3. `X_L` — pairs `(A, B)` with all-causal `A → B` and
+//!    `#`-independent members;
+//! 4. `Y_L` — the maximal pairs of `X_L`;
+//!
+//! Steps 5–8 add one place per maximal pair, plus source and sink.
+
+use crate::eventlog::EventLog;
+use crate::footprint::Footprint;
+use crate::petri::{PetriNet, PetriNetBuilder};
+use std::collections::BTreeSet;
+
+/// Safety cap on the number of `#`-cliques explored (the evaluation logs
+/// have ≤ a dozen activities; pathological inputs are truncated rather than
+/// allowed to blow up).
+const MAX_CLIQUES: usize = 8_192;
+
+/// Mine a workflow net from an event log.
+pub fn alpha_miner(log: &EventLog) -> PetriNet {
+    let activities = log.activities();
+    let footprint = Footprint::from_log(log);
+    let starts: BTreeSet<String> = log.start_activities().into_iter().collect();
+    let ends: BTreeSet<String> = log.end_activities().into_iter().collect();
+
+    // Step 3 prerequisite: all #-cliques (sets whose members are pairwise in
+    // choice relation, including with themselves — self-looping activities
+    // are excluded by a ∥ a).
+    let cliques = choice_cliques(&activities, &footprint);
+
+    // Step 3: X_L — candidate (A, B) pairs.
+    let mut xl: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    for a_set in &cliques {
+        for b_set in &cliques {
+            let all_causal = a_set
+                .iter()
+                .all(|a| b_set.iter().all(|b| footprint.causes(a, b)));
+            if all_causal {
+                xl.push((a_set.clone(), b_set.clone()));
+            }
+        }
+    }
+
+    // Step 4: Y_L — maximal pairs.
+    let yl: Vec<&(BTreeSet<String>, BTreeSet<String>)> = xl
+        .iter()
+        .filter(|(a, b)| {
+            !xl.iter().any(|(a2, b2)| {
+                (a2, b2) != (a, b) && a.is_subset(a2) && b.is_subset(b2)
+            })
+        })
+        .collect();
+
+    // Steps 5-8: build the net.
+    let mut builder = PetriNetBuilder::new();
+    let source = builder.place("source");
+    let sink = builder.place("sink");
+    let transition_ids: Vec<usize> = activities
+        .iter()
+        .map(|a| builder.transition(a.clone()))
+        .collect();
+    let index_of = |name: &str| -> usize {
+        activities
+            .iter()
+            .position(|a| a == name)
+            .expect("activity exists")
+    };
+
+    for (a_set, b_set) in yl {
+        let label = format!(
+            "p({{{}}},{{{}}})",
+            a_set.iter().cloned().collect::<Vec<_>>().join(","),
+            b_set.iter().cloned().collect::<Vec<_>>().join(","),
+        );
+        let p = builder.place(label);
+        for a in a_set {
+            builder.arc_out(transition_ids[index_of(a)], p);
+        }
+        for b in b_set {
+            builder.arc_in(p, transition_ids[index_of(b)]);
+        }
+    }
+    for s in &starts {
+        builder.arc_in(source, transition_ids[index_of(s)]);
+    }
+    for e in &ends {
+        builder.arc_out(transition_ids[index_of(e)], sink);
+    }
+    builder.build(source, sink)
+}
+
+/// Enumerate all non-empty activity sets that are pairwise (and self) in the
+/// `#` relation.
+fn choice_cliques(activities: &[String], footprint: &Footprint) -> Vec<BTreeSet<String>> {
+    // Only activities with a # a can participate at all.
+    let eligible: Vec<&String> = activities
+        .iter()
+        .filter(|a| footprint.choice(a, a))
+        .collect();
+    let mut cliques: Vec<BTreeSet<String>> = Vec::new();
+    let mut current: Vec<&String> = Vec::new();
+    fn extend<'a>(
+        eligible: &[&'a String],
+        from: usize,
+        current: &mut Vec<&'a String>,
+        footprint: &Footprint,
+        out: &mut Vec<BTreeSet<String>>,
+    ) {
+        if out.len() >= MAX_CLIQUES {
+            return;
+        }
+        for i in from..eligible.len() {
+            let cand = eligible[i];
+            if current.iter().all(|c| footprint.choice(c, cand)) {
+                current.push(cand);
+                out.push(current.iter().map(|s| s.to_string()).collect());
+                extend(eligible, i + 1, current, footprint, out);
+                current.pop();
+            }
+        }
+    }
+    extend(&eligible, 0, &mut current, footprint, &mut cliques);
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eventlog::log_from;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mines_simple_sequence() {
+        // L = [<a,b,c>] → source→a→p→b→p→c→sink
+        let net = alpha_miner(&log_from(&[&["a", "b", "c"]]));
+        assert_eq!(net.transition_count(), 3);
+        // Replaying the log trace is perfect.
+        let counts = net.replay(&strs(&["a", "b", "c"]));
+        assert_eq!(counts.missing, 0, "{net:?}");
+        assert_eq!(counts.remaining, 0);
+    }
+
+    #[test]
+    fn sequence_net_rejects_wrong_order() {
+        let net = alpha_miner(&log_from(&[&["a", "b", "c"]]));
+        let counts = net.replay(&strs(&["c", "b", "a"]));
+        assert!(counts.missing > 0);
+    }
+
+    #[test]
+    fn mines_xor_split() {
+        // L = [<a,b,d>, <a,c,d>] — after a, choose b or c, then d.
+        let log = log_from(&[&["a", "b", "d"], &["a", "c", "d"]]);
+        let net = alpha_miner(&log);
+        for trace in [vec!["a", "b", "d"], vec!["a", "c", "d"]] {
+            let counts = net.replay(&strs(&trace));
+            assert_eq!(counts.missing, 0, "{trace:?}");
+            assert_eq!(counts.remaining, 0, "{trace:?}");
+        }
+        // The invalid both-branches trace does not fit.
+        let counts = net.replay(&strs(&["a", "b", "c", "d"]));
+        assert!(counts.missing > 0);
+    }
+
+    #[test]
+    fn mines_parallel_split() {
+        // L = [<a,b,c,d>, <a,c,b,d>] — b ∥ c between a and d.
+        let log = log_from(&[&["a", "b", "c", "d"], &["a", "c", "b", "d"]]);
+        let net = alpha_miner(&log);
+        for trace in [vec!["a", "b", "c", "d"], vec!["a", "c", "b", "d"]] {
+            let counts = net.replay(&strs(&trace));
+            assert_eq!(counts.missing, 0, "{trace:?}");
+            assert_eq!(counts.remaining, 0, "{trace:?}");
+        }
+        // Skipping one parallel branch leaves a token behind.
+        let counts = net.replay(&strs(&["a", "b", "d"]));
+        assert!(counts.missing + counts.remaining > 0);
+    }
+
+    #[test]
+    fn discovered_places_encode_relations() {
+        let net = alpha_miner(&log_from(&[&["a", "b"]]));
+        // source, sink and p({a},{b}).
+        assert_eq!(net.place_count(), 3);
+        assert!(net.places.iter().any(|p| p.contains("p({a},{b})")));
+    }
+
+    #[test]
+    fn empty_log_gives_empty_net() {
+        let net = alpha_miner(&EventLog::new());
+        assert_eq!(net.transition_count(), 0);
+        assert_eq!(net.place_count(), 2, "just source and sink");
+    }
+
+    #[test]
+    fn scm_like_flow_fits_its_own_log() {
+        let log = log_from(&[
+            &["pushASN", "ship", "queryASN", "unload"],
+            &["pushASN", "ship", "queryASN", "unload"],
+        ]);
+        let net = alpha_miner(&log);
+        let counts = net.replay(&strs(&["pushASN", "ship", "queryASN", "unload"]));
+        assert_eq!(counts.missing, 0);
+        assert_eq!(counts.remaining, 0);
+        // The anomalous ship-before-pushASN path misfits.
+        let bad = net.replay(&strs(&["ship", "pushASN", "queryASN", "unload"]));
+        assert!(bad.missing > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Conformance checking.
+//!
+//! The paper's approach "can also verify compliance with the new process
+//! model" (§1) — after a redesign, the re-mined log should fit the intended
+//! model. Two standard techniques:
+//!
+//! * **token-replay fitness** — replay every trace over a Petri net and
+//!   aggregate produced/consumed/missing/remaining tokens;
+//! * **footprint conformance** — compare the footprint matrices of two logs
+//!   (or of a log and a model's expected behaviour).
+
+use crate::eventlog::EventLog;
+use crate::footprint::Footprint;
+use crate::petri::{PetriNet, ReplayCounts};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated replay-fitness result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fitness {
+    /// Token-replay fitness in `[0, 1]`.
+    pub fitness: f64,
+    /// Traces that replayed perfectly.
+    pub fitting_traces: usize,
+    /// Total traces replayed.
+    pub total_traces: usize,
+    /// Aggregated token counts.
+    pub counts: ReplayCounts,
+}
+
+impl Fitness {
+    /// Fraction of perfectly fitting traces.
+    pub fn trace_fitness(&self) -> f64 {
+        if self.total_traces == 0 {
+            1.0
+        } else {
+            self.fitting_traces as f64 / self.total_traces as f64
+        }
+    }
+}
+
+/// Replay a whole log over a net.
+pub fn replay_fitness(net: &PetriNet, log: &EventLog) -> Fitness {
+    let mut counts = ReplayCounts::default();
+    let mut fitting = 0usize;
+    for trace in log.traces() {
+        let c = net.replay(&trace.activities);
+        if c.missing == 0 && c.remaining == 0 {
+            fitting += 1;
+        }
+        counts.add(c);
+    }
+    Fitness {
+        fitness: counts.fitness(),
+        fitting_traces: fitting,
+        total_traces: log.len(),
+        counts,
+    }
+}
+
+/// Footprint agreement between two logs in `[0, 1]`
+/// (1.0 = behaviourally identical at the footprint level).
+pub fn footprint_conformance(reference: &EventLog, observed: &EventLog) -> f64 {
+    Footprint::from_log(reference).agreement(&Footprint::from_log(observed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha_miner;
+    use crate::eventlog::log_from;
+
+    #[test]
+    fn self_mined_model_fits_perfectly() {
+        let log = log_from(&[&["a", "b", "d"], &["a", "c", "d"], &["a", "b", "d"]]);
+        let net = alpha_miner(&log);
+        let fit = replay_fitness(&net, &log);
+        assert!((fit.fitness - 1.0).abs() < 1e-12);
+        assert_eq!(fit.fitting_traces, 3);
+        assert!((fit.trace_fitness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviating_log_scores_below_one() {
+        let reference = log_from(&[&["a", "b", "c"]]);
+        let net = alpha_miner(&reference);
+        let observed = log_from(&[&["a", "b", "c"], &["c", "a", "b"]]);
+        let fit = replay_fitness(&net, &observed);
+        assert!(fit.fitness < 1.0);
+        assert_eq!(fit.fitting_traces, 1);
+        assert_eq!(fit.total_traces, 2);
+    }
+
+    #[test]
+    fn footprint_conformance_of_identical_logs() {
+        let a = log_from(&[&["a", "b"], &["a", "c"]]);
+        let b = log_from(&[&["a", "c"], &["a", "b"]]);
+        assert!((footprint_conformance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_conformance_detects_redesign() {
+        // Before: audit happens between pushASN and ship; after: at the end.
+        let before = log_from(&[&["pushASN", "audit", "ship"]]);
+        let after = log_from(&[&["pushASN", "ship", "audit"]]);
+        let agreement = footprint_conformance(&before, &after);
+        assert!(agreement < 1.0, "redesign changes the footprint");
+        assert!(agreement > 0.3, "models still share structure");
+    }
+
+    #[test]
+    fn empty_log_fits_trivially() {
+        let net = alpha_miner(&log_from(&[&["a"]]));
+        let fit = replay_fitness(&net, &EventLog::new());
+        assert_eq!(fit.total_traces, 0);
+        assert!((fit.trace_fitness() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Directly-follows graphs.
+//!
+//! `a ≻ b` counts how often activity `b` immediately follows `a` in some
+//! trace. The DFG underlies the footprint matrix, the heuristics miner, and
+//! the frequency annotations of Figure-2-style model renderings.
+
+use crate::eventlog::EventLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Directly-follows counts plus start/end frequencies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DirectlyFollowsGraph {
+    edges: BTreeMap<(String, String), usize>,
+    starts: BTreeMap<String, usize>,
+    ends: BTreeMap<String, usize>,
+    activity_counts: BTreeMap<String, usize>,
+}
+
+impl DirectlyFollowsGraph {
+    /// Build the DFG of a log.
+    pub fn from_log(log: &EventLog) -> Self {
+        let mut g = DirectlyFollowsGraph::default();
+        for trace in log.traces() {
+            if let Some(first) = trace.activities.first() {
+                *g.starts.entry(first.clone()).or_insert(0) += 1;
+            }
+            if let Some(last) = trace.activities.last() {
+                *g.ends.entry(last.clone()).or_insert(0) += 1;
+            }
+            for a in &trace.activities {
+                *g.activity_counts.entry(a.clone()).or_insert(0) += 1;
+            }
+            for w in trace.activities.windows(2) {
+                *g.edges
+                    .entry((w[0].clone(), w[1].clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+        g
+    }
+
+    /// How often `b` directly follows `a`.
+    pub fn count(&self, a: &str, b: &str) -> usize {
+        self.edges
+            .get(&(a.to_string(), b.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `a ≻ b` occurs at least once.
+    pub fn follows(&self, a: &str, b: &str) -> bool {
+        self.count(a, b) > 0
+    }
+
+    /// All edges with counts.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.edges
+            .iter()
+            .map(|((a, b), c)| (a.as_str(), b.as_str(), *c))
+    }
+
+    /// Activities that start traces, with frequencies.
+    pub fn starts(&self) -> &BTreeMap<String, usize> {
+        &self.starts
+    }
+
+    /// Activities that end traces, with frequencies.
+    pub fn ends(&self) -> &BTreeMap<String, usize> {
+        &self.ends
+    }
+
+    /// Total occurrences of an activity.
+    pub fn activity_count(&self, a: &str) -> usize {
+        self.activity_counts.get(a).copied().unwrap_or(0)
+    }
+
+    /// All activities seen.
+    pub fn activities(&self) -> Vec<&str> {
+        self.activity_counts.keys().map(String::as_str).collect()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eventlog::log_from;
+
+    #[test]
+    fn counts_direct_succession() {
+        let g = DirectlyFollowsGraph::from_log(&log_from(&[
+            &["a", "b", "c"],
+            &["a", "b", "b", "c"],
+        ]));
+        assert_eq!(g.count("a", "b"), 2);
+        assert_eq!(g.count("b", "b"), 1);
+        assert_eq!(g.count("b", "c"), 2);
+        assert_eq!(g.count("a", "c"), 0, "not DIRECTLY followed");
+        assert!(g.follows("a", "b"));
+        assert!(!g.follows("c", "a"));
+    }
+
+    #[test]
+    fn starts_ends_and_activity_counts() {
+        let g = DirectlyFollowsGraph::from_log(&log_from(&[&["a", "b"], &["c", "b"]]));
+        assert_eq!(g.starts().get("a"), Some(&1));
+        assert_eq!(g.starts().get("c"), Some(&1));
+        assert_eq!(g.ends().get("b"), Some(&2));
+        assert_eq!(g.activity_count("b"), 2);
+        assert_eq!(g.activities(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted() {
+        let g = DirectlyFollowsGraph::from_log(&log_from(&[&["b", "a"], &["a", "b"]]));
+        let edges: Vec<(&str, &str, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![("a", "b", 1), ("b", "a", 1)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_graph() {
+        let g = DirectlyFollowsGraph::from_log(&EventLog::new());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.activities().is_empty());
+    }
+}

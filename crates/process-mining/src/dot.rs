@@ -1,0 +1,150 @@
+//! Graphviz DOT export.
+//!
+//! Renders mined models for Figure-2/4-style inspection: Petri nets (places
+//! as circles, transitions as boxes) and dependency graphs / DFGs (activities
+//! as boxes with frequencies, edges annotated with counts).
+
+use crate::dfg::DirectlyFollowsGraph;
+use crate::heuristics::DependencyGraph;
+use crate::petri::PetriNet;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Render a Petri net as DOT.
+pub fn petri_to_dot(net: &PetriNet) -> String {
+    let mut out = String::from("digraph petri {\n  rankdir=LR;\n");
+    for (i, p) in net.places.iter().enumerate() {
+        let shape = if i == net.source {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(
+            out,
+            "  p{i} [shape={shape}, label=\"{}\"];",
+            escape(p)
+        );
+    }
+    for (i, t) in net.transitions.iter().enumerate() {
+        let _ = writeln!(out, "  t{i} [shape=box, label=\"{}\"];", escape(t));
+    }
+    for (t, places) in &net.inputs {
+        for p in places {
+            let _ = writeln!(out, "  p{p} -> t{t};");
+        }
+    }
+    for (t, places) in &net.outputs {
+        for p in places {
+            let _ = writeln!(out, "  t{t} -> p{p};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a directly-follows graph as DOT with edge frequencies.
+pub fn dfg_to_dot(dfg: &DirectlyFollowsGraph) -> String {
+    let mut out = String::from("digraph dfg {\n  rankdir=LR;\n");
+    let _ = writeln!(out, "  __start [shape=circle, label=\"▶\"];");
+    let _ = writeln!(out, "  __end [shape=doublecircle, label=\"■\"];");
+    for a in dfg.activities() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, label=\"{} ({})\"];",
+            escape(a),
+            escape(a),
+            dfg.activity_count(a)
+        );
+    }
+    for (a, n) in dfg.starts() {
+        let _ = writeln!(out, "  __start -> \"{}\" [label=\"{n}\"];", escape(a));
+    }
+    for (a, b, n) in dfg.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{n}\"];",
+            escape(a),
+            escape(b)
+        );
+    }
+    for (a, n) in dfg.ends() {
+        let _ = writeln!(out, "  \"{}\" -> __end [label=\"{n}\"];", escape(a));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a heuristics-miner dependency graph as DOT, annotating each edge
+/// with its dependency measure and observation count.
+pub fn dependency_to_dot(graph: &DependencyGraph) -> String {
+    let mut out = String::from("digraph dependency {\n  rankdir=LR;\n");
+    for (a, n) in &graph.activity_counts {
+        let loop_mark = if graph.self_loops.contains(a) { " ⟲" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, label=\"{} ({n}){loop_mark}\"];",
+            escape(a),
+            escape(a)
+        );
+    }
+    for ((a, b), (dep, obs)) in &graph.edges {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{dep:.2} ({obs})\"];",
+            escape(a),
+            escape(b)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha_miner;
+    use crate::eventlog::log_from;
+    use crate::heuristics::{heuristics_miner, HeuristicsConfig};
+
+    #[test]
+    fn petri_dot_structure() {
+        let net = alpha_miner(&log_from(&[&["a", "b"]]));
+        let dot = petri_to_dot(&net);
+        assert!(dot.starts_with("digraph petri {"));
+        assert!(dot.contains("shape=box, label=\"a\""));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dfg_dot_contains_frequencies() {
+        let dfg = DirectlyFollowsGraph::from_log(&log_from(&[&["a", "b"], &["a", "b"]]));
+        let dot = dfg_to_dot(&dfg);
+        assert!(dot.contains("\"a\" -> \"b\" [label=\"2\"]"));
+        assert!(dot.contains("a (2)"));
+        assert!(dot.contains("__start"));
+        assert!(dot.contains("__end"));
+    }
+
+    #[test]
+    fn dependency_dot_renders_measures() {
+        let g = heuristics_miner(
+            &log_from(&[&["a", "b"], &["a", "b"], &["a", "b"]]),
+            &HeuristicsConfig {
+                dependency_threshold: 0.5,
+                min_observations: 2,
+            },
+        );
+        let dot = dependency_to_dot(&g);
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.contains("(3)"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

@@ -1,0 +1,215 @@
+//! The α-algorithm footprint matrix.
+//!
+//! From the directly-follows relation `≻`, each activity pair falls into one
+//! of four relations:
+//!
+//! * `a → b` — causality: `a ≻ b` and not `b ≻ a`;
+//! * `a ← b` — reverse causality;
+//! * `a ∥ b` — parallel: both `a ≻ b` and `b ≻ a`;
+//! * `a # b` — choice/no relation: neither.
+
+use crate::dfg::DirectlyFollowsGraph;
+use crate::eventlog::EventLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Pairwise activity relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// Causality `a → b`.
+    Causes,
+    /// Reverse causality `a ← b`.
+    CausedBy,
+    /// Parallelism `a ∥ b`.
+    Parallel,
+    /// No relation `a # b`.
+    Choice,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Relation::Causes => "→",
+            Relation::CausedBy => "←",
+            Relation::Parallel => "∥",
+            Relation::Choice => "#",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The footprint matrix of a log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Footprint {
+    activities: Vec<String>,
+    matrix: BTreeMap<(String, String), Relation>,
+}
+
+impl Footprint {
+    /// Compute the footprint of a log.
+    pub fn from_log(log: &EventLog) -> Self {
+        let dfg = DirectlyFollowsGraph::from_log(log);
+        Self::from_dfg(&dfg, log.activities())
+    }
+
+    /// Compute the footprint from a pre-built DFG.
+    pub fn from_dfg(dfg: &DirectlyFollowsGraph, activities: Vec<String>) -> Self {
+        let mut matrix = BTreeMap::new();
+        for a in &activities {
+            for b in &activities {
+                let ab = dfg.follows(a, b);
+                let ba = dfg.follows(b, a);
+                let rel = match (ab, ba) {
+                    (true, true) => Relation::Parallel,
+                    (true, false) => Relation::Causes,
+                    (false, true) => Relation::CausedBy,
+                    (false, false) => Relation::Choice,
+                };
+                matrix.insert((a.clone(), b.clone()), rel);
+            }
+        }
+        Footprint { activities, matrix }
+    }
+
+    /// The relation between two activities (Choice if either is unknown).
+    pub fn relation(&self, a: &str, b: &str) -> Relation {
+        self.matrix
+            .get(&(a.to_string(), b.to_string()))
+            .copied()
+            .unwrap_or(Relation::Choice)
+    }
+
+    /// The activity alphabet, sorted.
+    pub fn activities(&self) -> &[String] {
+        &self.activities
+    }
+
+    /// Whether `a → b`.
+    pub fn causes(&self, a: &str, b: &str) -> bool {
+        self.relation(a, b) == Relation::Causes
+    }
+
+    /// Whether `a # b` (needed for the α-algorithm's independence cliques).
+    pub fn choice(&self, a: &str, b: &str) -> bool {
+        self.relation(a, b) == Relation::Choice
+    }
+
+    /// Fraction of cells where two footprints agree (1.0 = identical
+    /// behaviour over the union alphabet) — the basis of footprint
+    /// conformance checking.
+    pub fn agreement(&self, other: &Footprint) -> f64 {
+        let mut alphabet: Vec<&String> =
+            self.activities.iter().chain(other.activities.iter()).collect();
+        alphabet.sort();
+        alphabet.dedup();
+        if alphabet.is_empty() {
+            return 1.0;
+        }
+        let total = alphabet.len() * alphabet.len();
+        let mut agree = 0usize;
+        for a in &alphabet {
+            for b in &alphabet {
+                if self.relation(a, b) == other.relation(a, b) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    /// Render the matrix as a fixed-width table.
+    pub fn render(&self) -> String {
+        let width = self
+            .activities
+            .iter()
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(1)
+            .max(2);
+        let mut out = String::new();
+        out.push_str(&format!("{:width$} ", ""));
+        for b in &self.activities {
+            out.push_str(&format!("{b:width$} "));
+        }
+        out.push('\n');
+        for a in &self.activities {
+            out.push_str(&format!("{a:width$} "));
+            for b in &self.activities {
+                out.push_str(&format!("{:width$} ", self.relation(a, b).to_string()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eventlog::log_from;
+
+    fn simple() -> Footprint {
+        // L = [<a,b,c>, <a,c,b>] — b and c are parallel after a.
+        Footprint::from_log(&log_from(&[&["a", "b", "c"], &["a", "c", "b"]]))
+    }
+
+    #[test]
+    fn causality_detected() {
+        let f = simple();
+        assert_eq!(f.relation("a", "b"), Relation::Causes);
+        assert_eq!(f.relation("b", "a"), Relation::CausedBy);
+        assert!(f.causes("a", "c"));
+    }
+
+    #[test]
+    fn parallelism_detected() {
+        let f = simple();
+        assert_eq!(f.relation("b", "c"), Relation::Parallel);
+        assert_eq!(f.relation("c", "b"), Relation::Parallel);
+    }
+
+    #[test]
+    fn choice_detected() {
+        let f = Footprint::from_log(&log_from(&[&["a", "b"], &["a", "c"]]));
+        assert_eq!(f.relation("b", "c"), Relation::Choice);
+        assert!(f.choice("b", "c"));
+        // Self-relation of non-looping activities is #.
+        assert!(f.choice("a", "a"));
+    }
+
+    #[test]
+    fn self_loop_is_parallel() {
+        let f = Footprint::from_log(&log_from(&[&["a", "a", "b"]]));
+        assert_eq!(f.relation("a", "a"), Relation::Parallel);
+    }
+
+    #[test]
+    fn identical_logs_agree_fully() {
+        let f = simple();
+        let g = simple();
+        assert!((f.agreement(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_behaviour_lowers_agreement() {
+        let f = Footprint::from_log(&log_from(&[&["a", "b", "c"]]));
+        let g = Footprint::from_log(&log_from(&[&["c", "b", "a"]]));
+        let agreement = f.agreement(&g);
+        assert!(agreement < 0.8, "reversed flow should disagree: {agreement}");
+    }
+
+    #[test]
+    fn render_contains_symbols() {
+        let text = simple().render();
+        assert!(text.contains('→'));
+        assert!(text.contains('∥'));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn unknown_activity_is_choice() {
+        let f = simple();
+        assert_eq!(f.relation("a", "zzz"), Relation::Choice);
+    }
+}

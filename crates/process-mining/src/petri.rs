@@ -1,0 +1,262 @@
+//! Petri nets with token-replay semantics.
+//!
+//! The Alpha miner produces a workflow net: one source place, one sink
+//! place, a transition per activity, and internal places for the discovered
+//! causal relations. Token replay over these nets powers conformance
+//! checking.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A place identifier.
+pub type PlaceId = usize;
+
+/// A Petri net with named transitions (activities).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PetriNet {
+    /// Human-readable place labels (index = [`PlaceId`]).
+    pub places: Vec<String>,
+    /// Transition labels (activities).
+    pub transitions: Vec<String>,
+    /// Arcs place → transition: for each transition index, its input places.
+    pub inputs: BTreeMap<usize, Vec<PlaceId>>,
+    /// Arcs transition → place: for each transition index, its output places.
+    pub outputs: BTreeMap<usize, Vec<PlaceId>>,
+    /// The source place (initial token).
+    pub source: PlaceId,
+    /// The sink place (final token).
+    pub sink: PlaceId,
+}
+
+impl PetriNet {
+    /// Index of a transition by label.
+    pub fn transition_index(&self, label: &str) -> Option<usize> {
+        self.transitions.iter().position(|t| t == label)
+    }
+
+    /// Input places of a transition.
+    pub fn inputs_of(&self, t: usize) -> &[PlaceId] {
+        self.inputs.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Output places of a transition.
+    pub fn outputs_of(&self, t: usize) -> &[PlaceId] {
+        self.outputs.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Replay one trace, counting produced/consumed/missing/remaining tokens
+    /// (the standard token-replay bookkeeping). Unknown activities consume
+    /// and produce nothing but count one missing token (a model violation).
+    pub fn replay(&self, trace: &[String]) -> ReplayCounts {
+        let mut marking: BTreeMap<PlaceId, i64> = BTreeMap::new();
+        marking.insert(self.source, 1);
+        let mut counts = ReplayCounts {
+            produced: 1, // initial token
+            consumed: 0,
+            missing: 0,
+            remaining: 0,
+        };
+        for activity in trace {
+            match self.transition_index(activity) {
+                Some(t) => {
+                    for &p in self.inputs_of(t) {
+                        let tokens = marking.entry(p).or_insert(0);
+                        if *tokens <= 0 {
+                            counts.missing += 1; // token conjured to proceed
+                        } else {
+                            *tokens -= 1;
+                        }
+                        counts.consumed += 1;
+                    }
+                    for &p in self.outputs_of(t) {
+                        *marking.entry(p).or_insert(0) += 1;
+                        counts.produced += 1;
+                    }
+                }
+                None => {
+                    counts.missing += 1;
+                    counts.consumed += 1;
+                }
+            }
+        }
+        // Consume the final token from the sink.
+        let sink_tokens = marking.entry(self.sink).or_insert(0);
+        if *sink_tokens <= 0 {
+            counts.missing += 1;
+        } else {
+            *sink_tokens -= 1;
+        }
+        counts.consumed += 1;
+        counts.remaining += marking.values().filter(|v| **v > 0).map(|v| *v as usize).sum::<usize>();
+        counts
+    }
+}
+
+/// Token-replay bookkeeping for one or more traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayCounts {
+    /// Tokens produced (including the initial token).
+    pub produced: usize,
+    /// Tokens consumed (including the final sink consumption).
+    pub consumed: usize,
+    /// Tokens that had to be conjured (model violations).
+    pub missing: usize,
+    /// Tokens left over after replay (un-consumed work).
+    pub remaining: usize,
+}
+
+impl ReplayCounts {
+    /// Merge counts from another replay.
+    pub fn add(&mut self, other: ReplayCounts) {
+        self.produced += other.produced;
+        self.consumed += other.consumed;
+        self.missing += other.missing;
+        self.remaining += other.remaining;
+    }
+
+    /// The standard token-replay fitness:
+    /// `½(1 − missing/consumed) + ½(1 − remaining/produced)`.
+    pub fn fitness(&self) -> f64 {
+        let miss = if self.consumed == 0 {
+            0.0
+        } else {
+            self.missing as f64 / self.consumed as f64
+        };
+        let rem = if self.produced == 0 {
+            0.0
+        } else {
+            self.remaining as f64 / self.produced as f64
+        };
+        0.5 * (1.0 - miss) + 0.5 * (1.0 - rem)
+    }
+}
+
+/// Builder used by the miners.
+#[derive(Debug, Default)]
+pub struct PetriNetBuilder {
+    net: PetriNet,
+}
+
+impl PetriNetBuilder {
+    /// Start an empty net.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a place, returning its id.
+    pub fn place(&mut self, label: impl Into<String>) -> PlaceId {
+        self.net.places.push(label.into());
+        self.net.places.len() - 1
+    }
+
+    /// Add a transition, returning its index.
+    pub fn transition(&mut self, label: impl Into<String>) -> usize {
+        self.net.transitions.push(label.into());
+        self.net.transitions.len() - 1
+    }
+
+    /// Arc from place to transition.
+    pub fn arc_in(&mut self, p: PlaceId, t: usize) {
+        self.net.inputs.entry(t).or_default().push(p);
+    }
+
+    /// Arc from transition to place.
+    pub fn arc_out(&mut self, t: usize, p: PlaceId) {
+        self.net.outputs.entry(t).or_default().push(p);
+    }
+
+    /// Finish, designating source and sink places.
+    pub fn build(mut self, source: PlaceId, sink: PlaceId) -> PetriNet {
+        self.net.source = source;
+        self.net.sink = sink;
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source → [a] → mid → [b] → sink
+    fn sequence_net() -> PetriNet {
+        let mut b = PetriNetBuilder::new();
+        let src = b.place("source");
+        let mid = b.place("p(a,b)");
+        let sink = b.place("sink");
+        let ta = b.transition("a");
+        let tb = b.transition("b");
+        b.arc_in(src, ta);
+        b.arc_out(ta, mid);
+        b.arc_in(mid, tb);
+        b.arc_out(tb, sink);
+        b.build(src, sink)
+    }
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_trace_has_fitness_one() {
+        let net = sequence_net();
+        let counts = net.replay(&strs(&["a", "b"]));
+        assert_eq!(counts.missing, 0);
+        assert_eq!(counts.remaining, 0);
+        assert!((counts.fitness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipped_activity_leaves_tokens() {
+        let net = sequence_net();
+        let counts = net.replay(&strs(&["a"])); // never fires b
+        assert!(counts.missing > 0, "sink token missing");
+        assert!(counts.remaining > 0, "mid token left behind");
+        assert!(counts.fitness() < 1.0);
+    }
+
+    #[test]
+    fn wrong_order_costs_fitness() {
+        let net = sequence_net();
+        let counts = net.replay(&strs(&["b", "a"]));
+        assert!(counts.missing > 0);
+        assert!(counts.fitness() < 1.0);
+    }
+
+    #[test]
+    fn unknown_activity_counts_missing() {
+        let net = sequence_net();
+        let counts = net.replay(&strs(&["a", "zzz", "b"]));
+        assert!(counts.missing >= 1);
+    }
+
+    #[test]
+    fn counts_merge() {
+        let net = sequence_net();
+        let mut total = ReplayCounts::default();
+        total.add(net.replay(&strs(&["a", "b"])));
+        total.add(net.replay(&strs(&["a", "b"])));
+        assert_eq!(total.missing, 0);
+        assert!((total.fitness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_accessors() {
+        let net = sequence_net();
+        assert_eq!(net.place_count(), 3);
+        assert_eq!(net.transition_count(), 2);
+        assert_eq!(net.transition_index("b"), Some(1));
+        assert_eq!(net.transition_index("x"), None);
+        assert_eq!(net.inputs_of(0), &[0]);
+        assert_eq!(net.outputs_of(1), &[2]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the process-mining algorithms.
+
+use process_mining::alpha::alpha_miner;
+use process_mining::conformance::{footprint_conformance, replay_fitness};
+use process_mining::dfg::DirectlyFollowsGraph;
+use process_mining::eventlog::{EventLog, Trace};
+use process_mining::footprint::{Footprint, Relation};
+use process_mining::heuristics::{heuristics_miner, HeuristicsConfig};
+use proptest::prelude::*;
+
+/// Random logs over a small alphabet with loop-free traces (the α-algorithm's
+/// sweet spot: no length-1/2 loops, every trace non-empty).
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..6, 1..6).prop_map(|mut v| {
+            v.dedup();
+            v
+        }),
+        1..24,
+    )
+    .prop_map(|seqs| {
+        EventLog::from_traces(
+            seqs.into_iter()
+                .enumerate()
+                .map(|(i, seq)| {
+                    Trace::new(
+                        format!("c{i}"),
+                        seq.into_iter().map(|a| format!("a{a}")).collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// DFG edge counts equal the number of adjacent pairs in the log.
+    #[test]
+    fn dfg_counts_are_exact(log in arb_log()) {
+        let dfg = DirectlyFollowsGraph::from_log(&log);
+        let total_edges: usize = dfg.edges().map(|(_, _, c)| c).sum();
+        let expected: usize = log
+            .traces()
+            .iter()
+            .map(|t| t.activities.len().saturating_sub(1))
+            .sum();
+        prop_assert_eq!(total_edges, expected);
+        let total_events: usize = log
+            .activities()
+            .iter()
+            .map(|a| dfg.activity_count(a))
+            .sum();
+        prop_assert_eq!(total_events, log.event_count());
+    }
+
+    /// The footprint matrix is consistent: relation(a,b) mirrors
+    /// relation(b,a) and self-agreement is 1.
+    #[test]
+    fn footprint_symmetry(log in arb_log()) {
+        let f = Footprint::from_log(&log);
+        for a in f.activities() {
+            for b in f.activities() {
+                let ab = f.relation(a, b);
+                let ba = f.relation(b, a);
+                let mirrored = match ab {
+                    Relation::Causes => Relation::CausedBy,
+                    Relation::CausedBy => Relation::Causes,
+                    Relation::Parallel => Relation::Parallel,
+                    Relation::Choice => Relation::Choice,
+                };
+                prop_assert_eq!(ba, mirrored);
+            }
+        }
+        prop_assert!((f.agreement(&f) - 1.0).abs() < 1e-12);
+        prop_assert!((footprint_conformance(&log, &log) - 1.0).abs() < 1e-12);
+    }
+
+    /// Variant frequencies sum to the trace count.
+    #[test]
+    fn variants_conserve(log in arb_log()) {
+        let total: usize = log.variants().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, log.len());
+    }
+
+    /// The heuristics miner's kept edges are a subset of the DFG and its
+    /// dependency values stay in (-1, 1].
+    #[test]
+    fn heuristics_edges_subset_of_dfg(log in arb_log()) {
+        let dfg = DirectlyFollowsGraph::from_log(&log);
+        let g = heuristics_miner(&log, &HeuristicsConfig {
+            dependency_threshold: 0.3,
+            min_observations: 1,
+        });
+        for ((a, b), (dep, obs)) in &g.edges {
+            prop_assert!(dfg.follows(a, b));
+            prop_assert_eq!(*obs, dfg.count(a, b));
+            prop_assert!(*dep > -1.0 && *dep <= 1.0);
+        }
+    }
+
+    /// Raising the dependency threshold never adds edges.
+    #[test]
+    fn heuristics_threshold_monotone(log in arb_log()) {
+        let loose = heuristics_miner(&log, &HeuristicsConfig {
+            dependency_threshold: 0.2,
+            min_observations: 1,
+        });
+        let strict = heuristics_miner(&log, &HeuristicsConfig {
+            dependency_threshold: 0.8,
+            min_observations: 1,
+        });
+        for key in strict.edges.keys() {
+            prop_assert!(loose.edges.contains_key(key));
+        }
+        prop_assert!(strict.edge_count() <= loose.edge_count());
+    }
+
+    /// The α-miner terminates and produces a structurally sane net; a
+    /// straight-line log replays on its own net with perfect fitness.
+    #[test]
+    fn alpha_is_sane(log in arb_log()) {
+        let net = alpha_miner(&log);
+        prop_assert_eq!(net.transition_count(), log.activities().len());
+        prop_assert!(net.place_count() >= 2, "at least source and sink");
+        let fit = replay_fitness(&net, &log);
+        prop_assert!(fit.fitness >= 0.0 && fit.fitness <= 1.0);
+    }
+
+    /// For single-variant sequence logs the α-model reproduces the trace
+    /// perfectly (the classic guarantee for structured logs).
+    #[test]
+    fn alpha_perfect_on_sequences(len in 1usize..7, reps in 1usize..5) {
+        let seq: Vec<String> = (0..len).map(|i| format!("s{i}")).collect();
+        let log = EventLog::from_traces(
+            (0..reps)
+                .map(|i| Trace::new(format!("c{i}"), seq.clone()))
+                .collect(),
+        );
+        let net = alpha_miner(&log);
+        let fit = replay_fitness(&net, &log);
+        prop_assert!((fit.fitness - 1.0).abs() < 1e-12, "fitness {}", fit.fitness);
+        prop_assert_eq!(fit.fitting_traces, reps);
+    }
+}

@@ -1,0 +1,284 @@
+//! Samplers for workload generation.
+//!
+//! * [`Zipf`] — Zipfian ranks for key-distribution skew (Table 2's
+//!   `key distribution skew` control variable);
+//! * [`Exponential`] — inter-arrival jitter for open-loop clients;
+//! * [`DiscreteWeighted`] — weighted activity / endorser selection (Table 2's
+//!   `transaction dist skew` and `endorser dist skew`).
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Zipfian sampler over ranks `0..n` with exponent `s`.
+///
+/// `s = 0` degenerates to the uniform distribution; larger exponents
+/// concentrate mass on low ranks (hot keys). Sampling is inverse-CDF over a
+/// precomputed cumulative table — O(log n) per draw, exact and deterministic.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaNs"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Exponential duration sampler with the given mean.
+///
+/// Used to jitter client inter-arrival times around the configured send rate
+/// (an open-loop Poisson arrival process, like Caliper's fixed-rate driver
+/// with stochastic spacing).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean_micros: f64,
+}
+
+impl Exponential {
+    /// Sampler with the given mean duration.
+    pub fn with_mean(mean: SimDuration) -> Self {
+        Exponential {
+            mean_micros: mean.as_micros() as f64,
+        }
+    }
+
+    /// Draw a duration (clamped to ≥ 1 µs so the event loop always advances).
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        let us = -self.mean_micros * u.ln();
+        SimDuration::from_micros(us.max(1.0).round() as u64)
+    }
+}
+
+/// Discrete distribution over `0..weights.len()` proportional to `weights`.
+#[derive(Debug, Clone)]
+pub struct DiscreteWeighted {
+    cdf: Vec<f64>,
+}
+
+impl DiscreteWeighted {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(weights.len());
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        DiscreteWeighted { cdf }
+    }
+
+    /// Skewed distribution where index 0 receives `hot_share` of the mass and
+    /// the rest share the remainder evenly. `hot_share` in `[0,1]`; with
+    /// `n == 1` all mass is on index 0. This models the paper's
+    /// "transaction dist skew: 70%" (one organization invokes 70 % of txs).
+    pub fn hot_one(n: usize, hot_share: f64) -> Self {
+        assert!(n >= 1);
+        let hot = hot_share.clamp(0.0, 1.0);
+        if n == 1 {
+            return DiscreteWeighted::new(&[1.0]);
+        }
+        let rest = (1.0 - hot) / (n as f64 - 1.0);
+        let mut w = vec![rest; n];
+        w[0] = hot;
+        DiscreteWeighted::new(&w)
+    }
+
+    /// Draw an index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaNs"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_histogram(z: &Zipf, n: usize, draws: usize) -> Vec<usize> {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut hist = vec![0usize; n];
+        for _ in 0..draws {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let hist = draw_histogram(&z, 10, 100_000);
+        for &h in &hist {
+            assert!((8_000..12_000).contains(&h), "bucket {h} not ~10k");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let hist = draw_histogram(&z, 100, 100_000);
+        assert!(hist[0] > hist[10], "rank 0 should dominate rank 10");
+        assert!(hist[0] > 10_000, "rank 0 should hold >10% of mass");
+    }
+
+    #[test]
+    fn zipf_heavy_skew_concentrates_mass() {
+        let z = Zipf::new(100, 2.0);
+        let hist = draw_histogram(&z, 100, 100_000);
+        assert!(hist[0] > 55_000, "s=2 puts >55% on the top key: {}", hist[0]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.5);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let e = Exponential::with_mean(SimDuration::from_millis(10));
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| e.sample(&mut rng).as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (9_000.0..11_000.0).contains(&mean),
+            "mean {mean}µs not ≈10ms"
+        );
+    }
+
+    #[test]
+    fn exponential_never_returns_zero() {
+        let e = Exponential::with_mean(SimDuration::from_micros(1));
+        let mut rng = SimRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng).as_micros() >= 1);
+        }
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let d = DiscreteWeighted::new(&[8.0, 1.0, 1.0]);
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut hist = [0usize; 3];
+        for _ in 0..100_000 {
+            hist[d.sample(&mut rng)] += 1;
+        }
+        assert!(hist[0] > 75_000, "index 0 should get ~80%: {}", hist[0]);
+    }
+
+    #[test]
+    fn weighted_zero_weight_never_drawn() {
+        let d = DiscreteWeighted::new(&[1.0, 0.0, 1.0]);
+        let mut rng = SimRng::seed_from_u64(19);
+        for _ in 0..10_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn hot_one_assigns_requested_share() {
+        let d = DiscreteWeighted::hot_one(4, 0.7);
+        let mut rng = SimRng::seed_from_u64(23);
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng) == 0).count();
+        assert!((68_000..72_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn hot_one_single_org() {
+        let d = DiscreteWeighted::hot_one(1, 0.7);
+        let mut rng = SimRng::seed_from_u64(29);
+        assert_eq!(d.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_rejects_all_zero() {
+        let _ = DiscreteWeighted::new(&[0.0, 0.0]);
+    }
+}

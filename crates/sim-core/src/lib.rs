@@ -1,0 +1,35 @@
+//! # sim-core
+//!
+//! A small, deterministic discrete-event simulation (DES) toolkit used by the
+//! Fabric network simulator (`fabric-sim`).
+//!
+//! The crate provides:
+//!
+//! * [`time`] — a microsecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]);
+//! * [`events`] — a deterministic event queue with stable FIFO tie-breaking;
+//! * [`rng`] — seedable random-number streams so that every simulation run is
+//!   reproducible bit-for-bit;
+//! * [`dist`] — the samplers the paper's workload generator needs (Zipfian key
+//!   skew, exponential inter-arrival, discrete weighted choice);
+//! * [`server`] — analytic FIFO queueing servers used to model endorsers, the
+//!   ordering service, validators and clients;
+//! * [`stats`] — summaries (mean / percentiles), time-bucketed rate series and
+//!   fixed-width histograms used by the metric-derivation layer.
+//!
+//! Nothing here is blockchain specific; `fabric-sim` composes these pieces
+//! into the execute-order-validate pipeline.
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+
+pub use dist::{DiscreteWeighted, Exponential, Zipf};
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use server::{MultiServer, QueueServer};
+pub use stats::{Summary, TimeBuckets};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,203 @@
+//! Analytic FIFO queueing servers.
+//!
+//! The simulator does not model peers as explicit processes; instead each
+//! resource (an endorsing peer, the ordering service, the validation stage of
+//! a peer, a client worker) is a *work-conserving FIFO server*: a job arriving
+//! at time `a` with service demand `s` starts at `max(a, server_free)` and
+//! finishes `s` later. This is exact for FIFO queues with deterministic
+//! service order and keeps the whole pipeline O(1) per job.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A single work-conserving FIFO server.
+#[derive(Debug, Clone, Default)]
+pub struct QueueServer {
+    free_at: SimTime,
+    busy: SimDuration,
+    jobs: u64,
+}
+
+impl QueueServer {
+    /// A new idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a job arriving at `arrival` with service demand `service`.
+    /// Returns `(start, completion)`.
+    pub fn submit(&mut self, arrival: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let start = arrival.max(self.free_at);
+        let done = start + service;
+        self.free_at = done;
+        self.busy += service;
+        self.jobs += 1;
+        (start, done)
+    }
+
+    /// Earliest instant at which the server is idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total service time delivered so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[0, horizon]` (clamped to `[0, 1]`).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.as_micros() == 0 {
+            return 0.0;
+        }
+        (self.busy.as_micros() as f64 / horizon.as_micros() as f64).min(1.0)
+    }
+}
+
+/// A pool of `k` identical FIFO servers with a shared queue
+/// (jobs go to whichever server frees up first — an M/G/k-style discipline).
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    // Min-heap of per-server next-free instants.
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    busy: SimDuration,
+    jobs: u64,
+}
+
+impl MultiServer {
+    /// A pool of `servers ≥ 1` idle servers.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        MultiServer {
+            free_at,
+            servers,
+            busy: SimDuration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Submit a job arriving at `arrival` with demand `service`;
+    /// returns `(start, completion)` on the first server to free up.
+    pub fn submit(&mut self, arrival: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let Reverse(earliest) = self.free_at.pop().expect("pool is never empty");
+        let start = arrival.max(earliest);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy += service;
+        self.jobs += 1;
+        (start, done)
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Total service time delivered across the pool.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Pool utilization over `[0, horizon]` (fraction of aggregate capacity).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.as_micros() == 0 {
+            return 0.0;
+        }
+        let capacity = horizon.as_micros() as f64 * self.servers as f64;
+        (self.busy.as_micros() as f64 / capacity).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> SimDuration = SimDuration::from_millis;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = QueueServer::new();
+        let (start, done) = s.submit(SimTime::from_millis(5), MS(10));
+        assert_eq!(start, SimTime::from_millis(5));
+        assert_eq!(done, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = QueueServer::new();
+        s.submit(SimTime::ZERO, MS(10));
+        let (start, done) = s.submit(SimTime::from_millis(2), MS(10));
+        assert_eq!(start, SimTime::from_millis(10), "waits for first job");
+        assert_eq!(done, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn gap_leaves_server_idle() {
+        let mut s = QueueServer::new();
+        s.submit(SimTime::ZERO, MS(1));
+        let (start, _) = s.submit(SimTime::from_millis(100), MS(1));
+        assert_eq!(start, SimTime::from_millis(100));
+        assert_eq!(s.busy_time(), MS(2));
+        assert_eq!(s.jobs_served(), 2);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_horizon() {
+        let mut s = QueueServer::new();
+        s.submit(SimTime::ZERO, MS(30));
+        assert!((s.utilization(SimTime::from_millis(100)) - 0.3).abs() < 1e-9);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn multi_server_runs_jobs_in_parallel() {
+        let mut m = MultiServer::new(2);
+        let (_, d1) = m.submit(SimTime::ZERO, MS(10));
+        let (_, d2) = m.submit(SimTime::ZERO, MS(10));
+        let (_, d3) = m.submit(SimTime::ZERO, MS(10));
+        assert_eq!(d1, SimTime::from_millis(10));
+        assert_eq!(d2, SimTime::from_millis(10), "second server in parallel");
+        assert_eq!(d3, SimTime::from_millis(20), "third job queues");
+    }
+
+    #[test]
+    fn multi_server_prefers_earliest_free() {
+        let mut m = MultiServer::new(2);
+        m.submit(SimTime::ZERO, MS(100)); // server A busy till 100
+        m.submit(SimTime::ZERO, MS(10)); // server B busy till 10
+        let (start, _) = m.submit(SimTime::from_millis(20), MS(5));
+        assert_eq!(start, SimTime::from_millis(20), "server B is free again");
+    }
+
+    #[test]
+    fn multi_server_utilization_accounts_for_pool_size() {
+        let mut m = MultiServer::new(4);
+        m.submit(SimTime::ZERO, MS(100));
+        assert!((m.utilization(SimTime::from_millis(100)) - 0.25).abs() < 1e-9);
+        assert_eq!(m.servers(), 4);
+        assert_eq!(m.jobs_served(), 1);
+        assert_eq!(m.busy_time(), MS(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = MultiServer::new(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the DES primitives.
+
+use proptest::prelude::*;
+use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
+use sim_core::events::EventQueue;
+use sim_core::rng::SimRng;
+use sim_core::server::{MultiServer, QueueServer};
+use sim_core::stats::{Summary, TimeBuckets};
+use sim_core::time::{SimDuration, SimTime};
+
+proptest! {
+    /// The event queue pops in non-decreasing time order and FIFO on ties,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((now, payload)) = q.pop() {
+            let t = times[payload];
+            prop_assert!(now >= SimTime::from_micros(t));
+            if let Some((lt, lp)) = last {
+                let lt_orig = times[lp];
+                prop_assert!(lt_orig <= t || lt >= SimTime::from_micros(t));
+                if lt_orig == t {
+                    prop_assert!(lp < payload, "FIFO on equal timestamps");
+                }
+            }
+            last = Some((now, payload));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// FIFO server: jobs start no earlier than they arrive, never overlap,
+    /// and busy time equals the sum of service demands.
+    #[test]
+    fn queue_server_is_work_conserving(
+        jobs in prop::collection::vec((0u64..100_000, 1u64..5_000), 1..100)
+    ) {
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        let mut s = QueueServer::new();
+        let mut prev_done = SimTime::ZERO;
+        let mut total = 0u64;
+        for (arrival, service) in &sorted {
+            let (start, done) = s.submit(
+                SimTime::from_micros(*arrival),
+                SimDuration::from_micros(*service),
+            );
+            prop_assert!(start >= SimTime::from_micros(*arrival));
+            prop_assert!(start >= prev_done, "no overlap");
+            prop_assert_eq!(done, start + SimDuration::from_micros(*service));
+            prev_done = done;
+            total += service;
+        }
+        prop_assert_eq!(s.busy_time(), SimDuration::from_micros(total));
+        prop_assert_eq!(s.jobs_served(), sorted.len() as u64);
+    }
+
+    /// Multi-server pool: never worse than a single server, never better
+    /// than perfect parallelism.
+    #[test]
+    fn multi_server_bounds(
+        jobs in prop::collection::vec(1u64..2_000, 1..80),
+        servers in 1usize..6
+    ) {
+        let mut pool = MultiServer::new(servers);
+        let mut single = QueueServer::new();
+        let mut pool_last = SimTime::ZERO;
+        let mut single_last = SimTime::ZERO;
+        let total: u64 = jobs.iter().sum();
+        for &service in &jobs {
+            let d = SimDuration::from_micros(service);
+            let (_, pd) = pool.submit(SimTime::ZERO, d);
+            let (_, sd) = single.submit(SimTime::ZERO, d);
+            pool_last = pool_last.max(pd);
+            single_last = single_last.max(sd);
+        }
+        prop_assert!(pool_last <= single_last);
+        let perfect = total / servers as u64;
+        prop_assert!(pool_last.as_micros() >= perfect);
+    }
+
+    /// Zipf samples stay in range and the top rank dominates under skew.
+    #[test]
+    fn zipf_in_range(n in 2usize..500, s in 0.0f64..2.5, seed in 0u64..1_000) {
+        let z = Zipf::new(n, s);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        if s > 0.5 {
+            prop_assert!(z.pmf(0) >= z.pmf(n - 1));
+        }
+    }
+
+    /// Weighted sampling never returns a zero-weight index.
+    #[test]
+    fn weighted_respects_support(weights in prop::collection::vec(0.0f64..10.0, 2..20), seed in 0u64..500) {
+        prop_assume!(weights.iter().any(|w| *w > 0.0));
+        let d = DiscreteWeighted::new(&weights);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..300 {
+            let idx = d.sample(&mut rng);
+            prop_assert!(weights[idx] > 0.0, "index {} has zero weight", idx);
+        }
+    }
+
+    /// Exponential samples are strictly positive and mean-consistent.
+    #[test]
+    fn exponential_positive(mean_us in 10u64..100_000, seed in 0u64..200) {
+        let e = Exponential::with_mean(SimDuration::from_micros(mean_us));
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 2_000;
+        let total: u64 = (0..n).map(|_| {
+            let d = e.sample(&mut rng);
+            assert!(d.as_micros() >= 1);
+            d.as_micros()
+        }).sum();
+        let sample_mean = total as f64 / n as f64;
+        prop_assert!(sample_mean > mean_us as f64 * 0.85);
+        prop_assert!(sample_mean < mean_us as f64 * 1.15);
+    }
+
+    /// Summary invariants: min ≤ p50 ≤ p95 ≤ p99 ≤ max, mean within range.
+    #[test]
+    fn summary_order(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.p50);
+        prop_assert!(s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    /// Time buckets conserve the event count.
+    #[test]
+    fn buckets_conserve(events in prop::collection::vec(0u64..1_000_000, 0..300), width in 1u64..100_000) {
+        let mut b = TimeBuckets::new(SimDuration::from_micros(width));
+        for &t in &events {
+            b.record(SimTime::from_micros(t));
+        }
+        prop_assert_eq!(b.total() as usize, events.len());
+    }
+
+    /// Derived RNG streams are reproducible.
+    #[test]
+    fn derived_streams_reproducible(seed in 0u64..10_000, label in 0u64..10_000) {
+        let mut a = SimRng::derive(seed, label);
+        let mut b = SimRng::derive(seed, label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+}

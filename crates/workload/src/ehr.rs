@@ -1,0 +1,238 @@
+//! Electronic Health Records workload (paper §5.1.2, Figure 15).
+//!
+//! "We assume that the number of patients would be more than the other
+//! participants and generate a 70 % update-heavy workload of 10,000
+//! transactions." The remainder splits across grants, revokes (a
+//! configurable share of which are anomalous — revoking access that was
+//! never granted, the pruning target) and queries.
+
+use crate::bundle::WorkloadBundle;
+use chaincode::EhrContract;
+use fabric_sim::sim::TxRequest;
+use fabric_sim::types::{OrgId, Value};
+use sim_core::dist::{DiscreteWeighted, Exponential};
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// EHR workload parameters.
+#[derive(Debug, Clone)]
+pub struct EhrSpec {
+    /// Number of seeded patients.
+    pub patients: usize,
+    /// Number of institutes requesting access.
+    pub institutes: usize,
+    /// Fraction of `updateRecord` transactions (70 % in the paper).
+    pub update_share: f64,
+    /// Of the revokes, the fraction that are anomalous (never granted).
+    pub anomalous_revoke_rate: f64,
+    /// Offered send rate (tx/s).
+    pub send_rate: f64,
+    /// Total transactions.
+    pub transactions: usize,
+    /// Number of client organizations.
+    pub orgs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for EhrSpec {
+    fn default() -> Self {
+        EhrSpec {
+            patients: 120,
+            institutes: 20,
+            update_share: 0.70,
+            anomalous_revoke_rate: 0.40,
+            send_rate: 300.0,
+            transactions: 10_000,
+            orgs: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Patient key for index `i`.
+pub fn patient_key(i: usize) -> String {
+    format!("PT{i:04}")
+}
+
+/// Institute name for index `i`.
+pub fn institute_name(i: usize) -> String {
+    format!("inst{i:02}")
+}
+
+/// Generate the EHR workload with the base contract.
+pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
+    let mut rng = SimRng::derive(spec.seed, 0xE4B0);
+    // Residual mix: queries dominate the non-update traffic (institutes
+    // poll records far more often than access rights change).
+    let rest = 1.0 - spec.update_share;
+    let mix = DiscreteWeighted::new(&[
+        spec.update_share,
+        rest * 0.27, // grantAccess
+        rest * 0.27, // revokeAccess
+        rest * 0.46, // queryRecord
+    ]);
+    let inter =
+        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
+    let org_pick = DiscreteWeighted::new(&vec![1.0; spec.orgs]);
+
+    // Track expected grants so valid revokes target really-granted pairs.
+    let mut granted: HashMap<usize, BTreeSet<usize>> = HashMap::new();
+
+    let mut requests = Vec::with_capacity(spec.transactions);
+    let mut clock = SimTime::ZERO;
+    for i in 0..spec.transactions {
+        clock += inter.sample(&mut rng);
+        let patient = rng.below(spec.patients);
+        let (activity, args): (&str, Vec<Value>) = match mix.sample(&mut rng) {
+            0 => (
+                "updateRecord",
+                vec![patient_key(patient).into(), Value::Int(i as i64)],
+            ),
+            1 => {
+                let inst = rng.below(spec.institutes);
+                granted.entry(patient).or_default().insert(inst);
+                (
+                    "grantAccess",
+                    vec![patient_key(patient).into(), institute_name(inst).into()],
+                )
+            }
+            2 => {
+                let anomalous = rng.chance(spec.anomalous_revoke_rate);
+                let grants = granted.get(&patient);
+                let inst = if anomalous || grants.is_none_or(BTreeSet::is_empty) {
+                    // Deliberately target an institute that was never granted.
+                    spec.institutes + rng.below(spec.institutes)
+                } else {
+                    let set = grants.unwrap();
+                    let pick = *set.iter().nth(rng.below(set.len())).unwrap();
+                    granted.get_mut(&patient).unwrap().remove(&pick);
+                    pick
+                };
+                (
+                    "revokeAccess",
+                    vec![patient_key(patient).into(), institute_name(inst).into()],
+                )
+            }
+            _ => ("queryRecord", vec![patient_key(patient).into()]),
+        };
+        requests.push(TxRequest {
+            send_time: clock,
+            contract: EhrContract::NAME.to_string(),
+            activity: activity.to_string(),
+            args,
+            invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
+        });
+    }
+
+    let genesis = (0..spec.patients)
+        .map(|i| {
+            (
+                EhrContract::NAME.to_string(),
+                patient_key(i),
+                EhrContract::genesis_record(&patient_key(i)),
+            )
+        })
+        .collect();
+
+    WorkloadBundle {
+        contracts: vec![Arc::new(EhrContract::base())],
+        genesis,
+        requests,
+    }
+}
+
+/// The pruned variant: anomalous revokes abort during endorsement.
+pub fn pruned(bundle: WorkloadBundle) -> WorkloadBundle {
+    bundle.with_contracts(vec![Arc::new(EhrContract::pruned())])
+}
+
+/// Activities the reordering recommendation reschedules ("activity
+/// reordering for the read activities", §6.2).
+pub const REORDERABLE: [&str; 1] = ["queryRecord"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_share_matches() {
+        let b = generate(&EhrSpec::default());
+        let updates = b
+            .requests
+            .iter()
+            .filter(|r| r.activity == "updateRecord")
+            .count();
+        let share = updates as f64 / b.len() as f64;
+        assert!((share - 0.70).abs() < 0.02, "{share}");
+    }
+
+    #[test]
+    fn anomalous_revokes_target_unknown_institutes() {
+        let spec = EhrSpec {
+            anomalous_revoke_rate: 1.0,
+            transactions: 3_000,
+            ..Default::default()
+        };
+        let b = generate(&spec);
+        for r in b.requests.iter().filter(|r| r.activity == "revokeAccess") {
+            let inst = r.args[1].as_str().unwrap();
+            let idx: usize = inst.trim_start_matches("inst").parse().unwrap();
+            assert!(idx >= spec.institutes, "anomalous revoke uses ghost inst");
+        }
+    }
+
+    #[test]
+    fn valid_revokes_follow_grants() {
+        let spec = EhrSpec {
+            anomalous_revoke_rate: 0.0,
+            transactions: 5_000,
+            ..Default::default()
+        };
+        let b = generate(&spec);
+        // Replay: every non-anomalous revoke's (patient, inst) must have an
+        // earlier grant.
+        let mut seen: std::collections::HashSet<(String, String)> = Default::default();
+        for r in &b.requests {
+            let p = r.args[0].as_str().unwrap().to_string();
+            match r.activity.as_str() {
+                "grantAccess" => {
+                    seen.insert((p, r.args[1].as_str().unwrap().to_string()));
+                }
+                "revokeAccess" => {
+                    let inst = r.args[1].as_str().unwrap().to_string();
+                    let idx: usize = inst.trim_start_matches("inst").parse().unwrap();
+                    if idx < spec.institutes {
+                        assert!(seen.contains(&(p, inst)), "revoke without grant");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn genesis_covers_all_patients() {
+        let b = generate(&EhrSpec::default());
+        assert_eq!(b.genesis.len(), EhrSpec::default().patients);
+    }
+
+    #[test]
+    fn pruned_keeps_schedule() {
+        let b = generate(&EhrSpec::default());
+        let n = b.len();
+        assert_eq!(pruned(b).len(), n);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&EhrSpec::default());
+        let b = generate(&EhrSpec::default());
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.activity, y.activity);
+            assert_eq!(x.args, y.args);
+        }
+    }
+}

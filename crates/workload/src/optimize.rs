@@ -1,0 +1,157 @@
+//! Workload-level optimization transforms (Table 4).
+//!
+//! The paper implements *activity reordering* and *transaction rate control*
+//! through the Caliper client manager: the transaction volume stays the
+//! same, only the order and pacing change. These helpers do the same to a
+//! request schedule:
+//!
+//! * [`move_to_end`] / [`move_to_front`] — reorder the schedule so the named
+//!   activities run after (before) everything else, keeping the original
+//!   injection timestamps ("organizational measures restrict specific
+//!   transactions to specific time periods", §6.2);
+//! * [`rate_control`] — re-space the schedule at a lower rate (Table 4 sets
+//!   100 tps).
+
+use fabric_sim::sim::TxRequest;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Reorder so transactions of `activities` execute after all others.
+/// The multiset of send times is preserved (time slots are reassigned to the
+/// new order), so the offered rate is unchanged.
+pub fn move_to_end(requests: &[TxRequest], activities: &[&str]) -> Vec<TxRequest> {
+    reorder(requests, activities, false)
+}
+
+/// Reorder so transactions of `activities` execute before all others.
+pub fn move_to_front(requests: &[TxRequest], activities: &[&str]) -> Vec<TxRequest> {
+    reorder(requests, activities, true)
+}
+
+fn reorder(requests: &[TxRequest], activities: &[&str], front: bool) -> Vec<TxRequest> {
+    let mut times: Vec<SimTime> = requests.iter().map(|r| r.send_time).collect();
+    times.sort_unstable();
+
+    let is_target = |r: &TxRequest| activities.iter().any(|a| *a == r.activity);
+    let mut picked: Vec<TxRequest> = Vec::with_capacity(requests.len());
+    let (first, second): (Vec<&TxRequest>, Vec<&TxRequest>) = if front {
+        (
+            requests.iter().filter(|r| is_target(r)).collect(),
+            requests.iter().filter(|r| !is_target(r)).collect(),
+        )
+    } else {
+        (
+            requests.iter().filter(|r| !is_target(r)).collect(),
+            requests.iter().filter(|r| is_target(r)).collect(),
+        )
+    };
+    for r in first.into_iter().chain(second) {
+        picked.push(r.clone());
+    }
+    for (r, t) in picked.iter_mut().zip(times) {
+        r.send_time = t;
+    }
+    picked
+}
+
+/// Re-space the schedule at `rate` transactions per second (deterministic
+/// spacing, order preserved, starting at the original first send time).
+pub fn rate_control(requests: &[TxRequest], rate: f64) -> Vec<TxRequest> {
+    assert!(rate > 0.0, "rate must be positive");
+    let mut out: Vec<TxRequest> = requests.to_vec();
+    out.sort_by_key(|r| r.send_time);
+    let start = out.first().map(|r| r.send_time).unwrap_or(SimTime::ZERO);
+    let gap = 1.0 / rate;
+    for (i, r) in out.iter_mut().enumerate() {
+        r.send_time = start + SimDuration::from_secs_f64(gap * i as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::types::OrgId;
+
+    fn req(i: u64, activity: &str) -> TxRequest {
+        TxRequest {
+            send_time: SimTime::from_millis(i * 100),
+            contract: "cc".into(),
+            activity: activity.into(),
+            args: vec![],
+            invoker_org: OrgId(0),
+        }
+    }
+
+    fn schedule() -> Vec<TxRequest> {
+        vec![
+            req(0, "query"),
+            req(1, "write"),
+            req(2, "query"),
+            req(3, "write"),
+            req(4, "audit"),
+        ]
+    }
+
+    #[test]
+    fn move_to_end_pushes_targets_last() {
+        let out = move_to_end(&schedule(), &["query", "audit"]);
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["write", "write", "query", "query", "audit"]);
+        // Time slots are exactly the original multiset, in order.
+        let times: Vec<u64> = out.iter().map(|r| r.send_time.as_micros()).collect();
+        assert_eq!(times, vec![0, 100_000, 200_000, 300_000, 400_000]);
+    }
+
+    #[test]
+    fn move_to_front_pulls_targets_first() {
+        let out = move_to_front(&schedule(), &["audit"]);
+        assert_eq!(out[0].activity, "audit");
+        assert_eq!(out[0].send_time, SimTime::ZERO);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn reorder_preserves_relative_order_within_groups() {
+        let reqs = vec![
+            req(0, "a"),
+            req(1, "b"),
+            req(2, "a"),
+            req(3, "b"),
+        ];
+        let out = move_to_end(&reqs, &["a"]);
+        let ids: Vec<u64> = out
+            .iter()
+            .map(|r| r.args.len() as u64) // placeholder: use activity order
+            .collect();
+        assert_eq!(ids.len(), 4);
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["b", "b", "a", "a"], "stable within groups");
+    }
+
+    #[test]
+    fn rate_control_respaces_schedule() {
+        let out = rate_control(&schedule(), 2.0);
+        let times: Vec<u64> = out.iter().map(|r| r.send_time.as_micros()).collect();
+        assert_eq!(times, vec![0, 500_000, 1_000_000, 1_500_000, 2_000_000]);
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["query", "write", "query", "write", "audit"]);
+    }
+
+    #[test]
+    fn rate_control_keeps_count() {
+        let out = rate_control(&schedule(), 100.0);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = rate_control(&schedule(), 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_ok() {
+        assert!(move_to_end(&[], &["x"]).is_empty());
+        assert!(rate_control(&[], 10.0).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Supply Chain Management workload (paper §5.1.2, Figures 2/4/13).
+//!
+//! Products flow through `pushASN → ship → queryASN → unload`, sent in stage
+//! waves over product batches (so consecutive stages of one product land
+//! close enough in time to contend under load), while `queryProducts` and
+//! `updateAuditInfo` are interspersed randomly. A small fraction of products
+//! suffer *manual errors* — `ship` issued before `pushASN`, or `unload`
+//! without a `ship` — producing the illogical branches of Figure 2.
+
+use crate::bundle::WorkloadBundle;
+use chaincode::ScmContract;
+use fabric_sim::sim::TxRequest;
+use fabric_sim::types::{OrgId, Value};
+use sim_core::dist::{DiscreteWeighted, Exponential};
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// SCM workload parameters.
+#[derive(Debug, Clone)]
+pub struct ScmSpec {
+    /// Products tracked through the pipeline.
+    pub products: usize,
+    /// Seeded audit entries (`updateAuditInfo` targets).
+    pub audits: usize,
+    /// Products processed per stage wave — smaller batches put consecutive
+    /// stages of a product closer together in the schedule.
+    pub batch: usize,
+    /// Fraction of total transactions that are `queryProducts`.
+    pub query_share: f64,
+    /// Fraction of total transactions that are `updateAuditInfo`.
+    pub audit_share: f64,
+    /// Fraction of products with a manual-error flow (Figure 2 anomalies).
+    pub anomaly_rate: f64,
+    /// Offered send rate (tx/s).
+    pub send_rate: f64,
+    /// Total transactions (the paper generates 10 000).
+    pub transactions: usize,
+    /// Number of client organizations.
+    pub orgs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ScmSpec {
+    fn default() -> Self {
+        ScmSpec {
+            products: 1_500,
+            audits: 250,
+            batch: 600,
+            query_share: 0.20,
+            audit_share: 0.20,
+            anomaly_rate: 0.08,
+            send_rate: 300.0,
+            transactions: 10_000,
+            orgs: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Product key for index `i`.
+pub fn product_key(i: usize) -> String {
+    format!("P{i:04}")
+}
+
+/// Audit key for index `i`.
+pub fn audit_key(i: usize) -> String {
+    format!("A{i:04}")
+}
+
+/// Generate the SCM workload with the base (unpruned) contract.
+pub fn generate(spec: &ScmSpec) -> WorkloadBundle {
+    let mut rng = SimRng::derive(spec.seed, 0x5C31);
+    let flow_share = 1.0 - spec.query_share - spec.audit_share;
+    assert!(flow_share > 0.0, "query+audit shares must leave room");
+
+    // How many products fit the flow budget (4 stages per product).
+    let flow_txs = (spec.transactions as f64 * flow_share) as usize;
+    let products = (flow_txs / 4).min(spec.products).max(1);
+
+    // Build the flow schedule in stage waves over product batches.
+    let stages = ["pushASN", "ship", "queryASN", "unload"];
+    let mut flow: Vec<(usize, &str)> = Vec::with_capacity(products * 4);
+    let mut batch_start = 0usize;
+    while batch_start < products {
+        let batch_end = (batch_start + spec.batch).min(products);
+        for (si, stage) in stages.iter().enumerate() {
+            for p in batch_start..batch_end {
+                // Manual errors: some products swap pushASN and ship, some
+                // lose their ship entirely (unload without ship).
+                let anomalous = rng_for_product(spec.seed, p).f64() < spec.anomaly_rate;
+                if anomalous {
+                    match si {
+                        0 => flow.push((p, "ship")),
+                        1 => flow.push((p, "pushASN")),
+                        2 => flow.push((p, "queryASN")),
+                        _ => flow.push((p, "unload")),
+                    }
+                } else {
+                    flow.push((p, stage));
+                }
+            }
+        }
+        batch_start = batch_end;
+    }
+
+    // Interleave queries and audit updates at random positions.
+    let query_txs = (spec.transactions as f64 * spec.query_share) as usize;
+    let audit_txs = (spec.transactions as f64 * spec.audit_share) as usize;
+    let mut slots: Vec<u8> = Vec::with_capacity(flow.len() + query_txs + audit_txs);
+    slots.resize(flow.len(), 0u8);
+    slots.resize(flow.len() + query_txs, 1u8);
+    slots.resize(flow.len() + query_txs + audit_txs, 2u8);
+    rng.shuffle(&mut slots);
+
+    let inter =
+        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
+    let org_pick = DiscreteWeighted::new(&vec![1.0; spec.orgs]);
+    let mut flow_iter = flow.into_iter();
+    let mut clock = SimTime::ZERO;
+    let mut requests = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        clock += inter.sample(&mut rng);
+        let (activity, args): (String, Vec<Value>) = match slot {
+            0 => match flow_iter.next() {
+                Some((p, stage)) => (stage.to_string(), vec![product_key(p).into()]),
+                None => continue,
+            },
+            1 => {
+                let a = product_key(rng.below(products));
+                let b = product_key(rng.below(products));
+                ("queryProducts".to_string(), vec![a.into(), b.into()])
+            }
+            _ => {
+                let p = product_key(rng.below(products));
+                let a = audit_key(rng.below(spec.audits));
+                (
+                    "updateAuditInfo".to_string(),
+                    vec![p.into(), a.into(), Value::Int(i as i64)],
+                )
+            }
+        };
+        requests.push(TxRequest {
+            send_time: clock,
+            contract: ScmContract::NAME.to_string(),
+            activity,
+            args,
+            invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
+        });
+    }
+
+    let mut genesis: Vec<(String, String, Value)> = (0..spec.products)
+        .map(|i| (ScmContract::NAME.to_string(), product_key(i), Value::Int(1)))
+        .collect();
+    genesis.extend((0..spec.audits).map(|i| {
+        (
+            ScmContract::NAME.to_string(),
+            audit_key(i),
+            Value::Str("audit:init".into()),
+        )
+    }));
+
+    WorkloadBundle {
+        contracts: vec![Arc::new(ScmContract::base())],
+        genesis,
+        requests,
+    }
+}
+
+/// The same bundle with the pruned contract installed (process-model
+/// pruning implemented in the smart contract, §6.2).
+pub fn pruned(bundle: WorkloadBundle) -> WorkloadBundle {
+    bundle.with_contracts(vec![Arc::new(ScmContract::pruned())])
+}
+
+/// Activities the paper's reordering recommendation reschedules to the end.
+pub const REORDERABLE: [&str; 2] = ["queryProducts", "updateAuditInfo"];
+
+fn rng_for_product(seed: u64, product: usize) -> SimRng {
+    SimRng::derive(seed, 0xA110 + product as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn counts(b: &WorkloadBundle) -> HashMap<String, usize> {
+        let mut m = HashMap::new();
+        for r in &b.requests {
+            *m.entry(r.activity.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn shares_respected() {
+        let b = generate(&ScmSpec::default());
+        let c = counts(&b);
+        let total = b.len() as f64;
+        assert!((c["queryProducts"] as f64 / total - 0.20).abs() < 0.02, "{c:?}");
+        assert!((c["updateAuditInfo"] as f64 / total - 0.20).abs() < 0.02);
+        // Flow stages roughly equal.
+        let flows = c["pushASN"] + c["ship"] + c["queryASN"] + c["unload"];
+        assert!((flows as f64 / total - 0.60).abs() < 0.02);
+    }
+
+    #[test]
+    fn anomalies_swap_or_misplace_stages() {
+        let spec = ScmSpec {
+            anomaly_rate: 0.5,
+            transactions: 4_000,
+            ..Default::default()
+        };
+        let b = generate(&spec);
+        // With 50% anomalies, many ships precede their product's pushASN.
+        let mut first_stage: HashMap<&str, &str> = HashMap::new();
+        for r in &b.requests {
+            if matches!(r.activity.as_str(), "pushASN" | "ship") {
+                let p = r.args[0].as_str().unwrap();
+                first_stage.entry(p).or_insert(r.activity.as_str());
+            }
+        }
+        let ship_first = first_stage.values().filter(|s| **s == "ship").count();
+        assert!(
+            ship_first > first_stage.len() / 4,
+            "{ship_first} of {} products ship-first",
+            first_stage.len()
+        );
+    }
+
+    #[test]
+    fn zero_anomalies_keeps_order() {
+        let spec = ScmSpec {
+            anomaly_rate: 0.0,
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let b = generate(&spec);
+        let mut first_stage: HashMap<&str, &str> = HashMap::new();
+        for r in &b.requests {
+            if matches!(r.activity.as_str(), "pushASN" | "ship") {
+                let p = r.args[0].as_str().unwrap();
+                first_stage.entry(p).or_insert(r.activity.as_str());
+            }
+        }
+        assert!(first_stage.values().all(|s| *s == "pushASN"));
+    }
+
+    #[test]
+    fn genesis_seeds_products_and_audits() {
+        let b = generate(&ScmSpec::default());
+        let spec = ScmSpec::default();
+        assert_eq!(b.genesis.len(), spec.products + spec.audits);
+    }
+
+    #[test]
+    fn pruned_swaps_contract_only() {
+        let b = generate(&ScmSpec::default());
+        let n = b.len();
+        let p = pruned(b);
+        assert_eq!(p.len(), n, "schedule unchanged");
+        assert_eq!(p.contracts.len(), 1);
+    }
+
+    #[test]
+    fn schedule_is_time_sorted() {
+        let b = generate(&ScmSpec::default());
+        for w in b.requests.windows(2) {
+            assert!(w[0].send_time <= w[1].send_time);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&ScmSpec::default());
+        let b = generate(&ScmSpec::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.activity, y.activity);
+            assert_eq!(x.args, y.args);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Table 2 control variables.
+//!
+//! The paper sweeps eight control variables to generate its 24 synthetic
+//! workloads; bold values are the defaults:
+//!
+//! | Control variable | Values (default bold) |
+//! |---|---|
+//! | Workload type | **Uniform**, Read-heavy, Insert-heavy, Update-heavy, RangeRead-heavy |
+//! | Endorsement policy | P1, P2, **P3**, P4 |
+//! | Endorser distribution skew | **0**, 6 |
+//! | Key distribution skew | **1**, 2 |
+//! | Number of organizations | **2**, 4 |
+//! | Block count | 50, **(100)**, 300, 1000 |
+//! | Send rate | 50, **300**, 1000 |
+//! | Transaction dist skew | **0**, 70 % |
+//!
+//! Key-distribution skew follows HyperledgerLab's convention: skew `s` maps
+//! to a Zipf exponent of `s − 1`, so the default (1) is uniform key access
+//! and skew 2 is Zipf(1) — consistent with the paper's Table 3, where
+//! data-level recommendations fire only under skew 2.
+
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::policy::EndorsementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's endorsement policies to install (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PolicyChoice {
+    /// `And(Org1, Or(Org2, Org3, Org4))` — Org1 mandatory.
+    P1,
+    /// `And(Or(Org1, Org2), Or(Org3, Org4))`.
+    P2,
+    /// `Majority(Org1..OrgN)` (the default).
+    #[default]
+    P3,
+    /// `OutOf(2, Org1..Org4)` — the restructuring target (Table 4).
+    P4,
+}
+
+impl PolicyChoice {
+    /// Materialize the policy for a consortium of `orgs` organizations.
+    pub fn build(self, orgs: usize) -> EndorsementPolicy {
+        match self {
+            PolicyChoice::P1 => EndorsementPolicy::p1(),
+            PolicyChoice::P2 => EndorsementPolicy::p2(),
+            PolicyChoice::P3 => EndorsementPolicy::p3(orgs),
+            PolicyChoice::P4 => EndorsementPolicy::p4(),
+        }
+    }
+
+    /// Minimum number of organizations the policy mentions.
+    pub fn min_orgs(self) -> usize {
+        match self {
+            PolicyChoice::P3 => 2,
+            _ => 4,
+        }
+    }
+}
+
+/// The five genChain workload mixes (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WorkloadType {
+    /// Even mix of all five transaction types.
+    #[default]
+    Uniform,
+    /// 70 % point reads.
+    ReadHeavy,
+    /// 70 % inserts of fresh keys.
+    InsertHeavy,
+    /// 70 % read-modify-writes.
+    UpdateHeavy,
+    /// 70 % range scans.
+    RangeReadHeavy,
+}
+
+impl WorkloadType {
+    /// Activity weights as `(read, write, update, range_read, delete)`.
+    pub fn mix(self) -> [f64; 5] {
+        match self {
+            WorkloadType::Uniform => [0.28, 0.25, 0.25, 0.10, 0.12],
+            WorkloadType::ReadHeavy => [0.70, 0.10, 0.10, 0.05, 0.05],
+            WorkloadType::InsertHeavy => [0.10, 0.70, 0.10, 0.05, 0.05],
+            WorkloadType::UpdateHeavy => [0.15, 0.10, 0.70, 0.00, 0.05],
+            WorkloadType::RangeReadHeavy => [0.10, 0.10, 0.05, 0.70, 0.05],
+        }
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadType::Uniform => "Uniform",
+            WorkloadType::ReadHeavy => "Read-heavy",
+            WorkloadType::InsertHeavy => "Insert-heavy",
+            WorkloadType::UpdateHeavy => "Update-heavy",
+            WorkloadType::RangeReadHeavy => "RangeRead-heavy",
+        }
+    }
+}
+
+/// One synthetic-workload configuration (a row of Table 2 choices).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlVariables {
+    /// genChain activity mix.
+    pub workload: WorkloadType,
+    /// Endorsement policy choice.
+    pub policy: PolicyChoice,
+    /// Endorser distribution skew (0 or 6 in the paper).
+    pub endorser_skew: f64,
+    /// Key distribution skew (1 = uniform, 2 = Zipf(1)).
+    pub key_skew: f64,
+    /// Number of organizations (2 or 4).
+    pub orgs: usize,
+    /// Block count.
+    pub block_count: usize,
+    /// Offered send rate in tx/s.
+    pub send_rate: f64,
+    /// Fraction of transactions invoked by Org1's clients beyond an even
+    /// split (0.0 = even, 0.7 = the paper's 70 % skew).
+    pub tx_dist_skew: f64,
+    /// Number of transactions to generate.
+    pub transactions: usize,
+    /// Root seed for the generator and the network.
+    pub seed: u64,
+}
+
+impl Default for ControlVariables {
+    fn default() -> Self {
+        ControlVariables {
+            workload: WorkloadType::Uniform,
+            policy: PolicyChoice::P3,
+            endorser_skew: 0.0,
+            key_skew: 1.0,
+            orgs: 2,
+            block_count: 100,
+            send_rate: 300.0,
+            tx_dist_skew: 0.0,
+            transactions: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+impl ControlVariables {
+    /// The Zipf exponent implied by the key skew: HyperledgerLab's skew `s`
+    /// maps to exponent `1.5 · (s − 1)`, so the default (1) is uniform access
+    /// and skew 2 is a strongly focused Zipf(1.5) — the regime where Table 3
+    /// starts recommending data-level optimizations.
+    pub fn zipf_exponent(&self) -> f64 {
+        (1.5 * (self.key_skew - 1.0)).max(0.0)
+    }
+
+    /// Effective org count: raised to the policy's minimum when needed
+    /// (P1/P2/P4 mention four organizations).
+    pub fn effective_orgs(&self) -> usize {
+        self.orgs.max(self.policy.min_orgs())
+    }
+
+    /// Build the matching network configuration.
+    pub fn network_config(&self) -> NetworkConfig {
+        let orgs = self.effective_orgs();
+        NetworkConfig {
+            orgs,
+            endorsement_policy: self.policy.build(orgs),
+            endorser_skew: self.endorser_skew,
+            block_count: self.block_count,
+            seed: self.seed,
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// Experiment label, e.g. `"Endorsement policy: P1"`.
+    pub fn label(&self) -> String {
+        let d = ControlVariables::default();
+        let mut parts = Vec::new();
+        if self.workload != d.workload {
+            parts.push(format!("Workload: {}", self.workload.label()));
+        }
+        if self.policy != d.policy {
+            parts.push(format!("Endorsement policy: {:?}", self.policy));
+        }
+        if self.endorser_skew != d.endorser_skew {
+            parts.push(format!("Endorser dist skew: {}", self.endorser_skew));
+        }
+        if self.key_skew != d.key_skew {
+            parts.push(format!("Key dist skew: {}", self.key_skew));
+        }
+        if self.orgs != d.orgs {
+            parts.push(format!("No: of orgs: {}", self.orgs));
+        }
+        if self.block_count != d.block_count {
+            parts.push(format!("Block count: {}", self.block_count));
+        }
+        if self.send_rate != d.send_rate {
+            parts.push(format!("Send rate: {}", self.send_rate));
+        }
+        if self.tx_dist_skew != d.tx_dist_skew {
+            parts.push(format!(
+                "Transaction dist skew: {:.0}%",
+                self.tx_dist_skew * 100.0
+            ));
+        }
+        if parts.is_empty() {
+            "Defaults".to_string()
+        } else {
+            parts.join(" / ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let d = ControlVariables::default();
+        assert_eq!(d.workload, WorkloadType::Uniform);
+        assert_eq!(d.policy, PolicyChoice::P3);
+        assert_eq!(d.orgs, 2);
+        assert_eq!(d.block_count, 100);
+        assert_eq!(d.send_rate, 300.0);
+        assert_eq!(d.transactions, 10_000);
+        assert_eq!(d.zipf_exponent(), 0.0, "skew 1 is uniform");
+    }
+
+    #[test]
+    fn policies_force_minimum_orgs() {
+        let mut cv = ControlVariables {
+            policy: PolicyChoice::P1,
+            ..Default::default()
+        };
+        assert_eq!(cv.effective_orgs(), 4, "P1 mentions Org4");
+        cv.policy = PolicyChoice::P3;
+        assert_eq!(cv.effective_orgs(), 2);
+        let cfg = ControlVariables {
+            policy: PolicyChoice::P4,
+            ..Default::default()
+        }
+        .network_config();
+        assert_eq!(cfg.orgs, 4);
+        assert_eq!(cfg.endorsers_per_org(), 2, "same peer budget, thinner");
+    }
+
+    #[test]
+    fn workload_mixes_sum_to_one() {
+        for wt in [
+            WorkloadType::Uniform,
+            WorkloadType::ReadHeavy,
+            WorkloadType::InsertHeavy,
+            WorkloadType::UpdateHeavy,
+            WorkloadType::RangeReadHeavy,
+        ] {
+            let total: f64 = wt.mix().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{wt:?}");
+        }
+    }
+
+    #[test]
+    fn label_reports_changed_variables_only() {
+        let d = ControlVariables::default();
+        assert_eq!(d.label(), "Defaults");
+        let e = ControlVariables {
+            block_count: 50,
+            ..Default::default()
+        };
+        assert_eq!(e.label(), "Block count: 50");
+        let two = ControlVariables {
+            policy: PolicyChoice::P2,
+            endorser_skew: 6.0,
+            ..Default::default()
+        };
+        assert_eq!(two.label(), "Endorsement policy: P2 / Endorser dist skew: 6");
+    }
+
+    #[test]
+    fn zipf_exponent_mapping() {
+        let cv = ControlVariables {
+            key_skew: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(cv.zipf_exponent(), 1.5);
+        let below = ControlVariables {
+            key_skew: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(below.zipf_exponent(), 0.0, "clamped at uniform");
+    }
+}

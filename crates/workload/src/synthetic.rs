@@ -1,0 +1,248 @@
+//! The genChain synthetic workload generator (paper §5.1.1).
+//!
+//! Generates `transactions` genChain invocations under the Table-2 control
+//! variables: activity mix by [`crate::spec::WorkloadType`], Zipfian key selection, fresh
+//! keys for inserts, Poisson (exponential inter-arrival) injection at the
+//! configured send rate, and invoker-organization skew.
+
+use crate::bundle::WorkloadBundle;
+use crate::spec::ControlVariables;
+use chaincode::GenChainContract;
+use fabric_sim::sim::TxRequest;
+use fabric_sim::types::{OrgId, Value};
+use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Number of pre-seeded genChain keys (the read/update/range working set).
+pub const KEYSPACE: usize = 6_000;
+
+/// Keys spanned by one range scan.
+pub const RANGE_SPAN: usize = 25;
+
+/// Seeded key name for index `i`.
+pub fn key_name(i: usize) -> String {
+    format!("k{i:05}")
+}
+
+/// Generate the synthetic workload bundle for `cv`.
+pub fn generate(cv: &ControlVariables) -> WorkloadBundle {
+    let mut rng = SimRng::derive(cv.seed, 0x5E17);
+    let zipf = Zipf::new(KEYSPACE, cv.zipf_exponent());
+    let mix = DiscreteWeighted::new(&cv.workload.mix());
+    let orgs = cv.effective_orgs();
+    let org_pick = if cv.tx_dist_skew > 0.0 {
+        DiscreteWeighted::hot_one(orgs, cv.tx_dist_skew)
+    } else {
+        DiscreteWeighted::new(&vec![1.0; orgs])
+    };
+    let inter_arrival =
+        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / cv.send_rate.max(1e-9)));
+
+    let mut requests = Vec::with_capacity(cv.transactions);
+    let mut clock = SimTime::ZERO;
+    let mut fresh_key = 0u64;
+    for i in 0..cv.transactions {
+        clock += inter_arrival.sample(&mut rng);
+        let (activity, args): (&str, Vec<Value>) = match mix.sample(&mut rng) {
+            0 => ("read", vec![key_name(zipf.sample(&mut rng)).into()]),
+            1 => {
+                fresh_key += 1;
+                (
+                    "write",
+                    vec![
+                        format!("n{fresh_key:07}").into(),
+                        Value::Int(i as i64),
+                    ],
+                )
+            }
+            2 => (
+                "update",
+                vec![
+                    key_name(zipf.sample(&mut rng)).into(),
+                    Value::Int(i as i64),
+                ],
+            ),
+            3 => {
+                let start = zipf.sample(&mut rng).min(KEYSPACE - RANGE_SPAN);
+                (
+                    "range_read",
+                    vec![
+                        key_name(start).into(),
+                        key_name(start + RANGE_SPAN).into(),
+                    ],
+                )
+            }
+            _ => ("delete", vec![key_name(zipf.sample(&mut rng)).into()]),
+        };
+        requests.push(TxRequest {
+            send_time: clock,
+            contract: GenChainContract::NAME.to_string(),
+            activity: activity.to_string(),
+            args,
+            invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
+        });
+    }
+
+    let genesis = (0..KEYSPACE)
+        .map(|i| {
+            (
+                GenChainContract::NAME.to_string(),
+                key_name(i),
+                Value::Int(i as i64),
+            )
+        })
+        .collect();
+
+    WorkloadBundle {
+        contracts: vec![Arc::new(GenChainContract)],
+        genesis,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadType;
+    use std::collections::HashMap;
+
+    fn counts(bundle: &WorkloadBundle) -> HashMap<String, usize> {
+        let mut m = HashMap::new();
+        for r in &bundle.requests {
+            *m.entry(r.activity.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn cv(n: usize) -> ControlVariables {
+        ControlVariables {
+            transactions: n,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let b = generate(&cv(500));
+        assert_eq!(b.len(), 500);
+        assert_eq!(b.genesis.len(), KEYSPACE);
+    }
+
+    #[test]
+    fn uniform_mix_is_roughly_balanced() {
+        let b = generate(&cv(10_000));
+        let c = counts(&b);
+        assert!((2_500..3_100).contains(&c["read"]), "{c:?}");
+        assert!((2_200..2_800).contains(&c["update"]), "{c:?}");
+        assert!((800..1_200).contains(&c["range_read"]), "{c:?}");
+        assert!((1_000..1_400).contains(&c["delete"]), "{c:?}");
+    }
+
+    #[test]
+    fn update_heavy_mix() {
+        let b = generate(&ControlVariables {
+            workload: WorkloadType::UpdateHeavy,
+            transactions: 10_000,
+            ..Default::default()
+        });
+        let c = counts(&b);
+        assert!(c["update"] > 6_700, "{c:?}");
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let b = generate(&ControlVariables {
+            workload: WorkloadType::InsertHeavy,
+            transactions: 2_000,
+            ..Default::default()
+        });
+        let mut keys = std::collections::HashSet::new();
+        for r in b.requests.iter().filter(|r| r.activity == "write") {
+            let k = r.args[0].as_str().unwrap().to_string();
+            assert!(keys.insert(k), "insert keys must be unique");
+        }
+    }
+
+    #[test]
+    fn offered_rate_tracks_send_rate() {
+        let b = generate(&ControlVariables {
+            send_rate: 300.0,
+            transactions: 10_000,
+            ..Default::default()
+        });
+        let rate = b.offered_rate();
+        assert!((270.0..330.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn key_skew_2_concentrates_access() {
+        let b = generate(&ControlVariables {
+            key_skew: 2.0,
+            transactions: 10_000,
+            ..Default::default()
+        });
+        let hot = key_name(0);
+        let hot_hits = b
+            .requests
+            .iter()
+            .filter(|r| r.args.first().and_then(Value::as_str) == Some(hot.as_str()))
+            .count();
+        assert!(hot_hits > 500, "Zipf(1) top key gets >5% of draws: {hot_hits}");
+    }
+
+    #[test]
+    fn key_skew_1_is_uniform() {
+        let b = generate(&cv(10_000));
+        let hot = key_name(0);
+        let hot_hits = b
+            .requests
+            .iter()
+            .filter(|r| r.args.first().and_then(Value::as_str) == Some(hot.as_str()))
+            .count();
+        assert!(hot_hits < 40, "uniform top key ≈ 0.1%: {hot_hits}");
+    }
+
+    #[test]
+    fn tx_dist_skew_biases_org1() {
+        let b = generate(&ControlVariables {
+            tx_dist_skew: 0.7,
+            transactions: 10_000,
+            ..Default::default()
+        });
+        let org0 = b
+            .requests
+            .iter()
+            .filter(|r| r.invoker_org == OrgId(0))
+            .count();
+        assert!((6_700..7_300).contains(&org0), "org0 invokes ~70%: {org0}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&cv(1_000));
+        let b = generate(&cv(1_000));
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.send_time, y.send_time);
+            assert_eq!(x.activity, y.activity);
+            assert_eq!(x.args, y.args);
+        }
+    }
+
+    #[test]
+    fn range_scans_stay_in_bounds() {
+        let b = generate(&ControlVariables {
+            workload: WorkloadType::RangeReadHeavy,
+            key_skew: 2.0,
+            transactions: 5_000,
+            ..Default::default()
+        });
+        for r in b.requests.iter().filter(|r| r.activity == "range_read") {
+            let start = r.args[0].as_str().unwrap();
+            let end = r.args[1].as_str().unwrap();
+            assert!(start < end);
+            assert!(end <= key_name(KEYSPACE).as_str());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate a Fabric network under a synthetic workload, let
+//! BlockOptR analyze the chain, and print its multi-level recommendations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use blockoptr_suite::prelude::*;
+use workload::spec::ControlVariables;
+
+fn main() {
+    // 1. Describe the workload with the paper's Table-2 control variables
+    //    (defaults: uniform genChain mix, 2 orgs, block count 100, 300 tps).
+    let cv = ControlVariables::default();
+    let bundle = workload::synthetic::generate(&cv);
+
+    // 2. Run it through the simulated execute-order-validate pipeline.
+    let output = bundle.run(cv.network_config());
+    println!("── baseline run ──");
+    println!("{}", output.report);
+
+    // 3. BlockOptR: preprocess the chain, derive metrics, mine the process
+    //    model, and evaluate the nine recommendation rules.
+    let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+    println!("{}", blockoptr::report::render(&analysis));
+
+    // 4. Apply the automatic recommendations (workload + configuration) and
+    //    re-run.
+    let (requests, user_changes) =
+        apply_user_level(&bundle.requests, &analysis.recommendations);
+    let (config, system_changes) =
+        apply_system_level(&cv.network_config(), &analysis.recommendations);
+    println!("applying: {:?} {:?}", user_changes, system_changes);
+
+    let optimized = bundle.clone().with_requests(requests);
+    let after = optimized.run(config);
+    println!("── optimized run ──");
+    println!("{}", after.report);
+    println!(
+        "success rate {:.1} % → {:.1} %, avg latency {:.2} s → {:.2} s",
+        output.report.success_rate_pct,
+        after.report.success_rate_pct,
+        output.report.avg_latency_s,
+        after.report.avg_latency_s,
+    );
+}

@@ -1,0 +1,33 @@
+//! # blockoptr-suite
+//!
+//! Façade crate for the BlockOptR reproduction (SIGMOD'23: "How To Optimize
+//! My Blockchain? A Multi-Level Recommendation Approach"). Re-exports every
+//! workspace crate so examples and downstream users depend on one crate:
+//!
+//! ```
+//! use blockoptr_suite::prelude::*;
+//!
+//! let cv = workload::spec::ControlVariables {
+//!     transactions: 500,
+//!     ..Default::default()
+//! };
+//! let bundle = workload::synthetic::generate(&cv);
+//! let output = bundle.run(cv.network_config());
+//! let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+//! assert_eq!(analysis.log.len(), output.report.committed);
+//! ```
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use blockoptr;
+pub use chaincode;
+pub use fabric_sim;
+pub use process_mining;
+pub use sim_core;
+pub use workload;
+
+/// One-stop imports for the common pipeline:
+/// simulate → extract log → derive metrics → recommend → apply → re-simulate.
+pub mod prelude {
+    pub use blockoptr::prelude::*;
+}
