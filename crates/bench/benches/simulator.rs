@@ -43,9 +43,7 @@ fn bench_simulator(c: &mut Criterion) {
         SchedulerKind::FabricSharp,
     ] {
         group.bench_function(format!("run_2k_{}", scheduler.label()), |b| {
-            b.iter(|| {
-                black_box(bundle.run(cv.network_config().with_scheduler(scheduler)))
-            })
+            b.iter(|| black_box(bundle.run(cv.network_config().with_scheduler(scheduler))))
         });
     }
     group.finish();

@@ -61,7 +61,11 @@ fn main() {
         ..Default::default()
     };
     let b50 = synthetic::generate(&cv50);
-    t.add("block count 50", "W/O", &b50.run(cv50.network_config()).report);
+    t.add(
+        "block count 50",
+        "W/O",
+        &b50.run(cv50.network_config()).report,
+    );
     // Adapted to 300 (paper: 217.9 tps, 4.9 s, 92.8 %).
     let mut cfg300 = cv50.network_config();
     cfg300.block_count = 300;
@@ -85,7 +89,11 @@ fn main() {
         ..Default::default()
     };
     let buh = synthetic::generate(&cv_uh);
-    t.add("update-heavy", "W/O", &buh.run(cv_uh.network_config()).report);
+    t.add(
+        "update-heavy",
+        "W/O",
+        &buh.run(cv_uh.network_config()).report,
+    );
 
     // Read-heavy (paper: 231.8 tps, 4.3 s, 95.2 %).
     let cv_rh = ControlVariables {
@@ -101,7 +109,11 @@ fn main() {
         ..Default::default()
     };
     let brr = synthetic::generate(&cv_rr);
-    t.add("rangeread-heavy", "W/O", &brr.run(cv_rr.network_config()).report);
+    t.add(
+        "rangeread-heavy",
+        "W/O",
+        &brr.run(cv_rr.network_config()).report,
+    );
 
     // Key skew 2 (paper: 99.3 tps, 2.9 s, 37.7 %).
     let cv_ks = ControlVariables {
@@ -117,10 +129,18 @@ fn main() {
         ..Default::default()
     };
     let btds = synthetic::generate(&cv_tds);
-    t.add("tx dist skew 70%", "W/O", &btds.run(cv_tds.network_config()).report);
+    t.add(
+        "tx dist skew 70%",
+        "W/O",
+        &btds.run(cv_tds.network_config()).report,
+    );
     let mut cfg_boost = cv_tds.network_config();
     cfg_boost.client_boost = Some((0, 2));
-    t.add("tx dist skew 70%", "client boost", &btds.run(cfg_boost).report);
+    t.add(
+        "tx dist skew 70%",
+        "client boost",
+        &btds.run(cfg_boost).report,
+    );
 
     // SCM (paper: 207.5 tps, 7.3 s, 79.8 %).
     let scm_spec = scm::ScmSpec::default();
@@ -129,7 +149,9 @@ fn main() {
     t.add(
         "SCM",
         "pruned",
-        &scm::pruned(bscm.clone()).run(NetworkConfig::default()).report,
+        &scm::pruned(bscm.clone())
+            .run(NetworkConfig::default())
+            .report,
     );
 
     // DRM (paper: 35.1 tps, 14 s, 20.1 %).
@@ -163,7 +185,9 @@ fn main() {
     t.add(
         "DV",
         "per-voter",
-        &dv::per_voter(bdv.clone()).run(NetworkConfig::default()).report,
+        &dv::per_voter(bdv.clone())
+            .run(NetworkConfig::default())
+            .report,
     );
 
     // LAP @10tps (paper: 3.2 tps, 1.5 s, 31.8 %; altered → 6.6, 1.2, 66.0).

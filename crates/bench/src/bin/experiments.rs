@@ -43,7 +43,11 @@ fn main() {
             eprintln!("▶ {} — {}", e.id, e.title);
             let started = std::time::Instant::now();
             print!("{}", (e.run)(&ctx));
-            eprintln!("  ({} done in {:.1}s)", e.id, started.elapsed().as_secs_f64());
+            eprintln!(
+                "  ({} done in {:.1}s)",
+                e.id,
+                started.elapsed().as_secs_f64()
+            );
             ran += 1;
         }
     }

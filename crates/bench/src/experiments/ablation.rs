@@ -24,9 +24,8 @@ use workload::spec::ControlVariables;
 /// Ablation 1: apply recommendations derived from one traffic regime to a
 /// fluctuated workload, versus re-running BlockOptR on the new regime.
 pub fn abl1(ctx: &ExpCtx) -> String {
-    let mut t = FigureTable::new(
-        "Ablation 1: stale recommendations under workload fluctuation (§7)",
-    );
+    let mut t =
+        FigureTable::new("Ablation 1: stale recommendations under workload fluctuation (§7)");
     let n = ctx.txs(8_000);
 
     // Regime A: calm traffic (50 tps) — BlockOptR sees a healthy system
@@ -83,9 +82,8 @@ pub fn abl2(ctx: &ExpCtx) -> String {
     };
     let bundle = workload::synthetic::generate(&cv);
 
-    let mut out = String::from(
-        "\n=== Ablation 2: resource-profile sensitivity (bottleneck structure) ===\n",
-    );
+    let mut out =
+        String::from("\n=== Ablation 2: resource-profile sensitivity (bottleneck structure) ===\n");
     let _ = writeln!(
         out,
         "{:<28} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
@@ -96,7 +94,9 @@ pub fn abl2(ctx: &ExpCtx) -> String {
 
     type Tweak = fn(&mut fabric_sim::config::ResourceProfile, f64);
     let stages: [(&str, Tweak); 4] = [
-        ("client_per_tx", |r, f| r.client_per_tx = r.client_per_tx.mul_f64(f)),
+        ("client_per_tx", |r, f| {
+            r.client_per_tx = r.client_per_tx.mul_f64(f)
+        }),
         ("endorse_exec_base", |r, f| {
             r.endorse_exec_base = r.endorse_exec_base.mul_f64(f)
         }),

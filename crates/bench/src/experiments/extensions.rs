@@ -30,7 +30,9 @@ pub fn fig18(ctx: &ExpCtx) -> String {
         },
     ] {
         let bundle = synthetic::generate(&cv);
-        let cfg = cv.network_config().with_scheduler(SchedulerKind::FabricSharp);
+        let cfg = cv
+            .network_config()
+            .with_scheduler(SchedulerKind::FabricSharp);
         let (wo, analysis) = run_and_analyze(&bundle, cfg.clone());
         t.add(&format!("fabricsharp / {}", cv.label()), "W/O", &wo);
         let (restructured, _) =
@@ -50,7 +52,9 @@ pub fn fig18(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let bundle = synthetic::generate(&cv);
-    let cfg = cv.network_config().with_scheduler(SchedulerKind::FabricSharp);
+    let cfg = cv
+        .network_config()
+        .with_scheduler(SchedulerKind::FabricSharp);
     let (wo, _) = run_and_analyze(&bundle, cfg.clone());
     t.add("fabricsharp / Workload: Insert-heavy", "W/O", &wo);
     let throttled = bundle

@@ -159,10 +159,7 @@ pub fn registry() -> Vec<Experiment> {
 }
 
 /// Run a bundle and return `(report, analysis)`.
-pub fn run_and_analyze(
-    bundle: &WorkloadBundle,
-    config: NetworkConfig,
-) -> (SimReport, Analysis) {
+pub fn run_and_analyze(bundle: &WorkloadBundle, config: NetworkConfig) -> (SimReport, Analysis) {
     let output = bundle.run(config);
     let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
     (output.report, analysis)

@@ -38,7 +38,10 @@ pub fn fig2(ctx: &ExpCtx) -> String {
     for (variant, count) in event_log.variants().into_iter().take(6) {
         let _ = writeln!(out, "  {:>5}× {}", count, variant.join(" → "));
     }
-    let _ = writeln!(out, "anomalous branches (the highlighted paths of Figure 2):");
+    let _ = writeln!(
+        out,
+        "anomalous branches (the highlighted paths of Figure 2):"
+    );
     for (a, b) in [("ship", "pushASN"), ("unload", "queryASN")] {
         let n = dfg.count(a, b);
         if n > 0 {
@@ -83,7 +86,11 @@ pub fn fig3(_ctx: &ExpCtx) -> String {
     let sim = build();
     let reqs = vec![
         req(0, "pushASN", vec!["P0001".into()]),
-        req(1, "updateAuditInfo", vec!["P0001".into(), "A0001".into(), Value::Int(1)]),
+        req(
+            1,
+            "updateAuditInfo",
+            vec!["P0001".into(), "A0001".into(), Value::Int(1)],
+        ),
     ];
     let res = sim.run(&reqs);
     let _ = writeln!(out, "without activity reordering:");
@@ -94,7 +101,11 @@ pub fn fig3(_ctx: &ExpCtx) -> String {
     // With reordering: UpdateAuditInfo runs before PushASN — both succeed.
     let sim = build();
     let reqs = vec![
-        req(0, "updateAuditInfo", vec!["P0001".into(), "A0001".into(), Value::Int(1)]),
+        req(
+            0,
+            "updateAuditInfo",
+            vec!["P0001".into(), "A0001".into(), Value::Int(1)],
+        ),
         req(2_500, "pushASN", vec!["P0001".into()]),
     ];
     let res = sim.run(&reqs);
@@ -118,7 +129,12 @@ pub fn fig4(ctx: &ExpCtx) -> String {
         let last_flow = log
             .records()
             .iter()
-            .filter(|r| matches!(r.activity.as_str(), "pushASN" | "ship" | "queryASN" | "unload"))
+            .filter(|r| {
+                matches!(
+                    r.activity.as_str(),
+                    "pushASN" | "ship" | "queryASN" | "unload"
+                )
+            })
             .map(|r| r.commit_index)
             .max()
             .unwrap_or(0);
@@ -143,10 +159,12 @@ pub fn fig4(ctx: &ExpCtx) -> String {
     // The paper\'s redesign: the two reporting activities run after the
     // PushASN/Ship/Unload flows ("rescheduled to take place only at specific
     // times when traffic is low").
-    let reordered = bundle.clone().with_requests(workload::optimize::move_to_end(
-        &bundle.requests,
-        &scm::REORDERABLE,
-    ));
+    let reordered = bundle
+        .clone()
+        .with_requests(workload::optimize::move_to_end(
+            &bundle.requests,
+            &scm::REORDERABLE,
+        ));
     let output = reordered.run(cfg());
     let log = BlockchainLog::from_ledger(&output.ledger);
     let event_log = to_event_log(&log);

@@ -13,41 +13,131 @@ pub fn experiments_table3(ctx: &ExpCtx) -> Vec<(usize, ControlVariables, &'stati
         ..Default::default()
     };
     vec![
-        (1, ControlVariables { policy: PolicyChoice::P1, ..base.clone() },
-            "Endorser restructuring, Activity reordering"),
-        (2, ControlVariables { policy: PolicyChoice::P2, endorser_skew: 6.0, ..base.clone() },
-            "Endorser restructuring, Activity reordering"),
-        (3, ControlVariables { orgs: 4, ..base.clone() }, "Transaction rate control"),
-        (4, ControlVariables { workload: WorkloadType::ReadHeavy, ..base.clone() },
-            "Activity reordering"),
-        (5, ControlVariables { workload: WorkloadType::UpdateHeavy, ..base.clone() },
-            "Transaction rate control"),
-        (6, ControlVariables { workload: WorkloadType::InsertHeavy, ..base.clone() },
-            "Activity reordering"),
-        (7, ControlVariables { workload: WorkloadType::RangeReadHeavy, ..base.clone() },
-            "Activity reordering, Transaction rate control"),
-        (8, ControlVariables { key_skew: 2.0, ..base.clone() },
-            "Activity reordering, Smart contract partitioning, Block size adaptation"),
-        (9, ControlVariables { block_count: 50, ..base.clone() },
-            "Activity reordering, Transaction rate control"),
-        (10, ControlVariables { block_count: 300, ..base.clone() },
-            "Activity reordering, Transaction rate control"),
-        (11, ControlVariables { block_count: 1000, ..base.clone() }, "Activity reordering"),
-        (12, ControlVariables { send_rate: 50.0, ..base.clone() }, "Activity reordering"),
-        (13, base.clone(),
-            "Activity reordering, Block size adaptation, Transaction rate control"),
-        (14, ControlVariables { send_rate: 1000.0, ..base.clone() },
-            "Activity reordering, Transaction rate control"),
-        (15, ControlVariables { tx_dist_skew: 0.7, ..base },
-            "Activity reordering, Client resource boost"),
+        (
+            1,
+            ControlVariables {
+                policy: PolicyChoice::P1,
+                ..base.clone()
+            },
+            "Endorser restructuring, Activity reordering",
+        ),
+        (
+            2,
+            ControlVariables {
+                policy: PolicyChoice::P2,
+                endorser_skew: 6.0,
+                ..base.clone()
+            },
+            "Endorser restructuring, Activity reordering",
+        ),
+        (
+            3,
+            ControlVariables {
+                orgs: 4,
+                ..base.clone()
+            },
+            "Transaction rate control",
+        ),
+        (
+            4,
+            ControlVariables {
+                workload: WorkloadType::ReadHeavy,
+                ..base.clone()
+            },
+            "Activity reordering",
+        ),
+        (
+            5,
+            ControlVariables {
+                workload: WorkloadType::UpdateHeavy,
+                ..base.clone()
+            },
+            "Transaction rate control",
+        ),
+        (
+            6,
+            ControlVariables {
+                workload: WorkloadType::InsertHeavy,
+                ..base.clone()
+            },
+            "Activity reordering",
+        ),
+        (
+            7,
+            ControlVariables {
+                workload: WorkloadType::RangeReadHeavy,
+                ..base.clone()
+            },
+            "Activity reordering, Transaction rate control",
+        ),
+        (
+            8,
+            ControlVariables {
+                key_skew: 2.0,
+                ..base.clone()
+            },
+            "Activity reordering, Smart contract partitioning, Block size adaptation",
+        ),
+        (
+            9,
+            ControlVariables {
+                block_count: 50,
+                ..base.clone()
+            },
+            "Activity reordering, Transaction rate control",
+        ),
+        (
+            10,
+            ControlVariables {
+                block_count: 300,
+                ..base.clone()
+            },
+            "Activity reordering, Transaction rate control",
+        ),
+        (
+            11,
+            ControlVariables {
+                block_count: 1000,
+                ..base.clone()
+            },
+            "Activity reordering",
+        ),
+        (
+            12,
+            ControlVariables {
+                send_rate: 50.0,
+                ..base.clone()
+            },
+            "Activity reordering",
+        ),
+        (
+            13,
+            base.clone(),
+            "Activity reordering, Block size adaptation, Transaction rate control",
+        ),
+        (
+            14,
+            ControlVariables {
+                send_rate: 1000.0,
+                ..base.clone()
+            },
+            "Activity reordering, Transaction rate control",
+        ),
+        (
+            15,
+            ControlVariables {
+                tx_dist_skew: 0.7,
+                ..base
+            },
+            "Activity reordering, Client resource boost",
+        ),
     ]
 }
 
 /// Table 3: run all 15 experiments, print derived vs paper recommendations.
 pub fn tab3(ctx: &ExpCtx) -> String {
-    let mut out = String::from(
-        "\n=== Table 3: optimizations recommended for the synthetic workloads ===\n",
-    );
+    let mut out =
+        String::from("\n=== Table 3: optimizations recommended for the synthetic workloads ===\n");
     out.push_str(&format!(
         "{:<4} {:<42} {:<72} {}\n",
         "#", "control variable", "BlockOptR (this reproduction)", "paper"
@@ -168,30 +258,64 @@ pub fn fig10(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 10: transaction rate control");
     let n = ctx.txs(10_000);
     let configs = vec![
-        ControlVariables { transactions: n, ..Default::default() }, // P3 = default
-        ControlVariables { orgs: 4, transactions: n, ..Default::default() },
+        ControlVariables {
+            transactions: n,
+            ..Default::default()
+        }, // P3 = default
+        ControlVariables {
+            orgs: 4,
+            transactions: n,
+            ..Default::default()
+        },
         ControlVariables {
             workload: WorkloadType::UpdateHeavy,
             transactions: n,
             ..Default::default()
         },
-        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 500, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
-        ControlVariables { send_rate: 500.0, transactions: n, ..Default::default() },
-        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
-        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+        ControlVariables {
+            key_skew: 2.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 300,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 500,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 1000,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            send_rate: 500.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            send_rate: 1000.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            tx_dist_skew: 0.7,
+            transactions: n,
+            ..Default::default()
+        },
     ];
     for cv in configs {
         let bundle = synthetic::generate(&cv);
         let (wo, _) = run_and_analyze(&bundle, cv.network_config());
         t.add(&cv.label(), "W/O", &wo);
         // Table 4: set the send rate to 100 tps.
-        let throttled = bundle.clone().with_requests(workload::optimize::rate_control(
-            &bundle.requests,
-            100.0,
-        ));
+        let throttled = bundle
+            .clone()
+            .with_requests(workload::optimize::rate_control(&bundle.requests, 100.0));
         let (w, _) = run_and_analyze(&throttled, cv.network_config());
         t.add(&cv.label(), "W (rate 100)", &w);
     }
@@ -203,7 +327,11 @@ pub fn fig11(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 11: activity reordering");
     let n = ctx.txs(10_000);
     let configs = vec![
-        ControlVariables { policy: PolicyChoice::P1, transactions: n, ..Default::default() },
+        ControlVariables {
+            policy: PolicyChoice::P1,
+            transactions: n,
+            ..Default::default()
+        },
         ControlVariables {
             policy: PolicyChoice::P2,
             endorser_skew: 6.0,
@@ -225,14 +353,45 @@ pub fn fig11(ctx: &ExpCtx) -> String {
             transactions: n,
             ..Default::default()
         },
-        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 50, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
-        ControlVariables { send_rate: 50.0, transactions: n, ..Default::default() },
-        ControlVariables { transactions: n, ..Default::default() }, // send 300
-        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
-        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+        ControlVariables {
+            key_skew: 2.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 50,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 300,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 1000,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            send_rate: 50.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            transactions: n,
+            ..Default::default()
+        }, // send 300
+        ControlVariables {
+            send_rate: 1000.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            tx_dist_skew: 0.7,
+            transactions: n,
+            ..Default::default()
+        },
     ];
     for cv in configs {
         let bundle = synthetic::generate(&cv);
@@ -261,19 +420,47 @@ pub fn fig12(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 12: all recommended optimizations combined");
     let n = ctx.txs(10_000);
     let configs = vec![
-        ControlVariables { policy: PolicyChoice::P1, transactions: n, ..Default::default() },
+        ControlVariables {
+            policy: PolicyChoice::P1,
+            transactions: n,
+            ..Default::default()
+        },
         ControlVariables {
             policy: PolicyChoice::P2,
             endorser_skew: 6.0,
             transactions: n,
             ..Default::default()
         },
-        ControlVariables { key_skew: 2.0, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 50, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 300, transactions: n, ..Default::default() },
-        ControlVariables { block_count: 1000, transactions: n, ..Default::default() },
-        ControlVariables { send_rate: 1000.0, transactions: n, ..Default::default() },
-        ControlVariables { tx_dist_skew: 0.7, transactions: n, ..Default::default() },
+        ControlVariables {
+            key_skew: 2.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 50,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 300,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            block_count: 1000,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            send_rate: 1000.0,
+            transactions: n,
+            ..Default::default()
+        },
+        ControlVariables {
+            tx_dist_skew: 0.7,
+            transactions: n,
+            ..Default::default()
+        },
     ];
     for cv in configs {
         let bundle = synthetic::generate(&cv);

@@ -51,9 +51,7 @@ pub fn tab4(_ctx: &ExpCtx) -> String {
             "NetworkConfig.client_boost = Some((org, 2))",
         ),
     ];
-    let mut out = String::from(
-        "\n=== Table 4: settings used to implement each optimization ===\n",
-    );
+    let mut out = String::from("\n=== Table 4: settings used to implement each optimization ===\n");
     out.push_str(&format!(
         "{:<30} {:<46} {}\n",
         "recommendation", "paper setting", "this reproduction"

@@ -102,10 +102,7 @@ pub fn apply_system_level(
                 let k = config.endorsement_policy.min_endorsers().max(1);
                 out.endorsement_policy = EndorsementPolicy::out_of(k, config.orgs);
                 out.endorser_skew = 0.0;
-                applied.push(format!(
-                    "endorsement policy → {}",
-                    out.endorsement_policy
-                ));
+                applied.push(format!("endorsement policy → {}", out.endorsement_policy));
             }
             Recommendation::ClientResourceBoost { org, .. } => {
                 if let Some(idx) = parse_org_index(org) {
@@ -172,7 +169,11 @@ mod tests {
         let reqs = vec![req(0, "upd"), req(1, "query")];
         let (out, _) = apply_user_level(&reqs, &recs);
         let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
-        assert_eq!(acts, vec!["upd", "query"], "only query deferred (no-op here)");
+        assert_eq!(
+            acts,
+            vec!["upd", "query"],
+            "only query deferred (no-op here)"
+        );
     }
 
     #[test]

@@ -43,9 +43,17 @@ const HEALTHY_FAILURE_FRACTION: f64 = 0.10;
 /// Everything else keeps the paper's defaults (`Et`, `Rt2`, `Bt`, `It`).
 pub fn auto_tune(log: &BlockchainLog) -> TunedThresholds {
     let rates = RateMetrics::derive(log, SimDuration::from_secs(1));
-    let window = log.window_secs();
-    let commit_rate = if window > 0.0 {
-        log.len() as f64 / window
+    tune_from_rates(&rates, log.window_secs())
+}
+
+/// Derive thresholds from already-computed rate metrics — the streaming
+/// entry point: a session hands over its incrementally maintained
+/// [`RateMetrics`] plus the observed window (first send → last commit,
+/// seconds), so tuning costs O(intervals), not O(log).
+pub fn tune_from_rates(rates: &RateMetrics, window_secs: f64) -> TunedThresholds {
+    let total = rates.total;
+    let commit_rate = if window_secs > 0.0 {
+        total as f64 / window_secs
     } else {
         0.0
     };
@@ -70,9 +78,9 @@ pub fn auto_tune(log: &BlockchainLog) -> TunedThresholds {
     let thresholds = Thresholds {
         rt1: (sustainable * 1.1).max(10.0),
         controlled_rate: (sustainable * 0.45).max(10.0),
-        min_conflicts: (log.len() / 400).max(10),
-        min_delta_pairs: (log.len() / 2_000).max(3),
-        min_anomalies: (log.len() / 1_000).max(5),
+        min_conflicts: (total / 400).max(10),
+        min_delta_pairs: (total / 2_000).max(3),
+        min_anomalies: (total / 1_000).max(5),
         ..defaults
     };
 
@@ -138,9 +146,7 @@ mod tests {
 
     #[test]
     fn evidence_minima_scale_with_log_size() {
-        let small = auto_tune(&log_of(
-            (0..50).map(|i| Rec::new(i, "a").build()).collect(),
-        ));
+        let small = auto_tune(&log_of((0..50).map(|i| Rec::new(i, "a").build()).collect()));
         assert_eq!(small.thresholds.min_conflicts, 10, "floor for pilot logs");
         let big = auto_tune(&log_of(
             (0..8_000)

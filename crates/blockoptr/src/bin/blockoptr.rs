@@ -2,31 +2,93 @@
 //!
 //! ```text
 //! blockoptr demo scm --out scm.json          # simulate a scenario, save its log
+//! blockoptr demo scm --auto-tune             # demo with deployment-tuned thresholds
 //! blockoptr analyze scm.json                 # metrics + recommendations
 //! blockoptr analyze scm.json --auto-tune     # with deployment-tuned thresholds
+//! blockoptr analyze scm.json --json          # machine-readable output
 //! blockoptr analyze scm.json --csv log.csv --xes log.xes --dot model.dot
+//! blockoptr watch scm.json --window 10       # replay as a stream, re-analyzing
 //! blockoptr compare before.json after.json   # compliance check of a rollout
 //! ```
 //!
-//! Mirrors the paper's tool: read a blockchain log, derive the metrics and
-//! the process model, and print the multi-level recommendations (Figure 5's
-//! workflow), plus the §7 compliance checking.
+//! Mirrors the paper's tool — read a blockchain log, derive the metrics and
+//! the process model, print the multi-level recommendations (Figure 5's
+//! workflow) — plus the §7 compliance checking and a `watch` mode that
+//! replays a log through an incremental [`Session`](blockoptr::Session) the
+//! way a monitoring loop would consume a live chain.
+//!
+//! Unknown flags and malformed inputs are rejected with exit code 1 (a
+//! missing or unknown *subcommand* prints usage and exits 2), and all
+//! analysis errors are reported through
+//! [`AnalyzeError`](blockoptr::AnalyzeError).
 
-use blockoptr::autotune::auto_tune;
 use blockoptr::compliance::verify_rollout;
 use blockoptr::export;
 use blockoptr::log::BlockchainLog;
-use blockoptr::pipeline::{Analysis, BlockOptR};
+use blockoptr::pipeline::Analysis;
+use blockoptr::session::Analyzer;
 use fabric_sim::config::NetworkConfig;
+use serde::Serialize;
+use serde_json::Value;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json]\n  \
-         blockoptr analyze LOG.json [--auto-tune] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
-         blockoptr compare BEFORE.json AFTER.json"
+        "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json] [--auto-tune]\n  \
+         blockoptr analyze LOG.json [--auto-tune] [--json] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
+         blockoptr watch LOG.json [--window N] [--auto-tune] [--json]\n  \
+         blockoptr compare BEFORE.json AFTER.json [--json]"
     );
     ExitCode::from(2)
+}
+
+/// Parsed command arguments: positionals plus validated flags.
+struct Args {
+    positional: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Split `args`, accepting only the listed flags; anything else that
+    /// starts with `--` is an error.
+    fn parse(args: &[String], value_flags: &[&str], switch_flags: &[&str]) -> Result<Args, String> {
+        let mut parsed = Args {
+            positional: Vec::new(),
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let value = iter
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    parsed.values.push((name.to_string(), value.clone()));
+                } else if switch_flags.contains(&name) {
+                    parsed.switches.push(name.to_string());
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|n| n == name)
+    }
 }
 
 fn load(path: &str) -> Result<BlockchainLog, String> {
@@ -34,31 +96,63 @@ fn load(path: &str) -> Result<BlockchainLog, String> {
     export::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn analyze_log(log: BlockchainLog, tune: bool) -> Analysis {
-    let analyzer = if tune {
-        let tuned = auto_tune(&log);
-        eprintln!(
-            "auto-tune: sustainable rate {:.0} tx/s → Rt1 {:.0}, controlled rate {:.0}",
-            tuned.sustainable_rate, tuned.thresholds.rt1, tuned.thresholds.controlled_rate
-        );
-        BlockOptR {
-            thresholds: tuned.thresholds,
-            ..Default::default()
-        }
-    } else {
-        BlockOptR::new()
-    };
-    analyzer.analyze_log(log)
+fn analyzer(tune: bool) -> Analyzer {
+    Analyzer::new().auto_tune(tune)
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+fn analyze_log(log: BlockchainLog, tune: bool) -> Result<Analysis, String> {
+    let analysis = analyzer(tune).analyze_log(log).map_err(|e| e.to_string())?;
+    if tune {
+        eprintln!(
+            "auto-tune: Rt1 {:.0} tx/s, controlled rate {:.0} tx/s",
+            analysis.thresholds.rt1, analysis.thresholds.controlled_rate
+        );
+    }
+    Ok(analysis)
+}
+
+/// Machine-readable rendering of an analysis.
+fn analysis_json(analysis: &Analysis) -> Value {
+    Value::Object(vec![
+        ("transactions".to_string(), analysis.log.len().to_value()),
+        ("blocks".to_string(), analysis.log.block_count().to_value()),
+        (
+            "window_secs".to_string(),
+            analysis.log.window_secs().to_value(),
+        ),
+        ("metrics".to_string(), analysis.metrics.to_value()),
+        ("thresholds".to_string(), analysis.thresholds.to_value()),
+        (
+            "case_family".to_string(),
+            analysis.case_derivation.family.to_value(),
+        ),
+        (
+            "recommendations".to_string(),
+            Value::Array(
+                analysis
+                    .recommendations
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("level".to_string(), r.level().to_string().to_value()),
+                            ("name".to_string(), r.name().to_value()),
+                            ("rationale".to_string(), r.rationale().to_value()),
+                            ("evidence".to_string(), r.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
-    let scenario = args.first().map(String::as_str).unwrap_or("synthetic");
+    let args = Args::parse(args, &["out"], &["auto-tune"])?;
+    let scenario = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("synthetic");
     let cfg = NetworkConfig::default();
     let output = match scenario {
         "synthetic" => {
@@ -74,49 +168,141 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     };
     eprintln!("simulated {scenario}: {}", output.report.figure_row());
     let log = BlockchainLog::from_ledger(&output.ledger);
-    if let Some(path) = flag_value(args, "--out") {
-        std::fs::write(&path, export::to_json(&log)).map_err(|e| format!("writing {path}: {e}"))?;
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, export::to_json(&log)).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("log saved to {path} ({} transactions)", log.len());
     }
-    let analysis = analyze_log(log, false);
+    let analysis = analyze_log(log, args.switch("auto-tune"))?;
     print!("{}", blockoptr::report::render(&analysis));
     Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let Some(path) = args.first() else {
+    let args = Args::parse(args, &["csv", "xes", "dot"], &["auto-tune", "json"])?;
+    let Some(path) = args.positional.first() else {
         return Err("analyze needs a LOG.json path".into());
     };
     let log = load(path)?;
-    if let Some(csv_path) = flag_value(args, "--csv") {
-        std::fs::write(&csv_path, export::to_csv(&log))
+    if let Some(csv_path) = args.value("csv") {
+        std::fs::write(csv_path, export::to_csv(&log))
             .map_err(|e| format!("writing {csv_path}: {e}"))?;
         eprintln!("CSV written to {csv_path}");
     }
-    let analysis = analyze_log(log, args.iter().any(|a| a == "--auto-tune"));
-    if let Some(xes_path) = flag_value(args, "--xes") {
-        std::fs::write(&xes_path, process_mining::xes::to_xes(&analysis.event_log))
+    let analysis = analyze_log(log, args.switch("auto-tune"))?;
+    if let Some(xes_path) = args.value("xes") {
+        std::fs::write(xes_path, process_mining::xes::to_xes(&analysis.event_log))
             .map_err(|e| format!("writing {xes_path}: {e}"))?;
         eprintln!("XES event log written to {xes_path}");
     }
-    if let Some(dot_path) = flag_value(args, "--dot") {
+    if let Some(dot_path) = args.value("dot") {
         let dfg = process_mining::dfg::DirectlyFollowsGraph::from_log(&analysis.event_log);
-        std::fs::write(&dot_path, process_mining::dot::dfg_to_dot(&dfg))
+        std::fs::write(dot_path, process_mining::dot::dfg_to_dot(&dfg))
             .map_err(|e| format!("writing {dot_path}: {e}"))?;
         eprintln!("process model DOT written to {dot_path}");
     }
-    print!("{}", blockoptr::report::render(&analysis));
+    if args.switch("json") {
+        println!("{}", analysis_json(&analysis).render(true));
+    } else {
+        print!("{}", blockoptr::report::render(&analysis));
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args, &["window"], &["auto-tune", "json"])?;
+    let Some(path) = args.positional.first() else {
+        return Err("watch needs a LOG.json path".into());
+    };
+    let window: u64 = match args.value("window") {
+        Some(w) => w
+            .parse()
+            .ok()
+            .filter(|&w| w > 0)
+            .ok_or_else(|| format!("--window must be a positive integer, got {w:?}"))?,
+        None => 10,
+    };
+    let log = load(path)?;
+    if log.is_empty() {
+        return Err("the log is empty; nothing to watch".into());
+    }
+
+    // Replay the exported log as a monitoring loop would consume a live
+    // chain: one session, fed `window` blocks at a time, re-analyzed after
+    // each batch.
+    let mut session = analyzer(args.switch("auto-tune"))
+        .session()
+        .map_err(|e| e.to_string())?;
+    let records = log.records();
+    let mut start = 0usize;
+    let mut windows = 0usize;
+    while start < records.len() {
+        let mut end = start;
+        let mut blocks = std::collections::BTreeSet::new();
+        while end < records.len() {
+            let b = records[end].block;
+            if !blocks.contains(&b) && blocks.len() as u64 >= window {
+                break;
+            }
+            blocks.insert(b);
+            end += 1;
+        }
+        let added = session
+            .ingest_log(BlockchainLog::from_records(
+                records[start..end].to_vec(),
+                blocks.len(),
+            ))
+            .map_err(|e| e.to_string())?;
+        let analysis = session.snapshot().map_err(|e| e.to_string())?;
+        windows += 1;
+        if args.switch("json") {
+            let mut obj = match analysis_json(&analysis) {
+                Value::Object(fields) => fields,
+                _ => unreachable!(),
+            };
+            obj.insert(0, ("window".to_string(), windows.to_value()));
+            obj.insert(1, ("new_transactions".to_string(), added.to_value()));
+            println!("{}", Value::Object(obj).render(false));
+        } else {
+            let m = &analysis.metrics;
+            println!(
+                "window {windows}: +{added} tx (total {} in {} blocks) · Tr {:.1} tx/s · failures {:.1} % · recs: {}",
+                analysis.log.len(),
+                analysis.log.block_count(),
+                m.rates.tr,
+                m.rates.failure_fraction() * 100.0,
+                if analysis.recommendations.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    analysis.recommendation_names().join(", ")
+                }
+            );
+        }
+        start = end;
+    }
+    eprintln!(
+        "watched {} transactions in {windows} windows of ≤{window} blocks",
+        records.len()
+    );
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
-    let (Some(before_path), Some(after_path)) = (args.first(), args.get(1)) else {
+    let args = Args::parse(args, &[], &["json"])?;
+    let (Some(before_path), Some(after_path)) = (args.positional.first(), args.positional.get(1))
+    else {
         return Err("compare needs BEFORE.json and AFTER.json".into());
     };
-    let before = analyze_log(load(before_path)?, false);
-    let after = analyze_log(load(after_path)?, false);
+    let before = analyze_log(load(before_path)?, false)?;
+    let after = analyze_log(load(after_path)?, false)?;
     let report = verify_rollout(&before, &after);
-    print!("{report}");
+    if args.switch("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{report}");
+    }
     if report.improved() {
         eprintln!("rollout verified: recommendations resolved without new findings");
     }
@@ -132,6 +318,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "demo" => cmd_demo(rest),
         "analyze" => cmd_analyze(rest),
+        "watch" => cmd_watch(rest),
         "compare" => cmd_compare(rest),
         _ => return usage(),
     };

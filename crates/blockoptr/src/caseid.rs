@@ -18,6 +18,7 @@
 use crate::log::{BlockchainLog, TxRecord};
 use fabric_sim::types::Value;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How a case id was derived for the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,13 +30,14 @@ pub struct CaseDerivation {
     /// Distinct case values observed.
     pub distinct_cases: usize,
     /// Per-transaction case ids (`None` where no candidate matched).
-    pub case_ids: Vec<Option<String>>,
+    /// Shared: streaming snapshots hand out the same allocation.
+    pub case_ids: Arc<Vec<Option<String>>>,
 }
 
 /// The non-numeric prefix of an identifier (`"APP00012"` → `"APP"`).
 /// Identifiers without a digit have no family (returns `None`), which keeps
 /// free-form strings (metadata, nonces) out of the candidate pool.
-fn family_of(ident: &str) -> Option<&str> {
+pub(crate) fn family_of(ident: &str) -> Option<&str> {
     let digit_at = ident.find(|c: char| c.is_ascii_digit())?;
     if digit_at == 0 {
         return None;
@@ -43,7 +45,7 @@ fn family_of(ident: &str) -> Option<&str> {
     Some(&ident[..digit_at])
 }
 
-fn candidates(record: &TxRecord) -> Vec<&str> {
+pub(crate) fn candidates(record: &TxRecord) -> Vec<&str> {
     let mut out: Vec<&str> = Vec::new();
     for arg in &record.args {
         if let Value::Str(s) = arg {
@@ -58,69 +60,101 @@ fn candidates(record: &TxRecord) -> Vec<&str> {
     out
 }
 
-/// Derive case ids for every transaction in the log.
-pub fn derive_case_ids(log: &BlockchainLog) -> CaseDerivation {
-    // Family → (covered tx count, distinct values).
-    let mut coverage: BTreeMap<String, usize> = BTreeMap::new();
-    let mut distinct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for record in log.records() {
-        let mut seen_families: BTreeSet<&str> = BTreeSet::new();
-        for cand in candidates(record) {
-            if let Some(fam) = family_of(cand) {
-                if seen_families.insert(fam) {
-                    *coverage.entry(fam.to_string()).or_insert(0) += 1;
-                }
-                distinct
-                    .entry(fam.to_string())
-                    .or_default()
-                    .insert(cand.to_string());
+/// Fold one record's candidates into the family statistics (streaming
+/// update; `coverage` counts records contributing to each family,
+/// `distinct` the family's distinct identifier values).
+pub(crate) fn observe_families(
+    record: &TxRecord,
+    coverage: &mut BTreeMap<String, usize>,
+    distinct: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    observe_family_candidates(&candidates(record), coverage, distinct);
+}
+
+/// [`observe_families`] over an already-extracted candidate list, so hot
+/// paths that also need [`case_from_candidates`] extract candidates once.
+pub(crate) fn observe_family_candidates(
+    cands: &[&str],
+    coverage: &mut BTreeMap<String, usize>,
+    distinct: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    let mut seen_families: BTreeSet<&str> = BTreeSet::new();
+    for cand in cands {
+        if let Some(fam) = family_of(cand) {
+            if seen_families.insert(fam) {
+                *coverage.entry(fam.to_string()).or_insert(0) += 1;
             }
+            distinct
+                .entry(fam.to_string())
+                .or_default()
+                .insert(cand.to_string());
         }
     }
+}
 
-    let total = log.len().max(1);
-    let best = coverage
+/// Pick the winning family: highest coverage, near-ties (within 5 % of
+/// `total`) broken toward more distinct values, then family name for
+/// determinism. Returns `(family, covered, distinct)`.
+pub(crate) fn pick_family(
+    coverage: &BTreeMap<String, usize>,
+    distinct: &BTreeMap<String, BTreeSet<String>>,
+    total: usize,
+) -> Option<(String, usize, usize)> {
+    coverage
         .iter()
         .map(|(fam, &cov)| {
             let d = distinct.get(fam).map(BTreeSet::len).unwrap_or(0);
             (fam.clone(), cov, d)
         })
         .max_by(|a, b| {
-            // Primary: coverage within 5% counts as a tie; secondary:
-            // distinct values; tertiary: family name for determinism.
             let band = (total as f64 * 0.05) as usize;
             if a.1.abs_diff(b.1) <= band {
                 a.2.cmp(&b.2).then_with(|| b.0.cmp(&a.0))
             } else {
                 a.1.cmp(&b.1)
             }
-        });
+        })
+}
 
-    let Some((family, covered, d)) = best else {
+/// The case id of one record under a given family.
+pub(crate) fn case_of(record: &TxRecord, family: &str) -> Option<String> {
+    case_from_candidates(&candidates(record), family)
+}
+
+/// [`case_of`] over an already-extracted candidate list.
+pub(crate) fn case_from_candidates(cands: &[&str], family: &str) -> Option<String> {
+    cands
+        .iter()
+        .find(|c| family_of(c) == Some(family))
+        .map(|c| c.to_string())
+}
+
+/// Derive case ids for every transaction in the log.
+pub fn derive_case_ids(log: &BlockchainLog) -> CaseDerivation {
+    // Family → (covered tx count, distinct values).
+    let mut coverage: BTreeMap<String, usize> = BTreeMap::new();
+    let mut distinct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for record in log.records() {
+        observe_families(record, &mut coverage, &mut distinct);
+    }
+
+    let total = log.len().max(1);
+    let Some((family, covered, d)) = pick_family(&coverage, &distinct, total) else {
         return CaseDerivation {
             family: String::new(),
             coverage: 0.0,
             distinct_cases: 0,
-            case_ids: vec![None; log.len()],
+            case_ids: Arc::new(vec![None; log.len()]),
         };
     };
 
-    let case_ids: Vec<Option<String>> = log
-        .records()
-        .iter()
-        .map(|r| {
-            candidates(r)
-                .into_iter()
-                .find(|c| family_of(c) == Some(family.as_str()))
-                .map(str::to_string)
-        })
-        .collect();
+    let case_ids: Vec<Option<String>> = log.records().iter().map(|r| case_of(r, &family)).collect();
 
     CaseDerivation {
         family,
         coverage: covered as f64 / total as f64,
         distinct_cases: d,
-        case_ids,
+        case_ids: Arc::new(case_ids),
     }
 }
 

@@ -110,15 +110,11 @@ fn success_rate(analysis: &Analysis) -> f64 {
 
 /// Compare a pre-rollout analysis with a post-rollout one.
 pub fn verify_rollout(before: &Analysis, after: &Analysis) -> ComplianceReport {
-    let before_names: BTreeSet<&str> = before
-        .recommendations
-        .iter()
-        .map(|r| r.name())
-        .collect();
+    let before_names: BTreeSet<&str> = before.recommendations.iter().map(|r| r.name()).collect();
     let after_names: BTreeSet<&str> = after.recommendations.iter().map(|r| r.name()).collect();
 
-    let model_agreement = Footprint::from_log(&before.event_log)
-        .agreement(&Footprint::from_log(&after.event_log));
+    let model_agreement =
+        Footprint::from_log(&before.event_log).agreement(&Footprint::from_log(&after.event_log));
 
     ComplianceReport {
         resolved: before_names

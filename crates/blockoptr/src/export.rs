@@ -6,6 +6,7 @@
 //! joined with `;`).
 
 use crate::log::{BlockchainLog, TxRecord};
+use crate::session::AnalyzeError;
 use fabric_sim::types::Value;
 
 /// Serialize the log as pretty JSON.
@@ -13,9 +14,11 @@ pub fn to_json(log: &BlockchainLog) -> String {
     serde_json::to_string_pretty(log).expect("log serializes")
 }
 
-/// Parse a log back from JSON.
-pub fn from_json(json: &str) -> Result<BlockchainLog, serde_json::Error> {
-    serde_json::from_str(json)
+/// Parse a log back from JSON. Malformed input surfaces as
+/// [`AnalyzeError::Json`], the same error type every other fallible
+/// analysis path uses.
+pub fn from_json(json: &str) -> Result<BlockchainLog, AnalyzeError> {
+    serde_json::from_str(json).map_err(|e| AnalyzeError::Json(e.to_string()))
 }
 
 /// CSV header matching [`to_csv`] rows.

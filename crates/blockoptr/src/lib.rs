@@ -24,13 +24,42 @@
 //!                        process model generation
 //! ```
 //!
-//! Entry point: [`BlockOptR::analyze_ledger`](pipeline::BlockOptR::analyze_ledger) over a [`fabric_sim::Ledger`], or the
-//! end-to-end [`pipeline::run_and_analyze`].
+//! ## Entry points
+//!
+//! The engine is *session-based*: a cheap, cloneable
+//! [`Analyzer`](session::Analyzer) holds configuration, and a stateful
+//! [`Session`](session::Session) accepts blocks incrementally and produces
+//! [`Analysis`](pipeline::Analysis) snapshots on demand — O(new data) per
+//! ingest, O(state) per snapshot, which is what a monitoring loop over a
+//! live chain needs.
+//!
+//! * Streaming: [`Analyzer::session`](session::Analyzer::session), then
+//!   [`Session::ingest_block`](session::Session::ingest_block) /
+//!   [`ingest_ledger`](session::Session::ingest_ledger) and
+//!   [`snapshot`](session::Session::snapshot).
+//! * Batch one-shot: [`Analyzer::analyze_ledger`](session::Analyzer::analyze_ledger)
+//!   (or `analyze_log` / `analyze_json`), all returning
+//!   `Result<_, AnalyzeError>`.
+//! * Paper-era façade: [`BlockOptR`](pipeline::BlockOptR) keeps the original
+//!   infallible batch signatures as thin wrappers over a one-shot session.
+//!
+//! ### Migrating from `BlockOptR::analyze_log`
+//!
+//! ```text
+//! // before                                   // after
+//! BlockOptR::new().analyze_log(log)           Analyzer::new().analyze_log(log)?
+//! BlockOptR { thresholds, ..Default::default() }
+//!                                             Analyzer::new().thresholds(thresholds)
+//! auto_tune(&log) + BlockOptR { .. }          Analyzer::new().auto_tune(true)
+//! ```
+//!
+//! Fallible paths (empty logs, malformed JSON, degenerate configuration)
+//! return [`AnalyzeError`](session::AnalyzeError) instead of panicking.
 
 pub mod apply;
 pub mod autotune;
-pub mod compliance;
 pub mod caseid;
+pub mod compliance;
 pub mod eventlog;
 pub mod export;
 pub mod log;
@@ -38,6 +67,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod recommend;
 pub mod report;
+pub mod session;
 
 pub use apply::{apply_system_level, apply_user_level};
 pub use autotune::auto_tune;
@@ -47,6 +77,7 @@ pub use eventlog::to_event_log;
 pub use log::{BlockchainLog, TxRecord};
 pub use pipeline::{Analysis, BlockOptR};
 pub use recommend::{Level, Recommendation, Thresholds};
+pub use session::{AnalyzeError, Analyzer, Session};
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
@@ -56,6 +87,7 @@ pub mod prelude {
     pub use crate::log::BlockchainLog;
     pub use crate::pipeline::{Analysis, BlockOptR};
     pub use crate::recommend::{Level, Recommendation, Thresholds};
+    pub use crate::session::{AnalyzeError, Analyzer, Session};
     pub use chaincode;
     pub use fabric_sim::config::{NetworkConfig, SchedulerKind};
     pub use fabric_sim::policy::EndorsementPolicy;

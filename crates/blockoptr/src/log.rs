@@ -72,34 +72,53 @@ impl BlockchainLog {
         ledger: &Ledger,
         keep: impl Fn(&TransactionEnvelope) -> bool,
     ) -> Self {
-        let mut records = Vec::with_capacity(ledger.tx_count());
-        let mut commit_index = 0usize;
+        let mut log = BlockchainLog {
+            records: Vec::with_capacity(ledger.tx_count()),
+            blocks: 0,
+        };
         for block in ledger.blocks() {
-            for tx in &block.txs {
-                if !keep(tx) {
-                    continue;
-                }
-                records.push(TxRecord {
-                    commit_index,
-                    block: block.number,
-                    client_ts: tx.client_ts,
-                    commit_ts: tx.commit_ts,
-                    contract: tx.contract.clone(),
-                    activity: tx.activity.clone(),
-                    args: tx.args.clone(),
-                    endorsers: tx.endorsers.clone(),
-                    invoker: tx.invoker,
-                    rwset: tx.rwset.clone(),
-                    status: tx.status,
-                    tx_type: tx.tx_type,
-                });
-                commit_index += 1;
+            log.append_block(block, &keep);
+        }
+        log
+    }
+
+    /// Append one committed block's transactions — the streaming extraction
+    /// step: a `Session` calls this once per new block instead of re-reading
+    /// the whole chain. Commit indices continue from the existing records;
+    /// `keep` is the cleaning predicate. Returns how many records were added.
+    pub fn append_block(
+        &mut self,
+        block: &fabric_sim::ledger::Block,
+        keep: impl Fn(&TransactionEnvelope) -> bool,
+    ) -> usize {
+        // Continue from the last commit index, not the record count: a
+        // session may hold caller-indexed records (a filtered export slice)
+        // whose indices exceed its length, and commit indices must stay
+        // monotone for conflict distances.
+        let mut commit_index = self.records.last().map(|r| r.commit_index + 1).unwrap_or(0);
+        let before = self.records.len();
+        for tx in &block.txs {
+            if !keep(tx) {
+                continue;
             }
+            self.records.push(TxRecord {
+                commit_index,
+                block: block.number,
+                client_ts: tx.client_ts,
+                commit_ts: tx.commit_ts,
+                contract: tx.contract.clone(),
+                activity: tx.activity.clone(),
+                args: tx.args.clone(),
+                endorsers: tx.endorsers.clone(),
+                invoker: tx.invoker,
+                rwset: tx.rwset.clone(),
+                status: tx.status,
+                tx_type: tx.tx_type,
+            });
+            commit_index += 1;
         }
-        BlockchainLog {
-            records,
-            blocks: ledger.blocks().len(),
-        }
+        self.blocks += 1;
+        self.records.len() - before
     }
 
     /// All records in commit order.
@@ -162,6 +181,25 @@ impl BlockchainLog {
     /// Construct directly from records (tests, imports).
     pub fn from_records(records: Vec<TxRecord>, blocks: usize) -> Self {
         BlockchainLog { records, blocks }
+    }
+
+    /// Decompose into records and block count (streaming hand-off without
+    /// cloning).
+    pub fn into_records(self) -> (Vec<TxRecord>, usize) {
+        (self.records, self.blocks)
+    }
+
+    /// Append one record as-is. Commit indices are the caller's: the paper
+    /// pipeline uses them for conflict distances, so rewriting them here
+    /// would change analysis results for pre-indexed logs.
+    pub(crate) fn push_record(&mut self, record: TxRecord) {
+        self.records.push(record);
+    }
+
+    /// Raise the block count by `n` (streaming ingestion of pre-extracted
+    /// log windows).
+    pub(crate) fn add_blocks(&mut self, n: usize) {
+        self.blocks += n;
     }
 }
 

@@ -28,6 +28,12 @@ impl BlockMetrics {
         for r in log.records() {
             *sizes.entry(r.block).or_insert(0) += 1;
         }
+        Self::from_sizes(&sizes)
+    }
+
+    /// Derive from an externally maintained `block number → size` map (the
+    /// streaming session keeps this map current as blocks arrive).
+    pub fn from_sizes(sizes: &BTreeMap<u64, usize>) -> BlockMetrics {
         let blocks = sizes.len();
         let total: usize = sizes.values().sum();
         BlockMetrics {

@@ -40,8 +40,9 @@ pub struct ConflictPair {
 /// Aggregated correlation metrics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CorrelationMetrics {
-    /// Every identified conflict pair.
-    pub conflicts: Vec<ConflictPair>,
+    /// Every identified conflict pair. `Arc`-shared so that streaming
+    /// snapshots cost O(1) here rather than re-copying the history.
+    pub conflicts: std::sync::Arc<Vec<ConflictPair>>,
     /// Read-conflict failures with an identified writer.
     pub identified: usize,
     /// Read-conflict failures in total (MVCC + phantom).
@@ -50,6 +51,10 @@ pub struct CorrelationMetrics {
     pub reorderable: usize,
     /// Conflict counts per (failed activity, writer activity).
     pub pair_counts: BTreeMap<(String, String), usize>,
+    /// Reorderable-conflict counts per (failed activity, writer activity).
+    pub reorderable_pairs: BTreeMap<(String, String), usize>,
+    /// Per failed activity: (total conflicts, reorderable conflicts).
+    pub activity_conflicts: BTreeMap<String, (usize, usize)>,
     /// Mean commit-order distance of identified conflicts (`corP`).
     pub mean_distance: f64,
     /// Activities with adjacent failed single-key increment writes — the
@@ -57,104 +62,144 @@ pub struct CorrelationMetrics {
     pub delta_candidates: BTreeMap<String, usize>,
 }
 
-impl CorrelationMetrics {
-    /// Derive from a log.
-    pub fn derive(log: &BlockchainLog) -> CorrelationMetrics {
-        let mut m = CorrelationMetrics::default();
+/// Running correlation state: the commit-order scan of
+/// [`CorrelationMetrics::derive`] split into a per-record
+/// [`observe`](CorrelationTracker::observe) step, so a streaming session
+/// pays O(1) amortized per new transaction instead of rescanning the log.
+///
+/// The tracker needs the full record slice on each call (writer lookups
+/// resolve positions recorded earlier); the caller guarantees records are
+/// only ever appended.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationTracker {
+    metrics: CorrelationMetrics,
+    /// Most recent committed writer per key (record position).
+    last_writer: HashMap<String, usize>,
+    /// Previous transaction (any status) per activity, for corPA.
+    prev_of_activity: HashMap<String, usize>,
+    distance_sum: usize,
+}
 
-        // Most recent committed writer per key: (commit_index, activity,
-        // record position).
-        let mut last_writer: HashMap<&str, usize> = HashMap::new();
-        // Previous transaction (any status) per activity, for corPA.
-        let mut prev_of_activity: HashMap<&str, usize> = HashMap::new();
-
-        let records = log.records();
-        let mut distance_sum = 0usize;
-        for (pos, r) in records.iter().enumerate() {
-            if r.status.is_read_conflict() {
-                m.read_conflicts += 1;
-                // Find the most recent writer of any key this tx read.
-                let mut best: Option<(usize, &str)> = None;
-                for read in &r.rwset.reads {
-                    if let Some(&wpos) = last_writer.get(read.key.as_str()) {
+impl CorrelationTracker {
+    /// Fold the record at `pos` into the running state. `records` must be
+    /// the same, append-only sequence across calls, and `pos` must advance
+    /// one record at a time.
+    pub fn observe(&mut self, records: &[crate::log::TxRecord], pos: usize) {
+        let m = &mut self.metrics;
+        let r = &records[pos];
+        if r.status.is_read_conflict() {
+            m.read_conflicts += 1;
+            // Find the most recent writer of any key this tx read.
+            let mut best: Option<(usize, &str)> = None;
+            for read in &r.rwset.reads {
+                if let Some(&wpos) = self.last_writer.get(read.key.as_str()) {
+                    if best.is_none_or(|(b, _)| wpos > b) {
+                        best = Some((wpos, read.key.as_str()));
+                    }
+                }
+            }
+            for rr in &r.rwset.range_reads {
+                for (key, _) in &rr.observed {
+                    if let Some(&wpos) = self.last_writer.get(key.as_str()) {
                         if best.is_none_or(|(b, _)| wpos > b) {
-                            best = Some((wpos, read.key.as_str()));
+                            best = Some((wpos, key.as_str()));
                         }
                     }
                 }
-                for rr in &r.rwset.range_reads {
-                    for (key, _) in &rr.observed {
-                        if let Some(&wpos) = last_writer.get(key.as_str()) {
-                            if best.is_none_or(|(b, _)| wpos > b) {
-                                best = Some((wpos, key.as_str()));
-                            }
-                        }
-                    }
-                }
-                if let Some((wpos, key)) = best {
-                    let writer = &records[wpos];
-                    let write_keys = r.rwset.write_keys();
-                    let writer_keys = writer.rwset.write_keys();
-                    let reorderable = write_keys.is_disjoint(&writer_keys);
-                    let distance = r.commit_index - writer.commit_index;
-                    distance_sum += distance;
-                    m.identified += 1;
-                    if reorderable {
-                        m.reorderable += 1;
-                    }
-                    *m.pair_counts
+            }
+            if let Some((wpos, key)) = best {
+                let writer = &records[wpos];
+                let write_keys = r.rwset.write_keys();
+                let writer_keys = writer.rwset.write_keys();
+                let reorderable = write_keys.is_disjoint(&writer_keys);
+                let distance = r.commit_index - writer.commit_index;
+                self.distance_sum += distance;
+                m.identified += 1;
+                let per_activity = m.activity_conflicts.entry(r.activity.clone()).or_default();
+                per_activity.0 += 1;
+                if reorderable {
+                    m.reorderable += 1;
+                    per_activity.1 += 1;
+                    *m.reorderable_pairs
                         .entry((r.activity.clone(), writer.activity.clone()))
                         .or_insert(0) += 1;
-                    m.conflicts.push(ConflictPair {
-                        failed_index: r.commit_index,
-                        failed_activity: r.activity.clone(),
-                        writer_index: writer.commit_index,
-                        writer_activity: writer.activity.clone(),
-                        key: key.to_string(),
-                        distance,
-                        reorderable,
-                    });
                 }
-            }
-
-            // Delta-write candidates: this tx and the previous tx of the
-            // same activity are adjacent in the activity's own sequence
-            // (corPA(x, y) == 1); the earlier failed with an MVCC conflict;
-            // both write a single key; the written values differ by one.
-            if let Some(&ppos) = prev_of_activity.get(r.activity.as_str()) {
-                let prev = &records[ppos];
-                if prev.status == TxStatus::MvccReadConflict
-                    && prev.rwset.writes.len() == 1
-                    && r.rwset.writes.len() == 1
-                    && prev.rwset.writes[0].key == r.rwset.writes[0].key
-                {
-                    let delta = value_delta(
-                        prev.rwset.writes[0].value.as_ref(),
-                        r.rwset.writes[0].value.as_ref(),
-                    );
-                    if matches!(delta, Some(d) if d.abs() == 1) {
-                        *m.delta_candidates
-                            .entry(r.activity.clone())
-                            .or_insert(0) += 1;
-                    }
-                }
-            }
-            prev_of_activity.insert(r.activity.as_str(), pos);
-
-            // Only *successful* writes update the committed state.
-            if r.status.is_success() {
-                for w in &r.rwset.writes {
-                    last_writer.insert(w.key.as_str(), pos);
-                }
+                *m.pair_counts
+                    .entry((r.activity.clone(), writer.activity.clone()))
+                    .or_insert(0) += 1;
+                std::sync::Arc::make_mut(&mut m.conflicts).push(ConflictPair {
+                    failed_index: r.commit_index,
+                    failed_activity: r.activity.clone(),
+                    writer_index: writer.commit_index,
+                    writer_activity: writer.activity.clone(),
+                    key: key.to_string(),
+                    distance,
+                    reorderable,
+                });
             }
         }
 
+        // Delta-write candidates: this tx and the previous tx of the
+        // same activity are adjacent in the activity's own sequence
+        // (corPA(x, y) == 1); the earlier failed with an MVCC conflict;
+        // both write a single key; the written values differ by one.
+        if let Some(&ppos) = self.prev_of_activity.get(r.activity.as_str()) {
+            let prev = &records[ppos];
+            if prev.status == TxStatus::MvccReadConflict
+                && prev.rwset.writes.len() == 1
+                && r.rwset.writes.len() == 1
+                && prev.rwset.writes[0].key == r.rwset.writes[0].key
+            {
+                let delta = value_delta(
+                    prev.rwset.writes[0].value.as_ref(),
+                    r.rwset.writes[0].value.as_ref(),
+                );
+                if matches!(delta, Some(d) if d.abs() == 1) {
+                    *m.delta_candidates.entry(r.activity.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        // Avoid re-allocating the activity key on every record.
+        if let Some(prev) = self.prev_of_activity.get_mut(r.activity.as_str()) {
+            *prev = pos;
+        } else {
+            self.prev_of_activity.insert(r.activity.clone(), pos);
+        }
+
+        // Only *successful* writes update the committed state.
+        if r.status.is_success() {
+            for w in &r.rwset.writes {
+                // Avoid re-allocating the key on every repeat write.
+                if let Some(entry) = self.last_writer.get_mut(w.key.as_str()) {
+                    *entry = pos;
+                } else {
+                    self.last_writer.insert(w.key.clone(), pos);
+                }
+            }
+        }
+    }
+
+    /// Materialize the metrics from the running state.
+    pub fn snapshot(&self) -> CorrelationMetrics {
+        let mut m = self.metrics.clone();
         m.mean_distance = if m.identified == 0 {
             0.0
         } else {
-            distance_sum as f64 / m.identified as f64
+            self.distance_sum as f64 / m.identified as f64
         };
         m
+    }
+}
+
+impl CorrelationMetrics {
+    /// Derive from a log.
+    pub fn derive(log: &BlockchainLog) -> CorrelationMetrics {
+        let mut tracker = CorrelationTracker::default();
+        let records = log.records();
+        for pos in 0..records.len() {
+            tracker.observe(records, pos);
+        }
+        tracker.snapshot()
     }
 
     /// Fraction of read-conflict failures whose conflict pair is
@@ -181,15 +226,14 @@ impl CorrelationMetrics {
     }
 
     /// The activity pairs most involved in reorderable conflicts,
-    /// descending by count.
+    /// descending by count. Reads the incrementally maintained pair
+    /// aggregate, so the cost is O(distinct pairs), not O(conflicts).
     pub fn top_reorderable_pairs(&self) -> Vec<((String, String), usize)> {
-        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
-        for c in self.conflicts.iter().filter(|c| c.reorderable) {
-            *counts
-                .entry((c.failed_activity.clone(), c.writer_activity.clone()))
-                .or_insert(0) += 1;
-        }
-        let mut v: Vec<_> = counts.into_iter().collect();
+        let mut v: Vec<_> = self
+            .reorderable_pairs
+            .iter()
+            .map(|(pair, &count)| (pair.clone(), count))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -285,11 +329,11 @@ mod tests {
     #[test]
     fn range_read_conflicts_traced_to_writer() {
         let mut scan = Rec::new(1, "scan").status(TxStatus::PhantomReadConflict);
-        scan.record
-            .rwset
-            .record_range("a".into(), "z".into(), vec![
-                ("k".to_string(), fabric_sim::rwset::Version::new(0, 0)),
-            ]);
+        scan.record.rwset.record_range(
+            "a".into(),
+            "z".into(),
+            vec![("k".to_string(), fabric_sim::rwset::Version::new(0, 0))],
+        );
         let log = log_of(vec![
             Rec::new(0, "writer").writes(&["k"]).build(),
             scan.build(),

@@ -24,13 +24,18 @@ impl EndorserMetrics {
     pub fn derive(log: &BlockchainLog) -> EndorserMetrics {
         let mut m = EndorserMetrics::default();
         for r in log.records() {
-            for peer in &r.endorsers {
-                *m.per_peer.entry(peer.to_string()).or_insert(0) += 1;
-                *m.per_org.entry(peer.org.to_string()).or_insert(0) += 1;
-                m.total_endorsements += 1;
-            }
+            m.observe(r);
         }
         m
+    }
+
+    /// Fold one transaction into the counts (streaming update).
+    pub fn observe(&mut self, r: &crate::log::TxRecord) {
+        for peer in &r.endorsers {
+            *self.per_peer.entry(peer.to_string()).or_insert(0) += 1;
+            *self.per_org.entry(peer.org.to_string()).or_insert(0) += 1;
+            self.total_endorsements += 1;
+        }
     }
 
     /// The share of endorsement events carried by each organization,

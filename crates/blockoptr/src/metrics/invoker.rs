@@ -23,11 +23,16 @@ impl InvokerMetrics {
     pub fn derive(log: &BlockchainLog) -> InvokerMetrics {
         let mut m = InvokerMetrics::default();
         for r in log.records() {
-            *m.per_client.entry(r.invoker.to_string()).or_insert(0) += 1;
-            *m.per_org.entry(r.invoker.org.to_string()).or_insert(0) += 1;
-            m.total += 1;
+            m.observe(r);
         }
         m
+    }
+
+    /// Fold one transaction into the counts (streaming update).
+    pub fn observe(&mut self, r: &crate::log::TxRecord) {
+        *self.per_client.entry(r.invoker.to_string()).or_insert(0) += 1;
+        *self.per_org.entry(r.invoker.org.to_string()).or_insert(0) += 1;
+        self.total += 1;
     }
 
     /// Per-organization invocation shares, descending.
@@ -66,10 +71,7 @@ mod tests {
 
     #[test]
     fn per_client_granularity() {
-        let log = log_of(vec![
-            Rec::new(0, "a").build(),
-            Rec::new(1, "a").build(),
-        ]);
+        let log = log_of(vec![Rec::new(0, "a").build(), Rec::new(1, "a").build()]);
         let m = InvokerMetrics::derive(&log);
         assert_eq!(m.per_client.len(), 1, "same default client");
         assert_eq!(m.per_client.values().next(), Some(&2));

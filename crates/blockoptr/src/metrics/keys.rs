@@ -22,10 +22,11 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeyMetrics {
     /// `Kfreq`: failed transactions accessing each key (only keys with at
-    /// least one failed access are tracked).
-    pub kfreq: BTreeMap<String, usize>,
+    /// least one failed access are tracked). `Arc`-shared so streaming
+    /// snapshots cost O(1) here instead of copying per-key counters.
+    pub kfreq: std::sync::Arc<BTreeMap<String, usize>>,
     /// Activities of failed transactions accessing each key, with counts.
-    pub failing_activity_counts: BTreeMap<String, BTreeMap<String, usize>>,
+    pub failing_activity_counts: std::sync::Arc<BTreeMap<String, BTreeMap<String, usize>>>,
     /// The hotkey set `HK`, most frequent first.
     pub hotkeys: Vec<String>,
     /// Total failed transactions (the hotkey threshold base).
@@ -37,30 +38,43 @@ impl KeyMetrics {
     pub fn derive(log: &BlockchainLog, config: &MetricConfig) -> KeyMetrics {
         let mut m = KeyMetrics::default();
         for r in log.failures() {
-            m.total_failures += 1;
-            for key in r.rwset.all_keys() {
-                *m.kfreq.entry(key.to_string()).or_insert(0) += 1;
-                *m
-                    .failing_activity_counts
-                    .entry(key.to_string())
-                    .or_default()
-                    .entry(r.activity.clone())
-                    .or_insert(0) += 1;
-            }
+            m.observe_failure(r);
         }
-        if m.total_failures >= config.min_failures_for_hotkeys {
-            let threshold =
-                (config.hotkey_share * m.total_failures as f64).ceil() as usize;
-            let mut hot: Vec<(String, usize)> = m
+        m.select_hotkeys(config);
+        m
+    }
+
+    /// Fold one **failed** transaction into the counters (streaming update).
+    /// Call [`select_hotkeys`](Self::select_hotkeys) before reading
+    /// [`hotkeys`](Self::hotkeys).
+    pub fn observe_failure(&mut self, r: &crate::log::TxRecord) {
+        self.total_failures += 1;
+        for key in r.rwset.all_keys() {
+            *std::sync::Arc::make_mut(&mut self.kfreq)
+                .entry(key.to_string())
+                .or_insert(0) += 1;
+            *std::sync::Arc::make_mut(&mut self.failing_activity_counts)
+                .entry(key.to_string())
+                .or_default()
+                .entry(r.activity.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Re-derive the hotkey set `HK` from the current counters.
+    pub fn select_hotkeys(&mut self, config: &MetricConfig) {
+        self.hotkeys.clear();
+        if self.total_failures >= config.min_failures_for_hotkeys {
+            let threshold = (config.hotkey_share * self.total_failures as f64).ceil() as usize;
+            let mut hot: Vec<(String, usize)> = self
                 .kfreq
                 .iter()
                 .filter(|(_, &c)| c >= threshold.max(1))
                 .map(|(k, &c)| (k.clone(), c))
                 .collect();
             hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            m.hotkeys = hot.into_iter().map(|(k, _)| k).collect();
+            self.hotkeys = hot.into_iter().map(|(k, _)| k).collect();
         }
-        m
     }
 
     /// Minimum failed accesses before an activity counts toward `Ksig`

@@ -19,11 +19,11 @@ pub mod keys;
 pub mod rates;
 
 pub use block::BlockMetrics;
-pub use correlation::CorrelationMetrics;
+pub use correlation::{CorrelationMetrics, CorrelationTracker};
 pub use endorser::EndorserMetrics;
 pub use invoker::InvokerMetrics;
 pub use keys::KeyMetrics;
-pub use rates::RateMetrics;
+pub use rates::{RateMetrics, RateTracker};
 
 use crate::log::BlockchainLog;
 use serde::{Deserialize, Serialize};

@@ -31,54 +31,106 @@ pub struct RateMetrics {
     pub endorsement: usize,
 }
 
-impl RateMetrics {
-    /// Derive from a log with the given interval size.
-    pub fn derive(log: &BlockchainLog, interval: SimDuration) -> RateMetrics {
-        let mut tx_buckets = TimeBuckets::new(interval);
-        let mut fail_buckets = TimeBuckets::new(interval);
-        let mut first = None;
-        let mut last = None;
-        for r in log.records() {
-            tx_buckets.record(r.client_ts);
-            if r.failed() {
-                fail_buckets.record(r.client_ts);
-            }
-            first = Some(first.map_or(r.client_ts, |f: sim_core::time::SimTime| f.min(r.client_ts)));
-            last = Some(last.map_or(r.client_ts, |l: sim_core::time::SimTime| l.max(r.client_ts)));
+/// Running rate state: one [`observe`](RateTracker::observe) per transaction
+/// keeps the interval buckets and status totals current, so a streaming
+/// session derives [`RateMetrics`] in O(intervals) instead of O(log).
+#[derive(Debug, Clone)]
+pub struct RateTracker {
+    tx_buckets: TimeBuckets,
+    fail_buckets: TimeBuckets,
+    first_send: Option<sim_core::time::SimTime>,
+    last_send: Option<sim_core::time::SimTime>,
+    total: usize,
+    failed: usize,
+    mvcc: usize,
+    phantom: usize,
+    endorsement: usize,
+}
+
+impl RateTracker {
+    /// Empty tracker with the given interval size.
+    pub fn new(interval: SimDuration) -> Self {
+        RateTracker {
+            tx_buckets: TimeBuckets::new(interval),
+            fail_buckets: TimeBuckets::new(interval),
+            first_send: None,
+            last_send: None,
+            total: 0,
+            failed: 0,
+            mvcc: 0,
+            phantom: 0,
+            endorsement: 0,
         }
-        let span = match (first, last) {
+    }
+
+    /// Fold one transaction into the running state.
+    pub fn observe(&mut self, r: &crate::log::TxRecord) {
+        self.tx_buckets.record(r.client_ts);
+        if r.failed() {
+            self.fail_buckets.record(r.client_ts);
+            self.failed += 1;
+        }
+        match r.status {
+            TxStatus::MvccReadConflict => self.mvcc += 1,
+            TxStatus::PhantomReadConflict => self.phantom += 1,
+            TxStatus::EndorsementPolicyFailure => self.endorsement += 1,
+            TxStatus::Success => {}
+        }
+        self.total += 1;
+        self.first_send = Some(self.first_send.map_or(r.client_ts, |f| f.min(r.client_ts)));
+        self.last_send = Some(self.last_send.map_or(r.client_ts, |l| l.max(r.client_ts)));
+    }
+
+    /// Materialize the metrics from the running state.
+    pub fn snapshot(&self) -> RateMetrics {
+        let span = match (self.first_send, self.last_send) {
             (Some(f), Some(l)) if l > f => l.since(f).as_secs_f64(),
             _ => 0.0,
         };
-        let total = log.len();
-        let failed = log.failures().count();
         // Failure buckets must align with tx buckets in length.
-        let mut failures_per_interval = fail_buckets.counts().to_vec();
-        failures_per_interval.resize(tx_buckets.len(), 0);
+        let mut failures_per_interval = self.fail_buckets.counts().to_vec();
+        failures_per_interval.resize(self.tx_buckets.len(), 0);
         RateMetrics {
-            tr: if span > 0.0 { total as f64 / span } else { 0.0 },
-            tfr: if span > 0.0 { failed as f64 / span } else { 0.0 },
-            tx_per_interval: tx_buckets.counts().to_vec(),
+            tr: if span > 0.0 {
+                self.total as f64 / span
+            } else {
+                0.0
+            },
+            tfr: if span > 0.0 {
+                self.failed as f64 / span
+            } else {
+                0.0
+            },
+            tx_per_interval: self.tx_buckets.counts().to_vec(),
             failures_per_interval,
-            interval,
-            total,
-            failed,
-            mvcc: log.count_status(TxStatus::MvccReadConflict),
-            phantom: log.count_status(TxStatus::PhantomReadConflict),
-            endorsement: log.count_status(TxStatus::EndorsementPolicyFailure),
+            interval: self.tx_buckets.width(),
+            total: self.total,
+            failed: self.failed,
+            mvcc: self.mvcc,
+            phantom: self.phantom,
+            endorsement: self.endorsement,
         }
+    }
+}
+
+impl RateMetrics {
+    /// Derive from a log with the given interval size.
+    pub fn derive(log: &BlockchainLog, interval: SimDuration) -> RateMetrics {
+        let mut tracker = RateTracker::new(interval);
+        for r in log.records() {
+            tracker.observe(r);
+        }
+        tracker.snapshot()
     }
 
     /// Rate (tx/s) in interval `i`.
     pub fn rate_in(&self, i: usize) -> f64 {
-        self.tx_per_interval.get(i).copied().unwrap_or(0) as f64
-            / self.interval.as_secs_f64()
+        self.tx_per_interval.get(i).copied().unwrap_or(0) as f64 / self.interval.as_secs_f64()
     }
 
     /// Failure rate (tx/s) in interval `i`.
     pub fn failure_rate_in(&self, i: usize) -> f64 {
-        self.failures_per_interval.get(i).copied().unwrap_or(0) as f64
-            / self.interval.as_secs_f64()
+        self.failures_per_interval.get(i).copied().unwrap_or(0) as f64 / self.interval.as_secs_f64()
     }
 
     /// Number of intervals observed.
@@ -149,7 +201,9 @@ mod tests {
     fn status_totals() {
         use fabric_sim::ledger::TxStatus;
         let log = log_of(vec![
-            Rec::new(0, "a").status(TxStatus::PhantomReadConflict).build(),
+            Rec::new(0, "a")
+                .status(TxStatus::PhantomReadConflict)
+                .build(),
             Rec::new(1, "a")
                 .status(TxStatus::EndorsementPolicyFailure)
                 .build(),

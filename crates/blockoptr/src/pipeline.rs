@@ -1,31 +1,58 @@
-//! The end-to-end BlockOptR workflow (paper Figure 5).
+//! The end-to-end BlockOptR workflow (paper Figure 5) and its product,
+//! [`Analysis`].
+//!
+//! The primary entry points live in [`crate::session`]: configure an
+//! [`Analyzer`], open a [`Session`](crate::session::Session), ingest blocks,
+//! snapshot. The batch workflow is a one-shot session:
 //!
 //! ```no_run
-//! use blockoptr::pipeline::BlockOptR;
+//! use blockoptr::session::Analyzer;
 //! use workload::spec::ControlVariables;
 //!
 //! let cv = ControlVariables::default();
 //! let bundle = workload::synthetic::generate(&cv);
 //! let output = bundle.run(cv.network_config());
-//! let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+//!
+//! // Batch: one-shot analysis of a complete ledger.
+//! let analysis = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
 //! for rec in &analysis.recommendations {
 //!     println!("[{}] {}: {}", rec.level(), rec.name(), rec.rationale());
 //! }
+//!
+//! // Streaming: the same analysis, block by block.
+//! let mut session = Analyzer::new().session().unwrap();
+//! for block in output.ledger.blocks() {
+//!     session.ingest_block(block);
+//!     let windowed = session.snapshot().unwrap();
+//!     assert!(windowed.log.len() <= analysis.log.len());
+//! }
 //! ```
+//!
+//! [`BlockOptR`] is the paper-era batch façade, kept so existing callers
+//! (and the paper's vocabulary) continue to work; new code should use
+//! [`Analyzer`] directly — it returns `Result` instead of panicking and
+//! supports incremental sessions and auto-tuning.
 
-use crate::caseid::{derive_case_ids, CaseDerivation};
-use crate::eventlog::to_event_log;
+use crate::caseid::CaseDerivation;
 use crate::log::BlockchainLog;
 use crate::metrics::{MetricConfig, Metrics};
-use crate::recommend::{recommend, Recommendation, Thresholds};
+use crate::recommend::{Recommendation, Thresholds};
+use crate::session::Analyzer;
 use fabric_sim::config::NetworkConfig;
 use fabric_sim::ledger::Ledger;
 use fabric_sim::sim::SimOutput;
 use process_mining::eventlog::EventLog;
-use process_mining::heuristics::{heuristics_miner, DependencyGraph, HeuristicsConfig};
+use process_mining::heuristics::{DependencyGraph, HeuristicsConfig};
+use std::sync::Arc;
 use workload::WorkloadBundle;
 
-/// The configured analyzer.
+/// The paper-era batch analyzer — a thin wrapper over a one-shot
+/// [`session`](Analyzer::session).
+///
+/// Soft-deprecated: prefer [`Analyzer`], which adds builder-style
+/// configuration, incremental [`Session`](crate::session::Session)s,
+/// auto-tuning, and typed errors. These wrappers keep the original
+/// infallible signatures (an empty ledger yields an empty analysis).
 #[derive(Debug, Clone, Default)]
 pub struct BlockOptR {
     /// Metric-derivation knobs (interval size, hotkey threshold).
@@ -37,20 +64,27 @@ pub struct BlockOptR {
 }
 
 /// Everything one analysis produces.
+///
+/// The heavyweight inputs (`log`, `event_log`, `case_derivation.case_ids`)
+/// are `Arc`-shared with the producing session, so taking a snapshot per
+/// window does not copy the accumulated history.
 #[derive(Debug, Clone)]
 pub struct Analysis {
     /// The preprocessed blockchain log.
-    pub log: BlockchainLog,
+    pub log: Arc<BlockchainLog>,
     /// The derived metrics.
     pub metrics: Metrics,
     /// How CaseIDs were derived.
     pub case_derivation: CaseDerivation,
     /// The generated event log.
-    pub event_log: EventLog,
+    pub event_log: Arc<EventLog>,
     /// The mined process model (heuristics dependency graph — robust to the
     /// noise that transaction failures inject; the Alpha net is available
     /// via `process_mining::alpha_miner(&analysis.event_log)`).
     pub model: DependencyGraph,
+    /// The thresholds the recommendations were evaluated against (the
+    /// configured set, or the derived one when auto-tuning is enabled).
+    pub thresholds: Thresholds,
     /// The recommendations, sorted by level then name.
     pub recommendations: Vec<Recommendation>,
 }
@@ -61,31 +95,52 @@ impl BlockOptR {
         Self::default()
     }
 
+    /// The equivalent [`Analyzer`] configuration.
+    pub fn to_analyzer(&self) -> Analyzer {
+        Analyzer::new()
+            .metric_config(self.metric_config)
+            .thresholds(self.thresholds.clone())
+            .mining(self.mining)
+    }
+
     /// Analyze a ledger: preprocess → metrics → event log → model →
     /// recommendations.
     pub fn analyze_ledger(&self, ledger: &Ledger) -> Analysis {
-        self.analyze_log(BlockchainLog::from_ledger(ledger))
+        let mut session = self
+            .to_analyzer()
+            .session()
+            .expect("batch wrapper keeps the paper's positive interval");
+        session.ingest_ledger(ledger);
+        session.snapshot_or_empty().with_sorted_traces()
     }
 
-    /// Analyze an already-extracted blockchain log.
+    /// Analyze an already-extracted blockchain log. Records may arrive in
+    /// any order; they are sorted into commit order first.
     pub fn analyze_log(&self, log: BlockchainLog) -> Analysis {
-        let metrics = Metrics::derive(&log, &self.metric_config);
-        let case_derivation = derive_case_ids(&log);
-        let event_log = to_event_log(&log);
-        let model = heuristics_miner(&event_log, &self.mining);
-        let recommendations = recommend(&log, &metrics, &self.thresholds);
-        Analysis {
-            log,
-            metrics,
-            case_derivation,
-            event_log,
-            model,
-            recommendations,
-        }
+        let mut session = self
+            .to_analyzer()
+            .session()
+            .expect("batch wrapper keeps the paper's positive interval");
+        session
+            .ingest_log(crate::session::into_commit_order(log))
+            .expect("commit-ordered records cannot be rejected");
+        session.snapshot_or_empty().with_sorted_traces()
     }
 }
 
 impl Analysis {
+    /// Reorder the event log's traces by case id, matching
+    /// [`to_event_log`](crate::eventlog::to_event_log)'s ordering. The
+    /// one-shot entry points apply this so batch exports (XES, DOT) are
+    /// byte-stable against the pre-session pipeline; streaming snapshots
+    /// keep first-appearance order to stay O(state).
+    pub fn with_sorted_traces(mut self) -> Self {
+        let mut traces = self.event_log.traces().to_vec();
+        traces.sort_by(|a, b| a.case_id.cmp(&b.case_id));
+        self.event_log = Arc::new(EventLog::from_traces(traces));
+        self
+    }
+
     /// Recommendation names, for quick assertions and table rendering.
     pub fn recommendation_names(&self) -> Vec<&'static str> {
         self.recommendations.iter().map(|r| r.name()).collect()
@@ -98,10 +153,7 @@ impl Analysis {
 }
 
 /// Convenience: run a workload and analyze the resulting ledger.
-pub fn run_and_analyze(
-    bundle: &WorkloadBundle,
-    config: NetworkConfig,
-) -> (SimOutput, Analysis) {
+pub fn run_and_analyze(bundle: &WorkloadBundle, config: NetworkConfig) -> (SimOutput, Analysis) {
     let output = bundle.run(config);
     let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
     (output, analysis)
@@ -129,6 +181,7 @@ mod tests {
         assert!(!analysis.event_log.is_empty());
         assert_eq!(analysis.case_derivation.family, "k");
         assert!(analysis.model.activity_counts.len() >= 4);
+        assert_eq!(analysis.thresholds, Thresholds::default());
     }
 
     #[test]
@@ -160,5 +213,26 @@ mod tests {
             assert!(analysis.recommends(n));
         }
         assert!(!analysis.recommends("Nonexistent rule"));
+    }
+
+    #[test]
+    fn wrapper_matches_analyzer_path() {
+        let cv = small_cv();
+        let bundle = workload::synthetic::generate(&cv);
+        let output = bundle.run(cv.network_config());
+        let wrapped = BlockOptR::new().analyze_ledger(&output.ledger);
+        let direct = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
+        assert_eq!(
+            wrapped.recommendation_names(),
+            direct.recommendation_names()
+        );
+        assert_eq!(wrapped.metrics.rates.tr, direct.metrics.rates.tr);
+    }
+
+    #[test]
+    fn empty_ledger_yields_empty_analysis() {
+        let analysis = BlockOptR::new().analyze_ledger(&Ledger::new());
+        assert!(analysis.log.is_empty());
+        assert!(analysis.recommendations.is_empty());
     }
 }

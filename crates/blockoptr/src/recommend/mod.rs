@@ -292,9 +292,42 @@ impl Recommendation {
     }
 }
 
+/// Per-activity transaction-type histogram — the only per-record input the
+/// rule engine needs beyond [`Metrics`]. Streaming sessions maintain it
+/// incrementally (one [`observe_activity_type`] call per transaction).
+pub type ActivityTypeHistogram = BTreeMap<String, BTreeMap<TxType, usize>>;
+
+/// Build the histogram from a full log (the batch path).
+pub fn activity_type_histogram(log: &BlockchainLog) -> ActivityTypeHistogram {
+    let mut hist = ActivityTypeHistogram::new();
+    for r in log.records() {
+        observe_activity_type(&mut hist, &r.activity, r.tx_type);
+    }
+    hist
+}
+
+/// Fold one transaction into an [`ActivityTypeHistogram`].
+pub fn observe_activity_type(hist: &mut ActivityTypeHistogram, activity: &str, tx_type: TxType) {
+    *hist
+        .entry(activity.to_string())
+        .or_default()
+        .entry(tx_type)
+        .or_insert(0) += 1;
+}
+
 /// Evaluate all nine rules.
 pub fn recommend(
     log: &BlockchainLog,
+    metrics: &Metrics,
+    thresholds: &Thresholds,
+) -> Vec<Recommendation> {
+    recommend_from_parts(&activity_type_histogram(log), metrics, thresholds)
+}
+
+/// Evaluate all nine rules from pre-aggregated inputs — the streaming entry
+/// point: every input here is O(state), none is O(log).
+pub fn recommend_from_parts(
+    type_hist: &ActivityTypeHistogram,
     metrics: &Metrics,
     thresholds: &Thresholds,
 ) -> Vec<Recommendation> {
@@ -310,15 +343,8 @@ pub fn recommend(
     let corr = &metrics.correlation;
     if corr.read_conflicts >= thresholds.min_conflicts {
         let global = corr.reorderable_share() >= thresholds.reorder_share;
-        let mut per_activity: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
-        for c in &corr.conflicts {
-            let e = per_activity.entry(c.failed_activity.as_str()).or_insert((0, 0));
-            e.0 += 1;
-            if c.reorderable {
-                e.1 += 1;
-            }
-        }
-        let qualifying: usize = per_activity
+        let qualifying: usize = corr
+            .activity_conflicts
             .values()
             .filter(|(total, reord)| *total > 0 && (*reord as f64) >= 0.6 * (*total as f64))
             .map(|(total, _)| *total)
@@ -334,16 +360,8 @@ pub fn recommend(
     }
 
     // (2) Process model pruning: per-activity type histograms.
-    let mut type_hist: BTreeMap<&str, BTreeMap<TxType, usize>> = BTreeMap::new();
-    for r in log.records() {
-        *type_hist
-            .entry(r.activity.as_str())
-            .or_default()
-            .entry(r.tx_type)
-            .or_insert(0) += 1;
-    }
     let mut anomalous = Vec::new();
-    for (activity, hist) in &type_hist {
+    for (activity, hist) in type_hist {
         let reads = hist.get(&TxType::Read).copied().unwrap_or(0);
         let writes: usize = hist
             .iter()

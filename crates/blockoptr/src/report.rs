@@ -33,8 +33,11 @@ pub fn render(analysis: &Analysis) -> String {
     let _ = writeln!(
         out,
         "failures: {} MVCC ({} reorderable pairs, mean corP {:.0}), {} phantom, {} endorsement",
-        m.rates.mvcc, m.correlation.reorderable, m.correlation.mean_distance,
-        m.rates.phantom, m.rates.endorsement
+        m.rates.mvcc,
+        m.correlation.reorderable,
+        m.correlation.mean_distance,
+        m.rates.phantom,
+        m.rates.endorsement
     );
     if m.keys.has_hotkeys() {
         let _ = writeln!(
@@ -45,7 +48,11 @@ pub fn render(analysis: &Analysis) -> String {
                 .hotkeys
                 .iter()
                 .take(5)
-                .map(|k| format!("{k} (Kfreq {}, Ksig {})", m.keys.kfreq_of(k), m.keys.ksig(k)))
+                .map(|k| format!(
+                    "{k} (Kfreq {}, Ksig {})",
+                    m.keys.kfreq_of(k),
+                    m.keys.ksig(k)
+                ))
                 .collect::<Vec<_>>()
                 .join(", ")
         );
@@ -104,8 +111,8 @@ mod tests {
 
     #[test]
     fn empty_analysis_renders_healthy() {
-        let analysis = crate::pipeline::BlockOptR::new()
-            .analyze_log(crate::log::BlockchainLog::default());
+        let analysis =
+            crate::pipeline::BlockOptR::new().analyze_log(crate::log::BlockchainLog::default());
         let text = render(&analysis);
         assert!(text.contains("none — the system looks healthy"));
     }

@@ -1,0 +1,888 @@
+//! The incremental analysis engine: [`Analyzer`] configuration +
+//! [`Session`] state.
+//!
+//! The paper's workflow (Figure 5) is batch: read the whole chain, derive
+//! everything, recommend once. A production monitoring loop can't afford
+//! that — it ingests blocks *as they commit* and re-issues recommendations
+//! per window. This module provides that loop's engine:
+//!
+//! * [`Analyzer`] — cheap, cloneable configuration (metric knobs,
+//!   thresholds, mining config, auto-tuning), built builder-style;
+//! * [`Session`] — the stateful accumulator: [`Session::ingest_block`] /
+//!   [`Session::ingest_ledger`] fold new transactions into running metric
+//!   state (interval rate buckets, conflict and hot-key counters,
+//!   directly-follows counts), and [`Session::snapshot`] materializes a full
+//!   [`Analysis`] from that state at a cost proportional to the *state*
+//!   (intervals, activities, conflicts), not the log length;
+//! * [`AnalyzeError`] — the typed error for every fallible path (empty
+//!   logs, malformed JSON, degenerate configuration).
+//!
+//! ```
+//! use blockoptr::session::Analyzer;
+//! use workload::spec::ControlVariables;
+//!
+//! let cv = ControlVariables { transactions: 500, ..Default::default() };
+//! let output = workload::synthetic::generate(&cv).run(cv.network_config());
+//!
+//! let mut session = Analyzer::new().auto_tune(true).session().unwrap();
+//! for block in output.ledger.blocks() {
+//!     session.ingest_block(block);
+//! }
+//! let analysis = session.snapshot().unwrap();
+//! assert_eq!(analysis.log.len(), output.report.committed);
+//! ```
+
+use crate::autotune::tune_from_rates;
+use crate::caseid::{self, CaseDerivation};
+use crate::export;
+use crate::log::{BlockchainLog, TxRecord};
+use crate::metrics::{
+    BlockMetrics, CorrelationTracker, EndorserMetrics, InvokerMetrics, KeyMetrics, MetricConfig,
+    Metrics, RateTracker,
+};
+use crate::pipeline::Analysis;
+use crate::recommend::{
+    observe_activity_type, recommend_from_parts, ActivityTypeHistogram, Thresholds,
+};
+use fabric_sim::ledger::{Block, Ledger};
+use process_mining::dfg::DirectlyFollowsGraph;
+use process_mining::eventlog::{EventLog, Trace};
+use process_mining::heuristics::{mine_from_dfg, HeuristicsConfig};
+use sim_core::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why an analysis could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// No transactions have been ingested — there is nothing to analyze.
+    EmptyLog,
+    /// A log could not be parsed from JSON.
+    Json(String),
+    /// The configured metric interval is zero, so rate distributions are
+    /// undefined.
+    ZeroInterval,
+    /// A log window arrived out of commit order (streaming ingestion
+    /// requires commit-ordered records; conflict distances are defined on
+    /// them).
+    OutOfOrder {
+        /// The offending record's commit index.
+        index: usize,
+        /// The highest commit index ingested before it.
+        after: usize,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::EmptyLog => f.write_str("the blockchain log is empty"),
+            AnalyzeError::Json(msg) => write!(f, "malformed log JSON: {msg}"),
+            AnalyzeError::ZeroInterval => {
+                f.write_str("metric interval is zero; rate distributions are undefined")
+            }
+            AnalyzeError::OutOfOrder { index, after } => write!(
+                f,
+                "log window out of commit order: index {index} arrived after {after}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// The configured analyzer: cheap to build, cheap to clone, and the only
+/// way to open a [`Session`].
+///
+/// Replaces the paper-era `BlockOptR` struct as the primary entry point;
+/// `BlockOptR` survives as a thin wrapper over a one-shot session.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    metric_config: MetricConfig,
+    thresholds: Thresholds,
+    mining: HeuristicsConfig,
+    auto_tune: bool,
+}
+
+impl Analyzer {
+    /// An analyzer with the paper's default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the metric-derivation knobs (interval size, hotkey threshold).
+    pub fn metric_config(mut self, config: MetricConfig) -> Self {
+        self.metric_config = config;
+        self
+    }
+
+    /// Set the recommendation thresholds.
+    pub fn thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Set the process-model mining thresholds.
+    pub fn mining(mut self, mining: HeuristicsConfig) -> Self {
+        self.mining = mining;
+        self
+    }
+
+    /// Derive deployment-specific thresholds from the observed data instead
+    /// of the paper's fixed defaults (folds the `autotune` extension into
+    /// the main entry path; the configured [`Thresholds`] still provide
+    /// everything auto-tuning does not derive).
+    ///
+    /// The sustainable-rate scan runs over this analyzer's configured
+    /// [`MetricConfig::interval`] buckets. With a non-default interval the
+    /// derived thresholds can differ from the standalone
+    /// [`auto_tune`](crate::autotune::auto_tune) helper, which always
+    /// buckets at 1 s.
+    pub fn auto_tune(mut self, enabled: bool) -> Self {
+        self.auto_tune = enabled;
+        self
+    }
+
+    /// Open an empty streaming session.
+    pub fn session(&self) -> Result<Session, AnalyzeError> {
+        if self.metric_config.interval.as_micros() == 0 {
+            return Err(AnalyzeError::ZeroInterval);
+        }
+        Ok(Session::new(self.clone()))
+    }
+
+    /// One-shot: analyze a ledger (errors on an empty ledger).
+    pub fn analyze_ledger(&self, ledger: &Ledger) -> Result<Analysis, AnalyzeError> {
+        let mut session = self.session()?;
+        session.ingest_ledger(ledger);
+        session.snapshot().map(Analysis::with_sorted_traces)
+    }
+
+    /// One-shot: analyze an already-extracted blockchain log. Unlike the
+    /// streaming [`Session::ingest_log`], this accepts records in any
+    /// order: they are sorted into commit order first (the trace/model
+    /// derivation is defined on commit order).
+    pub fn analyze_log(&self, log: BlockchainLog) -> Result<Analysis, AnalyzeError> {
+        let mut session = self.session()?;
+        session.ingest_log(into_commit_order(log))?;
+        session.snapshot().map(Analysis::with_sorted_traces)
+    }
+
+    /// One-shot: parse a JSON-exported log and analyze it.
+    pub fn analyze_json(&self, json: &str) -> Result<Analysis, AnalyzeError> {
+        self.analyze_log(export::from_json(json)?)
+    }
+}
+
+/// Sort a log's records into strict commit order (the one-shot entry
+/// points accept arbitrary record order; streaming ingestion requires
+/// commit order and documents it). Duplicate commit indices carry no
+/// usable ordering information, so they fall back to positional indices.
+pub(crate) fn into_commit_order(log: BlockchainLog) -> BlockchainLog {
+    if log
+        .records()
+        .windows(2)
+        .all(|w| w[0].commit_index < w[1].commit_index)
+    {
+        return log;
+    }
+    let (mut records, blocks) = log.into_records();
+    records.sort_by_key(|r| r.commit_index);
+    if records
+        .windows(2)
+        .any(|w| w[0].commit_index == w[1].commit_index)
+    {
+        for (i, r) in records.iter_mut().enumerate() {
+            r.commit_index = i;
+        }
+    }
+    BlockchainLog::from_records(records, blocks)
+}
+
+/// Per-case model state: identifier-family statistics plus the event log
+/// and directly-follows graph maintained under the currently winning family.
+#[derive(Debug, Clone, Default)]
+struct CaseTracker {
+    coverage: BTreeMap<String, usize>,
+    distinct: BTreeMap<String, BTreeSet<String>>,
+    /// The family the incremental structures below are built for.
+    family: String,
+    case_ids: Arc<Vec<Option<String>>>,
+    case_trace: BTreeMap<String, usize>,
+    event_log: Arc<EventLog>,
+    dfg: DirectlyFollowsGraph,
+}
+
+impl CaseTracker {
+    fn observe(&mut self, record: &TxRecord) {
+        // Extract the candidate identifiers once; both the family
+        // statistics and the case lookup read the same list.
+        let cands = caseid::candidates(record);
+        caseid::observe_family_candidates(&cands, &mut self.coverage, &mut self.distinct);
+        let case = if self.family.is_empty() {
+            None
+        } else {
+            caseid::case_from_candidates(&cands, &self.family)
+        };
+        self.append(case, &record.activity);
+    }
+
+    /// Extend the incremental event log / DFG with one event.
+    fn append(&mut self, case: Option<String>, activity: &str) {
+        let ids = Arc::make_mut(&mut self.case_ids);
+        ids.push(case.clone());
+        let Some(case) = case else {
+            return;
+        };
+        match self.case_trace.get(&case) {
+            Some(&idx) => {
+                let log = Arc::make_mut(&mut self.event_log);
+                let trace = log.trace_mut(idx).expect("trace index is valid");
+                let prev = trace.activities.last().expect("open traces are non-empty");
+                self.dfg.record_trace_extension(prev, activity);
+                trace.activities.push(activity.to_string());
+            }
+            None => {
+                let log = Arc::make_mut(&mut self.event_log);
+                self.case_trace.insert(case.clone(), log.len());
+                log.push(Trace::new(case, vec![activity.to_string()]));
+                self.dfg.record_trace_start(activity);
+            }
+        }
+    }
+
+    /// Re-check the winning family; rebuild the incremental structures when
+    /// it changed (amortized rare — only while early data is still
+    /// ambiguous about the dominant identifier family).
+    ///
+    /// A cached family whose coverage is still within the batch deriver's
+    /// 5 % tie band of the current winner is kept, so two families trading
+    /// narrow leads can never force repeated O(records) rebuilds. Within
+    /// that band the families are equally valid by the deriver's own
+    /// definition; a session may therefore keep a different (equally
+    /// covering) family than a fresh batch derivation's tie-break would
+    /// pick. Metrics and recommendations do not depend on the family —
+    /// only the case/trace view does.
+    fn refresh(&mut self, records: &[TxRecord]) {
+        let total = records.len().max(1);
+        let winner = caseid::pick_family(&self.coverage, &self.distinct, total)
+            .map(|(family, _, _)| family)
+            .unwrap_or_default();
+        if winner == self.family {
+            return;
+        }
+        if !self.family.is_empty() {
+            let band = (total as f64 * 0.05) as usize;
+            let cached = self.coverage.get(&self.family).copied().unwrap_or(0);
+            let won = self.coverage.get(&winner).copied().unwrap_or(0);
+            if cached.abs_diff(won) <= band {
+                return;
+            }
+        }
+        self.family = winner;
+        self.case_ids = Arc::new(Vec::with_capacity(records.len()));
+        self.case_trace.clear();
+        self.event_log = Arc::new(EventLog::new());
+        self.dfg = DirectlyFollowsGraph::default();
+        for record in records {
+            let case = if self.family.is_empty() {
+                None
+            } else {
+                caseid::case_of(record, &self.family)
+            };
+            self.append(case, &record.activity);
+        }
+    }
+
+    fn derivation(&self, total_records: usize) -> CaseDerivation {
+        let total = total_records.max(1);
+        let covered = self.coverage.get(&self.family).copied().unwrap_or(0);
+        CaseDerivation {
+            family: self.family.clone(),
+            coverage: if self.family.is_empty() {
+                0.0
+            } else {
+                covered as f64 / total as f64
+            },
+            distinct_cases: self
+                .distinct
+                .get(&self.family)
+                .map(BTreeSet::len)
+                .unwrap_or(0),
+            case_ids: self.case_ids.clone(),
+        }
+    }
+}
+
+/// A stateful incremental analysis: feed it blocks, take snapshots.
+///
+/// All metric state is maintained *running*: each ingested transaction
+/// updates interval rate buckets, block sizes, endorser/invoker counters,
+/// hot-key counters, the conflict scan, the activity-type histogram, and
+/// the directly-follows graph — so [`snapshot`](Session::snapshot) costs
+/// O(state), not O(log). Cloning a `Session` forks the analysis (the
+/// accumulated log is shared copy-on-write).
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: Analyzer,
+    log: Arc<BlockchainLog>,
+    last_block: u64,
+    first_send: Option<SimTime>,
+    last_commit: Option<SimTime>,
+    rates: RateTracker,
+    block_sizes: BTreeMap<u64, usize>,
+    endorsers: EndorserMetrics,
+    invokers: InvokerMetrics,
+    keys: KeyMetrics,
+    correlation: CorrelationTracker,
+    type_hist: ActivityTypeHistogram,
+    cases: CaseTracker,
+}
+
+impl Session {
+    fn new(config: Analyzer) -> Self {
+        let rates = RateTracker::new(config.metric_config.interval);
+        Session {
+            config,
+            log: Arc::new(BlockchainLog::default()),
+            last_block: 0,
+            first_send: None,
+            last_commit: None,
+            rates,
+            block_sizes: BTreeMap::new(),
+            endorsers: EndorserMetrics::default(),
+            invokers: InvokerMetrics::default(),
+            keys: KeyMetrics::default(),
+            correlation: CorrelationTracker::default(),
+            type_hist: ActivityTypeHistogram::new(),
+            cases: CaseTracker::default(),
+        }
+    }
+
+    /// Transactions ingested so far.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Highest block number ingested (0 before the first block).
+    pub fn last_block(&self) -> u64 {
+        self.last_block
+    }
+
+    /// The accumulated blockchain log (shared; snapshots alias it).
+    pub fn log(&self) -> &BlockchainLog {
+        &self.log
+    }
+
+    /// Ingest one committed block. Returns the number of records added.
+    pub fn ingest_block(&mut self, block: &Block) -> usize {
+        let first_new = self.log.len();
+        let added = Arc::make_mut(&mut self.log).append_block(block, |_| true);
+        self.last_block = self.last_block.max(block.number);
+        self.observe_from(first_new);
+        added
+    }
+
+    /// Ingest every block the ledger has appended since the last call
+    /// (streaming resume: blocks at or below [`last_block`](Self::last_block)
+    /// are skipped). Returns the number of records added.
+    pub fn ingest_ledger(&mut self, ledger: &Ledger) -> usize {
+        let mut added = 0;
+        for block in ledger.blocks_from(self.last_block + 1) {
+            added += self.ingest_block(block);
+        }
+        added
+    }
+
+    /// Ingest an already-extracted log window (e.g. replayed from a JSON
+    /// export). Records keep their commit indices and must arrive in commit
+    /// order, as an export produces them — out-of-order windows are
+    /// rejected with [`AnalyzeError::OutOfOrder`] before any state changes.
+    /// Returns the number of records added.
+    pub fn ingest_log(&mut self, window: BlockchainLog) -> Result<usize, AnalyzeError> {
+        // Commit indices must be strictly increasing: every producer path
+        // (ledger extraction, exports) assigns unique ascending indices, so
+        // an equal index can only be a duplicated window — e.g. a retry
+        // replaying data the session already holds — which would silently
+        // double every metric if accepted.
+        let mut last = self.log.records().last().map(|r| r.commit_index);
+        for record in window.records() {
+            if let Some(after) = last {
+                if record.commit_index <= after {
+                    return Err(AnalyzeError::OutOfOrder {
+                        index: record.commit_index,
+                        after,
+                    });
+                }
+            }
+            last = Some(record.commit_index);
+        }
+
+        let first_new = self.log.len();
+        let (records, declared_blocks) = window.into_records();
+        let added = records.len();
+        // Blocks can span window boundaries; count a window's declared
+        // block count only for a fresh session (it is then the source
+        // log's own tally, which may include blocks whose transactions
+        // were filtered out) and distinct *new* block numbers afterwards,
+        // so a block cut across two windows is not counted twice.
+        let new_blocks = if first_new == 0 {
+            declared_blocks
+        } else {
+            records
+                .iter()
+                .map(|r| r.block)
+                .filter(|b| !self.block_sizes.contains_key(b))
+                .collect::<BTreeSet<u64>>()
+                .len()
+        };
+        {
+            let log = Arc::make_mut(&mut self.log);
+            for record in records {
+                log.push_record(record);
+            }
+            log.add_blocks(new_blocks);
+        }
+        self.observe_from(first_new);
+        Ok(added)
+    }
+
+    /// Fold every record at position `first_new..` into the running state.
+    fn observe_from(&mut self, first_new: usize) {
+        let log = Arc::clone(&self.log);
+        for (pos, record) in log.records().iter().enumerate().skip(first_new) {
+            self.last_block = self.last_block.max(record.block);
+            self.first_send = Some(
+                self.first_send
+                    .map_or(record.client_ts, |t| t.min(record.client_ts)),
+            );
+            self.last_commit = Some(
+                self.last_commit
+                    .map_or(record.commit_ts, |t| t.max(record.commit_ts)),
+            );
+            self.rates.observe(record);
+            *self.block_sizes.entry(record.block).or_insert(0) += 1;
+            self.endorsers.observe(record);
+            self.invokers.observe(record);
+            if record.failed() {
+                self.keys.observe_failure(record);
+            }
+            self.correlation.observe(log.records(), pos);
+            observe_activity_type(&mut self.type_hist, &record.activity, record.tx_type);
+            self.cases.observe(record);
+        }
+        // Re-check the winning identifier family once per batch, so the
+        // event-log/DFG cache is (re)built here — amortized over ingestion —
+        // and snapshots stay O(state).
+        self.cases.refresh(log.records());
+    }
+
+    /// The observation window in seconds (first client send → last commit).
+    pub fn window_secs(&self) -> f64 {
+        match (self.first_send, self.last_commit) {
+            (Some(first), Some(last)) => last.since(first).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Materialize an [`Analysis`] from the running state. Errors when
+    /// nothing has been ingested.
+    ///
+    /// Snapshots share the accumulated log, event log, and conflict history
+    /// with the session (copy-on-write), so taking one costs O(state) —
+    /// intervals, activities, distinct keys — not O(log). The flip side:
+    /// a snapshot **retained across a later ingest** forces that ingest to
+    /// copy the shared history once before writing. Drop (or finish with)
+    /// each window's snapshot before ingesting the next window to keep
+    /// ingestion O(new data); retain snapshots deliberately when you want
+    /// an immutable point-in-time view and can afford the one-time copy.
+    pub fn snapshot(&self) -> Result<Analysis, AnalyzeError> {
+        if self.is_empty() {
+            return Err(AnalyzeError::EmptyLog);
+        }
+        Ok(self.snapshot_or_empty())
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but tolerates an empty session,
+    /// producing an analysis with empty metrics (the paper-era batch API's
+    /// behaviour, which the `BlockOptR` wrappers preserve).
+    pub fn snapshot_or_empty(&self) -> Analysis {
+        let rates = self.rates.snapshot();
+        let mut keys = self.keys.clone();
+        keys.select_hotkeys(&self.config.metric_config);
+        let metrics = Metrics {
+            rates,
+            block: BlockMetrics::from_sizes(&self.block_sizes),
+            endorsers: self.endorsers.clone(),
+            invokers: self.invokers.clone(),
+            keys,
+            correlation: self.correlation.snapshot(),
+        };
+        let thresholds = if self.config.auto_tune {
+            tune_from_rates(&metrics.rates, self.window_secs()).thresholds
+        } else {
+            self.config.thresholds.clone()
+        };
+        // The case cache is refreshed at the end of every ingest batch
+        // (observe_from), so it is already current here — snapshots are
+        // read-only.
+        let model = mine_from_dfg(&self.cases.dfg, &self.config.mining);
+        let recommendations = recommend_from_parts(&self.type_hist, &metrics, &thresholds);
+        Analysis {
+            log: Arc::clone(&self.log),
+            case_derivation: self.cases.derivation(self.log.len()),
+            event_log: Arc::clone(&self.cases.event_log),
+            model,
+            metrics,
+            thresholds,
+            recommendations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::test_support::{log_of, Rec};
+    use crate::pipeline::BlockOptR;
+    use fabric_sim::ledger::TxStatus;
+    use workload::spec::ControlVariables;
+
+    fn small_output() -> fabric_sim::sim::SimOutput {
+        let cv = ControlVariables {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        workload::synthetic::generate(&cv).run(cv.network_config())
+    }
+
+    /// The tentpole invariant: feeding a ledger block-by-block through a
+    /// session yields the same analysis as the one-shot batch path.
+    #[test]
+    fn incremental_snapshot_matches_batch_analysis() {
+        let output = small_output();
+        let batch = BlockOptR::new().analyze_ledger(&output.ledger);
+
+        let mut session = Analyzer::new().session().unwrap();
+        for block in output.ledger.blocks() {
+            session.ingest_block(block);
+        }
+        let streamed = session.snapshot().unwrap();
+
+        assert_eq!(streamed.log.len(), batch.log.len());
+        assert_eq!(streamed.metrics.rates.tr, batch.metrics.rates.tr);
+        assert_eq!(streamed.metrics.rates.tfr, batch.metrics.rates.tfr);
+        assert_eq!(
+            streamed.metrics.rates.tx_per_interval,
+            batch.metrics.rates.tx_per_interval
+        );
+        assert_eq!(
+            streamed.metrics.rates.failures_per_interval,
+            batch.metrics.rates.failures_per_interval
+        );
+        assert_eq!(
+            streamed.metrics.block.avg_block_size,
+            batch.metrics.block.avg_block_size
+        );
+        assert_eq!(streamed.metrics.block.blocks, batch.metrics.block.blocks);
+        assert_eq!(
+            streamed.metrics.endorsers.per_org,
+            batch.metrics.endorsers.per_org
+        );
+        assert_eq!(
+            streamed.metrics.invokers.per_org,
+            batch.metrics.invokers.per_org
+        );
+        assert_eq!(streamed.metrics.keys.kfreq, batch.metrics.keys.kfreq);
+        assert_eq!(streamed.metrics.keys.hotkeys, batch.metrics.keys.hotkeys);
+        assert_eq!(
+            streamed.metrics.correlation.read_conflicts,
+            batch.metrics.correlation.read_conflicts
+        );
+        assert_eq!(
+            streamed.metrics.correlation.identified,
+            batch.metrics.correlation.identified
+        );
+        assert_eq!(
+            streamed.metrics.correlation.reorderable,
+            batch.metrics.correlation.reorderable
+        );
+        assert_eq!(
+            streamed.metrics.correlation.mean_distance,
+            batch.metrics.correlation.mean_distance
+        );
+        assert_eq!(
+            streamed.case_derivation.family,
+            batch.case_derivation.family
+        );
+        assert_eq!(
+            streamed.case_derivation.distinct_cases,
+            batch.case_derivation.distinct_cases
+        );
+        assert_eq!(
+            streamed.case_derivation.case_ids,
+            batch.case_derivation.case_ids
+        );
+        assert_eq!(streamed.event_log.len(), batch.event_log.len());
+        assert_eq!(
+            streamed.event_log.event_count(),
+            batch.event_log.event_count()
+        );
+        assert_eq!(streamed.model.edges, batch.model.edges);
+        assert_eq!(streamed.model.starts, batch.model.starts);
+        assert_eq!(
+            streamed.recommendation_names(),
+            batch.recommendation_names()
+        );
+    }
+
+    /// Snapshots between ingests must agree with a batch run over the same
+    /// prefix, and the final state must not depend on window boundaries.
+    #[test]
+    fn mid_stream_snapshots_are_prefix_analyses() {
+        let output = small_output();
+        let blocks = output.ledger.blocks();
+        let mut session = Analyzer::new().session().unwrap();
+        let mut prefix = fabric_sim::ledger::Ledger::new();
+        for (i, block) in blocks.iter().enumerate() {
+            session.ingest_block(block);
+            prefix.append(block.clone());
+            if i % 7 == 0 {
+                let streamed = session.snapshot().unwrap();
+                let batch = BlockOptR::new().analyze_ledger(&prefix);
+                assert_eq!(streamed.metrics.rates.total, batch.metrics.rates.total);
+                assert_eq!(
+                    streamed.metrics.correlation.identified,
+                    batch.metrics.correlation.identified
+                );
+                assert_eq!(
+                    streamed.recommendation_names(),
+                    batch.recommendation_names()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_ledger_resumes_after_last_block() {
+        let output = small_output();
+        let mut session = Analyzer::new().session().unwrap();
+        let first = session.ingest_ledger(&output.ledger);
+        assert_eq!(first, output.report.committed);
+        // Re-ingesting the same ledger adds nothing.
+        assert_eq!(session.ingest_ledger(&output.ledger), 0);
+        assert_eq!(session.len(), output.report.committed);
+        assert_eq!(
+            session.last_block(),
+            output.ledger.blocks().last().unwrap().number
+        );
+    }
+
+    #[test]
+    fn empty_session_snapshot_errors() {
+        let session = Analyzer::new().session().unwrap();
+        assert_eq!(session.snapshot().unwrap_err(), AnalyzeError::EmptyLog);
+        let analysis = session.snapshot_or_empty();
+        assert!(analysis.recommendations.is_empty());
+        assert_eq!(analysis.log.len(), 0);
+    }
+
+    #[test]
+    fn zero_interval_is_rejected() {
+        let config = MetricConfig {
+            interval: sim_core::time::SimDuration::from_micros(0),
+            ..Default::default()
+        };
+        let err = Analyzer::new().metric_config(config).session().unwrap_err();
+        assert_eq!(err, AnalyzeError::ZeroInterval);
+    }
+
+    #[test]
+    fn analyze_json_surfaces_parse_errors() {
+        let err = Analyzer::new()
+            .analyze_json("{definitely not json")
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Json(_)), "{err:?}");
+        assert!(err.to_string().contains("malformed log JSON"));
+    }
+
+    #[test]
+    fn analyze_log_round_trips_through_json() {
+        let log = log_of(vec![
+            Rec::new(0, "writer").writes(&["k"]).build(),
+            Rec::new(1, "reader")
+                .reads(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let json = export::to_json(&log);
+        let analysis = Analyzer::new().analyze_json(&json).unwrap();
+        assert_eq!(analysis.log.len(), 2);
+        assert_eq!(analysis.metrics.correlation.read_conflicts, 1);
+    }
+
+    #[test]
+    fn auto_tune_folds_into_snapshot() {
+        let output = small_output();
+        let log = BlockchainLog::from_ledger(&output.ledger);
+        let expected = crate::autotune::auto_tune(&log).thresholds;
+        let analysis = Analyzer::new()
+            .auto_tune(true)
+            .analyze_ledger(&output.ledger)
+            .unwrap();
+        assert_eq!(analysis.thresholds, expected);
+        let untuned = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
+        assert_eq!(untuned.thresholds, Thresholds::default());
+    }
+
+    #[test]
+    fn ingest_log_windows_match_whole_log() {
+        let output = small_output();
+        let log = BlockchainLog::from_ledger(&output.ledger);
+        let batch = BlockOptR::new().analyze_log(log.clone());
+
+        // Split the records into three arbitrary windows.
+        let records = log.records();
+        let third = records.len() / 3;
+        let mut session = Analyzer::new().session().unwrap();
+        for chunk in [
+            &records[..third],
+            &records[third..2 * third],
+            &records[2 * third..],
+        ] {
+            let blocks: BTreeSet<u64> = chunk.iter().map(|r| r.block).collect();
+            session
+                .ingest_log(BlockchainLog::from_records(chunk.to_vec(), blocks.len()))
+                .unwrap();
+        }
+        let streamed = session.snapshot().unwrap();
+        assert_eq!(streamed.metrics.rates.total, batch.metrics.rates.total);
+        assert_eq!(
+            streamed.metrics.correlation.identified,
+            batch.metrics.correlation.identified
+        );
+        assert_eq!(
+            streamed.recommendation_names(),
+            batch.recommendation_names()
+        );
+        // Blocks cut across window boundaries must not be counted twice.
+        assert_eq!(streamed.log.block_count(), batch.log.block_count());
+        assert_eq!(streamed.metrics.block.blocks, batch.metrics.block.blocks);
+    }
+
+    #[test]
+    fn out_of_order_windows_are_rejected() {
+        let early = log_of(vec![Rec::new(0, "a").build(), Rec::new(1, "a").build()]);
+        let late = log_of(vec![Rec::new(7, "a").build()]);
+        let mut session = Analyzer::new().session().unwrap();
+        session.ingest_log(late.clone()).unwrap();
+        let err = session.ingest_log(early.clone()).unwrap_err();
+        assert_eq!(err, AnalyzeError::OutOfOrder { index: 0, after: 7 });
+        // Nothing was ingested by the failed call.
+        assert_eq!(session.len(), 1);
+        // A shuffled window is rejected before mutating anything, too.
+        let mut fresh = Analyzer::new().session().unwrap();
+        let shuffled = BlockchainLog::from_records(
+            vec![Rec::new(3, "a").build(), Rec::new(1, "a").build()],
+            1,
+        );
+        assert!(matches!(
+            fresh.ingest_log(shuffled).unwrap_err(),
+            AnalyzeError::OutOfOrder { index: 1, after: 3 }
+        ));
+        assert!(fresh.is_empty());
+        // The one-shot entry point sorts instead of rejecting.
+        let analysis = Analyzer::new()
+            .analyze_log(BlockchainLog::from_records(
+                vec![Rec::new(3, "a").build(), Rec::new(1, "a").build()],
+                1,
+            ))
+            .unwrap();
+        assert_eq!(analysis.log.records()[0].commit_index, 1);
+    }
+
+    #[test]
+    fn replaying_the_same_window_is_rejected() {
+        let window = log_of(vec![Rec::new(0, "a").build(), Rec::new(1, "a").build()]);
+        let mut session = Analyzer::new().session().unwrap();
+        session.ingest_log(window.clone()).unwrap();
+        // A retry that replays already-ingested data must not double the
+        // metrics.
+        let err = session.ingest_log(window).unwrap_err();
+        assert_eq!(err, AnalyzeError::OutOfOrder { index: 0, after: 1 });
+        assert_eq!(session.len(), 2);
+    }
+
+    #[test]
+    fn blocks_after_sparse_log_keep_indices_monotone() {
+        // Caller-indexed records followed by live blocks: commit indices
+        // continue above the sparse indices, so conflict distances stay
+        // well-defined (no underflow).
+        let sparse = log_of(vec![
+            Rec::new(5, "writer").writes(&["k"]).build(),
+            Rec::new(17, "writer").writes(&["k"]).build(),
+        ]);
+        let mut session = Analyzer::new().session().unwrap();
+        session.ingest_log(sparse).unwrap();
+
+        let output = small_output();
+        session.ingest_block(&output.ledger.blocks()[0]);
+        let records = session.log().records();
+        assert!(records
+            .windows(2)
+            .all(|w| w[0].commit_index < w[1].commit_index));
+        assert_eq!(records[2].commit_index, 18);
+        // Snapshot stays well-formed.
+        let analysis = session.snapshot().unwrap();
+        assert!(analysis.metrics.correlation.mean_distance >= 0.0);
+    }
+
+    #[test]
+    fn wrapper_preserves_caller_commit_indices() {
+        // Pre-indexed logs (e.g. a filtered slice of an export) must keep
+        // their commit indices: conflict distances are defined on them.
+        let log = log_of(vec![
+            Rec::new(5, "writer").writes(&["k"]).build(),
+            Rec::new(17, "reader")
+                .reads(&["k"])
+                .status(TxStatus::MvccReadConflict)
+                .build(),
+        ]);
+        let analysis = BlockOptR::new().analyze_log(log);
+        assert_eq!(analysis.log.records()[0].commit_index, 5);
+        assert_eq!(analysis.log.records()[1].commit_index, 17);
+        let conflict = &analysis.metrics.correlation.conflicts[0];
+        assert_eq!(conflict.failed_index, 17);
+        assert_eq!(conflict.writer_index, 5);
+        assert_eq!(conflict.distance, 12);
+    }
+
+    #[test]
+    fn forked_sessions_diverge_independently() {
+        let output = small_output();
+        let blocks = output.ledger.blocks();
+        let mut session = Analyzer::new().session().unwrap();
+        let mid = blocks.len() / 2;
+        for block in &blocks[..mid] {
+            session.ingest_block(block);
+        }
+        let fork = session.clone();
+        for block in &blocks[mid..] {
+            session.ingest_block(block);
+        }
+        assert_eq!(session.len(), output.report.committed);
+        assert_eq!(
+            fork.len(),
+            blocks[..mid].iter().map(|b| b.len()).sum::<usize>()
+        );
+        // The fork still snapshots its own prefix.
+        let prefix_analysis = fork.snapshot().unwrap();
+        assert_eq!(prefix_analysis.log.len(), fork.len());
+    }
+}

@@ -130,10 +130,7 @@ impl Contract for DrmDeltaContract {
                     &format!("{music}#d~"),
                     DELTA_SCAN_LIMIT,
                 );
-                let _total: i64 = deltas
-                    .iter()
-                    .filter_map(|(_, v)| v.as_int())
-                    .sum();
+                let _total: i64 = deltas.iter().filter_map(|(_, v)| v.as_int()).sum();
             }
             "queryRightHolders" | "viewMetaData" => {
                 let music = arg_str(args, 0, "music");
@@ -173,10 +170,7 @@ impl Contract for DrmPlayContract {
         match activity {
             "play" => {
                 let music = arg_str(args, 0, "music");
-                let plays = ctx
-                    .get_state(music)
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
+                let plays = ctx.get_state(music).and_then(|v| v.as_int()).unwrap_or(0);
                 ctx.put_state(music, Value::Int(plays + 1));
             }
             "calcRevenue" => {
@@ -350,7 +344,9 @@ mod tests {
         s.seed("drm/M0001#d000000002".into(), Value::Int(1));
         let cc = DrmDeltaContract;
         let mut ctx = TxContext::new(&s, cc.name());
-        assert!(cc.execute(&mut ctx, "calcRevenue", &["M0001".into()]).is_ok());
+        assert!(cc
+            .execute(&mut ctx, "calcRevenue", &["M0001".into()])
+            .is_ok());
         let rw = ctx.into_rwset();
         assert_eq!(rw.range_reads.len(), 1);
         assert_eq!(rw.range_reads[0].observed.len(), 2, "scans both deltas");
@@ -360,7 +356,10 @@ mod tests {
     fn partitioned_contracts_use_disjoint_namespaces() {
         let mut s = WorldState::new();
         s.seed("drm-play/M0001".into(), Value::Int(0));
-        s.seed("drm-meta/M0001".into(), DrmContract::genesis_record("M0001"));
+        s.seed(
+            "drm-meta/M0001".into(),
+            DrmContract::genesis_record("M0001"),
+        );
 
         let play = DrmPlayContract;
         let mut ctx = TxContext::new(&s, play.name());

@@ -42,7 +42,10 @@ impl EhrContract {
     pub fn genesis_record(patient: &str) -> Value {
         let mut m = BTreeMap::new();
         m.insert("access".to_string(), Value::Str(String::new()));
-        m.insert("record".to_string(), Value::Str(format!("record:{patient}")));
+        m.insert(
+            "record".to_string(),
+            Value::Str(format!("record:{patient}")),
+        );
         Value::Map(m)
     }
 
@@ -101,9 +104,7 @@ impl Contract for EhrContract {
                     ctx.put_state(patient, Value::Map(m));
                     ExecStatus::Ok
                 } else if self.pruned {
-                    ExecStatus::Abort(format!(
-                        "revoke without grant: {institute} on {patient}"
-                    ))
+                    ExecStatus::Abort(format!("revoke without grant: {institute} on {patient}"))
                 } else {
                     // Anomalous path committed read-only for provenance.
                     ExecStatus::Ok

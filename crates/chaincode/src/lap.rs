@@ -52,13 +52,7 @@ impl LapByEmployeeContract {
 }
 
 impl LapByEmployeeContract {
-    fn upsert(
-        ctx: &mut TxContext<'_>,
-        employee: &str,
-        app: &str,
-        amount: i64,
-        status: &str,
-    ) {
+    fn upsert(ctx: &mut TxContext<'_>, employee: &str, app: &str, amount: i64, status: &str) {
         let mut entries = match ctx.get_state(employee) {
             Some(Value::List(items)) => items,
             _ => Vec::new(),
@@ -188,13 +182,18 @@ mod tests {
         let s = WorldState::new();
         let cc = LapByEmployeeContract;
         let mut c1 = TxContext::new(&s, cc.name());
-        cc.execute(&mut c1, "create", &["E001".into(), "APP1".into(), Value::Int(1)]);
-        let mut c2 = TxContext::new(&s, cc.name());
-        cc.execute(&mut c2, "create", &["E001".into(), "APP2".into(), Value::Int(2)]);
-        assert_eq!(
-            c1.into_rwset().writes[0].key,
-            c2.into_rwset().writes[0].key
+        cc.execute(
+            &mut c1,
+            "create",
+            &["E001".into(), "APP1".into(), Value::Int(1)],
         );
+        let mut c2 = TxContext::new(&s, cc.name());
+        cc.execute(
+            &mut c2,
+            "create",
+            &["E001".into(), "APP2".into(), Value::Int(2)],
+        );
+        assert_eq!(c1.into_rwset().writes[0].key, c2.into_rwset().writes[0].key);
     }
 
     #[test]
@@ -225,9 +224,17 @@ mod tests {
         let s = WorldState::new();
         let cc = LapByApplicationContract;
         let mut c1 = TxContext::new(&s, cc.name());
-        cc.execute(&mut c1, "create", &["E001".into(), "APP1".into(), Value::Int(1)]);
+        cc.execute(
+            &mut c1,
+            "create",
+            &["E001".into(), "APP1".into(), Value::Int(1)],
+        );
         let mut c2 = TxContext::new(&s, cc.name());
-        cc.execute(&mut c2, "create", &["E001".into(), "APP2".into(), Value::Int(2)]);
+        cc.execute(
+            &mut c2,
+            "create",
+            &["E001".into(), "APP2".into(), Value::Int(2)],
+        );
         let k1 = c1.into_rwset().writes[0].key.clone();
         let k2 = c2.into_rwset().writes[0].key.clone();
         assert_ne!(k1, k2, "one key per application");
@@ -239,7 +246,11 @@ mod tests {
         let s = WorldState::new();
         let cc = LapByApplicationContract;
         let mut ctx = TxContext::new(&s, cc.name());
-        cc.execute(&mut ctx, "create", &["E001".into(), "APP1".into(), Value::Int(1)]);
+        cc.execute(
+            &mut ctx,
+            "create",
+            &["E001".into(), "APP1".into(), Value::Int(1)],
+        );
         let rw = ctx.into_rwset();
         assert_eq!(rw.tx_type(), TxType::Write);
     }
@@ -247,10 +258,17 @@ mod tests {
     #[test]
     fn by_application_followup_reads_then_writes() {
         let mut s = WorldState::new();
-        s.seed("lap/APP1".into(), application_entry("APP1", "E001", 1, "create"));
+        s.seed(
+            "lap/APP1".into(),
+            application_entry("APP1", "E001", 1, "create"),
+        );
         let cc = LapByApplicationContract;
         let mut ctx = TxContext::new(&s, cc.name());
-        cc.execute(&mut ctx, "validate", &["E001".into(), "APP1".into(), Value::Int(1)]);
+        cc.execute(
+            &mut ctx,
+            "validate",
+            &["E001".into(), "APP1".into(), Value::Int(1)],
+        );
         let rw = ctx.into_rwset();
         assert_eq!(rw.tx_type(), TxType::Update);
         let m = rw.writes[0].value.as_ref().unwrap().as_map().unwrap();

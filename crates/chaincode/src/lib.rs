@@ -25,7 +25,9 @@ pub mod genchain;
 pub mod lap;
 pub mod scm;
 
-pub use drm::{DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract, DrmPlayDeltaContract};
+pub use drm::{
+    DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract, DrmPlayDeltaContract,
+};
 pub use dv::{DvContract, DvPerVoterContract};
 pub use ehr::EhrContract;
 pub use genchain::GenChainContract;

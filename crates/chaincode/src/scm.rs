@@ -55,9 +55,7 @@ impl ScmContract {
     }
 
     fn stage(ctx: &mut TxContext<'_>, product: &str) -> i64 {
-        ctx.get_state(product)
-            .and_then(|v| v.as_int())
-            .unwrap_or(0)
+        ctx.get_state(product).and_then(|v| v.as_int()).unwrap_or(0)
     }
 
     fn advance(
@@ -73,7 +71,9 @@ impl ScmContract {
             ctx.put_state(product, Value::Int(next));
             ExecStatus::Ok
         } else if self.pruned {
-            ExecStatus::Abort(format!("{what}: product {product} at stage {stage}, need {expect}"))
+            ExecStatus::Abort(format!(
+                "{what}: product {product} at stage {stage}, need {expect}"
+            ))
         } else {
             // Anomalous path: commit the read-only evidence on-chain.
             ExecStatus::Ok

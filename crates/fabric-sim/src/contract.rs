@@ -74,8 +74,7 @@ impl<'a> TxContext<'a> {
     pub fn get_state(&mut self, key: &str) -> Option<Value> {
         let qk = self.qualify(key);
         let found = self.state.get(&qk);
-        self.rwset
-            .record_read(qk, found.map(|vv| vv.version));
+        self.rwset.record_read(qk, found.map(|vv| vv.version));
         found.map(|vv| vv.value.clone())
     }
 

@@ -163,6 +163,22 @@ impl Ledger {
         self.blocks.len() as u64
     }
 
+    /// The blocks with number `first` or higher, in chain order — the
+    /// streaming accessor: a monitoring loop remembers the last block it
+    /// ingested and asks for everything the chain has appended since.
+    ///
+    /// Data blocks are numbered contiguously from 1, so this is an O(1)
+    /// slice, not a scan.
+    pub fn blocks_from(&self, first: u64) -> &[Block] {
+        let Some(head) = self.blocks.first() else {
+            return &[];
+        };
+        let skip = first
+            .saturating_sub(head.number)
+            .min(self.blocks.len() as u64) as usize;
+        &self.blocks[skip..]
+    }
+
     /// Iterate over every transaction in commit order — the paper's
     /// *commit order* attribute is exactly this iteration order.
     pub fn transactions(&self) -> impl Iterator<Item = &TransactionEnvelope> {
@@ -223,7 +239,10 @@ mod tests {
             cut_reason: CutReason::Count,
             cut_ts: SimTime::from_millis(number * 1000),
             commit_ts: SimTime::from_millis(number * 1000 + 200),
-            txs: ids.iter().map(|&i| envelope(i, TxStatus::Success)).collect(),
+            txs: ids
+                .iter()
+                .map(|&i| envelope(i, TxStatus::Success))
+                .collect(),
         }
     }
 
@@ -242,6 +261,21 @@ mod tests {
         let mut l = Ledger::new();
         l.append(block(1, &[1]));
         l.append(block(3, &[2]));
+    }
+
+    #[test]
+    fn blocks_from_slices_by_height() {
+        let mut l = Ledger::new();
+        l.append(block(1, &[1]));
+        l.append(block(2, &[2]));
+        l.append(block(3, &[3]));
+        assert_eq!(l.blocks_from(0).len(), 3);
+        assert_eq!(l.blocks_from(1).len(), 3);
+        assert_eq!(l.blocks_from(2).len(), 2);
+        assert_eq!(l.blocks_from(2)[0].number, 2);
+        assert_eq!(l.blocks_from(4).len(), 0);
+        assert_eq!(l.blocks_from(99).len(), 0);
+        assert!(Ledger::new().blocks_from(1).is_empty());
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "policy parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -129,10 +133,9 @@ impl<'a> Parser<'a> {
                     }
                 }
                 if k == 0 || k > rest.len() {
-                    return Err(self.error(format!(
-                        "OutOf threshold {k} outside 1..={}",
-                        rest.len()
-                    )));
+                    return Err(
+                        self.error(format!("OutOf threshold {k} outside 1..={}", rest.len()))
+                    );
                 }
                 Ok(EndorsementPolicy::OutOf(k, rest))
             }
@@ -228,7 +231,10 @@ mod tests {
     #[test]
     fn errors_carry_position_and_reason() {
         let err = parse_policy("And(Org1").unwrap_err();
-        assert!(err.message.contains("','") || err.message.contains("')'"), "{err}");
+        assert!(
+            err.message.contains("','") || err.message.contains("')'"),
+            "{err}"
+        );
         let err = parse_policy("Xor(Org1,Org2)").unwrap_err();
         assert!(err.message.contains("unknown policy combinator"));
         let err = parse_policy("Org0").unwrap_err();

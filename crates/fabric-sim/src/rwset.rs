@@ -260,7 +260,11 @@ mod tests {
     fn range_read_with_write_is_update_like() {
         // A scan plus a write to a scanned key: classified by write overlap.
         let mut rw = ReadWriteSet::new();
-        rw.record_range("a".into(), "z".into(), vec![("b".into(), Version::new(0, 0))]);
+        rw.record_range(
+            "a".into(),
+            "z".into(),
+            vec![("b".into(), Version::new(0, 0))],
+        );
         rw.record_write("b".into(), Some(Value::Int(9)));
         assert_eq!(rw.tx_type(), TxType::Write, "no point-read overlap");
     }

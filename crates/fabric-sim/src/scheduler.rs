@@ -338,7 +338,8 @@ mod tests {
         let updates: Vec<ReadWriteSet> = (0..50).map(|_| rw(&["h"], &["h"])).collect();
         let cost_ins = schedule_block(SchedulerKind::FabricSharp, &sched(&inserts)).extra_cost;
         let cost_upd_sharp = schedule_block(SchedulerKind::FabricSharp, &sched(&updates));
-        let cost_ins_pp = schedule_block(SchedulerKind::FabricPlusPlus, &sched(&inserts)).extra_cost;
+        let cost_ins_pp =
+            schedule_block(SchedulerKind::FabricPlusPlus, &sched(&inserts)).extra_cost;
         assert!(
             cost_ins > cost_ins_pp,
             "sharp pays extra for distinct keys: {cost_ins} vs {cost_ins_pp}"

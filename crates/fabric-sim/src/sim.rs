@@ -207,8 +207,7 @@ impl Simulation {
                         let service = res.endorse_exec_base
                             + res.endorse_exec_per_access.mul(accesses as u64);
 
-                        let orgs: Vec<OrgId> =
-                            selector.choose(&mut rng).iter().copied().collect();
+                        let orgs: Vec<OrgId> = selector.choose(&mut rng).iter().copied().collect();
                         let arrival = now + res.net_delay;
                         let mut last_done = now;
                         for (slot, &org) in orgs.iter().enumerate() {
@@ -321,8 +320,7 @@ impl Simulation {
                             })
                             .collect();
                         let tolerance = stale_tolerance_blocks(cfg.scheduler);
-                        let verdicts =
-                            validate_block(&mut state, number, &to_validate, tolerance);
+                        let verdicts = validate_block(&mut state, number, &to_validate, tolerance);
 
                         let mut envelopes = Vec::with_capacity(fb.order.len());
                         for (k, &pos) in fb.order.iter().enumerate() {
@@ -387,18 +385,12 @@ impl Simulation {
         report.early_aborted = early_aborted;
         report.intra_block_conflicts = intra;
         report.inter_block_conflicts = inter;
-        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(report.duration_s)
+        let horizon = SimTime::ZERO
+            + SimDuration::from_secs_f64(report.duration_s)
             + first_send.since(SimTime::ZERO);
-        report.client_utilization = ratio(
-            workers.total_busy(),
-            horizon,
-            workers.total_workers(),
-        );
-        report.endorser_utilization = ratio(
-            endorsers.total_busy(),
-            horizon,
-            endorsers.total_peers(),
-        );
+        report.client_utilization = ratio(workers.total_busy(), horizon, workers.total_workers());
+        report.endorser_utilization =
+            ratio(endorsers.total_busy(), horizon, endorsers.total_peers());
         report.orderer_utilization = orderer_srv.utilization(horizon);
         report.validator_utilization = validator_srv.utilization(horizon);
         report.endorsements_per_peer = endorsers
@@ -468,8 +460,7 @@ impl Simulation {
         let outcome = schedule_block(self.config.scheduler, &sched_txs);
 
         let n = cut.txs.len() as u64;
-        let assembly =
-            res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
+        let assembly = res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
         let (_, assembled) = orderer_srv.submit(cut.at, assembly);
         let delivered = assembled + res.raft_delay + res.net_delay;
 
@@ -488,7 +479,9 @@ impl Simulation {
             };
             validation += res.validate_per_tx
                 + res.validate_per_item.mul(items as u64)
-                + res.validate_per_endorsement.mul(p.endorse_peers.len() as u64);
+                + res
+                    .validate_per_endorsement
+                    .mul(p.endorse_peers.len() as u64);
         }
         let (_, validated) = validator_srv.submit(delivered, validation);
 
@@ -619,8 +612,10 @@ mod tests {
             out.report.mvcc_conflicts
         );
         assert!(out.report.successes >= 1);
-        assert!(out.report.intra_block_conflicts + out.report.inter_block_conflicts
-            == out.report.mvcc_conflicts);
+        assert!(
+            out.report.intra_block_conflicts + out.report.inter_block_conflicts
+                == out.report.mvcc_conflicts
+        );
     }
 
     #[test]
@@ -662,8 +657,7 @@ mod tests {
             .collect();
         let out = s.run(&reqs);
         assert_eq!(out.report.committed, 25);
-        let reasons: Vec<CutReason> =
-            out.ledger.blocks().iter().map(|b| b.cut_reason).collect();
+        let reasons: Vec<CutReason> = out.ledger.blocks().iter().map(|b| b.cut_reason).collect();
         assert!(
             reasons.iter().filter(|r| **r == CutReason::Count).count() >= 2,
             "{reasons:?}"
@@ -694,8 +688,7 @@ mod tests {
         let out = s.run(&[req(0, "get", vec!["counter".into()])]);
         let tx = out.ledger.transactions().next().unwrap();
         assert_eq!(tx.endorsers.len(), 2, "both orgs endorse under majority");
-        let orgs: std::collections::BTreeSet<u16> =
-            tx.endorsers.iter().map(|p| p.org.0).collect();
+        let orgs: std::collections::BTreeSet<u16> = tx.endorsers.iter().map(|p| p.org.0).collect();
         assert_eq!(orgs.len(), 2);
     }
 

@@ -48,10 +48,8 @@ impl WorldState {
         start: &str,
         end: &str,
     ) -> impl Iterator<Item = (&'a Key, &'a VersionedValue)> + 'a {
-        self.map.range::<str, _>((
-            Bound::Included(start),
-            Bound::Excluded(end),
-        ))
+        self.map
+            .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
     }
 
     /// Directly set a key (used for genesis/bootstrap state, version 0:0).

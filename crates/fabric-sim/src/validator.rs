@@ -211,7 +211,11 @@ mod tests {
         assert_eq!(v[0].status, TxStatus::Success);
         assert_eq!(v[1].status, TxStatus::MvccReadConflict);
         assert!(v[1].intra_block, "conflicting write is in the same block");
-        assert_eq!(state.get("k").unwrap().value, Value::Int(1), "loser not applied");
+        assert_eq!(
+            state.get("k").unwrap().value,
+            Value::Int(1),
+            "loser not applied"
+        );
     }
 
     #[test]

@@ -50,9 +50,8 @@ pub fn alpha_miner(log: &EventLog) -> PetriNet {
     let yl: Vec<&(BTreeSet<String>, BTreeSet<String>)> = xl
         .iter()
         .filter(|(a, b)| {
-            !xl.iter().any(|(a2, b2)| {
-                (a2, b2) != (a, b) && a.is_subset(a2) && b.is_subset(b2)
-            })
+            !xl.iter()
+                .any(|(a2, b2)| (a2, b2) != (a, b) && a.is_subset(a2) && b.is_subset(b2))
         })
         .collect();
 

@@ -32,12 +32,42 @@ impl DirectlyFollowsGraph {
                 *g.activity_counts.entry(a.clone()).or_insert(0) += 1;
             }
             for w in trace.activities.windows(2) {
-                *g.edges
-                    .entry((w[0].clone(), w[1].clone()))
-                    .or_insert(0) += 1;
+                *g.edges.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
             }
         }
         g
+    }
+
+    /// Record the first event of a new trace: `activity` both starts and
+    /// (for now) ends it. Part of the incremental-update entry point used by
+    /// streaming consumers that maintain a DFG as events arrive.
+    pub fn record_trace_start(&mut self, activity: &str) {
+        *self.starts.entry(activity.to_string()).or_insert(0) += 1;
+        *self.ends.entry(activity.to_string()).or_insert(0) += 1;
+        *self
+            .activity_counts
+            .entry(activity.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Record that a trace previously ending in `prev` gained `activity`:
+    /// the `prev ≻ activity` edge appears and the trace's end shifts.
+    pub fn record_trace_extension(&mut self, prev: &str, activity: &str) {
+        *self
+            .edges
+            .entry((prev.to_string(), activity.to_string()))
+            .or_insert(0) += 1;
+        if let Some(n) = self.ends.get_mut(prev) {
+            *n -= 1;
+            if *n == 0 {
+                self.ends.remove(prev);
+            }
+        }
+        *self.ends.entry(activity.to_string()).or_insert(0) += 1;
+        *self
+            .activity_counts
+            .entry(activity.to_string())
+            .or_insert(0) += 1;
     }
 
     /// How often `b` directly follows `a`.
@@ -93,10 +123,8 @@ mod tests {
 
     #[test]
     fn counts_direct_succession() {
-        let g = DirectlyFollowsGraph::from_log(&log_from(&[
-            &["a", "b", "c"],
-            &["a", "b", "b", "c"],
-        ]));
+        let g =
+            DirectlyFollowsGraph::from_log(&log_from(&[&["a", "b", "c"], &["a", "b", "b", "c"]]));
         assert_eq!(g.count("a", "b"), 2);
         assert_eq!(g.count("b", "b"), 1);
         assert_eq!(g.count("b", "c"), 2);
@@ -121,6 +149,29 @@ mod tests {
         let edges: Vec<(&str, &str, usize)> = g.edges().collect();
         assert_eq!(edges, vec![("a", "b", 1), ("b", "a", 1)]);
         assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn incremental_updates_match_from_log() {
+        // Replay two traces event-by-event and compare with the batch build.
+        let traces: &[&[&str]] = &[&["a", "b", "c"], &["a", "b", "b"]];
+        let mut incremental = DirectlyFollowsGraph::default();
+        for trace in traces {
+            for (i, activity) in trace.iter().enumerate() {
+                if i == 0 {
+                    incremental.record_trace_start(activity);
+                } else {
+                    incremental.record_trace_extension(trace[i - 1], activity);
+                }
+            }
+        }
+        let batch = DirectlyFollowsGraph::from_log(&log_from(traces));
+        assert_eq!(incremental.starts(), batch.starts());
+        assert_eq!(incremental.ends(), batch.ends());
+        let inc_edges: Vec<_> = incremental.edges().collect();
+        let batch_edges: Vec<_> = batch.edges().collect();
+        assert_eq!(inc_edges, batch_edges);
+        assert_eq!(incremental.activity_count("b"), batch.activity_count("b"));
     }
 
     #[test]

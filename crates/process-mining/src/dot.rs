@@ -22,11 +22,7 @@ pub fn petri_to_dot(net: &PetriNet) -> String {
         } else {
             "circle"
         };
-        let _ = writeln!(
-            out,
-            "  p{i} [shape={shape}, label=\"{}\"];",
-            escape(p)
-        );
+        let _ = writeln!(out, "  p{i} [shape={shape}, label=\"{}\"];", escape(p));
     }
     for (i, t) in net.transitions.iter().enumerate() {
         let _ = writeln!(out, "  t{i} [shape=box, label=\"{}\"];", escape(t));
@@ -82,7 +78,11 @@ pub fn dfg_to_dot(dfg: &DirectlyFollowsGraph) -> String {
 pub fn dependency_to_dot(graph: &DependencyGraph) -> String {
     let mut out = String::from("digraph dependency {\n  rankdir=LR;\n");
     for (a, n) in &graph.activity_counts {
-        let loop_mark = if graph.self_loops.contains(a) { " ⟲" } else { "" };
+        let loop_mark = if graph.self_loops.contains(a) {
+            " ⟲"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  \"{}\" [shape=box, label=\"{} ({n}){loop_mark}\"];",

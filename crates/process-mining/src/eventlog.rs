@@ -63,6 +63,12 @@ impl EventLog {
         &self.traces
     }
 
+    /// Mutable access to one trace by index — streaming consumers append
+    /// the newest event of a case to its open trace.
+    pub fn trace_mut(&mut self, idx: usize) -> Option<&mut Trace> {
+        self.traces.get_mut(idx)
+    }
+
     /// Number of traces (cases).
     pub fn len(&self) -> usize {
         self.traces.len()

@@ -99,8 +99,11 @@ impl Footprint {
     /// behaviour over the union alphabet) — the basis of footprint
     /// conformance checking.
     pub fn agreement(&self, other: &Footprint) -> f64 {
-        let mut alphabet: Vec<&String> =
-            self.activities.iter().chain(other.activities.iter()).collect();
+        let mut alphabet: Vec<&String> = self
+            .activities
+            .iter()
+            .chain(other.activities.iter())
+            .collect();
         alphabet.sort();
         alphabet.dedup();
         if alphabet.is_empty() {
@@ -196,7 +199,10 @@ mod tests {
         let f = Footprint::from_log(&log_from(&[&["a", "b", "c"]]));
         let g = Footprint::from_log(&log_from(&[&["c", "b", "a"]]));
         let agreement = f.agreement(&g);
-        assert!(agreement < 0.8, "reversed flow should disagree: {agreement}");
+        assert!(
+            agreement < 0.8,
+            "reversed flow should disagree: {agreement}"
+        );
     }
 
     #[test]

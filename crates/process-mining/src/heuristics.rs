@@ -64,8 +64,15 @@ pub fn dependency(dfg: &DirectlyFollowsGraph, a: &str, b: &str) -> f64 {
 
 /// Mine a dependency graph from a log.
 pub fn heuristics_miner(log: &EventLog, config: &HeuristicsConfig) -> DependencyGraph {
-    let dfg = DirectlyFollowsGraph::from_log(log);
-    let activities = log.activities();
+    mine_from_dfg(&DirectlyFollowsGraph::from_log(log), config)
+}
+
+/// Mine a dependency graph directly from a directly-follows graph — the
+/// incremental entry point: streaming consumers maintain the DFG as events
+/// arrive (see [`DirectlyFollowsGraph::record_trace_extension`]) and re-mine
+/// on demand at a cost independent of the event count.
+pub fn mine_from_dfg(dfg: &DirectlyFollowsGraph, config: &HeuristicsConfig) -> DependencyGraph {
+    let activities: Vec<String> = dfg.activities().iter().map(|a| a.to_string()).collect();
     let mut graph = DependencyGraph {
         starts: dfg.starts().clone(),
         ends: dfg.ends().clone(),
@@ -75,7 +82,7 @@ pub fn heuristics_miner(log: &EventLog, config: &HeuristicsConfig) -> Dependency
         graph
             .activity_counts
             .insert(a.clone(), dfg.activity_count(a));
-        if dependency(&dfg, a, a) >= config.dependency_threshold
+        if dependency(dfg, a, a) >= config.dependency_threshold
             && dfg.count(a, a) >= config.min_observations
         {
             graph.self_loops.push(a.clone());
@@ -84,7 +91,7 @@ pub fn heuristics_miner(log: &EventLog, config: &HeuristicsConfig) -> Dependency
             if a == b {
                 continue;
             }
-            let dep = dependency(&dfg, a, b);
+            let dep = dependency(dfg, a, b);
             let obs = dfg.count(a, b);
             if dep >= config.dependency_threshold && obs >= config.min_observations {
                 graph.edges.insert((a.clone(), b.clone()), (dep, obs));
@@ -122,11 +129,8 @@ mod tests {
 
     #[test]
     fn dependency_measure_basics() {
-        let dfg = DirectlyFollowsGraph::from_log(&log_from(&[
-            &["a", "b"],
-            &["a", "b"],
-            &["a", "b"],
-        ]));
+        let dfg =
+            DirectlyFollowsGraph::from_log(&log_from(&[&["a", "b"], &["a", "b"], &["a", "b"]]));
         let d = dependency(&dfg, "a", "b");
         assert!((d - 0.75).abs() < 1e-12, "3/(3+0+1): {d}");
         assert!(dependency(&dfg, "b", "a") < 0.0, "reverse is negative");
@@ -144,10 +148,13 @@ mod tests {
         // a→b 10×; b→a once (noise).
         let mut seqs: Vec<&[&str]> = vec![&["a", "b"]; 10];
         seqs.push(&["b", "a"]);
-        let g = heuristics_miner(&log_from(&seqs), &HeuristicsConfig {
-            dependency_threshold: 0.6,
-            min_observations: 2,
-        });
+        let g = heuristics_miner(
+            &log_from(&seqs),
+            &HeuristicsConfig {
+                dependency_threshold: 0.6,
+                min_observations: 2,
+            },
+        );
         assert!(g.has_edge("a", "b"));
         assert!(!g.has_edge("b", "a"), "noise edge dropped");
     }

@@ -97,7 +97,11 @@ impl PetriNet {
             *sink_tokens -= 1;
         }
         counts.consumed += 1;
-        counts.remaining += marking.values().filter(|v| **v > 0).map(|v| *v as usize).sum::<usize>();
+        counts.remaining += marking
+            .values()
+            .filter(|v| **v > 0)
+            .map(|v| *v as usize)
+            .sum::<usize>();
         counts
     }
 }

@@ -32,7 +32,9 @@ fn xml_escape(s: &str) -> String {
 pub fn to_xes(log: &EventLog) -> String {
     let mut out = String::with_capacity(log.event_count() * 96 + 512);
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
-    out.push_str("<log xes.version=\"1.0\" xes.features=\"\" xmlns=\"http://www.xes-standard.org/\">\n");
+    out.push_str(
+        "<log xes.version=\"1.0\" xes.features=\"\" xmlns=\"http://www.xes-standard.org/\">\n",
+    );
     out.push_str("  <extension name=\"Concept\" prefix=\"concept\" uri=\"http://www.xes-standard.org/concept.xesext\"/>\n");
     out.push_str("  <string key=\"concept:name\" value=\"blockoptr blockchain log\"/>\n");
     for trace in log.traces() {

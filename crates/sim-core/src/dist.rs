@@ -200,7 +200,11 @@ mod tests {
     fn zipf_heavy_skew_concentrates_mass() {
         let z = Zipf::new(100, 2.0);
         let hist = draw_histogram(&z, 100, 100_000);
-        assert!(hist[0] > 55_000, "s=2 puts >55% on the top key: {}", hist[0]);
+        assert!(
+            hist[0] > 55_000,
+            "s=2 puts >55% on the top key: {}",
+            hist[0]
+        );
     }
 
     #[test]

@@ -87,11 +87,7 @@ mod tests {
     fn tiny_bundle() -> WorkloadBundle {
         WorkloadBundle {
             contracts: vec![Arc::new(GenChainContract)],
-            genesis: vec![(
-                "genchain".to_string(),
-                "k0".to_string(),
-                Value::Int(1),
-            )],
+            genesis: vec![("genchain".to_string(), "k0".to_string(), Value::Int(1))],
             requests: (0..10)
                 .map(|i| TxRequest {
                     send_time: SimTime::from_millis(i * 100),
@@ -114,7 +110,11 @@ mod tests {
     #[test]
     fn offered_rate_matches_schedule() {
         let b = tiny_bundle();
-        assert!((b.offered_rate() - 10.0).abs() < 1e-9, "{}", b.offered_rate());
+        assert!(
+            (b.offered_rate() - 10.0).abs() < 1e-9,
+            "{}",
+            b.offered_rate()
+        );
         assert_eq!(b.len(), 10);
         assert!(!b.is_empty());
     }

@@ -57,8 +57,7 @@ pub fn generate(spec: &DrmSpec) -> WorkloadBundle {
     let mut rng = SimRng::derive(spec.seed, 0xD6A0);
     let popularity = Zipf::new(spec.catalogue, spec.popularity_skew);
     let other = ["create", "queryRightHolders", "viewMetaData", "calcRevenue"];
-    let inter =
-        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
+    let inter = Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
     let org_pick = DiscreteWeighted::new(&vec![1.0; spec.orgs]);
 
     let mut requests = Vec::with_capacity(spec.transactions);

@@ -165,7 +165,9 @@ mod tests {
         assert!(b.requests[..1_000]
             .iter()
             .all(|r| r.activity == "queryParties"));
-        assert!(b.requests[1_000..6_000].iter().all(|r| r.activity == "vote"));
+        assert!(b.requests[1_000..6_000]
+            .iter()
+            .all(|r| r.activity == "vote"));
         assert_eq!(b.requests[6_000].activity, "seeResults");
         assert_eq!(b.requests[6_001].activity, "endElection");
     }

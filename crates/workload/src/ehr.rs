@@ -74,8 +74,7 @@ pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
         rest * 0.27, // revokeAccess
         rest * 0.46, // queryRecord
     ]);
-    let inter =
-        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
+    let inter = Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
     let org_pick = DiscreteWeighted::new(&vec![1.0; spec.orgs]);
 
     // Track expected grants so valid revokes target really-granted pairs.

@@ -79,7 +79,13 @@ pub fn application_key(i: usize) -> String {
 
 /// One application's activity trace (with rework loops).
 fn application_trace(rng: &mut SimRng, rework_rate: f64) -> Vec<&'static str> {
-    let mut trace = vec!["create", "submit", "handleLeads", "createOffer", "sendOffer"];
+    let mut trace = vec![
+        "create",
+        "submit",
+        "handleLeads",
+        "createOffer",
+        "sendOffer",
+    ];
     let mut reworks = 0;
     loop {
         trace.push("validate");
@@ -108,8 +114,8 @@ pub fn generate(spec: &LapSpec) -> WorkloadBundle {
 
     // Employee assignment: employee 1 takes `hot_employee_share`, the rest
     // share the remainder evenly.
-    let mut weights = vec![(1.0 - spec.hot_employee_share) / (spec.employees - 1) as f64;
-        spec.employees];
+    let mut weights =
+        vec![(1.0 - spec.hot_employee_share) / (spec.employees - 1) as f64; spec.employees];
     weights[0] = spec.hot_employee_share;
     let employee_pick = DiscreteWeighted::new(&weights);
 

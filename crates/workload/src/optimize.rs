@@ -112,12 +112,7 @@ mod tests {
 
     #[test]
     fn reorder_preserves_relative_order_within_groups() {
-        let reqs = vec![
-            req(0, "a"),
-            req(1, "b"),
-            req(2, "a"),
-            req(3, "b"),
-        ];
+        let reqs = vec![req(0, "a"), req(1, "b"), req(2, "a"), req(3, "b")];
         let out = move_to_end(&reqs, &["a"]);
         let ids: Vec<u64> = out
             .iter()

@@ -114,8 +114,7 @@ pub fn generate(spec: &ScmSpec) -> WorkloadBundle {
     slots.resize(flow.len() + query_txs + audit_txs, 2u8);
     rng.shuffle(&mut slots);
 
-    let inter =
-        Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
+    let inter = Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));
     let org_pick = DiscreteWeighted::new(&vec![1.0; spec.orgs]);
     let mut flow_iter = flow.into_iter();
     let mut clock = SimTime::ZERO;
@@ -199,7 +198,10 @@ mod tests {
         let b = generate(&ScmSpec::default());
         let c = counts(&b);
         let total = b.len() as f64;
-        assert!((c["queryProducts"] as f64 / total - 0.20).abs() < 0.02, "{c:?}");
+        assert!(
+            (c["queryProducts"] as f64 / total - 0.20).abs() < 0.02,
+            "{c:?}"
+        );
         assert!((c["updateAuditInfo"] as f64 / total - 0.20).abs() < 0.02);
         // Flow stages roughly equal.
         let flows = c["pushASN"] + c["ship"] + c["queryASN"] + c["unload"];

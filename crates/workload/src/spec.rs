@@ -269,7 +269,10 @@ mod tests {
             endorser_skew: 6.0,
             ..Default::default()
         };
-        assert_eq!(two.label(), "Endorsement policy: P2 / Endorser dist skew: 6");
+        assert_eq!(
+            two.label(),
+            "Endorsement policy: P2 / Endorser dist skew: 6"
+        );
     }
 
     #[test]

@@ -51,27 +51,18 @@ pub fn generate(cv: &ControlVariables) -> WorkloadBundle {
                 fresh_key += 1;
                 (
                     "write",
-                    vec![
-                        format!("n{fresh_key:07}").into(),
-                        Value::Int(i as i64),
-                    ],
+                    vec![format!("n{fresh_key:07}").into(), Value::Int(i as i64)],
                 )
             }
             2 => (
                 "update",
-                vec![
-                    key_name(zipf.sample(&mut rng)).into(),
-                    Value::Int(i as i64),
-                ],
+                vec![key_name(zipf.sample(&mut rng)).into(), Value::Int(i as i64)],
             ),
             3 => {
                 let start = zipf.sample(&mut rng).min(KEYSPACE - RANGE_SPAN);
                 (
                     "range_read",
-                    vec![
-                        key_name(start).into(),
-                        key_name(start + RANGE_SPAN).into(),
-                    ],
+                    vec![key_name(start).into(), key_name(start + RANGE_SPAN).into()],
                 )
             }
             _ => ("delete", vec![key_name(zipf.sample(&mut rng)).into()]),
@@ -189,7 +180,10 @@ mod tests {
             .iter()
             .filter(|r| r.args.first().and_then(Value::as_str) == Some(hot.as_str()))
             .count();
-        assert!(hot_hits > 500, "Zipf(1) top key gets >5% of draws: {hot_hits}");
+        assert!(
+            hot_hits > 500,
+            "Zipf(1) top key gets >5% of draws: {hot_hits}"
+        );
     }
 
     #[test]

@@ -19,10 +19,19 @@ fn main() {
 
     let output = bundle.run(cfg());
     let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
-    println!("── DV baseline (party-keyed): {}", output.report.figure_row());
+    println!(
+        "── DV baseline (party-keyed): {}",
+        output.report.figure_row()
+    );
     println!(
         "hotkeys: {:?}",
-        analysis.metrics.keys.hotkeys.iter().take(4).collect::<Vec<_>>()
+        analysis
+            .metrics
+            .keys
+            .hotkeys
+            .iter()
+            .take(4)
+            .collect::<Vec<_>>()
     );
     for rec in &analysis.recommendations {
         println!("  [{}] {}: {}", rec.level(), rec.name(), rec.rationale());
@@ -31,7 +40,10 @@ fn main() {
     // The altered data model: one ballot key per voter.
     let altered = dv::per_voter(bundle.clone());
     let after = altered.run(cfg());
-    println!("── voter-keyed model:          {}", after.report.figure_row());
+    println!(
+        "── voter-keyed model:          {}",
+        after.report.figure_row()
+    );
 
     // The paper's headline: no more transaction dependencies at all.
     assert!(

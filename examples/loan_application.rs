@@ -21,7 +21,10 @@ fn main() {
 
         let output = bundle.run(cfg());
         let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
-        println!("── LAP @ {rate:.0} tps, employee-keyed: {}", output.report.figure_row());
+        println!(
+            "── LAP @ {rate:.0} tps, employee-keyed: {}",
+            output.report.figure_row()
+        );
         if let Some(hot) = analysis.metrics.keys.hotkeys.first() {
             println!(
                 "  hot key: {hot} (Kfreq {}, activities {:?})",

@@ -26,8 +26,7 @@ fn main() {
 
     // 4. Apply the automatic recommendations (workload + configuration) and
     //    re-run.
-    let (requests, user_changes) =
-        apply_user_level(&bundle.requests, &analysis.recommendations);
+    let (requests, user_changes) = apply_user_level(&bundle.requests, &analysis.recommendations);
     let (config, system_changes) =
         apply_system_level(&cv.network_config(), &analysis.recommendations);
     println!("applying: {:?} {:?}", user_changes, system_changes);

@@ -44,12 +44,14 @@ fn main() {
     );
 
     // Activity reordering: defer the reporting activities.
-    let (requests, applied) =
-        apply_user_level(&bundle.requests, &analysis.recommendations);
+    let (requests, applied) = apply_user_level(&bundle.requests, &analysis.recommendations);
     println!("applied: {}", applied.join("; "));
     let reordered = bundle.clone().with_requests(requests);
     let after_reorder = reordered.run(cfg());
-    println!("── reordered schedule: {}", after_reorder.report.figure_row());
+    println!(
+        "── reordered schedule: {}",
+        after_reorder.report.figure_row()
+    );
 
     // Compliance check (Figure 4): the redesigned behaviour against the
     // intended flow.

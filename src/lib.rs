@@ -13,8 +13,21 @@
 //! };
 //! let bundle = workload::synthetic::generate(&cv);
 //! let output = bundle.run(cv.network_config());
-//! let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+//!
+//! // One-shot batch analysis…
+//! let analysis = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
 //! assert_eq!(analysis.log.len(), output.report.committed);
+//!
+//! // …or incrementally, as a monitoring loop would see the chain.
+//! let mut session = Analyzer::new().session().unwrap();
+//! for block in output.ledger.blocks() {
+//!     session.ingest_block(block);
+//! }
+//! let streamed = session.snapshot().unwrap();
+//! assert_eq!(
+//!     streamed.recommendation_names(),
+//!     analysis.recommendation_names()
+//! );
 //! ```
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.

@@ -21,8 +21,7 @@ fn parsed_policies_drive_the_simulator() {
     assert!(out.report.successes > 0);
     // Every transaction carries exactly two endorsing organizations.
     for tx in out.ledger.transactions() {
-        let orgs: std::collections::BTreeSet<u16> =
-            tx.endorsers.iter().map(|p| p.org.0).collect();
+        let orgs: std::collections::BTreeSet<u16> = tx.endorsers.iter().map(|p| p.org.0).collect();
         assert_eq!(orgs.len(), 2, "{tx:?}");
     }
 }
@@ -102,7 +101,9 @@ fn compliance_verifies_the_dv_redesign() {
 
     let report = verify_rollout(&before, &after);
     assert!(
-        report.resolved.contains(&"Data model alteration".to_string()),
+        report
+            .resolved
+            .contains(&"Data model alteration".to_string()),
         "{report}"
     );
     assert!(report.improved(), "{report}");

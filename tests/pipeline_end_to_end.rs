@@ -16,9 +16,21 @@ fn scm_recommendations_match_paper() {
     let bundle = scm::generate(&scm::ScmSpec::default());
     let analysis = analyze(&bundle, NetworkConfig::default());
     // Paper §6.2: activity reordering, process model pruning, rate control.
-    assert!(analysis.recommends("Activity reordering"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Process model pruning"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Transaction rate control"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Activity reordering"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Process model pruning"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Transaction rate control"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     // No data-level recommendations for SCM.
     assert!(!analysis.recommends("Delta writes"));
     assert!(!analysis.recommends("Smart contract partitioning"));
@@ -30,9 +42,21 @@ fn drm_recommendations_match_paper() {
     let bundle = drm::generate(&drm::DrmSpec::default());
     let analysis = analyze(&bundle, NetworkConfig::default());
     // Paper §6.2: reordering, delta writes, smart contract partitioning.
-    assert!(analysis.recommends("Activity reordering"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Delta writes"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Smart contract partitioning"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Activity reordering"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Delta writes"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Smart contract partitioning"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     assert!(!analysis.recommends("Data model alteration"));
 }
 
@@ -41,9 +65,21 @@ fn ehr_recommendations_match_paper() {
     let bundle = ehr::generate(&ehr::EhrSpec::default());
     let analysis = analyze(&bundle, NetworkConfig::default());
     // Paper §6.2: reordering, pruning, rate control.
-    assert!(analysis.recommends("Activity reordering"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Process model pruning"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Transaction rate control"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Activity reordering"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Process model pruning"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Transaction rate control"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
 }
 
 #[test]
@@ -51,8 +87,16 @@ fn dv_recommendations_match_paper() {
     let bundle = dv::generate(&dv::DvSpec::default());
     let analysis = analyze(&bundle, NetworkConfig::default());
     // Paper §6.2: rate control + data model alteration — NOT partitioning.
-    assert!(analysis.recommends("Transaction rate control"), "{:?}", analysis.recommendation_names());
-    assert!(analysis.recommends("Data model alteration"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Transaction rate control"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
+    assert!(
+        analysis.recommends("Data model alteration"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     assert!(!analysis.recommends("Smart contract partitioning"));
 }
 
@@ -61,7 +105,11 @@ fn lap_recommendations_match_paper() {
     let bundle = lap::generate(&lap::LapSpec::default());
     let analysis = analyze(&bundle, NetworkConfig::default());
     // Paper §6.3: the employee hot key drives a data model alteration.
-    assert!(analysis.recommends("Data model alteration"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Data model alteration"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     assert!(!analysis.recommends("Smart contract partitioning"));
     // The hot key is employee 1 (the paper's "employeeID 1").
     assert_eq!(
@@ -80,7 +128,11 @@ fn synthetic_key_skew_triggers_partitioning() {
     };
     let bundle = workload::synthetic::generate(&cv);
     let analysis = analyze(&bundle, cv.network_config());
-    assert!(analysis.recommends("Smart contract partitioning"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Smart contract partitioning"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     assert!(analysis.recommends("Activity reordering"));
 }
 
@@ -94,7 +146,11 @@ fn synthetic_p1_triggers_endorser_restructuring() {
     };
     let bundle = workload::synthetic::generate(&cv);
     let analysis = analyze(&bundle, cv.network_config());
-    assert!(analysis.recommends("Endorser restructuring"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Endorser restructuring"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
     // Org1 is the overloaded principal.
     let rec = analysis
         .recommendations
@@ -136,7 +192,11 @@ fn synthetic_tx_skew_triggers_client_boost() {
     };
     let bundle = workload::synthetic::generate(&cv);
     let analysis = analyze(&bundle, cv.network_config());
-    assert!(analysis.recommends("Client resource boost"), "{:?}", analysis.recommendation_names());
+    assert!(
+        analysis.recommends("Client resource boost"),
+        "{:?}",
+        analysis.recommendation_names()
+    );
 }
 
 #[test]

@@ -30,7 +30,18 @@ fn arb_cv() -> impl Strategy<Value = ControlVariables> {
         0..u64::MAX,
     )
         .prop_map(
-            |(workload, policy, endorser_skew, key_skew, orgs, block_count, send_rate, tx_dist_skew, transactions, seed)| {
+            |(
+                workload,
+                policy,
+                endorser_skew,
+                key_skew,
+                orgs,
+                block_count,
+                send_rate,
+                tx_dist_skew,
+                transactions,
+                seed,
+            )| {
                 ControlVariables {
                     workload,
                     policy,

@@ -1,0 +1,208 @@
+//! Offline shim of the `criterion` surface this workspace uses.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! re-implements the benchmarking entry points the `bench` crate imports:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function` with [`Bencher::iter`] / [`Bencher::iter_batched`], and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is plain
+//! wall-clock: a short warm-up, then `sample_size` timed samples; mean and
+//! min are printed per benchmark (no statistical analysis, no HTML report).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n── bench group: {name} ──");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. transactions) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to build per batch in
+/// [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report a rate alongside the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut bencher);
+        let report = summarize(&bencher.samples);
+        let rate = self
+            .throughput
+            .and_then(|t| report.mean_rate(t))
+            .map(|r| format!("  ({r})"))
+            .unwrap_or_default();
+        eprintln!(
+            "{}/{id}: mean {}  min {}  ({} samples){rate}",
+            self.name,
+            fmt_duration(report.mean),
+            fmt_duration(report.min),
+            bencher.samples.len(),
+        );
+        self
+    }
+
+    /// End the group (kept for API parity; output is printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample. The routine's output is dropped
+    /// outside the timed region.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, then the timed samples.
+        black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            let out = black_box(routine());
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time and output
+    /// destruction are excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.budget {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Report {
+    fn mean_rate(&self, throughput: Throughput) -> Option<String> {
+        let secs = self.mean.as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(match throughput {
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / secs),
+            Throughput::Bytes(n) => format!("{:.0} B/s", n as f64 / secs),
+        })
+    }
+}
+
+fn summarize(samples: &[Duration]) -> Report {
+    if samples.is_empty() {
+        return Report {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+        };
+    }
+    let total: Duration = samples.iter().sum();
+    Report {
+        mean: total / samples.len() as u32,
+        min: *samples.iter().min().unwrap(),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,31 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `sizes` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.sizes.start + 1 >= self.sizes.end {
+            self.sizes.start
+        } else {
+            rng.gen_range(self.sizes.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,47 @@
+//! Deserialization errors.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Why a [`Value`](crate::value::Value) tree could not be turned into the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a fixed message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" for a mismatched value kind.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error {
+            msg: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// A struct field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{tag}` for {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

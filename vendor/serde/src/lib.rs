@@ -1,0 +1,373 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal, self-contained replacement. It keeps the two names the rest
+//! of the workspace imports — the [`Serialize`] and [`Deserialize`] traits
+//! and their derive macros — but collapses serde's zero-copy visitor
+//! architecture into a simple tree model: serializing produces a
+//! [`value::Value`] (a JSON-shaped tree), deserializing consumes one.
+//!
+//! The shim is *not* wire-compatible with upstream serde for every corner
+//! case (maps with non-string keys serialize as arrays of pairs, newtype
+//! structs are transparent), but it is self-consistent: for every type in
+//! this workspace, `from_value(to_value(x)) == x`.
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::{Number, Value};
+
+/// Serialize `self` into a JSON-shaped [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a JSON-shaped [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error::msg(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(de::Error::expected(concat!("unsigned integer (", stringify!($t), ")"), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let wide: i64 = match v {
+                    Value::Number(Number::PosInt(n)) => i64::try_from(*n)
+                        .map_err(|_| de::Error::msg("integer too large for i64"))?,
+                    Value::Number(Number::NegInt(n)) => *n,
+                    _ => return Err(de::Error::expected(concat!("signed integer (", stringify!($t), ")"), v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| de::Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Number(Number::Float(f)) => Ok(*f),
+            Value::Number(Number::PosInt(n)) => Ok(*n as f64),
+            Value::Number(Number::NegInt(n)) => Ok(*n as f64),
+            _ => Err(de::Error::expected("number (f64)", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::expected("boolean", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(de::Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Maps serialize as JSON objects when every key is a string, and as arrays
+/// of `[key, value]` pairs otherwise (JSON has no non-string keys).
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        if entries.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+            Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::Str(s) => (s, v),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Array(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Value::Array(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let mut out = std::collections::BTreeMap::new();
+        match v {
+            Value::Object(fields) => {
+                for (name, val) in fields {
+                    let key = K::from_value(&Value::Str(name.clone()))?;
+                    out.insert(key, V::from_value(val)?);
+                }
+            }
+            Value::Array(items) => {
+                for item in items {
+                    match item {
+                        Value::Array(pair) if pair.len() == 2 => {
+                            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+                        }
+                        _ => return Err(de::Error::expected("[key, value] pair", item)),
+                    }
+                }
+            }
+            _ => return Err(de::Error::expected("map", v)),
+        }
+        Ok(out)
+    }
+}
+
+/// Sets serialize as arrays; `HashSet` contents are sorted first so output
+/// is deterministic.
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::expected("array (set)", v)),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::expected("array (set)", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(de::Error::expected(concat!($len, "-element array"), v)),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u64>::from_value(&None::<u64>.to_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn string_keyed_maps_become_objects() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert!(matches!(m.to_value(), Value::Object(_)));
+        let back: BTreeMap<String, u64> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuple_keyed_maps_become_pair_arrays() {
+        let mut m = BTreeMap::new();
+        m.insert(("a".to_string(), "b".to_string()), 3usize);
+        assert!(matches!(m.to_value(), Value::Array(_)));
+        let back: BTreeMap<(String, String), usize> =
+            Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let v = Value::Number(Number::PosInt(300));
+        assert!(u8::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The JSON-shaped value tree the shim serializes into.
+
+use std::fmt;
+
+/// A JSON number, kept lossless for the integer ranges the workspace uses
+/// (`u64` seeds must survive a round trip bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON text.
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write(&mut out, pretty, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(Number::PosInt(n)) => out.push_str(&n.to_string()),
+            Value::Number(Number::NegInt(n)) => out.push_str(&n.to_string()),
+            // `{:?}` prints the shortest representation that round-trips.
+            Value::Number(Number::Float(f)) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    item.write(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    write_json_string(out, name);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline shim of serde's derive macros.
+//!
+//! crates.io is unreachable in this build environment, so `syn`/`quote` are
+//! unavailable; the item shape is parsed directly from the
+//! [`proc_macro::TokenStream`]. The supported surface is exactly what the
+//! workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple, and struct variants (externally tagged:
+//!   unit variants become strings, data variants become one-entry objects).
+//!
+//! Generic type parameters are not supported (no workspace type needs them);
+//! lifetimes and attributes other than `#[serde(...)]` are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item a derive was placed on.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ── parsing ────────────────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kw = ident_at(&tokens, pos).expect("struct or enum keyword");
+    pos += 1;
+    let name = ident_at(&tokens, pos).expect("item name");
+    pos += 1;
+    skip_generics(&tokens, &mut pos);
+    match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, got `{other}`"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip any number of `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a balanced `<...>` generics list if present.
+fn skip_generics(tokens: &[TokenTree], pos: &mut usize) {
+    let Some(TokenTree::Punct(p)) = tokens.get(*pos) else {
+        return;
+    };
+    if p.as_char() != '<' {
+        return;
+    }
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(name) = ident_at(&tokens, pos) else {
+            break;
+        };
+        fields.push(name);
+        pos += 1;
+        // Skip `: Type` until a top-level comma (angle brackets may nest).
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `(...)` tuple body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(name) = ident_at(&tokens, pos) else {
+            break;
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the comma.
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ── code generation ────────────────────────────────────────────────────
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(fields)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ ::serde::value::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), ::serde::value::Value::Object(inner))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\").ok_or_else(|| ::serde::de::Error::missing_field(\"{f}\"))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::de::Error> {{\n\
+                 if !matches!(v, ::serde::value::Value::Object(_)) {{\n\
+                 return Err(::serde::de::Error::expected(\"object ({name})\", v));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                     ::serde::value::Value::Array(items) if items.len() == {arity} => \
+                     Ok({name}({})),\n\
+                     _ => Err(::serde::de::Error::expected(\"{arity}-element array ({name})\", v)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::de::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::value::Value) -> Result<Self, ::serde::de::Error> {{ Ok({name}) }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => match payload {{\n\
+                                 ::serde::value::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}::{vname}({})),\n\
+                                 _ => Err(::serde::de::Error::expected(\"{arity}-element array ({name}::{vname})\", payload)),\n\
+                                 }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\").ok_or_else(|| ::serde::de::Error::missing_field(\"{f}\"))?)?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::de::Error> {{\n\
+                 match v {{\n\
+                 ::serde::value::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::de::Error::expected(\"string or single-entry object ({name})\", v)),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline shim of `serde_json` over the serde shim's value model.
+//!
+//! Provides the four entry points the workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`Error`] — plus [`Value`] for
+//! hand-built JSON (the CLI's `--json` output).
+
+mod parse;
+
+pub use parse::Error;
+pub use serde::value::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Render a value as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render(false))
+}
+
+/// Render a value as human-readable, indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render(true))
+}
+
+/// Parse a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value).map_err(Error::from_de)
+}
+
+/// Parse JSON text into a loose [`Value`] tree.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    parse::parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u64];
+        assert!(to_string_pretty(&v).unwrap().contains("\n  1"));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<String>("\"raw \u{1} control\"").is_err());
+        assert!(from_str::<String>("\"tab\there\"").is_err());
+        assert!(from_str::<u64>("{not json").is_err());
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("[1, 2").is_err());
+        assert!(from_str::<u64>("\"unterminated").is_err());
+        assert!(from_str::<u64>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(from_str::<String>("\"\\u0041\"").unwrap(), "A");
+        // Surrogate pair: U+1F600 as ASCII-escaped JSON (e.g. from
+        // Python's json.dumps).
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"x\\ud83d\\ude00y\"").unwrap(), "x😀y");
+        // Lone or malformed surrogates are errors, not silent corruption.
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        assert!(from_str::<String>("\"\\ud83dabc\"").is_err());
+        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err());
+        assert!(from_str::<String>("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let n = u64::MAX;
+        assert_eq!(from_str::<u64>(&to_string(&n).unwrap()).unwrap(), n);
+    }
+
+    #[test]
+    fn extreme_i64_round_trips() {
+        for n in [i64::MIN, i64::MIN + 1, -1, 0, i64::MAX] {
+            assert_eq!(from_str::<i64>(&to_string(&n).unwrap()).unwrap(), n);
+        }
+    }
+}

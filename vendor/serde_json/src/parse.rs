@@ -1,0 +1,264 @@
+//! A small recursive-descent JSON parser.
+
+use serde::value::{Number, Value};
+use std::fmt;
+
+/// A JSON error (parse error with position, or a post-parse type mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset of a parse error; `None` for type mismatches.
+    pos: Option<usize>,
+}
+
+impl Error {
+    fn at(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
+    }
+
+    pub(crate) fn from_de(e: serde::de::Error) -> Self {
+        Error {
+            msg: e.to_string(),
+            pos: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} at byte {p}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub(crate) fn parse(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::at("trailing characters after JSON value", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    match bytes.get(*pos) {
+        None => Err(Error::at("unexpected end of input", *pos)),
+        Some(b'n') => expect_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => expect_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b) => Err(Error::at(
+            format!("unexpected character `{}`", *b as char),
+            *pos,
+        )),
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::at(format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::at("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let c = match code {
+                            // High surrogate: must be followed by an
+                            // escaped low surrogate; combine the pair.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err(Error::at(
+                                        "high surrogate not followed by \\u escape",
+                                        *pos,
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error::at("invalid low surrogate", *pos));
+                                }
+                                *pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::at("invalid surrogate pair", *pos))?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(Error::at("unexpected low surrogate", *pos))
+                            }
+                            _ => char::from_u32(code)
+                                .ok_or_else(|| Error::at("invalid \\u escape", *pos))?,
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error::at("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                // JSON requires control characters to be escaped.
+                return Err(Error::at("unescaped control character in string", *pos));
+            }
+            Some(_) => {
+                // Copy the whole run up to the next quote, backslash, or
+                // control byte in one go (the input is a &str, so the run
+                // is valid UTF-8).
+                let run_end = bytes[*pos..]
+                    .iter()
+                    .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                    .map(|i| *pos + i)
+                    .unwrap_or(bytes.len());
+                out.push_str(
+                    std::str::from_utf8(&bytes[*pos..run_end])
+                        .map_err(|_| Error::at("invalid UTF-8", *pos))?,
+                );
+                *pos = run_end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, Error> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| Error::at("truncated \\u escape", at))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| Error::at("invalid \\u escape", at))?;
+    u32::from_str_radix(hex, 16).map_err(|_| Error::at("invalid \\u escape", at))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if !is_float {
+        if text.starts_with('-') {
+            // Parse the full text including the sign so i64::MIN (whose
+            // magnitude overflows i64) round-trips.
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(n)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::Float(f)))
+        .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error::at("expected `,` or `]` in array", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::at("expected string key in object", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(Error::at("expected `:` after object key", *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(Error::at("expected `,` or `}` in object", *pos)),
+        }
+    }
+}
