@@ -6,7 +6,7 @@ use fabric_sim::config::NetworkConfig;
 use workload::spec::{ControlVariables, PolicyChoice, WorkloadType};
 use workload::{drm, dv, ehr, lap, scm, synthetic};
 
-fn show(name: &str, names: Vec<&'static str>) {
+fn show(name: &str, names: Vec<&str>) {
     println!("{name:<42} → {}", names.join(" | "));
 }
 

@@ -8,47 +8,47 @@ pub fn tab4(_ctx: &ExpCtx) -> String {
         (
             "Activity reordering",
             "Reorder workload generation",
-            "workload::optimize::move_to_end via blockoptr::apply_user_level",
+            "Action::RewriteSchedule(DeferActivities) → optimize::move_to_end",
         ),
         (
             "Transaction rate control",
             "Set send rate to 100 TPS",
-            "workload::optimize::rate_control(requests, 100.0)",
+            "Action::RewriteSchedule(Throttle { rate: 100.0 })",
         ),
         (
             "Process model pruning",
             "Update smart contract",
-            "chaincode::ScmContract::pruned() / EhrContract::pruned()",
+            "Action::SelectContractVariant(Pruned) → Scm/EhrContract::pruned()",
         ),
         (
             "Delta writes",
             "Update smart contract",
-            "chaincode::DrmDeltaContract (unique delta keys + aggregation)",
+            "Action::SelectContractVariant(DeltaWrites) → DrmDeltaContract",
         ),
         (
             "Smart contract partitioning",
             "Update smart contract",
-            "chaincode::{DrmPlayContract, DrmMetaContract} (split namespaces)",
+            "Action::SelectContractVariant(Partitioned) → DrmPlay+DrmMeta contracts",
         ),
         (
             "Data model alteration",
             "Update smart contract",
-            "chaincode::{DvPerVoterContract, LapByApplicationContract}",
+            "Action::SelectContractVariant(Rekeyed) → DvPerVoter/LapByApplication",
         ),
         (
             "Block size adaptation",
             "Set block count to derived transaction rate",
-            "NetworkConfig.block_count = Tr (apply_system_level)",
+            "Action::ReconfigureNetwork(SetBlockCount { count: Tr })",
         ),
         (
             "Endorser restructuring",
             "Set endorsement policy to P4",
-            "EndorsementPolicy::out_of(k, orgs) (apply_system_level)",
+            "Action::ReconfigureNetwork(GeneralizeEndorsementPolicy) → OutOf(k, orgs)",
         ),
         (
             "Client resource boost",
             "Double clients for recommended organization",
-            "NetworkConfig.client_boost = Some((org, 2))",
+            "Action::ReconfigureNetwork(BoostClients { factor: 2 })",
         ),
     ];
     let mut out = String::from("\n=== Table 4: settings used to implement each optimization ===\n");

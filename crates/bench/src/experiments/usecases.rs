@@ -1,13 +1,81 @@
 //! Figures 13–17: the use-case experiments (§6.2–6.3).
+//!
+//! Each figure is one [`OptimizationPlan`] execution: the analysis's
+//! recommendations are lowered to typed actions, each action is applied
+//! alone and re-run, then all together — the per-action reports become the
+//! figure's rows. Rows the paper mandates (e.g. rate control at 100 tps)
+//! are guaranteed by the `ensure` fallback even when the analysis of a
+//! scaled-down `--quick` run does not fire the corresponding rule.
 
-use super::{only, run_and_analyze, ExpCtx};
+use super::{run_and_analyze, ExpCtx};
 use crate::table::FigureTable;
-use blockoptr::apply::apply_user_level;
+use blockoptr::action::{Action, ScheduleRewrite};
+use blockoptr::plan::{OptimizationPlan, PlanOutcome, PlannedAction};
 use fabric_sim::config::NetworkConfig;
-use workload::optimize;
-use workload::{drm, dv, ehr, lap, scm};
+use workload::{drm, dv, ehr, lap, scm, WorkloadBundle};
 
-/// Figure 13: SCM — reordering, pruning, rate control, all.
+/// Guarantee the plan carries an action for `source`, appending the given
+/// fallback when the analysis did not recommend it.
+fn ensure(plan: &mut OptimizationPlan, source: &str, action: Action) {
+    if !plan.actions.iter().any(|a| a.source == source) {
+        plan.actions.push(PlannedAction {
+            source: source.to_string(),
+            action,
+        });
+    }
+}
+
+/// Table 4's universal rate-control setting.
+fn throttle_100() -> Action {
+    Action::RewriteSchedule(ScheduleRewrite::Throttle { rate: 100.0 })
+}
+
+/// The figure row label for a recommendation name.
+fn row_label(source: &str) -> &str {
+    match source {
+        "Transaction rate control" => "rate control",
+        "Activity reordering" => "activity reordering",
+        "Process model pruning" => "model pruning",
+        "Delta writes" => "delta writes",
+        "Smart contract partitioning" => "contract partition",
+        "Data model alteration" => "data model alteration",
+        other => other,
+    }
+}
+
+/// Render one executed plan as figure rows: W/O, one row per applied
+/// action, and (when requested) the combined "all optimizations" row.
+fn add_outcome_rows(t: &mut FigureTable, config_label: &str, outcome: &PlanOutcome, all: bool) {
+    t.add(config_label, "W/O", &outcome.baseline);
+    for action in &outcome.actions {
+        if let Some(report) = action.report() {
+            t.add(config_label, row_label(&action.source), report);
+        }
+    }
+    if all {
+        if let Some(combined) = &outcome.combined {
+            t.add(config_label, "all optimizations", combined);
+        }
+    }
+}
+
+/// Run one use case through the closed loop: analyze, select the figure's
+/// optimizations, execute.
+fn usecase_outcome(
+    bundle: &WorkloadBundle,
+    cfg: NetworkConfig,
+    sources: &[&str],
+    ensured: &[(&str, Action)],
+) -> PlanOutcome {
+    let (baseline, analysis) = run_and_analyze(bundle, cfg.clone());
+    let mut plan = OptimizationPlan::from_analysis(&analysis).select(sources);
+    for (source, action) in ensured {
+        ensure(&mut plan, source, action.clone());
+    }
+    plan.execute_from(bundle, &cfg, baseline)
+}
+
+/// Figure 13: SCM — rate control, reordering, pruning, all.
 pub fn fig13(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 13: SCM use case");
     let spec = scm::ScmSpec {
@@ -15,33 +83,23 @@ pub fn fig13(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let bundle = scm::generate(&spec);
-    let cfg = NetworkConfig::default;
-    let (wo, analysis) = run_and_analyze(&bundle, cfg());
-    t.add("SCM", "W/O", &wo);
-
-    // Transaction rate control (Table 4: 100 tps).
-    let throttled = bundle
-        .clone()
-        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
-    let (w, _) = run_and_analyze(&throttled, cfg());
-    t.add("SCM", "rate control", &w);
-
-    // Activity reordering (queryProducts + updateAuditInfo to the end).
-    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
-    let reordered = bundle.clone().with_requests(requests);
-    let (w, _) = run_and_analyze(&reordered, cfg());
-    t.add("SCM", "activity reordering", &w);
-
-    // Process model pruning (the pruned smart contract).
-    let pruned = scm::pruned(bundle.clone());
-    let (w, _) = run_and_analyze(&pruned, cfg());
-    t.add("SCM", "model pruning", &w);
-
-    // All optimizations together.
-    let (requests, _) = apply_user_level(&bundle.requests, &analysis.recommendations);
-    let all = scm::pruned(bundle.clone()).with_requests(optimize::rate_control(&requests, 100.0));
-    let (w, _) = run_and_analyze(&all, cfg());
-    t.add("SCM", "all optimizations", &w);
+    let outcome = usecase_outcome(
+        &bundle,
+        NetworkConfig::default(),
+        &[
+            "Transaction rate control",
+            "Activity reordering",
+            "Process model pruning",
+        ],
+        &[
+            ("Transaction rate control", throttle_100()),
+            (
+                "Process model pruning",
+                Action::SelectContractVariant(workload::VariantKind::Pruned),
+            ),
+        ],
+    );
+    add_outcome_rows(&mut t, "SCM", &outcome, true);
     t.render()
 }
 
@@ -53,28 +111,29 @@ pub fn fig14(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let bundle = drm::generate(&spec);
-    let cfg = NetworkConfig::default;
-    let (wo, analysis) = run_and_analyze(&bundle, cfg());
-    t.add("DRM", "W/O", &wo);
-
-    let delta = drm::delta_writes(bundle.clone());
-    let (w, _) = run_and_analyze(&delta, cfg());
-    t.add("DRM", "delta writes", &w);
-
-    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
-    let reordered = bundle.clone().with_requests(requests);
-    let (w, _) = run_and_analyze(&reordered, cfg());
-    t.add("DRM", "activity reordering", &w);
-
-    let partitioned = drm::partitioned(bundle.clone(), &spec);
-    let (w, _) = run_and_analyze(&partitioned, cfg());
-    t.add("DRM", "contract partition", &w);
-
-    // All: partitioned chaincodes with delta-write plays + reordering.
-    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
-    let all = drm::partitioned_delta(bundle.clone().with_requests(requests), &spec);
-    let (w, _) = run_and_analyze(&all, cfg());
-    t.add("DRM", "all optimizations", &w);
+    // The combined run resolves {delta writes, partitioning} through DRM's
+    // variant table to the partitioned-delta contract set (Figure 14's
+    // "all optimizations").
+    let outcome = usecase_outcome(
+        &bundle,
+        NetworkConfig::default(),
+        &[
+            "Delta writes",
+            "Activity reordering",
+            "Smart contract partitioning",
+        ],
+        &[
+            (
+                "Delta writes",
+                Action::SelectContractVariant(workload::VariantKind::DeltaWrites),
+            ),
+            (
+                "Smart contract partitioning",
+                Action::SelectContractVariant(workload::VariantKind::Partitioned),
+            ),
+        ],
+    );
+    add_outcome_rows(&mut t, "DRM", &outcome, true);
     t.render()
 }
 
@@ -86,29 +145,23 @@ pub fn fig15(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let bundle = ehr::generate(&spec);
-    let cfg = NetworkConfig::default;
-    let (wo, analysis) = run_and_analyze(&bundle, cfg());
-    t.add("EHR", "W/O", &wo);
-
-    let throttled = bundle
-        .clone()
-        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
-    let (w, _) = run_and_analyze(&throttled, cfg());
-    t.add("EHR", "rate control", &w);
-
-    let (requests, _) = apply_user_level(&bundle.requests, &only(&analysis, "Activity reordering"));
-    let reordered = bundle.clone().with_requests(requests);
-    let (w, _) = run_and_analyze(&reordered, cfg());
-    t.add("EHR", "activity reordering", &w);
-
-    let pruned = ehr::pruned(bundle.clone());
-    let (w, _) = run_and_analyze(&pruned, cfg());
-    t.add("EHR", "model pruning", &w);
-
-    let (requests, _) = apply_user_level(&bundle.requests, &analysis.recommendations);
-    let all = ehr::pruned(bundle.clone()).with_requests(optimize::rate_control(&requests, 100.0));
-    let (w, _) = run_and_analyze(&all, cfg());
-    t.add("EHR", "all optimizations", &w);
+    let outcome = usecase_outcome(
+        &bundle,
+        NetworkConfig::default(),
+        &[
+            "Transaction rate control",
+            "Activity reordering",
+            "Process model pruning",
+        ],
+        &[
+            ("Transaction rate control", throttle_100()),
+            (
+                "Process model pruning",
+                Action::SelectContractVariant(workload::VariantKind::Pruned),
+            ),
+        ],
+    );
+    add_outcome_rows(&mut t, "EHR", &outcome, true);
     t.render()
 }
 
@@ -121,72 +174,62 @@ pub fn fig16(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let bundle = dv::generate(&spec);
-    let cfg = NetworkConfig::default;
-    let (wo, _) = run_and_analyze(&bundle, cfg());
-    t.add("DV", "W/O", &wo);
-
-    let throttled = bundle
-        .clone()
-        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
-    let (w, _) = run_and_analyze(&throttled, cfg());
-    t.add("DV", "rate control", &w);
-
-    let altered = dv::per_voter(bundle.clone());
-    let (w, _) = run_and_analyze(&altered, cfg());
-    t.add("DV", "data model alteration", &w);
-
-    let all = dv::per_voter(
-        bundle
-            .clone()
-            .with_requests(optimize::rate_control(&bundle.requests, 100.0)),
+    let outcome = usecase_outcome(
+        &bundle,
+        NetworkConfig::default(),
+        &["Transaction rate control", "Data model alteration"],
+        &[
+            ("Transaction rate control", throttle_100()),
+            (
+                "Data model alteration",
+                Action::SelectContractVariant(workload::VariantKind::Rekeyed),
+            ),
+        ],
     );
-    let (w, _) = run_and_analyze(&all, cfg());
-    t.add("DV", "all optimizations", &w);
+    add_outcome_rows(&mut t, "DV", &outcome, true);
     t.render()
 }
 
 /// Figure 17: LAP at 10 tps and 300 tps.
 pub fn fig17(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 17: Loan Application Process use case");
-    let cfg = NetworkConfig::default;
     let apps = ((2_000.0 * ctx.scale) as usize).max(100);
 
-    // Manual processing: 10 tps.
+    // Manual processing: 10 tps — only the data-model alteration row.
     let slow = lap::LapSpec {
         applications: apps,
         send_rate: 10.0,
         ..Default::default()
     };
-    let bundle = lap::generate(&slow);
-    let (wo, _) = run_and_analyze(&bundle, cfg());
-    t.add("Send rate: 10 tps", "W/O", &wo);
-    let altered = lap::by_application(bundle.clone());
-    let (w, _) = run_and_analyze(&altered, cfg());
-    t.add("Send rate: 10 tps", "data model alteration", &w);
+    let outcome = usecase_outcome(
+        &lap::generate(&slow),
+        NetworkConfig::default(),
+        &["Data model alteration"],
+        &[(
+            "Data model alteration",
+            Action::SelectContractVariant(workload::VariantKind::Rekeyed),
+        )],
+    );
+    add_outcome_rows(&mut t, "Send rate: 10 tps", &outcome, false);
 
-    // Automated processing: 300 tps.
+    // Automated processing: 300 tps — alteration, rate control, all.
     let fast = lap::LapSpec {
         applications: apps,
         send_rate: 300.0,
         ..Default::default()
     };
-    let bundle = lap::generate(&fast);
-    let (wo, _) = run_and_analyze(&bundle, cfg());
-    t.add("Send rate: 300 tps", "W/O", &wo);
-    let altered = lap::by_application(bundle.clone());
-    let (w, _) = run_and_analyze(&altered, cfg());
-    t.add("Send rate: 300 tps", "data model alteration", &w);
-    let throttled = bundle
-        .clone()
-        .with_requests(optimize::rate_control(&bundle.requests, 100.0));
-    let (w, _) = run_and_analyze(&throttled, cfg());
-    t.add("Send rate: 300 tps", "rate control", &w);
-    let all = lap::by_application(
-        bundle
-            .clone()
-            .with_requests(optimize::rate_control(&bundle.requests, 100.0)),
+    let outcome = usecase_outcome(
+        &lap::generate(&fast),
+        NetworkConfig::default(),
+        &["Data model alteration", "Transaction rate control"],
+        &[
+            (
+                "Data model alteration",
+                Action::SelectContractVariant(workload::VariantKind::Rekeyed),
+            ),
+            ("Transaction rate control", throttle_100()),
+        ],
     );
-    let (w, _) = run_and_analyze(&all, cfg());
-    t.add("Send rate: 300 tps", "all optimizations", &w);
+    add_outcome_rows(&mut t, "Send rate: 300 tps", &outcome, true);
     t.render()
 }

@@ -1,0 +1,421 @@
+//! Typed optimization actions (paper §4.5, Table 4).
+//!
+//! A [`Recommendation`] is a *diagnosis*; an [`Action`] is the concrete,
+//! individually applicable *change* that implements it. Every
+//! recommendation [lowers](Recommendation::actions) to zero or more
+//! actions in one of three shapes, matching the paper's three
+//! implementation sites (Figure 6):
+//!
+//! * [`Action::RewriteSchedule`] — the client / workflow engine: reorder
+//!   the request schedule, throttle the send rate;
+//! * [`Action::ReconfigureNetwork`] — the channel configuration: block
+//!   count, endorsement policy, client fleet;
+//! * [`Action::SelectContractVariant`] — the smart contract: swap in a
+//!   prepared contract rewrite ([`VariantKind`]), exactly as the paper's
+//!   authors selected their modified Go contracts (§7 notes these "need to
+//!   be manually implemented by the user" — a workload that ships no
+//!   prepared variant reports the action as manual).
+//!
+//! Actions are serializable, so a plan can be exported, reviewed, and
+//! replayed. The [`plan`](crate::plan) module executes them in a closed
+//! loop; [`apply_user_level`](crate::apply::apply_user_level) /
+//! [`apply_system_level`](crate::apply::apply_system_level) remain as thin
+//! wrappers for the paper-era call sites.
+
+use crate::recommend::Recommendation;
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::policy::EndorsementPolicy;
+use fabric_sim::sim::TxRequest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use workload::{optimize, VariantKind};
+
+/// A rewrite of the request schedule (client-side, Table 4's Caliper
+/// settings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleRewrite {
+    /// Reschedule the named activities after all others, keeping the
+    /// original injection timestamps.
+    DeferActivities {
+        /// Activities moved to the end of the schedule.
+        activities: Vec<String>,
+    },
+    /// Re-space the schedule at a lower rate (Table 4: 100 tps).
+    Throttle {
+        /// The target rate, tx/s.
+        rate: f64,
+    },
+}
+
+/// A change to the network configuration (channel-side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetworkChange {
+    /// Match the block count to the observed transaction rate.
+    SetBlockCount {
+        /// The new block count.
+        count: usize,
+    },
+    /// Replace the endorsement policy with an `OutOf` policy of the same
+    /// strength, satisfiable by any organizations (Table 4's "set
+    /// endorsement policy to P4", generalized), and remove endorser skew.
+    GeneralizeEndorsementPolicy,
+    /// Scale one organization's client fleet.
+    BoostClients {
+        /// Organization index (0-based).
+        org: u16,
+        /// Multiplier for its client count (Table 4 doubles).
+        factor: usize,
+    },
+}
+
+/// One individually applicable optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Rewrite the request schedule.
+    RewriteSchedule(ScheduleRewrite),
+    /// Rewrite the network configuration.
+    ReconfigureNetwork(NetworkChange),
+    /// Install a prepared smart-contract rewrite.
+    SelectContractVariant(VariantKind),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+impl Action {
+    /// Human-readable description of the change.
+    pub fn describe(&self) -> String {
+        match self {
+            Action::RewriteSchedule(ScheduleRewrite::DeferActivities { activities }) => {
+                format!("activity reordering: deferred {}", activities.join(", "))
+            }
+            Action::RewriteSchedule(ScheduleRewrite::Throttle { rate }) => {
+                format!("rate control: {rate:.0} tps")
+            }
+            Action::ReconfigureNetwork(NetworkChange::SetBlockCount { count }) => {
+                format!("block count → {count}")
+            }
+            Action::ReconfigureNetwork(NetworkChange::GeneralizeEndorsementPolicy) => {
+                "endorsement policy → OutOf(k, all orgs)".to_string()
+            }
+            Action::ReconfigureNetwork(NetworkChange::BoostClients { org, factor }) => {
+                format!("clients of Org{} ×{factor}", org + 1)
+            }
+            Action::SelectContractVariant(kind) => {
+                format!("smart contract → {kind} variant")
+            }
+        }
+    }
+
+    /// Apply to a request schedule; `None` when this action does not touch
+    /// the schedule.
+    pub fn apply_to_schedule(&self, requests: &[TxRequest]) -> Option<Vec<TxRequest>> {
+        match self {
+            Action::RewriteSchedule(ScheduleRewrite::DeferActivities { activities }) => {
+                let names: Vec<&str> = activities.iter().map(String::as_str).collect();
+                Some(optimize::move_to_end(requests, &names))
+            }
+            Action::RewriteSchedule(ScheduleRewrite::Throttle { rate }) => {
+                Some(optimize::rate_control(requests, *rate))
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply to a network configuration; `None` when this action does not
+    /// touch the configuration.
+    pub fn apply_to_config(&self, config: &NetworkConfig) -> Option<NetworkConfig> {
+        match self {
+            Action::ReconfigureNetwork(NetworkChange::SetBlockCount { count }) => {
+                let mut out = config.clone();
+                out.block_count = (*count).max(1);
+                Some(out)
+            }
+            Action::ReconfigureNetwork(NetworkChange::GeneralizeEndorsementPolicy) => {
+                let mut out = config.clone();
+                let k = config.endorsement_policy.min_endorsers().max(1);
+                out.endorsement_policy = EndorsementPolicy::out_of(k, config.orgs);
+                out.endorser_skew = 0.0;
+                Some(out)
+            }
+            Action::ReconfigureNetwork(NetworkChange::BoostClients { org, factor }) => {
+                let mut out = config.clone();
+                out.client_boost = Some((*org, *factor));
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// The contract variant this action selects, if any.
+    pub fn variant(&self) -> Option<VariantKind> {
+        match self {
+            Action::SelectContractVariant(kind) => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+impl Recommendation {
+    /// Lower this recommendation to the actions that implement it
+    /// (Table 4). Recommendations whose implementation is irreducibly
+    /// manual — and [`Recommendation::Custom`] findings — lower to nothing.
+    pub fn actions(&self) -> Vec<Action> {
+        match self {
+            Recommendation::ActivityReordering { pairs, .. } => {
+                let deferred = deferrable_activities(pairs);
+                if deferred.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Action::RewriteSchedule(ScheduleRewrite::DeferActivities {
+                        activities: deferred,
+                    })]
+                }
+            }
+            Recommendation::TransactionRateControl { suggested_rate, .. } => {
+                vec![Action::RewriteSchedule(ScheduleRewrite::Throttle {
+                    rate: *suggested_rate,
+                })]
+            }
+            Recommendation::ProcessModelPruning { .. } => {
+                vec![Action::SelectContractVariant(VariantKind::Pruned)]
+            }
+            Recommendation::DeltaWrites { .. } => {
+                vec![Action::SelectContractVariant(VariantKind::DeltaWrites)]
+            }
+            Recommendation::SmartContractPartitioning { .. } => {
+                vec![Action::SelectContractVariant(VariantKind::Partitioned)]
+            }
+            Recommendation::DataModelAlteration { .. } => {
+                vec![Action::SelectContractVariant(VariantKind::Rekeyed)]
+            }
+            Recommendation::BlockSizeAdaptation {
+                suggested_count, ..
+            } => vec![Action::ReconfigureNetwork(NetworkChange::SetBlockCount {
+                // The typed action must be valid wherever it is replayed,
+                // not only through apply_to_config's clamp.
+                count: (*suggested_count).max(1),
+            })],
+            Recommendation::EndorserRestructuring { .. } => {
+                vec![Action::ReconfigureNetwork(
+                    NetworkChange::GeneralizeEndorsementPolicy,
+                )]
+            }
+            Recommendation::ClientResourceBoost { org, .. } => match parse_org_index(org) {
+                Some(idx) => vec![Action::ReconfigureNetwork(NetworkChange::BoostClients {
+                    org: idx,
+                    factor: 2,
+                })],
+                None => Vec::new(),
+            },
+            Recommendation::Custom { .. } => Vec::new(),
+        }
+    }
+}
+
+/// The activities worth deferring: those that fail against other activities'
+/// writes (the conflicting-reader side of each reorderable pair).
+fn deferrable_activities(pairs: &[((String, String), usize)]) -> Vec<String> {
+    let total: usize = pairs.iter().map(|(_, n)| *n).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut failed_counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for ((failed, _writer), n) in pairs {
+        *failed_counts.entry(failed.as_str()).or_insert(0) += *n;
+    }
+    let writers: BTreeSet<&str> = pairs.iter().map(|((_, w), _)| w.as_str()).collect();
+    failed_counts
+        .into_iter()
+        // Keep significant offenders; never defer an activity that is also a
+        // frequent conflict *writer* (deferring it would only move the
+        // conflict).
+        .filter(|(a, n)| *n * 10 >= total && !writers.contains(a))
+        .map(|(a, _)| a.to_string())
+        .collect()
+}
+
+/// Parse `"Org3"` → organization index 2.
+fn parse_org_index(display: &str) -> Option<u16> {
+    display
+        .strip_prefix("Org")?
+        .parse::<u16>()
+        .ok()
+        .and_then(|n| n.checked_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::types::OrgId;
+    use sim_core::time::SimTime;
+
+    fn req(i: u64, activity: &str) -> TxRequest {
+        TxRequest {
+            send_time: SimTime::from_millis(i * 10),
+            contract: "cc".into(),
+            activity: activity.into(),
+            args: vec![],
+            invoker_org: OrgId(0),
+        }
+    }
+
+    #[test]
+    fn reordering_lowers_to_deferral_of_failed_readers() {
+        let rec = Recommendation::ActivityReordering {
+            pairs: vec![(("query".into(), "write".into()), 10)],
+            share: 0.8,
+        };
+        let actions = rec.actions();
+        assert_eq!(
+            actions,
+            vec![Action::RewriteSchedule(ScheduleRewrite::DeferActivities {
+                activities: vec!["query".into()],
+            })]
+        );
+        let out = actions[0]
+            .apply_to_schedule(&[req(0, "query"), req(1, "write"), req(2, "query")])
+            .unwrap();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        assert_eq!(acts, vec!["write", "query", "query"]);
+    }
+
+    #[test]
+    fn reordering_never_defers_writers() {
+        // "upd" is both a failed activity and the main writer: deferring it
+        // would be self-defeating.
+        let rec = Recommendation::ActivityReordering {
+            pairs: vec![
+                (("upd".into(), "upd".into()), 10),
+                (("query".into(), "upd".into()), 10),
+            ],
+            share: 0.5,
+        };
+        match &rec.actions()[..] {
+            [Action::RewriteSchedule(ScheduleRewrite::DeferActivities { activities })] => {
+                assert_eq!(activities, &vec!["query".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_control_lowers_to_throttle() {
+        let rec = Recommendation::TransactionRateControl {
+            intervals: vec![0],
+            peak_rate: 300.0,
+            suggested_rate: 10.0,
+        };
+        let actions = rec.actions();
+        assert_eq!(actions.len(), 1);
+        assert!(actions[0].describe().contains("10 tps"));
+        let out = actions[0]
+            .apply_to_schedule(&[req(0, "a"), req(1, "a"), req(2, "a")])
+            .unwrap();
+        assert_eq!(
+            out[2].send_time.as_micros() - out[0].send_time.as_micros(),
+            200_000,
+            "2 gaps at 10 tps = 200 ms"
+        );
+    }
+
+    #[test]
+    fn system_recommendations_lower_to_config_changes() {
+        let cfg = NetworkConfig::default();
+
+        let bs = Recommendation::BlockSizeAdaptation {
+            current_avg: 100.0,
+            tr: 300.0,
+            suggested_count: 300,
+        };
+        let out = bs.actions()[0].apply_to_config(&cfg).unwrap();
+        assert_eq!(out.block_count, 300);
+
+        let er = Recommendation::EndorserRestructuring {
+            shares: vec![("Org1".into(), 0.5)],
+            overloaded: vec!["Org1".into()],
+        };
+        let skewed = NetworkConfig {
+            orgs: 4,
+            endorsement_policy: EndorsementPolicy::p1(),
+            endorser_skew: 6.0,
+            ..NetworkConfig::default()
+        };
+        let out = er.actions()[0].apply_to_config(&skewed).unwrap();
+        assert_eq!(
+            out.endorsement_policy.to_string(),
+            "OutOf(2,Org1,Org2,Org3,Org4)",
+            "P1 needs 2 endorsers → generalized to P4"
+        );
+        assert_eq!(out.endorser_skew, 0.0);
+
+        let cb = Recommendation::ClientResourceBoost {
+            org: "Org2".into(),
+            share: 0.7,
+        };
+        let out = cb.actions()[0].apply_to_config(&cfg).unwrap();
+        assert_eq!(out.client_boost, Some((1, 2)));
+    }
+
+    #[test]
+    fn data_recommendations_lower_to_variant_selection() {
+        let rec = Recommendation::DeltaWrites {
+            activities: vec![("play".into(), 9)],
+        };
+        assert_eq!(
+            rec.actions(),
+            vec![Action::SelectContractVariant(VariantKind::DeltaWrites)]
+        );
+        assert_eq!(rec.actions()[0].variant(), Some(VariantKind::DeltaWrites));
+        // Variant selection touches neither schedule nor config.
+        assert!(rec.actions()[0].apply_to_schedule(&[]).is_none());
+        assert!(rec.actions()[0]
+            .apply_to_config(&NetworkConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn unlowereable_recommendations_produce_no_actions() {
+        let custom = Recommendation::Custom {
+            name: "X".into(),
+            level: crate::recommend::Level::User,
+            rationale: "y".into(),
+        };
+        assert!(custom.actions().is_empty());
+        let bad_org = Recommendation::ClientResourceBoost {
+            org: "weird".into(),
+            share: 0.9,
+        };
+        assert!(bad_org.actions().is_empty());
+    }
+
+    #[test]
+    fn actions_round_trip_through_json() {
+        let actions = vec![
+            Action::RewriteSchedule(ScheduleRewrite::DeferActivities {
+                activities: vec!["query".into()],
+            }),
+            Action::RewriteSchedule(ScheduleRewrite::Throttle { rate: 100.0 }),
+            Action::ReconfigureNetwork(NetworkChange::SetBlockCount { count: 300 }),
+            Action::ReconfigureNetwork(NetworkChange::GeneralizeEndorsementPolicy),
+            Action::ReconfigureNetwork(NetworkChange::BoostClients { org: 1, factor: 2 }),
+            Action::SelectContractVariant(VariantKind::Rekeyed),
+        ];
+        for action in actions {
+            let json = serde_json::to_string(&action).unwrap();
+            let back: Action = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, action, "{json}");
+        }
+    }
+
+    #[test]
+    fn org_parsing() {
+        assert_eq!(parse_org_index("Org1"), Some(0));
+        assert_eq!(parse_org_index("Org12"), Some(11));
+        assert_eq!(parse_org_index("weird"), None);
+    }
+}

@@ -1,133 +1,66 @@
-//! Optimization implementation (paper §4.5, Table 4).
+//! Paper-era application helpers (§4.5, Table 4) — thin wrappers over the
+//! typed [`Action`] layer.
 //!
-//! BlockOptR's recommendations are implemented at three places (paper
-//! Figure 6): the client/workflow engine (reordering, rate control, client
-//! scaling), the smart contract (pruning and all data-level changes), and
-//! the channel configuration (block size, endorsement policy).
-//!
-//! This module automates what can be automated without domain knowledge:
-//!
-//! * [`apply_user_level`] rewrites the request schedule — activity
-//!   reordering via the client manager, rate control via re-pacing;
-//! * [`apply_system_level`] rewrites the network configuration — block
-//!   count, endorsement policy (Table 4 switches to an `OutOf` policy),
-//!   client boost.
-//!
-//! Smart-contract rewrites (pruning, delta writes, partitioning, data-model
-//! alteration) "need to be manually implemented by the user" (paper §7) —
-//! the experiment harness selects the prepared contract variants from the
-//! `chaincode` crate, exactly as the authors modified their Go contracts.
+//! Soft-deprecated: new code should lower recommendations with
+//! [`Recommendation::actions`](crate::recommend::Recommendation::actions)
+//! and apply them through an
+//! [`OptimizationPlan`](crate::plan::OptimizationPlan), which also closes
+//! the loop (re-run + before/after deltas). These helpers keep the original
+//! free-function signatures for existing call sites: each applies every
+//! action of the matching shape and reports the transformations as strings.
 
+use crate::action::Action;
 use crate::recommend::Recommendation;
 use fabric_sim::config::NetworkConfig;
-use fabric_sim::policy::EndorsementPolicy;
 use fabric_sim::sim::TxRequest;
-use std::collections::BTreeSet;
-use workload::optimize;
 
 /// Rewrite the request schedule according to the user-level
-/// recommendations. Returns the new schedule and a description of the
-/// transformations applied.
+/// recommendations (every [`Action::RewriteSchedule`] they lower to).
+/// Returns the new schedule and a description of the transformations
+/// applied.
 pub fn apply_user_level(
     requests: &[TxRequest],
     recommendations: &[Recommendation],
 ) -> (Vec<TxRequest>, Vec<String>) {
     let mut out = requests.to_vec();
     let mut applied = Vec::new();
-    for rec in recommendations {
-        match rec {
-            Recommendation::ActivityReordering { pairs, .. } => {
-                let deferred = deferrable_activities(pairs);
-                if !deferred.is_empty() {
-                    let names: Vec<&str> = deferred.iter().map(String::as_str).collect();
-                    out = optimize::move_to_end(&out, &names);
-                    applied.push(format!(
-                        "activity reordering: deferred {}",
-                        names.join(", ")
-                    ));
-                }
-            }
-            Recommendation::TransactionRateControl { suggested_rate, .. } => {
-                out = optimize::rate_control(&out, *suggested_rate);
-                applied.push(format!("rate control: {suggested_rate:.0} tps"));
-            }
-            _ => {}
+    for action in recommendations.iter().flat_map(Recommendation::actions) {
+        if let Some(rewritten) = action.apply_to_schedule(&out) {
+            out = rewritten;
+            applied.push(action.describe());
         }
     }
     (out, applied)
 }
 
-/// The activities worth deferring: those that fail against other activities'
-/// writes (the conflicting-reader side of each reorderable pair).
-fn deferrable_activities(pairs: &[((String, String), usize)]) -> Vec<String> {
-    let total: usize = pairs.iter().map(|(_, n)| *n).sum();
-    if total == 0 {
-        return Vec::new();
-    }
-    let mut failed_counts: std::collections::BTreeMap<&str, usize> = Default::default();
-    for ((failed, _writer), n) in pairs {
-        *failed_counts.entry(failed.as_str()).or_insert(0) += *n;
-    }
-    let writers: BTreeSet<&str> = pairs.iter().map(|((_, w), _)| w.as_str()).collect();
-    failed_counts
-        .into_iter()
-        // Keep significant offenders; never defer an activity that is also a
-        // frequent conflict *writer* (deferring it would only move the
-        // conflict).
-        .filter(|(a, n)| *n * 10 >= total && !writers.contains(a))
-        .map(|(a, _)| a.to_string())
-        .collect()
-}
-
 /// Rewrite the network configuration according to the system-level
-/// recommendations. Returns the new configuration and the changes applied.
+/// recommendations (every [`Action::ReconfigureNetwork`] they lower to).
+/// Returns the new configuration and the changes applied.
 pub fn apply_system_level(
     config: &NetworkConfig,
     recommendations: &[Recommendation],
 ) -> (NetworkConfig, Vec<String>) {
     let mut out = config.clone();
     let mut applied = Vec::new();
-    for rec in recommendations {
-        match rec {
-            Recommendation::BlockSizeAdaptation {
-                suggested_count, ..
-            } => {
-                out.block_count = (*suggested_count).max(1);
-                applied.push(format!("block count → {}", out.block_count));
-            }
-            Recommendation::EndorserRestructuring { .. } => {
-                // Table 4: "Set endorsement policy to P4" — generalized: the
-                // same required-endorsement count, but satisfiable by any
-                // organizations, so clients can spread the load.
-                let k = config.endorsement_policy.min_endorsers().max(1);
-                out.endorsement_policy = EndorsementPolicy::out_of(k, config.orgs);
-                out.endorser_skew = 0.0;
-                applied.push(format!("endorsement policy → {}", out.endorsement_policy));
-            }
-            Recommendation::ClientResourceBoost { org, .. } => {
-                if let Some(idx) = parse_org_index(org) {
-                    out.client_boost = Some((idx, 2));
-                    applied.push(format!("clients of {org} doubled"));
-                }
-            }
-            _ => {}
+    for action in recommendations.iter().flat_map(Recommendation::actions) {
+        if let Some(reconfigured) = action.apply_to_config(&out) {
+            applied.push(match &action {
+                // Keep the legacy report shape: name the resulting policy.
+                Action::ReconfigureNetwork(
+                    crate::action::NetworkChange::GeneralizeEndorsementPolicy,
+                ) => format!("endorsement policy → {}", reconfigured.endorsement_policy),
+                _ => action.describe(),
+            });
+            out = reconfigured;
         }
     }
     (out, applied)
 }
 
-/// Parse `"Org3"` → organization index 2.
-fn parse_org_index(display: &str) -> Option<u16> {
-    display
-        .strip_prefix("Org")?
-        .parse::<u16>()
-        .ok()
-        .and_then(|n| n.checked_sub(1))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fabric_sim::policy::EndorsementPolicy;
     use fabric_sim::types::OrgId;
     use sim_core::time::SimTime;
 
@@ -153,27 +86,6 @@ mod tests {
         assert_eq!(acts, vec!["write", "query", "query"]);
         assert_eq!(applied.len(), 1);
         assert!(applied[0].contains("query"));
-    }
-
-    #[test]
-    fn reordering_never_defers_writers() {
-        // "upd" is both a failed activity and the main writer: deferring it
-        // would be self-defeating.
-        let recs = vec![Recommendation::ActivityReordering {
-            pairs: vec![
-                (("upd".into(), "upd".into()), 10),
-                (("query".into(), "upd".into()), 10),
-            ],
-            share: 0.5,
-        }];
-        let reqs = vec![req(0, "upd"), req(1, "query")];
-        let (out, _) = apply_user_level(&reqs, &recs);
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
-        assert_eq!(
-            acts,
-            vec!["upd", "query"],
-            "only query deferred (no-op here)"
-        );
     }
 
     #[test]
@@ -218,7 +130,7 @@ mod tests {
             shares: vec![("Org1".into(), 0.5)],
             overloaded: vec!["Org1".into()],
         }];
-        let (out, _) = apply_system_level(&cfg, &recs);
+        let (out, applied) = apply_system_level(&cfg, &recs);
         assert_eq!(
             out.endorsement_policy.to_string(),
             "OutOf(2,Org1,Org2,Org3,Org4)",
@@ -226,6 +138,10 @@ mod tests {
         );
         assert_eq!(out.endorser_skew, 0.0, "skew removed by the measure");
         assert!(out.endorsement_policy.mandatory_orgs().is_empty());
+        assert_eq!(
+            applied,
+            vec!["endorsement policy → OutOf(2,Org1,Org2,Org3,Org4)".to_string()]
+        );
     }
 
     #[test]
@@ -238,13 +154,6 @@ mod tests {
         let (out, applied) = apply_system_level(&cfg, &recs);
         assert_eq!(out.client_boost, Some((1, 2)));
         assert!(applied[0].contains("Org2"));
-    }
-
-    #[test]
-    fn org_parsing() {
-        assert_eq!(parse_org_index("Org1"), Some(0));
-        assert_eq!(parse_org_index("Org12"), Some(11));
-        assert_eq!(parse_org_index("weird"), None);
     }
 
     #[test]

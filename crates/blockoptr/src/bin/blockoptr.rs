@@ -9,13 +9,20 @@
 //! blockoptr analyze scm.json --csv log.csv --xes log.xes --dot model.dot
 //! blockoptr watch scm.json --window 10       # replay as a stream, re-analyzing
 //! blockoptr compare before.json after.json   # compliance check of a rollout
+//! blockoptr optimize scm                     # closed loop: plan, apply, re-run, deltas
+//! blockoptr optimize scm --dry-run           # print the plan without re-running
+//! blockoptr optimize scm --txs 2000 --json   # scaled run, machine-readable outcome
 //! ```
 //!
 //! Mirrors the paper's tool — read a blockchain log, derive the metrics and
 //! the process model, print the multi-level recommendations (Figure 5's
-//! workflow) — plus the §7 compliance checking and a `watch` mode that
+//! workflow) — plus the §7 compliance checking, a `watch` mode that
 //! replays a log through an incremental [`Session`](blockoptr::Session) the
-//! way a monitoring loop would consume a live chain.
+//! way a monitoring loop would consume a live chain, and an `optimize`
+//! mode that runs the paper's full Table 4 loop: simulate a scenario,
+//! lower its recommendations to typed [`Action`](blockoptr::Action)s,
+//! apply them, re-run, and print per-action before/after deltas
+//! ([`PlanOutcome`](blockoptr::PlanOutcome)).
 //!
 //! Unknown flags and malformed inputs are rejected with exit code 1 (a
 //! missing or unknown *subcommand* prints usage and exits 2), and all
@@ -26,6 +33,7 @@ use blockoptr::compliance::verify_rollout;
 use blockoptr::export;
 use blockoptr::log::BlockchainLog;
 use blockoptr::pipeline::Analysis;
+use blockoptr::plan::OptimizationPlan;
 use blockoptr::session::Analyzer;
 use fabric_sim::config::NetworkConfig;
 use serde::Serialize;
@@ -37,7 +45,8 @@ fn usage() -> ExitCode {
         "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json] [--auto-tune]\n  \
          blockoptr analyze LOG.json [--auto-tune] [--json] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
          blockoptr watch LOG.json [--window N] [--auto-tune] [--json]\n  \
-         blockoptr compare BEFORE.json AFTER.json [--json]"
+         blockoptr compare BEFORE.json AFTER.json [--json]\n  \
+         blockoptr optimize <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--dry-run] [--auto-tune] [--json] [--disable RULE]..."
     );
     ExitCode::from(2)
 }
@@ -88,6 +97,15 @@ impl Args {
 
     fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|n| n == name)
+    }
+
+    /// Every value passed for a repeatable flag, in order.
+    fn values_of(&self, name: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 }
 
@@ -146,6 +164,64 @@ fn analysis_json(analysis: &Analysis) -> Value {
     ])
 }
 
+/// Build a demo scenario's workload bundle and network configuration,
+/// optionally scaled to roughly `txs` transactions.
+fn scenario_bundle(
+    scenario: &str,
+    txs: Option<usize>,
+) -> Result<(workload::WorkloadBundle, NetworkConfig), String> {
+    let cfg = NetworkConfig::default();
+    Ok(match scenario {
+        "synthetic" => {
+            let mut cv = workload::spec::ControlVariables::default();
+            if let Some(n) = txs {
+                cv.transactions = n;
+            }
+            let config = cv.network_config();
+            (workload::synthetic::generate(&cv), config)
+        }
+        "scm" => {
+            let mut spec = workload::scm::ScmSpec::default();
+            if let Some(n) = txs {
+                spec.transactions = n;
+            }
+            (workload::scm::generate(&spec), cfg)
+        }
+        "drm" => {
+            let mut spec = workload::drm::DrmSpec::default();
+            if let Some(n) = txs {
+                spec.transactions = n;
+            }
+            (workload::drm::generate(&spec), cfg)
+        }
+        "ehr" => {
+            let mut spec = workload::ehr::EhrSpec::default();
+            if let Some(n) = txs {
+                spec.transactions = n;
+            }
+            (workload::ehr::generate(&spec), cfg)
+        }
+        "dv" => {
+            let mut spec = workload::dv::DvSpec::default();
+            if let Some(n) = txs {
+                // Keep the paper's 1:5 query:vote phase proportions.
+                spec.queries = (n / 6).max(1);
+                spec.votes = n.saturating_sub(spec.queries).max(1);
+            }
+            (workload::dv::generate(&spec), cfg)
+        }
+        "lap" => {
+            let mut spec = workload::lap::LapSpec::default();
+            if let Some(n) = txs {
+                // ~10 events per application.
+                spec.applications = (n / 10).max(10);
+            }
+            (workload::lap::generate(&spec), cfg)
+        }
+        other => return Err(format!("unknown scenario {other:?}")),
+    })
+}
+
 fn cmd_demo(args: &[String]) -> Result<(), String> {
     let args = Args::parse(args, &["out"], &["auto-tune"])?;
     let scenario = args
@@ -153,19 +229,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         .first()
         .map(String::as_str)
         .unwrap_or("synthetic");
-    let cfg = NetworkConfig::default();
-    let output = match scenario {
-        "synthetic" => {
-            let cv = workload::spec::ControlVariables::default();
-            workload::synthetic::generate(&cv).run(cv.network_config())
-        }
-        "scm" => workload::scm::generate(&workload::scm::ScmSpec::default()).run(cfg),
-        "drm" => workload::drm::generate(&workload::drm::DrmSpec::default()).run(cfg),
-        "ehr" => workload::ehr::generate(&workload::ehr::EhrSpec::default()).run(cfg),
-        "dv" => workload::dv::generate(&workload::dv::DvSpec::default()).run(cfg),
-        "lap" => workload::lap::generate(&workload::lap::LapSpec::default()).run(cfg),
-        other => return Err(format!("unknown scenario {other:?}")),
-    };
+    let (bundle, cfg) = scenario_bundle(scenario, None)?;
+    let output = bundle.run(cfg);
     eprintln!("simulated {scenario}: {}", output.report.figure_row());
     let log = BlockchainLog::from_ledger(&output.ledger);
     if let Some(path) = args.value("out") {
@@ -309,6 +374,68 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args, &["txs", "disable"], &["dry-run", "auto-tune", "json"])?;
+    let Some(scenario) = args.positional.first() else {
+        return Err("optimize needs a scenario (synthetic|scm|drm|ehr|dv|lap)".into());
+    };
+    let txs = match args.value("txs") {
+        Some(t) => Some(
+            t.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--txs must be a positive integer, got {t:?}"))?,
+        ),
+        None => None,
+    };
+
+    // 1. Simulate the scenario and analyze its ledger.
+    let (bundle, config) = scenario_bundle(scenario, txs)?;
+    let output = bundle.run(config.clone());
+    eprintln!("simulated {scenario}: {}", output.report.figure_row());
+    let mut analyzer = analyzer(args.switch("auto-tune"));
+    let known = blockoptr::recommend::rules::RuleSet::paper();
+    for rule in args.values_of("disable") {
+        if !known.is_enabled(rule) {
+            return Err(format!(
+                "unknown rule id {rule:?}; valid ids: {}",
+                known.ids().join(", ")
+            ));
+        }
+        analyzer = analyzer.disable_rule(rule);
+    }
+    let analysis = analyzer
+        .analyze_ledger(&output.ledger)
+        .map_err(|e| e.to_string())?;
+
+    // 2. Lower the recommendations to a typed plan.
+    let plan = OptimizationPlan::from_analysis(&analysis);
+    if args.switch("dry-run") {
+        if args.switch("json") {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?
+            );
+        } else {
+            print!("{}", blockoptr::report::render(&analysis));
+            print!("{}", blockoptr::report::render_plan(&plan, Some(&bundle)));
+        }
+        return Ok(());
+    }
+
+    // 3. Close the loop: apply each action, re-run, measure the deltas.
+    let outcome = plan.execute_from(&bundle, &config, output.report);
+    if args.switch("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", blockoptr::report::render_outcome(&outcome));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -320,6 +447,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "watch" => cmd_watch(rest),
         "compare" => cmd_compare(rest),
+        "optimize" => cmd_optimize(rest),
         _ => return usage(),
     };
     match result {

@@ -27,9 +27,9 @@
 //! ## Entry points
 //!
 //! The engine is *session-based*: a cheap, cloneable
-//! [`Analyzer`](session::Analyzer) holds configuration, and a stateful
-//! [`Session`](session::Session) accepts blocks incrementally and produces
-//! [`Analysis`](pipeline::Analysis) snapshots on demand — O(new data) per
+//! [`Analyzer`] holds configuration, and a stateful
+//! [`Session`] accepts blocks incrementally and produces
+//! [`Analysis`] snapshots on demand — O(new data) per
 //! ingest, O(state) per snapshot, which is what a monitoring loop over a
 //! live chain needs.
 //!
@@ -40,8 +40,21 @@
 //! * Batch one-shot: [`Analyzer::analyze_ledger`](session::Analyzer::analyze_ledger)
 //!   (or `analyze_log` / `analyze_json`), all returning
 //!   `Result<_, AnalyzeError>`.
-//! * Paper-era façade: [`BlockOptR`](pipeline::BlockOptR) keeps the original
+//! * Paper-era façade: [`BlockOptR`] keeps the original
 //!   infallible batch signatures as thin wrappers over a one-shot session.
+//!
+//! ## Rule engine and the closed loop
+//!
+//! Detection runs through a pluggable rule engine: the nine paper rules
+//! live in [`recommend::rules`] as a [`RuleSet`]
+//! registry (user-extensible, per-rule enable/disable and threshold
+//! overrides via [`Analyzer::rules`](session::Analyzer::rules)). Every
+//! recommendation lowers to typed, serializable
+//! [`Action`]s, and an
+//! [`OptimizationPlan`] closes the paper's §4.5
+//! loop: apply the actions, re-run the workload, and report per-action
+//! before/after deltas as a [`PlanOutcome`] (the
+//! `blockoptr optimize` subcommand end to end).
 //!
 //! ### Migrating from `BlockOptR::analyze_log`
 //!
@@ -54,8 +67,9 @@
 //! ```
 //!
 //! Fallible paths (empty logs, malformed JSON, degenerate configuration)
-//! return [`AnalyzeError`](session::AnalyzeError) instead of panicking.
+//! return [`AnalyzeError`] instead of panicking.
 
+pub mod action;
 pub mod apply;
 pub mod autotune;
 pub mod caseid;
@@ -65,10 +79,12 @@ pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod recommend;
 pub mod report;
 pub mod session;
 
+pub use action::{Action, NetworkChange, ScheduleRewrite};
 pub use apply::{apply_system_level, apply_user_level};
 pub use autotune::auto_tune;
 pub use caseid::derive_case_ids;
@@ -76,16 +92,21 @@ pub use compliance::{verify_rollout, ComplianceReport};
 pub use eventlog::to_event_log;
 pub use log::{BlockchainLog, TxRecord};
 pub use pipeline::{Analysis, BlockOptR};
+pub use plan::{ActionOutcome, ActionResult, OptimizationPlan, PlanOutcome, PlannedAction};
+pub use recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
 pub use recommend::{Level, Recommendation, Thresholds};
 pub use session::{AnalyzeError, Analyzer, Session};
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
+    pub use crate::action::{Action, NetworkChange, ScheduleRewrite};
     pub use crate::apply::{apply_system_level, apply_user_level};
     pub use crate::autotune::auto_tune;
     pub use crate::compliance::{verify_rollout, ComplianceReport};
     pub use crate::log::BlockchainLog;
     pub use crate::pipeline::{Analysis, BlockOptR};
+    pub use crate::plan::{OptimizationPlan, PlanOutcome};
+    pub use crate::recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
     pub use crate::recommend::{Level, Recommendation, Thresholds};
     pub use crate::session::{AnalyzeError, Analyzer, Session};
     pub use chaincode;
@@ -94,5 +115,5 @@ pub mod prelude {
     pub use fabric_sim::sim::{SimOutput, Simulation, TxRequest};
     pub use fabric_sim::types::Value;
     pub use process_mining;
-    pub use workload::{self, WorkloadBundle};
+    pub use workload::{self, VariantKind, WorkloadBundle};
 }

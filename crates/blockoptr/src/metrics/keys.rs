@@ -16,7 +16,58 @@
 use crate::log::BlockchainLog;
 use crate::metrics::MetricConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Incremental hotkey-candidate index for streaming sessions: keys bucketed
+/// by failure count, kept in sync with [`KeyMetrics::kfreq`] one O(log n)
+/// move per failed access. Selecting the hotkey set walks the buckets from
+/// the highest count down and stops at the threshold — O(k + log n) for k
+/// hotkeys instead of the O(distinct failed keys) full scan
+/// [`KeyMetrics::select_hotkeys`] performs.
+///
+/// Lives *next to* [`KeyMetrics`] (in the session tracker) rather than
+/// inside it: the index is derivable state and must not enter the
+/// serialized metrics. `Arc`-shared so forking a session stays cheap.
+#[derive(Debug, Clone, Default)]
+pub struct HotkeyIndex {
+    by_count: Arc<BTreeMap<usize, BTreeSet<String>>>,
+}
+
+impl HotkeyIndex {
+    /// Record that `key`'s failure count moved from `old_count` to
+    /// `old_count + 1`.
+    pub fn observe(&mut self, key: &str, old_count: usize) {
+        let index = Arc::make_mut(&mut self.by_count);
+        if old_count > 0 {
+            if let Some(bucket) = index.get_mut(&old_count) {
+                bucket.remove(key);
+                if bucket.is_empty() {
+                    index.remove(&old_count);
+                }
+            }
+        }
+        index
+            .entry(old_count + 1)
+            .or_default()
+            .insert(key.to_string());
+    }
+
+    /// The hotkey set `HK` under `config`, ordered by failure count
+    /// descending then key ascending — the same selection (and order) as
+    /// [`KeyMetrics::select_hotkeys`], at O(k + log n).
+    pub fn select(&self, total_failures: usize, config: &MetricConfig) -> Vec<String> {
+        if total_failures < config.min_failures_for_hotkeys {
+            return Vec::new();
+        }
+        let threshold = ((config.hotkey_share * total_failures as f64).ceil() as usize).max(1);
+        let mut hot = Vec::new();
+        for (_, bucket) in self.by_count.range(threshold..).rev() {
+            hot.extend(bucket.iter().cloned());
+        }
+        hot
+    }
+}
 
 /// Per-key failure statistics and the derived hotkey set.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -59,6 +110,16 @@ impl KeyMetrics {
                 .entry(r.activity.clone())
                 .or_insert(0) += 1;
         }
+    }
+
+    /// Fold one **failed** transaction into the counters while keeping a
+    /// [`HotkeyIndex`] in lockstep (the streaming path: the index makes
+    /// snapshot-time hotkey selection O(k + log n)).
+    pub fn observe_failure_indexed(&mut self, r: &crate::log::TxRecord, index: &mut HotkeyIndex) {
+        for key in r.rwset.all_keys() {
+            index.observe(key, self.kfreq_of(key));
+        }
+        self.observe_failure(r);
     }
 
     /// Re-derive the hotkey set `HK` from the current counters.
@@ -237,6 +298,53 @@ mod tests {
         );
         assert!(!m.has_hotkeys());
         assert_eq!(m.total_failures, 1);
+    }
+
+    /// Fold a record stream through both paths and compare: the batch scan
+    /// and the incremental index must select identical hotkey sets (same
+    /// keys, same order) at every prefix.
+    #[test]
+    fn incremental_index_matches_batch_selection() {
+        let configs = [
+            config(),
+            MetricConfig {
+                hotkey_share: 0.3,
+                min_failures_for_hotkeys: 2,
+                ..Default::default()
+            },
+            MetricConfig {
+                min_failures_for_hotkeys: 50,
+                ..Default::default()
+            },
+        ];
+        // A skewed stream over a handful of keys, some read+write overlap.
+        let keys = ["a", "b", "c", "d", "e"];
+        let mut records = Vec::new();
+        for i in 0..120usize {
+            let k = keys[(i * i + i / 3) % keys.len()];
+            let k2 = keys[(i / 2) % keys.len()];
+            records.push(
+                Rec::new(i, "act")
+                    .reads(&[k])
+                    .writes(&[k2])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+            );
+        }
+        for cfg in &configs {
+            let mut incremental = KeyMetrics::default();
+            let mut index = HotkeyIndex::default();
+            let mut batch = KeyMetrics::default();
+            for (i, r) in records.iter().enumerate() {
+                incremental.observe_failure_indexed(r, &mut index);
+                batch.observe_failure(r);
+                if i % 17 == 0 || i + 1 == records.len() {
+                    batch.select_hotkeys(cfg);
+                    let from_index = index.select(incremental.total_failures, cfg);
+                    assert_eq!(from_index, batch.hotkeys, "prefix {i}, {cfg:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub use block::BlockMetrics;
 pub use correlation::{CorrelationMetrics, CorrelationTracker};
 pub use endorser::EndorserMetrics;
 pub use invoker::InvokerMetrics;
-pub use keys::KeyMetrics;
+pub use keys::{HotkeyIndex, KeyMetrics};
 pub use rates::{RateMetrics, RateTracker};
 
 use crate::log::BlockchainLog;

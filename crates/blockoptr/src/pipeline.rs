@@ -142,7 +142,7 @@ impl Analysis {
     }
 
     /// Recommendation names, for quick assertions and table rendering.
-    pub fn recommendation_names(&self) -> Vec<&'static str> {
+    pub fn recommendation_names(&self) -> Vec<&str> {
         self.recommendations.iter().map(|r| r.name()).collect()
     }
 

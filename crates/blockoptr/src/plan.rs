@@ -1,0 +1,466 @@
+//! The closed optimization loop (paper §4.5 + Table 4 + §6's figures) as a
+//! first-class API.
+//!
+//! The paper's workflow does not stop at recommending: each recommendation
+//! is *implemented*, the workload is *re-run*, and the improvement is
+//! *measured* (§4.5: "the user implements them … and verifies the effect").
+//! [`OptimizationPlan`] packages that loop:
+//!
+//! 1. lower an [`Analysis`]'s recommendations to typed
+//!    [`Action`]s ([`OptimizationPlan::from_analysis`]);
+//! 2. [`execute`](OptimizationPlan::execute) against the workload bundle
+//!    and network configuration that produced the log: run the baseline,
+//!    re-run with each action applied alone, then with all actions
+//!    combined;
+//! 3. read the [`PlanOutcome`]: per-action before/after success-rate,
+//!    latency, and throughput deltas — the Table 4 → Figures 13–17 loop.
+//!
+//! Contract-level actions ([`Action::SelectContractVariant`]) apply only
+//! when the workload ships a prepared rewrite
+//! ([`WorkloadBundle::supports_variant`]); otherwise the outcome records
+//! them as [`ActionResult::ManualRequired`] — the paper's §7 caveat that
+//! smart-contract changes "need to be manually implemented by the user".
+//!
+//! ```no_run
+//! use blockoptr::plan::OptimizationPlan;
+//! use blockoptr::session::Analyzer;
+//! use workload::scm;
+//!
+//! let bundle = scm::generate(&scm::ScmSpec::default());
+//! let config = fabric_sim::config::NetworkConfig::default();
+//! let output = bundle.run(config.clone());
+//! let analysis = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
+//!
+//! let plan = OptimizationPlan::from_analysis(&analysis);
+//! let outcome = plan.execute(&bundle, &config);
+//! for action in &outcome.actions {
+//!     println!(
+//!         "{}: Δ success rate {:+.1} points",
+//!         action.action.describe(),
+//!         action.success_rate_delta(&outcome.baseline).unwrap_or(0.0)
+//!     );
+//! }
+//! ```
+
+use crate::action::Action;
+use crate::pipeline::Analysis;
+use crate::recommend::Recommendation;
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::report::SimReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use workload::{VariantKind, WorkloadBundle};
+
+/// One action with the recommendation that motivated it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedAction {
+    /// Name of the source recommendation (paper vocabulary, e.g.
+    /// `"Activity reordering"`).
+    pub source: String,
+    /// The concrete change.
+    pub action: Action,
+}
+
+/// An ordered set of optimization actions lowered from an analysis.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OptimizationPlan {
+    /// The planned actions, in recommendation order.
+    pub actions: Vec<PlannedAction>,
+}
+
+/// How one action fared when applied alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionResult {
+    /// The action was applied and the workload re-run (the outcome
+    /// carries the re-run's report).
+    Applied,
+    /// The action selects a contract variant the workload ships no
+    /// prepared rewrite for (paper §7: manual implementation required).
+    ManualRequired,
+}
+
+/// Outcome of one action within a plan execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActionOutcome {
+    /// Name of the source recommendation.
+    pub source: String,
+    /// The change that was applied (or skipped).
+    pub action: Action,
+    /// What happened.
+    pub result: ActionResult,
+    /// The re-run's report; present exactly when `result` is
+    /// [`ActionResult::Applied`].
+    pub after: Option<SimReport>,
+}
+
+impl ActionOutcome {
+    /// The re-run report, when the action was applied.
+    pub fn report(&self) -> Option<&SimReport> {
+        self.after.as_ref()
+    }
+
+    /// Success-rate change vs the baseline, in percentage points.
+    pub fn success_rate_delta(&self, baseline: &SimReport) -> Option<f64> {
+        self.report()
+            .map(|r| r.success_rate_pct - baseline.success_rate_pct)
+    }
+
+    /// Average-latency change vs the baseline, in seconds (negative =
+    /// faster).
+    pub fn latency_delta(&self, baseline: &SimReport) -> Option<f64> {
+        self.report()
+            .map(|r| r.avg_latency_s - baseline.avg_latency_s)
+    }
+
+    /// Success-throughput change vs the baseline, in tx/s.
+    pub fn throughput_delta(&self, baseline: &SimReport) -> Option<f64> {
+        self.report()
+            .map(|r| r.success_throughput - baseline.success_throughput)
+    }
+}
+
+/// Everything one plan execution measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// The unmodified workload's report (the "W/O" row of every figure).
+    pub baseline: SimReport,
+    /// One outcome per planned action, applied alone.
+    pub actions: Vec<ActionOutcome>,
+    /// All applicable actions together (the figures' "all optimizations"
+    /// row). `None` when no action could be applied.
+    pub combined: Option<SimReport>,
+}
+
+impl PlanOutcome {
+    /// Whether any applied action (or the combination) raised the success
+    /// rate over the baseline.
+    pub fn improved(&self) -> bool {
+        let base = self.baseline.success_rate_pct;
+        self.combined
+            .iter()
+            .map(|r| r.success_rate_pct)
+            .chain(
+                self.actions
+                    .iter()
+                    .filter_map(|a| a.report().map(|r| r.success_rate_pct)),
+            )
+            .any(|rate| rate > base)
+    }
+}
+
+impl OptimizationPlan {
+    /// Lower every recommendation of an analysis to its actions.
+    pub fn from_analysis(analysis: &Analysis) -> OptimizationPlan {
+        OptimizationPlan::from_recommendations(&analysis.recommendations)
+    }
+
+    /// Lower a recommendation list to its actions.
+    pub fn from_recommendations(recommendations: &[Recommendation]) -> OptimizationPlan {
+        OptimizationPlan {
+            actions: recommendations
+                .iter()
+                .flat_map(|rec| {
+                    rec.actions().into_iter().map(|action| PlannedAction {
+                        source: rec.name().to_string(),
+                        action,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Keep only the actions lowered from the named recommendations
+    /// (figures evaluate one optimization at a time before combining).
+    pub fn select(mut self, sources: &[&str]) -> OptimizationPlan {
+        self.actions
+            .retain(|a| sources.contains(&a.source.as_str()));
+        self
+    }
+
+    /// Number of planned actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Apply every applicable action to `(bundle, config)` without running
+    /// anything: schedule rewrites in plan order, then configuration
+    /// changes, then the contract-variant set through the bundle's
+    /// resolver. Returns the transformed pair and the variants that could
+    /// not be applied.
+    ///
+    /// Variants are always applied as a *set* (after dropping kinds the
+    /// workload ships no rewrite for): single-variant rewrites rebuild the
+    /// contract list wholesale, so applying them sequentially would
+    /// silently discard earlier rewrites. A supported combination the
+    /// resolver cannot build is therefore reported manual in full, never
+    /// mis-composed.
+    pub fn transform(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+    ) -> (WorkloadBundle, NetworkConfig, Vec<VariantKind>) {
+        let mut out_bundle = bundle.clone();
+        let mut out_config = config.clone();
+        let mut variants = BTreeSet::new();
+        for planned in &self.actions {
+            if let Some(requests) = planned.action.apply_to_schedule(&out_bundle.requests) {
+                out_bundle = out_bundle.with_requests(requests);
+            } else if let Some(cfg) = planned.action.apply_to_config(&out_config) {
+                out_config = cfg;
+            } else if let Some(kind) = planned.action.variant() {
+                variants.insert(kind);
+            }
+        }
+        // Kinds without a prepared rewrite are manual up front; the rest
+        // must resolve as one set.
+        let supported: BTreeSet<VariantKind> = variants
+            .iter()
+            .copied()
+            .filter(|k| out_bundle.supports_variant(*k))
+            .collect();
+        let mut manual: Vec<VariantKind> = variants.difference(&supported).copied().collect();
+        if !supported.is_empty() {
+            match out_bundle.apply_variants(&supported) {
+                Some(rewritten) => out_bundle = rewritten,
+                // The workload ships each kind but not this combination:
+                // composing the single rewrites would drop all but the
+                // last, so the whole combination is manual (paper §7).
+                None => manual.extend(supported),
+            }
+        }
+        manual.sort_unstable();
+        (out_bundle, out_config, manual)
+    }
+
+    /// Execute the closed loop: run the baseline, re-run with each action
+    /// applied alone, then with all applicable actions combined.
+    ///
+    /// Simulation runs are deterministic (the configuration carries the
+    /// seed), so the deltas measure the optimizations, not run-to-run
+    /// noise.
+    pub fn execute(&self, bundle: &WorkloadBundle, config: &NetworkConfig) -> PlanOutcome {
+        self.execute_from(bundle, config, bundle.run(config.clone()).report)
+    }
+
+    /// Like [`execute`](Self::execute) but reusing an already-measured
+    /// baseline report for `(bundle, config)` — the common case when the
+    /// plan was lowered from an analysis of that very run.
+    pub fn execute_from(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+        baseline: SimReport,
+    ) -> PlanOutcome {
+        let mut actions = Vec::with_capacity(self.actions.len());
+        let mut any_applied = false;
+        for planned in &self.actions {
+            let after = if let Some(requests) = planned.action.apply_to_schedule(&bundle.requests) {
+                Some(
+                    bundle
+                        .clone()
+                        .with_requests(requests)
+                        .run(config.clone())
+                        .report,
+                )
+            } else if let Some(cfg) = planned.action.apply_to_config(config) {
+                Some(bundle.run(cfg).report)
+            } else if let Some(kind) = planned.action.variant() {
+                let single: BTreeSet<VariantKind> = [kind].into_iter().collect();
+                bundle
+                    .apply_variants(&single)
+                    .map(|rewritten| rewritten.run(config.clone()).report)
+            } else {
+                None
+            };
+            let result = if after.is_some() {
+                ActionResult::Applied
+            } else {
+                ActionResult::ManualRequired
+            };
+            any_applied |= after.is_some();
+            actions.push(ActionOutcome {
+                source: planned.source.clone(),
+                action: planned.action.clone(),
+                result,
+                after,
+            });
+        }
+        let combined = if any_applied {
+            let (all_bundle, all_config, _manual) = self.transform(bundle, config);
+            Some(all_bundle.run(all_config).report)
+        } else {
+            None
+        };
+        PlanOutcome {
+            baseline,
+            actions,
+            combined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ScheduleRewrite;
+    use crate::pipeline::BlockOptR;
+    use workload::scm;
+    use workload::spec::ControlVariables;
+
+    fn scm_setup() -> (WorkloadBundle, NetworkConfig, Analysis) {
+        // 6 000 transactions: the same regime the directional
+        // optimization-effects tests use (pruning's benefit needs enough
+        // anomalous flows to outweigh its extra early-abort latency).
+        let spec = scm::ScmSpec {
+            transactions: 6_000,
+            ..Default::default()
+        };
+        let bundle = scm::generate(&spec);
+        let config = NetworkConfig::default();
+        let output = bundle.run(config.clone());
+        let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+        (bundle, config, analysis)
+    }
+
+    #[test]
+    fn scm_plan_lowers_the_expected_actions() {
+        let (_, _, analysis) = scm_setup();
+        let plan = OptimizationPlan::from_analysis(&analysis);
+        let sources: Vec<&str> = plan.actions.iter().map(|a| a.source.as_str()).collect();
+        assert!(sources.contains(&"Activity reordering"), "{sources:?}");
+        assert!(sources.contains(&"Transaction rate control"), "{sources:?}");
+        assert!(sources.contains(&"Process model pruning"), "{sources:?}");
+        // Selection filters by source.
+        let only = plan.clone().select(&["Transaction rate control"]);
+        assert_eq!(only.len(), 1);
+        assert!(matches!(
+            only.actions[0].action,
+            Action::RewriteSchedule(ScheduleRewrite::Throttle { .. })
+        ));
+    }
+
+    #[test]
+    fn scm_closed_loop_reproduces_the_improvement_direction() {
+        let (bundle, config, analysis) = scm_setup();
+        let plan = OptimizationPlan::from_analysis(&analysis).select(&[
+            "Activity reordering",
+            "Transaction rate control",
+            "Process model pruning",
+        ]);
+        let outcome = plan.execute(&bundle, &config);
+        assert!(outcome.improved(), "at least one optimization helps");
+        for action in &outcome.actions {
+            let report = action.report().expect("all SCM actions are applicable");
+            // Figure 13's direction: every single optimization raises the
+            // success rate.
+            assert!(
+                report.success_rate_pct > outcome.baseline.success_rate_pct,
+                "{}: {} → {}",
+                action.action.describe(),
+                outcome.baseline.success_rate_pct,
+                report.success_rate_pct
+            );
+        }
+        let combined = outcome.combined.as_ref().expect("actions applied");
+        assert!(
+            combined.success_rate_pct > outcome.baseline.success_rate_pct + 5.0,
+            "all optimizations together beat the baseline clearly: {} → {}",
+            outcome.baseline.success_rate_pct,
+            combined.success_rate_pct
+        );
+    }
+
+    #[test]
+    fn unsupported_variants_are_reported_as_manual() {
+        // The synthetic workload ships no contract rewrites.
+        let cv = ControlVariables {
+            transactions: 1_000,
+            ..Default::default()
+        };
+        let bundle = workload::synthetic::generate(&cv);
+        let config = cv.network_config();
+        let plan = OptimizationPlan::from_recommendations(&[Recommendation::DeltaWrites {
+            activities: vec![("update".into(), 9)],
+        }]);
+        let outcome = plan.execute(&bundle, &config);
+        assert_eq!(outcome.actions.len(), 1);
+        assert!(matches!(
+            outcome.actions[0].result,
+            ActionResult::ManualRequired
+        ));
+        assert!(outcome.actions[0].report().is_none());
+        assert!(outcome.combined.is_none(), "nothing was applicable");
+        assert!(!outcome.improved());
+    }
+
+    #[test]
+    fn transform_composes_schedule_config_and_variants() {
+        let (bundle, config, analysis) = scm_setup();
+        let plan = OptimizationPlan::from_analysis(&analysis);
+        let (new_bundle, new_config, manual) = plan.transform(&bundle, &config);
+        assert!(manual.is_empty(), "{manual:?}");
+        // Rate control re-spaced the schedule (same multiset, longer span).
+        assert_eq!(new_bundle.len(), bundle.len());
+        // Block size adaptation fired for the default SCM demo, so the
+        // config changed; the contract was swapped for the pruned variant.
+        assert_ne!(new_config.block_count, config.block_count);
+    }
+
+    #[test]
+    fn transform_resolves_supported_combos_despite_manual_kinds() {
+        use workload::drm;
+        let spec = drm::DrmSpec {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let bundle = drm::generate(&spec);
+        let config = NetworkConfig::default();
+        // Pruned is not shipped by DRM; the other two are — and their
+        // combination resolves to the Figure-14 partitioned-delta contract
+        // set. The unsupported kind must not degrade the combo to
+        // sequentially applied singles (which would silently drop the
+        // delta rewrite).
+        let plan = OptimizationPlan::from_recommendations(&[
+            Recommendation::ProcessModelPruning { anomalous: vec![] },
+            Recommendation::DeltaWrites {
+                activities: vec![("play".into(), 9)],
+            },
+            Recommendation::SmartContractPartitioning { hotkeys: vec![] },
+        ]);
+        let (transformed, cfg, manual) = plan.transform(&bundle, &config);
+        assert_eq!(manual, vec![VariantKind::Pruned]);
+        // Deterministic runs: the transformed bundle must behave exactly
+        // like the explicit partitioned-delta combo, and differently from
+        // partitioned-only.
+        let expected = drm::partitioned_delta(bundle.clone(), &spec)
+            .run(config.clone())
+            .report;
+        let got = transformed.run(cfg).report;
+        assert_eq!(got.successes, expected.successes);
+        assert_eq!(got.mvcc_conflicts, expected.mvcc_conflicts);
+        let partitioned_only = drm::partitioned(bundle, &spec).run(config).report;
+        assert_ne!(
+            got.successes, partitioned_only.successes,
+            "delta rewrite was not discarded"
+        );
+    }
+
+    #[test]
+    fn plan_outcome_round_trips_through_json() {
+        let (bundle, config, analysis) = scm_setup();
+        let plan = OptimizationPlan::from_analysis(&analysis).select(&["Transaction rate control"]);
+        let outcome = plan.execute(&bundle, &config);
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: PlanOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.actions.len(), outcome.actions.len());
+        assert_eq!(
+            back.baseline.success_rate_pct,
+            outcome.baseline.success_rate_pct
+        );
+    }
+}

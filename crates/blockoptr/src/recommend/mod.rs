@@ -1,18 +1,81 @@
-//! The nine optimization recommendations (paper §4.4, Table 1).
+//! The multi-level recommendation engine (paper §4.4, Table 1).
 //!
-//! | Level | Recommendation | Necessary condition (as implemented) |
+//! Detection is organized as a **pluggable rule engine**: every
+//! recommendation is produced by a [`Rule`] — a small, stateless
+//! detector with an id, an abstraction [`Level`], and a
+//! [`detect`](rules::Rule::detect) method over the derived [`Metrics`] — and
+//! the rules run through a [`RuleSet`] registry. The default
+//! registry, [`RuleSet::paper`](rules::RuleSet::paper), carries the paper's
+//! nine-rule catalogue, one module each under [`rules`]:
+//!
+//! | Level | Rule (module) | Necessary condition (as implemented) |
 //! |---|---|---|
-//! | user | Activity reordering | ≥ `reorder_share` of read-conflicts stem from pairs with `corDV = 1 ∧ WS(x) ∩ WS(y) = ∅` |
-//! | user | Process model pruning | an activity has both writing and read-only executions (`A(x) = A(y) ∧ TT(x) ≠ TT(y)`) |
-//! | user | Transaction rate control | ∃ interval: `Trdᵢ ≥ Rt1 ∧ Frdᵢ ≥ Trdᵢ · Rt2` |
-//! | data | Delta writes | adjacent failed single-key writes differing by ±1 (`corPA = 1 ∧ ST = MRC ∧ |WS| = 1 ∧ WS ± 1`) |
-//! | data | Smart contract partitioning | hotkey with `Ksig > 1` (and more than one hotkey) |
-//! | data | Data model alteration | `|HK| = 1`, or hotkeys with `Ksig = 1` |
-//! | system | Block size adaptation | `|Bsizeavg − Tr| > Bt · Tr` |
-//! | system | Endorser restructuring | some org's endorsement share > `(1 + Et) ·` even share |
-//! | system | Client resource boost | some org invokes > `It` of all transactions |
+//! | user | [`rules::reordering`] | ≥ `reorder_share` of read-conflicts stem from pairs with `corDV = 1 ∧ WS(x) ∩ WS(y) = ∅` |
+//! | user | [`rules::pruning`] | an activity has both writing and read-only executions (`A(x) = A(y) ∧ TT(x) ≠ TT(y)`) |
+//! | user | [`rules::rate_control`] | ∃ interval: `Trdᵢ ≥ Rt1 ∧ Frdᵢ ≥ Trdᵢ · Rt2` |
+//! | data | [`rules::delta_writes`] | adjacent failed single-key writes differing by ±1 (`corPA = 1 ∧ ST = MRC ∧ |WS| = 1 ∧ WS ± 1`) |
+//! | data | [`rules::partitioning`] | hotkey with `Ksig > 1` (and more than one hotkey) |
+//! | data | [`rules::data_model`] | `|HK| = 1`, or hotkeys with `Ksig = 1` |
+//! | system | [`rules::block_size`] | `|Bsizeavg − Tr| > Bt · Tr` |
+//! | system | [`rules::endorser`] | some org's endorsement share > `(1 + Et) ·` even share |
+//! | system | [`rules::client_boost`] | some org invokes > `It` of all transactions |
 //!
 //! Defaults follow §6: `Et = 0.5, Rt1 = 300, Rt2 = 0.3, Bt = 0.6, It = 0.5`.
+//!
+//! The registry is open: deployments plug their own rules in next to the
+//! paper catalogue, disable individual rules, or override thresholds
+//! per rule — all through the [`Analyzer`](crate::session::Analyzer)
+//! builder, so streaming [`Session`](crate::session::Session)s evaluate the
+//! same registry on every snapshot.
+//!
+//! ```
+//! use blockoptr::recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
+//! use blockoptr::recommend::Level;
+//! use blockoptr::session::Analyzer;
+//! use std::sync::Arc;
+//!
+//! /// A deployment-specific rule: flag logs that outgrow a volume budget.
+//! #[derive(Debug)]
+//! struct VolumeAlarm {
+//!     budget: usize,
+//! }
+//!
+//! impl Rule for VolumeAlarm {
+//!     fn id(&self) -> &str {
+//!         "volume-alarm"
+//!     }
+//!     fn level(&self) -> Level {
+//!         Level::System
+//!     }
+//!     fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+//!         if ctx.metrics.rates.total > self.budget {
+//!             vec![Finding::custom(
+//!                 self,
+//!                 "Volume alarm",
+//!                 format!(
+//!                     "{} transactions exceed the {}-tx budget",
+//!                     ctx.metrics.rates.total, self.budget
+//!                 ),
+//!             )]
+//!         } else {
+//!             Vec::new()
+//!         }
+//!     }
+//! }
+//!
+//! let cv = workload::spec::ControlVariables {
+//!     transactions: 500,
+//!     ..Default::default()
+//! };
+//! let output = workload::synthetic::generate(&cv).run(cv.network_config());
+//!
+//! let rules = RuleSet::paper().with_rule(Arc::new(VolumeAlarm { budget: 100 }));
+//! let analysis = Analyzer::new()
+//!     .rules(rules)
+//!     .analyze_ledger(&output.ledger)
+//!     .unwrap();
+//! assert!(analysis.recommends("Volume alarm"));
+//! ```
 
 use crate::log::BlockchainLog;
 use crate::metrics::Metrics;
@@ -20,6 +83,10 @@ use fabric_sim::types::TxType;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+
+pub mod rules;
+
+pub use rules::{Finding, Rule, RuleCtx, RuleSet};
 
 /// Abstraction level of a recommendation (paper Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -166,6 +233,19 @@ pub enum Recommendation {
         /// Its invocation share.
         share: f64,
     },
+    /// A finding produced by a user-defined [`Rule`] outside
+    /// the paper catalogue. It flows through reports, filters, and
+    /// compliance checks like any built-in recommendation; implementing it
+    /// is up to the deployment (no [`Action`](crate::action::Action)
+    /// lowering exists for it).
+    Custom {
+        /// Display name (the paper rules use their Table 1 names here).
+        name: String,
+        /// Abstraction level the rule assigned.
+        level: Level,
+        /// Human-readable evidence.
+        rationale: String,
+    },
 }
 
 impl Recommendation {
@@ -181,11 +261,13 @@ impl Recommendation {
             Recommendation::BlockSizeAdaptation { .. }
             | Recommendation::EndorserRestructuring { .. }
             | Recommendation::ClientResourceBoost { .. } => Level::System,
+            Recommendation::Custom { level, .. } => *level,
         }
     }
 
-    /// Short name matching the paper's vocabulary.
-    pub fn name(&self) -> &'static str {
+    /// Short name matching the paper's vocabulary (custom findings report
+    /// the name their rule chose).
+    pub fn name(&self) -> &str {
         match self {
             Recommendation::ActivityReordering { .. } => "Activity reordering",
             Recommendation::ProcessModelPruning { .. } => "Process model pruning",
@@ -196,6 +278,7 @@ impl Recommendation {
             Recommendation::BlockSizeAdaptation { .. } => "Block size adaptation",
             Recommendation::EndorserRestructuring { .. } => "Endorser restructuring",
             Recommendation::ClientResourceBoost { .. } => "Client resource boost",
+            Recommendation::Custom { name, .. } => name,
         }
     }
 
@@ -288,6 +371,7 @@ impl Recommendation {
                 "{org} invokes {:.0} % of transactions; scale its clients",
                 share * 100.0
             ),
+            Recommendation::Custom { rationale, .. } => rationale.clone(),
         }
     }
 }
@@ -315,179 +399,37 @@ pub fn observe_activity_type(hist: &mut ActivityTypeHistogram, activity: &str, t
         .or_insert(0) += 1;
 }
 
-/// Evaluate all nine rules.
+/// Evaluate the paper's nine-rule catalogue against a full log.
+///
+/// Convenience wrapper over [`RuleSet::paper`]; use a custom
+/// [`RuleSet`] (through [`Analyzer::rules`](crate::session::Analyzer::rules)
+/// or [`RuleSet::evaluate`]) to extend, disable, or re-threshold rules.
 pub fn recommend(
     log: &BlockchainLog,
     metrics: &Metrics,
     thresholds: &Thresholds,
 ) -> Vec<Recommendation> {
-    recommend_from_parts(&activity_type_histogram(log), metrics, thresholds)
+    RuleSet::paper().recommendations(&RuleCtx {
+        metrics,
+        thresholds,
+        type_hist: &activity_type_histogram(log),
+        log: Some(log),
+    })
 }
 
-/// Evaluate all nine rules from pre-aggregated inputs — the streaming entry
-/// point: every input here is O(state), none is O(log).
+/// Evaluate the paper catalogue from pre-aggregated inputs — the streaming
+/// entry point: every input here is O(state), none is O(log).
 pub fn recommend_from_parts(
     type_hist: &ActivityTypeHistogram,
     metrics: &Metrics,
     thresholds: &Thresholds,
 ) -> Vec<Recommendation> {
-    let mut out = Vec::new();
-
-    // (1) Activity reordering. Two triggers (paper §6.1.5 uses the global
-    // 40 % rule; §6.2 reorders specific read activities even when hot-key
-    // self-conflicts dominate globally — the per-activity tier):
-    //   (a) globally, ≥ `reorder_share` of read conflicts are reorderable;
-    //   (b) the activities whose own conflicts are mostly (≥ 60 %)
-    //       reorderable together account for ≥ `reorder_share`/2 of all
-    //       read conflicts.
-    let corr = &metrics.correlation;
-    if corr.read_conflicts >= thresholds.min_conflicts {
-        let global = corr.reorderable_share() >= thresholds.reorder_share;
-        let qualifying: usize = corr
-            .activity_conflicts
-            .values()
-            .filter(|(total, reord)| *total > 0 && (*reord as f64) >= 0.6 * (*total as f64))
-            .map(|(total, _)| *total)
-            .sum();
-        let targeted =
-            qualifying as f64 / corr.read_conflicts as f64 >= thresholds.reorder_share / 2.0;
-        if global || targeted {
-            out.push(Recommendation::ActivityReordering {
-                pairs: corr.top_reorderable_pairs().into_iter().take(8).collect(),
-                share: corr.reorderable_share(),
-            });
-        }
-    }
-
-    // (2) Process model pruning: per-activity type histograms.
-    let mut anomalous = Vec::new();
-    for (activity, hist) in type_hist {
-        let reads = hist.get(&TxType::Read).copied().unwrap_or(0);
-        let writes: usize = hist
-            .iter()
-            .filter(|(t, _)| !matches!(t, TxType::Read | TxType::RangeRead))
-            .map(|(_, c)| *c)
-            .sum();
-        // An activity that both writes and commits read-only executions
-        // deviates from its expected behaviour (Table 1: A(x) = A(y) and
-        // TT(x) != TT(y)); either side may dominate — under heavy failure
-        // cascades most executions degenerate to the read-only path.
-        if writes >= thresholds.min_anomalies && reads >= thresholds.min_anomalies {
-            let (dominant_type, dominant_count) = hist
-                .iter()
-                .filter(|(t, _)| !matches!(t, TxType::Read))
-                .max_by_key(|(_, c)| **c)
-                .map(|(t, c)| (t.to_string(), *c))
-                .unwrap_or_default();
-            anomalous.push(AnomalousActivity {
-                activity: activity.to_string(),
-                dominant_type,
-                dominant_count,
-                anomalous_count: reads,
-            });
-        }
-    }
-    if !anomalous.is_empty() {
-        out.push(Recommendation::ProcessModelPruning { anomalous });
-    }
-
-    // (3) Transaction rate control.
-    let rates = &metrics.rates;
-    let mut fired_intervals = Vec::new();
-    let mut peak = 0.0f64;
-    for i in 0..rates.intervals() {
-        let rate = rates.rate_in(i);
-        let fail = rates.failure_rate_in(i);
-        peak = peak.max(rate);
-        if rate >= thresholds.rt1 && fail >= rate * thresholds.rt2 {
-            fired_intervals.push(i);
-        }
-    }
-    if !fired_intervals.is_empty() {
-        out.push(Recommendation::TransactionRateControl {
-            intervals: fired_intervals,
-            peak_rate: peak,
-            suggested_rate: thresholds.controlled_rate,
-        });
-    }
-
-    // (4) Delta writes.
-    let deltas: Vec<(String, usize)> = corr
-        .delta_candidates
-        .iter()
-        .filter(|(_, &n)| n >= thresholds.min_delta_pairs)
-        .map(|(a, &n)| (a.clone(), n))
-        .collect();
-    if !deltas.is_empty() {
-        out.push(Recommendation::DeltaWrites { activities: deltas });
-    }
-
-    // (5) + (6) Hotkey-driven data-level rules.
-    let keys = &metrics.keys;
-    if keys.has_hotkeys() {
-        let described: Vec<(String, Vec<String>)> = keys
-            .hotkeys
-            .iter()
-            .map(|k| (k.clone(), keys.significant_activities(k)))
-            .collect();
-        if keys.hotkeys.len() == 1 {
-            out.push(Recommendation::DataModelAlteration {
-                hotkeys: described,
-                single_hotkey: true,
-            });
-        } else if described.iter().any(|(_, acts)| acts.len() > 1) {
-            out.push(Recommendation::SmartContractPartitioning {
-                hotkeys: described
-                    .into_iter()
-                    .filter(|(_, acts)| acts.len() > 1)
-                    .collect(),
-            });
-        } else {
-            out.push(Recommendation::DataModelAlteration {
-                hotkeys: described,
-                single_hotkey: false,
-            });
-        }
-    }
-
-    // (7) Block size adaptation.
-    let block = &metrics.block;
-    if block.blocks >= 5 && rates.tr > 0.0 {
-        let mismatch = (block.avg_block_size - rates.tr).abs();
-        if mismatch > thresholds.bt * rates.tr {
-            out.push(Recommendation::BlockSizeAdaptation {
-                current_avg: block.avg_block_size,
-                tr: rates.tr,
-                suggested_count: rates.tr.round() as usize,
-            });
-        }
-    }
-
-    // (8) Endorser restructuring.
-    let endorsers = &metrics.endorsers;
-    let even = endorsers.even_share();
-    if even > 0.0 {
-        let shares = endorsers.org_shares();
-        let overloaded: Vec<String> = shares
-            .iter()
-            .filter(|(_, s)| *s > (1.0 + thresholds.et) * even)
-            .map(|(o, _)| o.clone())
-            .collect();
-        if !overloaded.is_empty() {
-            out.push(Recommendation::EndorserRestructuring { shares, overloaded });
-        }
-    }
-
-    // (9) Client resource boost.
-    let invokers = &metrics.invokers;
-    if let Some((org, share)) = invokers.org_shares().into_iter().next() {
-        if share > thresholds.it + 0.05 {
-            out.push(Recommendation::ClientResourceBoost { org, share });
-        }
-    }
-
-    out.sort_by_key(|r| (r.level(), r.name()));
-    out
+    RuleSet::paper().recommendations(&RuleCtx {
+        metrics,
+        thresholds,
+        type_hist,
+        log: None,
+    })
 }
 
 /// Whether a recommendation list contains a given rule (by name).
@@ -835,6 +777,19 @@ mod tests {
         assert!(r.rationale().contains("play"));
         assert_eq!(Level::User.to_string(), "user");
         assert_eq!(Level::System.to_string(), "system");
+    }
+
+    #[test]
+    fn custom_recommendations_carry_their_own_identity() {
+        let r = Recommendation::Custom {
+            name: "Volume alarm".into(),
+            level: Level::System,
+            rationale: "too many transactions".into(),
+        };
+        assert_eq!(r.name(), "Volume alarm");
+        assert_eq!(r.level(), Level::System);
+        assert_eq!(r.rationale(), "too many transactions");
+        assert!(contains(&[r], "Volume alarm"));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Block size adaptation (system level, Table 1).
+//!
+//! Fires when the realized block size mismatches the transaction rate:
+//! `|Bsizeavg − Tr| > Bt · Tr`.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Minimum observed blocks before the average is trusted.
+const MIN_BLOCKS: usize = 5;
+
+/// Detects block-count settings that mismatch the observed rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockSizeAdaptation;
+
+impl Rule for BlockSizeAdaptation {
+    fn id(&self) -> &str {
+        "block-size-adaptation"
+    }
+
+    fn level(&self) -> Level {
+        Level::System
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let block = &ctx.metrics.block;
+        let tr = ctx.metrics.rates.tr;
+        if block.blocks < MIN_BLOCKS || tr <= 0.0 {
+            return Vec::new();
+        }
+        let mismatch = (block.avg_block_size - tr).abs();
+        if mismatch <= ctx.thresholds.bt * tr {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::BlockSizeAdaptation {
+                current_avg: block.avg_block_size,
+                tr,
+                // Sub-1 tps rates would otherwise round to an invalid
+                // block count of 0.
+                suggested_count: (tr.round() as usize).max(1),
+            },
+        )]
+    }
+}

@@ -1,0 +1,33 @@
+//! Client resource boost (system level, Table 1).
+//!
+//! Fires when one organization invokes more than `It` of all transactions.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects invoker skew that calls for scaling an organization's clients.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientResourceBoost;
+
+impl Rule for ClientResourceBoost {
+    fn id(&self) -> &str {
+        "client-resource-boost"
+    }
+
+    fn level(&self) -> Level {
+        Level::System
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let Some((org, share)) = ctx.metrics.invokers.org_shares().into_iter().next() else {
+            return Vec::new();
+        };
+        if share <= ctx.thresholds.it + 0.05 {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::ClientResourceBoost { org, share },
+        )]
+    }
+}

@@ -1,0 +1,51 @@
+//! Data model alteration (data level, Table 1).
+//!
+//! Fires when the hotkey structure points at the data model itself:
+//! a single dominant hotkey (`|HK| = 1`), or several hotkeys that are each
+//! failed on by only one activity (`Ksig = 1`). Mutually exclusive with
+//! [`partitioning`](super::partitioning) by construction.
+
+use super::{described_hotkeys, Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects hotkey patterns that call for re-keying the data model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataModelAlteration;
+
+impl Rule for DataModelAlteration {
+    fn id(&self) -> &str {
+        "data-model-alteration"
+    }
+
+    fn level(&self) -> Level {
+        Level::Data
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let keys = &ctx.metrics.keys;
+        if !keys.has_hotkeys() {
+            return Vec::new();
+        }
+        let described = described_hotkeys(ctx.metrics);
+        if keys.hotkeys.len() == 1 {
+            return vec![Finding::of(
+                self,
+                Recommendation::DataModelAlteration {
+                    hotkeys: described,
+                    single_hotkey: true,
+                },
+            )];
+        }
+        if described.iter().any(|(_, acts)| acts.len() > 1) {
+            // Partitioning's territory.
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::DataModelAlteration {
+                hotkeys: described,
+                single_hotkey: false,
+            },
+        )]
+    }
+}

@@ -1,0 +1,40 @@
+//! Delta writes (data level, Table 1).
+//!
+//! Fires on adjacent failed single-key writes differing by ±1
+//! (`corPA = 1 ∧ ST = MRC ∧ |WS| = 1 ∧ WS ± 1`) — increment-style updates
+//! the contract can rewrite into conflict-free delta records.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects increment chains that should become delta writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaWrites;
+
+impl Rule for DeltaWrites {
+    fn id(&self) -> &str {
+        "delta-writes"
+    }
+
+    fn level(&self) -> Level {
+        Level::Data
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let deltas: Vec<(String, usize)> = ctx
+            .metrics
+            .correlation
+            .delta_candidates
+            .iter()
+            .filter(|(_, &n)| n >= ctx.thresholds.min_delta_pairs)
+            .map(|(a, &n)| (a.clone(), n))
+            .collect();
+        if deltas.is_empty() {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::DeltaWrites { activities: deltas },
+        )]
+    }
+}

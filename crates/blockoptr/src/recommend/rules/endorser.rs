@@ -1,0 +1,42 @@
+//! Endorser restructuring (system level, Table 1).
+//!
+//! Fires when some organization's endorsement share exceeds
+//! `(1 + Et) ·` the even share.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects endorsement-load imbalance across organizations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndorserRestructuring;
+
+impl Rule for EndorserRestructuring {
+    fn id(&self) -> &str {
+        "endorser-restructuring"
+    }
+
+    fn level(&self) -> Level {
+        Level::System
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let endorsers = &ctx.metrics.endorsers;
+        let even = endorsers.even_share();
+        if even <= 0.0 {
+            return Vec::new();
+        }
+        let shares = endorsers.org_shares();
+        let overloaded: Vec<String> = shares
+            .iter()
+            .filter(|(_, s)| *s > (1.0 + ctx.thresholds.et) * even)
+            .map(|(o, _)| o.clone())
+            .collect();
+        if overloaded.is_empty() {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::EndorserRestructuring { shares, overloaded },
+        )]
+    }
+}

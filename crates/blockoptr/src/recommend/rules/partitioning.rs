@@ -1,0 +1,43 @@
+//! Smart contract partitioning (data level, Table 1).
+//!
+//! Fires when several hotkeys exist and at least one is failed on by more
+//! than one activity (`Ksig > 1`) — the hot keys should live in separate
+//! world states. Mutually exclusive with
+//! [`data_model`](super::data_model) by construction.
+
+use super::{described_hotkeys, Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects hotkeys shared by multiple activities.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmartContractPartitioning;
+
+impl Rule for SmartContractPartitioning {
+    fn id(&self) -> &str {
+        "smart-contract-partitioning"
+    }
+
+    fn level(&self) -> Level {
+        Level::Data
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let keys = &ctx.metrics.keys;
+        if !keys.has_hotkeys() || keys.hotkeys.len() == 1 {
+            return Vec::new();
+        }
+        let described = described_hotkeys(ctx.metrics);
+        if !described.iter().any(|(_, acts)| acts.len() > 1) {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::SmartContractPartitioning {
+                hotkeys: described
+                    .into_iter()
+                    .filter(|(_, acts)| acts.len() > 1)
+                    .collect(),
+            },
+        )]
+    }
+}

@@ -1,0 +1,57 @@
+//! Process model pruning (user level, Table 1).
+//!
+//! An activity that both writes and commits read-only executions deviates
+//! from its expected behaviour (`A(x) = A(y) ∧ TT(x) ≠ TT(y)`); either side
+//! may dominate — under heavy failure cascades most executions degenerate
+//! to the read-only path.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{AnomalousActivity, Level, Recommendation};
+use fabric_sim::types::TxType;
+
+/// Detects activities whose executions split across transaction types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessModelPruning;
+
+impl Rule for ProcessModelPruning {
+    fn id(&self) -> &str {
+        "process-model-pruning"
+    }
+
+    fn level(&self) -> Level {
+        Level::User
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut anomalous = Vec::new();
+        for (activity, hist) in ctx.type_hist {
+            let reads = hist.get(&TxType::Read).copied().unwrap_or(0);
+            let writes: usize = hist
+                .iter()
+                .filter(|(t, _)| !matches!(t, TxType::Read | TxType::RangeRead))
+                .map(|(_, c)| *c)
+                .sum();
+            if writes >= ctx.thresholds.min_anomalies && reads >= ctx.thresholds.min_anomalies {
+                let (dominant_type, dominant_count) = hist
+                    .iter()
+                    .filter(|(t, _)| !matches!(t, TxType::Read))
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(t, c)| (t.to_string(), *c))
+                    .unwrap_or_default();
+                anomalous.push(AnomalousActivity {
+                    activity: activity.to_string(),
+                    dominant_type,
+                    dominant_count,
+                    anomalous_count: reads,
+                });
+            }
+        }
+        if anomalous.is_empty() {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::ProcessModelPruning { anomalous },
+        )]
+    }
+}

@@ -1,0 +1,46 @@
+//! Transaction rate control (user level, Table 1).
+//!
+//! Fires when some interval is both high-traffic and failure-heavy:
+//! `∃ i: Trdᵢ ≥ Rt1 ∧ Frdᵢ ≥ Trdᵢ · Rt2`.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects high-traffic intervals whose failure rate justifies throttling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransactionRateControl;
+
+impl Rule for TransactionRateControl {
+    fn id(&self) -> &str {
+        "transaction-rate-control"
+    }
+
+    fn level(&self) -> Level {
+        Level::User
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let rates = &ctx.metrics.rates;
+        let mut fired_intervals = Vec::new();
+        let mut peak = 0.0f64;
+        for i in 0..rates.intervals() {
+            let rate = rates.rate_in(i);
+            let fail = rates.failure_rate_in(i);
+            peak = peak.max(rate);
+            if rate >= ctx.thresholds.rt1 && fail >= rate * ctx.thresholds.rt2 {
+                fired_intervals.push(i);
+            }
+        }
+        if fired_intervals.is_empty() {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::TransactionRateControl {
+                intervals: fired_intervals,
+                peak_rate: peak,
+                suggested_rate: ctx.thresholds.controlled_rate,
+            },
+        )]
+    }
+}

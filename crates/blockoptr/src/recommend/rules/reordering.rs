@@ -1,0 +1,52 @@
+//! Activity reordering (user level, §6.1.5 / §6.2).
+//!
+//! Two triggers (the paper's global 40 % rule, plus the per-activity tier
+//! §6.2 uses when hot-key self-conflicts dominate globally):
+//!
+//! * globally, ≥ `reorder_share` of read conflicts are reorderable
+//!   (`corDV = 1 ∧ WS(x) ∩ WS(y) = ∅`);
+//! * the activities whose own conflicts are mostly (≥ 60 %) reorderable
+//!   together account for ≥ `reorder_share`/2 of all read conflicts.
+
+use super::{Finding, Rule, RuleCtx};
+use crate::recommend::{Level, Recommendation};
+
+/// Detects conflicting activity pairs the process can reorder away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActivityReordering;
+
+impl Rule for ActivityReordering {
+    fn id(&self) -> &str {
+        "activity-reordering"
+    }
+
+    fn level(&self) -> Level {
+        Level::User
+    }
+
+    fn detect(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let corr = &ctx.metrics.correlation;
+        if corr.read_conflicts < ctx.thresholds.min_conflicts {
+            return Vec::new();
+        }
+        let global = corr.reorderable_share() >= ctx.thresholds.reorder_share;
+        let qualifying: usize = corr
+            .activity_conflicts
+            .values()
+            .filter(|(total, reord)| *total > 0 && (*reord as f64) >= 0.6 * (*total as f64))
+            .map(|(total, _)| *total)
+            .sum();
+        let targeted =
+            qualifying as f64 / corr.read_conflicts as f64 >= ctx.thresholds.reorder_share / 2.0;
+        if !(global || targeted) {
+            return Vec::new();
+        }
+        vec![Finding::of(
+            self,
+            Recommendation::ActivityReordering {
+                pairs: corr.top_reorderable_pairs().into_iter().take(8).collect(),
+                share: corr.reorderable_share(),
+            },
+        )]
+    }
+}

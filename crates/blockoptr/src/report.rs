@@ -5,8 +5,11 @@
 //! level with their evidence.
 
 use crate::pipeline::Analysis;
+use crate::plan::{OptimizationPlan, PlanOutcome};
 use crate::recommend::Level;
+use fabric_sim::report::SimReport;
 use std::fmt::Write as _;
+use workload::WorkloadBundle;
 
 /// Render the full text report.
 pub fn render(analysis: &Analysis) -> String {
@@ -88,6 +91,88 @@ pub fn render(analysis: &Analysis) -> String {
     out
 }
 
+/// Render a plan before execution (the `optimize --dry-run` view). With a
+/// `bundle`, contract-variant actions the workload ships no rewrite for are
+/// annotated as manual (paper §7).
+pub fn render_plan(plan: &OptimizationPlan, bundle: Option<&WorkloadBundle>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "── optimization plan ({} actions) ──", plan.len());
+    if plan.is_empty() {
+        let _ = writeln!(
+            out,
+            "(nothing to do — no recommendation lowers to an action)"
+        );
+    }
+    for planned in &plan.actions {
+        let manual = match (planned.action.variant(), bundle) {
+            (Some(kind), Some(b)) if !b.supports_variant(kind) => {
+                " [manual: no prepared contract variant]"
+            }
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  • [{}] {}{manual}",
+            planned.source,
+            planned.action.describe()
+        );
+    }
+    out
+}
+
+fn outcome_line(report: &SimReport, baseline: Option<&SimReport>) -> String {
+    match baseline {
+        Some(base) => format!(
+            "success {:.1} % ({:+.1} pts), {:.1} tx/s ({:+.1}), latency {:.2} s ({:+.2})",
+            report.success_rate_pct,
+            report.success_rate_pct - base.success_rate_pct,
+            report.success_throughput,
+            report.success_throughput - base.success_throughput,
+            report.avg_latency_s,
+            report.avg_latency_s - base.avg_latency_s,
+        ),
+        None => format!(
+            "success {:.1} %, {:.1} tx/s, latency {:.2} s",
+            report.success_rate_pct, report.success_throughput, report.avg_latency_s
+        ),
+    }
+}
+
+/// Render an executed plan: the baseline, one before/after row per action,
+/// and the combined run (the paper's Table 4 → Figures 13–17 loop).
+pub fn render_outcome(outcome: &PlanOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "══ optimization outcome ══");
+    let _ = writeln!(out, "baseline: {}", outcome_line(&outcome.baseline, None));
+    let _ = writeln!(out, "── per action (each applied alone) ──");
+    if outcome.actions.is_empty() {
+        let _ = writeln!(out, "(no actions)");
+    }
+    for action in &outcome.actions {
+        let _ = writeln!(out, "  • [{}] {}", action.source, action.action.describe());
+        match action.report() {
+            Some(report) => {
+                let _ = writeln!(
+                    out,
+                    "      {}",
+                    outcome_line(report, Some(&outcome.baseline))
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "      manual implementation required (no prepared contract variant, §7)"
+                );
+            }
+        }
+    }
+    if let Some(combined) = &outcome.combined {
+        let _ = writeln!(out, "── all applicable actions combined ──");
+        let _ = writeln!(out, "{}", outcome_line(combined, Some(&outcome.baseline)));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +192,48 @@ mod tests {
         assert!(text.contains("rates: Tr"));
         assert!(text.contains("recommendations"));
         assert!(text.contains("cases: family"));
+    }
+
+    #[test]
+    fn plan_and_outcome_render_all_sections() {
+        use crate::plan::OptimizationPlan;
+        use crate::recommend::Recommendation;
+
+        let spec = workload::scm::ScmSpec {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let bundle = workload::scm::generate(&spec);
+        let config = fabric_sim::config::NetworkConfig::default();
+        let plan = OptimizationPlan::from_recommendations(&[
+            Recommendation::TransactionRateControl {
+                intervals: vec![0],
+                peak_rate: 300.0,
+                suggested_rate: 100.0,
+            },
+            // SCM ships no delta-writes rewrite → rendered as manual.
+            Recommendation::DeltaWrites {
+                activities: vec![("x".into(), 5)],
+            },
+        ]);
+        let dry = render_plan(&plan, Some(&bundle));
+        assert!(dry.contains("optimization plan (2 actions)"), "{dry}");
+        assert!(dry.contains("rate control"));
+        assert!(
+            dry.contains("[manual: no prepared contract variant]"),
+            "{dry}"
+        );
+
+        let outcome = plan.execute(&bundle, &config);
+        let text = render_outcome(&outcome);
+        assert!(text.contains("baseline"), "{text}");
+        assert!(text.contains("rate control"));
+        assert!(text.contains("pts"), "per-action deltas rendered: {text}");
+        assert!(text.contains("manual implementation required"), "{text}");
+        assert!(text.contains("combined"), "{text}");
+
+        let empty = render_plan(&OptimizationPlan::default(), None);
+        assert!(empty.contains("nothing to do"));
     }
 
     #[test]

@@ -37,13 +37,12 @@ use crate::caseid::{self, CaseDerivation};
 use crate::export;
 use crate::log::{BlockchainLog, TxRecord};
 use crate::metrics::{
-    BlockMetrics, CorrelationTracker, EndorserMetrics, InvokerMetrics, KeyMetrics, MetricConfig,
-    Metrics, RateTracker,
+    BlockMetrics, CorrelationTracker, EndorserMetrics, HotkeyIndex, InvokerMetrics, KeyMetrics,
+    MetricConfig, Metrics, RateTracker,
 };
 use crate::pipeline::Analysis;
-use crate::recommend::{
-    observe_activity_type, recommend_from_parts, ActivityTypeHistogram, Thresholds,
-};
+use crate::recommend::rules::{RuleCtx, RuleSet};
+use crate::recommend::{observe_activity_type, ActivityTypeHistogram, Thresholds};
 use fabric_sim::ledger::{Block, Ledger};
 use process_mining::dfg::DirectlyFollowsGraph;
 use process_mining::eventlog::{EventLog, Trace};
@@ -102,6 +101,7 @@ pub struct Analyzer {
     metric_config: MetricConfig,
     thresholds: Thresholds,
     mining: HeuristicsConfig,
+    rules: RuleSet,
     auto_tune: bool,
 }
 
@@ -126,6 +126,31 @@ impl Analyzer {
     /// Set the process-model mining thresholds.
     pub fn mining(mut self, mining: HeuristicsConfig) -> Self {
         self.mining = mining;
+        self
+    }
+
+    /// Replace the rule registry (default: the paper's nine-rule catalogue,
+    /// [`RuleSet::paper`]). Use this to plug in custom
+    /// [`Rule`](crate::recommend::rules::Rule)s or a trimmed catalogue;
+    /// every snapshot of every session opened from this analyzer evaluates
+    /// the registry as configured here.
+    pub fn rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Disable a single rule by id (see
+    /// [`RuleSet::disable`](crate::recommend::rules::RuleSet::disable)).
+    pub fn disable_rule(mut self, id: &str) -> Self {
+        self.rules.disable(id);
+        self
+    }
+
+    /// Evaluate one rule against its own thresholds instead of the
+    /// analysis-wide set (see
+    /// [`RuleSet::override_thresholds`](crate::recommend::rules::RuleSet::override_thresholds)).
+    pub fn rule_thresholds(mut self, id: &str, thresholds: Thresholds) -> Self {
+        self.rules.override_thresholds(id, thresholds);
         self
     }
 
@@ -335,6 +360,7 @@ pub struct Session {
     endorsers: EndorserMetrics,
     invokers: InvokerMetrics,
     keys: KeyMetrics,
+    hotkey_index: HotkeyIndex,
     correlation: CorrelationTracker,
     type_hist: ActivityTypeHistogram,
     cases: CaseTracker,
@@ -354,6 +380,7 @@ impl Session {
             endorsers: EndorserMetrics::default(),
             invokers: InvokerMetrics::default(),
             keys: KeyMetrics::default(),
+            hotkey_index: HotkeyIndex::default(),
             correlation: CorrelationTracker::default(),
             type_hist: ActivityTypeHistogram::new(),
             cases: CaseTracker::default(),
@@ -471,7 +498,8 @@ impl Session {
             self.endorsers.observe(record);
             self.invokers.observe(record);
             if record.failed() {
-                self.keys.observe_failure(record);
+                self.keys
+                    .observe_failure_indexed(record, &mut self.hotkey_index);
             }
             self.correlation.observe(log.records(), pos);
             observe_activity_type(&mut self.type_hist, &record.activity, record.tx_type);
@@ -515,7 +543,11 @@ impl Session {
     pub fn snapshot_or_empty(&self) -> Analysis {
         let rates = self.rates.snapshot();
         let mut keys = self.keys.clone();
-        keys.select_hotkeys(&self.config.metric_config);
+        // O(k + log n) via the incrementally maintained count index —
+        // equivalent to (but cheaper than) `keys.select_hotkeys`.
+        keys.hotkeys = self
+            .hotkey_index
+            .select(keys.total_failures, &self.config.metric_config);
         let metrics = Metrics {
             rates,
             block: BlockMetrics::from_sizes(&self.block_sizes),
@@ -533,7 +565,12 @@ impl Session {
         // (observe_from), so it is already current here — snapshots are
         // read-only.
         let model = mine_from_dfg(&self.cases.dfg, &self.config.mining);
-        let recommendations = recommend_from_parts(&self.type_hist, &metrics, &thresholds);
+        let recommendations = self.config.rules.recommendations(&RuleCtx {
+            metrics: &metrics,
+            thresholds: &thresholds,
+            type_hist: &self.type_hist,
+            log: Some(&self.log),
+        });
         Analysis {
             log: Arc::clone(&self.log),
             case_derivation: self.cases.derivation(self.log.len()),

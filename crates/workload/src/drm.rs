@@ -5,13 +5,14 @@
 //! uniformly across `create`, `queryRightHolders`, `viewMetaData` and
 //! `calcRevenue` — exactly the mix the paper describes.
 
-use crate::bundle::WorkloadBundle;
+use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// DRM workload parameters.
@@ -104,11 +105,24 @@ pub fn generate(spec: &DrmSpec) -> WorkloadBundle {
         })
         .collect();
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(DrmContract)],
-        genesis,
-        requests,
-    }
+    let variant_spec = spec.clone();
+    WorkloadBundle::new(vec![Arc::new(DrmContract)], genesis, requests).with_variants(
+        &[VariantKind::DeltaWrites, VariantKind::Partitioned],
+        Arc::new(
+            move |bundle: &WorkloadBundle, kinds: &BTreeSet<VariantKind>| match kinds
+                .iter()
+                .collect::<Vec<_>>()
+                .as_slice()
+            {
+                [VariantKind::DeltaWrites] => Some(delta_writes(bundle.clone())),
+                [VariantKind::Partitioned] => Some(partitioned(bundle.clone(), &variant_spec)),
+                [VariantKind::DeltaWrites, VariantKind::Partitioned] => {
+                    Some(partitioned_delta(bundle.clone(), &variant_spec))
+                }
+                _ => None,
+            },
+        ),
+    )
 }
 
 /// The delta-writes variant: same schedule, upgraded contract.
@@ -144,11 +158,11 @@ pub fn partitioned(bundle: WorkloadBundle, spec: &DrmSpec) -> WorkloadBundle {
             DrmContract::genesis_record(&music_key(i)),
         ));
     }
-    WorkloadBundle {
-        contracts: vec![Arc::new(DrmPlayContract), Arc::new(DrmMetaContract)],
+    WorkloadBundle::new(
+        vec![Arc::new(DrmPlayContract), Arc::new(DrmMetaContract)],
         genesis,
         requests,
-    }
+    )
 }
 
 /// The Figure-14 "all optimizations" variant: partitioned chaincodes with
@@ -156,15 +170,14 @@ pub fn partitioned(bundle: WorkloadBundle, spec: &DrmSpec) -> WorkloadBundle {
 /// schedule).
 pub fn partitioned_delta(bundle: WorkloadBundle, spec: &DrmSpec) -> WorkloadBundle {
     let p = partitioned(bundle, spec);
-    let requests = p.requests.clone();
-    WorkloadBundle {
-        contracts: vec![
+    WorkloadBundle::new(
+        vec![
             std::sync::Arc::new(chaincode::DrmPlayDeltaContract),
             std::sync::Arc::new(DrmMetaContract),
         ],
-        genesis: p.genesis,
-        requests,
-    }
+        p.genesis,
+        p.requests,
+    )
 }
 
 /// Activities the paper's reordering recommendation reschedules to the end

@@ -5,7 +5,7 @@
 //! Vote transactions at a rate of 300 TPS and finally 1 seeResults and
 //! endElection transaction each."
 
-use crate::bundle::WorkloadBundle;
+use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DvContract, DvPerVoterContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{OrgId, Value};
@@ -140,11 +140,8 @@ fn generate_inner(spec: &DvSpec, rng: &mut SimRng) -> WorkloadBundle {
         Value::Str("open".into()),
     ));
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(DvContract)],
-        genesis,
-        requests,
-    }
+    WorkloadBundle::new(vec![Arc::new(DvContract)], genesis, requests)
+        .with_single_variant(VariantKind::Rekeyed, |bundle| per_voter(bundle.clone()))
 }
 
 /// The altered-data-model variant: voter-keyed ballots (same namespace, same

@@ -6,7 +6,7 @@
 //! configurable share of which are anomalous — revoking access that was
 //! never granted, the pruning target) and queries.
 
-use crate::bundle::WorkloadBundle;
+use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::EhrContract;
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{OrgId, Value};
@@ -136,11 +136,8 @@ pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
         })
         .collect();
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(EhrContract::base())],
-        genesis,
-        requests,
-    }
+    WorkloadBundle::new(vec![Arc::new(EhrContract::base())], genesis, requests)
+        .with_single_variant(VariantKind::Pruned, |bundle| pruned(bundle.clone()))
 }
 
 /// The pruned variant: anomalous revokes abort during endorsement.

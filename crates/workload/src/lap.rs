@@ -18,7 +18,7 @@
 //!    model is fixed (the paper's post-optimization success stays below
 //!    100 %).
 
-use crate::bundle::WorkloadBundle;
+use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{LapByApplicationContract, LapByEmployeeContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{OrgId, Value};
@@ -184,11 +184,10 @@ pub fn generate(spec: &LapSpec) -> WorkloadBundle {
         })
         .collect();
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(LapByEmployeeContract)],
-        genesis: Vec::new(),
-        requests,
-    }
+    WorkloadBundle::new(vec![Arc::new(LapByEmployeeContract)], Vec::new(), requests)
+        .with_single_variant(VariantKind::Rekeyed, |bundle| {
+            by_application(bundle.clone())
+        })
 }
 
 /// The altered-data-model variant: key = applicationID (same schedule).

@@ -29,5 +29,5 @@ pub mod scm;
 pub mod spec;
 pub mod synthetic;
 
-pub use bundle::WorkloadBundle;
+pub use bundle::{VariantKind, VariantResolver, WorkloadBundle};
 pub use spec::{ControlVariables, PolicyChoice, WorkloadType};

@@ -7,7 +7,7 @@
 //! suffer *manual errors* — `ship` issued before `pushASN`, or `unload`
 //! without a `ship` — producing the illogical branches of Figure 2.
 
-use crate::bundle::WorkloadBundle;
+use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::ScmContract;
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{OrgId, Value};
@@ -160,11 +160,8 @@ pub fn generate(spec: &ScmSpec) -> WorkloadBundle {
         )
     }));
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(ScmContract::base())],
-        genesis,
-        requests,
-    }
+    WorkloadBundle::new(vec![Arc::new(ScmContract::base())], genesis, requests)
+        .with_single_variant(VariantKind::Pruned, |bundle| pruned(bundle.clone()))
 }
 
 /// The same bundle with the pruned contract installed (process-model

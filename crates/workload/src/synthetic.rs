@@ -86,11 +86,7 @@ pub fn generate(cv: &ControlVariables) -> WorkloadBundle {
         })
         .collect();
 
-    WorkloadBundle {
-        contracts: vec![Arc::new(GenChainContract)],
-        genesis,
-        requests,
-    }
+    WorkloadBundle::new(vec![Arc::new(GenChainContract)], genesis, requests)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use blockoptr_suite::prelude::*;
 use workload::spec::ControlVariables;
 
-fn full_run(seed: u64) -> (fabric_sim::report::SimReport, Vec<&'static str>) {
+fn full_run(seed: u64) -> (fabric_sim::report::SimReport, Vec<String>) {
     let cv = ControlVariables {
         transactions: 3_000,
         seed,
@@ -13,7 +13,12 @@ fn full_run(seed: u64) -> (fabric_sim::report::SimReport, Vec<&'static str>) {
     let bundle = workload::synthetic::generate(&cv);
     let output = bundle.run(cv.network_config());
     let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
-    (output.report, analysis.recommendation_names())
+    let names = analysis
+        .recommendation_names()
+        .into_iter()
+        .map(String::from)
+        .collect();
+    (output.report, names)
 }
 
 #[test]

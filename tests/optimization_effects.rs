@@ -110,35 +110,59 @@ fn scm_pruning_improves_success_and_aborts_early() {
 #[test]
 fn scm_reordering_improves_both_metrics() {
     // Apply the reordering the analysis itself derives (the conflicting
-    // readers move behind the writers), as Figure 13 does. The +5-point
-    // margin below needs a workload where cross-activity read conflicts
-    // dominate; the pinned seed selects such a schedule (the improvement
-    // direction holds for every seed, the magnitude varies).
-    let spec = scm::ScmSpec {
-        seed: 2,
-        ..Default::default()
-    };
-    let bundle = scm::generate(&spec);
-    let output = bundle.run(NetworkConfig::default());
-    let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
-    let before = output.report;
-    let (requests, applied) = apply_user_level(
-        &bundle.requests,
-        &blockoptr_suite::blockoptr::recommend::Recommendation::filter_by_name(
-            &analysis.recommendations,
-            "Activity reordering",
-        ),
-    );
-    assert!(!applied.is_empty(), "reordering was applied");
-    let reordered = bundle.clone().with_requests(requests);
-    let after = run(&reordered, NetworkConfig::default());
+    // readers move behind the writers), as Figure 13 does. The per-seed
+    // magnitude depends on the RNG stream (+2.5 to +11 points across
+    // seeds), so assert on the *seed-averaged* improvement over five seeds
+    // instead of pinning one lucky schedule: the direction must hold for
+    // every seed, and the average must clear a real margin.
+    let seeds: [u64; 5] = [0, 1, 2, 3, 4];
+    let mut rate_gain = 0.0;
+    let mut tput_gain = 0.0;
+    for seed in seeds {
+        let spec = scm::ScmSpec {
+            seed,
+            ..Default::default()
+        };
+        let bundle = scm::generate(&spec);
+        let output = bundle.run(NetworkConfig::default());
+        let analysis = BlockOptR::new().analyze_ledger(&output.ledger);
+        let before = output.report;
+        let (requests, applied) = apply_user_level(
+            &bundle.requests,
+            &blockoptr_suite::blockoptr::recommend::Recommendation::filter_by_name(
+                &analysis.recommendations,
+                "Activity reordering",
+            ),
+        );
+        assert!(!applied.is_empty(), "reordering applied for seed {seed}");
+        let reordered = bundle.clone().with_requests(requests);
+        let after = run(&reordered, NetworkConfig::default());
+        assert!(
+            after.success_rate_pct > before.success_rate_pct,
+            "seed {seed}: {} → {}",
+            before.success_rate_pct,
+            after.success_rate_pct
+        );
+        assert!(
+            after.success_throughput > before.success_throughput,
+            "seed {seed}: {} → {}",
+            before.success_throughput,
+            after.success_throughput
+        );
+        rate_gain += after.success_rate_pct - before.success_rate_pct;
+        tput_gain += after.success_throughput - before.success_throughput;
+    }
+    let n = seeds.len() as f64;
     assert!(
-        after.success_rate_pct > before.success_rate_pct + 5.0,
-        "{} → {}",
-        before.success_rate_pct,
-        after.success_rate_pct
+        rate_gain / n > 3.0,
+        "avg success-rate gain {:.2} points",
+        rate_gain / n
     );
-    assert!(after.success_throughput > before.success_throughput);
+    assert!(
+        tput_gain / n > 5.0,
+        "avg throughput gain {:.2} tx/s",
+        tput_gain / n
+    );
 }
 
 #[test]

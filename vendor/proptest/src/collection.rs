@@ -11,7 +11,7 @@ pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, sizes }
 }
 
-/// See [`vec`].
+/// See [`fn@vec`].
 pub struct VecStrategy<S> {
     element: S,
     sizes: Range<usize>,

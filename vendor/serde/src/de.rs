@@ -3,7 +3,7 @@
 use crate::value::Value;
 use std::fmt;
 
-/// Why a [`Value`](crate::value::Value) tree could not be turned into the
+/// Why a [`Value`] tree could not be turned into the
 /// requested type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
