@@ -1,0 +1,192 @@
+//! Parallel plan execution: serial vs threaded wall-clock, plus an
+//! allocation-sensitive simulator throughput probe.
+//!
+//! Two claims are measured and recorded:
+//!
+//! 1. **Fan-out scales.** `OptimizationPlan::execute_with` distributes the
+//!    `(configuration, seed)` simulation grid over a
+//!    [`sim_core::pool::ThreadPool`]; on a machine with ≥ 4 cores the
+//!    4-thread execution must be ≥ 2× faster than the single-thread one
+//!    (asserted below — on smaller machines the ratio is recorded but the
+//!    assertion is skipped, since the speedup physically cannot exist).
+//!    Either way the outcomes must be byte-identical: the bench fails if
+//!    threading changes any per-seed metric.
+//! 2. **The allocation diet holds.** A raw `bundle.run(config)` throughput
+//!    probe tracks the simulator's hot path (interned `Arc<str>` names,
+//!    shared `Arc<[Value]>` args, clone-free assemble/commit, pre-sized
+//!    state keys). Regressions show up as a drop in tx/s.
+//!
+//! Results are written to `BENCH_plan.json` at the repository root
+//! (override with `BENCH_PLAN_OUT`) to start the perf trajectory; CI
+//! uploads the file as an artifact.
+
+use blockoptr::pipeline::BlockOptR;
+use blockoptr::plan::{MeasuredReport, OptimizationPlan, PlanConfig, PlanOutcome};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fabric_sim::config::NetworkConfig;
+use sim_core::pool;
+use std::hint::black_box;
+use std::time::Instant;
+use workload::scm;
+
+const SEEDS: usize = 4;
+const PARALLEL_THREADS: usize = 4;
+
+fn setup() -> (workload::WorkloadBundle, NetworkConfig, OptimizationPlan) {
+    let txs = std::env::var("BENCH_PLAN_TXS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let spec = scm::ScmSpec {
+        transactions: txs,
+        ..Default::default()
+    };
+    let bundle = scm::generate(&spec);
+    let config = NetworkConfig::default();
+    let analysis = BlockOptR::new().analyze_ledger(&bundle.run(config.clone()).ledger);
+    let plan = OptimizationPlan::from_analysis(&analysis);
+    (bundle, config, plan)
+}
+
+/// Median wall-clock of `runs` executions.
+fn time_execution(
+    plan: &OptimizationPlan,
+    bundle: &workload::WorkloadBundle,
+    config: &NetworkConfig,
+    plan_config: &PlanConfig,
+    runs: usize,
+) -> (f64, PlanOutcome) {
+    let mut secs: Vec<f64> = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        last = Some(black_box(plan.execute_with(bundle, config, plan_config)));
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    (secs[secs.len() / 2], last.expect("runs >= 1"))
+}
+
+/// Per-seed integer/bit fingerprint: any threading-induced divergence trips
+/// the equality check below.
+fn fingerprint(m: &MeasuredReport) -> Vec<(usize, usize, u64, u64)> {
+    m.per_seed
+        .iter()
+        .map(|r| {
+            (
+                r.successes,
+                r.mvcc_conflicts,
+                r.success_rate_pct.to_bits(),
+                r.avg_latency_s.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn outcome_fingerprint(o: &PlanOutcome) -> Vec<Vec<(usize, usize, u64, u64)>> {
+    let mut all = vec![fingerprint(&o.baseline)];
+    all.extend(
+        o.actions
+            .iter()
+            .filter_map(|a| a.measured())
+            .map(fingerprint),
+    );
+    all.extend(o.combined.iter().map(fingerprint));
+    all
+}
+
+fn bench_plan_parallel(c: &mut Criterion) {
+    let (bundle, config, plan) = setup();
+    let serial_cfg = PlanConfig::new(SEEDS, 1);
+    let parallel_cfg = PlanConfig::new(SEEDS, PARALLEL_THREADS);
+
+    // Criterion display: the paired serial/threaded grid and the raw
+    // simulator throughput probe.
+    let mut group = c.benchmark_group("plan_parallel");
+    group.sample_size(2);
+    group.bench_function(format!("execute_{SEEDS}seeds_1thread"), |b| {
+        b.iter(|| black_box(plan.execute_with(&bundle, &config, &serial_cfg)))
+    });
+    group.bench_function(
+        format!("execute_{SEEDS}seeds_{PARALLEL_THREADS}threads"),
+        |b| b.iter(|| black_box(plan.execute_with(&bundle, &config, &parallel_cfg))),
+    );
+    group.finish();
+
+    let mut sim_group = c.benchmark_group("sim_throughput");
+    sim_group.sample_size(5);
+    sim_group.throughput(Throughput::Elements(bundle.len() as u64));
+    sim_group.bench_function("scm_run_alloc_diet", |b| {
+        b.iter(|| black_box(bundle.run(config.clone())))
+    });
+    sim_group.finish();
+
+    // Explicit measurement for BENCH_plan.json + the scaling assertion
+    // (medians of 5 runs, so one noisy-neighbour hiccup cannot flip the
+    // ratio).
+    let cores = pool::hardware_threads();
+    let (serial_secs, serial_outcome) = time_execution(&plan, &bundle, &config, &serial_cfg, 5);
+    let (parallel_secs, parallel_outcome) =
+        time_execution(&plan, &bundle, &config, &parallel_cfg, 5);
+    assert_eq!(
+        outcome_fingerprint(&serial_outcome),
+        outcome_fingerprint(&parallel_outcome),
+        "threaded execution must be byte-identical to serial"
+    );
+    let speedup = serial_secs / parallel_secs.max(1e-12);
+
+    let sim_start = Instant::now();
+    let sim_runs = 3;
+    for _ in 0..sim_runs {
+        black_box(bundle.run(config.clone()));
+    }
+    let sim_secs = sim_start.elapsed().as_secs_f64() / sim_runs as f64;
+    let sim_tps = bundle.len() as f64 / sim_secs;
+
+    // The ≥ 2× target needs hardware to scale onto; on narrower machines
+    // the ratio is recorded so the trajectory still shows the trend.
+    // `BENCH_PLAN_ASSERT=off` downgrades the assertion to record-only for
+    // noisy shared runners (the ratio still lands in BENCH_plan.json).
+    let assert_enabled = !matches!(
+        std::env::var("BENCH_PLAN_ASSERT").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    );
+    let assertion = if cores < PARALLEL_THREADS {
+        format!(
+            "skipped ({cores} core(s) < {PARALLEL_THREADS} threads: no parallel speedup possible)"
+        )
+    } else if !assert_enabled {
+        format!("recorded only (BENCH_PLAN_ASSERT=off; got {speedup:.2}x)")
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "{PARALLEL_THREADS}-thread plan execution must be ≥ 2× faster than serial \
+             on a {cores}-core machine (got {speedup:.2}×: serial {serial_secs:.2}s, \
+             parallel {parallel_secs:.2}s)"
+        );
+        "passed (speedup >= 2.0)".to_string()
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0}\n}}\n",
+        bundle.len(),
+        plan.len(),
+        SEEDS,
+        cores,
+        PARALLEL_THREADS,
+        serial_secs,
+        parallel_secs,
+        speedup,
+        assertion,
+        sim_secs,
+        sim_tps,
+    );
+    let out_path = std::env::var("BENCH_PLAN_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_plan.json");
+    eprintln!("plan_parallel: speedup {speedup:.2}× on {cores} core(s) — {assertion}");
+    eprintln!("results recorded to {out_path}");
+}
+
+criterion_group!(benches, bench_plan_parallel);
+criterion_main!(benches);

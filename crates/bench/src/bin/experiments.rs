@@ -4,20 +4,35 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- fig13 fig14
 //! cargo run --release -p bench --bin experiments -- --quick tab3
+//! cargo run --release -p bench --bin experiments -- --threads 4 all
 //! cargo run --release -p bench --bin experiments -- --list
 //! ```
 //!
-//! `--quick` scales workloads down to ~20 % for smoke runs.
+//! `--quick` scales workloads down to ~20 % for smoke runs. Experiments
+//! are independent, so the grid fans out over a worker pool (`--threads`,
+//! default `BLOCKOPTR_THREADS` or all cores); outputs are printed in
+//! registry order regardless of which worker finished first, so the
+//! rendered tables are byte-identical to a serial run.
 
-use bench::experiments::{registry, ExpCtx};
+use bench::experiments::{registry, ExpCtx, Experiment};
+use sim_core::pool::{self, ThreadPool};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = ExpCtx::default();
+    let mut threads = pool::default_threads();
     let mut wanted: Vec<String> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => ctx.scale = 0.2,
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--list" => {
                 for e in registry() {
                     println!("{:<8} {}", e.id, e.title);
@@ -28,7 +43,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: experiments [--quick] [--list] <id|all> ...");
+        eprintln!("usage: experiments [--quick] [--threads N] [--list] <id|all> ...");
         eprintln!("known ids:");
         for e in registry() {
             eprintln!("  {:<8} {}", e.id, e.title);
@@ -37,22 +52,35 @@ fn main() {
     }
 
     let run_all = wanted.iter().any(|w| w == "all");
-    let mut ran = 0;
-    for e in registry() {
-        if run_all || wanted.iter().any(|w| w == e.id) {
-            eprintln!("▶ {} — {}", e.id, e.title);
-            let started = std::time::Instant::now();
-            print!("{}", (e.run)(&ctx));
-            eprintln!(
-                "  ({} done in {:.1}s)",
-                e.id,
-                started.elapsed().as_secs_f64()
-            );
-            ran += 1;
-        }
-    }
-    if ran == 0 {
+    let selected: Vec<Experiment> = registry()
+        .into_iter()
+        .filter(|e| run_all || wanted.iter().any(|w| w == e.id))
+        .collect();
+    if selected.is_empty() {
         eprintln!("no experiment matched {wanted:?}; try --list");
         std::process::exit(2);
     }
+
+    // Split the thread budget between the outer per-experiment pool and
+    // each experiment's inner simulation fan-out, so `--threads 8` means
+    // ~8 busy threads total, not 8 × cores.
+    let outer = threads.min(selected.len()).max(1);
+    ctx.plan_threads = (threads / outer).max(1);
+
+    let started = std::time::Instant::now();
+    let outputs = ThreadPool::new(outer).map(selected, |e| {
+        eprintln!("▶ {} — {}", e.id, e.title);
+        let t0 = std::time::Instant::now();
+        let rendered = (e.run)(&ctx);
+        (e, rendered, t0.elapsed().as_secs_f64())
+    });
+    for (e, rendered, secs) in &outputs {
+        print!("{rendered}");
+        eprintln!("  ({} done in {secs:.1}s)", e.id);
+    }
+    eprintln!(
+        "{} experiments in {:.1}s on {threads} thread(s)",
+        outputs.len(),
+        started.elapsed().as_secs_f64()
+    );
 }

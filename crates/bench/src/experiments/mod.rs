@@ -22,11 +22,19 @@ use workload::WorkloadBundle;
 pub struct ExpCtx {
     /// Transaction-volume scale in `(0, 1]`; `--quick` uses 0.2.
     pub scale: f64,
+    /// Worker threads each experiment may use for its *inner* simulation
+    /// fan-out (plan execution). The grid runner divides its thread budget
+    /// between the outer per-experiment pool and this, so running many
+    /// experiments at once never oversubscribes the machine.
+    pub plan_threads: usize,
 }
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        ExpCtx { scale: 1.0 }
+        ExpCtx {
+            scale: 1.0,
+            plan_threads: sim_core::pool::default_threads(),
+        }
     }
 }
 

@@ -76,7 +76,7 @@ pub fn fig3(_ctx: &ExpCtx) -> String {
         send_time: SimTime::from_millis(ms),
         contract: "scm".into(),
         activity: activity.into(),
-        args,
+        args: args.into(),
         invoker_org: OrgId(0),
     };
 
@@ -131,7 +131,7 @@ pub fn fig4(ctx: &ExpCtx) -> String {
             .iter()
             .filter(|r| {
                 matches!(
-                    r.activity.as_str(),
+                    r.activity.as_ref(),
                     "pushASN" | "ship" | "queryASN" | "unload"
                 )
             })
@@ -139,7 +139,7 @@ pub fn fig4(ctx: &ExpCtx) -> String {
             .max()
             .unwrap_or(0);
         let (inside, total) = log.records().iter().fold((0usize, 0usize), |acc, r| {
-            if scm::REORDERABLE.contains(&r.activity.as_str()) {
+            if scm::REORDERABLE.contains(&r.activity.as_ref()) {
                 (acc.0 + usize::from(r.commit_index < last_flow), acc.1 + 1)
             } else {
                 acc

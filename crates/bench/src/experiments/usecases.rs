@@ -10,7 +10,7 @@
 use super::{run_and_analyze, ExpCtx};
 use crate::table::FigureTable;
 use blockoptr::action::{Action, ScheduleRewrite};
-use blockoptr::plan::{OptimizationPlan, PlanOutcome, PlannedAction};
+use blockoptr::plan::{OptimizationPlan, PlanConfig, PlanOutcome, PlannedAction};
 use fabric_sim::config::NetworkConfig;
 use workload::{drm, dv, ehr, lap, scm, WorkloadBundle};
 
@@ -46,7 +46,7 @@ fn row_label(source: &str) -> &str {
 /// Render one executed plan as figure rows: W/O, one row per applied
 /// action, and (when requested) the combined "all optimizations" row.
 fn add_outcome_rows(t: &mut FigureTable, config_label: &str, outcome: &PlanOutcome, all: bool) {
-    t.add(config_label, "W/O", &outcome.baseline);
+    t.add(config_label, "W/O", outcome.baseline.primary());
     for action in &outcome.actions {
         if let Some(report) = action.report() {
             t.add(config_label, row_label(&action.source), report);
@@ -54,7 +54,7 @@ fn add_outcome_rows(t: &mut FigureTable, config_label: &str, outcome: &PlanOutco
     }
     if all {
         if let Some(combined) = &outcome.combined {
-            t.add(config_label, "all optimizations", combined);
+            t.add(config_label, "all optimizations", combined.primary());
         }
     }
 }
@@ -62,6 +62,7 @@ fn add_outcome_rows(t: &mut FigureTable, config_label: &str, outcome: &PlanOutco
 /// Run one use case through the closed loop: analyze, select the figure's
 /// optimizations, execute.
 fn usecase_outcome(
+    ctx: &ExpCtx,
     bundle: &WorkloadBundle,
     cfg: NetworkConfig,
     sources: &[&str],
@@ -72,7 +73,16 @@ fn usecase_outcome(
     for (source, action) in ensured {
         ensure(&mut plan, source, action.clone());
     }
-    plan.execute_from(bundle, &cfg, baseline)
+    // The per-action and combined re-runs are independent simulations:
+    // fan them out over the context's inner thread budget (the grid
+    // runner already parallelizes across experiments, so this avoids
+    // nested-pool oversubscription).
+    plan.execute_from_with(
+        bundle,
+        &cfg,
+        baseline,
+        &PlanConfig::new(1, ctx.plan_threads),
+    )
 }
 
 /// Figure 13: SCM — rate control, reordering, pruning, all.
@@ -84,6 +94,7 @@ pub fn fig13(ctx: &ExpCtx) -> String {
     };
     let bundle = scm::generate(&spec);
     let outcome = usecase_outcome(
+        ctx,
         &bundle,
         NetworkConfig::default(),
         &[
@@ -115,6 +126,7 @@ pub fn fig14(ctx: &ExpCtx) -> String {
     // variant table to the partitioned-delta contract set (Figure 14's
     // "all optimizations").
     let outcome = usecase_outcome(
+        ctx,
         &bundle,
         NetworkConfig::default(),
         &[
@@ -146,6 +158,7 @@ pub fn fig15(ctx: &ExpCtx) -> String {
     };
     let bundle = ehr::generate(&spec);
     let outcome = usecase_outcome(
+        ctx,
         &bundle,
         NetworkConfig::default(),
         &[
@@ -175,6 +188,7 @@ pub fn fig16(ctx: &ExpCtx) -> String {
     };
     let bundle = dv::generate(&spec);
     let outcome = usecase_outcome(
+        ctx,
         &bundle,
         NetworkConfig::default(),
         &["Transaction rate control", "Data model alteration"],
@@ -202,6 +216,7 @@ pub fn fig17(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let outcome = usecase_outcome(
+        ctx,
         &lap::generate(&slow),
         NetworkConfig::default(),
         &["Data model alteration"],
@@ -219,6 +234,7 @@ pub fn fig17(ctx: &ExpCtx) -> String {
         ..Default::default()
     };
     let outcome = usecase_outcome(
+        ctx,
         &lap::generate(&fast),
         NetworkConfig::default(),
         &["Data model alteration", "Transaction rate control"],

@@ -259,7 +259,7 @@ mod tests {
             send_time: SimTime::from_millis(i * 10),
             contract: "cc".into(),
             activity: activity.into(),
-            args: vec![],
+            args: vec![].into(),
             invoker_org: OrgId(0),
         }
     }
@@ -280,7 +280,7 @@ mod tests {
         let out = actions[0]
             .apply_to_schedule(&[req(0, "query"), req(1, "write"), req(2, "query")])
             .unwrap();
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_ref()).collect();
         assert_eq!(acts, vec!["write", "query", "query"]);
     }
 

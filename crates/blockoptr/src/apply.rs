@@ -69,7 +69,7 @@ mod tests {
             send_time: SimTime::from_millis(i * 10),
             contract: "cc".into(),
             activity: activity.into(),
-            args: vec![],
+            args: vec![].into(),
             invoker_org: OrgId(0),
         }
     }
@@ -82,7 +82,7 @@ mod tests {
             share: 0.8,
         }];
         let (out, applied) = apply_user_level(&reqs, &recs);
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_ref()).collect();
         assert_eq!(acts, vec!["write", "query", "query"]);
         assert_eq!(applied.len(), 1);
         assert!(applied[0].contains("query"));

@@ -12,6 +12,7 @@
 //! blockoptr optimize scm                     # closed loop: plan, apply, re-run, deltas
 //! blockoptr optimize scm --dry-run           # print the plan without re-running
 //! blockoptr optimize scm --txs 2000 --json   # scaled run, machine-readable outcome
+//! blockoptr optimize scm --seeds 5 --threads 4  # 5 seeds/config in parallel: mean ± CI deltas
 //! ```
 //!
 //! Mirrors the paper's tool — read a blockchain log, derive the metrics and
@@ -46,7 +47,10 @@ fn usage() -> ExitCode {
          blockoptr analyze LOG.json [--auto-tune] [--json] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
          blockoptr watch LOG.json [--window N] [--auto-tune] [--json]\n  \
          blockoptr compare BEFORE.json AFTER.json [--json]\n  \
-         blockoptr optimize <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--dry-run] [--auto-tune] [--json] [--disable RULE]..."
+         blockoptr optimize <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--seeds N] [--threads N] [--dry-run] [--auto-tune] [--json] [--disable RULE]...\n\n\
+         optimize measures every configuration once per seed (--seeds, default 1; deltas\n\
+         become mean ± stddev with 95 % CIs) and fans the simulations out over --threads\n\
+         workers (default: BLOCKOPTR_THREADS or all cores; thread count never changes results)."
     );
     ExitCode::from(2)
 }
@@ -374,36 +378,48 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a positive-integer flag value.
+fn positive(args: &Args, name: &str) -> Result<Option<usize>, String> {
+    match args.value(name) {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| format!("--{name} must be a positive integer, got {v:?}")),
+        None => Ok(None),
+    }
+}
+
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["txs", "disable"], &["dry-run", "auto-tune", "json"])?;
+    let args = Args::parse(
+        args,
+        &["txs", "seeds", "threads", "disable"],
+        &["dry-run", "auto-tune", "json"],
+    )?;
     let Some(scenario) = args.positional.first() else {
         return Err("optimize needs a scenario (synthetic|scm|drm|ehr|dv|lap)".into());
     };
-    let txs = match args.value("txs") {
-        Some(t) => Some(
-            t.parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("--txs must be a positive integer, got {t:?}"))?,
-        ),
-        None => None,
-    };
+    let txs = positive(&args, "txs")?;
+    let mut plan_config = blockoptr::plan::PlanConfig::default();
+    if let Some(seeds) = positive(&args, "seeds")? {
+        plan_config.seeds = seeds;
+    }
+    if let Some(threads) = positive(&args, "threads")? {
+        plan_config.threads = threads;
+    }
+
+    // The analyzer lints rule ids itself (AnalyzeError::UnknownRule);
+    // configure it first so a typo fails before any simulation runs.
+    let mut analyzer = analyzer(args.switch("auto-tune"));
+    for rule in args.values_of("disable") {
+        analyzer = analyzer.disable_rule(rule).map_err(|e| e.to_string())?;
+    }
 
     // 1. Simulate the scenario and analyze its ledger.
     let (bundle, config) = scenario_bundle(scenario, txs)?;
     let output = bundle.run(config.clone());
     eprintln!("simulated {scenario}: {}", output.report.figure_row());
-    let mut analyzer = analyzer(args.switch("auto-tune"));
-    let known = blockoptr::recommend::rules::RuleSet::paper();
-    for rule in args.values_of("disable") {
-        if !known.is_enabled(rule) {
-            return Err(format!(
-                "unknown rule id {rule:?}; valid ids: {}",
-                known.ids().join(", ")
-            ));
-        }
-        analyzer = analyzer.disable_rule(rule);
-    }
     let analysis = analyzer
         .analyze_ledger(&output.ledger)
         .map_err(|e| e.to_string())?;
@@ -423,8 +439,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    // 3. Close the loop: apply each action, re-run, measure the deltas.
-    let outcome = plan.execute_from(&bundle, &config, output.report);
+    // 3. Close the loop: apply each action, re-run (once per seed, fanned
+    //    out over the worker pool), measure the deltas.
+    let outcome = plan.execute_from_with(&bundle, &config, output.report, &plan_config);
     if args.switch("json") {
         println!(
             "{}",

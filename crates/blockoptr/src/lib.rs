@@ -92,7 +92,10 @@ pub use compliance::{verify_rollout, ComplianceReport};
 pub use eventlog::to_event_log;
 pub use log::{BlockchainLog, TxRecord};
 pub use pipeline::{Analysis, BlockOptR};
-pub use plan::{ActionOutcome, ActionResult, OptimizationPlan, PlanOutcome, PlannedAction};
+pub use plan::{
+    ActionOutcome, ActionResult, MeasuredReport, MetricStats, OptimizationPlan, PlanConfig,
+    PlanOutcome, PlannedAction,
+};
 pub use recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
 pub use recommend::{Level, Recommendation, Thresholds};
 pub use session::{AnalyzeError, Analyzer, Session};
@@ -105,7 +108,7 @@ pub mod prelude {
     pub use crate::compliance::{verify_rollout, ComplianceReport};
     pub use crate::log::BlockchainLog;
     pub use crate::pipeline::{Analysis, BlockOptR};
-    pub use crate::plan::{OptimizationPlan, PlanOutcome};
+    pub use crate::plan::{OptimizationPlan, PlanConfig, PlanOutcome};
     pub use crate::recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
     pub use crate::recommend::{Level, Recommendation, Thresholds};
     pub use crate::session::{AnalyzeError, Analyzer, Session};

@@ -106,9 +106,9 @@ impl BlockchainLog {
                 block: block.number,
                 client_ts: tx.client_ts,
                 commit_ts: tx.commit_ts,
-                contract: tx.contract.clone(),
-                activity: tx.activity.clone(),
-                args: tx.args.clone(),
+                contract: tx.contract.to_string(),
+                activity: tx.activity.to_string(),
+                args: tx.args.to_vec(),
                 endorsers: tx.endorsers.clone(),
                 invoker: tx.invoker,
                 rwset: tx.rwset.clone(),
@@ -376,7 +376,7 @@ mod tests {
             commit_ts: SimTime::from_millis(10),
             contract: "cc".into(),
             activity: activity.into(),
-            args: vec![],
+            args: vec![].into(),
             endorsers: vec![],
             invoker: ClientId {
                 org: OrgId(0),
@@ -394,7 +394,7 @@ mod tests {
             commit_ts: SimTime::from_millis(10),
             txs: vec![env(0, "setup"), env(1, "work")],
         });
-        let log = BlockchainLog::from_ledger_filtered(&ledger, |t| t.activity != "setup");
+        let log = BlockchainLog::from_ledger_filtered(&ledger, |t| t.activity.as_ref() != "setup");
         assert_eq!(log.len(), 1);
         assert_eq!(log.records()[0].activity, "work");
         assert_eq!(log.records()[0].commit_index, 0, "re-indexed after clean");

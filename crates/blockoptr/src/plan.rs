@@ -15,6 +15,30 @@
 //! 3. read the [`PlanOutcome`]: per-action before/after success-rate,
 //!    latency, and throughput deltas — the Table 4 → Figures 13–17 loop.
 //!
+//! # Seeds, threads, and confidence intervals
+//!
+//! A plan execution is configured by a [`PlanConfig`]:
+//!
+//! * **`seeds`** — every measured configuration (baseline, each action,
+//!   the combination) is simulated once per seed. Seed 0 is the network
+//!   configuration's own seed; seed *i* is derived from it by XOR-ing a
+//!   golden-ratio multiple, so the list is deterministic and collision
+//!   free. Each [`MeasuredReport`] keeps the full per-seed report list
+//!   plus mean / sample standard deviation / 95 % confidence half-width
+//!   ([`MetricStats`]) for the three figure metrics. Deltas are computed
+//!   **pairwise per seed** (action seed *i* minus baseline seed *i*) and
+//!   then aggregated, which cancels the common per-seed workload noise —
+//!   the same design as the seed-averaged directional tests.
+//! * **`threads`** — the independent `(configuration, seed)` simulations
+//!   fan out over a [`sim_core::pool::ThreadPool`]. Results are collected
+//!   in job order, and every simulation is deterministic in its seed, so
+//!   **the outcome is byte-identical for any thread count**; `threads`
+//!   only changes wall-clock time. The default honours the
+//!   `BLOCKOPTR_THREADS` environment variable.
+//!
+//! The CLI surfaces both knobs as `blockoptr optimize --seeds N
+//! --threads N`.
+//!
 //! Contract-level actions ([`Action::SelectContractVariant`]) apply only
 //! when the workload ships a prepared rewrite
 //! ([`WorkloadBundle::supports_variant`]); otherwise the outcome records
@@ -22,7 +46,7 @@
 //! smart-contract changes "need to be manually implemented by the user".
 //!
 //! ```no_run
-//! use blockoptr::plan::OptimizationPlan;
+//! use blockoptr::plan::{OptimizationPlan, PlanConfig};
 //! use blockoptr::session::Analyzer;
 //! use workload::scm;
 //!
@@ -32,13 +56,17 @@
 //! let analysis = Analyzer::new().analyze_ledger(&output.ledger).unwrap();
 //!
 //! let plan = OptimizationPlan::from_analysis(&analysis);
-//! let outcome = plan.execute(&bundle, &config);
+//! // Five seeds per configuration, fanned out over four worker threads.
+//! let outcome = plan.execute_with(&bundle, &config, &PlanConfig::new(5, 4));
 //! for action in &outcome.actions {
-//!     println!(
-//!         "{}: Δ success rate {:+.1} points",
-//!         action.action.describe(),
-//!         action.success_rate_delta(&outcome.baseline).unwrap_or(0.0)
-//!     );
+//!     if let Some(stats) = action.success_rate_delta_stats(&outcome.baseline) {
+//!         println!(
+//!             "{}: Δ success rate {:+.1} ± {:.1} points",
+//!             action.action.describe(),
+//!             stats.mean,
+//!             stats.ci95,
+//!         );
+//!     }
 //! }
 //! ```
 
@@ -48,6 +76,7 @@ use crate::recommend::Recommendation;
 use fabric_sim::config::NetworkConfig;
 use fabric_sim::report::SimReport;
 use serde::{Deserialize, Serialize};
+use sim_core::pool::{self, ThreadPool};
 use std::collections::BTreeSet;
 use workload::{VariantKind, WorkloadBundle};
 
@@ -68,11 +97,134 @@ pub struct OptimizationPlan {
     pub actions: Vec<PlannedAction>,
 }
 
+/// How a plan execution measures: seeds per configuration and worker
+/// threads for the simulation fan-out. See the [module docs](self) for the
+/// semantics of each knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanConfig {
+    /// Simulation runs per measured configuration (clamped to ≥ 1). Seed 0
+    /// is the network configuration's own seed.
+    pub seeds: usize,
+    /// Worker threads for the `(configuration, seed)` fan-out (clamped to
+    /// ≥ 1). Thread count never changes results, only wall-clock time.
+    pub threads: usize,
+}
+
+impl Default for PlanConfig {
+    /// One seed, [`pool::default_threads`] workers (`BLOCKOPTR_THREADS`
+    /// aware).
+    fn default() -> Self {
+        PlanConfig {
+            seeds: 1,
+            threads: pool::default_threads(),
+        }
+    }
+}
+
+impl PlanConfig {
+    /// A configuration with explicit seed and thread counts.
+    pub fn new(seeds: usize, threads: usize) -> PlanConfig {
+        PlanConfig { seeds, threads }
+    }
+
+    /// The deterministic seed list derived from `base`: `base` itself,
+    /// then `base ^ (i · φ64)` — distinct for every index.
+    pub fn seed_list(&self, base: u64) -> Vec<u64> {
+        (0..self.seeds.max(1))
+            .map(|i| base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect()
+    }
+}
+
+/// Mean, sample standard deviation, and 95 % confidence half-width of one
+/// metric over the executed seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricStats {
+    /// Arithmetic mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation (zero for a single seed).
+    pub stddev: f64,
+    /// Normal-approximation 95 % confidence half-width,
+    /// `1.96 · stddev / √n` (zero for a single seed).
+    pub ci95: f64,
+}
+
+impl MetricStats {
+    /// Statistics of a non-empty sample list.
+    pub fn of(samples: &[f64]) -> MetricStats {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let stddev = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        MetricStats {
+            mean,
+            stddev,
+            ci95: 1.96 * stddev / n.sqrt(),
+        }
+    }
+
+    /// Lower edge of the 95 % confidence interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95 % confidence interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// One configuration measured over every executed seed: the full per-seed
+/// reports plus aggregate statistics for the three figure metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredReport {
+    /// Reports in seed-list order; index 0 is the primary seed (the
+    /// network configuration's own).
+    pub per_seed: Vec<SimReport>,
+    /// Success rate (%) over seeds.
+    pub success_rate: MetricStats,
+    /// Mean end-to-end latency (s) over seeds.
+    pub latency: MetricStats,
+    /// Success throughput (tx/s) over seeds.
+    pub throughput: MetricStats,
+}
+
+impl MeasuredReport {
+    /// Aggregate a non-empty per-seed report list.
+    pub fn from_reports(per_seed: Vec<SimReport>) -> MeasuredReport {
+        assert!(!per_seed.is_empty(), "a measurement needs at least one run");
+        let stat = |f: fn(&SimReport) -> f64| {
+            MetricStats::of(&per_seed.iter().map(f).collect::<Vec<f64>>())
+        };
+        MeasuredReport {
+            success_rate: stat(|r| r.success_rate_pct),
+            latency: stat(|r| r.avg_latency_s),
+            throughput: stat(|r| r.success_throughput),
+            per_seed,
+        }
+    }
+
+    /// The primary seed's report (seed 0: the configuration's own seed) —
+    /// what single-seed callers and the figure tables read.
+    pub fn primary(&self) -> &SimReport {
+        &self.per_seed[0]
+    }
+
+    /// Number of executed seeds.
+    pub fn seeds(&self) -> usize {
+        self.per_seed.len()
+    }
+}
+
 /// How one action fared when applied alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ActionResult {
     /// The action was applied and the workload re-run (the outcome
-    /// carries the re-run's report).
+    /// carries the re-run's reports).
     Applied,
     /// The action selects a contract variant the workload ships no
     /// prepared rewrite for (paper §7: manual implementation required).
@@ -88,64 +240,110 @@ pub struct ActionOutcome {
     pub action: Action,
     /// What happened.
     pub result: ActionResult,
-    /// The re-run's report; present exactly when `result` is
+    /// The re-run's per-seed measurement; present exactly when `result` is
     /// [`ActionResult::Applied`].
-    pub after: Option<SimReport>,
+    pub after: Option<MeasuredReport>,
 }
 
 impl ActionOutcome {
-    /// The re-run report, when the action was applied.
+    /// The primary-seed re-run report, when the action was applied.
     pub fn report(&self) -> Option<&SimReport> {
+        self.after.as_ref().map(MeasuredReport::primary)
+    }
+
+    /// The full multi-seed measurement, when the action was applied.
+    pub fn measured(&self) -> Option<&MeasuredReport> {
         self.after.as_ref()
     }
 
-    /// Success-rate change vs the baseline, in percentage points.
-    pub fn success_rate_delta(&self, baseline: &SimReport) -> Option<f64> {
-        self.report()
-            .map(|r| r.success_rate_pct - baseline.success_rate_pct)
+    /// Per-seed paired deltas `metric(after_i) - metric(baseline_i)`,
+    /// aggregated to mean / stddev / CI. Pairing by seed cancels the
+    /// workload noise the two runs share.
+    fn delta_stats(
+        &self,
+        baseline: &MeasuredReport,
+        metric: fn(&SimReport) -> f64,
+    ) -> Option<MetricStats> {
+        let after = self.after.as_ref()?;
+        let deltas: Vec<f64> = after
+            .per_seed
+            .iter()
+            .zip(&baseline.per_seed)
+            .map(|(a, b)| metric(a) - metric(b))
+            .collect();
+        Some(MetricStats::of(&deltas))
     }
 
-    /// Average-latency change vs the baseline, in seconds (negative =
+    /// Mean success-rate change vs the baseline, in percentage points.
+    pub fn success_rate_delta(&self, baseline: &MeasuredReport) -> Option<f64> {
+        self.success_rate_delta_stats(baseline).map(|s| s.mean)
+    }
+
+    /// Success-rate change statistics over seeds (percentage points).
+    pub fn success_rate_delta_stats(&self, baseline: &MeasuredReport) -> Option<MetricStats> {
+        self.delta_stats(baseline, |r| r.success_rate_pct)
+    }
+
+    /// Mean average-latency change vs the baseline, in seconds (negative =
     /// faster).
-    pub fn latency_delta(&self, baseline: &SimReport) -> Option<f64> {
-        self.report()
-            .map(|r| r.avg_latency_s - baseline.avg_latency_s)
+    pub fn latency_delta(&self, baseline: &MeasuredReport) -> Option<f64> {
+        self.latency_delta_stats(baseline).map(|s| s.mean)
     }
 
-    /// Success-throughput change vs the baseline, in tx/s.
-    pub fn throughput_delta(&self, baseline: &SimReport) -> Option<f64> {
-        self.report()
-            .map(|r| r.success_throughput - baseline.success_throughput)
+    /// Latency change statistics over seeds (seconds).
+    pub fn latency_delta_stats(&self, baseline: &MeasuredReport) -> Option<MetricStats> {
+        self.delta_stats(baseline, |r| r.avg_latency_s)
+    }
+
+    /// Mean success-throughput change vs the baseline, in tx/s.
+    pub fn throughput_delta(&self, baseline: &MeasuredReport) -> Option<f64> {
+        self.throughput_delta_stats(baseline).map(|s| s.mean)
+    }
+
+    /// Throughput change statistics over seeds (tx/s).
+    pub fn throughput_delta_stats(&self, baseline: &MeasuredReport) -> Option<MetricStats> {
+        self.delta_stats(baseline, |r| r.success_throughput)
     }
 }
 
 /// Everything one plan execution measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanOutcome {
-    /// The unmodified workload's report (the "W/O" row of every figure).
-    pub baseline: SimReport,
+    /// The seed list every configuration was measured under.
+    pub seeds: Vec<u64>,
+    /// The unmodified workload's measurement (the "W/O" row of every
+    /// figure).
+    pub baseline: MeasuredReport,
     /// One outcome per planned action, applied alone.
     pub actions: Vec<ActionOutcome>,
     /// All applicable actions together (the figures' "all optimizations"
     /// row). `None` when no action could be applied.
-    pub combined: Option<SimReport>,
+    pub combined: Option<MeasuredReport>,
 }
 
 impl PlanOutcome {
-    /// Whether any applied action (or the combination) raised the success
-    /// rate over the baseline.
+    /// Whether any applied action (or the combination) raised the mean
+    /// success rate over the baseline.
     pub fn improved(&self) -> bool {
-        let base = self.baseline.success_rate_pct;
+        let base = self.baseline.success_rate.mean;
         self.combined
             .iter()
-            .map(|r| r.success_rate_pct)
+            .map(|r| r.success_rate.mean)
             .chain(
                 self.actions
                     .iter()
-                    .filter_map(|a| a.report().map(|r| r.success_rate_pct)),
+                    .filter_map(|a| a.measured().map(|r| r.success_rate.mean)),
             )
             .any(|rate| rate > base)
     }
+}
+
+/// One measured configuration, before any simulation ran: the transformed
+/// pair (boxed — a bundle is large and `Manual` is a bare marker), or the
+/// §7 manual marker.
+enum PreparedAction {
+    Applied(Box<(WorkloadBundle, NetworkConfig)>),
+    Manual,
 }
 
 impl OptimizationPlan {
@@ -237,66 +435,170 @@ impl OptimizationPlan {
         (out_bundle, out_config, manual)
     }
 
-    /// Execute the closed loop: run the baseline, re-run with each action
-    /// applied alone, then with all applicable actions combined.
+    /// Describe the single-action configuration for each planned action
+    /// without simulating anything.
+    fn prepare_actions(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+    ) -> Vec<PreparedAction> {
+        self.actions
+            .iter()
+            .map(|planned| {
+                if let Some(requests) = planned.action.apply_to_schedule(&bundle.requests) {
+                    PreparedAction::Applied(Box::new((
+                        bundle.clone().with_requests(requests),
+                        config.clone(),
+                    )))
+                } else if let Some(cfg) = planned.action.apply_to_config(config) {
+                    PreparedAction::Applied(Box::new((bundle.clone(), cfg)))
+                } else if let Some(kind) = planned.action.variant() {
+                    let single: BTreeSet<VariantKind> = [kind].into_iter().collect();
+                    match bundle.apply_variants(&single) {
+                        Some(rewritten) => {
+                            PreparedAction::Applied(Box::new((rewritten, config.clone())))
+                        }
+                        None => PreparedAction::Manual,
+                    }
+                } else {
+                    PreparedAction::Manual
+                }
+            })
+            .collect()
+    }
+
+    /// Execute the closed loop with the default [`PlanConfig`] (one seed):
+    /// run the baseline, re-run with each action applied alone, then with
+    /// all applicable actions combined.
     ///
     /// Simulation runs are deterministic (the configuration carries the
     /// seed), so the deltas measure the optimizations, not run-to-run
     /// noise.
     pub fn execute(&self, bundle: &WorkloadBundle, config: &NetworkConfig) -> PlanOutcome {
-        self.execute_from(bundle, config, bundle.run(config.clone()).report)
+        self.execute_with(bundle, config, &PlanConfig::default())
+    }
+
+    /// Execute the closed loop under an explicit [`PlanConfig`]: every
+    /// measured configuration runs once per seed, fanned out over
+    /// `plan_config.threads` workers. Identical results for any thread
+    /// count.
+    pub fn execute_with(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+        plan_config: &PlanConfig,
+    ) -> PlanOutcome {
+        self.run_grid(bundle, config, plan_config, None)
     }
 
     /// Like [`execute`](Self::execute) but reusing an already-measured
-    /// baseline report for `(bundle, config)` — the common case when the
-    /// plan was lowered from an analysis of that very run.
+    /// primary-seed baseline report for `(bundle, config)` — the common
+    /// case when the plan was lowered from an analysis of that very run.
     pub fn execute_from(
         &self,
         bundle: &WorkloadBundle,
         config: &NetworkConfig,
         baseline: SimReport,
     ) -> PlanOutcome {
-        let mut actions = Vec::with_capacity(self.actions.len());
-        let mut any_applied = false;
-        for planned in &self.actions {
-            let after = if let Some(requests) = planned.action.apply_to_schedule(&bundle.requests) {
-                Some(
-                    bundle
-                        .clone()
-                        .with_requests(requests)
-                        .run(config.clone())
-                        .report,
-                )
-            } else if let Some(cfg) = planned.action.apply_to_config(config) {
-                Some(bundle.run(cfg).report)
-            } else if let Some(kind) = planned.action.variant() {
-                let single: BTreeSet<VariantKind> = [kind].into_iter().collect();
-                bundle
-                    .apply_variants(&single)
-                    .map(|rewritten| rewritten.run(config.clone()).report)
-            } else {
-                None
-            };
-            let result = if after.is_some() {
-                ActionResult::Applied
-            } else {
-                ActionResult::ManualRequired
-            };
-            any_applied |= after.is_some();
-            actions.push(ActionOutcome {
-                source: planned.source.clone(),
-                action: planned.action.clone(),
-                result,
-                after,
-            });
-        }
-        let combined = if any_applied {
+        self.execute_from_with(bundle, config, baseline, &PlanConfig::default())
+    }
+
+    /// [`execute_with`](Self::execute_with) reusing an already-measured
+    /// primary-seed baseline report (additional seeds still re-run the
+    /// baseline).
+    pub fn execute_from_with(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+        baseline: SimReport,
+        plan_config: &PlanConfig,
+    ) -> PlanOutcome {
+        self.run_grid(bundle, config, plan_config, Some(baseline))
+    }
+
+    /// Build and execute the `(configuration, seed)` grid.
+    fn run_grid(
+        &self,
+        bundle: &WorkloadBundle,
+        config: &NetworkConfig,
+        plan_config: &PlanConfig,
+        reused_baseline: Option<SimReport>,
+    ) -> PlanOutcome {
+        let seeds = plan_config.seed_list(config.seed);
+        let prepared = self.prepare_actions(bundle, config);
+        let any_applied = prepared
+            .iter()
+            .any(|p| matches!(p, PreparedAction::Applied(..)));
+        let combined_pair = any_applied.then(|| {
             let (all_bundle, all_config, _manual) = self.transform(bundle, config);
-            Some(all_bundle.run(all_config).report)
-        } else {
-            None
-        };
+            (all_bundle, all_config)
+        });
+
+        // The job grid, slot-major then seed order. Slot 0 is the
+        // baseline, slots 1..=n the actions, slot n+1 the combination.
+        // The pool returns results in job order, so regrouping by slot
+        // preserves seed order deterministically.
+        let mut jobs: Vec<(usize, WorkloadBundle, NetworkConfig)> = Vec::new();
+        for (si, &seed) in seeds.iter().enumerate() {
+            if si == 0 && reused_baseline.is_some() {
+                continue;
+            }
+            jobs.push((0, bundle.clone(), config.clone().with_seed(seed)));
+        }
+        for (ai, prep) in prepared.iter().enumerate() {
+            if let PreparedAction::Applied(pair) = prep {
+                let (b, c) = pair.as_ref();
+                for &seed in &seeds {
+                    jobs.push((ai + 1, b.clone(), c.clone().with_seed(seed)));
+                }
+            }
+        }
+        let combined_slot = self.actions.len() + 1;
+        if let Some((b, c)) = &combined_pair {
+            for &seed in &seeds {
+                jobs.push((combined_slot, b.clone(), c.clone().with_seed(seed)));
+            }
+        }
+
+        let results =
+            ThreadPool::new(plan_config.threads).map(jobs, |(slot, b, c)| (slot, b.run(c).report));
+        let mut per_slot: Vec<Vec<SimReport>> = vec![Vec::new(); combined_slot + 1];
+        for (slot, report) in results {
+            per_slot[slot].push(report);
+        }
+        if let Some(report) = reused_baseline {
+            per_slot[0].insert(0, report);
+        }
+
+        let mut slots = per_slot.into_iter();
+        let baseline = MeasuredReport::from_reports(slots.next().expect("baseline slot"));
+        let actions = self
+            .actions
+            .iter()
+            .zip(prepared.iter().zip(&mut slots))
+            .map(|(planned, (prep, reports))| {
+                let after = match prep {
+                    PreparedAction::Applied(..) => Some(MeasuredReport::from_reports(reports)),
+                    PreparedAction::Manual => None,
+                };
+                ActionOutcome {
+                    source: planned.source.clone(),
+                    action: planned.action.clone(),
+                    result: if after.is_some() {
+                        ActionResult::Applied
+                    } else {
+                        ActionResult::ManualRequired
+                    },
+                    after,
+                }
+            })
+            .collect();
+        let combined = combined_pair
+            .is_some()
+            .then(|| MeasuredReport::from_reports(slots.next().expect("combined slot")));
+
         PlanOutcome {
+            seeds,
             baseline,
             actions,
             combined,
@@ -353,25 +655,26 @@ mod tests {
             "Process model pruning",
         ]);
         let outcome = plan.execute(&bundle, &config);
+        assert_eq!(outcome.seeds, vec![config.seed]);
         assert!(outcome.improved(), "at least one optimization helps");
         for action in &outcome.actions {
             let report = action.report().expect("all SCM actions are applicable");
             // Figure 13's direction: every single optimization raises the
             // success rate.
             assert!(
-                report.success_rate_pct > outcome.baseline.success_rate_pct,
+                report.success_rate_pct > outcome.baseline.primary().success_rate_pct,
                 "{}: {} → {}",
                 action.action.describe(),
-                outcome.baseline.success_rate_pct,
+                outcome.baseline.primary().success_rate_pct,
                 report.success_rate_pct
             );
         }
         let combined = outcome.combined.as_ref().expect("actions applied");
         assert!(
-            combined.success_rate_pct > outcome.baseline.success_rate_pct + 5.0,
+            combined.success_rate.mean > outcome.baseline.success_rate.mean + 5.0,
             "all optimizations together beat the baseline clearly: {} → {}",
-            outcome.baseline.success_rate_pct,
-            combined.success_rate_pct
+            outcome.baseline.success_rate.mean,
+            combined.success_rate.mean
         );
     }
 
@@ -450,6 +753,163 @@ mod tests {
         );
     }
 
+    /// The tentpole equivalence guarantee: a parallel execution (threads=4)
+    /// produces byte-identical per-seed metrics to the serial one.
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let spec = scm::ScmSpec {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let bundle = scm::generate(&spec);
+        let config = NetworkConfig::default();
+        let analysis = BlockOptR::new().analyze_ledger(&bundle.run(config.clone()).ledger);
+        let plan = OptimizationPlan::from_analysis(&analysis);
+
+        let serial = plan.execute_with(&bundle, &config, &PlanConfig::new(3, 1));
+        let parallel = plan.execute_with(&bundle, &config, &PlanConfig::new(3, 4));
+
+        assert_eq!(serial.seeds, parallel.seeds);
+        let fingerprint = |m: &MeasuredReport| {
+            m.per_seed
+                .iter()
+                .map(|r| {
+                    (
+                        r.successes,
+                        r.committed,
+                        r.mvcc_conflicts,
+                        r.success_rate_pct.to_bits(),
+                        r.avg_latency_s.to_bits(),
+                        r.success_throughput.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            fingerprint(&serial.baseline),
+            fingerprint(&parallel.baseline)
+        );
+        assert_eq!(serial.actions.len(), parallel.actions.len());
+        for (a, b) in serial.actions.iter().zip(&parallel.actions) {
+            assert_eq!(a.result, b.result);
+            match (a.measured(), b.measured()) {
+                (Some(x), Some(y)) => assert_eq!(fingerprint(x), fingerprint(y)),
+                (None, None) => {}
+                _ => panic!("applied-ness must not depend on threads"),
+            }
+        }
+        match (&serial.combined, &parallel.combined) {
+            (Some(x), Some(y)) => assert_eq!(fingerprint(x), fingerprint(y)),
+            (None, None) => {}
+            _ => panic!("combined run must not depend on threads"),
+        }
+    }
+
+    #[test]
+    fn multi_seed_outcome_carries_statistics() {
+        let spec = scm::ScmSpec {
+            transactions: 2_000,
+            ..Default::default()
+        };
+        let bundle = scm::generate(&spec);
+        // Four orgs under the 2-of-4 policy: endorser selection consumes
+        // the seed, so different seeds genuinely produce different runs
+        // (the default two-org majority policy is deterministic and would
+        // collapse the spread to zero).
+        let config = NetworkConfig {
+            orgs: 4,
+            endorsement_policy: fabric_sim::policy::EndorsementPolicy::p4(),
+            ..NetworkConfig::default()
+        };
+        let plan =
+            OptimizationPlan::from_recommendations(&[Recommendation::TransactionRateControl {
+                intervals: vec![0],
+                peak_rate: 300.0,
+                suggested_rate: 100.0,
+            }]);
+        let outcome = plan.execute_with(&bundle, &config, &PlanConfig::new(4, 2));
+
+        assert_eq!(outcome.seeds.len(), 4);
+        assert_eq!(outcome.seeds[0], config.seed, "seed 0 is the config's own");
+        let distinct: BTreeSet<u64> = outcome.seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "derived seeds never collide");
+
+        assert_eq!(outcome.baseline.seeds(), 4);
+        // Different seeds produce different runs, so the spread is real.
+        assert!(outcome.baseline.success_rate.stddev > 0.0);
+        assert!(outcome.baseline.success_rate.ci95 > 0.0);
+        assert!(outcome.baseline.success_rate.lo() <= outcome.baseline.success_rate.hi());
+        let mean = outcome.baseline.success_rate.mean;
+        let lo = outcome
+            .baseline
+            .per_seed
+            .iter()
+            .map(|r| r.success_rate_pct)
+            .fold(f64::INFINITY, f64::min);
+        let hi = outcome
+            .baseline
+            .per_seed
+            .iter()
+            .map(|r| r.success_rate_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo <= mean && mean <= hi);
+
+        // Paired deltas exist per action and cover every seed.
+        let action = &outcome.actions[0];
+        let stats = action
+            .success_rate_delta_stats(&outcome.baseline)
+            .expect("throttle applies");
+        assert!(stats.mean.is_finite());
+        assert!(
+            stats.mean > 0.0,
+            "rate control lifts the seed-averaged success rate"
+        );
+    }
+
+    #[test]
+    fn execute_from_reuses_the_primary_baseline() {
+        let spec = scm::ScmSpec {
+            transactions: 1_500,
+            ..Default::default()
+        };
+        let bundle = scm::generate(&spec);
+        let config = NetworkConfig::default();
+        let baseline = bundle.run(config.clone()).report;
+        let plan =
+            OptimizationPlan::from_recommendations(&[Recommendation::TransactionRateControl {
+                intervals: vec![0],
+                peak_rate: 300.0,
+                suggested_rate: 100.0,
+            }]);
+        let outcome =
+            plan.execute_from_with(&bundle, &config, baseline.clone(), &PlanConfig::new(2, 2));
+        assert_eq!(outcome.baseline.seeds(), 2);
+        assert_eq!(
+            outcome.baseline.primary().successes,
+            baseline.successes,
+            "seed 0 reuses the provided report"
+        );
+        // And the reused report is identical to a fresh run of seed 0.
+        let fresh = plan.execute_with(&bundle, &config, &PlanConfig::new(2, 2));
+        assert_eq!(
+            fresh.baseline.primary().successes,
+            outcome.baseline.primary().successes
+        );
+    }
+
+    #[test]
+    fn metric_stats_basics() {
+        let one = MetricStats::of(&[5.0]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci95, 0.0);
+        let s = MetricStats::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+        assert!(s.lo() < s.mean && s.mean < s.hi());
+    }
+
     #[test]
     fn plan_outcome_round_trips_through_json() {
         let (bundle, config, analysis) = scm_setup();
@@ -458,9 +918,14 @@ mod tests {
         let json = serde_json::to_string(&outcome).unwrap();
         let back: PlanOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(back.actions.len(), outcome.actions.len());
+        assert_eq!(back.seeds, outcome.seeds);
         assert_eq!(
-            back.baseline.success_rate_pct,
-            outcome.baseline.success_rate_pct
+            back.baseline.success_rate.mean,
+            outcome.baseline.success_rate.mean
+        );
+        assert_eq!(
+            back.baseline.primary().success_rate_pct,
+            outcome.baseline.primary().success_rate_pct
         );
     }
 }

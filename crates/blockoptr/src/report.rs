@@ -5,9 +5,8 @@
 //! level with their evidence.
 
 use crate::pipeline::Analysis;
-use crate::plan::{OptimizationPlan, PlanOutcome};
+use crate::plan::{MeasuredReport, MetricStats, OptimizationPlan, PlanOutcome};
 use crate::recommend::Level;
-use fabric_sim::report::SimReport;
 use std::fmt::Write as _;
 use workload::WorkloadBundle;
 
@@ -120,29 +119,51 @@ pub fn render_plan(plan: &OptimizationPlan, bundle: Option<&WorkloadBundle>) -> 
     out
 }
 
-fn outcome_line(report: &SimReport, baseline: Option<&SimReport>) -> String {
+/// `mean` or `mean ± stddev`, depending on whether more than one seed ran.
+fn pm(stats: &MetricStats, multi: bool, decimals: usize) -> String {
+    if multi {
+        format!("{:.p$} ± {:.p$}", stats.mean, stats.stddev, p = decimals)
+    } else {
+        format!("{:.p$}", stats.mean, p = decimals)
+    }
+}
+
+fn outcome_line(measured: &MeasuredReport, baseline: Option<&MeasuredReport>) -> String {
+    let multi = measured.seeds() > 1;
     match baseline {
         Some(base) => format!(
-            "success {:.1} % ({:+.1} pts), {:.1} tx/s ({:+.1}), latency {:.2} s ({:+.2})",
-            report.success_rate_pct,
-            report.success_rate_pct - base.success_rate_pct,
-            report.success_throughput,
-            report.success_throughput - base.success_throughput,
-            report.avg_latency_s,
-            report.avg_latency_s - base.avg_latency_s,
+            "success {} % ({:+.1} pts), {} tx/s ({:+.1}), latency {} s ({:+.2})",
+            pm(&measured.success_rate, multi, 1),
+            measured.success_rate.mean - base.success_rate.mean,
+            pm(&measured.throughput, multi, 1),
+            measured.throughput.mean - base.throughput.mean,
+            pm(&measured.latency, multi, 2),
+            measured.latency.mean - base.latency.mean,
         ),
         None => format!(
-            "success {:.1} %, {:.1} tx/s, latency {:.2} s",
-            report.success_rate_pct, report.success_throughput, report.avg_latency_s
+            "success {} %, {} tx/s, latency {} s",
+            pm(&measured.success_rate, multi, 1),
+            pm(&measured.throughput, multi, 1),
+            pm(&measured.latency, multi, 2)
         ),
     }
 }
 
 /// Render an executed plan: the baseline, one before/after row per action,
-/// and the combined run (the paper's Table 4 → Figures 13–17 loop).
+/// and the combined run (the paper's Table 4 → Figures 13–17 loop). With
+/// more than one seed, every metric reads `mean ± stddev` and per-action
+/// deltas carry their seed-paired 95 % confidence half-width.
 pub fn render_outcome(outcome: &PlanOutcome) -> String {
+    let multi = outcome.seeds.len() > 1;
     let mut out = String::new();
     let _ = writeln!(out, "══ optimization outcome ══");
+    if multi {
+        let _ = writeln!(
+            out,
+            "({} seeds per configuration: metrics are mean ± stddev, deltas mean ± 95 % CI)",
+            outcome.seeds.len()
+        );
+    }
     let _ = writeln!(out, "baseline: {}", outcome_line(&outcome.baseline, None));
     let _ = writeln!(out, "── per action (each applied alone) ──");
     if outcome.actions.is_empty() {
@@ -150,13 +171,24 @@ pub fn render_outcome(outcome: &PlanOutcome) -> String {
     }
     for action in &outcome.actions {
         let _ = writeln!(out, "  • [{}] {}", action.source, action.action.describe());
-        match action.report() {
-            Some(report) => {
+        match action.measured() {
+            Some(measured) => {
                 let _ = writeln!(
                     out,
                     "      {}",
-                    outcome_line(report, Some(&outcome.baseline))
+                    outcome_line(measured, Some(&outcome.baseline))
                 );
+                if multi {
+                    if let Some(delta) = action.success_rate_delta_stats(&outcome.baseline) {
+                        let _ = writeln!(
+                            out,
+                            "      Δ success rate {:+.1} ± {:.1} pts over {} seeds",
+                            delta.mean,
+                            delta.ci95,
+                            outcome.seeds.len()
+                        );
+                    }
+                }
             }
             None => {
                 let _ = writeln!(

@@ -47,6 +47,7 @@ use fabric_sim::ledger::{Block, Ledger};
 use process_mining::dfg::DirectlyFollowsGraph;
 use process_mining::eventlog::{EventLog, Trace};
 use process_mining::heuristics::{mine_from_dfg, HeuristicsConfig};
+use sim_core::pool;
 use sim_core::time::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -71,6 +72,15 @@ pub enum AnalyzeError {
         /// The highest commit index ingested before it.
         after: usize,
     },
+    /// A rule id passed to [`Analyzer::disable_rule`] or
+    /// [`Analyzer::rule_thresholds`] matches no registered rule — almost
+    /// always a typo, which silently ignoring would hide.
+    UnknownRule {
+        /// The unrecognized id.
+        id: String,
+        /// Ids registered at the time of the call.
+        known: Vec<String>,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -85,6 +95,11 @@ impl fmt::Display for AnalyzeError {
                 f,
                 "log window out of commit order: index {index} arrived after {after}"
             ),
+            AnalyzeError::UnknownRule { id, known } => write!(
+                f,
+                "unknown rule id {id:?}; registered ids: {}",
+                known.join(", ")
+            ),
         }
     }
 }
@@ -96,13 +111,27 @@ impl std::error::Error for AnalyzeError {}
 ///
 /// Replaces the paper-era `BlockOptR` struct as the primary entry point;
 /// `BlockOptR` survives as a thin wrapper over a one-shot session.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Analyzer {
     metric_config: MetricConfig,
     thresholds: Thresholds,
     mining: HeuristicsConfig,
     rules: RuleSet,
     auto_tune: bool,
+    threads: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer {
+            metric_config: MetricConfig::default(),
+            thresholds: Thresholds::default(),
+            mining: HeuristicsConfig::default(),
+            rules: RuleSet::default(),
+            auto_tune: false,
+            threads: pool::default_threads(),
+        }
+    }
 }
 
 impl Analyzer {
@@ -141,16 +170,56 @@ impl Analyzer {
 
     /// Disable a single rule by id (see
     /// [`RuleSet::disable`](crate::recommend::rules::RuleSet::disable)).
-    pub fn disable_rule(mut self, id: &str) -> Self {
+    ///
+    /// Unlike the raw `RuleSet` API — which remembers unknown ids so a
+    /// rule can be disabled before registration — the analyzer lints the
+    /// id against its configured registry and rejects unknown ones with
+    /// [`AnalyzeError::UnknownRule`]: at this level an unknown id is
+    /// almost always a typo that would otherwise silently disable
+    /// nothing. Configure the registry ([`Analyzer::rules`]) *before*
+    /// disabling custom rules.
+    pub fn disable_rule(mut self, id: &str) -> Result<Self, AnalyzeError> {
+        self.lint_rule_id(id)?;
         self.rules.disable(id);
-        self
+        Ok(self)
     }
 
     /// Evaluate one rule against its own thresholds instead of the
     /// analysis-wide set (see
     /// [`RuleSet::override_thresholds`](crate::recommend::rules::RuleSet::override_thresholds)).
-    pub fn rule_thresholds(mut self, id: &str, thresholds: Thresholds) -> Self {
+    ///
+    /// The id is linted like [`disable_rule`](Self::disable_rule):
+    /// unknown ids return [`AnalyzeError::UnknownRule`].
+    pub fn rule_thresholds(
+        mut self,
+        id: &str,
+        thresholds: Thresholds,
+    ) -> Result<Self, AnalyzeError> {
+        self.lint_rule_id(id)?;
         self.rules.override_thresholds(id, thresholds);
+        Ok(self)
+    }
+
+    /// Error unless `id` names a rule registered on this analyzer.
+    fn lint_rule_id(&self, id: &str) -> Result<(), AnalyzeError> {
+        if self.rules.ids().contains(&id) {
+            Ok(())
+        } else {
+            Err(AnalyzeError::UnknownRule {
+                id: id.to_string(),
+                known: self.rules.ids().iter().map(|s| s.to_string()).collect(),
+            })
+        }
+    }
+
+    /// Worker threads sessions opened from this analyzer may use for
+    /// ingestion (default: [`pool::default_threads`], which honours
+    /// `BLOCKOPTR_THREADS`). With more than one thread, large ingest
+    /// batches shard the per-metric trackers across scoped threads — each
+    /// tracker still folds the records in commit order, so snapshots are
+    /// identical to single-threaded ingestion.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -419,10 +488,25 @@ impl Session {
     /// Ingest every block the ledger has appended since the last call
     /// (streaming resume: blocks at or below [`last_block`](Self::last_block)
     /// are skipped). Returns the number of records added.
+    ///
+    /// All new blocks are appended first and folded as **one** batch, so a
+    /// large catch-up (or a one-shot [`Analyzer::analyze_ledger`]) crosses
+    /// the parallel-ingest threshold and shards the per-metric trackers
+    /// across the analyzer's worker threads.
     pub fn ingest_ledger(&mut self, ledger: &Ledger) -> usize {
+        let first_new = self.log.len();
         let mut added = 0;
-        for block in ledger.blocks_from(self.last_block + 1) {
-            added += self.ingest_block(block);
+        let mut last_block = self.last_block;
+        {
+            let log = Arc::make_mut(&mut self.log);
+            for block in ledger.blocks_from(self.last_block + 1) {
+                added += log.append_block(block, |_| true);
+                last_block = last_block.max(block.number);
+            }
+        }
+        self.last_block = last_block;
+        if added > 0 {
+            self.observe_from(first_new);
         }
         added
     }
@@ -480,10 +564,39 @@ impl Session {
         Ok(added)
     }
 
+    /// Batches below this size ingest serially even on a multi-threaded
+    /// session: spawning scoped threads costs more than folding a handful
+    /// of records.
+    const PARALLEL_INGEST_MIN: usize = 256;
+
     /// Fold every record at position `first_new..` into the running state.
+    ///
+    /// The per-metric trackers are mutually independent — each reads the
+    /// shared record slice and writes only its own state — so a large
+    /// batch on a multi-threaded session ([`Analyzer::threads`]) shards
+    /// them across scoped threads (one tracker per shard, ROADMAP PR-1
+    /// follow-up). Every tracker still consumes the records in commit
+    /// order, so the merged state — and therefore every
+    /// [`snapshot`](Session::snapshot) — is identical to single-threaded
+    /// ingestion.
     fn observe_from(&mut self, first_new: usize) {
         let log = Arc::clone(&self.log);
-        for (pos, record) in log.records().iter().enumerate().skip(first_new) {
+        let records = log.records();
+        if self.config.threads > 1 && records.len() - first_new >= Self::PARALLEL_INGEST_MIN {
+            self.observe_from_sharded(records, first_new);
+        } else {
+            self.observe_from_serial(records, first_new);
+        }
+        // Re-check the winning identifier family once per batch, so the
+        // event-log/DFG cache is (re)built here — amortized over ingestion —
+        // and snapshots stay O(state).
+        self.cases.refresh(records);
+    }
+
+    /// The single-threaded fold (also the reference semantics the sharded
+    /// path must reproduce exactly).
+    fn observe_from_serial(&mut self, records: &[TxRecord], first_new: usize) {
+        for (pos, record) in records.iter().enumerate().skip(first_new) {
             self.last_block = self.last_block.max(record.block);
             self.first_send = Some(
                 self.first_send
@@ -501,14 +614,92 @@ impl Session {
                 self.keys
                     .observe_failure_indexed(record, &mut self.hotkey_index);
             }
-            self.correlation.observe(log.records(), pos);
+            self.correlation.observe(records, pos);
             observe_activity_type(&mut self.type_hist, &record.activity, record.tx_type);
             self.cases.observe(record);
         }
-        // Re-check the winning identifier family once per batch, so the
-        // event-log/DFG cache is (re)built here — amortized over ingestion —
-        // and snapshots stay O(state).
-        self.cases.refresh(log.records());
+    }
+
+    /// The tracker families shard across at most [`Analyzer::threads`]
+    /// scoped workers (round-robin, so a given thread budget always runs
+    /// the same families together); the window bounds and block sizes fold
+    /// on the calling thread. Disjoint `&mut` borrows of the session's
+    /// fields make this safe without any locking, and each tracker still
+    /// consumes the records in commit order on exactly one thread.
+    fn observe_from_sharded(&mut self, records: &[TxRecord], first_new: usize) {
+        let new = &records[first_new..];
+        for record in new {
+            self.last_block = self.last_block.max(record.block);
+            self.first_send = Some(
+                self.first_send
+                    .map_or(record.client_ts, |t| t.min(record.client_ts)),
+            );
+            self.last_commit = Some(
+                self.last_commit
+                    .map_or(record.commit_ts, |t| t.max(record.commit_ts)),
+            );
+            *self.block_sizes.entry(record.block).or_insert(0) += 1;
+        }
+
+        let rates = &mut self.rates;
+        let endorsers = &mut self.endorsers;
+        let invokers = &mut self.invokers;
+        let keys = &mut self.keys;
+        let hotkey_index = &mut self.hotkey_index;
+        let correlation = &mut self.correlation;
+        let type_hist = &mut self.type_hist;
+        let cases = &mut self.cases;
+        let shards: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                for record in new {
+                    rates.observe(record);
+                }
+            }),
+            Box::new(move || {
+                for record in new {
+                    endorsers.observe(record);
+                }
+            }),
+            Box::new(move || {
+                for record in new {
+                    invokers.observe(record);
+                }
+            }),
+            Box::new(move || {
+                for record in new {
+                    if record.failed() {
+                        keys.observe_failure_indexed(record, hotkey_index);
+                    }
+                }
+            }),
+            Box::new(move || {
+                for pos in first_new..records.len() {
+                    correlation.observe(records, pos);
+                }
+            }),
+            Box::new(move || {
+                for record in new {
+                    observe_activity_type(type_hist, &record.activity, record.tx_type);
+                    cases.observe(record);
+                }
+            }),
+        ];
+
+        let workers = self.config.threads.clamp(1, shards.len());
+        let mut buckets: Vec<Vec<Box<dyn FnOnce() + Send + '_>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, shard) in shards.into_iter().enumerate() {
+            buckets[i % workers].push(shard);
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for shard in bucket {
+                        shard();
+                    }
+                });
+            }
+        });
     }
 
     /// The observation window in seconds (first client send → last commit).
@@ -728,6 +919,117 @@ mod tests {
         let analysis = session.snapshot_or_empty();
         assert!(analysis.recommendations.is_empty());
         assert_eq!(analysis.log.len(), 0);
+    }
+
+    /// The parallel-ingest equivalence guarantee: sharding the per-metric
+    /// trackers across threads produces a snapshot identical to the
+    /// single-threaded fold over the same ledger.
+    #[test]
+    fn sharded_ingest_matches_serial_observe() {
+        let output = small_output();
+        // Serial reference: one thread, whole ledger.
+        let mut serial = Analyzer::new().threads(1).session().unwrap();
+        serial.ingest_ledger(&output.ledger);
+        let a = serial.snapshot().unwrap();
+        // Sharded: four threads, same ledger in one batch (2 000 records,
+        // far above the parallel-ingest threshold).
+        let mut sharded = Analyzer::new().threads(4).session().unwrap();
+        sharded.ingest_ledger(&output.ledger);
+        let b = sharded.snapshot().unwrap();
+
+        assert_eq!(a.log.len(), b.log.len());
+        assert_eq!(
+            a.metrics.rates.tx_per_interval,
+            b.metrics.rates.tx_per_interval
+        );
+        assert_eq!(
+            a.metrics.rates.failures_per_interval,
+            b.metrics.rates.failures_per_interval
+        );
+        assert_eq!(
+            a.metrics.block.avg_block_size,
+            b.metrics.block.avg_block_size
+        );
+        assert_eq!(a.metrics.endorsers.per_org, b.metrics.endorsers.per_org);
+        assert_eq!(a.metrics.invokers.per_org, b.metrics.invokers.per_org);
+        assert_eq!(a.metrics.keys.kfreq, b.metrics.keys.kfreq);
+        assert_eq!(a.metrics.keys.hotkeys, b.metrics.keys.hotkeys);
+        assert_eq!(
+            a.metrics.correlation.read_conflicts,
+            b.metrics.correlation.read_conflicts
+        );
+        assert_eq!(
+            a.metrics.correlation.mean_distance,
+            b.metrics.correlation.mean_distance
+        );
+        assert_eq!(a.case_derivation.family, b.case_derivation.family);
+        assert_eq!(a.case_derivation.case_ids, b.case_derivation.case_ids);
+        assert_eq!(a.event_log.len(), b.event_log.len());
+        assert_eq!(a.model.edges, b.model.edges);
+        assert_eq!(a.recommendation_names(), b.recommendation_names());
+    }
+
+    /// A sharded whole-ledger ingest must also equal the block-by-block
+    /// streaming fold (`observe_from` per block never crosses the
+    /// threshold, so it is always the serial reference).
+    #[test]
+    fn sharded_ledger_ingest_matches_blockwise_streaming() {
+        let output = small_output();
+        let mut blockwise = Analyzer::new().threads(1).session().unwrap();
+        for block in output.ledger.blocks() {
+            blockwise.ingest_block(block);
+        }
+        let a = blockwise.snapshot().unwrap();
+        let mut sharded = Analyzer::new().threads(4).session().unwrap();
+        sharded.ingest_ledger(&output.ledger);
+        let b = sharded.snapshot().unwrap();
+        assert_eq!(
+            a.metrics.rates.tx_per_interval,
+            b.metrics.rates.tx_per_interval
+        );
+        assert_eq!(a.metrics.keys.hotkeys, b.metrics.keys.hotkeys);
+        assert_eq!(
+            a.metrics.correlation.identified,
+            b.metrics.correlation.identified
+        );
+        assert_eq!(a.recommendation_names(), b.recommendation_names());
+        assert_eq!(a.log.block_count(), b.log.block_count());
+    }
+
+    #[test]
+    fn unknown_rule_ids_are_rejected() {
+        let err = Analyzer::new()
+            .disable_rule("actvity-reordering")
+            .unwrap_err();
+        match &err {
+            AnalyzeError::UnknownRule { id, known } => {
+                assert_eq!(id, "actvity-reordering");
+                assert!(
+                    known.iter().any(|k| k == "activity-reordering"),
+                    "{known:?}"
+                );
+            }
+            other => panic!("expected UnknownRule, got {other:?}"),
+        }
+        assert!(err.to_string().contains("unknown rule id"));
+        // Threshold overrides lint the same way.
+        let err = Analyzer::new()
+            .rule_thresholds("not-a-rule", Thresholds::default())
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::UnknownRule { .. }));
+        // Valid ids still work, including for custom registries configured
+        // first.
+        let tuned = Analyzer::new()
+            .disable_rule("activity-reordering")
+            .unwrap()
+            .rule_thresholds("block-size-adaptation", Thresholds::default())
+            .unwrap();
+        let output = small_output();
+        let analysis = tuned.analyze_ledger(&output.ledger).unwrap();
+        assert!(analysis
+            .recommendation_names()
+            .iter()
+            .all(|n| *n != "Activity reordering"));
     }
 
     #[test]

@@ -40,34 +40,45 @@ impl ExecStatus {
 /// `GetState` reads committed state only).
 pub struct TxContext<'a> {
     state: &'a WorldState,
-    namespace: String,
+    /// The cached `"namespace/"` prefix: qualifying a key is one exactly-
+    /// sized allocation, with no per-access namespace formatting.
+    prefix: String,
     rwset: ReadWriteSet,
 }
 
 impl<'a> TxContext<'a> {
     /// A context over `state`, scoping keys under `namespace`.
     pub fn new(state: &'a WorldState, namespace: &str) -> Self {
+        let mut prefix = String::with_capacity(namespace.len() + 1);
+        prefix.push_str(namespace);
+        prefix.push('/');
         TxContext {
             state,
-            namespace: namespace.to_string(),
+            prefix,
             rwset: ReadWriteSet::new(),
         }
     }
 
     fn qualify(&self, key: &str) -> Key {
-        format!("{}/{}", self.namespace, key)
+        let mut out = String::with_capacity(self.prefix.len() + key.len());
+        out.push_str(&self.prefix);
+        out.push_str(key);
+        out
     }
 
     /// Current namespace (chaincode name).
     pub fn namespace(&self) -> &str {
-        &self.namespace
+        &self.prefix[..self.prefix.len() - 1]
     }
 
     /// Switch namespace for a cross-contract invocation
     /// (`invokeChaincode` in Fabric merges the callee's accesses into the
     /// caller's read-write set on the same channel).
     pub fn set_namespace(&mut self, namespace: &str) {
-        self.namespace = namespace.to_string();
+        self.prefix.clear();
+        self.prefix.reserve(namespace.len() + 1);
+        self.prefix.push_str(namespace);
+        self.prefix.push('/');
     }
 
     /// Read a key from committed state, recording the observed version.
@@ -111,10 +122,7 @@ impl<'a> TxContext<'a> {
         let mut out = Vec::new();
         for (k, vv) in self.state.range(&qstart, &qend).take(limit) {
             observed.push((k.clone(), vv.version));
-            let short = k
-                .strip_prefix(&format!("{}/", self.namespace))
-                .unwrap_or(k)
-                .to_string();
+            let short = k.strip_prefix(&self.prefix).unwrap_or(k).to_string();
             out.push((short, vv.value.clone()));
         }
         self.rwset.record_range(qstart, qend, observed);

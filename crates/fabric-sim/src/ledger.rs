@@ -6,7 +6,7 @@
 //! all nine attributes of its blockchain log from these envelopes.
 
 use crate::rwset::ReadWriteSet;
-use crate::types::{ClientId, PeerId, TxId, TxType, Value};
+use crate::types::{ClientId, Name, PeerId, TxId, TxType, Value};
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
 use std::fmt;
@@ -78,11 +78,11 @@ pub struct TransactionEnvelope {
     /// Time the transaction's block was committed.
     pub commit_ts: SimTime,
     /// Chaincode (smart contract) the transaction executed.
-    pub contract: String,
+    pub contract: Name,
     /// Smart-contract function name — the paper's *activity name*.
-    pub activity: String,
-    /// Function arguments.
-    pub args: Vec<Value>,
+    pub activity: Name,
+    /// Function arguments (shared with the originating request).
+    pub args: std::sync::Arc<[Value]>,
     /// Endorsing peers that signed the proposal.
     pub endorsers: Vec<PeerId>,
     /// Invoking client (and thereby its organization).
@@ -218,7 +218,7 @@ mod tests {
             commit_ts: SimTime::from_millis(id * 10 + 100),
             contract: "cc".into(),
             activity: "act".into(),
-            args: vec![],
+            args: vec![].into(),
             endorsers: vec![PeerId {
                 org: OrgId(0),
                 index: 0,

@@ -21,6 +21,9 @@ pub struct SimReport {
     /// Proposals the chaincode rejected during endorsement (process-model
     /// pruning's early aborts); these never reach the ledger.
     pub early_aborted: usize,
+    /// Early aborts broken down by the contract's abort reason (the first
+    /// rejecting endorser's message).
+    pub early_abort_reasons: BTreeMap<String, usize>,
     /// Transactions committed to the ledger (valid + invalid).
     pub committed: usize,
     /// Valid transactions.
@@ -99,6 +102,7 @@ impl SimReport {
         SimReport {
             requests,
             early_aborted: 0,
+            early_abort_reasons: BTreeMap::new(),
             committed,
             successes,
             mvcc_conflicts: mvcc,
@@ -144,7 +148,21 @@ impl SimReport {
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "requests            : {}", self.requests)?;
-        writeln!(f, "early aborted       : {}", self.early_aborted)?;
+        if self.early_abort_reasons.is_empty() {
+            writeln!(f, "early aborted       : {}", self.early_aborted)?;
+        } else {
+            let reasons: Vec<String> = self
+                .early_abort_reasons
+                .iter()
+                .map(|(reason, count)| format!("{reason}: {count}"))
+                .collect();
+            writeln!(
+                f,
+                "early aborted       : {} ({})",
+                self.early_aborted,
+                reasons.join(", ")
+            )?;
+        }
         writeln!(f, "committed           : {}", self.committed)?;
         writeln!(
             f,
@@ -205,7 +223,7 @@ mod tests {
             commit_ts: SimTime::from_millis(latency_ms),
             contract: "cc".into(),
             activity: "a".into(),
-            args: vec![],
+            args: vec![].into(),
             endorsers: vec![PeerId {
                 org: OrgId(0),
                 index: 0,

@@ -26,26 +26,32 @@ use crate::report::SimReport;
 use crate::rwset::ReadWriteSet;
 use crate::scheduler::{schedule_block, stale_tolerance_blocks, SchedTx};
 use crate::state::WorldState;
-use crate::types::{ClientId, OrgId, PeerId, TxId, Value};
+use crate::types::{qualified_key, ClientId, Name, OrgId, PeerId, TxId, Value};
 use crate::validator::{validate_block, TxToValidate};
 use sim_core::events::EventQueue;
 use sim_core::rng::SimRng;
 use sim_core::server::QueueServer;
 use sim_core::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// One workload transaction to inject.
+///
+/// Names and arguments are shared ([`Name`] = `Arc<str>`, `Arc<[Value]>`):
+/// workload generators build each distinct name once, and cloning a request
+/// — which schedule rewrites and the multi-seed plan executor do wholesale —
+/// copies three pointers instead of re-allocating strings and argument
+/// vectors.
 #[derive(Debug, Clone)]
 pub struct TxRequest {
     /// When the client creates the proposal.
     pub send_time: SimTime,
     /// Target chaincode (must be registered on the simulation).
-    pub contract: String,
+    pub contract: Name,
     /// Smart-contract function to invoke.
-    pub activity: String,
+    pub activity: Name,
     /// Function arguments (contracts must be deterministic in these).
-    pub args: Vec<Value>,
+    pub args: Arc<[Value]>,
     /// Organization whose client invokes the transaction.
     pub invoker_org: OrgId,
 }
@@ -73,7 +79,7 @@ enum Ev {
 #[derive(Debug, Clone)]
 enum EndorseResult {
     Ok(ReadWriteSet),
-    Abort(#[allow(dead_code)] String),
+    Abort(String),
 }
 
 #[derive(Debug, Clone, Default)]
@@ -145,7 +151,7 @@ impl Simulation {
 
         let mut state = WorldState::new();
         for (ns, key, value) in &self.genesis {
-            state.seed(format!("{ns}/{key}"), value.clone());
+            state.seed(qualified_key(ns, key), value.clone());
         }
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -168,6 +174,7 @@ impl Simulation {
         let mut inflight: Vec<InFlightBlock> = Vec::new();
         let mut ledger = Ledger::new();
         let mut early_aborted = 0usize;
+        let mut abort_reasons: BTreeMap<String, usize> = BTreeMap::new();
         let mut intra = 0usize;
         let mut inter = 0usize;
 
@@ -198,7 +205,7 @@ impl Simulation {
                         let req = &requests[i];
                         let contract = self
                             .contracts
-                            .get(&req.contract)
+                            .get(req.contract.as_ref())
                             .unwrap_or_else(|| panic!("contract {:?} not installed", req.contract));
                         // Cost estimate from a dry execution at proposal time.
                         let mut est_ctx = TxContext::new(&state, contract.name());
@@ -224,7 +231,7 @@ impl Simulation {
 
                     Ev::EndorseExec { tx, slot } => {
                         let req = &requests[tx];
-                        let contract = &self.contracts[&req.contract];
+                        let contract = &self.contracts[req.contract.as_ref()];
                         let mut ctx = TxContext::new(&state, contract.name());
                         let status = contract.execute(&mut ctx, &req.activity, &req.args);
                         pending[tx].results[slot] = Some(match status {
@@ -235,29 +242,51 @@ impl Simulation {
 
                     Ev::Assemble(i) => {
                         let p = &mut pending[i];
-                        let mut rwsets: Vec<&ReadWriteSet> = Vec::new();
-                        let mut aborts = 0usize;
-                        for r in p.results.iter().flatten() {
+                        let mut first_ok: Option<usize> = None;
+                        let mut aborted = false;
+                        for (slot, r) in p.results.iter().enumerate() {
                             match r {
-                                EndorseResult::Ok(rw) => rwsets.push(rw),
-                                EndorseResult::Abort(_) => aborts += 1,
+                                Some(EndorseResult::Ok(_)) => {
+                                    first_ok = first_ok.or(Some(slot));
+                                }
+                                Some(EndorseResult::Abort(_)) => aborted = true,
+                                None => {}
                             }
                         }
-                        if aborts > 0 || rwsets.is_empty() {
+                        let Some(first) = first_ok.filter(|_| !aborted) else {
                             // The chaincode rejected the proposal on at least
                             // one endorser: the client cannot assemble a
                             // valid transaction — early abort (pruning path).
+                            // The contract's reason feeds the report's
+                            // failure breakdown.
+                            let reason = p
+                                .results
+                                .iter()
+                                .flatten()
+                                .find_map(|r| match r {
+                                    EndorseResult::Abort(reason) => Some(reason.as_str()),
+                                    EndorseResult::Ok(_) => None,
+                                })
+                                .unwrap_or("no endorsement result");
+                            *abort_reasons.entry(reason.to_string()).or_insert(0) += 1;
                             p.dropped = true;
                             early_aborted += 1;
                             continue;
-                        }
-                        let first = rwsets[0].clone();
-                        p.mismatch = rwsets.iter().any(|rw| **rw != first);
+                        };
+                        let canonical = match p.results[first].as_ref() {
+                            Some(EndorseResult::Ok(rw)) => rw,
+                            _ => unreachable!("first_ok indexes an Ok result"),
+                        };
+                        p.mismatch = p
+                            .results
+                            .iter()
+                            .flatten()
+                            .any(|r| matches!(r, EndorseResult::Ok(rw) if rw != canonical));
                         let worker = p.worker.expect("assigned at ClientSend");
                         let (_, done) = workers.submit(worker, now, assemble_time);
                         p.submit_ts = done;
-                        // Store the canonical rwset in slot 0 result.
-                        p.results[0] = Some(EndorseResult::Ok(first));
+                        // Move the canonical rwset into slot 0 (no clone).
+                        p.results.swap(0, first);
                         queue.schedule(done + res.net_delay, Ev::OrdererReceive(i));
                     }
 
@@ -333,10 +362,13 @@ impl Simulation {
                                     inter += 1;
                                 }
                             }
-                            let p = &pending[tx_idx];
-                            let rwset = match p.results[0].as_ref().unwrap() {
-                                EndorseResult::Ok(rw) => rw.clone(),
-                                EndorseResult::Abort(_) => unreachable!(),
+                            // Each transaction commits exactly once, so the
+                            // canonical rwset and endorser list move into
+                            // the envelope instead of being cloned.
+                            let p = &mut pending[tx_idx];
+                            let rwset = match p.results[0].take() {
+                                Some(EndorseResult::Ok(rw)) => rw,
+                                _ => unreachable!("committed tx has canonical rwset"),
                             };
                             let req = &requests[tx_idx];
                             envelopes.push(TransactionEnvelope {
@@ -347,7 +379,7 @@ impl Simulation {
                                 contract: req.contract.clone(),
                                 activity: req.activity.clone(),
                                 args: req.args.clone(),
-                                endorsers: p.endorse_peers.clone(),
+                                endorsers: std::mem::take(&mut p.endorse_peers),
                                 invoker: p.worker.expect("assigned"),
                                 tx_type: rwset.tx_type(),
                                 rwset,
@@ -383,6 +415,7 @@ impl Simulation {
 
         let mut report = SimReport::from_ledger(&ledger, requests.len(), first_send);
         report.early_aborted = early_aborted;
+        report.early_abort_reasons = abort_reasons;
         report.intra_block_conflicts = intra;
         report.inter_block_conflicts = inter;
         let horizon = SimTime::ZERO
@@ -570,7 +603,7 @@ mod tests {
             send_time: SimTime::from_millis(i * 10),
             contract: "kv".into(),
             activity: activity.into(),
-            args,
+            args: args.into(),
             invoker_org: OrgId((i % 2) as u16),
         }
     }
@@ -584,7 +617,7 @@ mod tests {
         assert_eq!(out.report.blocks, 1);
         assert_eq!(out.ledger.blocks()[0].cut_reason, CutReason::Timeout);
         let tx = out.ledger.transactions().next().unwrap();
-        assert_eq!(tx.activity, "put");
+        assert_eq!(tx.activity.as_ref(), "put");
         assert_eq!(tx.status, TxStatus::Success);
         assert!(tx.commit_ts > tx.submit_ts);
         assert!(tx.submit_ts > tx.client_ts);
@@ -600,7 +633,7 @@ mod tests {
                 send_time: SimTime::from_micros(i * 100),
                 contract: "kv".into(),
                 activity: "upd".into(),
-                args: vec!["counter".into()],
+                args: vec!["counter".into()].into(),
                 invoker_org: OrgId((i % 2) as u16),
             })
             .collect();
@@ -628,7 +661,7 @@ mod tests {
                 send_time: SimTime::from_secs(i * 2),
                 contract: "kv".into(),
                 activity: "upd".into(),
-                args: vec!["counter".into()],
+                args: vec!["counter".into()].into(),
                 invoker_org: OrgId(0),
             })
             .collect();
@@ -647,6 +680,26 @@ mod tests {
         assert_eq!(out.report.early_aborted, 1);
         assert_eq!(out.report.committed, 1, "aborted tx never ordered");
         assert_eq!(out.report.requests, 2);
+    }
+
+    #[test]
+    fn abort_reasons_reach_the_report() {
+        let s = sim();
+        let out = s.run(&[
+            req(0, "fail", vec![]),
+            req(1, "fail", vec![]),
+            req(2, "put", vec!["x".into(), Value::Int(1)]),
+        ]);
+        assert_eq!(out.report.early_aborted, 2);
+        // KvContract's `fail` activity aborts with reason "nope".
+        assert_eq!(out.report.early_abort_reasons.get("nope"), Some(&2));
+        assert_eq!(
+            out.report.early_abort_reasons.values().sum::<usize>(),
+            out.report.early_aborted,
+            "every early abort carries a reason"
+        );
+        let text = out.report.to_string();
+        assert!(text.contains("nope: 2"), "{text}");
     }
 
     #[test]
@@ -713,7 +766,7 @@ mod tests {
                 send_time: SimTime::from_micros(i * 200),
                 contract: "kv".into(),
                 activity: if i % 2 == 0 { "upd" } else { "get" }.into(),
-                args: vec!["hot".into()],
+                args: vec!["hot".into()].into(),
                 invoker_org: OrgId((i % 2) as u16),
             })
             .collect();

@@ -8,6 +8,44 @@ use std::fmt;
 /// `"namespace/"` prefix (Fabric scopes each chaincode's state the same way).
 pub type Key = String;
 
+/// An interned identifier: contract, activity, and namespace names are
+/// shared `Arc<str>`s, so schedule rewrites, request clones, and committed
+/// transaction envelopes copy a pointer instead of re-allocating the same
+/// handful of strings millions of times (the simulator's hot path).
+pub type Name = std::sync::Arc<str>;
+
+/// Intern a name: repeated calls with equal strings return clones of one
+/// shared allocation. The table is process-wide and only ever grows —
+/// workloads draw from a small fixed vocabulary of contract and activity
+/// names, so this stays tiny. Call sites that already hold an `Arc<str>`
+/// should clone it directly instead.
+pub fn intern(name: &str) -> Name {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeSet<Name>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut names = table.lock().expect("intern table lock");
+    match names.get(name) {
+        Some(existing) => existing.clone(),
+        None => {
+            let fresh: Name = std::sync::Arc::from(name);
+            names.insert(fresh.clone());
+            fresh
+        }
+    }
+}
+
+/// Build the namespaced world-state key `"{namespace}/{key}"` with a single
+/// exactly-sized allocation (the per-access `format!` this replaces showed
+/// up in simulator profiles).
+pub fn qualified_key(namespace: &str, key: &str) -> Key {
+    let mut out = String::with_capacity(namespace.len() + 1 + key.len());
+    out.push_str(namespace);
+    out.push('/');
+    out.push_str(key);
+    out
+}
+
 /// An organization in the consortium (`Org1`, `Org2`, …: 1-based display).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
@@ -274,6 +312,23 @@ mod tests {
         assert_eq!(TxType::Update.to_string(), "update");
         assert_eq!(TxType::Write.to_string(), "write");
         assert_eq!(TxType::Delete.to_string(), "delete");
+    }
+
+    #[test]
+    fn intern_shares_one_allocation() {
+        let a = intern("play");
+        let b = intern("play");
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = intern("pause");
+        assert_eq!(&*c, "pause");
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn qualified_key_matches_format() {
+        assert_eq!(qualified_key("kv", "counter"), "kv/counter");
+        assert_eq!(qualified_key("", "k"), "/k");
+        assert_eq!(qualified_key("ns", ""), "ns/");
     }
 
     #[test]

@@ -15,13 +15,17 @@
 //! * [`server`] — analytic FIFO queueing servers used to model endorsers, the
 //!   ordering service, validators and clients;
 //! * [`stats`] — summaries (mean / percentiles), time-bucketed rate series and
-//!   fixed-width histograms used by the metric-derivation layer.
+//!   fixed-width histograms used by the metric-derivation layer;
+//! * [`pool`] — a scoped-thread worker pool with deterministic result
+//!   ordering, used to fan repeated simulation runs (multi-seed plan
+//!   execution, experiment grids) across cores.
 //!
 //! Nothing here is blockchain specific; `fabric-sim` composes these pieces
 //! into the execute-order-validate pipeline.
 
 pub mod dist;
 pub mod events;
+pub mod pool;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -29,6 +33,7 @@ pub mod time;
 
 pub use dist::{DiscreteWeighted, Exponential, Zipf};
 pub use events::EventQueue;
+pub use pool::ThreadPool;
 pub use rng::SimRng;
 pub use server::{MultiServer, QueueServer};
 pub use stats::{Summary, TimeBuckets};

@@ -220,7 +220,7 @@ mod tests {
                     send_time: SimTime::from_millis(i * 100),
                     contract: "genchain".into(),
                     activity: "read".into(),
-                    args: vec!["k0".into()],
+                    args: vec!["k0".into()].into(),
                     invoker_org: OrgId(0),
                 })
                 .collect(),

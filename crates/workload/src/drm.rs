@@ -8,7 +8,7 @@
 use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract};
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -88,9 +88,9 @@ pub fn generate(spec: &DrmSpec) -> WorkloadBundle {
         };
         requests.push(TxRequest {
             send_time: clock,
-            contract: DrmContract::NAME.to_string(),
-            activity: activity.to_string(),
-            args,
+            contract: intern(DrmContract::NAME),
+            activity: intern(activity),
+            args: args.into(),
             invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
         });
     }
@@ -138,9 +138,9 @@ pub fn partitioned(bundle: WorkloadBundle, spec: &DrmSpec) -> WorkloadBundle {
         .iter()
         .cloned()
         .map(|mut r| {
-            r.contract = match r.activity.as_str() {
-                "play" | "calcRevenue" | "create" => DrmPlayContract::NAME.to_string(),
-                _ => DrmMetaContract::NAME.to_string(),
+            r.contract = match r.activity.as_ref() {
+                "play" | "calcRevenue" | "create" => intern(DrmPlayContract::NAME),
+                _ => intern(DrmMetaContract::NAME),
             };
             r
         })
@@ -192,7 +192,11 @@ mod tests {
     #[test]
     fn play_share_matches_spec() {
         let b = generate(&DrmSpec::default());
-        let plays = b.requests.iter().filter(|r| r.activity == "play").count();
+        let plays = b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "play")
+            .count();
         let share = plays as f64 / b.len() as f64;
         assert!((share - 0.70).abs() < 0.02, "{share}");
     }
@@ -204,9 +208,13 @@ mod tests {
         let hot_plays = b
             .requests
             .iter()
-            .filter(|r| r.activity == "play" && r.args[0].as_str() == Some(hot.as_str()))
+            .filter(|r| r.activity.as_ref() == "play" && r.args[0].as_str() == Some(hot.as_str()))
             .count();
-        let total_plays = b.requests.iter().filter(|r| r.activity == "play").count();
+        let total_plays = b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "play")
+            .count();
         assert!(
             hot_plays as f64 / total_plays as f64 > 0.10,
             "Zipf(1) hot share: {hot_plays}/{total_plays}"
@@ -217,7 +225,11 @@ mod tests {
     fn creates_use_fresh_catalogue_ids() {
         let b = generate(&DrmSpec::default());
         let mut seen = std::collections::HashSet::new();
-        for r in b.requests.iter().filter(|r| r.activity == "create") {
+        for r in b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "create")
+        {
             assert!(seen.insert(r.args[0].as_str().unwrap().to_string()));
         }
     }
@@ -226,7 +238,7 @@ mod tests {
     fn plays_carry_unique_sequence() {
         let b = generate(&DrmSpec::default());
         let mut seqs = std::collections::HashSet::new();
-        for r in b.requests.iter().filter(|r| r.activity == "play") {
+        for r in b.requests.iter().filter(|r| r.activity.as_ref() == "play") {
             assert!(seqs.insert(r.args[1].as_int().unwrap()));
         }
     }
@@ -236,11 +248,11 @@ mod tests {
         let spec = DrmSpec::default();
         let p = partitioned(generate(&spec), &spec);
         for r in &p.requests {
-            match r.activity.as_str() {
+            match r.activity.as_ref() {
                 "play" | "calcRevenue" | "create" => {
-                    assert_eq!(r.contract, DrmPlayContract::NAME)
+                    assert_eq!(r.contract.as_ref(), DrmPlayContract::NAME)
                 }
-                _ => assert_eq!(r.contract, DrmMetaContract::NAME),
+                _ => assert_eq!(r.contract.as_ref(), DrmMetaContract::NAME),
             }
         }
         assert_eq!(p.contracts.len(), 2);

@@ -8,7 +8,7 @@
 use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DvContract, DvPerVoterContract};
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -75,9 +75,9 @@ fn generate_inner(spec: &DvSpec, rng: &mut SimRng) -> WorkloadBundle {
         clock += q_inter.sample(rng);
         requests.push(TxRequest {
             send_time: clock,
-            contract: DvContract::NAME.to_string(),
-            activity: "queryParties".to_string(),
-            args: vec![],
+            contract: intern(DvContract::NAME),
+            activity: intern("queryParties"),
+            args: vec![].into(),
             invoker_org: OrgId(org_pick.sample(rng) as u16),
         });
     }
@@ -88,12 +88,12 @@ fn generate_inner(spec: &DvSpec, rng: &mut SimRng) -> WorkloadBundle {
         clock += v_inter.sample(rng);
         requests.push(TxRequest {
             send_time: clock,
-            contract: DvContract::NAME.to_string(),
-            activity: "vote".to_string(),
-            args: vec![
+            contract: intern(DvContract::NAME),
+            activity: intern("vote"),
+            args: Arc::from(vec![
                 party_key(party_pick.sample(rng)).into(),
                 format!("V{v:06}").into(),
-            ],
+            ]),
             invoker_org: OrgId(org_pick.sample(rng) as u16),
         });
     }
@@ -101,17 +101,17 @@ fn generate_inner(spec: &DvSpec, rng: &mut SimRng) -> WorkloadBundle {
     clock += SimDuration::from_secs(2);
     requests.push(TxRequest {
         send_time: clock,
-        contract: DvContract::NAME.to_string(),
-        activity: "seeResults".to_string(),
-        args: vec![],
+        contract: intern(DvContract::NAME),
+        activity: intern("seeResults"),
+        args: vec![].into(),
         invoker_org: OrgId(0),
     });
     clock += SimDuration::from_secs(2);
     requests.push(TxRequest {
         send_time: clock,
-        contract: DvContract::NAME.to_string(),
-        activity: "endElection".to_string(),
-        args: vec![],
+        contract: intern(DvContract::NAME),
+        activity: intern("endElection"),
+        args: vec![].into(),
         invoker_org: OrgId(0),
     });
 
@@ -161,12 +161,12 @@ mod tests {
         // First 1000 are queries, then votes, then the two closers.
         assert!(b.requests[..1_000]
             .iter()
-            .all(|r| r.activity == "queryParties"));
+            .all(|r| r.activity.as_ref() == "queryParties"));
         assert!(b.requests[1_000..6_000]
             .iter()
-            .all(|r| r.activity == "vote"));
-        assert_eq!(b.requests[6_000].activity, "seeResults");
-        assert_eq!(b.requests[6_001].activity, "endElection");
+            .all(|r| r.activity.as_ref() == "vote"));
+        assert_eq!(b.requests[6_000].activity.as_ref(), "seeResults");
+        assert_eq!(b.requests[6_001].activity.as_ref(), "endElection");
     }
 
     #[test]
@@ -190,7 +190,7 @@ mod tests {
     fn voters_are_unique() {
         let b = generate(&DvSpec::default());
         let mut seen = std::collections::HashSet::new();
-        for r in b.requests.iter().filter(|r| r.activity == "vote") {
+        for r in b.requests.iter().filter(|r| r.activity.as_ref() == "vote") {
             assert!(seen.insert(r.args[1].as_str().unwrap().to_string()));
         }
     }
@@ -199,7 +199,7 @@ mod tests {
     fn votes_spread_over_all_parties() {
         let b = generate(&DvSpec::default());
         let mut hits = vec![0usize; 4];
-        for r in b.requests.iter().filter(|r| r.activity == "vote") {
+        for r in b.requests.iter().filter(|r| r.activity.as_ref() == "vote") {
             let p = r.args[0].as_str().unwrap();
             let idx: usize = p.trim_start_matches("party:P").parse().unwrap();
             hits[idx] += 1;

@@ -9,7 +9,7 @@
 use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::EhrContract;
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -119,9 +119,9 @@ pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
         };
         requests.push(TxRequest {
             send_time: clock,
-            contract: EhrContract::NAME.to_string(),
-            activity: activity.to_string(),
-            args,
+            contract: intern(EhrContract::NAME),
+            activity: intern(activity),
+            args: args.into(),
             invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
         });
     }
@@ -159,7 +159,7 @@ mod tests {
         let updates = b
             .requests
             .iter()
-            .filter(|r| r.activity == "updateRecord")
+            .filter(|r| r.activity.as_ref() == "updateRecord")
             .count();
         let share = updates as f64 / b.len() as f64;
         assert!((share - 0.70).abs() < 0.02, "{share}");
@@ -173,7 +173,11 @@ mod tests {
             ..Default::default()
         };
         let b = generate(&spec);
-        for r in b.requests.iter().filter(|r| r.activity == "revokeAccess") {
+        for r in b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "revokeAccess")
+        {
             let inst = r.args[1].as_str().unwrap();
             let idx: usize = inst.trim_start_matches("inst").parse().unwrap();
             assert!(idx >= spec.institutes, "anomalous revoke uses ghost inst");
@@ -193,7 +197,7 @@ mod tests {
         let mut seen: std::collections::HashSet<(String, String)> = Default::default();
         for r in &b.requests {
             let p = r.args[0].as_str().unwrap().to_string();
-            match r.activity.as_str() {
+            match r.activity.as_ref() {
                 "grantAccess" => {
                     seen.insert((p, r.args[1].as_str().unwrap().to_string()));
                 }

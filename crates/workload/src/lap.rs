@@ -21,7 +21,7 @@
 use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{LapByApplicationContract, LapByEmployeeContract};
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, OrgId, Value};
 use sim_core::dist::DiscreteWeighted;
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -172,13 +172,13 @@ pub fn generate(spec: &LapSpec) -> WorkloadBundle {
             let app = &apps[app_idx];
             TxRequest {
                 send_time: SimTime::ZERO + gap.mul(i as u64),
-                contract: LapByEmployeeContract::NAME.to_string(),
-                activity: activity.to_string(),
-                args: vec![
+                contract: intern(LapByEmployeeContract::NAME),
+                activity: intern(activity),
+                args: Arc::from(vec![
                     employee_key(app.employee).into(),
                     application_key(app_idx).into(),
                     Value::Int(app.amount),
-                ],
+                ]),
                 invoker_org: OrgId((app_idx % org_count) as u16),
             }
         })
@@ -236,7 +236,7 @@ mod tests {
         let mut traces: HashMap<String, Vec<String>> = HashMap::new();
         for r in &b.requests {
             let app = r.args[1].as_str().unwrap().to_string();
-            traces.entry(app).or_default().push(r.activity.clone());
+            traces.entry(app).or_default().push(r.activity.to_string());
         }
         for (app, t) in &traces {
             assert_eq!(t[0], "create", "{app} starts with create");
@@ -255,7 +255,11 @@ mod tests {
             ..Default::default()
         });
         let mut per_app: HashMap<String, usize> = HashMap::new();
-        for r in b.requests.iter().filter(|r| r.activity == "createOffer") {
+        for r in b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "createOffer")
+        {
             *per_app
                 .entry(r.args[1].as_str().unwrap().to_string())
                 .or_insert(0) += 1;

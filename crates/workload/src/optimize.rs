@@ -31,7 +31,7 @@ fn reorder(requests: &[TxRequest], activities: &[&str], front: bool) -> Vec<TxRe
     let mut times: Vec<SimTime> = requests.iter().map(|r| r.send_time).collect();
     times.sort_unstable();
 
-    let is_target = |r: &TxRequest| activities.iter().any(|a| *a == r.activity);
+    let is_target = |r: &TxRequest| activities.iter().any(|a| *a == r.activity.as_ref());
     let mut picked: Vec<TxRequest> = Vec::with_capacity(requests.len());
     let (first, second): (Vec<&TxRequest>, Vec<&TxRequest>) = if front {
         (
@@ -77,7 +77,7 @@ mod tests {
             send_time: SimTime::from_millis(i * 100),
             contract: "cc".into(),
             activity: activity.into(),
-            args: vec![],
+            args: vec![].into(),
             invoker_org: OrgId(0),
         }
     }
@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn move_to_end_pushes_targets_last() {
         let out = move_to_end(&schedule(), &["query", "audit"]);
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_ref()).collect();
         assert_eq!(acts, vec!["write", "write", "query", "query", "audit"]);
         // Time slots are exactly the original multiset, in order.
         let times: Vec<u64> = out.iter().map(|r| r.send_time.as_micros()).collect();
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn move_to_front_pulls_targets_first() {
         let out = move_to_front(&schedule(), &["audit"]);
-        assert_eq!(out[0].activity, "audit");
+        assert_eq!(out[0].activity.as_ref(), "audit");
         assert_eq!(out[0].send_time, SimTime::ZERO);
         assert_eq!(out.len(), 5);
     }
@@ -119,7 +119,7 @@ mod tests {
             .map(|r| r.args.len() as u64) // placeholder: use activity order
             .collect();
         assert_eq!(ids.len(), 4);
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_ref()).collect();
         assert_eq!(acts, vec!["b", "b", "a", "a"], "stable within groups");
     }
 
@@ -128,7 +128,7 @@ mod tests {
         let out = rate_control(&schedule(), 2.0);
         let times: Vec<u64> = out.iter().map(|r| r.send_time.as_micros()).collect();
         assert_eq!(times, vec![0, 500_000, 1_000_000, 1_500_000, 2_000_000]);
-        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_str()).collect();
+        let acts: Vec<&str> = out.iter().map(|r| r.activity.as_ref()).collect();
         assert_eq!(acts, vec!["query", "write", "query", "write", "audit"]);
     }
 

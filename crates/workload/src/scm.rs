@@ -10,7 +10,7 @@
 use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::ScmContract;
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, Name, OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -121,30 +121,30 @@ pub fn generate(spec: &ScmSpec) -> WorkloadBundle {
     let mut requests = Vec::with_capacity(slots.len());
     for (i, slot) in slots.into_iter().enumerate() {
         clock += inter.sample(&mut rng);
-        let (activity, args): (String, Vec<Value>) = match slot {
+        let (activity, args): (Name, Vec<Value>) = match slot {
             0 => match flow_iter.next() {
-                Some((p, stage)) => (stage.to_string(), vec![product_key(p).into()]),
+                Some((p, stage)) => (intern(stage), vec![product_key(p).into()]),
                 None => continue,
             },
             1 => {
                 let a = product_key(rng.below(products));
                 let b = product_key(rng.below(products));
-                ("queryProducts".to_string(), vec![a.into(), b.into()])
+                (intern("queryProducts"), vec![a.into(), b.into()])
             }
             _ => {
                 let p = product_key(rng.below(products));
                 let a = audit_key(rng.below(spec.audits));
                 (
-                    "updateAuditInfo".to_string(),
+                    intern("updateAuditInfo"),
                     vec![p.into(), a.into(), Value::Int(i as i64)],
                 )
             }
         };
         requests.push(TxRequest {
             send_time: clock,
-            contract: ScmContract::NAME.to_string(),
+            contract: intern(ScmContract::NAME),
             activity,
-            args,
+            args: args.into(),
             invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
         });
     }
@@ -185,7 +185,7 @@ mod tests {
     fn counts(b: &WorkloadBundle) -> HashMap<String, usize> {
         let mut m = HashMap::new();
         for r in &b.requests {
-            *m.entry(r.activity.clone()).or_insert(0) += 1;
+            *m.entry(r.activity.to_string()).or_insert(0) += 1;
         }
         m
     }
@@ -216,9 +216,9 @@ mod tests {
         // With 50% anomalies, many ships precede their product's pushASN.
         let mut first_stage: HashMap<&str, &str> = HashMap::new();
         for r in &b.requests {
-            if matches!(r.activity.as_str(), "pushASN" | "ship") {
+            if matches!(r.activity.as_ref(), "pushASN" | "ship") {
                 let p = r.args[0].as_str().unwrap();
-                first_stage.entry(p).or_insert(r.activity.as_str());
+                first_stage.entry(p).or_insert(r.activity.as_ref());
             }
         }
         let ship_first = first_stage.values().filter(|s| **s == "ship").count();
@@ -239,9 +239,9 @@ mod tests {
         let b = generate(&spec);
         let mut first_stage: HashMap<&str, &str> = HashMap::new();
         for r in &b.requests {
-            if matches!(r.activity.as_str(), "pushASN" | "ship") {
+            if matches!(r.activity.as_ref(), "pushASN" | "ship") {
                 let p = r.args[0].as_str().unwrap();
-                first_stage.entry(p).or_insert(r.activity.as_str());
+                first_stage.entry(p).or_insert(r.activity.as_ref());
             }
         }
         assert!(first_stage.values().all(|s| *s == "pushASN"));

@@ -9,7 +9,7 @@ use crate::bundle::WorkloadBundle;
 use crate::spec::ControlVariables;
 use chaincode::GenChainContract;
 use fabric_sim::sim::TxRequest;
-use fabric_sim::types::{OrgId, Value};
+use fabric_sim::types::{intern, OrgId, Value};
 use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -69,9 +69,9 @@ pub fn generate(cv: &ControlVariables) -> WorkloadBundle {
         };
         requests.push(TxRequest {
             send_time: clock,
-            contract: GenChainContract::NAME.to_string(),
-            activity: activity.to_string(),
-            args,
+            contract: intern(GenChainContract::NAME),
+            activity: intern(activity),
+            args: args.into(),
             invoker_org: OrgId(org_pick.sample(&mut rng) as u16),
         });
     }
@@ -98,7 +98,7 @@ mod tests {
     fn counts(bundle: &WorkloadBundle) -> HashMap<String, usize> {
         let mut m = HashMap::new();
         for r in &bundle.requests {
-            *m.entry(r.activity.clone()).or_insert(0) += 1;
+            *m.entry(r.activity.to_string()).or_insert(0) += 1;
         }
         m
     }
@@ -146,7 +146,7 @@ mod tests {
             ..Default::default()
         });
         let mut keys = std::collections::HashSet::new();
-        for r in b.requests.iter().filter(|r| r.activity == "write") {
+        for r in b.requests.iter().filter(|r| r.activity.as_ref() == "write") {
             let k = r.args[0].as_str().unwrap().to_string();
             assert!(keys.insert(k), "insert keys must be unique");
         }
@@ -228,7 +228,11 @@ mod tests {
             transactions: 5_000,
             ..Default::default()
         });
-        for r in b.requests.iter().filter(|r| r.activity == "range_read") {
+        for r in b
+            .requests
+            .iter()
+            .filter(|r| r.activity.as_ref() == "range_read")
+        {
             let start = r.args[0].as_str().unwrap();
             let end = r.args[1].as_str().unwrap();
             assert!(start < end);

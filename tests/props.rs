@@ -172,8 +172,8 @@ proptest! {
             let achieved = (throttled.len() - 1) as f64 / span;
             prop_assert!((achieved - rate).abs() / rate < 0.01, "{} vs {}", achieved, rate);
         }
-        let mut a: Vec<String> = bundle.requests.iter().map(|r| r.activity.clone()).collect();
-        let mut b: Vec<String> = throttled.iter().map(|r| r.activity.clone()).collect();
+        let mut a: Vec<String> = bundle.requests.iter().map(|r| r.activity.to_string()).collect();
+        let mut b: Vec<String> = throttled.iter().map(|r| r.activity.to_string()).collect();
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);

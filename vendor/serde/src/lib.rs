@@ -162,6 +162,23 @@ impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
     }
 }
 
+// Shared-slice impls (upstream serde ships these behind the `rc` feature):
+// the unsized pointees fall outside the generic `Arc<T: Sized>` impl above.
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            _ => Err(de::Error::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Vec::<T>::from_value(v).map(std::sync::Arc::from)
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
