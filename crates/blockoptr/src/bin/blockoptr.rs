@@ -8,6 +8,10 @@
 //! blockoptr analyze scm.json --json          # machine-readable output
 //! blockoptr analyze scm.json --csv log.csv --xes log.xes --dot model.dot
 //! blockoptr watch scm.json --window 10       # replay as a stream, re-analyzing
+//! blockoptr watch scm.json --policy last-blocks:20   # bounded-memory replay
+//! blockoptr watch --live scm --blocks 50 --window 10 # consume a live run's
+//!                                            # committed-block feed through a
+//!                                            # sliding-window session
 //! blockoptr compare before.json after.json   # compliance check of a rollout
 //! blockoptr optimize scm                     # closed loop: plan, apply, re-run, deltas
 //! blockoptr optimize scm --dry-run           # print the plan without re-running
@@ -35,7 +39,7 @@ use blockoptr::export;
 use blockoptr::log::BlockchainLog;
 use blockoptr::pipeline::Analysis;
 use blockoptr::plan::OptimizationPlan;
-use blockoptr::session::Analyzer;
+use blockoptr::session::{Analyzer, WindowPolicy};
 use fabric_sim::config::NetworkConfig;
 use serde::Serialize;
 use serde_json::Value;
@@ -45,11 +49,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json] [--auto-tune]\n  \
          blockoptr analyze LOG.json [--auto-tune] [--json] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
-         blockoptr watch LOG.json [--window N] [--auto-tune] [--json]\n  \
+         blockoptr watch LOG.json [--window N] [--policy P] [--auto-tune] [--json]\n  \
+         blockoptr watch --live [synthetic|scm|drm|ehr|dv|lap] [--txs N] [--blocks N] [--window N] [--policy P] [--auto-tune] [--json]\n  \
          blockoptr compare BEFORE.json AFTER.json [--json]\n  \
          blockoptr optimize <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--seeds N] [--threads N] [--dry-run] [--auto-tune] [--json] [--disable RULE]...\n\n\
+         watch --live simulates the scenario and analyzes its committed-block feed as it\n\
+         runs; --policy bounds session memory (last-blocks:N, last-secs:S, half-life:S —\n\
+         live mode defaults to last-blocks:<--window>), --blocks caps consumption.\n\
          optimize measures every configuration once per seed (--seeds, default 1; deltas\n\
-         become mean ± stddev with 95 % CIs) and fans the simulations out over --threads\n\
+         become mean ± Student-t 95 % CIs) and fans the simulations out over --threads\n\
          workers (default: BLOCKOPTR_THREADS or all cores; thread count never changes results)."
     );
     ExitCode::from(2)
@@ -277,11 +285,57 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One rolling watch line (text mode) or JSON object (machine mode).
+fn emit_watch_line(
+    analysis: &blockoptr::pipeline::Analysis,
+    label: &str,
+    ordinal: usize,
+    added: usize,
+    json: bool,
+) {
+    if json {
+        let mut obj = match analysis_json(analysis) {
+            Value::Object(fields) => fields,
+            _ => unreachable!(),
+        };
+        obj.insert(0, (label.to_string(), ordinal.to_value()));
+        obj.insert(1, ("new_transactions".to_string(), added.to_value()));
+        println!("{}", Value::Object(obj).render(false));
+    } else {
+        let m = &analysis.metrics;
+        println!(
+            "{label} {ordinal}: +{added} tx (window {} tx in {} blocks) · Tr {:.1} tx/s · failures {:.1} % · recs: {}",
+            analysis.log.len(),
+            analysis.log.block_count(),
+            m.rates.tr,
+            m.rates.failure_fraction() * 100.0,
+            if analysis.recommendations.is_empty() {
+                "(none)".to_string()
+            } else {
+                analysis.recommendation_names().join(", ")
+            }
+        );
+    }
+}
+
+/// The watch session's window policy: `--policy` wins, otherwise live mode
+/// defaults to a sliding window of `--window` blocks (replay keeps the
+/// analyzer's default, i.e. unbounded unless `BLOCKOPTR_WINDOW` says
+/// otherwise).
+fn watch_policy(args: &Args, live: bool, window: u64) -> Result<Option<WindowPolicy>, String> {
+    match args.value("policy") {
+        Some(spec) => WindowPolicy::parse(spec).map(Some),
+        None if live => Ok(Some(WindowPolicy::LastBlocks(window as usize))),
+        None => Ok(None),
+    }
+}
+
 fn cmd_watch(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["window"], &["auto-tune", "json"])?;
-    let Some(path) = args.positional.first() else {
-        return Err("watch needs a LOG.json path".into());
-    };
+    let args = Args::parse(
+        args,
+        &["window", "policy", "txs", "blocks"],
+        &["live", "auto-tune", "json"],
+    )?;
     let window: u64 = match args.value("window") {
         Some(w) => w
             .parse()
@@ -289,6 +343,17 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
             .filter(|&w| w > 0)
             .ok_or_else(|| format!("--window must be a positive integer, got {w:?}"))?,
         None => 10,
+    };
+    if args.switch("live") {
+        return cmd_watch_live(&args, window);
+    }
+    for flag in ["txs", "blocks"] {
+        if args.value(flag).is_some() {
+            return Err(format!("--{flag} only applies to watch --live"));
+        }
+    }
+    let Some(path) = args.positional.first() else {
+        return Err("watch needs a LOG.json path (or --live <scenario>)".into());
     };
     let log = load(path)?;
     if log.is_empty() {
@@ -298,9 +363,11 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     // Replay the exported log as a monitoring loop would consume a live
     // chain: one session, fed `window` blocks at a time, re-analyzed after
     // each batch.
-    let mut session = analyzer(args.switch("auto-tune"))
-        .session()
-        .map_err(|e| e.to_string())?;
+    let mut analyzer = analyzer(args.switch("auto-tune"));
+    if let Some(policy) = watch_policy(&args, false, window)? {
+        analyzer = analyzer.window(policy);
+    }
+    let mut session = analyzer.session().map_err(|e| e.to_string())?;
     let records = log.records();
     let mut start = 0usize;
     let mut windows = 0usize;
@@ -323,35 +390,79 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let analysis = session.snapshot().map_err(|e| e.to_string())?;
         windows += 1;
-        if args.switch("json") {
-            let mut obj = match analysis_json(&analysis) {
-                Value::Object(fields) => fields,
-                _ => unreachable!(),
-            };
-            obj.insert(0, ("window".to_string(), windows.to_value()));
-            obj.insert(1, ("new_transactions".to_string(), added.to_value()));
-            println!("{}", Value::Object(obj).render(false));
-        } else {
-            let m = &analysis.metrics;
-            println!(
-                "window {windows}: +{added} tx (total {} in {} blocks) · Tr {:.1} tx/s · failures {:.1} % · recs: {}",
-                analysis.log.len(),
-                analysis.log.block_count(),
-                m.rates.tr,
-                m.rates.failure_fraction() * 100.0,
-                if analysis.recommendations.is_empty() {
-                    "(none)".to_string()
-                } else {
-                    analysis.recommendation_names().join(", ")
-                }
-            );
-        }
+        emit_watch_line(&analysis, "window", windows, added, args.switch("json"));
         start = end;
     }
     eprintln!(
         "watched {} transactions in {windows} windows of ≤{window} blocks",
         records.len()
     );
+    Ok(())
+}
+
+/// Live mode: run a demo scenario on the simulated Fabric network and
+/// consume its committed-block feed through a windowed session *while the
+/// simulation runs* — the always-on monitoring loop the paper assumes,
+/// with memory bounded by the window policy instead of the chain length.
+fn cmd_watch_live(args: &Args, window: u64) -> Result<(), String> {
+    let scenario = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("synthetic");
+    let txs = positive(args, "txs")?;
+    let block_cap = positive(args, "blocks")?;
+    let policy = watch_policy(args, true, window)?.expect("live mode always has a policy");
+    let (bundle, config) = scenario_bundle(scenario, txs)?;
+
+    // The committed-block channel: the simulation thread pushes each block
+    // as the (simulated) orderer/validators commit it; this thread ingests
+    // and re-analyzes. The channel is bounded so a slow consumer applies
+    // backpressure instead of buffering the whole chain.
+    let (sender, receiver) = std::sync::mpsc::sync_channel::<fabric_sim::ledger::Block>(64);
+    let simulation = std::thread::spawn(move || {
+        bundle.run_observed(config, &mut |block| {
+            // A closed receiver (--blocks cap reached) just means nobody is
+            // watching anymore; the simulation still runs to completion.
+            let _ = sender.send(block.clone());
+        })
+    });
+
+    let mut session = analyzer(args.switch("auto-tune"))
+        .window(policy)
+        .session()
+        .map_err(|e| e.to_string())?;
+    eprintln!("watching live {scenario} run (window policy {policy})");
+    let mut blocks_seen = 0usize;
+    let mut total_tx = 0usize;
+    while let Ok(block) = receiver.recv() {
+        let number = block.number;
+        let added = session.ingest_block(&block);
+        total_tx += added;
+        blocks_seen += 1;
+        let analysis = session.snapshot().map_err(|e| e.to_string())?;
+        emit_watch_line(
+            &analysis,
+            "block",
+            number as usize,
+            added,
+            args.switch("json"),
+        );
+        if block_cap.is_some_and(|cap| blocks_seen >= cap) {
+            break;
+        }
+    }
+    drop(receiver);
+    let output = simulation
+        .join()
+        .map_err(|_| "simulation thread panicked")?;
+    eprintln!(
+        "watched {blocks_seen} live blocks ({total_tx} tx); window now holds {} tx in {} blocks ({} evicted)",
+        session.len(),
+        session.log().block_count(),
+        session.evicted(),
+    );
+    eprintln!("simulation finished: {}", output.report.figure_row());
     Ok(())
 }
 

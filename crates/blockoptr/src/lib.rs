@@ -93,12 +93,12 @@ pub use eventlog::to_event_log;
 pub use log::{BlockchainLog, TxRecord};
 pub use pipeline::{Analysis, BlockOptR};
 pub use plan::{
-    ActionOutcome, ActionResult, MeasuredReport, MetricStats, OptimizationPlan, PlanConfig,
+    t95, ActionOutcome, ActionResult, MeasuredReport, MetricStats, OptimizationPlan, PlanConfig,
     PlanOutcome, PlannedAction,
 };
 pub use recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
 pub use recommend::{Level, Recommendation, Thresholds};
-pub use session::{AnalyzeError, Analyzer, Session};
+pub use session::{AnalyzeError, Analyzer, Session, SessionFootprint, WindowPolicy};
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
@@ -111,7 +111,7 @@ pub mod prelude {
     pub use crate::plan::{OptimizationPlan, PlanConfig, PlanOutcome};
     pub use crate::recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
     pub use crate::recommend::{Level, Recommendation, Thresholds};
-    pub use crate::session::{AnalyzeError, Analyzer, Session};
+    pub use crate::session::{AnalyzeError, Analyzer, Session, WindowPolicy};
     pub use chaincode;
     pub use fabric_sim::config::{NetworkConfig, SchedulerKind};
     pub use fabric_sim::policy::EndorsementPolicy;

@@ -201,6 +201,14 @@ impl BlockchainLog {
     pub(crate) fn add_blocks(&mut self, n: usize) {
         self.blocks += n;
     }
+
+    /// Drop the oldest `k` records and set the block tally to `blocks`
+    /// (sliding-window eviction: the caller counts the distinct blocks the
+    /// retained records span).
+    pub(crate) fn evict_front(&mut self, k: usize, blocks: usize) {
+        self.records.drain(..k);
+        self.blocks = blocks;
+    }
 }
 
 #[cfg(test)]

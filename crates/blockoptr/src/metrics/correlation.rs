@@ -67,26 +67,35 @@ pub struct CorrelationMetrics {
 /// [`observe`](CorrelationTracker::observe) step, so a streaming session
 /// pays O(1) amortized per new transaction instead of rescanning the log.
 ///
-/// The tracker needs the full record slice on each call (writer lookups
-/// resolve positions recorded earlier); the caller guarantees records are
-/// only ever appended.
+/// The tracker needs the live record slice on each call (writer lookups
+/// resolve positions recorded earlier). Positions are *absolute stream
+/// positions*: under sliding-window eviction ([`evict`](Self::evict)) the
+/// slice's front is dropped and `base` records how many positions are gone,
+/// so stored positions stay valid without rewriting them.
 #[derive(Debug, Clone, Default)]
 pub struct CorrelationTracker {
     metrics: CorrelationMetrics,
-    /// Most recent committed writer per key (record position).
+    /// Absolute stream position of `records[0]` (0 until eviction starts).
+    base: usize,
+    /// Most recent committed writer per key (absolute record position).
     last_writer: HashMap<String, usize>,
     /// Previous transaction (any status) per activity, for corPA.
     prev_of_activity: HashMap<String, usize>,
+    /// For each counted delta-write candidate: the predecessor's absolute
+    /// position → activity. A predecessor is the earlier of the pair, so
+    /// its eviction is the moment the contribution leaves the window.
+    delta_deps: BTreeMap<usize, String>,
     distance_sum: usize,
 }
 
 impl CorrelationTracker {
-    /// Fold the record at `pos` into the running state. `records` must be
-    /// the same, append-only sequence across calls, and `pos` must advance
-    /// one record at a time.
+    /// Fold the record at absolute position `pos` into the running state.
+    /// `records` is the live window (`records[0]` is absolute position
+    /// `base`); `pos` must advance one record at a time.
     pub fn observe(&mut self, records: &[crate::log::TxRecord], pos: usize) {
+        let base = self.base;
         let m = &mut self.metrics;
-        let r = &records[pos];
+        let r = &records[pos - base];
         if r.status.is_read_conflict() {
             m.read_conflicts += 1;
             // Find the most recent writer of any key this tx read.
@@ -108,7 +117,7 @@ impl CorrelationTracker {
                 }
             }
             if let Some((wpos, key)) = best {
-                let writer = &records[wpos];
+                let writer = &records[wpos - base];
                 let write_keys = r.rwset.write_keys();
                 let writer_keys = writer.rwset.write_keys();
                 let reorderable = write_keys.is_disjoint(&writer_keys);
@@ -144,7 +153,7 @@ impl CorrelationTracker {
         // (corPA(x, y) == 1); the earlier failed with an MVCC conflict;
         // both write a single key; the written values differ by one.
         if let Some(&ppos) = self.prev_of_activity.get(r.activity.as_str()) {
-            let prev = &records[ppos];
+            let prev = &records[ppos - base];
             if prev.status == TxStatus::MvccReadConflict
                 && prev.rwset.writes.len() == 1
                 && r.rwset.writes.len() == 1
@@ -156,6 +165,7 @@ impl CorrelationTracker {
                 );
                 if matches!(delta, Some(d) if d.abs() == 1) {
                     *m.delta_candidates.entry(r.activity.clone()).or_insert(0) += 1;
+                    self.delta_deps.insert(ppos, r.activity.clone());
                 }
             }
         }
@@ -177,6 +187,74 @@ impl CorrelationTracker {
                 }
             }
         }
+    }
+
+    /// Evict the window's oldest `evicted` records (sliding-window mode):
+    /// the state becomes exactly what scanning only the retained suffix
+    /// would have produced.
+    ///
+    /// `cutoff_commit` is the first retained record's commit index. A
+    /// conflict pair leaves the metrics when its *writer* falls below the
+    /// cutoff: the writer always precedes the reader, and every other
+    /// candidate writer the reader could have matched is older still — so a
+    /// fresh scan of the suffix either finds the identical pair or none at
+    /// all, never a different one.
+    pub fn evict(&mut self, evicted: &[crate::log::TxRecord], cutoff_commit: usize) {
+        self.base += evicted.len();
+        let base = self.base;
+        let m = &mut self.metrics;
+        for r in evicted {
+            if r.status.is_read_conflict() {
+                m.read_conflicts -= 1;
+            }
+        }
+        let conflicts = std::sync::Arc::make_mut(&mut m.conflicts);
+        let kept = std::mem::take(conflicts);
+        for c in kept {
+            if c.writer_index >= cutoff_commit {
+                conflicts.push(c);
+                continue;
+            }
+            m.identified -= 1;
+            self.distance_sum -= c.distance;
+            let pair = (c.failed_activity.clone(), c.writer_activity.clone());
+            crate::metrics::decrement(&mut m.pair_counts, &pair);
+            let per_activity = m
+                .activity_conflicts
+                .get_mut(&c.failed_activity)
+                .expect("evicted conflict was counted");
+            per_activity.0 -= 1;
+            if c.reorderable {
+                m.reorderable -= 1;
+                per_activity.1 -= 1;
+                crate::metrics::decrement(&mut m.reorderable_pairs, &pair);
+            }
+            if *per_activity == (0, 0) {
+                m.activity_conflicts.remove(&c.failed_activity);
+            }
+        }
+        // Positional state referring to evicted records can never match
+        // again (any rewrite overwrites the entry), so purge it — both for
+        // correctness (a fresh suffix scan has no such entries) and to keep
+        // the maps bounded by the window.
+        self.last_writer.retain(|_, pos| *pos >= base);
+        self.prev_of_activity.retain(|_, pos| *pos >= base);
+        let live = self.delta_deps.split_off(&base);
+        for activity in std::mem::replace(&mut self.delta_deps, live).into_values() {
+            crate::metrics::decrement(&mut m.delta_candidates, &activity);
+        }
+    }
+
+    /// Sizes of the tracker's internal state, for memory-boundedness
+    /// assertions: `(conflict pairs, last-writer entries,
+    /// previous-of-activity entries, delta dependencies)`.
+    pub fn footprint(&self) -> (usize, usize, usize, usize) {
+        (
+            self.metrics.conflicts.len(),
+            self.last_writer.len(),
+            self.prev_of_activity.len(),
+            self.delta_deps.len(),
+        )
     }
 
     /// Materialize the metrics from the running state.
@@ -422,6 +500,52 @@ mod tests {
         ]);
         let m = CorrelationMetrics::derive(&log);
         assert!((m.intra_block_share(10.0) - 0.5).abs() < 1e-9);
+    }
+
+    /// Observing a stream and evicting a prefix must leave metrics
+    /// identical to a fresh scan of the suffix — including conflicts whose
+    /// writer left the window and delta candidates whose predecessor did.
+    #[test]
+    fn eviction_matches_fresh_suffix_scan() {
+        let keys = ["k1", "k2", "k3"];
+        let mut records = Vec::new();
+        for i in 0..40usize {
+            let key = keys[i % keys.len()];
+            let rec = match i % 4 {
+                0 => Rec::new(i, "writer").writes(&[key]).build(),
+                1 => Rec::new(i, "reader")
+                    .reads(&[key])
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+                2 => Rec::new(i, "bump")
+                    .reads(&["ctr"])
+                    .writes_value("ctr", Value::Int((i / 4) as i64))
+                    .status(TxStatus::MvccReadConflict)
+                    .build(),
+                _ => Rec::new(i, "bump")
+                    .reads(&["ctr"])
+                    .writes_value("ctr", Value::Int((i / 4) as i64 + 1))
+                    .build(),
+            };
+            records.push(rec);
+        }
+        for cut in [1usize, 7, 15, 26] {
+            let mut windowed = CorrelationTracker::default();
+            for pos in 0..records.len() {
+                windowed.observe(&records, pos);
+            }
+            windowed.evict(&records[..cut], records[cut].commit_index);
+            // The windowed tracker must keep answering observes on the
+            // shortened slice with absolute positions.
+            let suffix = &records[cut..];
+            let mut fresh = CorrelationTracker::default();
+            for pos in 0..suffix.len() {
+                fresh.observe(suffix, pos);
+            }
+            let (a, b) = (windowed.snapshot(), fresh.snapshot());
+            let cmp = |m: &CorrelationMetrics| format!("{m:?}");
+            assert_eq!(cmp(&a), cmp(&b), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -38,6 +38,17 @@ impl EndorserMetrics {
         }
     }
 
+    /// Reverse one earlier [`observe`](Self::observe) of `r`
+    /// (sliding-window eviction); peers and organizations whose count
+    /// reaches zero are removed.
+    pub fn retract(&mut self, r: &crate::log::TxRecord) {
+        for peer in &r.endorsers {
+            super::decrement(&mut self.per_peer, &peer.to_string());
+            super::decrement(&mut self.per_org, &peer.org.to_string());
+            self.total_endorsements -= 1;
+        }
+    }
+
     /// The share of endorsement events carried by each organization,
     /// descending.
     pub fn org_shares(&self) -> Vec<(String, f64)> {
@@ -65,6 +76,27 @@ impl EndorserMetrics {
 mod tests {
     use super::*;
     use crate::log::test_support::{log_of, Rec};
+
+    #[test]
+    fn retract_reverses_observe() {
+        let recs = [
+            Rec::new(0, "a").endorsed_by(&[0, 1]).build(),
+            Rec::new(1, "a").endorsed_by(&[0, 2]).build(),
+        ];
+        let mut m = EndorserMetrics::default();
+        for r in &recs {
+            m.observe(r);
+        }
+        m.retract(&recs[0]);
+        let mut fresh = EndorserMetrics::default();
+        fresh.observe(&recs[1]);
+        assert_eq!(m.per_peer, fresh.per_peer);
+        assert_eq!(m.per_org, fresh.per_org);
+        assert_eq!(m.total_endorsements, fresh.total_endorsements);
+        m.retract(&recs[1]);
+        assert!(m.per_org.is_empty());
+        assert_eq!(m.total_endorsements, 0);
+    }
 
     #[test]
     fn counts_per_org_and_peer() {

@@ -35,6 +35,15 @@ impl InvokerMetrics {
         self.total += 1;
     }
 
+    /// Reverse one earlier [`observe`](Self::observe) of `r`
+    /// (sliding-window eviction); clients and organizations whose count
+    /// reaches zero are removed.
+    pub fn retract(&mut self, r: &crate::log::TxRecord) {
+        super::decrement(&mut self.per_client, &r.invoker.to_string());
+        super::decrement(&mut self.per_org, &r.invoker.org.to_string());
+        self.total -= 1;
+    }
+
     /// Per-organization invocation shares, descending.
     pub fn org_shares(&self) -> Vec<(String, f64)> {
         let total = self.total.max(1) as f64;

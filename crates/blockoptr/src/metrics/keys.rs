@@ -53,6 +53,35 @@ impl HotkeyIndex {
             .insert(key.to_string());
     }
 
+    /// Record that `key`'s failure count moved from `old_count` down to
+    /// `old_count - 1` (sliding-window eviction). A key whose count reaches
+    /// zero leaves the index entirely, so the index never outgrows the live
+    /// window; the move is the same O(log n) bucket hop as
+    /// [`observe`](Self::observe), keeping hotkey selection O(k + log n)
+    /// under eviction.
+    pub fn retract(&mut self, key: &str, old_count: usize) {
+        assert!(old_count > 0, "retract of a key with no recorded failures");
+        let index = Arc::make_mut(&mut self.by_count);
+        if let Some(bucket) = index.get_mut(&old_count) {
+            bucket.remove(key);
+            if bucket.is_empty() {
+                index.remove(&old_count);
+            }
+        }
+        if old_count > 1 {
+            index
+                .entry(old_count - 1)
+                .or_default()
+                .insert(key.to_string());
+        }
+    }
+
+    /// Keys currently tracked across all count buckets (equals the live
+    /// `Kfreq` key count; bounded by the window under eviction).
+    pub fn tracked_keys(&self) -> usize {
+        self.by_count.values().map(BTreeSet::len).sum()
+    }
+
     /// The hotkey set `HK` under `config`, ordered by failure count
     /// descending then key ascending — the same selection (and order) as
     /// [`KeyMetrics::select_hotkeys`], at O(k + log n).
@@ -120,6 +149,33 @@ impl KeyMetrics {
             index.observe(key, self.kfreq_of(key));
         }
         self.observe_failure(r);
+    }
+
+    /// Reverse one earlier
+    /// [`observe_failure_indexed`](Self::observe_failure_indexed) of `r`
+    /// (sliding-window eviction), keeping the [`HotkeyIndex`] in lockstep.
+    /// Counters that reach zero are removed, so the maps shrink back to
+    /// exactly what observing only the retained failures would have built.
+    pub fn retract_failure_indexed(&mut self, r: &crate::log::TxRecord, index: &mut HotkeyIndex) {
+        self.total_failures -= 1;
+        for key in r.rwset.all_keys() {
+            let old = self.kfreq_of(key);
+            index.retract(key, old);
+            let kfreq = std::sync::Arc::make_mut(&mut self.kfreq);
+            if old > 1 {
+                *kfreq.get_mut(key).expect("key counted above") = old - 1;
+            } else {
+                kfreq.remove(key);
+            }
+            let by_key = std::sync::Arc::make_mut(&mut self.failing_activity_counts);
+            let acts = by_key
+                .get_mut(key)
+                .expect("retracted key has recorded activities");
+            super::decrement(acts, r.activity.as_str());
+            if acts.is_empty() {
+                by_key.remove(key);
+            }
+        }
     }
 
     /// Re-derive the hotkey set `HK` from the current counters.
@@ -345,6 +401,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Observing a stream and then retracting a prefix must leave counters,
+    /// index, and selected hotkeys identical to observing only the suffix.
+    #[test]
+    fn retraction_matches_fresh_suffix() {
+        let keys = ["a", "b", "c", "d"];
+        let records: Vec<_> = (0..60usize)
+            .map(|i| {
+                Rec::new(i, if i % 2 == 0 { "act" } else { "other" })
+                    .reads(&[keys[(i * 7) % keys.len()]])
+                    .writes(&[keys[(i / 5) % keys.len()]])
+                    .status(TxStatus::MvccReadConflict)
+                    .build()
+            })
+            .collect();
+        let cfg = config();
+        let mut windowed = KeyMetrics::default();
+        let mut windowed_index = HotkeyIndex::default();
+        for r in &records {
+            windowed.observe_failure_indexed(r, &mut windowed_index);
+        }
+        for r in &records[..35] {
+            windowed.retract_failure_indexed(r, &mut windowed_index);
+        }
+        let mut fresh = KeyMetrics::default();
+        let mut fresh_index = HotkeyIndex::default();
+        for r in &records[35..] {
+            fresh.observe_failure_indexed(r, &mut fresh_index);
+        }
+        assert_eq!(windowed.kfreq, fresh.kfreq);
+        assert_eq!(
+            windowed.failing_activity_counts,
+            fresh.failing_activity_counts
+        );
+        assert_eq!(windowed.total_failures, fresh.total_failures);
+        assert_eq!(
+            windowed_index.select(windowed.total_failures, &cfg),
+            fresh_index.select(fresh.total_failures, &cfg)
+        );
+        // Retracting everything empties the state completely.
+        for r in &records[35..] {
+            windowed.retract_failure_indexed(r, &mut windowed_index);
+        }
+        assert!(windowed.kfreq.is_empty());
+        assert!(windowed.failing_activity_counts.is_empty());
+        assert_eq!(windowed.total_failures, 0);
+        assert!(windowed_index.select(100, &cfg).is_empty());
     }
 
     #[test]

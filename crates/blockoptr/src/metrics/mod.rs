@@ -28,6 +28,29 @@ pub use rates::{RateMetrics, RateTracker};
 use crate::log::BlockchainLog;
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// Decrement a counter-map entry, removing it at zero — the shared
+/// retraction primitive of the sliding-window trackers: a windowed tracker
+/// must not keep zero-count entries a fresh derivation of the retained
+/// window would lack.
+///
+/// # Panics
+/// Panics when `key` has no live count (a retract without its matching
+/// observe).
+pub(crate) fn decrement<K, Q>(map: &mut BTreeMap<K, usize>, key: &Q)
+where
+    K: std::borrow::Borrow<Q> + Ord,
+    Q: Ord + std::fmt::Debug + ?Sized,
+{
+    match map.get_mut(key) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            map.remove(key);
+        }
+        None => panic!("retract without a matching observe for {key:?}"),
+    }
+}
 
 /// All metric families of one analysis.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -13,10 +13,16 @@ pub struct RateMetrics {
     pub tr: f64,
     /// Total failure rate `TFr` (failed tx/s over the same window).
     pub tfr: f64,
-    /// Transactions per interval (`Trdᵢ · ins`).
+    /// Transactions per interval (`Trdᵢ · ins`), from the first occupied
+    /// interval onward ([`first_interval`](Self::first_interval) anchors the
+    /// series on the absolute timeline). Leading empty intervals are not
+    /// stored, so a sliding-window analysis stays bounded by the window.
     pub tx_per_interval: Vec<u64>,
-    /// Failures per interval (`Frdᵢ · ins`).
+    /// Failures per interval (`Frdᵢ · ins`), aligned index-for-index with
+    /// [`tx_per_interval`](Self::tx_per_interval).
     pub failures_per_interval: Vec<u64>,
+    /// Absolute index (`client_ts / ins`) of `tx_per_interval[0]`.
+    pub first_interval: usize,
     /// Interval size used.
     pub interval: SimDuration,
     /// Committed transactions.
@@ -34,12 +40,17 @@ pub struct RateMetrics {
 /// Running rate state: one [`observe`](RateTracker::observe) per transaction
 /// keeps the interval buckets and status totals current, so a streaming
 /// session derives [`RateMetrics`] in O(intervals) instead of O(log).
+///
+/// Every observation can be reversed with [`retract`](RateTracker::retract)
+/// — the sliding-window eviction path. The client-timestamp extremes are
+/// kept as a multiset rather than a running min/max so they, too, survive
+/// eviction of the records that set them.
 #[derive(Debug, Clone)]
 pub struct RateTracker {
     tx_buckets: TimeBuckets,
     fail_buckets: TimeBuckets,
-    first_send: Option<sim_core::time::SimTime>,
-    last_send: Option<sim_core::time::SimTime>,
+    /// Multiset of observed client timestamps (timestamp → live count).
+    send_times: std::collections::BTreeMap<sim_core::time::SimTime, usize>,
     total: usize,
     failed: usize,
     mvcc: usize,
@@ -53,8 +64,7 @@ impl RateTracker {
         RateTracker {
             tx_buckets: TimeBuckets::new(interval),
             fail_buckets: TimeBuckets::new(interval),
-            first_send: None,
-            last_send: None,
+            send_times: std::collections::BTreeMap::new(),
             total: 0,
             failed: 0,
             mvcc: 0,
@@ -77,19 +87,66 @@ impl RateTracker {
             TxStatus::Success => {}
         }
         self.total += 1;
-        self.first_send = Some(self.first_send.map_or(r.client_ts, |f| f.min(r.client_ts)));
-        self.last_send = Some(self.last_send.map_or(r.client_ts, |l| l.max(r.client_ts)));
+        *self.send_times.entry(r.client_ts).or_insert(0) += 1;
+    }
+
+    /// Reverse one earlier [`observe`](Self::observe) of `r` (sliding-window
+    /// eviction): the state becomes exactly what observing only the retained
+    /// records would have produced.
+    pub fn retract(&mut self, r: &crate::log::TxRecord) {
+        self.tx_buckets.unrecord(r.client_ts);
+        if r.failed() {
+            self.fail_buckets.unrecord(r.client_ts);
+            self.failed -= 1;
+        }
+        match r.status {
+            TxStatus::MvccReadConflict => self.mvcc -= 1,
+            TxStatus::PhantomReadConflict => self.phantom -= 1,
+            TxStatus::EndorsementPolicyFailure => self.endorsement -= 1,
+            TxStatus::Success => {}
+        }
+        self.total -= 1;
+        super::decrement(&mut self.send_times, &r.client_ts);
+    }
+
+    /// Earliest observed client timestamp still in the window.
+    pub fn first_send(&self) -> Option<sim_core::time::SimTime> {
+        self.send_times.keys().next().copied()
+    }
+
+    /// Latest observed client timestamp still in the window.
+    pub fn last_send(&self) -> Option<sim_core::time::SimTime> {
+        self.send_times.keys().next_back().copied()
+    }
+
+    /// Stored interval buckets (first to last occupied) — bounded by the
+    /// window span under eviction.
+    pub fn stored_intervals(&self) -> usize {
+        self.tx_buckets.len()
+    }
+
+    /// Distinct client timestamps currently tracked.
+    pub fn distinct_send_times(&self) -> usize {
+        self.send_times.len()
     }
 
     /// Materialize the metrics from the running state.
     pub fn snapshot(&self) -> RateMetrics {
-        let span = match (self.first_send, self.last_send) {
+        let span = match (self.first_send(), self.last_send()) {
             (Some(f), Some(l)) if l > f => l.since(f).as_secs_f64(),
             _ => 0.0,
         };
-        // Failure buckets must align with tx buckets in length.
-        let mut failures_per_interval = self.fail_buckets.counts().to_vec();
-        failures_per_interval.resize(self.tx_buckets.len(), 0);
+        // Failure buckets must align index-for-index with the tx buckets:
+        // both series are anchored on the absolute interval grid, and every
+        // failure is also a transaction, so the failure span nests inside
+        // the tx span.
+        let mut failures_per_interval = vec![0u64; self.tx_buckets.len()];
+        if !self.fail_buckets.is_empty() {
+            let shift = self.fail_buckets.first_index() - self.tx_buckets.first_index();
+            for (j, &c) in self.fail_buckets.counts().iter().enumerate() {
+                failures_per_interval[shift + j] = c;
+            }
+        }
         RateMetrics {
             tr: if span > 0.0 {
                 self.total as f64 / span
@@ -103,6 +160,7 @@ impl RateTracker {
             },
             tx_per_interval: self.tx_buckets.counts().to_vec(),
             failures_per_interval,
+            first_interval: self.tx_buckets.first_index(),
             interval: self.tx_buckets.width(),
             total: self.total,
             failed: self.failed,
@@ -123,17 +181,19 @@ impl RateMetrics {
         tracker.snapshot()
     }
 
-    /// Rate (tx/s) in interval `i`.
+    /// Rate (tx/s) in stored interval `i` (counting from
+    /// [`first_interval`](Self::first_interval) on the absolute grid).
     pub fn rate_in(&self, i: usize) -> f64 {
         self.tx_per_interval.get(i).copied().unwrap_or(0) as f64 / self.interval.as_secs_f64()
     }
 
-    /// Failure rate (tx/s) in interval `i`.
+    /// Failure rate (tx/s) in stored interval `i` (aligned with
+    /// [`rate_in`](Self::rate_in)).
     pub fn failure_rate_in(&self, i: usize) -> f64 {
         self.failures_per_interval.get(i).copied().unwrap_or(0) as f64 / self.interval.as_secs_f64()
     }
 
-    /// Number of intervals observed.
+    /// Number of intervals stored (first to last occupied).
     pub fn intervals(&self) -> usize {
         self.tx_per_interval.len()
     }
@@ -213,6 +273,43 @@ mod tests {
         assert_eq!(m.phantom, 1);
         assert_eq!(m.endorsement, 1);
         assert_eq!(m.failed, 2);
+    }
+
+    #[test]
+    fn retract_reverses_observe_exactly() {
+        use fabric_sim::ledger::TxStatus;
+        let records: Vec<_> = (0..12)
+            .map(|i| {
+                let mut rec = Rec::new(i, "a").client_ts_ms(i as u64 * 700);
+                if i % 3 == 0 {
+                    rec = rec.status(TxStatus::MvccReadConflict);
+                }
+                rec.build()
+            })
+            .collect();
+        // Observe everything, retract the first 5: the snapshot must equal
+        // one produced by observing only the suffix.
+        let mut windowed = RateTracker::new(SimDuration::from_secs(1));
+        for r in &records {
+            windowed.observe(r);
+        }
+        for r in &records[..5] {
+            windowed.retract(r);
+        }
+        let mut fresh = RateTracker::new(SimDuration::from_secs(1));
+        for r in &records[5..] {
+            fresh.observe(r);
+        }
+        let (a, b) = (windowed.snapshot(), fresh.snapshot());
+        assert_eq!(a.tx_per_interval, b.tx_per_interval);
+        assert_eq!(a.failures_per_interval, b.failures_per_interval);
+        assert_eq!(a.first_interval, b.first_interval);
+        assert!(a.first_interval > 0, "leading empty intervals are trimmed");
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.mvcc, b.mvcc);
+        assert_eq!(a.tr, b.tr);
+        assert_eq!(a.tfr, b.tfr);
     }
 
     #[test]

@@ -136,6 +136,30 @@ impl PlanConfig {
     }
 }
 
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+///
+/// Plan executions typically run 3–10 seeds, where the normal
+/// approximation's 1.96 badly understates the interval (df = 2 needs
+/// 4.30). Exact values for df ≤ 30; beyond that each range uses the
+/// critical value of its *smallest* df (the table row below it), so the
+/// interval is never understated — conservative by < 1 % within a range,
+/// converging on the normal limit.
+pub fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.042,
+        41..=60 => 2.021,
+        61..=120 => 2.000,
+        _ => 1.980,
+    }
+}
+
 /// Mean, sample standard deviation, and 95 % confidence half-width of one
 /// metric over the executed seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -144,8 +168,11 @@ pub struct MetricStats {
     pub mean: f64,
     /// Sample standard deviation (zero for a single seed).
     pub stddev: f64,
-    /// Normal-approximation 95 % confidence half-width,
-    /// `1.96 · stddev / √n` (zero for a single seed).
+    /// Student-t 95 % confidence half-width,
+    /// `t₀.₉₇₅(n−1) · stddev / √n` (zero for a single seed). The t
+    /// critical value ([`t95`]) matches the small seed counts plan
+    /// executions actually run; the old normal-approximation 1.96
+    /// understated the interval by more than 2× at `--seeds 3`.
     pub ci95: f64,
 }
 
@@ -160,11 +187,12 @@ impl MetricStats {
             let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
             var.sqrt()
         };
-        MetricStats {
-            mean,
-            stddev,
-            ci95: 1.96 * stddev / n.sqrt(),
-        }
+        let ci95 = if samples.len() < 2 {
+            0.0
+        } else {
+            t95(samples.len() - 1) * stddev / n.sqrt()
+        };
+        MetricStats { mean, stddev, ci95 }
     }
 
     /// Lower edge of the 95 % confidence interval.
@@ -903,11 +931,38 @@ mod tests {
         assert_eq!(one.mean, 5.0);
         assert_eq!(one.stddev, 0.0);
         assert_eq!(one.ci95, 0.0);
+        // Three seeds → df = 2 → t = 4.303, not the normal 1.96: the old
+        // z-interval understated this CI by a factor of 2.2.
         let s = MetricStats::of(&[1.0, 2.0, 3.0]);
         assert!((s.mean - 2.0).abs() < 1e-12);
         assert!((s.stddev - 1.0).abs() < 1e-12);
-        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-12);
         assert!(s.lo() < s.mean && s.mean < s.hi());
+    }
+
+    #[test]
+    fn t_critical_values_shrink_toward_normal() {
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(2), 4.303);
+        assert_eq!(t95(9), 2.262, "--seeds 10 regime");
+        assert_eq!(t95(30), 2.042);
+        assert_eq!(t95(50), 2.021);
+        assert_eq!(t95(1000), 1.980);
+        assert!(t95(0).is_infinite(), "a single seed has no interval");
+        // Monotone nonincreasing, and never below the exact value's floor
+        // (each waypoint range reuses its smallest df's critical value, so
+        // the interval is conservative, not understated).
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t95(df);
+            assert!(t <= prev, "t95({df}) = {t} rose above {prev}");
+            assert!(t >= 1.960);
+            prev = t;
+        }
+        // Spot-check the conservative direction at range edges: the exact
+        // values are t(31) ≈ 2.040 and t(61) ≈ 2.000.
+        assert!(t95(31) >= 2.040);
+        assert!(t95(61) >= 2.000);
     }
 
     #[test]

@@ -186,7 +186,8 @@ pub enum Recommendation {
     },
     /// Throttle clients during high-failure periods.
     TransactionRateControl {
-        /// Interval indices where the condition fired.
+        /// Absolute interval indices (`client_ts / ins`) where the
+        /// condition fired — stable across sliding-window evictions.
         intervals: Vec<usize>,
         /// The highest interval rate observed (tx/s).
         peak_rate: f64,
@@ -397,6 +398,19 @@ pub fn observe_activity_type(hist: &mut ActivityTypeHistogram, activity: &str, t
         .or_default()
         .entry(tx_type)
         .or_insert(0) += 1;
+}
+
+/// Reverse one earlier [`observe_activity_type`] (sliding-window eviction);
+/// zeroed type entries and emptied activities are removed, so the histogram
+/// matches a fresh build over the retained records exactly.
+pub fn retract_activity_type(hist: &mut ActivityTypeHistogram, activity: &str, tx_type: TxType) {
+    let types = hist
+        .get_mut(activity)
+        .expect("retract without a matching observe");
+    crate::metrics::decrement(types, &tx_type);
+    if types.is_empty() {
+        hist.remove(activity);
+    }
 }
 
 /// Evaluate the paper's nine-rule catalogue against a full log.

@@ -28,7 +28,10 @@ impl Rule for TransactionRateControl {
             let fail = rates.failure_rate_in(i);
             peak = peak.max(rate);
             if rate >= ctx.thresholds.rt1 && fail >= rate * ctx.thresholds.rt2 {
-                fired_intervals.push(i);
+                // Report absolute interval indices (client_ts / ins): the
+                // stored series starts at first_interval, and under a
+                // sliding window that origin moves with every eviction.
+                fired_intervals.push(rates.first_interval + i);
             }
         }
         if fired_intervals.is_empty() {

@@ -160,7 +160,7 @@ pub fn render_outcome(outcome: &PlanOutcome) -> String {
     if multi {
         let _ = writeln!(
             out,
-            "({} seeds per configuration: metrics are mean ± stddev, deltas mean ± 95 % CI)",
+            "({} seeds per configuration: metrics are mean ± stddev, deltas mean ± Student-t 95 % CI)",
             outcome.seeds.len()
         );
     }

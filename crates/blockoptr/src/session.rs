@@ -15,7 +15,13 @@
 //!   [`Analysis`] from that state at a cost proportional to the *state*
 //!   (intervals, activities, conflicts), not the log length;
 //! * [`AnalyzeError`] — the typed error for every fallible path (empty
-//!   logs, malformed JSON, degenerate configuration).
+//!   logs, malformed JSON, degenerate configuration);
+//! * [`WindowPolicy`] — bounded-memory retention for always-on monitoring:
+//!   with [`Analyzer::window`] the session evicts aged-out records at the
+//!   end of every ingest batch and *retracts* them from every tracker, so
+//!   state stays bounded by the window and a windowed snapshot equals a
+//!   fresh analysis of only the retained suffix (see
+//!   [`Session::footprint`] for the boundedness witness).
 //!
 //! ```
 //! use blockoptr::session::Analyzer;
@@ -72,6 +78,17 @@ pub enum AnalyzeError {
         /// The highest commit index ingested before it.
         after: usize,
     },
+    /// A log window fed to a session with a bounded [`WindowPolicy`]
+    /// carries decreasing block numbers. Block-count eviction is defined
+    /// on nondecreasing block order (which every chain-extracted export
+    /// has); accepting a renumbered log would silently evict the wrong
+    /// records.
+    BlockOrder {
+        /// The offending record's block number.
+        block: u64,
+        /// The highest block number seen before it.
+        after: u64,
+    },
     /// A rule id passed to [`Analyzer::disable_rule`] or
     /// [`Analyzer::rule_thresholds`] matches no registered rule — almost
     /// always a typo, which silently ignoring would hide.
@@ -95,6 +112,11 @@ impl fmt::Display for AnalyzeError {
                 f,
                 "log window out of commit order: index {index} arrived after {after}"
             ),
+            AnalyzeError::BlockOrder { block, after } => write!(
+                f,
+                "log window block numbers decrease ({block} after {after}); a bounded \
+                 window policy needs commit-ordered, nondecreasing blocks"
+            ),
             AnalyzeError::UnknownRule { id, known } => write!(
                 f,
                 "unknown rule id {id:?}; registered ids: {}",
@@ -105,6 +127,112 @@ impl fmt::Display for AnalyzeError {
 }
 
 impl std::error::Error for AnalyzeError {}
+
+/// How much history a [`Session`] retains — the memory-boundedness knob for
+/// always-on monitoring (ROADMAP "window eviction").
+///
+/// With any bounded policy the session evicts its oldest records at the end
+/// of every ingest batch and *retracts* their contribution from every
+/// per-metric tracker, the conflict list, the case cache, and the
+/// incremental hotkey index. The guarantee: a windowed snapshot is
+/// identical to a fresh analysis of only the retained suffix, and every
+/// tracker's state is bounded by the window instead of the stream length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Keep everything (the default; the original accumulate-only
+    /// behaviour).
+    #[default]
+    Unbounded,
+    /// Keep the records of the last `n` distinct block numbers (n ≥ 1).
+    LastBlocks(usize),
+    /// Keep records whose commit timestamp is within `SimDuration` of the
+    /// newest commit ingested.
+    LastDuration(sim_core::time::SimDuration),
+    /// Exponential-decay retention with the given half-life: a record is
+    /// kept while its decay weight `2^(-age / half_life)` stays above
+    /// 1/1024 (≈ 10 half-lives), then evicted. Within that horizon records
+    /// count fully — a step-function approximation of the decay curve that
+    /// keeps every integer metric exact while still forgetting old
+    /// behaviour on the half-life's timescale.
+    ExponentialDecay {
+        /// The half-life of a record's influence.
+        half_life: sim_core::time::SimDuration,
+    },
+}
+
+impl WindowPolicy {
+    /// Half-lives after which [`ExponentialDecay`](Self::ExponentialDecay)
+    /// evicts (2⁻¹⁰ < 0.1 % residual weight).
+    pub const DECAY_HORIZON_HALF_LIVES: u32 = 10;
+
+    /// Parse a policy from its CLI/env spelling:
+    /// `unbounded`, `last-blocks:N`, `last-secs:S`, or `half-life:S`
+    /// (`S` in seconds, fractions allowed).
+    pub fn parse(spec: &str) -> Result<WindowPolicy, String> {
+        let secs = |v: &str| -> Result<sim_core::time::SimDuration, String> {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0 && s.is_finite())
+                .map(sim_core::time::SimDuration::from_secs_f64)
+                .ok_or_else(|| format!("window policy needs a positive seconds value, got {v:?}"))
+        };
+        match spec.split_once(':') {
+            None if spec == "unbounded" => Ok(WindowPolicy::Unbounded),
+            Some(("last-blocks", n)) => n
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(WindowPolicy::LastBlocks)
+                .ok_or_else(|| format!("last-blocks needs a positive block count, got {n:?}")),
+            Some(("last-secs", v)) => Ok(WindowPolicy::LastDuration(secs(v)?)),
+            Some(("half-life", v)) => Ok(WindowPolicy::ExponentialDecay { half_life: secs(v)? }),
+            _ => Err(format!(
+                "unknown window policy {spec:?} (expected unbounded, last-blocks:N, last-secs:S, or half-life:S)"
+            )),
+        }
+    }
+
+    /// The policy named by the `BLOCKOPTR_WINDOW` environment variable, if
+    /// set ([`Unbounded`](Self::Unbounded) when unset) — lets a whole
+    /// test-suite or deployment run under a default window without
+    /// touching call sites.
+    ///
+    /// A set-but-malformed spec falls back to `Unbounded` **with a warning
+    /// on stderr** (once per process): silently losing the bound would
+    /// recreate exactly the unbounded-growth failure the variable exists
+    /// to prevent, with nothing to notice until memory runs out.
+    pub fn from_env() -> WindowPolicy {
+        let Ok(spec) = std::env::var("BLOCKOPTR_WINDOW") else {
+            return WindowPolicy::Unbounded;
+        };
+        match WindowPolicy::parse(&spec) {
+            Ok(policy) => policy,
+            Err(err) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring BLOCKOPTR_WINDOW={spec:?} ({err}); \
+                         sessions will run unbounded"
+                    );
+                });
+                WindowPolicy::Unbounded
+            }
+        }
+    }
+}
+
+impl fmt::Display for WindowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowPolicy::Unbounded => f.write_str("unbounded"),
+            WindowPolicy::LastBlocks(n) => write!(f, "last-blocks:{n}"),
+            WindowPolicy::LastDuration(d) => write!(f, "last-secs:{}", d.as_secs_f64()),
+            WindowPolicy::ExponentialDecay { half_life } => {
+                write!(f, "half-life:{}", half_life.as_secs_f64())
+            }
+        }
+    }
+}
 
 /// The configured analyzer: cheap to build, cheap to clone, and the only
 /// way to open a [`Session`].
@@ -119,9 +247,15 @@ pub struct Analyzer {
     rules: RuleSet,
     auto_tune: bool,
     threads: usize,
+    window: WindowPolicy,
 }
 
 impl Default for Analyzer {
+    /// The paper's defaults. The window policy honours the
+    /// `BLOCKOPTR_WINDOW` environment variable (e.g. `last-blocks:64`), so
+    /// a deployment — or a CI run exercising the eviction paths — can put
+    /// every session behind a sliding window without touching call sites;
+    /// unset or malformed means [`WindowPolicy::Unbounded`].
     fn default() -> Self {
         Analyzer {
             metric_config: MetricConfig::default(),
@@ -130,6 +264,7 @@ impl Default for Analyzer {
             rules: RuleSet::default(),
             auto_tune: false,
             threads: pool::default_threads(),
+            window: WindowPolicy::from_env(),
         }
     }
 }
@@ -220,6 +355,16 @@ impl Analyzer {
     /// identical to single-threaded ingestion.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Bound the history sessions opened from this analyzer retain (default:
+    /// [`WindowPolicy::Unbounded`], or whatever `BLOCKOPTR_WINDOW` names).
+    /// Bounded sessions evict at the end of every ingest batch; a windowed
+    /// snapshot equals a fresh analysis of only the retained suffix. See
+    /// [`WindowPolicy`].
+    pub fn window(mut self, window: WindowPolicy) -> Self {
+        self.window = window;
         self
     }
 
@@ -357,7 +502,10 @@ impl CaseTracker {
     /// definition; a session may therefore keep a different (equally
     /// covering) family than a fresh batch derivation's tie-break would
     /// pick. Metrics and recommendations do not depend on the family —
-    /// only the case/trace view does.
+    /// only the case/trace view does. The band is at least one record, so
+    /// it engages on small logs too (5 % of `total < 20` truncates to 0,
+    /// which used to disable the documented tie band exactly in the
+    /// small-window regime sliding windows create).
     fn refresh(&mut self, records: &[TxRecord]) {
         let total = records.len().max(1);
         let winner = caseid::pick_family(&self.coverage, &self.distinct, total)
@@ -367,7 +515,7 @@ impl CaseTracker {
             return;
         }
         if !self.family.is_empty() {
-            let band = (total as f64 * 0.05) as usize;
+            let band = ((total as f64 * 0.05) as usize).max(1);
             let cached = self.coverage.get(&self.family).copied().unwrap_or(0);
             let won = self.coverage.get(&winner).copied().unwrap_or(0);
             if cached.abs_diff(won) <= band {
@@ -375,6 +523,36 @@ impl CaseTracker {
             }
         }
         self.family = winner;
+        self.rebuild_structures(records);
+    }
+
+    /// Rebuild everything from the (windowed) record set after eviction:
+    /// family statistics are recomputed over the retained records and the
+    /// winner re-picked *without* the hysteresis band, so the windowed view
+    /// is exactly what a fresh derivation over the suffix produces.
+    ///
+    /// Costs O(window) per evicting batch. Unlike the metric trackers,
+    /// the case cache is not incrementally retractable (evicting a trace's
+    /// head rewrites DFG starts and can reorder the event log), so live
+    /// mode — where every block evicts — pays O(window) per block for this
+    /// one structure. That is bounded by the window, not the stream; a
+    /// ring-buffer/incremental-trace design is the ROADMAP follow-up if
+    /// large windows ever make it matter.
+    fn rebuild_windowed(&mut self, records: &[TxRecord]) {
+        self.coverage.clear();
+        self.distinct.clear();
+        for record in records {
+            let cands = caseid::candidates(record);
+            caseid::observe_family_candidates(&cands, &mut self.coverage, &mut self.distinct);
+        }
+        self.family = caseid::pick_family(&self.coverage, &self.distinct, records.len().max(1))
+            .map(|(family, _, _)| family)
+            .unwrap_or_default();
+        self.rebuild_structures(records);
+    }
+
+    /// Rebuild the case-id list, event log, and DFG for the current family.
+    fn rebuild_structures(&mut self, records: &[TxRecord]) {
         self.case_ids = Arc::new(Vec::with_capacity(records.len()));
         self.case_trace.clear();
         self.event_log = Arc::new(EventLog::new());
@@ -409,6 +587,30 @@ impl CaseTracker {
     }
 }
 
+/// Per-tracker state sizes of a [`Session`] (see [`Session::footprint`]).
+/// Every field counts live entries in one piece of running state; under a
+/// bounded [`WindowPolicy`] all of them are bounded by the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct SessionFootprint {
+    pub records: usize,
+    pub rate_intervals: usize,
+    pub send_times: usize,
+    pub blocks: usize,
+    pub endorser_peers: usize,
+    pub invoker_clients: usize,
+    pub failed_keys: usize,
+    pub hotkey_entries: usize,
+    pub conflicts: usize,
+    pub writer_entries: usize,
+    pub activity_entries: usize,
+    pub delta_deps: usize,
+    pub activity_types: usize,
+    pub case_events: usize,
+    pub dfg_edges: usize,
+    pub families: usize,
+}
+
 /// A stateful incremental analysis: feed it blocks, take snapshots.
 ///
 /// All metric state is maintained *running*: each ingested transaction
@@ -422,6 +624,9 @@ pub struct Session {
     config: Analyzer,
     log: Arc<BlockchainLog>,
     last_block: u64,
+    /// Records evicted since the session opened (the absolute stream
+    /// position of `log.records()[0]`).
+    evicted: usize,
     first_send: Option<SimTime>,
     last_commit: Option<SimTime>,
     rates: RateTracker,
@@ -442,6 +647,7 @@ impl Session {
             config,
             log: Arc::new(BlockchainLog::default()),
             last_block: 0,
+            evicted: 0,
             first_send: None,
             last_commit: None,
             rates,
@@ -456,9 +662,15 @@ impl Session {
         }
     }
 
-    /// Transactions ingested so far.
+    /// Transactions currently retained (the window size for bounded
+    /// policies; everything ingested for [`WindowPolicy::Unbounded`]).
     pub fn len(&self) -> usize {
         self.log.len()
+    }
+
+    /// Records evicted by the window policy since the session opened.
+    pub fn evicted(&self) -> usize {
+        self.evicted
     }
 
     /// Whether nothing has been ingested yet.
@@ -515,7 +727,11 @@ impl Session {
     /// export). Records keep their commit indices and must arrive in commit
     /// order, as an export produces them — out-of-order windows are
     /// rejected with [`AnalyzeError::OutOfOrder`] before any state changes.
-    /// Returns the number of records added.
+    /// On a session with a bounded [`WindowPolicy`], block numbers must be
+    /// nondecreasing too (every chain-extracted export satisfies this):
+    /// block-count eviction is defined on that order, so a renumbered or
+    /// hand-merged log is rejected rather than silently evicting the wrong
+    /// records. Returns the number of records added.
     pub fn ingest_log(&mut self, window: BlockchainLog) -> Result<usize, AnalyzeError> {
         // Commit indices must be strictly increasing: every producer path
         // (ledger extraction, exports) assigns unique ascending indices, so
@@ -523,6 +739,8 @@ impl Session {
         // replaying data the session already holds — which would silently
         // double every metric if accepted.
         let mut last = self.log.records().last().map(|r| r.commit_index);
+        let windowed = self.config.window != WindowPolicy::Unbounded;
+        let mut last_block = self.log.records().last().map(|r| r.block);
         for record in window.records() {
             if let Some(after) = last {
                 if record.commit_index <= after {
@@ -533,6 +751,17 @@ impl Session {
                 }
             }
             last = Some(record.commit_index);
+            if windowed {
+                if let Some(after) = last_block {
+                    if record.block < after {
+                        return Err(AnalyzeError::BlockOrder {
+                            block: record.block,
+                            after,
+                        });
+                    }
+                }
+                last_block = Some(record.block);
+            }
         }
 
         let first_new = self.log.len();
@@ -587,10 +816,97 @@ impl Session {
         } else {
             self.observe_from_serial(records, first_new);
         }
+        // With a bounded window, retract everything that aged out of it —
+        // after the fold so the batch itself decides what is oldest.
+        if self.evict_expired() {
+            // Eviction already rebuilt the case cache over the window.
+            return;
+        }
         // Re-check the winning identifier family once per batch, so the
         // event-log/DFG cache is (re)built here — amortized over ingestion —
         // and snapshots stay O(state).
         self.cases.refresh(records);
+    }
+
+    /// Evict every record the window policy no longer covers, retracting
+    /// its contribution from all running state. Returns whether anything
+    /// was evicted (in which case the case cache was rebuilt over the
+    /// retained window).
+    ///
+    /// Eviction is always a prefix of the retained records: commit
+    /// timestamps and (ledger-extracted) block numbers are nondecreasing in
+    /// commit order.
+    fn evict_expired(&mut self) -> bool {
+        if self.log.is_empty() {
+            // Nothing ingested yet (e.g. an empty first batch): there is
+            // nothing to evict, and the duration policies' last-commit
+            // anchor does not exist yet.
+            return false;
+        }
+        // The evictable prefix is found by a linear front scan, not a
+        // binary search: the scan's cost is the eviction's own size, and
+        // "the maximal prefix of too-old records" stays well-defined even
+        // if a caller mixed ingest paths into a non-monotone block/time
+        // sequence (where a binary search could return an arbitrary
+        // boundary).
+        let prefix_while = |too_old: &dyn Fn(&TxRecord) -> bool| {
+            self.log.records().iter().take_while(|r| too_old(r)).count()
+        };
+        let horizon = |d: sim_core::time::SimDuration| {
+            let last = self.last_commit.expect("records were ingested");
+            prefix_while(&|r| last.since(r.commit_ts) > d)
+        };
+        let k = match self.config.window {
+            WindowPolicy::Unbounded => 0,
+            WindowPolicy::LastBlocks(n) => {
+                let n = n.max(1);
+                if self.block_sizes.len() <= n {
+                    0
+                } else {
+                    // The n-th highest block number that still has records
+                    // is the oldest retained block.
+                    let cutoff = *self
+                        .block_sizes
+                        .keys()
+                        .rev()
+                        .nth(n - 1)
+                        .expect("more than n blocks present");
+                    prefix_while(&|r| r.block < cutoff)
+                }
+            }
+            WindowPolicy::LastDuration(d) => horizon(d),
+            WindowPolicy::ExponentialDecay { half_life } => {
+                horizon(half_life.mul(WindowPolicy::DECAY_HORIZON_HALF_LIVES as u64))
+            }
+        };
+        if k == 0 {
+            return false;
+        }
+        let log = Arc::clone(&self.log);
+        let records = log.records();
+        debug_assert!(k < records.len(), "the newest record is always retained");
+        for r in &records[..k] {
+            self.rates.retract(r);
+            crate::metrics::decrement(&mut self.block_sizes, &r.block);
+            self.endorsers.retract(r);
+            self.invokers.retract(r);
+            if r.failed() {
+                self.keys.retract_failure_indexed(r, &mut self.hotkey_index);
+            }
+            crate::recommend::retract_activity_type(&mut self.type_hist, &r.activity, r.tx_type);
+        }
+        self.correlation
+            .evict(&records[..k], records[k].commit_index);
+        self.evicted += k;
+        // The log's block tally becomes the distinct blocks the retained
+        // records span (windowed sessions count blocks from records).
+        let blocks = self.block_sizes.len();
+        Arc::make_mut(&mut self.log).evict_front(k, blocks);
+        // The evicted prefix may have carried the window's extremes.
+        self.first_send = self.rates.first_send();
+        let log = Arc::clone(&self.log);
+        self.cases.rebuild_windowed(log.records());
+        true
     }
 
     /// The single-threaded fold (also the reference semantics the sharded
@@ -614,7 +930,7 @@ impl Session {
                 self.keys
                     .observe_failure_indexed(record, &mut self.hotkey_index);
             }
-            self.correlation.observe(records, pos);
+            self.correlation.observe(records, self.evicted + pos);
             observe_activity_type(&mut self.type_hist, &record.activity, record.tx_type);
             self.cases.observe(record);
         }
@@ -641,6 +957,7 @@ impl Session {
             *self.block_sizes.entry(record.block).or_insert(0) += 1;
         }
 
+        let base = self.evicted;
         let rates = &mut self.rates;
         let endorsers = &mut self.endorsers;
         let invokers = &mut self.invokers;
@@ -674,7 +991,7 @@ impl Session {
             }),
             Box::new(move || {
                 for pos in first_new..records.len() {
-                    correlation.observe(records, pos);
+                    correlation.observe(records, base + pos);
                 }
             }),
             Box::new(move || {
@@ -700,6 +1017,34 @@ impl Session {
                 });
             }
         });
+    }
+
+    /// The sizes of every piece of running state — the memory-boundedness
+    /// witness: under a bounded [`WindowPolicy`] each field stays flat
+    /// (bounded by the window's content) no matter how long the session
+    /// runs, and equals the footprint of a fresh session fed only the
+    /// retained suffix.
+    pub fn footprint(&self) -> SessionFootprint {
+        let (conflicts, writer_entries, activity_entries, delta_deps) =
+            self.correlation.footprint();
+        SessionFootprint {
+            records: self.log.len(),
+            rate_intervals: self.rates.stored_intervals(),
+            send_times: self.rates.distinct_send_times(),
+            blocks: self.block_sizes.len(),
+            endorser_peers: self.endorsers.per_peer.len(),
+            invoker_clients: self.invokers.per_client.len(),
+            failed_keys: self.keys.kfreq.len(),
+            hotkey_entries: self.hotkey_index.tracked_keys(),
+            conflicts,
+            writer_entries,
+            activity_entries,
+            delta_deps,
+            activity_types: self.type_hist.len(),
+            case_events: self.cases.event_log.event_count(),
+            dfg_edges: self.cases.dfg.edge_count(),
+            families: self.cases.coverage.len(),
+        }
     }
 
     /// The observation window in seconds (first client send → last commit).
@@ -1200,6 +1545,342 @@ mod tests {
         assert_eq!(conflict.failed_index, 17);
         assert_eq!(conflict.writer_index, 5);
         assert_eq!(conflict.distance, 12);
+    }
+
+    /// The windowed suffix of a full log: the records of the `n` highest
+    /// block numbers, with their original commit indices.
+    fn last_blocks_suffix(log: &BlockchainLog, n: usize) -> BlockchainLog {
+        let blocks: BTreeSet<u64> = log.records().iter().map(|r| r.block).collect();
+        let cutoff = *blocks.iter().rev().nth(n - 1).expect("more than n blocks");
+        let suffix: Vec<_> = log
+            .records()
+            .iter()
+            .filter(|r| r.block >= cutoff)
+            .cloned()
+            .collect();
+        let distinct: BTreeSet<u64> = suffix.iter().map(|r| r.block).collect();
+        let count = distinct.len();
+        BlockchainLog::from_records(suffix, count)
+    }
+
+    /// The tentpole invariant: a long-running windowed session's snapshot
+    /// is identical — metrics, conflicts, case derivation, model, and
+    /// recommendations — to a fresh analysis of only the retained suffix.
+    #[test]
+    fn windowed_snapshot_equals_fresh_suffix_analysis() {
+        let output = small_output();
+        let n = 4;
+        let mut windowed = Analyzer::new()
+            .window(WindowPolicy::LastBlocks(n))
+            .session()
+            .unwrap();
+        for block in output.ledger.blocks() {
+            windowed.ingest_block(block);
+        }
+        assert!(
+            windowed.evicted() > 0,
+            "the ledger spans more than n blocks"
+        );
+        let streamed = windowed.snapshot().unwrap();
+
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let mut fresh = Analyzer::new().session().unwrap();
+        fresh.ingest_log(last_blocks_suffix(&full, n)).unwrap();
+        let batch = fresh.snapshot().unwrap();
+
+        assert_eq!(format!("{streamed:?}"), format!("{batch:?}"));
+        assert_eq!(windowed.footprint(), fresh.footprint());
+    }
+
+    /// Memory-boundedness: with `LastBlocks(n)`, every tracker's state size
+    /// stays flat while the session ingests ≥ 10× n blocks — each
+    /// footprint field never exceeds its running maximum over the first
+    /// few windows, and the final footprint equals a fresh session's over
+    /// the suffix.
+    #[test]
+    fn windowed_state_stays_flat_over_ten_windows() {
+        let n = 3;
+        let cv = ControlVariables {
+            transactions: 4_000,
+            // Uniform count-cut blocks, so "flat" is a sharp assertion:
+            // the window's content does not drift over the run.
+            block_count: 25,
+            ..Default::default()
+        };
+        let output = workload::synthetic::generate(&cv).run(cv.network_config());
+        let blocks = output.ledger.blocks();
+        assert!(
+            blocks.len() >= 10 * n,
+            "need ≥ 10 windows, got {}",
+            blocks.len()
+        );
+
+        let mut session = Analyzer::new()
+            .window(WindowPolicy::LastBlocks(n))
+            .session()
+            .unwrap();
+        let mut prefix = fabric_sim::ledger::Ledger::new();
+        let mut peak_window = 0usize;
+        for (i, block) in blocks.iter().enumerate() {
+            session.ingest_block(block);
+            prefix.append(block.clone());
+            let window_blocks = &blocks[i.saturating_sub(n - 1)..=i];
+            let window_records: usize = window_blocks
+                .iter()
+                .map(fabric_sim::ledger::Block::len)
+                .sum();
+            // Every tracker entry is attributable to a record or one of its
+            // key accesses, so the window's own content is a hard cap.
+            let window_slots: usize = window_records
+                + window_blocks
+                    .iter()
+                    .flat_map(|b| &b.txs)
+                    .map(|tx| tx.rwset.all_keys().len())
+                    .sum::<usize>();
+            peak_window = peak_window.max(window_records);
+            let fp = session.footprint();
+            assert!(
+                fp.records <= window_records,
+                "retained more than the window"
+            );
+            for (name, v) in [
+                ("failed_keys", fp.failed_keys),
+                ("hotkey_entries", fp.hotkey_entries),
+                ("conflicts", fp.conflicts),
+                ("writer_entries", fp.writer_entries),
+                ("activity_entries", fp.activity_entries),
+                ("delta_deps", fp.delta_deps),
+                ("case_events", fp.case_events),
+                ("send_times", fp.send_times),
+            ] {
+                assert!(
+                    v <= window_slots,
+                    "{name} = {v} exceeds the window's content ({window_records} records, \
+                     {window_slots} slots) after block {i} — state is leaking past eviction"
+                );
+            }
+            assert!(fp.blocks <= n);
+            // The strongest flatness statement: at checkpoints, the whole
+            // footprint equals that of a fresh session which never saw
+            // anything but the current window — so nothing from the other
+            // 10× n blocks lingers anywhere.
+            if i >= n && i % 17 == 0 {
+                let full = BlockchainLog::from_ledger(&prefix);
+                let mut fresh = Analyzer::new().session().unwrap();
+                fresh.ingest_log(last_blocks_suffix(&full, n)).unwrap();
+                assert_eq!(fp, fresh.footprint(), "after block {i}");
+            }
+        }
+        assert_eq!(session.footprint().blocks, n);
+        assert!(session.len() <= peak_window);
+        assert!(session.evicted() > session.len() * 5, "evicted the bulk");
+
+        // And the end state is exactly a fresh session over the suffix.
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let mut fresh = Analyzer::new().session().unwrap();
+        fresh.ingest_log(last_blocks_suffix(&full, n)).unwrap();
+        assert_eq!(session.footprint(), fresh.footprint());
+        assert_eq!(
+            format!("{:?}", session.snapshot().unwrap()),
+            format!("{:?}", fresh.snapshot().unwrap())
+        );
+    }
+
+    /// Sharded (multi-threaded) ingest under eviction must match the
+    /// serial fold exactly.
+    #[test]
+    fn sharded_windowed_ingest_matches_serial() {
+        let output = small_output();
+        let policy = WindowPolicy::LastBlocks(6);
+        let mut serial = Analyzer::new().threads(1).window(policy).session().unwrap();
+        serial.ingest_ledger(&output.ledger);
+        let mut sharded = Analyzer::new().threads(4).window(policy).session().unwrap();
+        sharded.ingest_ledger(&output.ledger);
+        assert_eq!(serial.evicted(), sharded.evicted());
+        assert_eq!(serial.footprint(), sharded.footprint());
+        assert_eq!(
+            format!("{:?}", serial.snapshot().unwrap()),
+            format!("{:?}", sharded.snapshot().unwrap())
+        );
+    }
+
+    /// Duration-based policies evict by commit-timestamp age; the decay
+    /// policy is the same mechanism at 10 half-lives.
+    #[test]
+    fn duration_and_decay_policies_evict_by_age() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let span = full.window_secs();
+        assert!(span > 0.0);
+        let keep = sim_core::time::SimDuration::from_secs_f64(span / 4.0);
+        let mut session = Analyzer::new()
+            .window(WindowPolicy::LastDuration(keep))
+            .session()
+            .unwrap();
+        for block in output.ledger.blocks() {
+            session.ingest_block(block);
+        }
+        assert!(session.evicted() > 0);
+        let last = session
+            .log()
+            .records()
+            .iter()
+            .map(|r| r.commit_ts)
+            .max()
+            .unwrap();
+        for r in session.log().records() {
+            assert!(last.since(r.commit_ts) <= keep, "record older than window");
+        }
+        // Decay with half-life h evicts at 10·h.
+        let half_life = sim_core::time::SimDuration::from_secs_f64(span / 40.0);
+        let mut decayed = Analyzer::new()
+            .window(WindowPolicy::ExponentialDecay { half_life })
+            .session()
+            .unwrap();
+        for block in output.ledger.blocks() {
+            decayed.ingest_block(block);
+        }
+        let horizon = half_life.mul(WindowPolicy::DECAY_HORIZON_HALF_LIVES as u64);
+        for r in decayed.log().records() {
+            assert!(last.since(r.commit_ts) <= horizon);
+        }
+        assert!(decayed.evicted() > 0);
+    }
+
+    /// Windowed sessions reject replay logs whose block numbers decrease
+    /// (block-count eviction is defined on nondecreasing blocks);
+    /// unbounded sessions keep accepting them.
+    #[test]
+    fn windowed_ingest_rejects_decreasing_block_numbers() {
+        let bad = BlockchainLog::from_records(
+            vec![
+                Rec::new(0, "a").block(5).build(),
+                Rec::new(1, "a").block(3).build(),
+            ],
+            2,
+        );
+        let mut windowed = Analyzer::new()
+            .window(WindowPolicy::LastBlocks(2))
+            .session()
+            .unwrap();
+        let err = windowed.ingest_log(bad.clone()).unwrap_err();
+        assert_eq!(err, AnalyzeError::BlockOrder { block: 3, after: 5 });
+        assert!(err.to_string().contains("block numbers decrease"));
+        assert!(windowed.is_empty(), "rejected before any state changed");
+        // Across batches too.
+        let mut windowed = Analyzer::new()
+            .window(WindowPolicy::LastBlocks(2))
+            .session()
+            .unwrap();
+        windowed
+            .ingest_log(log_of(vec![Rec::new(0, "a").block(5).build()]))
+            .unwrap();
+        assert!(matches!(
+            windowed
+                .ingest_log(log_of(vec![Rec::new(1, "a").block(4).build()]))
+                .unwrap_err(),
+            AnalyzeError::BlockOrder { block: 4, after: 5 }
+        ));
+        // Unbounded sessions are unaffected (pre-existing behaviour).
+        let mut unbounded = Analyzer::new().session().unwrap();
+        assert_eq!(unbounded.ingest_log(bad).unwrap(), 2);
+    }
+
+    /// Regression: an empty first batch on a duration/decay-windowed
+    /// session must be a no-op, not a panic on the missing last-commit
+    /// anchor.
+    #[test]
+    fn empty_batches_on_windowed_sessions_are_noops() {
+        for policy in [
+            WindowPolicy::LastDuration(sim_core::time::SimDuration::from_secs(1)),
+            WindowPolicy::ExponentialDecay {
+                half_life: sim_core::time::SimDuration::from_secs(1),
+            },
+            WindowPolicy::LastBlocks(2),
+        ] {
+            let mut session = Analyzer::new().window(policy).session().unwrap();
+            assert_eq!(session.ingest_log(BlockchainLog::default()).unwrap(), 0);
+            assert!(session.is_empty());
+            // And still works normally afterwards.
+            let output = small_output();
+            session.ingest_block(&output.ledger.blocks()[0]);
+            assert!(session.snapshot().is_ok());
+        }
+    }
+
+    #[test]
+    fn window_policy_parsing() {
+        assert_eq!(
+            WindowPolicy::parse("unbounded"),
+            Ok(WindowPolicy::Unbounded)
+        );
+        assert_eq!(
+            WindowPolicy::parse("last-blocks:64"),
+            Ok(WindowPolicy::LastBlocks(64))
+        );
+        assert_eq!(
+            WindowPolicy::parse("last-secs:2.5"),
+            Ok(WindowPolicy::LastDuration(
+                sim_core::time::SimDuration::from_secs_f64(2.5)
+            ))
+        );
+        assert!(matches!(
+            WindowPolicy::parse("half-life:60"),
+            Ok(WindowPolicy::ExponentialDecay { .. })
+        ));
+        for bad in [
+            "last-blocks:0",
+            "last-secs:-1",
+            "half-life:x",
+            "bogus",
+            "bogus:3",
+        ] {
+            assert!(WindowPolicy::parse(bad).is_err(), "{bad}");
+        }
+        // Round-trip through Display.
+        for policy in [
+            WindowPolicy::Unbounded,
+            WindowPolicy::LastBlocks(10),
+            WindowPolicy::LastDuration(sim_core::time::SimDuration::from_secs(3)),
+        ] {
+            assert_eq!(WindowPolicy::parse(&policy.to_string()), Ok(policy));
+        }
+    }
+
+    /// Regression (small-log hysteresis): at `total = 10` the 5 % tie band
+    /// used to truncate to zero, so the documented family-flip hysteresis
+    /// never engaged on small windows. With the band floored at one
+    /// record, a one-record coverage lead no longer evicts the cached
+    /// family.
+    #[test]
+    fn family_flip_hysteresis_engages_on_small_logs() {
+        // Batch 1: four records covered by both families (A wins the
+        // deterministic tie-break) → cached family "A".
+        let both: Vec<TxRecord> = (0..4)
+            .map(|i| {
+                Rec::new(i, "act")
+                    .args(vec![format!("A{i}").into(), format!("B{i}").into()])
+                    .build()
+            })
+            .collect();
+        let mut session = Analyzer::new().session().unwrap();
+        session.ingest_log(log_of(both)).unwrap();
+        assert_eq!(session.snapshot().unwrap().case_derivation.family, "A");
+
+        // Batch 2: one B-only record plus five with no candidates.
+        // Total 10: coverage A = 4, B = 5 — a one-record lead, inside the
+        // 5 % band (max(1, ⌊0.5⌋) = 1), so the cached family must survive.
+        let mut tail: Vec<TxRecord> = vec![Rec::new(4, "act").args(vec!["B9".into()]).build()];
+        for i in 5..10 {
+            tail.push(Rec::new(i, "act").args(vec!["nodigits".into()]).build());
+        }
+        session.ingest_log(log_of(tail)).unwrap();
+        assert_eq!(session.len(), 10);
+        assert_eq!(
+            session.snapshot().unwrap().case_derivation.family,
+            "A",
+            "a one-record lead must not flip the family on a 10-record log"
+        );
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! End-to-end tests of the `blockoptr` binary: flag validation (notably the
+//! `--window 0` guard) and the `watch --live` committed-block pipeline.
+
+use std::process::{Command, Output};
+
+fn blockoptr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_blockoptr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Regression: a zero-block window must be rejected up front with a clear
+/// error (exit 1), not chunk the replay into zero-size windows.
+#[test]
+fn watch_window_zero_is_rejected() {
+    for args in [
+        vec!["watch", "whatever.json", "--window", "0"],
+        vec!["watch", "--live", "--window", "0"],
+        vec!["watch", "whatever.json", "--window", "-3"],
+        vec!["watch", "whatever.json", "--window", "many"],
+    ] {
+        let out = blockoptr(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        assert!(
+            stderr(&out).contains("--window must be a positive integer"),
+            "{args:?} → {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn watch_rejects_malformed_policies_and_misplaced_flags() {
+    let out = blockoptr(&["watch", "--live", "--policy", "bogus:x"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("unknown window policy"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = blockoptr(&["watch", "--live", "--policy", "last-blocks:0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("positive block count"),
+        "{}",
+        stderr(&out)
+    );
+
+    // --blocks / --txs only make sense for a live run.
+    let out = blockoptr(&["watch", "whatever.json", "--blocks", "5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--blocks only applies to watch --live"));
+}
+
+/// The live pipeline end to end: simulate, stream committed blocks over the
+/// channel, ingest through a sliding-window session, print rolling lines.
+#[test]
+fn watch_live_streams_rolling_snapshots() {
+    let out = blockoptr(&[
+        "watch",
+        "--live",
+        "synthetic",
+        "--txs",
+        "400",
+        "--blocks",
+        "3",
+        "--window",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "--blocks caps consumption: {lines:?}");
+    assert!(lines[0].starts_with("block 1:"), "{}", lines[0]);
+    assert!(lines
+        .iter()
+        .all(|l| l.contains("Tr ") && l.contains("recs:")));
+    let err = stderr(&out);
+    assert!(err.contains("window policy last-blocks:2"), "{err}");
+    assert!(err.contains("watched 3 live blocks"), "{err}");
+}
+
+/// Live mode with an explicit policy and JSON output: every line is an
+/// object and the window stays bounded (the session evicts).
+#[test]
+fn watch_live_json_with_duration_policy() {
+    let out = blockoptr(&[
+        "watch",
+        "--live",
+        "synthetic",
+        "--txs",
+        "600",
+        "--policy",
+        "last-blocks:1",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    for line in stdout(&out).lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"new_transactions\""), "{line}");
+    }
+    let err = stderr(&out);
+    // With a one-block window, everything but the last block was evicted.
+    assert!(err.contains("in 1 blocks"), "{err}");
+    assert!(err.contains("evicted"), "{err}");
+    assert!(err.contains("simulation finished"), "{err}");
+}

@@ -1,0 +1,287 @@
+//! Windowed-session equivalence properties.
+//!
+//! The sliding-window contract: a long-running session under a bounded
+//! [`WindowPolicy`] must be indistinguishable from a fresh session that
+//! only ever saw the retained suffix — metrics, conflict list, hotkeys,
+//! recommendations, and (whenever the last ingest batch evicted, i.e. the
+//! steady state of a live run) the whole analysis byte-for-byte. Verified
+//! over random commit-ordered ledgers, arbitrary ingest batch splits, and
+//! both serial and sharded (4-thread) ingestion.
+
+use blockoptr::log::{BlockchainLog, TxRecord};
+use blockoptr::session::{Analyzer, Session, WindowPolicy};
+use fabric_sim::ledger::TxStatus;
+use fabric_sim::rwset::{ReadWriteSet, Version};
+use fabric_sim::types::{ClientId, OrgId, PeerId, TxType, Value};
+use proptest::prelude::*;
+use sim_core::time::SimTime;
+
+/// One random record: a few keys from a small pool (so conflicts and
+/// hotkeys actually form), an identifier argument (so case families form),
+/// and a status mix.
+fn arb_record() -> impl Strategy<Value = TxRecord> {
+    (
+        0usize..4, // activity
+        0usize..6, // read key
+        0usize..6, // write key
+        0usize..5, // case id
+        0u8..10,   // status selector (30 % failures)
+        0u8..2,    // write at all?
+    )
+        .prop_map(|(act, read, write, case, status, writes)| {
+            let writes = writes == 1;
+            let activities = ["transfer", "audit", "query", "settle"];
+            let mut rwset = ReadWriteSet::new();
+            rwset.record_read(format!("ns/k{read}"), Some(Version::new(1, 0)));
+            if writes {
+                rwset.record_write(format!("ns/k{write}"), Some(Value::Int(1)));
+            }
+            let status = match status {
+                0 | 1 => TxStatus::MvccReadConflict,
+                2 => TxStatus::PhantomReadConflict,
+                _ => TxStatus::Success,
+            };
+            TxRecord {
+                commit_index: 0, // assigned below
+                block: 1,        // assigned below
+                client_ts: SimTime::ZERO,
+                commit_ts: SimTime::ZERO,
+                contract: "cc".into(),
+                activity: activities[act].into(),
+                args: vec![Value::Str(format!("CASE{case:03}"))],
+                endorsers: vec![PeerId {
+                    org: OrgId((act % 3) as u16),
+                    index: 0,
+                }],
+                invoker: ClientId {
+                    org: OrgId((case % 2) as u16),
+                    index: 0,
+                },
+                rwset,
+                status,
+                tx_type: if writes { TxType::Update } else { TxType::Read },
+            }
+        })
+}
+
+/// A random commit-ordered ledger: strictly increasing commit indices,
+/// nondecreasing block numbers and commit timestamps, client timestamps a
+/// little before their commits.
+fn arb_ledger() -> impl Strategy<Value = BlockchainLog> {
+    (
+        prop::collection::vec((arb_record(), 1u64..5, 0u64..400_000), 8..120),
+        2u64..7, // mean block size selector
+    )
+        .prop_map(|(specs, per_block)| {
+            let mut block = 1u64;
+            let mut commit_us = 0u64;
+            let mut records = Vec::with_capacity(specs.len());
+            for (i, (mut r, step, lead)) in specs.into_iter().enumerate() {
+                if i > 0 && (i as u64).is_multiple_of(per_block) {
+                    block += step.min(1) + (step / 3); // occasionally skip numbers
+                }
+                commit_us += 50_000 + step * 10_000;
+                r.commit_index = i;
+                r.block = block;
+                r.commit_ts = SimTime::from_micros(commit_us);
+                r.client_ts = SimTime::from_micros(commit_us.saturating_sub(lead));
+                records.push(r);
+            }
+            let blocks: std::collections::BTreeSet<u64> = records.iter().map(|r| r.block).collect();
+            let count = blocks.len();
+            BlockchainLog::from_records(records, count)
+        })
+}
+
+/// The suffix a bounded policy retains, with original commit indices.
+fn retained_suffix(log: &BlockchainLog, policy: WindowPolicy) -> BlockchainLog {
+    let records = log.records();
+    let keep: Vec<TxRecord> = match policy {
+        WindowPolicy::Unbounded => records.to_vec(),
+        WindowPolicy::LastBlocks(n) => {
+            let blocks: std::collections::BTreeSet<u64> = records.iter().map(|r| r.block).collect();
+            if blocks.len() <= n {
+                records.to_vec()
+            } else {
+                let cutoff = *blocks.iter().rev().nth(n - 1).unwrap();
+                records
+                    .iter()
+                    .filter(|r| r.block >= cutoff)
+                    .cloned()
+                    .collect()
+            }
+        }
+        WindowPolicy::LastDuration(d) => {
+            let last = records.iter().map(|r| r.commit_ts).max().unwrap();
+            records
+                .iter()
+                .filter(|r| last.since(r.commit_ts) <= d)
+                .cloned()
+                .collect()
+        }
+        WindowPolicy::ExponentialDecay { half_life } => {
+            let horizon = half_life.mul(WindowPolicy::DECAY_HORIZON_HALF_LIVES as u64);
+            let last = records.iter().map(|r| r.commit_ts).max().unwrap();
+            records
+                .iter()
+                .filter(|r| last.since(r.commit_ts) <= horizon)
+                .cloned()
+                .collect()
+        }
+    };
+    let blocks: std::collections::BTreeSet<u64> = keep.iter().map(|r| r.block).collect();
+    let count = blocks.len();
+    BlockchainLog::from_records(keep, count)
+}
+
+/// Fresh one-batch analysis of a (sub)log.
+fn fresh_session(log: BlockchainLog) -> Session {
+    let mut session = Analyzer::new()
+        .window(WindowPolicy::Unbounded)
+        .session()
+        .unwrap();
+    session.ingest_log(log).unwrap();
+    session
+}
+
+/// Assert the windowed session matches the fresh suffix analysis. Metric
+/// state must always match; the full analysis (which includes the
+/// hysteresis-stabilized case family) must match whenever the final batch
+/// evicted — the steady state of any long-running windowed session.
+fn assert_window_equivalence(windowed: &Session, policy: WindowPolicy, full: &BlockchainLog) {
+    let fresh = fresh_session(retained_suffix(full, policy));
+    let a = windowed.snapshot().unwrap();
+    let b = fresh.snapshot().unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.metrics).unwrap(),
+        serde_json::to_string(&b.metrics).unwrap(),
+        "windowed metrics diverge from a fresh suffix analysis ({policy})"
+    );
+    assert_eq!(a.recommendation_names(), b.recommendation_names());
+    assert_eq!(a.log.len(), b.log.len());
+    assert_eq!(a.log.block_count(), b.log.block_count());
+    assert_eq!(a.thresholds, b.thresholds);
+}
+
+/// Full byte-equality, for runs known to end on an evicting batch.
+fn assert_byte_equality(windowed: &Session, policy: WindowPolicy, full: &BlockchainLog) {
+    let fresh = fresh_session(retained_suffix(full, policy));
+    assert_eq!(windowed.footprint(), fresh.footprint());
+    assert_eq!(
+        format!("{:?}", windowed.snapshot().unwrap()),
+        format!("{:?}", fresh.snapshot().unwrap()),
+        "windowed analysis is not byte-equal to the fresh suffix analysis ({policy})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LastBlocks(n) over random ledgers and random batch splits: the
+    /// windowed session always matches a fresh analysis of the last n
+    /// blocks.
+    #[test]
+    fn windowed_session_matches_fresh_suffix(
+        log in arb_ledger(),
+        n in 1usize..6,
+        chunk in 1usize..17,
+    ) {
+        let policy = WindowPolicy::LastBlocks(n);
+        let mut session = Analyzer::new().window(policy).session().unwrap();
+        let records = log.records();
+        for batch in records.chunks(chunk) {
+            let blocks: std::collections::BTreeSet<u64> =
+                batch.iter().map(|r| r.block).collect();
+            session
+                .ingest_log(BlockchainLog::from_records(batch.to_vec(), blocks.len()))
+                .unwrap();
+        }
+        assert_window_equivalence(&session, policy, &log);
+        let before = session.evicted();
+        // One more over-full block forces an eviction, entering the steady
+        // state where the whole analysis is byte-equal.
+        let mut tail: Vec<TxRecord> = records[records.len().saturating_sub(3)..].to_vec();
+        let last = records.last().unwrap();
+        for (i, r) in tail.iter_mut().enumerate() {
+            r.commit_index = last.commit_index + 1 + i;
+            r.block = last.block + 1;
+            r.commit_ts = last.commit_ts + sim_core::time::SimDuration::from_millis(10);
+        }
+        let extended = {
+            let mut all = records.to_vec();
+            all.extend(tail.clone());
+            let blocks: std::collections::BTreeSet<u64> = all.iter().map(|r| r.block).collect();
+            let count = blocks.len();
+            BlockchainLog::from_records(all, count)
+        };
+        let tail_blocks = 1usize;
+        session
+            .ingest_log(BlockchainLog::from_records(tail, tail_blocks))
+            .unwrap();
+        if session.evicted() > before {
+            assert_byte_equality(&session, policy, &extended);
+        }
+    }
+
+    /// Duration-based eviction matches the commit-time suffix.
+    #[test]
+    fn duration_window_matches_fresh_suffix(
+        log in arb_ledger(),
+        tenths in 2u64..30,
+    ) {
+        let policy = WindowPolicy::LastDuration(
+            sim_core::time::SimDuration::from_millis(tenths * 100),
+        );
+        let mut session = Analyzer::new().window(policy).session().unwrap();
+        // Whole-log single batch: the final batch always evicts whatever is
+        // stale, so full byte-equality applies.
+        session.ingest_log(log.clone()).unwrap();
+        assert_window_equivalence(&session, policy, &log);
+        assert_byte_equality(&session, policy, &log);
+    }
+
+    /// Sharded (4-thread) windowed ingest is identical to the serial fold.
+    #[test]
+    fn sharded_windowed_ingest_matches_serial(
+        log in arb_ledger(),
+        n in 1usize..6,
+    ) {
+        let policy = WindowPolicy::LastBlocks(n);
+        let mut serial = Analyzer::new().threads(1).window(policy).session().unwrap();
+        serial.ingest_log(log.clone()).unwrap();
+        let mut sharded = Analyzer::new().threads(4).window(policy).session().unwrap();
+        sharded.ingest_log(log.clone()).unwrap();
+        prop_assert_eq!(serial.evicted(), sharded.evicted());
+        prop_assert_eq!(serial.footprint(), sharded.footprint());
+        prop_assert_eq!(
+            format!("{:?}", serial.snapshot().unwrap()),
+            format!("{:?}", sharded.snapshot().unwrap())
+        );
+    }
+}
+
+/// The suite-wide window policy (`BLOCKOPTR_WINDOW`, as CI sets it) holds
+/// the equivalence too, on a real simulated ledger — block-by-block like a
+/// monitoring loop, under whatever thread count `BLOCKOPTR_THREADS` says.
+#[test]
+fn env_policy_holds_equivalence_on_simulated_ledger() {
+    let policy = match WindowPolicy::from_env() {
+        WindowPolicy::Unbounded => WindowPolicy::LastBlocks(8),
+        bounded => bounded,
+    };
+    let cv = workload::spec::ControlVariables {
+        transactions: 1_500,
+        block_count: 30,
+        ..Default::default()
+    };
+    let output = workload::synthetic::generate(&cv).run(cv.network_config());
+    let mut session = Analyzer::new().window(policy).session().unwrap();
+    for block in output.ledger.blocks() {
+        session.ingest_block(block);
+    }
+    let full = BlockchainLog::from_ledger(&output.ledger);
+    assert_window_equivalence(&session, policy, &full);
+    if session.evicted() > 0 {
+        assert_byte_equality(&session, policy, &full);
+    }
+}

@@ -142,6 +142,22 @@ impl Simulation {
     ///
     /// Panics if a request names an uninstalled contract.
     pub fn run(&self, requests: &[TxRequest]) -> SimOutput {
+        self.run_observed(requests, &mut |_| {})
+    }
+
+    /// Like [`run`](Self::run), but invoke `on_commit` with every block the
+    /// moment it commits to the ledger — the committed-block feed a live
+    /// monitoring loop consumes (`blockoptr watch --live` bridges this
+    /// callback onto a channel and ingests each block into a windowed
+    /// session while the simulation is still running).
+    ///
+    /// The callback runs on the simulation's thread between block commits;
+    /// it sees each block exactly once, in chain order.
+    pub fn run_observed(
+        &self,
+        requests: &[TxRequest],
+        on_commit: &mut dyn FnMut(&Block),
+    ) -> SimOutput {
         let cfg = &self.config;
         let res = &cfg.resources;
 
@@ -393,6 +409,7 @@ impl Simulation {
                             commit_ts: now,
                             txs: envelopes,
                         });
+                        on_commit(ledger.blocks().last().expect("just appended"));
                     }
                 }
             }
@@ -796,6 +813,29 @@ mod tests {
             assert!((0.0..=1.0).contains(&u), "{u}");
         }
         assert!(out.report.endorser_utilization > 0.0);
+    }
+
+    #[test]
+    fn observer_sees_every_block_as_it_commits() {
+        let s = sim();
+        let reqs: Vec<TxRequest> = (0..30)
+            .map(|i| req(i, "put", vec![format!("k{i}").into(), Value::Int(1)]))
+            .collect();
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        let out = s.run_observed(&reqs, &mut |block| {
+            seen.push((block.number, block.len()));
+        });
+        let chain: Vec<(u64, usize)> = out
+            .ledger
+            .blocks()
+            .iter()
+            .map(|b| (b.number, b.len()))
+            .collect();
+        assert_eq!(seen, chain, "observer sees the chain, in order, once");
+        // And the observed run is identical to an unobserved one.
+        let plain = sim().run(&reqs);
+        assert_eq!(plain.report.committed, out.report.committed);
+        assert_eq!(plain.ledger.height(), out.ledger.height());
     }
 
     #[test]

@@ -75,12 +75,20 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 
 /// Event counts bucketed into fixed-width time intervals.
 ///
-/// Bucket `i` covers `[i·width, (i+1)·width)`. The paper derives the
-/// transaction-rate distribution `Trdᵢ` and failure-rate distribution `Frdᵢ`
-/// this way, with a user-configurable interval size (`ins`, default 1 s).
+/// Bucket `i` covers `[i·width, (i+1)·width)` on the absolute simulated
+/// timeline. The paper derives the transaction-rate distribution `Trdᵢ` and
+/// failure-rate distribution `Frdᵢ` this way, with a user-configurable
+/// interval size (`ins`, default 1 s).
+///
+/// Only the span between the first and last *occupied* bucket is stored
+/// (`first_index` anchors it on the absolute grid), so a sliding-window
+/// consumer that [`unrecord`](TimeBuckets::unrecord)s evicted events keeps
+/// the series bounded by the window instead of the total elapsed time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TimeBuckets {
     width: SimDuration,
+    /// Absolute index of `counts[0]` (meaningless while `counts` is empty).
+    start: usize,
     counts: Vec<u64>,
 }
 
@@ -90,25 +98,81 @@ impl TimeBuckets {
         assert!(width.as_micros() > 0, "bucket width must be positive");
         TimeBuckets {
             width,
+            start: 0,
             counts: Vec::new(),
         }
     }
 
-    /// Record one event at `t`.
-    pub fn record(&mut self, t: SimTime) {
-        let idx = (t.as_micros() / self.width.as_micros()) as usize;
-        if idx >= self.counts.len() {
-            self.counts.resize(idx + 1, 0);
-        }
-        self.counts[idx] += 1;
+    fn index_of(&self, t: SimTime) -> usize {
+        (t.as_micros() / self.width.as_micros()) as usize
     }
 
-    /// Raw counts per bucket.
+    /// Record one event at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = self.index_of(t);
+        if self.counts.is_empty() {
+            self.start = idx;
+            self.counts.push(1);
+            return;
+        }
+        if idx < self.start {
+            // An event earlier than the current span (commit order does not
+            // imply client-timestamp order): grow the series at the front.
+            let pad = self.start - idx;
+            self.counts.splice(0..0, std::iter::repeat_n(0, pad));
+            self.start = idx;
+        } else if idx - self.start >= self.counts.len() {
+            self.counts.resize(idx - self.start + 1, 0);
+        }
+        self.counts[idx - self.start] += 1;
+    }
+
+    /// Remove one previously [`record`](TimeBuckets::record)ed event at `t`
+    /// (sliding-window eviction). Emptied buckets at either end of the span
+    /// are trimmed, so the stored series always runs from the first to the
+    /// last occupied bucket — exactly what recording only the retained
+    /// events would have produced.
+    ///
+    /// # Panics
+    /// Panics if no event is recorded in `t`'s bucket.
+    pub fn unrecord(&mut self, t: SimTime) {
+        let idx = self.index_of(t);
+        assert!(
+            idx >= self.start
+                && idx - self.start < self.counts.len()
+                && self.counts[idx - self.start] > 0,
+            "unrecord without a matching record"
+        );
+        self.counts[idx - self.start] -= 1;
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+        let lead = self.counts.iter().take_while(|&&c| c == 0).count();
+        if lead > 0 {
+            self.counts.drain(..lead);
+            self.start += lead;
+        }
+        if self.counts.is_empty() {
+            self.start = 0;
+        }
+    }
+
+    /// Raw counts per stored bucket (`counts()[0]` is bucket
+    /// [`first_index`](TimeBuckets::first_index) on the absolute grid).
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
-    /// Count in bucket `i` (0 if beyond the recorded horizon).
+    /// Absolute grid index of the first stored bucket (0 when empty).
+    pub fn first_index(&self) -> usize {
+        if self.counts.is_empty() {
+            0
+        } else {
+            self.start
+        }
+    }
+
+    /// Count in stored bucket `i` (0 if beyond the recorded span).
     pub fn count(&self, i: usize) -> u64 {
         self.counts.get(i).copied().unwrap_or(0)
     }
@@ -247,6 +311,54 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!((r[0] - 10.0).abs() < 1e-9, "5 events / 0.5s = 10/s");
         assert!((r[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_trim_to_the_occupied_span() {
+        let mut b = TimeBuckets::new(SimDuration::from_secs(1));
+        b.record(SimTime::from_secs(5));
+        b.record(SimTime::from_secs(7));
+        // Leading empty intervals are never stored.
+        assert_eq!(b.first_index(), 5);
+        assert_eq!(b.counts(), &[1, 0, 1]);
+        // Growing at the front works too (late-arriving early timestamp).
+        b.record(SimTime::from_secs(3));
+        assert_eq!(b.first_index(), 3);
+        assert_eq!(b.counts(), &[1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unrecord_reverses_record_and_trims() {
+        let mut b = TimeBuckets::new(SimDuration::from_secs(1));
+        for s in [2u64, 2, 4, 9] {
+            b.record(SimTime::from_secs(s));
+        }
+        b.unrecord(SimTime::from_secs(2));
+        assert_eq!(b.first_index(), 2);
+        assert_eq!(b.counts(), &[1, 0, 1, 0, 0, 0, 0, 1]);
+        // Evicting the whole leading bucket advances the span.
+        b.unrecord(SimTime::from_secs(2));
+        assert_eq!(b.first_index(), 4);
+        assert_eq!(b.counts(), &[1, 0, 0, 0, 0, 1]);
+        // Evicting the newest event trims the tail.
+        b.unrecord(SimTime::from_secs(9));
+        assert_eq!(b.counts(), &[1]);
+        assert_eq!(b.total(), 1);
+        b.unrecord(SimTime::from_secs(4));
+        assert!(b.is_empty());
+        assert_eq!(b.first_index(), 0);
+        // The emptied series behaves like a fresh one.
+        b.record(SimTime::from_secs(1));
+        assert_eq!(b.first_index(), 1);
+        assert_eq!(b.counts(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecord without a matching record")]
+    fn unrecord_of_unrecorded_bucket_panics() {
+        let mut b = TimeBuckets::new(SimDuration::from_secs(1));
+        b.record(SimTime::from_secs(1));
+        b.unrecord(SimTime::from_secs(2));
     }
 
     #[test]

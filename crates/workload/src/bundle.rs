@@ -163,6 +163,20 @@ impl WorkloadBundle {
         self.simulation(config).run(&self.requests)
     }
 
+    /// Like [`run`](Self::run), but stream every committed block to
+    /// `on_commit` as the simulation produces it (see
+    /// [`Simulation::run_observed`]) — the live-watch path: bridge the
+    /// callback onto a channel and a monitoring session can consume the
+    /// chain while it grows.
+    pub fn run_observed(
+        &self,
+        config: NetworkConfig,
+        on_commit: &mut dyn FnMut(&fabric_sim::ledger::Block),
+    ) -> SimOutput {
+        self.simulation(config)
+            .run_observed(&self.requests, on_commit)
+    }
+
     /// Replace the contract set (used when applying smart-contract-level
     /// optimizations: pruning, delta writes, partitioning, data-model
     /// alteration — the workload schedule stays the same).
