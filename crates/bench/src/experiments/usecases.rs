@@ -1,6 +1,8 @@
 //! Figures 13–17: the use-case experiments (§6.2–6.3).
 //!
-//! Each figure is one [`OptimizationPlan`] execution: the analysis's
+//! Each figure **declares its configuration as a [`ScenarioSpec`]** — the
+//! serializable workload description the rest of the system runs on — and
+//! executes one [`OptimizationPlan`] against it: the analysis's
 //! recommendations are lowered to typed actions, each action is applied
 //! alone and re-run, then all together — the per-action reports become the
 //! figure's rows. Rows the paper mandates (e.g. rate control at 100 tps)
@@ -11,8 +13,7 @@ use super::{run_and_analyze, ExpCtx};
 use crate::table::FigureTable;
 use blockoptr::action::{Action, ScheduleRewrite};
 use blockoptr::plan::{OptimizationPlan, PlanConfig, PlanOutcome, PlannedAction};
-use fabric_sim::config::NetworkConfig;
-use workload::{drm, dv, ehr, lap, scm, WorkloadBundle};
+use workload::{ScenarioSpec, WorkloadSpec};
 
 /// Guarantee the plan carries an action for `source`, appending the given
 /// fallback when the analysis did not recommend it.
@@ -59,16 +60,24 @@ fn add_outcome_rows(t: &mut FigureTable, config_label: &str, outcome: &PlanOutco
     }
 }
 
-/// Run one use case through the closed loop: analyze, select the figure's
-/// optimizations, execute.
+/// The figure's scenario, declared as a spec: the built-in generator
+/// scaled to the context's transaction budget.
+fn figure_spec(ctx: &ExpCtx, scenario: &str, full_txs: usize) -> ScenarioSpec {
+    ScenarioSpec::builtin(scenario)
+        .expect("figure scenarios are built-ins")
+        .with_transactions(ctx.txs(full_txs))
+}
+
+/// Run one spec-declared use case through the closed loop: build, analyze,
+/// select the figure's optimizations, execute.
 fn usecase_outcome(
     ctx: &ExpCtx,
-    bundle: &WorkloadBundle,
-    cfg: NetworkConfig,
+    spec: &ScenarioSpec,
     sources: &[&str],
     ensured: &[(&str, Action)],
 ) -> PlanOutcome {
-    let (baseline, analysis) = run_and_analyze(bundle, cfg.clone());
+    let (bundle, cfg) = spec.build().expect("figure specs validate");
+    let (baseline, analysis) = run_and_analyze(&bundle, cfg.clone());
     let mut plan = OptimizationPlan::from_analysis(&analysis).select(sources);
     for (source, action) in ensured {
         ensure(&mut plan, source, action.clone());
@@ -76,9 +85,10 @@ fn usecase_outcome(
     // The per-action and combined re-runs are independent simulations:
     // fan them out over the context's inner thread budget (the grid
     // runner already parallelizes across experiments, so this avoids
-    // nested-pool oversubscription).
+    // nested-pool oversubscription). The bundle carries the spec as
+    // provenance, so the outcome also records the optimized spec.
     plan.execute_from_with(
-        bundle,
+        &bundle,
         &cfg,
         baseline,
         &PlanConfig::new(1, ctx.plan_threads),
@@ -88,15 +98,10 @@ fn usecase_outcome(
 /// Figure 13: SCM — rate control, reordering, pruning, all.
 pub fn fig13(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 13: SCM use case");
-    let spec = scm::ScmSpec {
-        transactions: ctx.txs(10_000),
-        ..Default::default()
-    };
-    let bundle = scm::generate(&spec);
+    let spec = figure_spec(ctx, "scm", 10_000);
     let outcome = usecase_outcome(
         ctx,
-        &bundle,
-        NetworkConfig::default(),
+        &spec,
         &[
             "Transaction rate control",
             "Activity reordering",
@@ -117,18 +122,13 @@ pub fn fig13(ctx: &ExpCtx) -> String {
 /// Figure 14: DRM — delta writes, reordering, partitioning, all.
 pub fn fig14(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 14: DRM use case");
-    let spec = drm::DrmSpec {
-        transactions: ctx.txs(10_000),
-        ..Default::default()
-    };
-    let bundle = drm::generate(&spec);
+    let spec = figure_spec(ctx, "drm", 10_000);
     // The combined run resolves {delta writes, partitioning} through DRM's
     // variant table to the partitioned-delta contract set (Figure 14's
     // "all optimizations").
     let outcome = usecase_outcome(
         ctx,
-        &bundle,
-        NetworkConfig::default(),
+        &spec,
         &[
             "Delta writes",
             "Activity reordering",
@@ -152,15 +152,10 @@ pub fn fig14(ctx: &ExpCtx) -> String {
 /// Figure 15: EHR — rate control, reordering, pruning, all.
 pub fn fig15(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 15: EHR use case");
-    let spec = ehr::EhrSpec {
-        transactions: ctx.txs(10_000),
-        ..Default::default()
-    };
-    let bundle = ehr::generate(&spec);
+    let spec = figure_spec(ctx, "ehr", 10_000);
     let outcome = usecase_outcome(
         ctx,
-        &bundle,
-        NetworkConfig::default(),
+        &spec,
         &[
             "Transaction rate control",
             "Activity reordering",
@@ -181,16 +176,11 @@ pub fn fig15(ctx: &ExpCtx) -> String {
 /// Figure 16: Digital Voting — rate control, data-model alteration, all.
 pub fn fig16(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 16: Digital Voting use case");
-    let spec = dv::DvSpec {
-        queries: ctx.txs(1_000),
-        votes: ctx.txs(5_000),
-        ..Default::default()
-    };
-    let bundle = dv::generate(&spec);
+    // The paper's phased 1 000-query / 5 000-vote schedule, scaled.
+    let spec = figure_spec(ctx, "dv", 6_000);
     let outcome = usecase_outcome(
         ctx,
-        &bundle,
-        NetworkConfig::default(),
+        &spec,
         &["Transaction rate control", "Data model alteration"],
         &[
             ("Transaction rate control", throttle_100()),
@@ -207,18 +197,19 @@ pub fn fig16(ctx: &ExpCtx) -> String {
 /// Figure 17: LAP at 10 tps and 300 tps.
 pub fn fig17(ctx: &ExpCtx) -> String {
     let mut t = FigureTable::new("Figure 17: Loan Application Process use case");
-    let apps = ((2_000.0 * ctx.scale) as usize).max(100);
+    // ~10 events per application: 2 000 applications ≈ 20 000 events.
+    let with_rate = |rate: f64| {
+        let mut spec = figure_spec(ctx, "lap", 20_000);
+        if let WorkloadSpec::Lap(s) = &mut spec.workload {
+            s.send_rate = rate;
+        }
+        spec
+    };
 
     // Manual processing: 10 tps — only the data-model alteration row.
-    let slow = lap::LapSpec {
-        applications: apps,
-        send_rate: 10.0,
-        ..Default::default()
-    };
     let outcome = usecase_outcome(
         ctx,
-        &lap::generate(&slow),
-        NetworkConfig::default(),
+        &with_rate(10.0),
         &["Data model alteration"],
         &[(
             "Data model alteration",
@@ -228,15 +219,9 @@ pub fn fig17(ctx: &ExpCtx) -> String {
     add_outcome_rows(&mut t, "Send rate: 10 tps", &outcome, false);
 
     // Automated processing: 300 tps — alteration, rate control, all.
-    let fast = lap::LapSpec {
-        applications: apps,
-        send_rate: 300.0,
-        ..Default::default()
-    };
     let outcome = usecase_outcome(
         ctx,
-        &lap::generate(&fast),
-        NetworkConfig::default(),
+        &with_rate(300.0),
         &["Data model alteration", "Transaction rate control"],
         &[
             (

@@ -29,7 +29,7 @@ use fabric_sim::sim::TxRequest;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
-use workload::{optimize, VariantKind};
+use workload::{optimize, ScenarioSpec, SpecTransform, VariantKind};
 
 /// A rewrite of the request schedule (client-side, Table 4's Caliper
 /// settings).
@@ -157,6 +157,40 @@ impl Action {
             Action::SelectContractVariant(kind) => Some(*kind),
             _ => None,
         }
+    }
+
+    /// Lower the action to a *spec transform*: apply it to a declarative
+    /// [`ScenarioSpec`] instead of a materialized bundle, so an optimized
+    /// configuration is itself a serializable, replayable spec (the
+    /// artifact [`PlanOutcome`](crate::plan::PlanOutcome) emits).
+    ///
+    /// Schedule rewrites append to `spec.transforms`, network changes
+    /// rewrite `spec.network`, and variant selections join `spec.variants`.
+    /// Returns `None` when the spec's workload ships no prepared rewrite
+    /// for a selected variant — the action stays manual (paper §7), and
+    /// recording it anyway would make the emitted spec unbuildable.
+    pub fn apply_to_spec(&self, spec: &ScenarioSpec) -> Option<ScenarioSpec> {
+        let mut out = spec.clone();
+        match self {
+            Action::RewriteSchedule(ScheduleRewrite::DeferActivities { activities }) => {
+                out.transforms.push(SpecTransform::DeferActivities {
+                    activities: activities.clone(),
+                });
+            }
+            Action::RewriteSchedule(ScheduleRewrite::Throttle { rate }) => {
+                out.transforms.push(SpecTransform::Throttle { rate: *rate });
+            }
+            Action::ReconfigureNetwork(_) => {
+                out.network = self.apply_to_config(&spec.network)?;
+            }
+            Action::SelectContractVariant(kind) => {
+                if !spec.workload.variant_table().contains(kind) {
+                    return None;
+                }
+                out.variants.insert(*kind);
+            }
+        }
+        Some(out)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! blockoptr demo scm --out scm.json          # simulate a scenario, save its log
-//! blockoptr demo scm --auto-tune             # demo with deployment-tuned thresholds
+//! blockoptr demo scm --txs 2000 --auto-tune  # scaled demo with tuned thresholds
 //! blockoptr analyze scm.json                 # metrics + recommendations
 //! blockoptr analyze scm.json --auto-tune     # with deployment-tuned thresholds
 //! blockoptr analyze scm.json --json          # machine-readable output
@@ -13,10 +13,14 @@
 //!                                            # committed-block feed through a
 //!                                            # sliding-window session
 //! blockoptr compare before.json after.json   # compliance check of a rollout
+//! blockoptr spec scm --out scm_spec.json     # dump a scenario as a replayable spec
+//! blockoptr spec scm --freeze                # …with the schedule inlined as data
 //! blockoptr optimize scm                     # closed loop: plan, apply, re-run, deltas
 //! blockoptr optimize scm --dry-run           # print the plan without re-running
 //! blockoptr optimize scm --txs 2000 --json   # scaled run, machine-readable outcome
 //! blockoptr optimize scm --seeds 5 --threads 4  # 5 seeds/config in parallel: mean ± CI deltas
+//! blockoptr optimize --log blocks.json --spec scm_spec.json --emit-spec tuned.json
+//!                                            # bring-your-own-log closed loop
 //! ```
 //!
 //! Mirrors the paper's tool — read a blockchain log, derive the metrics and
@@ -24,10 +28,14 @@
 //! workflow) — plus the §7 compliance checking, a `watch` mode that
 //! replays a log through an incremental [`Session`](blockoptr::Session) the
 //! way a monitoring loop would consume a live chain, and an `optimize`
-//! mode that runs the paper's full Table 4 loop: simulate a scenario,
-//! lower its recommendations to typed [`Action`](blockoptr::Action)s,
-//! apply them, re-run, and print per-action before/after deltas
-//! ([`PlanOutcome`](blockoptr::PlanOutcome)).
+//! mode that runs the paper's full Table 4 loop: lower the analysis's
+//! recommendations to typed [`Action`](blockoptr::Action)s, apply them,
+//! re-run, and print per-action before/after deltas
+//! ([`PlanOutcome`](blockoptr::PlanOutcome)). Scenarios are declarative
+//! ([`ScenarioSpec`]): `spec` serializes any built-in as JSON, `optimize`
+//! rebuilds workloads from specs (one fresh workload per `--seeds` seed),
+//! and `--log` swaps the simulated baseline's recommendations for an
+//! analysis of your exported chain.
 //!
 //! Unknown flags and malformed inputs are rejected with exit code 1 (a
 //! missing or unknown *subcommand* prints usage and exits 2), and all
@@ -44,21 +52,28 @@ use fabric_sim::config::NetworkConfig;
 use serde::Serialize;
 use serde_json::Value;
 use std::process::ExitCode;
+use workload::ScenarioSpec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--out LOG.json] [--auto-tune]\n  \
+        "usage:\n  blockoptr demo <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--out LOG.json] [--auto-tune]\n  \
          blockoptr analyze LOG.json [--auto-tune] [--json] [--csv OUT.csv] [--xes OUT.xes] [--dot OUT.dot]\n  \
          blockoptr watch LOG.json [--window N] [--policy P] [--auto-tune] [--json]\n  \
          blockoptr watch --live [synthetic|scm|drm|ehr|dv|lap] [--txs N] [--blocks N] [--window N] [--policy P] [--auto-tune] [--json]\n  \
          blockoptr compare BEFORE.json AFTER.json [--json]\n  \
-         blockoptr optimize <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--seeds N] [--threads N] [--dry-run] [--auto-tune] [--json] [--disable RULE]...\n\n\
+         blockoptr spec <synthetic|scm|drm|ehr|dv|lap> [--txs N] [--seed N] [--out SPEC.json] [--freeze]\n  \
+         blockoptr optimize <scenario | --spec SPEC.json> [--log LOG.json] [--txs N] [--seeds N]\n                     \
+         [--threads N] [--dry-run] [--auto-tune] [--json] [--emit-spec OUT.json] [--disable RULE]...\n\n\
          watch --live simulates the scenario and analyzes its committed-block feed as it\n\
          runs; --policy bounds session memory (last-blocks:N, last-secs:S, half-life:S —\n\
          live mode defaults to last-blocks:<--window>), --blocks caps consumption.\n\
-         optimize measures every configuration once per seed (--seeds, default 1; deltas\n\
-         become mean ± Student-t 95 % CIs) and fans the simulations out over --threads\n\
-         workers (default: BLOCKOPTR_THREADS or all cores; thread count never changes results)."
+         spec dumps a scenario as a replayable ScenarioSpec JSON (--freeze inlines the\n\
+         generated schedule instead of the generator parameters).\n\
+         optimize measures every configuration once per seed (--seeds, default 1; each seed\n\
+         regenerates the workload from the spec, so CIs reflect workload variance; deltas\n\
+         become mean ± Student-t 95 % CIs) over --threads workers. With --log, the\n\
+         recommendations come from YOUR exported blockchain log and the re-measurement\n\
+         runs against the replayable --spec; --emit-spec writes the optimized spec."
     );
     ExitCode::from(2)
 }
@@ -177,71 +192,28 @@ fn analysis_json(analysis: &Analysis) -> Value {
 }
 
 /// Build a demo scenario's workload bundle and network configuration,
-/// optionally scaled to roughly `txs` transactions.
+/// optionally scaled to roughly `txs` transactions — through the spec
+/// layer, so `demo`/`watch --live` and `spec`/`optimize` can never
+/// disagree about what a scenario name means.
 fn scenario_bundle(
     scenario: &str,
     txs: Option<usize>,
 ) -> Result<(workload::WorkloadBundle, NetworkConfig), String> {
-    let cfg = NetworkConfig::default();
-    Ok(match scenario {
-        "synthetic" => {
-            let mut cv = workload::spec::ControlVariables::default();
-            if let Some(n) = txs {
-                cv.transactions = n;
-            }
-            let config = cv.network_config();
-            (workload::synthetic::generate(&cv), config)
-        }
-        "scm" => {
-            let mut spec = workload::scm::ScmSpec::default();
-            if let Some(n) = txs {
-                spec.transactions = n;
-            }
-            (workload::scm::generate(&spec), cfg)
-        }
-        "drm" => {
-            let mut spec = workload::drm::DrmSpec::default();
-            if let Some(n) = txs {
-                spec.transactions = n;
-            }
-            (workload::drm::generate(&spec), cfg)
-        }
-        "ehr" => {
-            let mut spec = workload::ehr::EhrSpec::default();
-            if let Some(n) = txs {
-                spec.transactions = n;
-            }
-            (workload::ehr::generate(&spec), cfg)
-        }
-        "dv" => {
-            let mut spec = workload::dv::DvSpec::default();
-            if let Some(n) = txs {
-                // Keep the paper's 1:5 query:vote phase proportions.
-                spec.queries = (n / 6).max(1);
-                spec.votes = n.saturating_sub(spec.queries).max(1);
-            }
-            (workload::dv::generate(&spec), cfg)
-        }
-        "lap" => {
-            let mut spec = workload::lap::LapSpec::default();
-            if let Some(n) = txs {
-                // ~10 events per application.
-                spec.applications = (n / 10).max(10);
-            }
-            (workload::lap::generate(&spec), cfg)
-        }
-        other => return Err(format!("unknown scenario {other:?}")),
-    })
+    let mut spec = ScenarioSpec::builtin(scenario).map_err(|e| e.to_string())?;
+    if let Some(n) = txs {
+        spec = spec.with_transactions(n);
+    }
+    spec.build().map_err(|e| e.to_string())
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["out"], &["auto-tune"])?;
+    let args = Args::parse(args, &["out", "txs"], &["auto-tune"])?;
     let scenario = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("synthetic");
-    let (bundle, cfg) = scenario_bundle(scenario, None)?;
+    let (bundle, cfg) = scenario_bundle(scenario, positive(&args, "txs")?)?;
     let output = bundle.run(cfg);
     eprintln!("simulated {scenario}: {}", output.report.figure_row());
     let log = BlockchainLog::from_ledger(&output.ledger);
@@ -502,15 +474,64 @@ fn positive(args: &Args, name: &str) -> Result<Option<usize>, String> {
     }
 }
 
+/// Dump a built-in scenario as a replayable [`ScenarioSpec`] JSON.
+fn cmd_spec(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args, &["txs", "seed", "out"], &["freeze"])?;
+    let Some(scenario) = args.positional.first() else {
+        return Err("spec needs a scenario (synthetic|scm|drm|ehr|dv|lap)".into());
+    };
+    let mut spec = ScenarioSpec::builtin(scenario).map_err(|e| e.to_string())?;
+    if let Some(txs) = positive(&args, "txs")? {
+        spec = spec.with_transactions(txs);
+    }
+    if let Some(seed) = args.value("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("--seed must be an integer, got {seed:?}"))?;
+        spec = spec.with_seed(seed);
+    }
+    if args.switch("freeze") {
+        // Inline the generated schedule: the deployment-shaped "schedule
+        // JSON" form, replayable without the generator.
+        let (bundle, config) = spec.build().map_err(|e| e.to_string())?;
+        spec = workload::scenario::freeze(&format!("{scenario}-frozen"), &bundle, &config)
+            .map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "scenario {scenario}: contracts [{}], variant table [{}]",
+        spec.contract_ids().join(", "),
+        spec.workload
+            .variant_table()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let json = spec.to_json();
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("spec written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let args = Args::parse(
         args,
-        &["txs", "seeds", "threads", "disable"],
+        &[
+            "txs",
+            "seeds",
+            "threads",
+            "disable",
+            "spec",
+            "log",
+            "emit-spec",
+        ],
         &["dry-run", "auto-tune", "json"],
     )?;
-    let Some(scenario) = args.positional.first() else {
-        return Err("optimize needs a scenario (synthetic|scm|drm|ehr|dv|lap)".into());
-    };
     let txs = positive(&args, "txs")?;
     let mut plan_config = blockoptr::plan::PlanConfig::default();
     if let Some(seeds) = positive(&args, "seeds")? {
@@ -520,6 +541,49 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         plan_config.threads = threads;
     }
 
+    // The scenario spec: a built-in by name, or the user's replayable
+    // workload description (--spec). Everything downstream — baseline,
+    // per-action re-runs, seed variation — rebuilds workloads from it.
+    let spec = match (args.positional.first(), args.value("spec")) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a scenario name or --spec, not both".into());
+        }
+        (Some(scenario), None) => {
+            let mut spec = ScenarioSpec::builtin(scenario).map_err(|e| e.to_string())?;
+            if let Some(n) = txs {
+                spec = spec.with_transactions(n);
+            }
+            spec
+        }
+        (None, Some(path)) => {
+            if txs.is_some() {
+                return Err(
+                    "--txs only applies to built-in scenarios; edit the spec instead".into(),
+                );
+            }
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let spec = ScenarioSpec::from_json(&json).map_err(|e| e.to_string())?;
+            spec.validate().map_err(|e| e.to_string())?;
+            spec
+        }
+        (None, None) => {
+            return Err(
+                "optimize needs a scenario (synthetic|scm|drm|ehr|dv|lap) or --spec".into(),
+            );
+        }
+    };
+    if plan_config.seeds > 1 && matches!(spec.workload, workload::WorkloadSpec::Schedule(_)) {
+        // A frozen schedule replays identically; only the network seed
+        // varies across derived seeds, which under deterministic
+        // endorsement policies changes nothing. Zero-width intervals would
+        // otherwise masquerade as statistical confidence.
+        eprintln!(
+            "note: the spec carries a frozen schedule, so --seeds varies only the \
+             network seed; confidence intervals will not reflect workload variance \
+             (use a generator-backed spec for that)"
+        );
+    }
+
     // The analyzer lints rule ids itself (AnalyzeError::UnknownRule);
     // configure it first so a typo fails before any simulation runs.
     let mut analyzer = analyzer(args.switch("auto-tune"));
@@ -527,32 +591,68 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         analyzer = analyzer.disable_rule(rule).map_err(|e| e.to_string())?;
     }
 
-    // 1. Simulate the scenario and analyze its ledger.
-    let (bundle, config) = scenario_bundle(scenario, txs)?;
-    let output = bundle.run(config.clone());
-    eprintln!("simulated {scenario}: {}", output.report.figure_row());
-    let analysis = analyzer
-        .analyze_ledger(&output.ledger)
-        .map_err(|e| e.to_string())?;
+    // 1. Derive the recommendations: from the user's exported log when
+    //    --log is given (the bring-your-own-log loop), otherwise from a
+    //    baseline simulation of the spec.
+    let (plan, analysis, reused_baseline) = match args.value("log") {
+        Some(path) => {
+            let analysis = analyze_log(load(path)?, args.switch("auto-tune"))?;
+            eprintln!(
+                "analyzed {path}: {} transactions in {} blocks",
+                analysis.log.len(),
+                analysis.log.block_count()
+            );
+            (OptimizationPlan::from_analysis(&analysis), analysis, None)
+        }
+        None => {
+            let (plan, output) =
+                OptimizationPlan::from_spec(&spec, &analyzer).map_err(|e| e.to_string())?;
+            eprintln!("simulated {}: {}", spec.name, output.report.figure_row());
+            let analysis = analyzer
+                .analyze_ledger(&output.ledger)
+                .map_err(|e| e.to_string())?;
+            (plan, analysis, Some(output.report))
+        }
+    };
 
-    // 2. Lower the recommendations to a typed plan.
-    let plan = OptimizationPlan::from_analysis(&analysis);
+    // 2. Dry run: print the plan (and the optimized spec) without
+    //    re-running anything.
     if args.switch("dry-run") {
+        let (optimized, _manual) = plan.apply_to_spec(&spec);
+        if let Some(path) = args.value("emit-spec") {
+            std::fs::write(path, optimized.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("optimized spec written to {path}");
+        }
         if args.switch("json") {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?
             );
         } else {
+            let bundle = spec.build().map_err(|e| e.to_string())?.0;
             print!("{}", blockoptr::report::render(&analysis));
             print!("{}", blockoptr::report::render_plan(&plan, Some(&bundle)));
         }
         return Ok(());
     }
 
-    // 3. Close the loop: apply each action, re-run (once per seed, fanned
-    //    out over the worker pool), measure the deltas.
-    let outcome = plan.execute_from_with(&bundle, &config, output.report, &plan_config);
+    // 3. Close the loop: apply each action, re-run (once per seed, each
+    //    seed regenerating the workload from the re-seeded spec), measure
+    //    the deltas.
+    let outcome = match reused_baseline {
+        Some(report) => plan.execute_spec_from_with(&spec, report, &plan_config),
+        None => plan.execute_spec_with(&spec, &plan_config),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(path) = args.value("emit-spec") {
+        let optimized = outcome
+            .optimized_spec
+            .as_ref()
+            .expect("spec-driven outcomes carry the optimized spec");
+        std::fs::write(path, optimized.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("optimized spec written to {path}");
+    }
     if args.switch("json") {
         println!(
             "{}",
@@ -575,6 +675,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "watch" => cmd_watch(rest),
         "compare" => cmd_compare(rest),
+        "spec" => cmd_spec(rest),
         "optimize" => cmd_optimize(rest),
         _ => return usage(),
     };

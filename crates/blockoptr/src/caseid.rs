@@ -17,8 +17,15 @@
 
 use crate::log::{BlockchainLog, TxRecord};
 use fabric_sim::types::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// Per-family distinct-value statistics: value → candidate-occurrence
+/// count. A multiset rather than a set so sliding-window eviction can
+/// *retract* a record's contribution exactly
+/// ([`retract_family_candidates`]); the distinct-value count a family
+/// reports is the map's length, identical to the old set semantics.
+pub(crate) type FamilyValues = BTreeMap<String, BTreeMap<String, usize>>;
 
 /// How a case id was derived for the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,9 +36,11 @@ pub struct CaseDerivation {
     pub coverage: f64,
     /// Distinct case values observed.
     pub distinct_cases: usize,
-    /// Per-transaction case ids (`None` where no candidate matched).
-    /// Shared: streaming snapshots hand out the same allocation.
-    pub case_ids: Arc<Vec<Option<String>>>,
+    /// Per-transaction case ids (`None` where no candidate matched), in
+    /// commit order over the retained window. Shared: streaming snapshots
+    /// hand out the same allocation. A ring (`VecDeque`) so windowed
+    /// sessions evict aged-out entries in O(1) each.
+    pub case_ids: Arc<VecDeque<Option<String>>>,
 }
 
 /// The non-numeric prefix of an identifier (`"APP00012"` → `"APP"`).
@@ -62,11 +71,11 @@ pub(crate) fn candidates(record: &TxRecord) -> Vec<&str> {
 
 /// Fold one record's candidates into the family statistics (streaming
 /// update; `coverage` counts records contributing to each family,
-/// `distinct` the family's distinct identifier values).
+/// `distinct` the family's identifier values with occurrence counts).
 pub(crate) fn observe_families(
     record: &TxRecord,
     coverage: &mut BTreeMap<String, usize>,
-    distinct: &mut BTreeMap<String, BTreeSet<String>>,
+    distinct: &mut FamilyValues,
 ) {
     observe_family_candidates(&candidates(record), coverage, distinct);
 }
@@ -76,7 +85,7 @@ pub(crate) fn observe_families(
 pub(crate) fn observe_family_candidates(
     cands: &[&str],
     coverage: &mut BTreeMap<String, usize>,
-    distinct: &mut BTreeMap<String, BTreeSet<String>>,
+    distinct: &mut FamilyValues,
 ) {
     let mut seen_families: BTreeSet<&str> = BTreeSet::new();
     for cand in cands {
@@ -84,10 +93,36 @@ pub(crate) fn observe_family_candidates(
             if seen_families.insert(fam) {
                 *coverage.entry(fam.to_string()).or_insert(0) += 1;
             }
-            distinct
+            *distinct
                 .entry(fam.to_string())
                 .or_default()
-                .insert(cand.to_string());
+                .entry(cand.to_string())
+                .or_insert(0) += 1;
+        }
+    }
+}
+
+/// The exact inverse of [`observe_family_candidates`]: retract one evicted
+/// record's contribution. Families and values whose counts reach zero are
+/// removed, so the statistics equal a fresh derivation over the retained
+/// suffix (the sliding-window equivalence contract).
+pub(crate) fn retract_family_candidates(
+    cands: &[&str],
+    coverage: &mut BTreeMap<String, usize>,
+    distinct: &mut FamilyValues,
+) {
+    let mut seen_families: BTreeSet<&str> = BTreeSet::new();
+    for cand in cands {
+        if let Some(fam) = family_of(cand) {
+            if seen_families.insert(fam) {
+                crate::metrics::decrement(coverage, fam);
+            }
+            if let Some(values) = distinct.get_mut(fam) {
+                crate::metrics::decrement(values, *cand);
+                if values.is_empty() {
+                    distinct.remove(fam);
+                }
+            }
         }
     }
 }
@@ -97,13 +132,13 @@ pub(crate) fn observe_family_candidates(
 /// determinism. Returns `(family, covered, distinct)`.
 pub(crate) fn pick_family(
     coverage: &BTreeMap<String, usize>,
-    distinct: &BTreeMap<String, BTreeSet<String>>,
+    distinct: &FamilyValues,
     total: usize,
 ) -> Option<(String, usize, usize)> {
     coverage
         .iter()
         .map(|(fam, &cov)| {
-            let d = distinct.get(fam).map(BTreeSet::len).unwrap_or(0);
+            let d = distinct.get(fam).map(BTreeMap::len).unwrap_or(0);
             (fam.clone(), cov, d)
         })
         .max_by(|a, b| {
@@ -133,7 +168,7 @@ pub(crate) fn case_from_candidates(cands: &[&str], family: &str) -> Option<Strin
 pub fn derive_case_ids(log: &BlockchainLog) -> CaseDerivation {
     // Family → (covered tx count, distinct values).
     let mut coverage: BTreeMap<String, usize> = BTreeMap::new();
-    let mut distinct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut distinct: FamilyValues = BTreeMap::new();
     for record in log.records() {
         observe_families(record, &mut coverage, &mut distinct);
     }
@@ -144,11 +179,12 @@ pub fn derive_case_ids(log: &BlockchainLog) -> CaseDerivation {
             family: String::new(),
             coverage: 0.0,
             distinct_cases: 0,
-            case_ids: Arc::new(vec![None; log.len()]),
+            case_ids: Arc::new(vec![None; log.len()].into()),
         };
     };
 
-    let case_ids: Vec<Option<String>> = log.records().iter().map(|r| case_of(r, &family)).collect();
+    let case_ids: VecDeque<Option<String>> =
+        log.records().iter().map(|r| case_of(r, &family)).collect();
 
     CaseDerivation {
         family,

@@ -16,6 +16,7 @@ use fabric_sim::rwset::ReadWriteSet;
 use fabric_sim::types::{ClientId, PeerId, TxType, Value};
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
+use std::fmt;
 
 /// One preprocessed transaction record (the nine attributes).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,10 +55,77 @@ impl TxRecord {
 }
 
 /// The preprocessed blockchain log, in commit order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Storage is a *ring over a `Vec`*: live records are `records[head..]`,
+/// and sliding-window eviction advances `head` instead of draining the
+/// front (which memmoved the whole retained window on every evicting
+/// batch). The dead prefix is compacted away only once it outgrows the
+/// live suffix, so eviction is amortized O(1) per evicted record while
+/// [`records`](Self::records) keeps returning one contiguous slice — the
+/// property the analysis layer's absolute-position lookups (conflict
+/// correlation) and every `windows(2)` scan rely on, and the reason this
+/// ring is an offset `Vec` rather than a `VecDeque` (whose two-slice view
+/// would ripple through every consumer).
+#[derive(Default)]
 pub struct BlockchainLog {
     records: Vec<TxRecord>,
+    /// Index of the first live record; everything before it is evicted.
+    head: usize,
     blocks: usize,
+}
+
+impl fmt::Debug for BlockchainLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Only the live view: a windowed log must be indistinguishable
+        // from a fresh log holding the same suffix.
+        f.debug_struct("BlockchainLog")
+            .field("records", &self.records())
+            .field("blocks", &self.blocks)
+            .finish()
+    }
+}
+
+impl Clone for BlockchainLog {
+    fn clone(&self) -> Self {
+        // Drop the dead prefix: clones pay for live data only.
+        BlockchainLog {
+            records: self.records().to_vec(),
+            head: 0,
+            blocks: self.blocks,
+        }
+    }
+}
+
+impl Serialize for BlockchainLog {
+    fn to_value(&self) -> serde::value::Value {
+        // Same shape the derived impl produced before the ring existed
+        // (`{ "records": [...], "blocks": n }`), so exported logs stay
+        // wire-compatible.
+        serde::value::Value::Object(vec![
+            ("records".to_string(), self.records().to_value()),
+            ("blocks".to_string(), self.blocks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BlockchainLog {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let serde::value::Value::Object(fields) = v else {
+            return Err(serde::de::Error::expected("object (BlockchainLog)", v));
+        };
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::de::Error::msg(format!("missing field {name}")))
+        };
+        Ok(BlockchainLog {
+            records: Vec::<TxRecord>::from_value(field("records")?)?,
+            head: 0,
+            blocks: usize::from_value(field("blocks")?)?,
+        })
+    }
 }
 
 impl BlockchainLog {
@@ -74,6 +142,7 @@ impl BlockchainLog {
     ) -> Self {
         let mut log = BlockchainLog {
             records: Vec::with_capacity(ledger.tx_count()),
+            head: 0,
             blocks: 0,
         };
         for block in ledger.blocks() {
@@ -123,17 +192,17 @@ impl BlockchainLog {
 
     /// All records in commit order.
     pub fn records(&self) -> &[TxRecord] {
-        &self.records
+        &self.records[self.head..]
     }
 
     /// Number of transactions.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.len() - self.head
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// Number of blocks the log spans.
@@ -146,23 +215,23 @@ impl BlockchainLog {
         if self.blocks == 0 {
             0.0
         } else {
-            self.records.len() as f64 / self.blocks as f64
+            self.len() as f64 / self.blocks as f64
         }
     }
 
     /// Failed transactions.
     pub fn failures(&self) -> impl Iterator<Item = &TxRecord> {
-        self.records.iter().filter(|r| r.failed())
+        self.records().iter().filter(|r| r.failed())
     }
 
     /// Count by status.
     pub fn count_status(&self, status: TxStatus) -> usize {
-        self.records.iter().filter(|r| r.status == status).count()
+        self.records().iter().filter(|r| r.status == status).count()
     }
 
     /// The distinct activity names, sorted.
     pub fn activities(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.records.iter().map(|r| r.activity.clone()).collect();
+        let mut v: Vec<String> = self.records().iter().map(|r| r.activity.clone()).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -170,22 +239,29 @@ impl BlockchainLog {
 
     /// The measurement window (first client send → last commit), seconds.
     pub fn window_secs(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let first = self.records.iter().map(|r| r.client_ts).min().unwrap();
-        let last = self.records.iter().map(|r| r.commit_ts).max().unwrap();
+        let first = self.records().iter().map(|r| r.client_ts).min().unwrap();
+        let last = self.records().iter().map(|r| r.commit_ts).max().unwrap();
         last.since(first).as_secs_f64()
     }
 
     /// Construct directly from records (tests, imports).
     pub fn from_records(records: Vec<TxRecord>, blocks: usize) -> Self {
-        BlockchainLog { records, blocks }
+        BlockchainLog {
+            records,
+            head: 0,
+            blocks,
+        }
     }
 
     /// Decompose into records and block count (streaming hand-off without
     /// cloning).
-    pub fn into_records(self) -> (Vec<TxRecord>, usize) {
+    pub fn into_records(mut self) -> (Vec<TxRecord>, usize) {
+        if self.head > 0 {
+            self.records.drain(..self.head);
+        }
         (self.records, self.blocks)
     }
 
@@ -202,12 +278,23 @@ impl BlockchainLog {
         self.blocks += n;
     }
 
-    /// Drop the oldest `k` records and set the block tally to `blocks`
-    /// (sliding-window eviction: the caller counts the distinct blocks the
-    /// retained records span).
+    /// Drop the oldest `k` live records and set the block tally to
+    /// `blocks` (sliding-window eviction: the caller counts the distinct
+    /// blocks the retained records span).
+    ///
+    /// Amortized O(1) per evicted record: the ring head advances, and the
+    /// dead prefix is compacted only once it outgrows the live suffix —
+    /// each O(live) compaction is paid for by at least `live` prior
+    /// evictions. (The old `drain(..k)` memmoved the whole retained window
+    /// on every evicting batch, O(window) even for a one-record eviction.)
     pub(crate) fn evict_front(&mut self, k: usize, blocks: usize) {
-        self.records.drain(..k);
+        debug_assert!(k <= self.len());
+        self.head += k;
         self.blocks = blocks;
+        if self.head >= self.records.len() - self.head {
+            self.records.drain(..self.head);
+            self.head = 0;
+        }
     }
 }
 
@@ -362,6 +449,38 @@ mod tests {
         ]);
         // Last commit = 1*100+1000 = 1100 ms.
         assert!((log.window_secs() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_eviction_is_correct_across_compactions() {
+        let mut log = log_of((0..32).map(|i| Rec::new(i, "a").build()).collect());
+        // Evict in odd-sized batches so the head crosses the compaction
+        // threshold repeatedly; the live view must always be the suffix.
+        let mut evicted = 0usize;
+        for batch in [1usize, 3, 7, 2, 9, 5] {
+            log.evict_front(batch, 4);
+            evicted += batch;
+            assert_eq!(log.len(), 32 - evicted);
+            let idx: Vec<usize> = log.records().iter().map(|r| r.commit_index).collect();
+            let expect: Vec<usize> = (evicted..32).collect();
+            assert_eq!(idx, expect, "after evicting {evicted}");
+            assert_eq!(log.block_count(), 4);
+        }
+        // Appends after eviction land behind the live suffix.
+        log.push_record(Rec::new(99, "b").build());
+        assert_eq!(log.records().last().unwrap().commit_index, 99);
+        // Serialization sees only the live view and round-trips.
+        let json = serde_json::to_string(&log).unwrap();
+        let back: BlockchainLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), log.len());
+        assert_eq!(
+            back.records().first().unwrap().commit_index,
+            log.records().first().unwrap().commit_index
+        );
+        // Debug and Clone expose the live view only.
+        assert_eq!(format!("{log:?}"), format!("{:?}", log.clone()));
+        let (records, _) = log.into_records();
+        assert_eq!(records.len(), 32 - evicted + 1);
     }
 
     #[test]

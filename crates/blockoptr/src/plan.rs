@@ -73,12 +73,14 @@
 use crate::action::Action;
 use crate::pipeline::Analysis;
 use crate::recommend::Recommendation;
+use crate::session::{AnalyzeError, Analyzer};
 use fabric_sim::config::NetworkConfig;
 use fabric_sim::report::SimReport;
+use fabric_sim::sim::SimOutput;
 use serde::{Deserialize, Serialize};
 use sim_core::pool::{self, ThreadPool};
 use std::collections::BTreeSet;
-use workload::{VariantKind, WorkloadBundle};
+use workload::{ScenarioSpec, VariantKind, WorkloadBundle};
 
 /// One action with the recommendation that motivated it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -347,6 +349,13 @@ pub struct PlanOutcome {
     /// All applicable actions together (the figures' "all optimizations"
     /// row). `None` when no action could be applied.
     pub combined: Option<MeasuredReport>,
+    /// The *optimized scenario spec* — the baseline spec with every
+    /// applicable action lowered to a spec transform
+    /// ([`OptimizationPlan::apply_to_spec`]). Present whenever the
+    /// execution knew its spec (spec-driven runs, or bundles carrying
+    /// provenance); serialize it, hand it to the operator, and the tuned
+    /// configuration is replayable as data.
+    pub optimized_spec: Option<ScenarioSpec>,
 }
 
 impl PlanOutcome {
@@ -461,6 +470,51 @@ impl OptimizationPlan {
         }
         manual.sort_unstable();
         (out_bundle, out_config, manual)
+    }
+
+    /// Apply every action to a *declarative spec* instead of a
+    /// materialized bundle: schedule rewrites become
+    /// [`workload::SpecTransform`]s in plan order, configuration changes
+    /// rewrite `spec.network`, and variant selections join
+    /// `spec.variants`. Returns the optimized spec plus the variant kinds
+    /// the workload ships no rewrite for (manual, paper §7).
+    ///
+    /// The optimized spec is the plan's durable artifact: serialize it and
+    /// the tuned configuration can be rebuilt, re-measured, or diffed
+    /// against the baseline spec. (A supported-but-unresolvable variant
+    /// *combination* — which only a variant resolver can detect — still
+    /// surfaces as a typed error when the spec is built.)
+    pub fn apply_to_spec(&self, spec: &ScenarioSpec) -> (ScenarioSpec, Vec<VariantKind>) {
+        let mut out = spec.clone();
+        let mut manual: Vec<VariantKind> = Vec::new();
+        for planned in &self.actions {
+            match planned.action.apply_to_spec(&out) {
+                Some(next) => out = next,
+                None => {
+                    if let Some(kind) = planned.action.variant() {
+                        manual.push(kind);
+                    }
+                }
+            }
+        }
+        manual.sort_unstable();
+        manual.dedup();
+        (out, manual)
+    }
+
+    /// Simulate a spec's baseline, analyze the resulting ledger with
+    /// `analyzer`, and lower the recommendations to a plan. Returns the
+    /// plan together with the baseline run (whose report seeds
+    /// [`execute_spec_from_with`](Self::execute_spec_from_with), and whose
+    /// ledger the caller may export).
+    pub fn from_spec(
+        spec: &ScenarioSpec,
+        analyzer: &Analyzer,
+    ) -> Result<(OptimizationPlan, SimOutput), AnalyzeError> {
+        let (bundle, config) = spec.build()?;
+        let output = bundle.run(config);
+        let analysis = analyzer.analyze_ledger(&output.ledger)?;
+        Ok((OptimizationPlan::from_analysis(&analysis), output))
     }
 
     /// Describe the single-action configuration for each planned action
@@ -630,7 +684,171 @@ impl OptimizationPlan {
             baseline,
             actions,
             combined,
+            // A bundle built from a spec carries it as provenance, so even
+            // the bundle-shaped entry points emit the optimized spec.
+            optimized_spec: bundle.spec().map(|spec| self.apply_to_spec(spec).0),
         }
+    }
+
+    /// Execute the closed loop against a declarative [`ScenarioSpec`] with
+    /// the default [`PlanConfig`]. See
+    /// [`execute_spec_with`](Self::execute_spec_with).
+    pub fn execute_spec(&self, spec: &ScenarioSpec) -> Result<PlanOutcome, AnalyzeError> {
+        self.execute_spec_with(spec, &PlanConfig::default())
+    }
+
+    /// Execute the closed loop against a declarative [`ScenarioSpec`]:
+    /// every measured configuration runs once per seed, and — unlike the
+    /// bundle-shaped [`execute_with`](Self::execute_with), which replays
+    /// one materialized schedule under different network seeds — **each
+    /// seed rebuilds the workload from a re-seeded spec**
+    /// ([`ScenarioSpec::with_seed`]). The resulting confidence intervals
+    /// therefore reflect workload variance (schedules, key choices,
+    /// invokers), not just endorser selection. Deltas stay seed-paired:
+    /// action seed *i* and baseline seed *i* share the same generated
+    /// workload, so the per-seed workload noise still cancels.
+    pub fn execute_spec_with(
+        &self,
+        spec: &ScenarioSpec,
+        plan_config: &PlanConfig,
+    ) -> Result<PlanOutcome, AnalyzeError> {
+        self.run_spec_grid(spec, plan_config, None)
+    }
+
+    /// [`execute_spec_with`](Self::execute_spec_with) reusing an
+    /// already-measured primary-seed baseline report (the common case when
+    /// the plan came from [`from_spec`](Self::from_spec), which already
+    /// ran the spec once).
+    pub fn execute_spec_from_with(
+        &self,
+        spec: &ScenarioSpec,
+        baseline: SimReport,
+        plan_config: &PlanConfig,
+    ) -> Result<PlanOutcome, AnalyzeError> {
+        self.run_spec_grid(spec, plan_config, Some(baseline))
+    }
+
+    /// Build and execute the `(configuration, seed)` grid for a spec, with
+    /// per-seed workload generation.
+    fn run_spec_grid(
+        &self,
+        spec: &ScenarioSpec,
+        plan_config: &PlanConfig,
+        reused_baseline: Option<SimReport>,
+    ) -> Result<PlanOutcome, AnalyzeError> {
+        let seeds = plan_config.seed_list(spec.seed());
+        // One freshly generated workload per seed. Generation is cheap
+        // next to simulation, so this happens serially up front; failures
+        // (malformed parameters, unknown contracts, unresolvable variant
+        // combinations) surface here before any simulation runs.
+        //
+        // Seed 0 builds the spec *verbatim*: `with_seed` would overwrite
+        // the network seed with the workload seed, and a hand-edited spec
+        // may deliberately keep them different — re-seeding would measure
+        // a different primary configuration than the one a reused
+        // `from_spec` baseline was taken from, skewing every seed-paired
+        // delta.
+        let pairs: Vec<(WorkloadBundle, NetworkConfig)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                if i == 0 {
+                    spec.build()
+                } else {
+                    spec.clone().with_seed(seed).build()
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Classify each action once per seed. Applied-ness is structural
+        // (variant support does not depend on the seed), so the slot
+        // layout matches across seeds.
+        let prepared: Vec<Vec<PreparedAction>> = pairs
+            .iter()
+            .map(|(bundle, config)| self.prepare_actions(bundle, config))
+            .collect();
+        let primary = &prepared[0];
+        debug_assert!(
+            prepared.iter().all(|p| {
+                p.iter().zip(primary).all(|(a, b)| {
+                    matches!(a, PreparedAction::Applied(..))
+                        == matches!(b, PreparedAction::Applied(..))
+                })
+            }),
+            "applied-ness must not depend on the seed"
+        );
+        let any_applied = primary
+            .iter()
+            .any(|p| matches!(p, PreparedAction::Applied(..)));
+
+        let mut jobs: Vec<(usize, WorkloadBundle, NetworkConfig)> = Vec::new();
+        for (si, (bundle, config)) in pairs.iter().enumerate() {
+            if si == 0 && reused_baseline.is_some() {
+                continue;
+            }
+            jobs.push((0, bundle.clone(), config.clone()));
+        }
+        for (ai, prep0) in primary.iter().enumerate() {
+            if matches!(prep0, PreparedAction::Applied(..)) {
+                for per_seed in &prepared {
+                    if let PreparedAction::Applied(pair) = &per_seed[ai] {
+                        let (b, c) = pair.as_ref();
+                        jobs.push((ai + 1, b.clone(), c.clone()));
+                    }
+                }
+            }
+        }
+        let combined_slot = self.actions.len() + 1;
+        if any_applied {
+            for (bundle, config) in &pairs {
+                let (all_bundle, all_config, _manual) = self.transform(bundle, config);
+                jobs.push((combined_slot, all_bundle, all_config));
+            }
+        }
+
+        let results =
+            ThreadPool::new(plan_config.threads).map(jobs, |(slot, b, c)| (slot, b.run(c).report));
+        let mut per_slot: Vec<Vec<SimReport>> = vec![Vec::new(); combined_slot + 1];
+        for (slot, report) in results {
+            per_slot[slot].push(report);
+        }
+        if let Some(report) = reused_baseline {
+            per_slot[0].insert(0, report);
+        }
+
+        let mut slots = per_slot.into_iter();
+        let baseline = MeasuredReport::from_reports(slots.next().expect("baseline slot"));
+        let actions = self
+            .actions
+            .iter()
+            .zip(primary.iter().zip(&mut slots))
+            .map(|(planned, (prep, reports))| {
+                let after = match prep {
+                    PreparedAction::Applied(..) => Some(MeasuredReport::from_reports(reports)),
+                    PreparedAction::Manual => None,
+                };
+                ActionOutcome {
+                    source: planned.source.clone(),
+                    action: planned.action.clone(),
+                    result: if after.is_some() {
+                        ActionResult::Applied
+                    } else {
+                        ActionResult::ManualRequired
+                    },
+                    after,
+                }
+            })
+            .collect();
+        let combined =
+            any_applied.then(|| MeasuredReport::from_reports(slots.next().expect("combined slot")));
+
+        Ok(PlanOutcome {
+            seeds,
+            baseline,
+            actions,
+            combined,
+            optimized_spec: Some(self.apply_to_spec(spec).0),
+        })
     }
 }
 

@@ -202,6 +202,15 @@ pub fn render_outcome(outcome: &PlanOutcome) -> String {
         let _ = writeln!(out, "── all applicable actions combined ──");
         let _ = writeln!(out, "{}", outcome_line(combined, Some(&outcome.baseline)));
     }
+    if let Some(spec) = &outcome.optimized_spec {
+        let _ = writeln!(
+            out,
+            "optimized spec available ({} transform(s), {} variant(s)) — \
+             export with --emit-spec or read it from the JSON outcome",
+            spec.transforms.len(),
+            spec.variants.len()
+        );
+    }
     out
 }
 

@@ -98,6 +98,11 @@ pub enum AnalyzeError {
         /// Ids registered at the time of the call.
         known: Vec<String>,
     },
+    /// A scenario spec could not be parsed, validated, or built
+    /// (spec-driven plan execution and `optimize --spec`). Carries the
+    /// typed [`workload::SpecError`]: unknown contract ids, out-of-domain
+    /// parameters, unsupported variant sets, malformed JSON.
+    Spec(workload::SpecError),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -122,7 +127,14 @@ impl fmt::Display for AnalyzeError {
                 "unknown rule id {id:?}; registered ids: {}",
                 known.join(", ")
             ),
+            AnalyzeError::Spec(err) => write!(f, "scenario spec: {err}"),
         }
+    }
+}
+
+impl From<workload::SpecError> for AnalyzeError {
+    fn from(err: workload::SpecError) -> Self {
+        AnalyzeError::Spec(err)
     }
 }
 
@@ -441,20 +453,35 @@ pub(crate) fn into_commit_order(log: BlockchainLog) -> BlockchainLog {
 
 /// Per-case model state: identifier-family statistics plus the event log
 /// and directly-follows graph maintained under the currently winning family.
+///
+/// All of it is *retractable*: family statistics are occurrence-counted
+/// ([`caseid::FamilyValues`]), case ids live in a ring, and each open
+/// case's absolute event positions are queued — so sliding-window eviction
+/// removes aged-out events **incrementally** (pop the trace head, retract
+/// its DFG contribution, restore first-event trace order) instead of
+/// re-deriving candidates and rebuilding every structure from the whole
+/// retained window per evicting batch. A full rebuild remains only for the
+/// rare case where eviction flips the winning family.
 #[derive(Debug, Clone, Default)]
 struct CaseTracker {
     coverage: BTreeMap<String, usize>,
-    distinct: BTreeMap<String, BTreeSet<String>>,
+    distinct: caseid::FamilyValues,
     /// The family the incremental structures below are built for.
     family: String,
-    case_ids: Arc<Vec<Option<String>>>,
+    /// Case id per retained record, in commit order (ring: eviction pops
+    /// the front).
+    case_ids: Arc<std::collections::VecDeque<Option<String>>>,
+    /// Absolute stream positions of each open case's retained events —
+    /// the front is the trace's first event, which decides trace order.
+    positions: BTreeMap<String, std::collections::VecDeque<usize>>,
     case_trace: BTreeMap<String, usize>,
     event_log: Arc<EventLog>,
     dfg: DirectlyFollowsGraph,
 }
 
 impl CaseTracker {
-    fn observe(&mut self, record: &TxRecord) {
+    /// Fold one record at absolute stream position `pos`.
+    fn observe(&mut self, record: &TxRecord, pos: usize) {
         // Extract the candidate identifiers once; both the family
         // statistics and the case lookup read the same list.
         let cands = caseid::candidates(record);
@@ -464,16 +491,20 @@ impl CaseTracker {
         } else {
             caseid::case_from_candidates(&cands, &self.family)
         };
-        self.append(case, &record.activity);
+        self.append(case, &record.activity, pos);
     }
 
     /// Extend the incremental event log / DFG with one event.
-    fn append(&mut self, case: Option<String>, activity: &str) {
+    fn append(&mut self, case: Option<String>, activity: &str, pos: usize) {
         let ids = Arc::make_mut(&mut self.case_ids);
-        ids.push(case.clone());
+        ids.push_back(case.clone());
         let Some(case) = case else {
             return;
         };
+        self.positions
+            .entry(case.clone())
+            .or_default()
+            .push_back(pos);
         match self.case_trace.get(&case) {
             Some(&idx) => {
                 let log = Arc::make_mut(&mut self.event_log);
@@ -506,7 +537,7 @@ impl CaseTracker {
     /// it engages on small logs too (5 % of `total < 20` truncates to 0,
     /// which used to disable the documented tie band exactly in the
     /// small-window regime sliding windows create).
-    fn refresh(&mut self, records: &[TxRecord]) {
+    fn refresh(&mut self, records: &[TxRecord], base: usize) {
         let total = records.len().max(1);
         let winner = caseid::pick_family(&self.coverage, &self.distinct, total)
             .map(|(family, _, _)| family)
@@ -523,47 +554,115 @@ impl CaseTracker {
             }
         }
         self.family = winner;
-        self.rebuild_structures(records);
+        self.rebuild_structures(records, base);
     }
 
-    /// Rebuild everything from the (windowed) record set after eviction:
-    /// family statistics are recomputed over the retained records and the
-    /// winner re-picked *without* the hysteresis band, so the windowed view
-    /// is exactly what a fresh derivation over the suffix produces.
+    /// Retract the evicted prefix from the case state — **incrementally**.
     ///
-    /// Costs O(window) per evicting batch. Unlike the metric trackers,
-    /// the case cache is not incrementally retractable (evicting a trace's
-    /// head rewrites DFG starts and can reorder the event log), so live
-    /// mode — where every block evicts — pays O(window) per block for this
-    /// one structure. That is bounded by the window, not the stream; a
-    /// ring-buffer/incremental-trace design is the ROADMAP follow-up if
-    /// large windows ever make it matter.
-    fn rebuild_windowed(&mut self, records: &[TxRecord]) {
-        self.coverage.clear();
-        self.distinct.clear();
-        for record in records {
+    /// The family statistics are exact multisets, so the evicted records'
+    /// candidates are subtracted and the winner re-picked *without* the
+    /// hysteresis band (the windowed view must equal a fresh derivation
+    /// over the suffix). Under an unchanged winner, each evicted event
+    /// pops its trace's head: the DFG retracts the start/edge
+    /// ([`DirectlyFollowsGraph::unrecord_trace_head`]), emptied traces are
+    /// dropped, and surviving affected traces are re-sorted to first-event
+    /// order — O(evicted · trace-head + traces log traces) per evicting
+    /// batch instead of the old full O(window) candidate re-derivation and
+    /// structure rebuild. Only a family flip (rare, early-stream) still
+    /// rebuilds from the retained records.
+    ///
+    /// `retained` is the record suffix *after* log eviction; `base` is the
+    /// absolute stream position of `retained[0]`.
+    fn evict(&mut self, evicted: &[TxRecord], retained: &[TxRecord], base: usize) {
+        for record in evicted {
             let cands = caseid::candidates(record);
-            caseid::observe_family_candidates(&cands, &mut self.coverage, &mut self.distinct);
+            caseid::retract_family_candidates(&cands, &mut self.coverage, &mut self.distinct);
         }
-        self.family = caseid::pick_family(&self.coverage, &self.distinct, records.len().max(1))
+        let winner = caseid::pick_family(&self.coverage, &self.distinct, retained.len().max(1))
             .map(|(family, _, _)| family)
             .unwrap_or_default();
-        self.rebuild_structures(records);
+        if winner != self.family {
+            self.family = winner;
+            self.rebuild_structures(retained, base);
+            return;
+        }
+
+        // Evicted records are a prefix of the stream, so each affected
+        // case loses a *prefix* of its trace. Count the losses per case
+        // first, then drain each affected trace once — one memmove per
+        // trace per batch instead of an O(trace) `remove(0)` per event
+        // (which turned single-case-dominated windows quadratic).
+        let ids = Arc::make_mut(&mut self.case_ids);
+        let mut lost: BTreeMap<String, usize> = BTreeMap::new();
+        for _ in evicted {
+            let id = ids.pop_front().expect("one case id per evicted record");
+            if let Some(case) = id {
+                *lost.entry(case).or_insert(0) += 1;
+            }
+        }
+        if lost.is_empty() {
+            return;
+        }
+        for (case, n) in &lost {
+            let n = *n;
+            let queue = self
+                .positions
+                .get_mut(case)
+                .expect("open case has positions");
+            for _ in 0..n {
+                queue.pop_front();
+            }
+            let idx = *self.case_trace.get(case).expect("open case has a trace");
+            let log = Arc::make_mut(&mut self.event_log);
+            let trace = log.trace_mut(idx).expect("trace index is valid");
+            for i in 0..n {
+                self.dfg.unrecord_trace_head(
+                    &trace.activities[i],
+                    trace.activities.get(i + 1).map(String::as_str),
+                );
+            }
+            trace.activities.drain(..n);
+            if trace.is_empty() {
+                self.positions.remove(case);
+            }
+        }
+        // Compact and reorder: emptied traces vanish, and a surviving
+        // trace whose head evicted may now first occur later than other
+        // traces' first events — a fresh derivation orders traces by first
+        // occurrence in the suffix, so restore that order (stable sort on
+        // the mostly-sorted list) and re-derive the case → index map.
+        let log = Arc::make_mut(&mut self.event_log);
+        log.retain_traces(|t| !t.is_empty());
+        let positions = &self.positions;
+        log.sort_traces_by_key(|t| {
+            positions
+                .get(&t.case_id)
+                .and_then(|q| q.front().copied())
+                .expect("retained traces have positions")
+        });
+        self.case_trace = log
+            .traces()
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| (t.case_id.clone(), idx))
+            .collect();
     }
 
-    /// Rebuild the case-id list, event log, and DFG for the current family.
-    fn rebuild_structures(&mut self, records: &[TxRecord]) {
-        self.case_ids = Arc::new(Vec::with_capacity(records.len()));
+    /// Rebuild the case-id list, event log, and DFG for the current family
+    /// (`base` is the absolute stream position of `records[0]`).
+    fn rebuild_structures(&mut self, records: &[TxRecord], base: usize) {
+        self.case_ids = Arc::new(std::collections::VecDeque::with_capacity(records.len()));
         self.case_trace.clear();
+        self.positions.clear();
         self.event_log = Arc::new(EventLog::new());
         self.dfg = DirectlyFollowsGraph::default();
-        for record in records {
+        for (i, record) in records.iter().enumerate() {
             let case = if self.family.is_empty() {
                 None
             } else {
                 caseid::case_of(record, &self.family)
             };
-            self.append(case, &record.activity);
+            self.append(case, &record.activity, base + i);
         }
     }
 
@@ -580,7 +679,7 @@ impl CaseTracker {
             distinct_cases: self
                 .distinct
                 .get(&self.family)
-                .map(BTreeSet::len)
+                .map(BTreeMap::len)
                 .unwrap_or(0),
             case_ids: self.case_ids.clone(),
         }
@@ -819,13 +918,14 @@ impl Session {
         // With a bounded window, retract everything that aged out of it —
         // after the fold so the batch itself decides what is oldest.
         if self.evict_expired() {
-            // Eviction already rebuilt the case cache over the window.
+            // Eviction already re-picked the family (fresh, no hysteresis)
+            // and retracted the evicted events from the case state.
             return;
         }
         // Re-check the winning identifier family once per batch, so the
         // event-log/DFG cache is (re)built here — amortized over ingestion —
         // and snapshots stay O(state).
-        self.cases.refresh(records);
+        self.cases.refresh(records, self.evicted);
     }
 
     /// Evict every record the window policy no longer covers, retracting
@@ -882,10 +982,15 @@ impl Session {
         if k == 0 {
             return false;
         }
-        let log = Arc::clone(&self.log);
-        let records = log.records();
-        debug_assert!(k < records.len(), "the newest record is always retained");
-        for r in &records[..k] {
+        debug_assert!(k < self.log.len(), "the newest record is always retained");
+        // Copy the evicted prefix out (O(evicted)): every retraction below
+        // reads it, and dropping the borrow on the shared log before
+        // `Arc::make_mut` lets an uncontended session evict in place —
+        // holding a borrowed `Arc::clone` across the mutation forced a
+        // full O(window) log copy on every evicting batch.
+        let evicted: Vec<TxRecord> = self.log.records()[..k].to_vec();
+        let cutoff_commit = self.log.records()[k].commit_index;
+        for r in &evicted {
             self.rates.retract(r);
             crate::metrics::decrement(&mut self.block_sizes, &r.block);
             self.endorsers.retract(r);
@@ -895,8 +1000,7 @@ impl Session {
             }
             crate::recommend::retract_activity_type(&mut self.type_hist, &r.activity, r.tx_type);
         }
-        self.correlation
-            .evict(&records[..k], records[k].commit_index);
+        self.correlation.evict(&evicted, cutoff_commit);
         self.evicted += k;
         // The log's block tally becomes the distinct blocks the retained
         // records span (windowed sessions count blocks from records).
@@ -905,7 +1009,7 @@ impl Session {
         // The evicted prefix may have carried the window's extremes.
         self.first_send = self.rates.first_send();
         let log = Arc::clone(&self.log);
-        self.cases.rebuild_windowed(log.records());
+        self.cases.evict(&evicted, log.records(), self.evicted);
         true
     }
 
@@ -932,7 +1036,7 @@ impl Session {
             }
             self.correlation.observe(records, self.evicted + pos);
             observe_activity_type(&mut self.type_hist, &record.activity, record.tx_type);
-            self.cases.observe(record);
+            self.cases.observe(record, self.evicted + pos);
         }
     }
 
@@ -995,9 +1099,9 @@ impl Session {
                 }
             }),
             Box::new(move || {
-                for record in new {
+                for (i, record) in new.iter().enumerate() {
                     observe_activity_type(type_hist, &record.activity, record.tx_type);
-                    cases.observe(record);
+                    cases.observe(record, base + first_new + i);
                 }
             }),
         ];

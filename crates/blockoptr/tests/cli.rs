@@ -115,3 +115,135 @@ fn watch_live_json_with_duration_policy() {
     assert!(err.contains("evicted"), "{err}");
     assert!(err.contains("simulation finished"), "{err}");
 }
+
+/// `blockoptr spec` dumps a valid, replayable ScenarioSpec; scaling and
+/// seeding flags land in the JSON.
+#[test]
+fn spec_subcommand_dumps_valid_json() {
+    let out = blockoptr(&["spec", "scm", "--txs", "900", "--seed", "7"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let spec = workload::ScenarioSpec::from_json(&stdout(&out)).expect("valid spec JSON");
+    assert_eq!(spec.name, "scm");
+    assert_eq!(spec.seed(), 7);
+    spec.validate().unwrap();
+    let err = stderr(&out);
+    assert!(err.contains("contracts [scm]"), "{err}");
+    assert!(err.contains("variant table [pruned]"), "{err}");
+
+    let out = blockoptr(&["spec", "nope"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("unknown scenario"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+/// `spec --freeze` inlines the generated schedule: the frozen spec is a
+/// Schedule workload naming its contracts by registry id.
+#[test]
+fn spec_freeze_inlines_the_schedule() {
+    let dir = std::env::temp_dir().join("blockoptr_cli_freeze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("frozen.json");
+    let out = blockoptr(&[
+        "spec",
+        "dv",
+        "--txs",
+        "300",
+        "--freeze",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&path).unwrap();
+    let spec = workload::ScenarioSpec::from_json(&json).unwrap();
+    match &spec.workload {
+        workload::WorkloadSpec::Schedule(s) => {
+            assert_eq!(s.contracts, vec!["dv".to_string()]);
+            assert!(!s.requests.is_empty());
+        }
+        other => panic!("expected a frozen schedule, got {other:?}"),
+    }
+    spec.build().expect("frozen specs replay");
+}
+
+/// The bring-your-own-log loop: export a log, dump a spec, run
+/// `optimize --log --spec` — recommendations from the log, re-measurement
+/// from the replayable spec, optimized spec emitted.
+#[test]
+fn optimize_with_user_log_and_spec_closes_the_loop() {
+    let dir = std::env::temp_dir().join("blockoptr_cli_byolog");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("blocks.json");
+    let spec = dir.join("spec.json");
+    let tuned = dir.join("tuned.json");
+
+    let out = blockoptr(&["demo", "scm", "--out", log.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = blockoptr(&["spec", "scm", "--out", spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Dry run first: plan printed, nothing re-run, optimized spec emitted.
+    let out = blockoptr(&[
+        "optimize",
+        "--log",
+        log.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--seeds",
+        "2",
+        "--dry-run",
+        "--emit-spec",
+        tuned.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("analyzed"), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("optimization plan"),
+        "{}",
+        stdout(&out)
+    );
+    let tuned_spec =
+        workload::ScenarioSpec::from_json(&std::fs::read_to_string(&tuned).unwrap()).unwrap();
+    assert!(
+        !tuned_spec.transforms.is_empty() || !tuned_spec.variants.is_empty(),
+        "the SCM log lowers to at least one declarative change"
+    );
+    tuned_spec.build().expect("emitted specs build");
+}
+
+/// optimize flag validation: scenario and --spec are mutually exclusive,
+/// malformed spec files are typed errors, and --txs cannot patch a file.
+#[test]
+fn optimize_spec_flag_validation() {
+    let out = blockoptr(&["optimize", "scm", "--spec", "x.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("not both"), "{}", stderr(&out));
+
+    let dir = std::env::temp_dir().join("blockoptr_cli_badspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{ not json").unwrap();
+    let out = blockoptr(&["optimize", "--spec", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("malformed scenario JSON"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A parseable spec with an out-of-domain rate fails validation.
+    let mut spec = workload::ScenarioSpec::builtin("drm").unwrap();
+    if let workload::WorkloadSpec::Drm(s) = &mut spec.workload {
+        s.send_rate = -1.0;
+    }
+    std::fs::write(&bad, spec.to_json()).unwrap();
+    let out = blockoptr(&["optimize", "--spec", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("bad spec parameter drm.send_rate"),
+        "{}",
+        stderr(&out)
+    );
+}

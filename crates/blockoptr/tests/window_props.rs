@@ -260,6 +260,60 @@ proptest! {
     }
 }
 
+/// The incremental trace-eviction edge the ring design must get right:
+/// when a trace's *head* evicts but the trace survives, its first retained
+/// event may now come after another trace's first event — a fresh suffix
+/// analysis orders traces by first occurrence in the suffix, so the
+/// incrementally maintained event log must reorder to match byte-for-byte.
+#[test]
+fn surviving_trace_is_reordered_to_first_event_position() {
+    fn rec(i: usize, block: u64, case: &str, activity: &str) -> TxRecord {
+        TxRecord {
+            commit_index: i,
+            block,
+            client_ts: SimTime::from_millis(i as u64 * 100),
+            commit_ts: SimTime::from_millis(i as u64 * 100 + 1_000),
+            contract: "cc".into(),
+            activity: activity.into(),
+            args: vec![Value::Str(case.to_string())],
+            endorsers: vec![PeerId {
+                org: OrgId(0),
+                index: 0,
+            }],
+            invoker: ClientId {
+                org: OrgId(0),
+                index: 0,
+            },
+            rwset: ReadWriteSet::new(),
+            status: TxStatus::Success,
+            tx_type: TxType::Read,
+        }
+    }
+    // Case CASE001 opens in block 1, CASE002 in block 2, both continue in
+    // block 3. A last-2-blocks window evicts block 1 — CASE001's head —
+    // after which CASE002's first event precedes CASE001's.
+    let records = vec![
+        rec(0, 1, "CASE001", "create"),
+        rec(1, 2, "CASE002", "create"),
+        rec(2, 3, "CASE001", "settle"),
+        rec(3, 3, "CASE002", "settle"),
+    ];
+    let policy = WindowPolicy::LastBlocks(2);
+    let full = BlockchainLog::from_records(records, 3);
+    let mut session = Analyzer::new().window(policy).session().unwrap();
+    session.ingest_log(full.clone()).unwrap();
+    assert_eq!(session.evicted(), 1, "block 1 aged out");
+    let analysis = session.snapshot().unwrap();
+    let order: Vec<&str> = analysis
+        .event_log
+        .traces()
+        .iter()
+        .map(|t| t.case_id.as_str())
+        .collect();
+    assert_eq!(order, vec!["CASE002", "CASE001"], "first-event order");
+    assert_byte_equality(&session, policy, &full);
+}
+
 /// The suite-wide window policy (`BLOCKOPTR_WINDOW`, as CI sets it) holds
 /// the equivalence too, on a real simulated ledger — block-by-block like a
 /// monitoring loop, under whatever thread count `BLOCKOPTR_THREADS` says.

@@ -108,6 +108,10 @@ impl Contract for DrmDeltaContract {
         Self::NAME
     }
 
+    fn id(&self) -> &str {
+        "drm:delta"
+    }
+
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
         match activity {
             "play" => {
@@ -211,6 +215,10 @@ impl DrmPlayDeltaContract {
 impl Contract for DrmPlayDeltaContract {
     fn name(&self) -> &str {
         Self::NAME
+    }
+
+    fn id(&self) -> &str {
+        "drm-play:delta"
     }
 
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {

@@ -102,6 +102,10 @@ impl Contract for DvPerVoterContract {
         Self::NAME
     }
 
+    fn id(&self) -> &str {
+        "dv:per-voter"
+    }
+
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
         match activity {
             "vote" => {

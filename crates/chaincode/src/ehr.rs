@@ -74,6 +74,14 @@ impl Contract for EhrContract {
         Self::NAME
     }
 
+    fn id(&self) -> &str {
+        if self.pruned {
+            "ehr:pruned"
+        } else {
+            "ehr"
+        }
+    }
+
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
         match activity {
             "grantAccess" => {

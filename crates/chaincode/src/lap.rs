@@ -77,6 +77,10 @@ impl Contract for LapByEmployeeContract {
         Self::NAME
     }
 
+    fn id(&self) -> &str {
+        "lap:by-employee"
+    }
+
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
         match activity {
             "queryEmployee" => {
@@ -114,6 +118,10 @@ impl LapByApplicationContract {
 impl Contract for LapByApplicationContract {
     fn name(&self) -> &str {
         Self::NAME
+    }
+
+    fn id(&self) -> &str {
+        "lap:by-application"
     }
 
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {

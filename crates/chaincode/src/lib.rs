@@ -23,6 +23,7 @@ pub mod dv;
 pub mod ehr;
 pub mod genchain;
 pub mod lap;
+pub mod registry;
 pub mod scm;
 
 pub use drm::{

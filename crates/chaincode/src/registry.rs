@@ -1,0 +1,92 @@
+//! The contract registry: every chaincode of the evaluation — base
+//! contracts *and* their optimized variants — addressable by a stable
+//! registry id.
+//!
+//! A serialized scenario (`workload::scenario::ScenarioSpec`) names its
+//! contract set instead of embedding code, exactly as a Fabric channel
+//! configuration names installed chaincodes. Rebuilding a workload from
+//! JSON resolves those names here; an unknown name is a typed error at the
+//! spec layer, never a panic.
+//!
+//! Registry ids follow `namespace[:variant]` — the plain id installs the
+//! base contract, the suffixed id the prepared rewrite (e.g. `scm` vs
+//! `scm:pruned`). Ids are what [`Contract::id`] returns, so a bundle's
+//! installed set round-trips: `resolve(c.id()).id() == c.id()`.
+
+use crate::{
+    DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract, DrmPlayDeltaContract,
+    DvContract, DvPerVoterContract, EhrContract, GenChainContract, LapByApplicationContract,
+    LapByEmployeeContract, ScmContract,
+};
+use fabric_sim::contract::Contract;
+use std::sync::Arc;
+
+/// Every registered contract id, in registry order.
+pub const KNOWN: [&str; 14] = [
+    "genchain",
+    "scm",
+    "scm:pruned",
+    "drm",
+    "drm:delta",
+    "drm-play",
+    "drm-play:delta",
+    "drm-meta",
+    "ehr",
+    "ehr:pruned",
+    "dv",
+    "dv:per-voter",
+    "lap:by-employee",
+    "lap:by-application",
+];
+
+/// Look a contract up by registry id. Returns `None` for unknown ids — the
+/// caller owns the error shape (the spec layer maps this to a typed
+/// unknown-contract error listing [`KNOWN`]).
+pub fn resolve(id: &str) -> Option<Arc<dyn Contract>> {
+    Some(match id {
+        "genchain" => Arc::new(GenChainContract),
+        "scm" => Arc::new(ScmContract::base()),
+        "scm:pruned" => Arc::new(ScmContract::pruned()),
+        "drm" => Arc::new(DrmContract),
+        "drm:delta" => Arc::new(DrmDeltaContract),
+        "drm-play" => Arc::new(DrmPlayContract),
+        "drm-play:delta" => Arc::new(DrmPlayDeltaContract),
+        "drm-meta" => Arc::new(DrmMetaContract),
+        "ehr" => Arc::new(EhrContract::base()),
+        "ehr:pruned" => Arc::new(EhrContract::pruned()),
+        "dv" => Arc::new(DvContract),
+        "dv:per-voter" => Arc::new(DvPerVoterContract),
+        "lap:by-employee" => Arc::new(LapByEmployeeContract),
+        "lap:by-application" => Arc::new(LapByApplicationContract),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_id_resolves_to_itself() {
+        for id in KNOWN {
+            let contract = resolve(id).unwrap_or_else(|| panic!("{id} must resolve"));
+            assert_eq!(contract.id(), id, "registry id round-trips");
+            assert!(!contract.activities().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_none() {
+        assert!(resolve("scm:partitioned").is_none());
+        assert!(resolve("").is_none());
+        assert!(resolve("SCM").is_none(), "ids are case-sensitive");
+    }
+
+    #[test]
+    fn variant_ids_share_the_base_namespace() {
+        let base = resolve("scm").unwrap();
+        let pruned = resolve("scm:pruned").unwrap();
+        assert_eq!(base.name(), pruned.name(), "same world-state namespace");
+        assert_ne!(base.id(), pruned.id(), "distinct identities");
+    }
+}

@@ -86,6 +86,14 @@ impl Contract for ScmContract {
         Self::NAME
     }
 
+    fn id(&self) -> &str {
+        if self.pruned {
+            "scm:pruned"
+        } else {
+            "scm"
+        }
+    }
+
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus {
         match activity {
             "pushASN" => {

@@ -153,6 +153,15 @@ pub trait Contract: Send + Sync {
     /// Chaincode name; doubles as the world-state namespace.
     fn name(&self) -> &str;
 
+    /// Registry identifier — unlike [`name`](Contract::name), distinct for
+    /// every *variant* of a chaincode (a pruned rewrite shares its base
+    /// contract's namespace but not its identity). Contract registries key
+    /// lookups on this, so a serialized scenario can name the exact
+    /// implementation to install. Defaults to the chaincode name.
+    fn id(&self) -> &str {
+        self.name()
+    }
+
     /// Execute `activity(args)` against the given context.
     fn execute(&self, ctx: &mut TxContext<'_>, activity: &str, args: &[Value]) -> ExecStatus;
 

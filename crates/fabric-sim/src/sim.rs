@@ -42,7 +42,10 @@ use std::sync::Arc;
 /// — which schedule rewrites and the multi-seed plan executor do wholesale —
 /// copies three pointers instead of re-allocating strings and argument
 /// vectors.
-#[derive(Debug, Clone)]
+///
+/// Requests serialize, so a whole schedule can be exported as JSON and
+/// replayed later (the declarative `ScenarioSpec` layer relies on this).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TxRequest {
     /// When the client creates the proposal.
     pub send_time: SimTime,

@@ -70,6 +70,41 @@ impl DirectlyFollowsGraph {
             .or_insert(0) += 1;
     }
 
+    /// Retract a trace's evicted *head* event (sliding-window eviction,
+    /// the inverse of the record/extension pair that admitted it):
+    /// `head` stops being the trace's start; with a surviving `next` event
+    /// the start moves to `next` and the `head ≻ next` edge loses one
+    /// count, without one the trace vanished and `head` stops being its
+    /// end too. Entries whose counts reach zero are removed, so the graph
+    /// stays identical to one built fresh from the retained traces.
+    pub fn unrecord_trace_head(&mut self, head: &str, next: Option<&str>) {
+        fn dec(map: &mut BTreeMap<String, usize>, key: &str) {
+            match map.get_mut(key) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    map.remove(key);
+                }
+                None => panic!("unrecord without a matching record for {key:?}"),
+            }
+        }
+        dec(&mut self.starts, head);
+        match next {
+            Some(next) => {
+                let edge = (head.to_string(), next.to_string());
+                match self.edges.get_mut(&edge) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        self.edges.remove(&edge);
+                    }
+                    None => panic!("unrecord of untracked edge {edge:?}"),
+                }
+                *self.starts.entry(next.to_string()).or_insert(0) += 1;
+            }
+            None => dec(&mut self.ends, head),
+        }
+        dec(&mut self.activity_counts, head);
+    }
+
     /// How often `b` directly follows `a`.
     pub fn count(&self, a: &str, b: &str) -> usize {
         self.edges

@@ -74,6 +74,9 @@ pub struct WorkloadBundle {
     pub requests: Vec<TxRequest>,
     /// Prepared smart-contract rewrites (see [`VariantKind`]).
     variants: VariantTable,
+    /// Provenance: the declarative spec this bundle was built from (set by
+    /// [`crate::scenario::ScenarioSpec::build`], cleared by any rewrite).
+    pub(crate) source: Option<Arc<crate::scenario::ScenarioSpec>>,
 }
 
 impl WorkloadBundle {
@@ -88,6 +91,7 @@ impl WorkloadBundle {
             genesis,
             requests,
             variants: VariantTable::default(),
+            source: None,
         }
     }
 
@@ -179,16 +183,19 @@ impl WorkloadBundle {
 
     /// Replace the contract set (used when applying smart-contract-level
     /// optimizations: pruning, delta writes, partitioning, data-model
-    /// alteration — the workload schedule stays the same).
+    /// alteration — the workload schedule stays the same). Clears the
+    /// spec provenance: the rewritten bundle no longer matches its spec.
     pub fn with_contracts(mut self, contracts: Vec<Arc<dyn Contract>>) -> Self {
         self.contracts = contracts;
+        self.source = None;
         self
     }
 
     /// Replace the request schedule (used by workload-level optimizations:
-    /// activity reordering, rate control).
+    /// activity reordering, rate control). Clears the spec provenance.
     pub fn with_requests(mut self, requests: Vec<TxRequest>) -> Self {
         self.requests = requests;
+        self.source = None;
         self
     }
 

@@ -9,6 +9,7 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DrmContract, DrmDeltaContract, DrmMetaContract, DrmPlayContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{intern, OrgId, Value};
+use serde::{Deserialize, Serialize};
 use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -16,7 +17,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// DRM workload parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DrmSpec {
     /// Catalogue size (seeded pieces of music).
     pub catalogue: usize,

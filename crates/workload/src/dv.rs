@@ -9,13 +9,14 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{DvContract, DvPerVoterContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{intern, OrgId, Value};
+use serde::{Deserialize, Serialize};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// DV workload parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DvSpec {
     /// Number of parties on the ballot.
     pub parties: usize,

@@ -10,6 +10,7 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::EhrContract;
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{intern, OrgId, Value};
+use serde::{Deserialize, Serialize};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -17,7 +18,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// EHR workload parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EhrSpec {
     /// Number of seeded patients.
     pub patients: usize,

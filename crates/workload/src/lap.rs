@@ -22,6 +22,7 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::{LapByApplicationContract, LapByEmployeeContract};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{intern, OrgId, Value};
+use serde::{Deserialize, Serialize};
 use sim_core::dist::DiscreteWeighted;
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -30,7 +31,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// LAP workload parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LapSpec {
     /// Number of loan applications (the paper extracts 2 000).
     pub applications: usize,

@@ -25,9 +25,11 @@ pub mod dv;
 pub mod ehr;
 pub mod lap;
 pub mod optimize;
+pub mod scenario;
 pub mod scm;
 pub mod spec;
 pub mod synthetic;
 
 pub use bundle::{VariantKind, VariantResolver, WorkloadBundle};
+pub use scenario::{ScenarioSpec, ScheduleSpec, SpecError, SpecTransform, WorkloadSpec};
 pub use spec::{ControlVariables, PolicyChoice, WorkloadType};

@@ -1,0 +1,783 @@
+//! The declarative scenario layer: every workload as one serializable
+//! [`ScenarioSpec`].
+//!
+//! The paper's closed loop (§4.5) assumes a *re-measurable* workload: the
+//! operator implements a recommendation and runs the same traffic again.
+//! Imperatively assembled [`WorkloadBundle`]s cannot be saved, shipped, or
+//! replayed — a spec can. A `ScenarioSpec` captures, as plain JSON:
+//!
+//! * the **workload** — either the Table-2 generator parameters of a
+//!   built-in scenario ([`WorkloadSpec::Synthetic`] … [`WorkloadSpec::Lap`])
+//!   or an explicit, replayable schedule ([`WorkloadSpec::Schedule`]:
+//!   contract set by registry name, genesis state, timestamped requests);
+//! * the **transforms** — declarative schedule rewrites (activity deferral,
+//!   rate control) applied after generation, so an optimized configuration
+//!   is expressible as data;
+//! * the **variants** — the prepared contract rewrites to install
+//!   ([`VariantKind`]), resolved through the workload's variant table;
+//! * the **network** — the full [`NetworkConfig`].
+//!
+//! [`ScenarioSpec::build`] lowers a spec back to a ready-to-run
+//! `(WorkloadBundle, NetworkConfig)` pair; the bundle records the spec as
+//! its provenance ([`WorkloadBundle::spec`]), so `spec → bundle → spec` is
+//! the identity and a spec-rebuilt bundle simulates byte-identically to the
+//! generator-built one (test-enforced in `tests/scenario_roundtrip.rs`).
+//!
+//! Generation is **seed-parameterized**: [`ScenarioSpec::with_seed`]
+//! re-seeds both the generator and the network, so a multi-seed measurement
+//! varies the workload itself, not just endorser selection.
+
+use crate::bundle::{VariantKind, WorkloadBundle};
+use crate::spec::ControlVariables;
+use crate::{drm, dv, ehr, lap, optimize, scm, synthetic};
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::sim::TxRequest;
+use fabric_sim::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a spec could not be validated or built. Every failure mode of the
+/// declarative layer is typed — malformed user JSON must surface as an
+/// error value, never a generator panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The scenario name passed to [`ScenarioSpec::builtin`] is not one of
+    /// the built-in generators.
+    UnknownScenario {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A contract registry id named by the spec does not resolve.
+    UnknownContract {
+        /// The unrecognized id.
+        name: String,
+        /// Every registered id.
+        known: Vec<String>,
+    },
+    /// A numeric or structural parameter is out of its domain (negative
+    /// rate, zero transactions, shares that exceed 1, …).
+    BadParameter {
+        /// Dotted path of the offending field, e.g. `"scm.send_rate"`.
+        field: String,
+        /// What the domain is and what arrived instead.
+        message: String,
+    },
+    /// The spec selects a contract variant the workload ships no prepared
+    /// rewrite for (or a combination its variant table cannot resolve).
+    UnsupportedVariant {
+        /// The offending kinds.
+        variants: Vec<VariantKind>,
+        /// The workload the spec describes.
+        workload: String,
+    },
+    /// The spec JSON could not be parsed.
+    Json(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownScenario { name } => write!(
+                f,
+                "unknown scenario {name:?} (expected one of {})",
+                BUILTIN_NAMES.join(", ")
+            ),
+            SpecError::UnknownContract { name, known } => write!(
+                f,
+                "unknown contract {name:?}; registered ids: {}",
+                known.join(", ")
+            ),
+            SpecError::BadParameter { field, message } => {
+                write!(f, "bad spec parameter {field}: {message}")
+            }
+            SpecError::UnsupportedVariant { variants, workload } => {
+                let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "the {workload} workload ships no prepared rewrite for variant set {{{}}}",
+                    names.join(", ")
+                )
+            }
+            SpecError::Json(msg) => write!(f, "malformed scenario JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A declarative schedule rewrite, applied after the workload is generated
+/// (or replayed). These are the data form of the paper's client-side
+/// Table-4 settings, so an *optimized* configuration is itself a spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpecTransform {
+    /// Reschedule the named activities after all others, keeping the
+    /// original injection timestamps ([`optimize::move_to_end`]).
+    DeferActivities {
+        /// Activities moved to the end of the schedule.
+        activities: Vec<String>,
+    },
+    /// Re-space the whole schedule at the given rate
+    /// ([`optimize::rate_control`]).
+    Throttle {
+        /// Target rate, tx/s (must be positive and finite).
+        rate: f64,
+    },
+}
+
+impl SpecTransform {
+    /// Apply the transform to a request schedule.
+    pub fn apply(&self, requests: &[TxRequest]) -> Vec<TxRequest> {
+        match self {
+            SpecTransform::DeferActivities { activities } => {
+                let names: Vec<&str> = activities.iter().map(String::as_str).collect();
+                optimize::move_to_end(requests, &names)
+            }
+            SpecTransform::Throttle { rate } => optimize::rate_control(requests, *rate),
+        }
+    }
+}
+
+/// An explicit, replayable workload: the schedule JSON of a real
+/// deployment. Contracts are named by registry id
+/// ([`chaincode::registry`]); genesis and requests are inlined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Contract registry ids to install, e.g. `["scm"]`.
+    pub contracts: Vec<String>,
+    /// Genesis world state as `(namespace, key, value)`.
+    pub genesis: Vec<(String, String, Value)>,
+    /// The timestamped request schedule.
+    pub requests: Vec<TxRequest>,
+}
+
+/// How a spec's schedule, genesis, and contract set come to be: one of the
+/// five built-in generators with its full parameter struct, or an explicit
+/// schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The genChain synthetic generator under Table-2 control variables.
+    Synthetic(ControlVariables),
+    /// Supply Chain Management (§5.1.2).
+    Scm(scm::ScmSpec),
+    /// Digital Rights Management (§5.1.2).
+    Drm(drm::DrmSpec),
+    /// Electronic Health Records (§5.1.2).
+    Ehr(ehr::EhrSpec),
+    /// Digital Voting (§5.1.2).
+    Dv(dv::DvSpec),
+    /// Loan Application Process (§5.1.3).
+    Lap(lap::LapSpec),
+    /// An explicit, replayable schedule (bring-your-own-log deployments).
+    Schedule(ScheduleSpec),
+}
+
+impl WorkloadSpec {
+    /// Short label of the workload kind (also the built-in scenario name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Synthetic(_) => "synthetic",
+            WorkloadSpec::Scm(_) => "scm",
+            WorkloadSpec::Drm(_) => "drm",
+            WorkloadSpec::Ehr(_) => "ehr",
+            WorkloadSpec::Dv(_) => "dv",
+            WorkloadSpec::Lap(_) => "lap",
+            WorkloadSpec::Schedule(_) => "schedule",
+        }
+    }
+
+    /// The variant kinds this workload ships prepared rewrites for (its
+    /// variant table, by name — mirrors what the generated bundle
+    /// registers, test-enforced in the round-trip suite).
+    pub fn variant_table(&self) -> &'static [VariantKind] {
+        match self {
+            WorkloadSpec::Synthetic(_) | WorkloadSpec::Schedule(_) => &[],
+            WorkloadSpec::Scm(_) | WorkloadSpec::Ehr(_) => &[VariantKind::Pruned],
+            WorkloadSpec::Drm(_) => &[VariantKind::DeltaWrites, VariantKind::Partitioned],
+            WorkloadSpec::Dv(_) | WorkloadSpec::Lap(_) => &[VariantKind::Rekeyed],
+        }
+    }
+
+    /// The generator seed (the network seed for explicit schedules, which
+    /// have no generator randomness).
+    fn seed(&self) -> Option<u64> {
+        match self {
+            WorkloadSpec::Synthetic(cv) => Some(cv.seed),
+            WorkloadSpec::Scm(s) => Some(s.seed),
+            WorkloadSpec::Drm(s) => Some(s.seed),
+            WorkloadSpec::Ehr(s) => Some(s.seed),
+            WorkloadSpec::Dv(s) => Some(s.seed),
+            WorkloadSpec::Lap(s) => Some(s.seed),
+            WorkloadSpec::Schedule(_) => None,
+        }
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        match self {
+            WorkloadSpec::Synthetic(cv) => cv.seed = seed,
+            WorkloadSpec::Scm(s) => s.seed = seed,
+            WorkloadSpec::Drm(s) => s.seed = seed,
+            WorkloadSpec::Ehr(s) => s.seed = seed,
+            WorkloadSpec::Dv(s) => s.seed = seed,
+            WorkloadSpec::Lap(s) => s.seed = seed,
+            WorkloadSpec::Schedule(_) => {}
+        }
+    }
+}
+
+/// The built-in scenario names [`ScenarioSpec::builtin`] accepts.
+pub const BUILTIN_NAMES: [&str; 6] = ["synthetic", "scm", "drm", "ehr", "dv", "lap"];
+
+/// One fully described, serializable, replayable workload scenario. See
+/// the [module docs](self) for the shape and guarantees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Display name (the built-in scenario name, or a user label).
+    pub name: String,
+    /// Schedule/genesis/contract production.
+    pub workload: WorkloadSpec,
+    /// Declarative schedule rewrites, applied in order after generation.
+    pub transforms: Vec<SpecTransform>,
+    /// Prepared contract rewrites to install (resolved as one set through
+    /// the workload's variant table).
+    pub variants: BTreeSet<VariantKind>,
+    /// The network configuration the scenario runs under.
+    pub network: NetworkConfig,
+}
+
+/// Shorthand for [`SpecError::BadParameter`].
+fn bad(field: &str, message: impl Into<String>) -> SpecError {
+    SpecError::BadParameter {
+        field: field.to_string(),
+        message: message.into(),
+    }
+}
+
+/// A rate must be positive and finite.
+fn check_rate(field: &str, rate: f64) -> Result<(), SpecError> {
+    if rate.is_finite() && rate > 0.0 {
+        Ok(())
+    } else {
+        Err(bad(field, format!("rate must be positive, got {rate}")))
+    }
+}
+
+/// A share must lie in `[0, 1]`.
+fn check_share(field: &str, share: f64) -> Result<(), SpecError> {
+    if share.is_finite() && (0.0..=1.0).contains(&share) {
+        Ok(())
+    } else {
+        Err(bad(field, format!("share must be in [0, 1], got {share}")))
+    }
+}
+
+/// A count must be at least `min`.
+fn check_min(field: &str, value: usize, min: usize) -> Result<(), SpecError> {
+    if value >= min {
+        Ok(())
+    } else {
+        Err(bad(field, format!("must be at least {min}, got {value}")))
+    }
+}
+
+impl ScenarioSpec {
+    /// The spec of a built-in scenario under its default parameters and
+    /// the default network configuration — what `blockoptr spec <name>`
+    /// dumps.
+    pub fn builtin(name: &str) -> Result<ScenarioSpec, SpecError> {
+        let workload = match name {
+            "synthetic" => WorkloadSpec::Synthetic(ControlVariables::default()),
+            "scm" => WorkloadSpec::Scm(scm::ScmSpec::default()),
+            "drm" => WorkloadSpec::Drm(drm::DrmSpec::default()),
+            "ehr" => WorkloadSpec::Ehr(ehr::EhrSpec::default()),
+            "dv" => WorkloadSpec::Dv(dv::DvSpec::default()),
+            "lap" => WorkloadSpec::Lap(lap::LapSpec::default()),
+            other => {
+                return Err(SpecError::UnknownScenario {
+                    name: other.to_string(),
+                })
+            }
+        };
+        let network = match &workload {
+            WorkloadSpec::Synthetic(cv) => cv.network_config(),
+            _ => NetworkConfig::default(),
+        };
+        Ok(ScenarioSpec {
+            name: name.to_string(),
+            workload,
+            transforms: Vec::new(),
+            variants: BTreeSet::new(),
+            network,
+        })
+    }
+
+    /// Scale the scenario to roughly `txs` transactions, preserving each
+    /// generator's internal proportions (the `--txs` behaviour of the CLI).
+    pub fn with_transactions(mut self, txs: usize) -> ScenarioSpec {
+        match &mut self.workload {
+            WorkloadSpec::Synthetic(cv) => cv.transactions = txs,
+            WorkloadSpec::Scm(s) => s.transactions = txs,
+            WorkloadSpec::Drm(s) => s.transactions = txs,
+            WorkloadSpec::Ehr(s) => s.transactions = txs,
+            WorkloadSpec::Dv(s) => {
+                // Keep the paper's 1:5 query:vote phase proportions.
+                s.queries = (txs / 6).max(1);
+                s.votes = txs.saturating_sub(s.queries).max(1);
+            }
+            WorkloadSpec::Lap(s) => {
+                // ~10 events per application.
+                s.applications = (txs / 10).max(10);
+            }
+            WorkloadSpec::Schedule(_) => {}
+        }
+        self
+    }
+
+    /// The scenario's seed: the generator seed (explicit schedules, which
+    /// have no generator randomness, report the network seed).
+    pub fn seed(&self) -> u64 {
+        self.workload.seed().unwrap_or(self.network.seed)
+    }
+
+    /// Re-seed the scenario: both the workload generator and the network
+    /// take `seed`, so two seeds differ in the *traffic itself* (schedule,
+    /// keys, invokers), not just in endorser selection. The spec is
+    /// otherwise unchanged — two derived specs are identical modulo their
+    /// seed fields.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
+        self.workload.set_seed(seed);
+        self.network.seed = seed;
+        self
+    }
+
+    /// Validate every parameter domain without generating anything.
+    /// [`build`](Self::build) calls this first; malformed user specs fail
+    /// here with a typed [`SpecError`] instead of tripping a generator
+    /// assertion.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match &self.workload {
+            WorkloadSpec::Synthetic(cv) => {
+                check_rate("synthetic.send_rate", cv.send_rate)?;
+                check_min("synthetic.transactions", cv.transactions, 1)?;
+                check_min("synthetic.orgs", cv.orgs, 1)?;
+                check_min("synthetic.block_count", cv.block_count, 1)?;
+                check_share("synthetic.tx_dist_skew", cv.tx_dist_skew)?;
+                if !cv.key_skew.is_finite() || cv.key_skew < 0.0 {
+                    return Err(bad("synthetic.key_skew", "must be nonnegative"));
+                }
+                if !cv.endorser_skew.is_finite() || cv.endorser_skew < 0.0 {
+                    return Err(bad("synthetic.endorser_skew", "must be nonnegative"));
+                }
+            }
+            WorkloadSpec::Scm(s) => {
+                check_rate("scm.send_rate", s.send_rate)?;
+                check_min("scm.transactions", s.transactions, 1)?;
+                check_min("scm.products", s.products, 1)?;
+                check_min("scm.audits", s.audits, 1)?;
+                check_min("scm.batch", s.batch, 1)?;
+                check_min("scm.orgs", s.orgs, 1)?;
+                check_share("scm.query_share", s.query_share)?;
+                check_share("scm.audit_share", s.audit_share)?;
+                check_share("scm.anomaly_rate", s.anomaly_rate)?;
+                if s.query_share + s.audit_share >= 1.0 {
+                    return Err(bad(
+                        "scm.query_share",
+                        "query_share + audit_share must leave room for the product flow",
+                    ));
+                }
+            }
+            WorkloadSpec::Drm(s) => {
+                check_rate("drm.send_rate", s.send_rate)?;
+                check_min("drm.transactions", s.transactions, 1)?;
+                check_min("drm.catalogue", s.catalogue, 1)?;
+                check_min("drm.orgs", s.orgs, 1)?;
+                check_share("drm.play_share", s.play_share)?;
+                if !s.popularity_skew.is_finite() || s.popularity_skew < 0.0 {
+                    return Err(bad("drm.popularity_skew", "must be nonnegative"));
+                }
+            }
+            WorkloadSpec::Ehr(s) => {
+                check_rate("ehr.send_rate", s.send_rate)?;
+                check_min("ehr.transactions", s.transactions, 1)?;
+                check_min("ehr.patients", s.patients, 1)?;
+                check_min("ehr.institutes", s.institutes, 1)?;
+                check_min("ehr.orgs", s.orgs, 1)?;
+                check_share("ehr.update_share", s.update_share)?;
+                check_share("ehr.anomalous_revoke_rate", s.anomalous_revoke_rate)?;
+            }
+            WorkloadSpec::Dv(s) => {
+                check_rate("dv.query_rate", s.query_rate)?;
+                check_rate("dv.vote_rate", s.vote_rate)?;
+                check_min("dv.parties", s.parties, 1)?;
+                check_min("dv.queries", s.queries, 1)?;
+                check_min("dv.votes", s.votes, 1)?;
+                check_min("dv.orgs", s.orgs, 1)?;
+            }
+            WorkloadSpec::Lap(s) => {
+                check_rate("lap.send_rate", s.send_rate)?;
+                check_min("lap.applications", s.applications, 1)?;
+                check_min("lap.employees", s.employees, 2)?;
+                check_min("lap.orgs", s.orgs, 1)?;
+                check_share("lap.hot_employee_share", s.hot_employee_share)?;
+                check_share("lap.rework_rate", s.rework_rate)?;
+                check_share("lap.burst_rate", s.burst_rate)?;
+            }
+            WorkloadSpec::Schedule(s) => {
+                if s.contracts.is_empty() {
+                    return Err(bad("schedule.contracts", "at least one contract id"));
+                }
+                let mut namespaces: BTreeSet<String> = BTreeSet::new();
+                for id in &s.contracts {
+                    let contract = chaincode::registry::resolve(id).ok_or_else(|| {
+                        SpecError::UnknownContract {
+                            name: id.clone(),
+                            known: chaincode::registry::KNOWN
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
+                        }
+                    })?;
+                    namespaces.insert(contract.name().to_string());
+                }
+                for (i, r) in s.requests.iter().enumerate() {
+                    if !namespaces.contains(r.contract.as_ref()) {
+                        return Err(bad(
+                            &format!("schedule.requests[{i}].contract"),
+                            format!(
+                                "namespace {:?} is not installed by {:?}",
+                                r.contract.as_ref(),
+                                s.contracts
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (i, t) in self.transforms.iter().enumerate() {
+            match t {
+                SpecTransform::Throttle { rate } => {
+                    check_rate(&format!("transforms[{i}].rate"), *rate)?
+                }
+                SpecTransform::DeferActivities { activities } => {
+                    if activities.is_empty() {
+                        return Err(bad(
+                            &format!("transforms[{i}].activities"),
+                            "deferral needs at least one activity",
+                        ));
+                    }
+                }
+            }
+        }
+        let table = self.workload.variant_table();
+        let unsupported: Vec<VariantKind> = self
+            .variants
+            .iter()
+            .copied()
+            .filter(|v| !table.contains(v))
+            .collect();
+        if !unsupported.is_empty() {
+            return Err(SpecError::UnsupportedVariant {
+                variants: unsupported,
+                workload: self.workload.kind().to_string(),
+            });
+        }
+        check_min("network.orgs", self.network.orgs, 1)?;
+        check_min("network.block_count", self.network.block_count, 1)?;
+        check_min(
+            "network.total_endorser_peers",
+            self.network.total_endorser_peers,
+            1,
+        )?;
+        check_min("network.clients_per_org", self.network.clients_per_org, 1)?;
+        Ok(())
+    }
+
+    /// Lower the spec to a ready-to-run `(bundle, config)` pair: validate,
+    /// generate (or replay), resolve variants, apply transforms, and attach
+    /// the spec to the bundle as provenance.
+    pub fn build(&self) -> Result<(WorkloadBundle, NetworkConfig), SpecError> {
+        self.validate()?;
+        let mut bundle = match &self.workload {
+            WorkloadSpec::Synthetic(cv) => synthetic::generate(cv),
+            WorkloadSpec::Scm(s) => scm::generate(s),
+            WorkloadSpec::Drm(s) => drm::generate(s),
+            WorkloadSpec::Ehr(s) => ehr::generate(s),
+            WorkloadSpec::Dv(s) => dv::generate(s),
+            WorkloadSpec::Lap(s) => lap::generate(s),
+            WorkloadSpec::Schedule(s) => {
+                let contracts = s
+                    .contracts
+                    .iter()
+                    .map(|id| chaincode::registry::resolve(id).expect("validated above"))
+                    .collect();
+                WorkloadBundle::new(contracts, s.genesis.clone(), s.requests.clone())
+            }
+        };
+        if !self.variants.is_empty() {
+            bundle = bundle.apply_variants(&self.variants).ok_or_else(|| {
+                // validate() filtered kinds outside the variant table, so
+                // this is a combination the resolver cannot build.
+                SpecError::UnsupportedVariant {
+                    variants: self.variants.iter().copied().collect(),
+                    workload: self.workload.kind().to_string(),
+                }
+            })?;
+        }
+        for transform in &self.transforms {
+            let rewritten = transform.apply(&bundle.requests);
+            bundle = bundle.with_requests(rewritten);
+        }
+        Ok((bundle.with_spec(self.clone()), self.network.clone()))
+    }
+
+    /// The registry ids of the contract set [`build`](Self::build)
+    /// installs (the variant-resolved set). The mapping is static per
+    /// workload kind and test-enforced against the built bundle.
+    pub fn contract_ids(&self) -> Vec<String> {
+        let delta = self.variants.contains(&VariantKind::DeltaWrites);
+        let partitioned = self.variants.contains(&VariantKind::Partitioned);
+        let pruned = self.variants.contains(&VariantKind::Pruned);
+        let rekeyed = self.variants.contains(&VariantKind::Rekeyed);
+        let ids: Vec<&str> = match &self.workload {
+            WorkloadSpec::Synthetic(_) => vec!["genchain"],
+            WorkloadSpec::Scm(_) => vec![if pruned { "scm:pruned" } else { "scm" }],
+            WorkloadSpec::Drm(_) => match (delta, partitioned) {
+                (false, false) => vec!["drm"],
+                (true, false) => vec!["drm:delta"],
+                (false, true) => vec!["drm-play", "drm-meta"],
+                (true, true) => vec!["drm-play:delta", "drm-meta"],
+            },
+            WorkloadSpec::Ehr(_) => vec![if pruned { "ehr:pruned" } else { "ehr" }],
+            WorkloadSpec::Dv(_) => vec![if rekeyed { "dv:per-voter" } else { "dv" }],
+            WorkloadSpec::Lap(_) => vec![if rekeyed {
+                "lap:by-application"
+            } else {
+                "lap:by-employee"
+            }],
+            WorkloadSpec::Schedule(s) => return s.contracts.clone(),
+        };
+        ids.into_iter().map(str::to_string).collect()
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs serialize")
+    }
+
+    /// Parse a spec from JSON ([`SpecError::Json`] on malformed input; the
+    /// result is *not* yet validated — call [`validate`](Self::validate) or
+    /// [`build`](Self::build)).
+    pub fn from_json(json: &str) -> Result<ScenarioSpec, SpecError> {
+        serde_json::from_str(json).map_err(|e| SpecError::Json(e.to_string()))
+    }
+}
+
+/// Capture a simulated run as an explicit-schedule spec: the bundle's
+/// contract set (by registry id), genesis, and schedule become a
+/// [`WorkloadSpec::Schedule`]. This is how a generator-backed scenario is
+/// frozen into a deployment-shaped "schedule JSON" — or how a real
+/// deployment's extracted schedule enters the spec layer.
+pub fn freeze(
+    name: &str,
+    bundle: &WorkloadBundle,
+    network: &NetworkConfig,
+) -> Result<ScenarioSpec, SpecError> {
+    let mut contracts = Vec::with_capacity(bundle.contracts.len());
+    for contract in &bundle.contracts {
+        let id = contract.id().to_string();
+        if chaincode::registry::resolve(&id).is_none() {
+            return Err(SpecError::UnknownContract {
+                name: id,
+                known: chaincode::registry::KNOWN
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+        }
+        contracts.push(id);
+    }
+    Ok(ScenarioSpec {
+        name: name.to_string(),
+        workload: WorkloadSpec::Schedule(ScheduleSpec {
+            contracts,
+            genesis: bundle.genesis.clone(),
+            requests: bundle.requests.clone(),
+        }),
+        transforms: Vec::new(),
+        variants: BTreeSet::new(),
+        network: network.clone(),
+    })
+}
+
+/// Internal hook for [`ScenarioSpec::build`]: attach provenance.
+impl WorkloadBundle {
+    pub(crate) fn with_spec(mut self, spec: ScenarioSpec) -> WorkloadBundle {
+        self.source = Some(Arc::new(spec));
+        self
+    }
+
+    /// The spec this bundle was built from, when it came through
+    /// [`ScenarioSpec::build`]. Rewriting the bundle (`with_requests`,
+    /// `with_contracts`) clears the provenance — a diverged bundle no
+    /// longer speaks for its spec.
+    pub fn spec(&self) -> Option<&ScenarioSpec> {
+        self.source.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_cover_all_generators() {
+        for name in BUILTIN_NAMES {
+            let spec = ScenarioSpec::builtin(name).unwrap();
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.workload.kind(), name);
+            spec.validate().unwrap();
+        }
+        assert!(matches!(
+            ScenarioSpec::builtin("nope"),
+            Err(SpecError::UnknownScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn builtin_specs_round_trip_through_json() {
+        for name in BUILTIN_NAMES {
+            let spec = ScenarioSpec::builtin(name).unwrap();
+            let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec, "{name}");
+        }
+    }
+
+    #[test]
+    fn with_seed_reseeds_generator_and_network() {
+        let spec = ScenarioSpec::builtin("scm").unwrap().with_seed(7);
+        assert_eq!(spec.seed(), 7);
+        assert_eq!(spec.network.seed, 7);
+        // Identical modulo the seed field.
+        let a = ScenarioSpec::builtin("scm").unwrap().with_seed(1);
+        let b = ScenarioSpec::builtin("scm").unwrap().with_seed(2);
+        assert_ne!(a, b);
+        assert_eq!(a.with_seed(0), b.with_seed(0));
+    }
+
+    #[test]
+    fn negative_rate_is_rejected() {
+        let mut spec = ScenarioSpec::builtin("scm").unwrap();
+        if let WorkloadSpec::Scm(s) = &mut spec.workload {
+            s.send_rate = -5.0;
+        }
+        match spec.validate().unwrap_err() {
+            SpecError::BadParameter { field, .. } => assert_eq!(field, "scm.send_rate"),
+            other => panic!("{other:?}"),
+        }
+        assert!(spec.build().is_err(), "build validates first");
+    }
+
+    #[test]
+    fn overfull_shares_are_rejected() {
+        let mut spec = ScenarioSpec::builtin("scm").unwrap();
+        if let WorkloadSpec::Scm(s) = &mut spec.workload {
+            s.query_share = 0.6;
+            s.audit_share = 0.5;
+        }
+        // Would trip the generator's assert! without validation.
+        assert!(matches!(spec.build(), Err(SpecError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn unsupported_variants_are_rejected_up_front() {
+        let mut spec = ScenarioSpec::builtin("synthetic").unwrap();
+        spec.variants.insert(VariantKind::Pruned);
+        match spec.validate().unwrap_err() {
+            SpecError::UnsupportedVariant { variants, workload } => {
+                assert_eq!(variants, vec![VariantKind::Pruned]);
+                assert_eq!(workload, "synthetic");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_attaches_provenance() {
+        let spec = ScenarioSpec::builtin("dv").unwrap();
+        let (bundle, config) = spec.build().unwrap();
+        assert_eq!(bundle.spec(), Some(&spec));
+        assert_eq!(config, spec.network);
+        // Divergence clears it.
+        let rewritten = bundle.clone().with_requests(bundle.requests[..5].to_vec());
+        assert!(rewritten.spec().is_none());
+    }
+
+    #[test]
+    fn transforms_apply_in_order() {
+        let mut spec = ScenarioSpec::builtin("scm").unwrap().with_transactions(400);
+        spec.transforms.push(SpecTransform::DeferActivities {
+            activities: vec!["queryProducts".into()],
+        });
+        spec.transforms.push(SpecTransform::Throttle { rate: 50.0 });
+        let (bundle, _) = spec.build().unwrap();
+        let (plain, _) = ScenarioSpec::builtin("scm")
+            .unwrap()
+            .with_transactions(400)
+            .build()
+            .unwrap();
+        assert_eq!(bundle.len(), plain.len(), "transforms keep the volume");
+        assert!(
+            (bundle.offered_rate() - 50.0).abs() < 1.0,
+            "throttle re-spaced to 50 tps: {}",
+            bundle.offered_rate()
+        );
+        let last = bundle.requests.last().unwrap();
+        assert_eq!(
+            last.activity.as_ref(),
+            "queryProducts",
+            "deferred to the end"
+        );
+    }
+
+    #[test]
+    fn schedule_specs_validate_contract_ids() {
+        let spec = ScenarioSpec {
+            name: "byo".into(),
+            workload: WorkloadSpec::Schedule(ScheduleSpec {
+                contracts: vec!["no-such-contract".into()],
+                genesis: vec![],
+                requests: vec![],
+            }),
+            transforms: vec![],
+            variants: BTreeSet::new(),
+            network: NetworkConfig::default(),
+        };
+        match spec.validate().unwrap_err() {
+            SpecError::UnknownContract { name, known } => {
+                assert_eq!(name, "no-such-contract");
+                assert!(known.contains(&"scm".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn freeze_replays_byte_identically() {
+        let spec = ScenarioSpec::builtin("dv").unwrap();
+        let (bundle, config) = spec.build().unwrap();
+        let frozen = freeze("dv-frozen", &bundle, &config).unwrap();
+        frozen.validate().unwrap();
+        let (replayed, replay_config) = frozen.build().unwrap();
+        assert_eq!(replayed.len(), bundle.len());
+        let a = bundle.run(config);
+        let b = replayed.run(replay_config);
+        assert_eq!(a.report.successes, b.report.successes);
+        assert_eq!(a.report.committed, b.report.committed);
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "frozen schedule replays the exact run"
+        );
+    }
+}

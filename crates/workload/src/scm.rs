@@ -11,13 +11,14 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use chaincode::ScmContract;
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::{intern, Name, OrgId, Value};
+use serde::{Deserialize, Serialize};
 use sim_core::dist::{DiscreteWeighted, Exponential};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// SCM workload parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScmSpec {
     /// Products tracked through the pipeline.
     pub products: usize,
