@@ -15,6 +15,10 @@
 //!    probe tracks the simulator's hot path (interned `Arc<str>` names,
 //!    shared `Arc<[Value]>` args, clone-free assemble/commit, pre-sized
 //!    state keys). Regressions show up as a drop in tx/s.
+//! 3. **The DES core keeps up.** The same probe records dispatched
+//!    events/s (`SimReport::events` over wall-clock), and an open-loop
+//!    Poisson arrival run ([`workload::ArrivalSpec`]) records tx/s in the
+//!    timeout-cut regime the closed loop never enters.
 //!
 //! Results are written to `BENCH_plan.json` at the repository root
 //! (override with `BENCH_PLAN_OUT`) to start the perf trajectory; CI
@@ -27,10 +31,16 @@ use fabric_sim::config::NetworkConfig;
 use sim_core::pool;
 use std::hint::black_box;
 use std::time::Instant;
-use workload::scm;
+use workload::{scm, ArrivalSpec, ScenarioSpec};
 
 const SEEDS: usize = 4;
 const PARALLEL_THREADS: usize = 4;
+
+/// Open-loop arrival rate for the DES probe (tx/s). Sparse enough that a
+/// 100-transaction block takes longer than the 1 s block timeout to fill,
+/// so the timer consistently wins the cut race — the regime the closed
+/// loop never reaches.
+const OPEN_LOOP_RATE: f64 = 60.0;
 
 fn setup() -> (workload::WorkloadBundle, NetworkConfig, OptimizationPlan) {
     let txs = std::env::var("BENCH_PLAN_TXS")
@@ -113,11 +123,26 @@ fn bench_plan_parallel(c: &mut Criterion) {
     );
     group.finish();
 
+    // Open-loop probe: the same scm volume re-stamped by a Poisson arrival
+    // process, exercising the DES timer race (timeout cuts).
+    let (open_bundle, open_config) = ScenarioSpec::builtin("scm")
+        .expect("scm is a builtin")
+        .with_transactions(bundle.len())
+        .with_arrival(ArrivalSpec::Poisson {
+            rate: OPEN_LOOP_RATE,
+        })
+        .build()
+        .expect("open-loop scm spec builds");
+
     let mut sim_group = c.benchmark_group("sim_throughput");
     sim_group.sample_size(5);
     sim_group.throughput(Throughput::Elements(bundle.len() as u64));
     sim_group.bench_function("scm_run_alloc_diet", |b| {
         b.iter(|| black_box(bundle.run(config.clone())))
+    });
+    sim_group.throughput(Throughput::Elements(open_bundle.len() as u64));
+    sim_group.bench_function("scm_run_open_loop", |b| {
+        b.iter(|| black_box(open_bundle.run(open_config.clone())))
     });
     sim_group.finish();
 
@@ -137,11 +162,31 @@ fn bench_plan_parallel(c: &mut Criterion) {
 
     let sim_start = Instant::now();
     let sim_runs = 3;
+    let mut sim_events = 0u64;
     for _ in 0..sim_runs {
-        black_box(bundle.run(config.clone()));
+        sim_events = black_box(bundle.run(config.clone())).report.events;
     }
     let sim_secs = sim_start.elapsed().as_secs_f64() / sim_runs as f64;
     let sim_tps = bundle.len() as f64 / sim_secs;
+    let sim_events_per_sec = sim_events as f64 / sim_secs;
+
+    let open_start = Instant::now();
+    let mut open_timeout_cuts = 0usize;
+    for _ in 0..sim_runs {
+        let out = black_box(open_bundle.run(open_config.clone()));
+        open_timeout_cuts = out
+            .ledger
+            .blocks()
+            .iter()
+            .filter(|b| b.cut_reason == fabric_sim::ledger::CutReason::Timeout)
+            .count();
+    }
+    let open_secs = open_start.elapsed().as_secs_f64() / sim_runs as f64;
+    let open_tps = open_bundle.len() as f64 / open_secs;
+    assert!(
+        open_timeout_cuts > 0,
+        "the open-loop probe must exercise timeout cuts (got none)"
+    );
 
     // The ≥ 2× target needs hardware to scale onto; on narrower machines
     // the ratio is recorded so the trajectory still shows the trend.
@@ -168,7 +213,7 @@ fn bench_plan_parallel(c: &mut Criterion) {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0},\n  \"sim_events_per_sec\": {:.0},\n  \"open_loop_rate_tps\": {:.0},\n  \"open_loop_run_secs\": {:.4},\n  \"open_loop_throughput_tps\": {:.0},\n  \"open_loop_timeout_cuts\": {}\n}}\n",
         bundle.len(),
         plan.len(),
         SEEDS,
@@ -180,11 +225,20 @@ fn bench_plan_parallel(c: &mut Criterion) {
         assertion,
         sim_secs,
         sim_tps,
+        sim_events_per_sec,
+        OPEN_LOOP_RATE,
+        open_secs,
+        open_tps,
+        open_timeout_cuts,
     );
     let out_path = std::env::var("BENCH_PLAN_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out_path, &json).expect("write BENCH_plan.json");
     eprintln!("plan_parallel: speedup {speedup:.2}× on {cores} core(s) — {assertion}");
+    eprintln!(
+        "sim: {sim_tps:.0} tx/s closed loop ({sim_events_per_sec:.0} events/s), \
+         {open_tps:.0} tx/s open loop ({open_timeout_cuts} timeout cuts)"
+    );
     eprintln!("results recorded to {out_path}");
 }
 

@@ -275,11 +275,24 @@ fn emit_watch_line(
         println!("{}", Value::Object(obj).render(false));
     } else {
         let m = &analysis.metrics;
+        // Event-time Submit→Commit latencies of the window's successful
+        // transactions, summarized to the report percentiles.
+        let latencies: Vec<f64> = analysis
+            .log
+            .records()
+            .iter()
+            .filter(|r| !r.failed())
+            .map(|r| r.commit_ts.since(r.client_ts).as_secs_f64())
+            .collect();
+        let lat = sim_core::stats::Summary::of(&latencies);
         println!(
-            "{label} {ordinal}: +{added} tx (window {} tx in {} blocks) · Tr {:.1} tx/s · failures {:.1} % · recs: {}",
+            "{label} {ordinal}: +{added} tx (window {} tx in {} blocks) · Tr {:.1} tx/s · lat p50 {:.2} / p95 {:.2} / p99 {:.2} s · failures {:.1} % · recs: {}",
             analysis.log.len(),
             analysis.log.block_count(),
             m.rates.tr,
+            lat.p50,
+            lat.p95,
+            lat.p99,
             m.rates.failure_fraction() * 100.0,
             if analysis.recommendations.is_empty() {
                 "(none)".to_string()

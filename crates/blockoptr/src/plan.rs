@@ -219,6 +219,12 @@ pub struct MeasuredReport {
     pub success_rate: MetricStats,
     /// Mean end-to-end latency (s) over seeds.
     pub latency: MetricStats,
+    /// Median Submit→Commit event-time latency (s) over seeds.
+    pub latency_p50: MetricStats,
+    /// 95th-percentile Submit→Commit event-time latency (s) over seeds.
+    pub latency_p95: MetricStats,
+    /// 99th-percentile Submit→Commit event-time latency (s) over seeds.
+    pub latency_p99: MetricStats,
     /// Success throughput (tx/s) over seeds.
     pub throughput: MetricStats,
 }
@@ -233,6 +239,9 @@ impl MeasuredReport {
         MeasuredReport {
             success_rate: stat(|r| r.success_rate_pct),
             latency: stat(|r| r.avg_latency_s),
+            latency_p50: stat(|r| r.latency.p50),
+            latency_p95: stat(|r| r.latency.p95),
+            latency_p99: stat(|r| r.latency.p99),
             throughput: stat(|r| r.success_throughput),
             per_seed,
         }

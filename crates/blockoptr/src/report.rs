@@ -128,23 +128,34 @@ fn pm(stats: &MetricStats, multi: bool, decimals: usize) -> String {
     }
 }
 
+/// The Submit→Commit event-time latency percentiles, `p50 a / p95 b / p99 c`
+/// (seed means).
+fn percentile_block(measured: &MeasuredReport) -> String {
+    format!(
+        "p50 {:.2} / p95 {:.2} / p99 {:.2}",
+        measured.latency_p50.mean, measured.latency_p95.mean, measured.latency_p99.mean
+    )
+}
+
 fn outcome_line(measured: &MeasuredReport, baseline: Option<&MeasuredReport>) -> String {
     let multi = measured.seeds() > 1;
     match baseline {
         Some(base) => format!(
-            "success {} % ({:+.1} pts), {} tx/s ({:+.1}), latency {} s ({:+.2})",
+            "success {} % ({:+.1} pts), {} tx/s ({:+.1}), latency {} s ({:+.2}, {})",
             pm(&measured.success_rate, multi, 1),
             measured.success_rate.mean - base.success_rate.mean,
             pm(&measured.throughput, multi, 1),
             measured.throughput.mean - base.throughput.mean,
             pm(&measured.latency, multi, 2),
             measured.latency.mean - base.latency.mean,
+            percentile_block(measured),
         ),
         None => format!(
-            "success {} %, {} tx/s, latency {} s",
+            "success {} %, {} tx/s, latency {} s ({})",
             pm(&measured.success_rate, multi, 1),
             pm(&measured.throughput, multi, 1),
-            pm(&measured.latency, multi, 2)
+            pm(&measured.latency, multi, 2),
+            percentile_block(measured),
         ),
     }
 }
@@ -268,6 +279,10 @@ mod tests {
         let outcome = plan.execute(&bundle, &config);
         let text = render_outcome(&outcome);
         assert!(text.contains("baseline"), "{text}");
+        assert!(
+            text.contains("p50") && text.contains("p95") && text.contains("p99"),
+            "event-time latency percentiles rendered: {text}"
+        );
         assert!(text.contains("rate control"));
         assert!(text.contains("pts"), "per-action deltas rendered: {text}");
         assert!(text.contains("manual implementation required"), "{text}");

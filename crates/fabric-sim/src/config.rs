@@ -67,6 +67,21 @@ pub struct ResourceProfile {
     pub validate_per_endorsement: SimDuration,
 }
 
+impl ResourceProfile {
+    /// Client service time for the `Submit` phase (building and signing one
+    /// proposal) — the front 60 % of [`client_per_tx`](Self::client_per_tx).
+    pub fn proposal_time(&self) -> SimDuration {
+        self.client_per_tx.mul_f64(0.6)
+    }
+
+    /// Client service time for the `Assemble` phase (verifying endorsements
+    /// and assembling the envelope) — the remaining 40 % of
+    /// [`client_per_tx`](Self::client_per_tx).
+    pub fn assemble_time(&self) -> SimDuration {
+        self.client_per_tx.mul_f64(0.4)
+    }
+}
+
 impl Default for ResourceProfile {
     fn default() -> Self {
         ResourceProfile {

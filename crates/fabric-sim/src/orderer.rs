@@ -6,8 +6,12 @@
 //! `block_timeout` has elapsed since the first transaction was buffered.
 //!
 //! [`BlockCutter`] implements exactly that state machine; the simulation
-//! drives it with arrival and timer events and feeds each cut through the
-//! configured [`crate::scheduler`].
+//! drives it with DES events and feeds each cut through the configured
+//! [`crate::scheduler`]. The timeout is one of **two racing events**: the
+//! first arrival of a fresh buffer asks the driver to arm a cancellable
+//! timer ([`ArrivalOutcome::ArmTimer`]), and a size- or byte-triggered cut
+//! disarms it ([`sim_core::des::DesQueue::cancel`]), so a stale timer never
+//! fires — the cutter itself carries no epoch bookkeeping.
 
 use crate::ledger::CutReason;
 use sim_core::time::{SimDuration, SimTime};
@@ -31,22 +35,18 @@ pub struct BlockCutter {
     timeout: SimDuration,
     buffer: Vec<usize>,
     buffered_bytes: u64,
-    /// Invalidates stale timeout events: a timer fires only if its epoch is
-    /// still current.
-    epoch: u64,
     first_buffered_at: Option<SimTime>,
 }
 
 /// What the simulation should do after an arrival.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArrivalOutcome {
-    /// First transaction of a fresh buffer: arm a timer for `deadline`
-    /// with the given epoch.
+    /// First transaction of a fresh buffer: arm a cancellable timer for
+    /// `deadline`. The driver must cancel it when a size/byte cut wins the
+    /// race.
     ArmTimer {
         /// Timer expiry (arrival + block timeout).
         deadline: SimTime,
-        /// Epoch to validate when the timer fires.
-        epoch: u64,
     },
     /// A size or byte threshold was reached: a block was cut.
     CutNow(Cut),
@@ -65,14 +65,8 @@ impl BlockCutter {
             timeout,
             buffer: Vec::new(),
             buffered_bytes: 0,
-            epoch: 0,
             first_buffered_at: None,
         }
-    }
-
-    /// Current timer epoch.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
     }
 
     /// Number of buffered transactions.
@@ -96,17 +90,17 @@ impl BlockCutter {
         } else if was_empty {
             ArrivalOutcome::ArmTimer {
                 deadline: t + self.timeout,
-                epoch: self.epoch,
             }
         } else {
             ArrivalOutcome::Buffered
         }
     }
 
-    /// Handle a timer firing at `t` that was armed under `epoch`.
-    /// Returns a cut only if the timer is still current and work is buffered.
-    pub fn on_timeout(&mut self, t: SimTime, epoch: u64) -> Option<Cut> {
-        if epoch != self.epoch || self.buffer.is_empty() {
+    /// Handle the block timer firing at `t`. The driver only delivers live
+    /// (uncancelled) timers, so any buffered work is cut; an empty buffer
+    /// (a timer that should have been cancelled) is tolerated as a no-op.
+    pub fn on_timeout(&mut self, t: SimTime) -> Option<Cut> {
+        if self.buffer.is_empty() {
             return None;
         }
         Some(self.cut(t, CutReason::Timeout))
@@ -122,7 +116,6 @@ impl BlockCutter {
     }
 
     fn cut(&mut self, t: SimTime, reason: CutReason) -> Cut {
-        self.epoch += 1;
         self.buffered_bytes = 0;
         self.first_buffered_at = None;
         Cut {
@@ -145,9 +138,8 @@ mod tests {
     fn first_arrival_arms_timer() {
         let mut c = cutter(10);
         match c.on_arrival(SimTime::from_millis(100), 0, 10) {
-            ArrivalOutcome::ArmTimer { deadline, epoch } => {
+            ArrivalOutcome::ArmTimer { deadline } => {
                 assert_eq!(deadline, SimTime::from_millis(1_100));
-                assert_eq!(epoch, 0);
             }
             other => panic!("expected ArmTimer, got {other:?}"),
         }
@@ -181,29 +173,36 @@ mod tests {
     }
 
     #[test]
-    fn stale_timer_is_ignored() {
+    fn fresh_buffer_after_cut_rearms() {
         let mut c = cutter(2);
-        let epoch0 = match c.on_arrival(SimTime::from_millis(1), 0, 1) {
-            ArrivalOutcome::ArmTimer { epoch, .. } => epoch,
+        match c.on_arrival(SimTime::from_millis(1), 0, 1) {
+            ArrivalOutcome::ArmTimer { .. } => {}
             other => panic!("{other:?}"),
-        };
-        // Count cut advances the epoch...
-        c.on_arrival(SimTime::from_millis(2), 1, 1);
-        // ...so the old timer must be a no-op even though a new tx is buffered.
-        c.on_arrival(SimTime::from_millis(3), 2, 1);
-        assert_eq!(c.on_timeout(SimTime::from_millis(1_001), epoch0), None);
-        assert_eq!(c.buffered(), 1, "tx 2 still buffered");
+        }
+        // Count cut: the driver cancels the armed timer...
+        match c.on_arrival(SimTime::from_millis(2), 1, 1) {
+            ArrivalOutcome::CutNow(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // ...and the next arrival starts a fresh buffer with a fresh timer.
+        match c.on_arrival(SimTime::from_millis(3), 2, 1) {
+            ArrivalOutcome::ArmTimer { deadline } => {
+                assert_eq!(deadline, SimTime::from_millis(1_003));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.buffered(), 1, "tx 2 buffered under the new timer");
     }
 
     #[test]
     fn current_timer_cuts_partial_block() {
         let mut c = cutter(100);
-        let (deadline, epoch) = match c.on_arrival(SimTime::from_millis(5), 7, 1) {
-            ArrivalOutcome::ArmTimer { deadline, epoch } => (deadline, epoch),
+        let deadline = match c.on_arrival(SimTime::from_millis(5), 7, 1) {
+            ArrivalOutcome::ArmTimer { deadline } => deadline,
             other => panic!("{other:?}"),
         };
         c.on_arrival(SimTime::from_millis(6), 8, 1);
-        let cut = c.on_timeout(deadline, epoch).expect("timer fires");
+        let cut = c.on_timeout(deadline).expect("timer fires");
         assert_eq!(cut.txs, vec![7, 8]);
         assert_eq!(cut.reason, CutReason::Timeout);
         assert_eq!(cut.at, deadline);
@@ -212,7 +211,7 @@ mod tests {
     #[test]
     fn timer_on_empty_buffer_is_noop() {
         let mut c = cutter(2);
-        assert_eq!(c.on_timeout(SimTime::from_secs(5), 0), None);
+        assert_eq!(c.on_timeout(SimTime::from_secs(5)), None);
     }
 
     #[test]
@@ -223,16 +222,6 @@ mod tests {
         let cut = c.flush(SimTime::from_secs(2)).unwrap();
         assert_eq!(cut.reason, CutReason::Flush);
         assert_eq!(cut.txs, vec![0]);
-    }
-
-    #[test]
-    fn epochs_advance_per_cut() {
-        let mut c = cutter(1);
-        assert_eq!(c.epoch(), 0);
-        c.on_arrival(SimTime::ZERO, 0, 1);
-        assert_eq!(c.epoch(), 1);
-        c.on_arrival(SimTime::ZERO, 1, 1);
-        assert_eq!(c.epoch(), 2);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct SimReport {
     pub validator_utilization: f64,
     /// Endorsements per peer, as `(peer name, count)`.
     pub endorsements_per_peer: Vec<(String, u64)>,
+    /// Total DES events the engine dispatched during the run (the
+    /// numerator of the events/s throughput figure).
+    pub events: u64,
 }
 
 impl SimReport {
@@ -127,6 +130,7 @@ impl SimReport {
             orderer_utilization: 0.0,
             validator_utilization: 0.0,
             endorsements_per_peer: Vec::new(),
+            events: 0,
         }
     }
 
@@ -184,8 +188,8 @@ impl fmt::Display for SimReport {
         )?;
         writeln!(
             f,
-            "avg latency         : {:.3} s (p95 {:.3} s)",
-            self.avg_latency_s, self.latency.p95
+            "latency             : avg {:.3} s (p50 {:.3} / p95 {:.3} / p99 {:.3})",
+            self.avg_latency_s, self.latency.p50, self.latency.p95, self.latency.p99
         )?;
         writeln!(
             f,
@@ -310,7 +314,8 @@ mod tests {
         let r = SimReport::from_ledger(&l, 1, SimTime::ZERO);
         let text = r.to_string();
         assert!(text.contains("success throughput"));
-        assert!(text.contains("avg latency"));
+        assert!(text.contains("latency"));
+        assert!(text.contains("p99"), "percentiles surfaced: {text}");
         assert!(text.contains("blocks"));
     }
 

@@ -8,14 +8,20 @@
 //!   (proposal)        per selected org, queued FIFO           (assemble)
 //!        │                                                        │
 //!        ▼                                                        ▼
-//!   BlockValidated ◄── validator queue ◄── Raft ◄── orderer (block cutter
-//!   (MVCC + commit)                                  + scheduler + assembly)
+//!     Commit ◄── Validate ◄── validator ◄── Raft ◄── orderer (block cutter
+//!   (to ledger)  (MVCC)        queue                  + scheduler + assembly)
 //! ```
 //!
-//! Every stage is a finite-rate queueing server, and all state reads happen
-//! at their simulated instant in global event order, so MVCC conflict
-//! windows — endorsement time to commit time — emerge from queueing dynamics
-//! rather than being injected.
+//! The run loop is a [`sim_core::des`] model: each Fabric phase is one
+//! [`Phase`] event kind dispatched by the [`Engine`] handler, and every
+//! stage is a finite-rate queueing server with its service times drawn from
+//! the [`ResourceProfile`](crate::config::ResourceProfile). All state reads
+//! happen at their simulated instant in global event order, so MVCC
+//! conflict windows — endorsement time to commit time — emerge from
+//! queueing dynamics rather than being injected. Block cutting is two
+//! racing events: a size/byte-triggered cut versus a timeout timer that is
+//! cancelled when the size cut wins and re-armed on the first arrival of a
+//! fresh buffer.
 
 use crate::client::{EndorserFleet, EndorserSelector, WorkerFleet};
 use crate::config::NetworkConfig;
@@ -27,8 +33,8 @@ use crate::rwset::ReadWriteSet;
 use crate::scheduler::{schedule_block, stale_tolerance_blocks, SchedTx};
 use crate::state::WorldState;
 use crate::types::{qualified_key, ClientId, Name, OrgId, PeerId, TxId, Value};
-use crate::validator::{validate_block, TxToValidate};
-use sim_core::events::EventQueue;
+use crate::validator::{validate_block, TxToValidate, Verdict};
+use sim_core::des::{self, DesQueue, EventKind, Handler, TimerId};
 use sim_core::rng::SimRng;
 use sim_core::server::QueueServer;
 use sim_core::time::{SimDuration, SimTime};
@@ -68,15 +74,75 @@ pub struct SimOutput {
     pub report: SimReport,
 }
 
-#[derive(Debug, Clone)]
-enum Ev {
-    ClientSend(usize),
-    ProposalReady(usize),
-    EndorseExec { tx: usize, slot: usize },
-    Assemble(usize),
-    OrdererReceive(usize),
-    OrdererTimeout { epoch: u64 },
-    BlockValidated { block: usize },
+/// The Fabric pipeline phases, as DES event kinds.
+///
+/// Priorities follow the pipeline: at one simulated instant, events
+/// dispatch in the order work flows through the network — a client submits
+/// before a proposal fans out, endorsements execute before assembly, and
+/// validation applies state before the commit seals the block. The one
+/// deliberate exception: the block-timeout timer outranks an envelope
+/// arriving at the very same instant, so `block_timeout` is a hard upper
+/// bound on block age — an envelope landing exactly on the deadline opens
+/// the *next* block rather than sneaking into the expiring one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// A client creates and signs a proposal.
+    Submit,
+    /// The signed proposal fans out to the selected endorsers.
+    Propose,
+    /// One endorser executes the chaincode (subject carries the slot).
+    Endorse,
+    /// The client verifies endorsements and assembles the envelope.
+    Assemble,
+    /// The envelope reaches the ordering service (may trigger a size cut).
+    Order,
+    /// The block-timeout timer fires (the losing racer is cancelled).
+    CutBlock,
+    /// The validator finishes a block: MVCC checks + state application.
+    Validate,
+    /// The validated block is sealed into the ledger.
+    Commit,
+}
+
+impl EventKind for Phase {
+    fn priority(&self) -> u8 {
+        match self {
+            Phase::Submit => 0,
+            Phase::Propose => 1,
+            Phase::Endorse => 2,
+            Phase::Assemble => 3,
+            Phase::CutBlock => 4,
+            Phase::Order => 5,
+            Phase::Validate => 6,
+            Phase::Commit => 7,
+        }
+    }
+}
+
+/// Event subject: which entity a [`Phase`] event targets.
+///
+/// `idx` is a transaction handle for client/endorse/order phases and a
+/// block handle (index into the in-flight list) for validate/commit;
+/// `slot` selects the endorsement slot within a transaction.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Target {
+    idx: usize,
+    slot: usize,
+}
+
+impl Target {
+    fn tx(idx: usize) -> Self {
+        Target { idx, slot: 0 }
+    }
+    fn endorse(idx: usize, slot: usize) -> Self {
+        Target { idx, slot }
+    }
+    fn block(idx: usize) -> Self {
+        Target { idx, slot: 0 }
+    }
+    fn timer() -> Self {
+        Target::default()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -98,7 +164,8 @@ struct Pending {
     dropped: bool,
 }
 
-/// Blocks in flight between cutting and validation.
+/// Blocks in flight between cutting and commit. `number` and `verdicts`
+/// are filled in by the `Validate` phase and consumed by `Commit`.
 struct InFlightBlock {
     txs: Vec<usize>,
     order: Vec<usize>,
@@ -106,6 +173,8 @@ struct InFlightBlock {
     policy_failed: std::collections::HashSet<usize>,
     cut_reason: CutReason,
     cut_ts: SimTime,
+    number: u64,
+    verdicts: Vec<Verdict>,
 }
 
 /// A configured Fabric network ready to run workloads.
@@ -113,6 +182,364 @@ pub struct Simulation {
     config: NetworkConfig,
     contracts: HashMap<String, Arc<dyn Contract>>,
     genesis: Vec<(String, String, Value)>,
+}
+
+/// The DES handler holding all of one run's mutable state. Each [`Phase`]
+/// arm is a direct port of one pipeline stage.
+struct Engine<'a> {
+    sim: &'a Simulation,
+    requests: &'a [TxRequest],
+    state: WorldState,
+    workers: WorkerFleet,
+    endorsers: EndorserFleet,
+    selector: EndorserSelector,
+    rng: SimRng,
+    cutter: BlockCutter,
+    /// The armed block-timeout timer, if any — the cancellable half of the
+    /// cut race.
+    cut_timer: Option<TimerId>,
+    orderer_srv: QueueServer,
+    validator_srv: QueueServer,
+    pending: Vec<Pending>,
+    inflight: Vec<InFlightBlock>,
+    ledger: Ledger,
+    early_aborted: usize,
+    abort_reasons: BTreeMap<String, usize>,
+    intra: usize,
+    inter: usize,
+    on_commit: &'a mut dyn FnMut(&Block),
+}
+
+type Queue = DesQueue<Phase, Target>;
+
+impl Handler<Phase, Target> for Engine<'_> {
+    fn handle(&mut self, now: SimTime, kind: Phase, target: Target, queue: &mut Queue) {
+        match kind {
+            Phase::Submit => self.submit(now, target.idx, queue),
+            Phase::Propose => self.propose(now, target.idx, queue),
+            Phase::Endorse => self.endorse(target.idx, target.slot),
+            Phase::Assemble => self.assemble(now, target.idx, queue),
+            Phase::Order => self.order(now, target.idx, queue),
+            Phase::CutBlock => self.cut_block(now, queue),
+            Phase::Validate => self.validate(now, target.idx, queue),
+            Phase::Commit => self.commit(now, target.idx),
+        }
+    }
+
+    /// Queue drained: flush any partial block, which schedules the events
+    /// to validate and commit it; when nothing is buffered the run ends.
+    fn on_idle(&mut self, now: SimTime, queue: &mut Queue) {
+        if let Some(cut) = self.cutter.flush(now) {
+            self.process_cut(cut, queue);
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn submit(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+        let req = &self.requests[i];
+        let worker = self.workers.assign(req.invoker_org);
+        self.pending[i].worker = Some(worker);
+        self.pending[i].client_ts = now;
+        let (_, done) = self
+            .workers
+            .submit(worker, now, self.sim.config.resources.proposal_time());
+        queue.schedule(done, Phase::Propose, Target::tx(i));
+    }
+
+    fn propose(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+        let res = &self.sim.config.resources;
+        let req = &self.requests[i];
+        let contract = self
+            .sim
+            .contracts
+            .get(req.contract.as_ref())
+            .unwrap_or_else(|| panic!("contract {:?} not installed", req.contract));
+        // Cost estimate from a dry execution at proposal time.
+        let mut est_ctx = TxContext::new(&self.state, contract.name());
+        let _ = contract.execute(&mut est_ctx, &req.activity, &req.args);
+        let accesses = est_ctx.access_count();
+        let service = res.endorse_exec_base + res.endorse_exec_per_access.mul(accesses as u64);
+
+        let orgs: Vec<OrgId> = self
+            .selector
+            .choose(&mut self.rng)
+            .iter()
+            .copied()
+            .collect();
+        let arrival = now + res.net_delay;
+        let mut last_done = now;
+        for (slot, &org) in orgs.iter().enumerate() {
+            let (peer, start, done) = self.endorsers.submit(org, arrival, service);
+            self.pending[i].endorse_peers.push(peer);
+            self.pending[i].endorse_starts.push(start);
+            self.pending[i].results.push(None);
+            last_done = last_done.max(done);
+            queue.schedule(start, Phase::Endorse, Target::endorse(i, slot));
+        }
+        self.pending[i].endorse_orgs = orgs;
+        queue.schedule(last_done + res.net_delay, Phase::Assemble, Target::tx(i));
+    }
+
+    fn endorse(&mut self, tx: usize, slot: usize) {
+        let req = &self.requests[tx];
+        let contract = &self.sim.contracts[req.contract.as_ref()];
+        let mut ctx = TxContext::new(&self.state, contract.name());
+        let status = contract.execute(&mut ctx, &req.activity, &req.args);
+        self.pending[tx].results[slot] = Some(match status {
+            ExecStatus::Ok => EndorseResult::Ok(ctx.into_rwset()),
+            ExecStatus::Abort(reason) => EndorseResult::Abort(reason),
+        });
+    }
+
+    fn assemble(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+        let p = &mut self.pending[i];
+        let mut first_ok: Option<usize> = None;
+        let mut aborted = false;
+        for (slot, r) in p.results.iter().enumerate() {
+            match r {
+                Some(EndorseResult::Ok(_)) => {
+                    first_ok = first_ok.or(Some(slot));
+                }
+                Some(EndorseResult::Abort(_)) => aborted = true,
+                None => {}
+            }
+        }
+        let Some(first) = first_ok.filter(|_| !aborted) else {
+            // The chaincode rejected the proposal on at least one endorser:
+            // the client cannot assemble a valid transaction — early abort
+            // (pruning path). The contract's reason feeds the report's
+            // failure breakdown.
+            let reason = p
+                .results
+                .iter()
+                .flatten()
+                .find_map(|r| match r {
+                    EndorseResult::Abort(reason) => Some(reason.as_str()),
+                    EndorseResult::Ok(_) => None,
+                })
+                .unwrap_or("no endorsement result");
+            *self.abort_reasons.entry(reason.to_string()).or_insert(0) += 1;
+            p.dropped = true;
+            self.early_aborted += 1;
+            return;
+        };
+        let canonical = match p.results[first].as_ref() {
+            Some(EndorseResult::Ok(rw)) => rw,
+            _ => unreachable!("first_ok indexes an Ok result"),
+        };
+        p.mismatch = p
+            .results
+            .iter()
+            .flatten()
+            .any(|r| matches!(r, EndorseResult::Ok(rw) if rw != canonical));
+        let worker = p.worker.expect("assigned at Submit");
+        let (_, done) = self
+            .workers
+            .submit(worker, now, self.sim.config.resources.assemble_time());
+        let p = &mut self.pending[i];
+        p.submit_ts = done;
+        // Move the canonical rwset into slot 0 (no clone).
+        p.results.swap(0, first);
+        queue.schedule(
+            done + self.sim.config.resources.net_delay,
+            Phase::Order,
+            Target::tx(i),
+        );
+    }
+
+    fn order(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+        let size = self.sim.proposal_size(&self.pending[i], &self.requests[i]);
+        match self.cutter.on_arrival(now, i, size) {
+            ArrivalOutcome::ArmTimer { deadline } => {
+                self.cut_timer =
+                    Some(queue.schedule_timer(deadline, Phase::CutBlock, Target::timer()));
+            }
+            ArrivalOutcome::CutNow(cut) => {
+                // The size/byte cut won the race: disarm the timeout.
+                if let Some(timer) = self.cut_timer.take() {
+                    queue.cancel(timer);
+                }
+                self.process_cut(cut, queue);
+            }
+            ArrivalOutcome::Buffered => {}
+        }
+    }
+
+    fn cut_block(&mut self, now: SimTime, queue: &mut Queue) {
+        self.cut_timer = None;
+        if let Some(cut) = self.cutter.on_timeout(now) {
+            self.process_cut(cut, queue);
+        }
+    }
+
+    /// Schedule a cut block through the orderer and validator queues: the
+    /// scheduler fixes the in-block order, the orderer assembles and Raft
+    /// replicates, and the validator's completion becomes the block's
+    /// `Validate` event.
+    fn process_cut(&mut self, cut: Cut, queue: &mut Queue) {
+        let res = &self.sim.config.resources;
+        let sched_txs: Vec<SchedTx<'_>> = cut
+            .txs
+            .iter()
+            .map(|&i| {
+                let p = &self.pending[i];
+                let rwset = match p.results[0].as_ref().expect("assembled") {
+                    EndorseResult::Ok(rw) => rw,
+                    EndorseResult::Abort(_) => unreachable!(),
+                };
+                let spread = p
+                    .endorse_starts
+                    .iter()
+                    .max()
+                    .copied()
+                    .unwrap_or(SimTime::ZERO)
+                    .since(
+                        p.endorse_starts
+                            .iter()
+                            .min()
+                            .copied()
+                            .unwrap_or(SimTime::ZERO),
+                    );
+                SchedTx {
+                    rwset,
+                    endorse_spread: spread,
+                }
+            })
+            .collect();
+        let outcome = schedule_block(self.sim.config.scheduler, &sched_txs);
+
+        let n = cut.txs.len() as u64;
+        let assembly = res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
+        let (_, assembled) = self.orderer_srv.submit(cut.at, assembly);
+        let delivered = assembled + res.raft_delay + res.net_delay;
+
+        let mut validation = res.validate_block_fixed;
+        for &i in &cut.txs {
+            let p = &self.pending[i];
+            let items = match p.results[0].as_ref() {
+                Some(EndorseResult::Ok(rw)) => {
+                    rw.reads.len()
+                        + rw.range_reads
+                            .iter()
+                            .map(|r| r.observed.len())
+                            .sum::<usize>()
+                }
+                _ => 0,
+            };
+            validation += res.validate_per_tx
+                + res.validate_per_item.mul(items as u64)
+                + res
+                    .validate_per_endorsement
+                    .mul(p.endorse_peers.len() as u64);
+        }
+        let (_, validated) = self.validator_srv.submit(delivered, validation);
+
+        self.inflight.push(InFlightBlock {
+            txs: cut.txs,
+            order: outcome.order,
+            aborted: outcome.aborted,
+            policy_failed: outcome.policy_failed,
+            cut_reason: cut.reason,
+            cut_ts: cut.at,
+            number: 0,
+            verdicts: Vec::new(),
+        });
+        queue.schedule(
+            validated,
+            Phase::Validate,
+            Target::block(self.inflight.len() - 1),
+        );
+    }
+
+    /// MVCC-validate one block in its scheduled order and apply the write
+    /// sets; the verdicts are stashed for the `Commit` event scheduled at
+    /// the same instant (nothing can slip between them — `Commit` carries
+    /// the highest same-timestamp priority and validator completions are
+    /// strictly ordered).
+    fn validate(&mut self, now: SimTime, block: usize, queue: &mut Queue) {
+        let fb = &self.inflight[block];
+        let number = self.ledger.height() + 1;
+        let to_validate: Vec<TxToValidate<'_>> = fb
+            .order
+            .iter()
+            .map(|&pos| {
+                let tx_idx = fb.txs[pos];
+                let rwset = match self.pending[tx_idx].results[0]
+                    .as_ref()
+                    .expect("assembled tx has canonical rwset")
+                {
+                    EndorseResult::Ok(rw) => rw,
+                    EndorseResult::Abort(_) => {
+                        unreachable!("aborted txs never reach ordering")
+                    }
+                };
+                TxToValidate {
+                    rwset,
+                    endorse_mismatch: self.pending[tx_idx].mismatch,
+                    sched_aborted: fb.aborted.contains(&pos),
+                    sched_policy_failed: fb.policy_failed.contains(&pos),
+                }
+            })
+            .collect();
+        let tolerance = stale_tolerance_blocks(self.sim.config.scheduler);
+        let verdicts = validate_block(&mut self.state, number, &to_validate, tolerance);
+        let fb = &mut self.inflight[block];
+        fb.number = number;
+        fb.verdicts = verdicts;
+        queue.schedule(now, Phase::Commit, Target::block(block));
+    }
+
+    /// Seal a validated block: build the envelopes, append to the ledger,
+    /// and feed the live observer.
+    fn commit(&mut self, now: SimTime, block: usize) {
+        let fb = &self.inflight[block];
+        debug_assert_eq!(fb.number, self.ledger.height() + 1);
+        let mut envelopes = Vec::with_capacity(fb.order.len());
+        for (k, &pos) in fb.order.iter().enumerate() {
+            let tx_idx = fb.txs[pos];
+            let verdict = fb.verdicts[k];
+            if verdict.status == TxStatus::MvccReadConflict {
+                if verdict.intra_block {
+                    self.intra += 1;
+                } else {
+                    self.inter += 1;
+                }
+            }
+            // Each transaction commits exactly once, so the canonical rwset
+            // and endorser list move into the envelope instead of being
+            // cloned.
+            let p = &mut self.pending[tx_idx];
+            let rwset = match p.results[0].take() {
+                Some(EndorseResult::Ok(rw)) => rw,
+                _ => unreachable!("committed tx has canonical rwset"),
+            };
+            let req = &self.requests[tx_idx];
+            envelopes.push(TransactionEnvelope {
+                id: TxId(tx_idx as u64),
+                client_ts: p.client_ts,
+                submit_ts: p.submit_ts,
+                commit_ts: now,
+                contract: req.contract.clone(),
+                activity: req.activity.clone(),
+                args: req.args.clone(),
+                endorsers: std::mem::take(&mut p.endorse_peers),
+                invoker: p.worker.expect("assigned"),
+                tx_type: rwset.tx_type(),
+                rwset,
+                status: verdict.status,
+            });
+        }
+        let fb = &self.inflight[block];
+        self.ledger.append(Block {
+            number: fb.number,
+            cut_reason: fb.cut_reason,
+            cut_ts: fb.cut_ts,
+            commit_ts: now,
+            txs: envelopes,
+        });
+        (self.on_commit)(self.ledger.blocks().last().expect("just appended"));
+    }
 }
 
 impl Simulation {
@@ -162,7 +589,6 @@ impl Simulation {
         on_commit: &mut dyn FnMut(&Block),
     ) -> SimOutput {
         let cfg = &self.config;
-        let res = &cfg.resources;
 
         // Sorted injection schedule (stable by original index for ties).
         let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -173,271 +599,66 @@ impl Simulation {
             state.seed(qualified_key(ns, key), value.clone());
         }
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
         let mut workers = WorkerFleet::new(cfg.orgs, cfg.clients_per_org);
         if let Some((org, factor)) = cfg.client_boost {
             workers.scale_org(OrgId(org), factor);
         }
-        let mut endorsers = EndorserFleet::new(cfg.orgs, cfg.endorsers_per_org());
-        let selector = EndorserSelector::new(
-            &cfg.endorsement_policy,
-            cfg.orgs,
-            self.endorser_skew_from_seed(),
-        );
-        let mut rng = SimRng::derive(cfg.seed, 0xE5D0);
-        let mut cutter = BlockCutter::new(cfg.block_count, cfg.block_bytes, cfg.block_timeout);
-        let mut orderer_srv = QueueServer::new();
-        let mut validator_srv = QueueServer::new();
-
-        let mut pending: Vec<Pending> = vec![Pending::default(); requests.len()];
-        let mut inflight: Vec<InFlightBlock> = Vec::new();
-        let mut ledger = Ledger::new();
-        let mut early_aborted = 0usize;
-        let mut abort_reasons: BTreeMap<String, usize> = BTreeMap::new();
-        let mut intra = 0usize;
-        let mut inter = 0usize;
-
-        let proposal_time = res.client_per_tx.mul_f64(0.6);
-        let assemble_time = res.client_per_tx.mul_f64(0.4);
 
         let first_send = order
             .first()
             .map(|&i| requests[i].send_time)
             .unwrap_or(SimTime::ZERO);
+        let mut queue: Queue = DesQueue::new();
         for &i in &order {
-            queue.schedule(requests[i].send_time, Ev::ClientSend(i));
+            queue.schedule(requests[i].send_time, Phase::Submit, Target::tx(i));
         }
 
-        loop {
-            while let Some((now, ev)) = queue.pop() {
-                match ev {
-                    Ev::ClientSend(i) => {
-                        let req = &requests[i];
-                        let worker = workers.assign(req.invoker_org);
-                        pending[i].worker = Some(worker);
-                        pending[i].client_ts = now;
-                        let (_, done) = workers.submit(worker, now, proposal_time);
-                        queue.schedule(done, Ev::ProposalReady(i));
-                    }
+        let mut engine = Engine {
+            sim: self,
+            requests,
+            state,
+            workers,
+            endorsers: EndorserFleet::new(cfg.orgs, cfg.endorsers_per_org()),
+            selector: EndorserSelector::new(
+                &cfg.endorsement_policy,
+                cfg.orgs,
+                self.endorser_skew_from_seed(),
+            ),
+            rng: SimRng::derive(cfg.seed, 0xE5D0),
+            cutter: BlockCutter::new(cfg.block_count, cfg.block_bytes, cfg.block_timeout),
+            cut_timer: None,
+            orderer_srv: QueueServer::new(),
+            validator_srv: QueueServer::new(),
+            pending: vec![Pending::default(); requests.len()],
+            inflight: Vec::new(),
+            ledger: Ledger::new(),
+            early_aborted: 0,
+            abort_reasons: BTreeMap::new(),
+            intra: 0,
+            inter: 0,
+            on_commit,
+        };
+        let events = des::run(&mut queue, &mut engine);
 
-                    Ev::ProposalReady(i) => {
-                        let req = &requests[i];
-                        let contract = self
-                            .contracts
-                            .get(req.contract.as_ref())
-                            .unwrap_or_else(|| panic!("contract {:?} not installed", req.contract));
-                        // Cost estimate from a dry execution at proposal time.
-                        let mut est_ctx = TxContext::new(&state, contract.name());
-                        let _ = contract.execute(&mut est_ctx, &req.activity, &req.args);
-                        let accesses = est_ctx.access_count();
-                        let service = res.endorse_exec_base
-                            + res.endorse_exec_per_access.mul(accesses as u64);
-
-                        let orgs: Vec<OrgId> = selector.choose(&mut rng).iter().copied().collect();
-                        let arrival = now + res.net_delay;
-                        let mut last_done = now;
-                        for (slot, &org) in orgs.iter().enumerate() {
-                            let (peer, start, done) = endorsers.submit(org, arrival, service);
-                            pending[i].endorse_peers.push(peer);
-                            pending[i].endorse_starts.push(start);
-                            pending[i].results.push(None);
-                            last_done = last_done.max(done);
-                            queue.schedule(start, Ev::EndorseExec { tx: i, slot });
-                        }
-                        pending[i].endorse_orgs = orgs;
-                        queue.schedule(last_done + res.net_delay, Ev::Assemble(i));
-                    }
-
-                    Ev::EndorseExec { tx, slot } => {
-                        let req = &requests[tx];
-                        let contract = &self.contracts[req.contract.as_ref()];
-                        let mut ctx = TxContext::new(&state, contract.name());
-                        let status = contract.execute(&mut ctx, &req.activity, &req.args);
-                        pending[tx].results[slot] = Some(match status {
-                            ExecStatus::Ok => EndorseResult::Ok(ctx.into_rwset()),
-                            ExecStatus::Abort(reason) => EndorseResult::Abort(reason),
-                        });
-                    }
-
-                    Ev::Assemble(i) => {
-                        let p = &mut pending[i];
-                        let mut first_ok: Option<usize> = None;
-                        let mut aborted = false;
-                        for (slot, r) in p.results.iter().enumerate() {
-                            match r {
-                                Some(EndorseResult::Ok(_)) => {
-                                    first_ok = first_ok.or(Some(slot));
-                                }
-                                Some(EndorseResult::Abort(_)) => aborted = true,
-                                None => {}
-                            }
-                        }
-                        let Some(first) = first_ok.filter(|_| !aborted) else {
-                            // The chaincode rejected the proposal on at least
-                            // one endorser: the client cannot assemble a
-                            // valid transaction — early abort (pruning path).
-                            // The contract's reason feeds the report's
-                            // failure breakdown.
-                            let reason = p
-                                .results
-                                .iter()
-                                .flatten()
-                                .find_map(|r| match r {
-                                    EndorseResult::Abort(reason) => Some(reason.as_str()),
-                                    EndorseResult::Ok(_) => None,
-                                })
-                                .unwrap_or("no endorsement result");
-                            *abort_reasons.entry(reason.to_string()).or_insert(0) += 1;
-                            p.dropped = true;
-                            early_aborted += 1;
-                            continue;
-                        };
-                        let canonical = match p.results[first].as_ref() {
-                            Some(EndorseResult::Ok(rw)) => rw,
-                            _ => unreachable!("first_ok indexes an Ok result"),
-                        };
-                        p.mismatch = p
-                            .results
-                            .iter()
-                            .flatten()
-                            .any(|r| matches!(r, EndorseResult::Ok(rw) if rw != canonical));
-                        let worker = p.worker.expect("assigned at ClientSend");
-                        let (_, done) = workers.submit(worker, now, assemble_time);
-                        p.submit_ts = done;
-                        // Move the canonical rwset into slot 0 (no clone).
-                        p.results.swap(0, first);
-                        queue.schedule(done + res.net_delay, Ev::OrdererReceive(i));
-                    }
-
-                    Ev::OrdererReceive(i) => {
-                        let size = self.proposal_size(&pending[i], &requests[i]);
-                        match cutter.on_arrival(now, i, size) {
-                            ArrivalOutcome::ArmTimer { deadline, epoch } => {
-                                queue.schedule(deadline, Ev::OrdererTimeout { epoch });
-                            }
-                            ArrivalOutcome::CutNow(cut) => {
-                                self.process_cut(
-                                    cut,
-                                    &pending,
-                                    &mut inflight,
-                                    &mut orderer_srv,
-                                    &mut validator_srv,
-                                    &mut queue,
-                                );
-                            }
-                            ArrivalOutcome::Buffered => {}
-                        }
-                    }
-
-                    Ev::OrdererTimeout { epoch } => {
-                        if let Some(cut) = cutter.on_timeout(now, epoch) {
-                            self.process_cut(
-                                cut,
-                                &pending,
-                                &mut inflight,
-                                &mut orderer_srv,
-                                &mut validator_srv,
-                                &mut queue,
-                            );
-                        }
-                    }
-
-                    Ev::BlockValidated { block } => {
-                        let fb = &inflight[block];
-                        let number = ledger.height() + 1;
-                        let to_validate: Vec<TxToValidate<'_>> = fb
-                            .order
-                            .iter()
-                            .map(|&pos| {
-                                let tx_idx = fb.txs[pos];
-                                let rwset = match pending[tx_idx].results[0]
-                                    .as_ref()
-                                    .expect("assembled tx has canonical rwset")
-                                {
-                                    EndorseResult::Ok(rw) => rw,
-                                    EndorseResult::Abort(_) => {
-                                        unreachable!("aborted txs never reach ordering")
-                                    }
-                                };
-                                TxToValidate {
-                                    rwset,
-                                    endorse_mismatch: pending[tx_idx].mismatch,
-                                    sched_aborted: fb.aborted.contains(&pos),
-                                    sched_policy_failed: fb.policy_failed.contains(&pos),
-                                }
-                            })
-                            .collect();
-                        let tolerance = stale_tolerance_blocks(cfg.scheduler);
-                        let verdicts = validate_block(&mut state, number, &to_validate, tolerance);
-
-                        let mut envelopes = Vec::with_capacity(fb.order.len());
-                        for (k, &pos) in fb.order.iter().enumerate() {
-                            let tx_idx = fb.txs[pos];
-                            let verdict = verdicts[k];
-                            if verdict.status == TxStatus::MvccReadConflict {
-                                if verdict.intra_block {
-                                    intra += 1;
-                                } else {
-                                    inter += 1;
-                                }
-                            }
-                            // Each transaction commits exactly once, so the
-                            // canonical rwset and endorser list move into
-                            // the envelope instead of being cloned.
-                            let p = &mut pending[tx_idx];
-                            let rwset = match p.results[0].take() {
-                                Some(EndorseResult::Ok(rw)) => rw,
-                                _ => unreachable!("committed tx has canonical rwset"),
-                            };
-                            let req = &requests[tx_idx];
-                            envelopes.push(TransactionEnvelope {
-                                id: TxId(tx_idx as u64),
-                                client_ts: p.client_ts,
-                                submit_ts: p.submit_ts,
-                                commit_ts: now,
-                                contract: req.contract.clone(),
-                                activity: req.activity.clone(),
-                                args: req.args.clone(),
-                                endorsers: std::mem::take(&mut p.endorse_peers),
-                                invoker: p.worker.expect("assigned"),
-                                tx_type: rwset.tx_type(),
-                                rwset,
-                                status: verdict.status,
-                            });
-                        }
-                        ledger.append(Block {
-                            number,
-                            cut_reason: fb.cut_reason,
-                            cut_ts: fb.cut_ts,
-                            commit_ts: now,
-                            txs: envelopes,
-                        });
-                        on_commit(ledger.blocks().last().expect("just appended"));
-                    }
-                }
-            }
-
-            // Queue drained: flush any partial block, then keep going until
-            // genuinely nothing is left.
-            if let Some(cut) = cutter.flush(queue.now()) {
-                self.process_cut(
-                    cut,
-                    &pending,
-                    &mut inflight,
-                    &mut orderer_srv,
-                    &mut validator_srv,
-                    &mut queue,
-                );
-            } else {
-                break;
-            }
-        }
+        let Engine {
+            workers,
+            endorsers,
+            orderer_srv,
+            validator_srv,
+            ledger,
+            early_aborted,
+            abort_reasons,
+            intra,
+            inter,
+            ..
+        } = engine;
 
         let mut report = SimReport::from_ledger(&ledger, requests.len(), first_send);
         report.early_aborted = early_aborted;
         report.early_abort_reasons = abort_reasons;
         report.intra_block_conflicts = intra;
         report.inter_block_conflicts = inter;
+        report.events = events;
         let horizon = SimTime::ZERO
             + SimDuration::from_secs_f64(report.duration_s)
             + first_send.since(SimTime::ZERO);
@@ -469,89 +690,6 @@ impl Simulation {
         let args: u64 = req.args.iter().map(Value::approx_size).sum();
         // Envelope framing + one signature per endorsement.
         256 + rw + args + 96 * p.endorse_peers.len() as u64
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn process_cut(
-        &self,
-        cut: Cut,
-        pending: &[Pending],
-        inflight: &mut Vec<InFlightBlock>,
-        orderer_srv: &mut QueueServer,
-        validator_srv: &mut QueueServer,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let res = &self.config.resources;
-        let sched_txs: Vec<SchedTx<'_>> = cut
-            .txs
-            .iter()
-            .map(|&i| {
-                let p = &pending[i];
-                let rwset = match p.results[0].as_ref().expect("assembled") {
-                    EndorseResult::Ok(rw) => rw,
-                    EndorseResult::Abort(_) => unreachable!(),
-                };
-                let spread = p
-                    .endorse_starts
-                    .iter()
-                    .max()
-                    .copied()
-                    .unwrap_or(SimTime::ZERO)
-                    .since(
-                        p.endorse_starts
-                            .iter()
-                            .min()
-                            .copied()
-                            .unwrap_or(SimTime::ZERO),
-                    );
-                SchedTx {
-                    rwset,
-                    endorse_spread: spread,
-                }
-            })
-            .collect();
-        let outcome = schedule_block(self.config.scheduler, &sched_txs);
-
-        let n = cut.txs.len() as u64;
-        let assembly = res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
-        let (_, assembled) = orderer_srv.submit(cut.at, assembly);
-        let delivered = assembled + res.raft_delay + res.net_delay;
-
-        let mut validation = res.validate_block_fixed;
-        for &i in &cut.txs {
-            let p = &pending[i];
-            let items = match p.results[0].as_ref() {
-                Some(EndorseResult::Ok(rw)) => {
-                    rw.reads.len()
-                        + rw.range_reads
-                            .iter()
-                            .map(|r| r.observed.len())
-                            .sum::<usize>()
-                }
-                _ => 0,
-            };
-            validation += res.validate_per_tx
-                + res.validate_per_item.mul(items as u64)
-                + res
-                    .validate_per_endorsement
-                    .mul(p.endorse_peers.len() as u64);
-        }
-        let (_, validated) = validator_srv.submit(delivered, validation);
-
-        inflight.push(InFlightBlock {
-            txs: cut.txs,
-            order: outcome.order,
-            aborted: outcome.aborted,
-            policy_failed: outcome.policy_failed,
-            cut_reason: cut.reason,
-            cut_ts: cut.at,
-        });
-        queue.schedule(
-            validated,
-            Ev::BlockValidated {
-                block: inflight.len() - 1,
-            },
-        );
     }
 }
 
@@ -753,6 +891,7 @@ mod tests {
         let ids_a: Vec<u64> = a.ledger.transactions().map(|t| t.id.0).collect();
         let ids_b: Vec<u64> = b.ledger.transactions().map(|t| t.id.0).collect();
         assert_eq!(ids_a, ids_b, "identical commit order");
+        assert_eq!(a.report.events, b.report.events, "same event count");
     }
 
     #[test]
@@ -847,5 +986,22 @@ mod tests {
         let out = s.run(&[]);
         assert_eq!(out.report.committed, 0);
         assert_eq!(out.report.blocks, 0);
+        assert_eq!(out.report.events, 0);
+    }
+
+    #[test]
+    fn event_count_tracks_pipeline_depth() {
+        let s = sim();
+        let reqs: Vec<TxRequest> = (0..10)
+            .map(|i| req(i, "put", vec![format!("k{i}").into(), Value::Int(1)]))
+            .collect();
+        let out = s.run(&reqs);
+        // Every committed tx crosses at least Submit, Propose, ≥1 Endorse,
+        // Assemble, Order; every block adds Validate + Commit.
+        assert!(
+            out.report.events as usize >= 5 * out.report.committed + 2 * out.report.blocks,
+            "events {} too low",
+            out.report.events
+        );
     }
 }

@@ -8,6 +8,9 @@
 //! * [`time`] — a microsecond-resolution simulated clock ([`SimTime`],
 //!   [`SimDuration`]);
 //! * [`events`] — a deterministic event queue with stable FIFO tie-breaking;
+//! * [`des`] — the typed DES engine: targeted events (`{ at, kind, subject }`),
+//!   kind-priority-then-sequence tie-breaking, cancellable timers, and a
+//!   handler-driven runner (pop → advance clock → dispatch → schedule);
 //! * [`rng`] — seedable random-number streams so that every simulation run is
 //!   reproducible bit-for-bit;
 //! * [`dist`] — the samplers the paper's workload generator needs (Zipfian key
@@ -23,6 +26,7 @@
 //! Nothing here is blockchain specific; `fabric-sim` composes these pieces
 //! into the execute-order-validate pipeline.
 
+pub mod des;
 pub mod dist;
 pub mod events;
 pub mod pool;
@@ -31,6 +35,7 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use des::{DesQueue, Event, EventKind, Handler, TimerId};
 pub use dist::{DiscreteWeighted, Exponential, Zipf};
 pub use events::EventQueue;
 pub use pool::ThreadPool;

@@ -1,6 +1,7 @@
 //! Property tests for the DES primitives.
 
 use proptest::prelude::*;
+use sim_core::des::{DesQueue, EventKind};
 use sim_core::dist::{DiscreteWeighted, Exponential, Zipf};
 use sim_core::events::EventQueue;
 use sim_core::rng::SimRng;
@@ -33,6 +34,95 @@ proptest! {
             popped += 1;
         }
         prop_assert_eq!(popped, times.len());
+    }
+
+    /// The DES queue pops in nondecreasing timestamp order; events at the
+    /// same instant pop by kind priority first, schedule order second.
+    #[test]
+    fn des_queue_orders_by_time_kind_seq(
+        events in prop::collection::vec((0u64..500, 0u8..4), 1..200)
+    ) {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        struct Kind(u8);
+        impl EventKind for Kind {
+            fn priority(&self) -> u8 { self.0 }
+        }
+
+        let mut q: DesQueue<Kind, usize> = DesQueue::new();
+        for (i, &(t, k)) in events.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), Kind(k), i);
+        }
+        let mut last: Option<(u64, u8, usize)> = None;
+        let mut popped = 0usize;
+        while let Some(e) = q.pop() {
+            let (t, k) = events[e.subject];
+            prop_assert!(e.at >= SimTime::from_micros(t));
+            if let Some((lt, lk, li)) = last {
+                // Nondecreasing time; on equal times, nondecreasing kind
+                // priority; on equal (time, kind), FIFO by schedule order.
+                prop_assert!(lt <= t);
+                if lt == t {
+                    prop_assert!(lk <= k, "kind priority breaks the tie");
+                    if lk == k {
+                        prop_assert!(li < e.subject, "FIFO within a kind");
+                    }
+                }
+            }
+            last = Some((t, k, e.subject));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, events.len());
+        prop_assert_eq!(q.dispatched(), events.len() as u64);
+    }
+
+    /// Cancelled timers never fire: for any mix of plain events, timers,
+    /// and a subset of timers cancelled up front, exactly the live events
+    /// pop and no cancelled subject ever surfaces.
+    #[test]
+    fn des_cancelled_timers_never_fire(
+        events in prop::collection::vec((0u64..500, 0u8..2, 0u8..2), 1..150)
+    ) {
+        #[derive(Debug, Clone, Copy)]
+        struct K;
+        impl EventKind for K {
+            fn priority(&self) -> u8 { 0 }
+        }
+
+        let mut q: DesQueue<K, usize> = DesQueue::new();
+        let mut doomed = Vec::new();
+        let mut live = 0usize;
+        for (i, &(t, is_timer, cancel)) in events.iter().enumerate() {
+            let (is_timer, cancel) = (is_timer == 1, cancel == 1);
+            if is_timer {
+                let id = q.schedule_timer(SimTime::from_micros(t), K, i);
+                if cancel {
+                    doomed.push((i, id));
+                } else {
+                    live += 1;
+                }
+            } else {
+                q.schedule(SimTime::from_micros(t), K, i);
+                live += 1;
+            }
+        }
+        for &(_, id) in &doomed {
+            prop_assert!(q.cancel(id), "pending timers cancel exactly once");
+        }
+        prop_assert_eq!(q.len(), live);
+        let cancelled_subjects: std::collections::HashSet<usize> =
+            doomed.iter().map(|&(i, _)| i).collect();
+        let mut popped = 0usize;
+        while let Some(e) = q.pop() {
+            prop_assert!(
+                !cancelled_subjects.contains(&e.subject),
+                "cancelled timer {} fired", e.subject
+            );
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live);
+        for &(_, id) in &doomed {
+            prop_assert!(!q.cancel(id), "cancel after drain is a no-op");
+        }
     }
 
     /// FIFO server: jobs start no earlier than they arrive, never overlap,

@@ -31,5 +31,7 @@ pub mod spec;
 pub mod synthetic;
 
 pub use bundle::{VariantKind, VariantResolver, WorkloadBundle};
-pub use scenario::{ScenarioSpec, ScheduleSpec, SpecError, SpecTransform, WorkloadSpec};
+pub use scenario::{
+    ArrivalSpec, ScenarioSpec, ScheduleSpec, SpecError, SpecTransform, WorkloadSpec,
+};
 pub use spec::{ControlVariables, PolicyChoice, WorkloadType};

@@ -15,6 +15,9 @@
 //!   is expressible as data;
 //! * the **variants** — the prepared contract rewrites to install
 //!   ([`VariantKind`]), resolved through the workload's variant table;
+//! * the **arrival process** — how requests enter the network
+//!   ([`ArrivalSpec`]): the schedule's own closed-loop timestamps
+//!   (default), or an open-loop Poisson / uniform re-stamping;
 //! * the **network** — the full [`NetworkConfig`].
 //!
 //! [`ScenarioSpec::build`] lowers a spec back to a ready-to-run
@@ -34,6 +37,9 @@ use fabric_sim::config::NetworkConfig;
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::Value;
 use serde::{Deserialize, Serialize};
+use sim_core::dist::Exponential;
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -229,14 +235,101 @@ impl WorkloadSpec {
 /// The built-in scenario names [`ScenarioSpec::builtin`] accepts.
 pub const BUILTIN_NAMES: [&str; 6] = ["synthetic", "scm", "drm", "ehr", "dv", "lap"];
 
+/// RNG stream label for open-loop arrival re-stamping (disjoint from the
+/// generators' and the simulator's streams).
+const ARRIVAL_STREAM: u64 = 0xA771;
+
+/// How transactions enter the network when the spec is lowered to a
+/// schedule.
+///
+/// The paper measures with Caliper's **closed loop**: a fixed client fleet
+/// whose send timestamps the workload generator bakes into the schedule —
+/// that is [`ArrivalSpec::Closed`], the default, and it leaves the
+/// generated (or replayed) timestamps untouched. The **open-loop** modes
+/// instead re-stamp every request's `send_time` with an external arrival
+/// process, keeping the request sequence: the mix, keys, and invokers stay
+/// the generator's, only the injection times change. Under a sparse open
+/// loop the orderer's `block_timeout` starts winning the block-cut race
+/// against `block_count`, a regime a closed loop at generator rates never
+/// exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalSpec {
+    /// Keep the schedule's own send timestamps (the paper's closed loop).
+    #[default]
+    Closed,
+    /// Open-loop Poisson process: exponential inter-arrival gaps with the
+    /// given mean rate, sampled from an RNG stream derived from the spec
+    /// seed (so [`ScenarioSpec::with_seed`] varies the arrivals too).
+    Poisson {
+        /// Mean arrival rate, tx/s (positive, finite).
+        rate: f64,
+    },
+    /// Open-loop deterministic arrivals: one transaction every `gap`
+    /// seconds, starting at `gap`.
+    Uniform {
+        /// Inter-arrival gap, seconds (positive, finite).
+        gap: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Whether this arrival process re-stamps the schedule (anything but
+    /// the closed loop).
+    pub fn is_open(&self) -> bool {
+        !matches!(self, ArrivalSpec::Closed)
+    }
+
+    /// Re-stamp `requests` with this arrival process. The schedule's own
+    /// injection order (send time, then position — exactly how the
+    /// simulator sorts it) is preserved; only the timestamps change.
+    /// `Closed` is the identity.
+    pub fn restamp(&self, requests: &[TxRequest], seed: u64) -> Vec<TxRequest> {
+        if !self.is_open() {
+            return requests.to_vec();
+        }
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].send_time, i));
+        let mut gaps: Box<dyn FnMut() -> SimDuration> = match self {
+            ArrivalSpec::Closed => unreachable!("handled above"),
+            ArrivalSpec::Poisson { rate } => {
+                let dist = Exponential::with_mean(SimDuration::from_secs_f64(1.0 / rate));
+                let mut rng = SimRng::derive(seed, ARRIVAL_STREAM);
+                Box::new(move || dist.sample(&mut rng))
+            }
+            ArrivalSpec::Uniform { gap } => {
+                let gap = SimDuration::from_secs_f64(*gap);
+                Box::new(move || gap)
+            }
+        };
+        let mut t = SimTime::ZERO;
+        order
+            .into_iter()
+            .map(|i| {
+                t += gaps();
+                TxRequest {
+                    send_time: t,
+                    ..requests[i].clone()
+                }
+            })
+            .collect()
+    }
+}
+
 /// One fully described, serializable, replayable workload scenario. See
 /// the [module docs](self) for the shape and guarantees.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (below) rather than derived: a spec saved before
+/// the open-loop layer existed has no `arrival` field, and such JSON must
+/// keep parsing — a missing `arrival` means [`ArrivalSpec::Closed`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Display name (the built-in scenario name, or a user label).
     pub name: String,
     /// Schedule/genesis/contract production.
     pub workload: WorkloadSpec,
+    /// How transactions enter the network: the schedule's own closed-loop
+    /// timestamps, or an open-loop re-stamping ([`ArrivalSpec`]).
+    pub arrival: ArrivalSpec,
     /// Declarative schedule rewrites, applied in order after generation.
     pub transforms: Vec<SpecTransform>,
     /// Prepared contract rewrites to install (resolved as one set through
@@ -244,6 +337,43 @@ pub struct ScenarioSpec {
     pub variants: BTreeSet<VariantKind>,
     /// The network configuration the scenario runs under.
     pub network: NetworkConfig,
+}
+
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("arrival".to_string(), self.arrival.to_value()),
+            ("transforms".to_string(), self.transforms.to_value()),
+            ("variants".to_string(), self.variants.to_value()),
+            ("network".to_string(), self.network.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        if !matches!(v, serde::value::Value::Object(_)) {
+            return Err(serde::de::Error::expected("object (ScenarioSpec)", v));
+        }
+        let field = |name: &'static str| {
+            v.field(name)
+                .ok_or_else(|| serde::de::Error::missing_field(name))
+        };
+        Ok(ScenarioSpec {
+            name: Deserialize::from_value(field("name")?)?,
+            workload: Deserialize::from_value(field("workload")?)?,
+            // Pre-open-loop specs carry no arrival field: closed loop.
+            arrival: match v.field("arrival") {
+                Some(a) => Deserialize::from_value(a)?,
+                None => ArrivalSpec::Closed,
+            },
+            transforms: Deserialize::from_value(field("transforms")?)?,
+            variants: Deserialize::from_value(field("variants")?)?,
+            network: Deserialize::from_value(field("network")?)?,
+        })
+    }
 }
 
 /// Shorthand for [`SpecError::BadParameter`].
@@ -306,6 +436,7 @@ impl ScenarioSpec {
         Ok(ScenarioSpec {
             name: name.to_string(),
             workload,
+            arrival: ArrivalSpec::Closed,
             transforms: Vec::new(),
             variants: BTreeSet::new(),
             network,
@@ -348,6 +479,12 @@ impl ScenarioSpec {
     pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
         self.workload.set_seed(seed);
         self.network.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the arrival process ([`ArrivalSpec`]).
+    pub fn with_arrival(mut self, arrival: ArrivalSpec) -> ScenarioSpec {
+        self.arrival = arrival;
         self
     }
 
@@ -454,6 +591,18 @@ impl ScenarioSpec {
                 }
             }
         }
+        match &self.arrival {
+            ArrivalSpec::Closed => {}
+            ArrivalSpec::Poisson { rate } => check_rate("arrival.rate", *rate)?,
+            ArrivalSpec::Uniform { gap } => {
+                if !gap.is_finite() || *gap <= 0.0 {
+                    return Err(bad(
+                        "arrival.gap",
+                        format!("gap must be positive seconds, got {gap}"),
+                    ));
+                }
+            }
+        }
         for (i, t) in self.transforms.iter().enumerate() {
             match t {
                 SpecTransform::Throttle { rate } => {
@@ -527,6 +676,10 @@ impl ScenarioSpec {
         for transform in &self.transforms {
             let rewritten = transform.apply(&bundle.requests);
             bundle = bundle.with_requests(rewritten);
+        }
+        if self.arrival.is_open() {
+            let restamped = self.arrival.restamp(&bundle.requests, self.seed());
+            bundle = bundle.with_requests(restamped);
         }
         Ok((bundle.with_spec(self.clone()), self.network.clone()))
     }
@@ -604,6 +757,10 @@ pub fn freeze(
             genesis: bundle.genesis.clone(),
             requests: bundle.requests.clone(),
         }),
+        // The captured requests carry their final timestamps literally —
+        // including any open-loop re-stamping — so the frozen spec replays
+        // them as a closed loop.
+        arrival: ArrivalSpec::Closed,
         transforms: Vec::new(),
         variants: BTreeSet::new(),
         network: network.clone(),
@@ -749,6 +906,7 @@ mod tests {
                 genesis: vec![],
                 requests: vec![],
             }),
+            arrival: ArrivalSpec::Closed,
             transforms: vec![],
             variants: BTreeSet::new(),
             network: NetworkConfig::default(),
@@ -760,6 +918,142 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn missing_arrival_field_defaults_to_closed() {
+        // Specs saved before the open-loop layer carry no `arrival` field;
+        // strip it from fresh JSON and the spec must still parse as Closed.
+        let spec = ScenarioSpec::builtin("scm").unwrap();
+        let mut v = serde_json::value_from_str(&spec.to_json()).unwrap();
+        if let serde_json::Value::Object(fields) = &mut v {
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "arrival");
+            assert_eq!(fields.len(), before - 1, "fixture removed the field");
+        }
+        let back = ScenarioSpec::from_json(&v.render(false)).unwrap();
+        assert_eq!(back.arrival, ArrivalSpec::Closed);
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn open_loop_specs_round_trip_through_json() {
+        for arrival in [
+            ArrivalSpec::Poisson { rate: 75.0 },
+            ArrivalSpec::Uniform { gap: 0.02 },
+        ] {
+            let spec = ScenarioSpec::builtin("drm").unwrap().with_arrival(arrival);
+            let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec, "{arrival:?}");
+        }
+    }
+
+    #[test]
+    fn poisson_arrival_restamps_reproducibly() {
+        let spec = ScenarioSpec::builtin("synthetic")
+            .unwrap()
+            .with_transactions(300)
+            .with_arrival(ArrivalSpec::Poisson { rate: 50.0 });
+        let (open, _) = spec.build().unwrap();
+        let (closed, _) = ScenarioSpec::builtin("synthetic")
+            .unwrap()
+            .with_transactions(300)
+            .build()
+            .unwrap();
+        assert_eq!(open.len(), closed.len(), "re-stamping keeps the volume");
+        assert_ne!(
+            open.requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>(),
+            closed
+                .requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>(),
+            "open loop replaces the generator's timing"
+        );
+        assert!(
+            (open.offered_rate() - 50.0).abs() < 10.0,
+            "mean rate near the Poisson rate: {}",
+            open.offered_rate()
+        );
+        // Same seed → identical arrivals; new seed → different arrivals.
+        let (again, _) = spec.build().unwrap();
+        assert_eq!(
+            open.requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>(),
+            again
+                .requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>()
+        );
+        let (reseeded, _) = spec.clone().with_seed(7).build().unwrap();
+        assert_ne!(
+            open.requests.first().map(|r| r.send_time),
+            reseeded.requests.first().map(|r| r.send_time),
+            "with_seed varies the arrival process too"
+        );
+    }
+
+    #[test]
+    fn uniform_arrival_is_deterministic() {
+        let spec = ScenarioSpec::builtin("scm")
+            .unwrap()
+            .with_transactions(100)
+            .with_arrival(ArrivalSpec::Uniform { gap: 0.02 });
+        let (bundle, _) = spec.build().unwrap();
+        for (k, r) in bundle.requests.iter().enumerate() {
+            assert_eq!(
+                r.send_time,
+                SimTime::from_micros(20_000 * (k as u64 + 1)),
+                "tx {k} lands on the grid"
+            );
+        }
+        assert!((bundle.offered_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_arrival_parameters_are_rejected() {
+        for (arrival, field) in [
+            (ArrivalSpec::Poisson { rate: -1.0 }, "arrival.rate"),
+            (ArrivalSpec::Poisson { rate: f64::NAN }, "arrival.rate"),
+            (ArrivalSpec::Uniform { gap: 0.0 }, "arrival.gap"),
+            (ArrivalSpec::Uniform { gap: f64::INFINITY }, "arrival.gap"),
+        ] {
+            let spec = ScenarioSpec::builtin("dv").unwrap().with_arrival(arrival);
+            match spec.validate().unwrap_err() {
+                SpecError::BadParameter { field: f, .. } => assert_eq!(f, field),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_captures_open_loop_times_as_closed() {
+        let spec = ScenarioSpec::builtin("dv")
+            .unwrap()
+            .with_arrival(ArrivalSpec::Poisson { rate: 80.0 });
+        let (bundle, config) = spec.build().unwrap();
+        let frozen = freeze("dv-open", &bundle, &config).unwrap();
+        assert_eq!(frozen.arrival, ArrivalSpec::Closed);
+        let (replayed, _) = frozen.build().unwrap();
+        assert_eq!(
+            replayed
+                .requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>(),
+            bundle
+                .requests
+                .iter()
+                .map(|r| r.send_time)
+                .collect::<Vec<_>>(),
+            "the frozen schedule carries the re-stamped times literally"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use workload::scenario::{ScheduleSpec, BUILTIN_NAMES};
 use workload::spec::{PolicyChoice, WorkloadType};
-use workload::{ScenarioSpec, SpecError, SpecTransform, VariantKind, WorkloadSpec};
+use workload::{ArrivalSpec, ScenarioSpec, SpecError, SpecTransform, VariantKind, WorkloadSpec};
 
 /// A random but *valid* spec: start from a built-in, then perturb every
 /// layer (generator parameters, transforms, variants, network) within the
@@ -92,6 +92,13 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                         spec.variants.insert(*kind);
                     }
                 }
+                // Reuse the policy selector to also cover every arrival
+                // mode (independent layers; the pairing is irrelevant).
+                spec.arrival = match policy {
+                    0 => ArrivalSpec::Closed,
+                    1 => ArrivalSpec::Poisson { rate },
+                    _ => ArrivalSpec::Uniform { gap: 1.0 / rate },
+                };
                 spec.network.block_count = block_count;
                 spec.network.endorser_skew = share * 6.0;
                 spec
@@ -179,6 +186,7 @@ fn unknown_contract_names_are_typed_errors() {
             genesis: vec![],
             requests: vec![],
         }),
+        arrival: ArrivalSpec::Closed,
         transforms: vec![],
         variants: BTreeSet::new(),
         network: fabric_sim::config::NetworkConfig::default(),
