@@ -24,13 +24,13 @@
 //! (override with `BENCH_PLAN_OUT`) to start the perf trajectory; CI
 //! uploads the file as an artifact.
 
+use bench::wallclock::Stopwatch;
 use blockoptr::pipeline::BlockOptR;
 use blockoptr::plan::{MeasuredReport, OptimizationPlan, PlanConfig, PlanOutcome};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fabric_sim::config::NetworkConfig;
 use sim_core::pool;
 use std::hint::black_box;
-use std::time::Instant;
 use workload::{scm, ArrivalSpec, ScenarioSpec};
 
 const SEEDS: usize = 4;
@@ -69,7 +69,7 @@ fn time_execution(
     let mut secs: Vec<f64> = Vec::with_capacity(runs);
     let mut last = None;
     for _ in 0..runs {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         last = Some(black_box(plan.execute_with(bundle, config, plan_config)));
         secs.push(start.elapsed().as_secs_f64());
     }
@@ -160,7 +160,7 @@ fn bench_plan_parallel(c: &mut Criterion) {
     );
     let speedup = serial_secs / parallel_secs.max(1e-12);
 
-    let sim_start = Instant::now();
+    let sim_start = Stopwatch::start();
     let sim_runs = 3;
     let mut sim_events = 0u64;
     for _ in 0..sim_runs {
@@ -170,7 +170,7 @@ fn bench_plan_parallel(c: &mut Criterion) {
     let sim_tps = bundle.len() as f64 / sim_secs;
     let sim_events_per_sec = sim_events as f64 / sim_secs;
 
-    let open_start = Instant::now();
+    let open_start = Stopwatch::start();
     let mut open_timeout_cuts = 0usize;
     for _ in 0..sim_runs {
         let out = black_box(open_bundle.run(open_config.clone()));

@@ -67,10 +67,10 @@ fn main() {
     let outer = threads.min(selected.len()).max(1);
     ctx.plan_threads = (threads / outer).max(1);
 
-    let started = std::time::Instant::now();
+    let started = bench::wallclock::Stopwatch::start();
     let outputs = ThreadPool::new(outer).map(selected, |e| {
         eprintln!("▶ {} — {}", e.id, e.title);
-        let t0 = std::time::Instant::now();
+        let t0 = bench::wallclock::Stopwatch::start();
         let rendered = (e.run)(&ctx);
         (e, rendered, t0.elapsed().as_secs_f64())
     });

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod wallclock;
 
 pub use table::{pct, FigureTable};
 

@@ -8,6 +8,7 @@ use fabric_sim::report::SimReport;
 
 /// Percentage-change helper (positive = improvement for "higher is better").
 pub fn pct(before: f64, after: f64) -> f64 {
+    // detlint: allow(float-eq, reason = "guards the exact division-by-zero case; near-zero baselines legitimately produce huge percentages")
     if before == 0.0 {
         0.0
     } else {

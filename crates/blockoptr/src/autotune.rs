@@ -70,6 +70,7 @@ pub fn tune_from_rates(rates: &RateMetrics, window_secs: f64) -> TunedThresholds
     }
     // If no interval was healthy, fall back to the realized commit rate
     // (the pipeline's demonstrated capacity).
+    // detlint: allow(float-eq, reason = "sentinel: still the literal initializer iff no interval was healthy; healthy intervals force it strictly positive")
     if sustainable == 0.0 {
         sustainable = commit_rate;
     }

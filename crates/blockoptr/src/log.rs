@@ -239,11 +239,12 @@ impl BlockchainLog {
 
     /// The measurement window (first client send → last commit), seconds.
     pub fn window_secs(&self) -> f64 {
-        if self.is_empty() {
+        let (Some(first), Some(last)) = (
+            self.records().iter().map(|r| r.client_ts).min(),
+            self.records().iter().map(|r| r.commit_ts).max(),
+        ) else {
             return 0.0;
-        }
-        let first = self.records().iter().map(|r| r.client_ts).min().unwrap();
-        let last = self.records().iter().map(|r| r.commit_ts).max().unwrap();
+        };
         last.since(first).as_secs_f64()
     }
 

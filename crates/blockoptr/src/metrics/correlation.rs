@@ -237,7 +237,9 @@ impl CorrelationTracker {
         // again (any rewrite overwrites the entry), so purge it — both for
         // correctness (a fresh suffix scan has no such entries) and to keep
         // the maps bounded by the window.
+        // detlint: allow(hash-iter, reason = "retain predicate is per-entry and order-independent; no effect outside the entry")
         self.last_writer.retain(|_, pos| *pos >= base);
+        // detlint: allow(hash-iter, reason = "retain predicate is per-entry and order-independent; no effect outside the entry")
         self.prev_of_activity.retain(|_, pos| *pos >= base);
         let live = self.delta_deps.split_off(&base);
         for activity in std::mem::replace(&mut self.delta_deps, live).into_values() {

@@ -58,7 +58,7 @@ impl EndorserMetrics {
             .iter()
             .map(|(o, &c)| (o.clone(), c as f64 / total))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 

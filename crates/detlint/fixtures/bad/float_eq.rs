@@ -1,0 +1,8 @@
+// Fixture: exact equality against a float literal. Must trip `float-eq`.
+pub fn is_unset(rate: f64) -> bool {
+    rate == 0.0
+}
+
+pub fn is_sentinel(x: f64) -> bool {
+    x == -1.0
+}

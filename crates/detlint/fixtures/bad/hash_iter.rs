@@ -1,0 +1,11 @@
+// Fixture: iteration over a hash-ordered map feeds an accumulator whose
+// order of side effects is observable. Must trip `hash-iter`.
+use std::collections::HashMap;
+
+pub fn render(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+// Fixture: stdout/stderr writes from library code. Must trip `no-print`.
+pub fn announce(x: u64) {
+    println!("x = {x}");
+    eprintln!("also x = {x}");
+}

@@ -1,0 +1,5 @@
+// Fixture: wall-clock read outside the bench seam. Must trip `wall-clock`.
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,10 @@
+// why: index-based loop keeps the pairwise access pattern symmetric with
+// the paper's pseudocode; clippy's iterator form obscures it.
+#[allow(clippy::needless_range_loop)]
+pub fn sum(v: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..v.len() {
+        total += v[i];
+    }
+    total
+}

@@ -1,0 +1,10 @@
+// Fixture: epsilon comparison, plus a waived genuine sentinel check. Must
+// scan clean.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn is_unset(rate: f64) -> bool {
+    // detlint: allow(float-eq, reason = "sentinel: the value is either the literal default or computed strictly positive")
+    rate == 0.0
+}

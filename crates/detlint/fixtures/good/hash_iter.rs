@@ -1,0 +1,20 @@
+// Fixture: the three sanctioned shapes — BTree collections, point lookups
+// on hash maps, and a waived order-independent iteration. Must scan clean.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(ordered: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in ordered.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> u64 {
+    index.get(key).copied().unwrap_or(0)
+}
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    // detlint: allow(hash-iter, reason = "addition is commutative; no order-dependent effects")
+    counts.values().sum()
+}

@@ -1,0 +1,5 @@
+// Fixture: libraries return data; rendering is the caller's job. Must scan
+// clean.
+pub fn format_row(x: u64) -> String {
+    format!("x = {x}")
+}

@@ -1,0 +1,12 @@
+// Fixture: Option-returning APIs and invariant-stating expects. Must scan
+// clean.
+pub fn first(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+pub fn checked_first(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    *v.first().expect("emptiness checked above")
+}

@@ -1,0 +1,6 @@
+// Fixture: all randomness flows from an explicit seed parameter. Must scan
+// clean.
+pub fn pick(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}

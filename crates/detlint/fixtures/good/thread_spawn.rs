@@ -1,0 +1,9 @@
+// Fixture: unrelated `.spawn` methods (no std::thread in sight) and plain
+// iterator parallel-free code. Must scan clean.
+pub struct Launcher;
+
+impl Launcher {
+    pub fn spawn_job(&self, xs: &[u64]) -> Vec<u64> {
+        xs.iter().map(|x| x + 1).collect()
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: Duration as a value type is fine; only Instant/SystemTime reads
+// are seamed. Must scan clean.
+use std::time::Duration;
+
+pub fn double(d: Duration) -> Duration {
+    d * 2
+}

@@ -1,0 +1,708 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The scanner needs to tell code from non-code (line/block comments,
+//! string/char literals, raw strings) and to know which tokens live in test
+//! regions (`#[cfg(test)]` items, `mod tests { .. }` blocks) — everything
+//! else is plain token-pattern matching in the rules. This is *not* a
+//! parser: no precedence, no AST, no type information. Rules that need
+//! types (e.g. "is this receiver a `HashMap`?") work from declaration-site
+//! heuristics over the same token stream.
+
+use std::fmt;
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal; `float` is true for `1.0`, `1e-3`, `2f64`, ...
+    Number {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — kept distinct so it is never mistaken for a char.
+    Lifetime,
+    /// `// …` comment; `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` is true for `/** */`.
+    BlockComment {
+        /// Whether this is a doc comment (`/** … */` or `/*! … */`).
+        doc: bool,
+    },
+    /// Punctuation. Multi-char operators the rules care about (`==`, `!=`,
+    /// `::`, `->`, `=>`, `..`, `&&`, `||`, `<=`, `>=`) are single tokens;
+    /// everything else is one char per token.
+    Punct,
+}
+
+/// One lexed token with its position (1-based line/column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+    /// Whether the token sits inside a test region (`#[cfg(test)]` item or
+    /// a `mod tests`/`mod test` block). Filled by the lexer's test-region pass.
+    pub in_test: bool,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32, col: u32) -> Token {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+            col,
+            in_test: false,
+        }
+    }
+
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {:?} {:?}",
+            self.line, self.col, self.kind, self.text
+        )
+    }
+}
+
+const JOINED_PUNCT: &[&str] = &["==", "!=", "::", "->", "=>", "..", "&&", "||", "<=", ">="];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Cursor {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals simply run to
+/// end of input (the linter's job is to find hazards, not reject programs
+/// rustc already rejects).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out: Vec<Token> = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            cur.eat_while(&mut text, |c| c != '\n');
+            let doc =
+                text.starts_with("///") && !text.starts_with("////") || text.starts_with("//!");
+            out.push(Token::new(TokenKind::LineComment { doc }, text, line, col));
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            text.push(cur.bump().expect("peeked '/'"));
+            text.push(cur.bump().expect("peeked '*'"));
+            let doc = matches!(cur.peek(0), Some('*') | Some('!'))
+                // `/**/` is an empty plain comment, not a doc comment.
+                && !(cur.peek(0) == Some('*') && cur.peek(1) == Some('/'));
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push(cur.bump().expect("peeked"));
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push(cur.bump().expect("peeked"));
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    (Some(_), _) => {
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(Token::new(TokenKind::BlockComment { doc }, text, line, col));
+            continue;
+        }
+        if c == '"' {
+            out.push(lex_string(&mut cur, String::new(), line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            // Raw/byte/C string prefixes: the ident runs straight into a
+            // quote (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`) or into `#…"` for
+            // raw strings. `r#ident` (raw identifier) is NOT a string.
+            let prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+            if prefix {
+                if cur.peek(0) == Some('"') {
+                    out.push(lex_string(&mut cur, text, line, col));
+                    continue;
+                }
+                if cur.peek(0) == Some('#') {
+                    // Count '#'s; raw string if a quote follows, raw ident
+                    // (only `r#ident`, single '#') otherwise.
+                    let mut hashes = 0usize;
+                    while cur.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if cur.peek(hashes) == Some('"') {
+                        out.push(lex_raw_string(&mut cur, text, hashes, line, col));
+                        continue;
+                    }
+                    if text == "r" && cur.peek(1).map(is_ident_start).unwrap_or(false) {
+                        let mut raw = text;
+                        raw.push(cur.bump().expect("peeked '#'"));
+                        cur.eat_while(&mut raw, is_ident_continue);
+                        out.push(Token::new(TokenKind::Ident, raw, line, col));
+                        continue;
+                    }
+                }
+                if text == "b" && cur.peek(0) == Some('\'') {
+                    // Byte literal b'x'.
+                    let tok = lex_quote(&mut cur, line, col);
+                    out.push(Token::new(tok.kind, format!("b{}", tok.text), line, col));
+                    continue;
+                }
+            }
+            out.push(Token::new(TokenKind::Ident, text, line, col));
+            continue;
+        }
+        // Punctuation: try the joined two-char operators first.
+        let two: String = [c, cur.peek(1).unwrap_or('\0')].iter().collect();
+        if JOINED_PUNCT.contains(&two.as_str()) {
+            cur.bump();
+            cur.bump();
+            // `..=` and `...`: extend the `..` token.
+            let mut text = two;
+            if text == ".." {
+                if let Some(next @ ('=' | '.')) = cur.peek(0) {
+                    text.push(next);
+                    cur.bump();
+                }
+            }
+            out.push(Token::new(TokenKind::Punct, text, line, col));
+            continue;
+        }
+        cur.bump();
+        out.push(Token::new(TokenKind::Punct, c.to_string(), line, col));
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Lex a (possibly prefixed) escaped string starting at the opening quote.
+fn lex_string(cur: &mut Cursor, mut text: String, line: u32, col: u32) -> Token {
+    text.push(cur.bump().expect("peeked '\"'"));
+    loop {
+        match cur.peek(0) {
+            Some('\\') => {
+                text.push(cur.bump().expect("peeked"));
+                if cur.peek(0).is_some() {
+                    text.push(cur.bump().expect("peeked"));
+                }
+            }
+            Some('"') => {
+                text.push(cur.bump().expect("peeked"));
+                break;
+            }
+            Some(_) => text.push(cur.bump().expect("peeked")),
+            None => break,
+        }
+    }
+    Token::new(TokenKind::Str, text, line, col)
+}
+
+/// Lex a raw string `r#…#"…"#…#` given the number of leading hashes.
+fn lex_raw_string(cur: &mut Cursor, mut text: String, hashes: usize, line: u32, col: u32) -> Token {
+    for _ in 0..hashes {
+        text.push(cur.bump().expect("counted '#'"));
+    }
+    text.push(cur.bump().expect("peeked '\"'"));
+    'outer: loop {
+        match cur.peek(0) {
+            Some('"') => {
+                // Close only if followed by `hashes` '#'s.
+                for i in 0..hashes {
+                    if cur.peek(1 + i) != Some('#') {
+                        text.push(cur.bump().expect("peeked"));
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..=hashes {
+                    text.push(cur.bump().expect("peeked"));
+                }
+                break;
+            }
+            Some(_) => text.push(cur.bump().expect("peeked")),
+            None => break,
+        }
+    }
+    Token::new(TokenKind::Str, text, line, col)
+}
+
+/// Lex something starting with `'`: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("peeked '\''"));
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            text.push(cur.bump().expect("peeked"));
+            if cur.peek(0).is_some() {
+                text.push(cur.bump().expect("peeked"));
+            }
+            // `\u{…}` and friends: run to the closing quote.
+            while let Some(ch) = cur.peek(0) {
+                text.push(cur.bump().expect("peeked"));
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Token::new(TokenKind::Char, text, line, col)
+        }
+        Some(ch) if is_ident_start(ch) => {
+            if cur.peek(1) == Some('\'') {
+                // 'a'
+                text.push(cur.bump().expect("peeked"));
+                text.push(cur.bump().expect("peeked"));
+                Token::new(TokenKind::Char, text, line, col)
+            } else {
+                // Lifetime: 'ident (no closing quote).
+                cur.eat_while(&mut text, is_ident_continue);
+                Token::new(TokenKind::Lifetime, text, line, col)
+            }
+        }
+        Some(_) => {
+            // '(' and similar single-char literals.
+            text.push(cur.bump().expect("peeked"));
+            if cur.peek(0) == Some('\'') {
+                text.push(cur.bump().expect("peeked"));
+            }
+            Token::new(TokenKind::Char, text, line, col)
+        }
+        None => Token::new(TokenKind::Char, text, line, col),
+    }
+}
+
+/// Lex a numeric literal, deciding integer vs float.
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+        text.push(cur.bump().expect("peeked"));
+        text.push(cur.bump().expect("peeked"));
+        cur.eat_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+        // Type suffix (u8, i64, usize…).
+        cur.eat_while(&mut text, is_ident_continue);
+        return Token::new(TokenKind::Number { float: false }, text, line, col);
+    }
+    cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+    // Fractional part: a '.' followed by a digit, or a lone trailing '.'
+    // not followed by another '.' (range) or an identifier (method call).
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some(d) if d.is_ascii_digit() => {
+                float = true;
+                text.push(cur.bump().expect("peeked '.'"));
+                cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            }
+            Some('.') => {}
+            Some(c) if is_ident_start(c) => {}
+            _ => {
+                float = true;
+                text.push(cur.bump().expect("peeked '.'"));
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur
+            .peek(digit_at)
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            float = true;
+            text.push(cur.bump().expect("peeked e"));
+            if sign {
+                text.push(cur.bump().expect("peeked sign"));
+            }
+            cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Suffix: `1f64` is a float even without a dot.
+    let before_suffix = text.len();
+    cur.eat_while(&mut text, is_ident_continue);
+    if text[before_suffix..].starts_with('f') {
+        float = true;
+    }
+    Token::new(TokenKind::Number { float }, text, line, col)
+}
+
+/// Mark tokens inside test regions: any item annotated `#[cfg(test)]` (or
+/// any `cfg(...)` whose argument list mentions `test`), and any
+/// `mod tests { … }` / `mod test { … }` block.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let n = tokens.len();
+    let mut i = 0usize;
+    while i < n {
+        if let Some((attr_end, is_test)) = parse_attr(tokens, i) {
+            if is_test {
+                // Skip any further attributes / doc comments, then mark the
+                // item that follows.
+                let mut j = attr_end;
+                loop {
+                    if j < n && tokens[j].is_comment() {
+                        j += 1;
+                        continue;
+                    }
+                    match parse_attr(tokens, j) {
+                        Some((next_end, _)) => j = next_end,
+                        None => break,
+                    }
+                }
+                let item_end = item_extent(tokens, j);
+                for t in tokens[i..item_end].iter_mut() {
+                    t.in_test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        if tokens[i].is_ident("mod")
+            && i + 1 < n
+            && matches!(tokens[i + 1].text.as_str(), "tests" | "test")
+            && tokens[i + 1].kind == TokenKind::Ident
+        {
+            let item_end = item_extent(tokens, i);
+            for t in tokens[i..item_end].iter_mut() {
+                t.in_test = true;
+            }
+            i = item_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// If `tokens[i]` starts an attribute `#[…]` / `#![…]`, return
+/// `(index past the closing bracket, whether it is a cfg-test attribute)`.
+fn parse_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if !tokens.get(i)?.is_punct("#") {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.is_punct("!") {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct("[") {
+        return None;
+    }
+    let close = matching_bracket(tokens, j, "[", "]")?;
+    let body = &tokens[j + 1..close];
+    let is_cfg = body.first().map(|t| t.is_ident("cfg")).unwrap_or(false);
+    let mentions_test = is_cfg && body.iter().any(|t| t.is_ident("test"));
+    Some((close + 1, mentions_test))
+}
+
+/// The extent of the item starting at `i`: through the matching `}` of its
+/// first block, or through a terminating `;` if one comes first (e.g.
+/// `#[cfg(test)] use …;`, `mod tests;`).
+fn item_extent(tokens: &[Token], i: usize) -> usize {
+    let n = tokens.len();
+    let mut j = i;
+    let mut depth_round = 0i32;
+    let mut depth_square = 0i32;
+    while j < n {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth_round += 1,
+                ")" => depth_round -= 1,
+                "[" => depth_square += 1,
+                "]" => depth_square -= 1,
+                ";" if depth_round == 0 && depth_square == 0 => return j + 1,
+                "{" if depth_round == 0 && depth_square == 0 => {
+                    return matching_bracket(tokens, j, "{", "}")
+                        .map(|c| c + 1)
+                        .unwrap_or(n);
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Index of the bracket matching `tokens[open_idx]` (which must be `open`).
+fn matching_bracket(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokenKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = kinds(r##"let x = "a // not comment"; // real r"raw" comment"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not comment")));
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::LineComment { .. }))
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].1.contains("raw"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"she said "hi" // x"#; let t = 1;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("said"));
+        assert!(
+            toks.iter().any(|(_, t)| t == "t"),
+            "code after the raw string lexes"
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::LineComment { .. })));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ let x = 1;");
+        assert!(matches!(toks[0].0, TokenKind::BlockComment { .. }));
+        assert!(toks[0].1.contains("still"));
+        assert!(toks.iter().any(|(_, t)| t == "x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let toks = kinds("let a = 1.0; let b = 1; let c = 1e-3; let d = 2f64; let e = 0x1F; let f = 1..2; let g = x.0;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Number { float: true }))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-3", "2f64"]);
+    }
+
+    #[test]
+    fn joined_operators() {
+        let toks = kinds("a == b != c :: d -> e => f .. g ..= h");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>", "..", "..="]);
+    }
+
+    #[test]
+    fn cfg_test_marks_the_following_item() {
+        let src =
+            "fn live() { a(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b(); }\n}\nfn live2() {}";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).expect("a");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        let l2 = toks.iter().find(|t| t.is_ident("live2")).expect("live2");
+        assert!(!a.in_test);
+        assert!(b.in_test);
+        assert!(!l2.in_test);
+    }
+
+    #[test]
+    fn bare_mod_tests_marks_block() {
+        let src = "mod tests { fn t() { inner(); } } fn after() {}";
+        let toks = lex(src);
+        assert!(
+            toks.iter()
+                .find(|t| t.is_ident("inner"))
+                .expect("inner")
+                .in_test
+        );
+        assert!(
+            !toks
+                .iter()
+                .find(|t| t.is_ident("after"))
+                .expect("after")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let toks = lex(src);
+        assert!(
+            toks.iter()
+                .find(|t| t.is_ident("HashMap"))
+                .expect("hm")
+                .in_test
+        );
+        assert!(
+            !toks
+                .iter()
+                .find(|t| t.is_ident("live"))
+                .expect("live")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attrs() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { x: u8 }\nfn live() {}";
+        let toks = lex(src);
+        assert!(toks.iter().find(|t| t.is_ident("x")).expect("x").in_test);
+        assert!(
+            !toks
+                .iter()
+                .find(|t| t.is_ident("live"))
+                .expect("live")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

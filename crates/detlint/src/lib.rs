@@ -1,0 +1,401 @@
+//! # detlint
+//!
+//! Project-specific static analysis for the BlockOptR reproduction: the
+//! determinism and robustness invariants the golden tests only *sample*
+//! (byte-identical `SimOutput` at any thread count, sim-time-only logic in
+//! the DES core, panic-free libraries, spec → bundle → spec identity) are
+//! enforced here as source-level lint rules, so the hazard classes are
+//! provably absent rather than merely unobserved on two seeds and two pool
+//! widths.
+//!
+//! The architecture deliberately mirrors `blockoptr::recommend::rules`:
+//! a [`RuleSet`] registry of one-module-per-rule [`LintRule`]s, findings
+//! attributed by stable kebab-case id, per-rule disable — but the input is
+//! the workspace source tree, lexed by a hand-rolled, dependency-free
+//! Rust lexer ([`lexer`]) that understands comments, strings, raw strings,
+//! and `#[cfg(test)]` / `mod tests` suppression.
+//!
+//! Individual sites opt out with an inline waiver that **must** carry a
+//! reason:
+//!
+//! ```text
+//! // detlint: allow(hash-iter, reason = "retain predicate is order-independent")
+//! ```
+//!
+//! A waiver without a reason (or with an empty one) is itself a finding
+//! under the always-on `waiver-syntax` pseudo-rule.
+//!
+//! ## Adding a rule
+//!
+//! Implement [`LintRule`] and register it — same shape as plugging a custom
+//! recommendation rule into the analyzer:
+//!
+//! ```
+//! use detlint::{Finding, LintRule, RuleCtx, RuleSet, Scanner, SourceFile};
+//! use std::sync::Arc;
+//!
+//! /// A deployment-specific rule: forbid `todo!()` anywhere.
+//! #[derive(Debug)]
+//! struct NoTodo;
+//!
+//! impl LintRule for NoTodo {
+//!     fn id(&self) -> &'static str {
+//!         "no-todo"
+//!     }
+//!     fn summary(&self) -> &'static str {
+//!         "todo!() must not ship"
+//!     }
+//!     fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+//!         let mut out = Vec::new();
+//!         for i in 0..ctx.file.code.len() {
+//!             let t = &ctx.file.tokens[ctx.file.code[i]];
+//!             if t.is_ident("todo") && !t.in_test {
+//!                 out.push(Finding::at(self, ctx, t.line, t.col, "unfinished code".into()));
+//!             }
+//!         }
+//!         out
+//!     }
+//! }
+//!
+//! let rules = RuleSet::determinism().with_rule(Arc::new(NoTodo));
+//! let scanner = Scanner::new(rules);
+//! let file = SourceFile::parse("crates/fabric-sim/src/x.rs", "fn f() { todo!() }");
+//! let report = scanner.scan_sources([&file]);
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "no-todo");
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use rules::{Finding, LintRule, RuleCtx, RuleSet};
+pub use source::{FileClass, SourceFile, Waiver};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The id under which malformed waiver comments are reported. Always on:
+/// it cannot be disabled or waived (a broken waiver must never silence
+/// itself).
+pub const WAIVER_SYNTAX: &str = "waiver-syntax";
+
+/// Outcome of one scan.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of well-formed waivers encountered (applied or not).
+    pub waivers: usize,
+}
+
+impl Report {
+    /// Whether the scan found nothing.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering (one block per finding plus a summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "detlint: clean — {} file(s), {} waiver(s)\n",
+                self.files_scanned, self.waivers
+            ));
+        } else {
+            out.push_str(&format!(
+                "detlint: {} finding(s) in {} file(s) ({} waiver(s) applied elsewhere)\n",
+                self.findings.len(),
+                self.files_scanned,
+                self.waivers
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering (deterministic key order, sorted
+    /// findings).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"crate\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.rule),
+                json_escape(&f.krate),
+                json_escape(&f.message),
+                json_escape(&f.snippet),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"waivers\":{}}}",
+            self.files_scanned, self.waivers
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Directory names never scanned: third-party shims, build output, VCS
+/// internals, and the linter's own known-bad fixtures.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "node_modules"];
+
+/// The scan driver: a [`RuleSet`] applied over parsed sources, with waiver
+/// filtering and per-rule finalization.
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    rules: RuleSet,
+}
+
+impl Scanner {
+    /// A scanner over `rules`.
+    pub fn new(rules: RuleSet) -> Scanner {
+        Scanner { rules }
+    }
+
+    /// The default scanner: the full determinism catalogue.
+    pub fn determinism() -> Scanner {
+        Scanner::new(RuleSet::determinism())
+    }
+
+    /// Scan already-parsed sources. Waived findings are dropped, rules'
+    /// [`finalize`](LintRule::finalize) hooks run over the survivors, and
+    /// malformed waivers surface as [`WAIVER_SYNTAX`] findings.
+    pub fn scan_sources<'a>(&self, files: impl IntoIterator<Item = &'a SourceFile>) -> Report {
+        let mut per_rule: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        let mut extra: Vec<Finding> = Vec::new();
+        let mut files_scanned = 0usize;
+        let mut waivers = 0usize;
+        for file in files {
+            files_scanned += 1;
+            waivers += file.waiver_list.len();
+            let ctx = RuleCtx { file };
+            for rule in self.rules.enabled() {
+                for finding in rule.check(&ctx) {
+                    if !file.is_waived(rule.id(), finding.line) {
+                        per_rule
+                            .entry(finding.rule.clone())
+                            .or_default()
+                            .push(finding);
+                    }
+                }
+            }
+            for bad in &file.bad_waivers {
+                extra.push(Finding {
+                    file: file.path.clone(),
+                    line: bad.line,
+                    col: bad.col,
+                    rule: WAIVER_SYNTAX.to_string(),
+                    krate: file.krate.clone(),
+                    message: format!(
+                        "malformed waiver: {} — syntax is `detlint: allow(rule-id, reason = \"…\")`",
+                        bad.problem
+                    ),
+                    snippet: file.line_text(bad.line).trim().to_string(),
+                });
+            }
+        }
+        let mut findings: Vec<Finding> = Vec::new();
+        for rule in self.rules.enabled() {
+            if let Some(fs) = per_rule.remove(rule.id()) {
+                findings.extend(rule.finalize(fs));
+            }
+        }
+        // Findings of rules no longer in the registry (defensive) plus the
+        // always-on waiver-syntax findings.
+        for (_, fs) in per_rule {
+            findings.extend(fs);
+        }
+        findings.extend(extra);
+        findings.sort();
+        Report {
+            findings,
+            files_scanned,
+            waivers,
+        }
+    }
+
+    /// Walk `root`, parse every `.rs` file (skipping vendor/, target/, fixtures/, .git), scan.
+    pub fn scan_tree(&self, root: &Path) -> io::Result<Report> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, root, &mut paths)?;
+        paths.sort();
+        let mut sources = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let contents = std::fs::read_to_string(root.join(p))?;
+            sources.push(SourceFile::parse(
+                &p.to_string_lossy().replace('\\', "/"),
+                &contents,
+            ));
+        }
+        Ok(self.scan_sources(sources.iter()))
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| io::Error::other("path not under scan root"))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the workspace root (the first directory
+/// whose `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Run the committed fixture suite: every `bad/<rule>.rs` must trip the
+/// rule its filename names, every `good/<rule>.rs` must scan clean
+/// (waivers included). Returns a human-readable transcript, or the same
+/// transcript as an error when any expectation fails.
+pub fn fixtures_selftest(fixtures_dir: &Path, rules: &RuleSet) -> Result<String, String> {
+    let scanner = Scanner::new(rules.clone());
+    let mut out = String::new();
+    let mut failed = false;
+    for (sub, expect_bad) in [("bad", true), ("good", false)] {
+        let dir = fixtures_dir.join(sub);
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "rs").unwrap_or(false))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_default();
+            let rule_id = stem.replace('_', "-");
+            let contents = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            // Fixtures parse under a synthetic library path so every rule
+            // sees its strictest scope.
+            let file = SourceFile::parse(&format!("{sub}/{stem}.rs"), &contents);
+            let report = scanner.scan_sources([&file]);
+            let hits = report.findings.iter().filter(|f| f.rule == rule_id).count();
+            let ok = if expect_bad { hits > 0 } else { report.clean() };
+            if !ok {
+                failed = true;
+            }
+            out.push_str(&format!(
+                "{} {}/{}.rs — {} finding(s) of `{}`, {} total\n",
+                if ok { "PASS" } else { "FAIL" },
+                sub,
+                stem,
+                hits,
+                rule_id,
+                report.findings.len()
+            ));
+            if !ok && !report.findings.is_empty() {
+                for f in &report.findings {
+                    out.push_str(&format!(
+                        "    unexpected: {}:{} [{}] {}\n",
+                        f.line, f.col, f.rule, f.message
+                    ));
+                }
+            }
+        }
+    }
+    if failed {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let file = SourceFile::parse(
+            "crates/fabric-sim/src/x.rs",
+            "fn f() { println!(\"a\\\"b\"); }",
+        );
+        let scanner = Scanner::determinism();
+        let a = scanner.scan_sources([&file]).to_json();
+        let b = scanner.scan_sources([&file]).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"rule\":\"no-print\""), "{a}");
+        assert!(a.contains("\\\""), "escapes quotes: {a}");
+    }
+
+    #[test]
+    fn disabled_rule_is_silent() {
+        let file = SourceFile::parse("crates/fabric-sim/src/x.rs", "fn f() { println!(\"x\"); }");
+        let on = Scanner::determinism().scan_sources([&file]);
+        let off = Scanner::new(RuleSet::determinism().without("no-print")).scan_sources([&file]);
+        assert_eq!(on.findings.len(), 1);
+        assert!(off.clean());
+    }
+
+    #[test]
+    fn waiver_syntax_cannot_be_waived() {
+        let src = "// detlint: allow(no-print)\nfn f() {}\n";
+        let file = SourceFile::parse("crates/fabric-sim/src/x.rs", src);
+        let report = Scanner::determinism().scan_sources([&file]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, WAIVER_SYNTAX);
+    }
+}

@@ -1,0 +1,77 @@
+//! `allow-justify`: every `#[allow(...)]` carries a justification comment.
+//!
+//! An unexplained `#[allow]` is a silenced warning with no expiry date:
+//! nobody can tell whether the suppression is still needed or was papering
+//! over a real problem. The paper's own position — rule-based analysis
+//! beats opaque judgment — applies to suppressions too: keep them, but make
+//! each one state its case. A plain (non-doc) comment on the attribute's
+//! line or the line directly above satisfies the rule; doc comments do not
+//! count, because they document the *item*, not the suppression.
+
+use crate::rules::{Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct AllowJustify;
+
+impl LintRule for AllowJustify {
+    fn id(&self) -> &'static str {
+        "allow-justify"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every #[allow(...)] needs a justification comment on or above it"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.class == FileClass::Test {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        let n = file.code.len();
+        for ci in 0..n {
+            let Some(hash) = super::code_tok(file, ci) else {
+                continue;
+            };
+            if hash.in_test || !hash.is_punct("#") {
+                continue;
+            }
+            let mut j = ci + 1;
+            if super::code_tok(file, j)
+                .map(|t| t.is_punct("!"))
+                .unwrap_or(false)
+            {
+                j += 1;
+            }
+            if !super::code_tok(file, j)
+                .map(|t| t.is_punct("["))
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            if !super::code_tok(file, j + 1)
+                .map(|t| t.is_ident("allow"))
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            let line = hash.line;
+            let justified = file.has_plain_comment_on(line)
+                || (line > 1 && file.has_plain_comment_on(line - 1));
+            if !justified {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    line,
+                    hash.col,
+                    "#[allow(...)] without a justification comment; add `// why:` on or \
+                     directly above the attribute"
+                        .to_string(),
+                ));
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,73 @@
+//! `float-eq`: no `==`/`!=` against floating-point literals outside tests.
+//!
+//! Exact float equality is almost always a latent robustness bug: a value
+//! that went through any arithmetic stops comparing equal, silently
+//! flipping a branch. Rates, shares, and thresholds in this workspace are
+//! all `f64`. Compare with an epsilon, compare the integer source values,
+//! or — for genuine sentinel checks like "was this ever set" against a
+//! literal zero — waive with the reason the value cannot have been
+//! computed.
+//!
+//! Without type inference the rule keys on literals: a float literal
+//! (`0.0`, `1e-3`, `2f64`) directly on either side of `==`/`!=` fires.
+
+use crate::lexer::TokenKind;
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct FloatEq;
+
+impl LintRule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no ==/!= against float literals outside tests"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.class == FileClass::Test {
+            return Vec::new();
+        }
+        let is_float = |t: Option<&crate::lexer::Token>| {
+            t.map(|t| matches!(t.kind, TokenKind::Number { float: true }))
+                .unwrap_or(false)
+        };
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(op) = code_tok(file, ci) else {
+                continue;
+            };
+            if op.in_test || !(op.is_punct("==") || op.is_punct("!=")) {
+                continue;
+            }
+            let prev = ci.checked_sub(1).and_then(|i| code_tok(file, i));
+            let mut next_at = ci + 1;
+            // Skip a unary minus: `x == -1.0`.
+            if code_tok(file, next_at)
+                .map(|t| t.is_punct("-"))
+                .unwrap_or(false)
+            {
+                next_at += 1;
+            }
+            if is_float(prev) || is_float(code_tok(file, next_at)) {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    op.line,
+                    op.col,
+                    format!(
+                        "exact float comparison `{}` against a literal; compare with an \
+                         epsilon or waive with the reason exactness is guaranteed",
+                        op.text
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}

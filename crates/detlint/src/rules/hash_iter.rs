@@ -1,0 +1,243 @@
+//! `hash-iter`: no `HashMap`/`HashSet` **iteration** in determinism-critical
+//! code.
+//!
+//! The entire reproduction promises byte-identical `SimOutput` (and
+//! byte-identical windowed snapshots) at any thread count and across runs.
+//! Hash iteration order is randomized per process in the general ecosystem
+//! and unspecified even here, so a single unordered walk feeding an event
+//! queue, a report, or serialized output breaks the guarantee in ways the
+//! sampled golden tests may not catch. Point lookups (`get`, `contains`,
+//! `insert`, `remove`, `entry`, `len`) are fine — only *iteration* is
+//! order-revealing.
+//!
+//! Detection is declaration-site driven (no type inference): a binding or
+//! field whose declared type mentions `HashMap`/`HashSet`, or that is
+//! initialized from `HashMap::…`/`HashSet::…`, is considered hash-typed;
+//! iterating method calls on it (`iter`, `keys`, `values`, `drain`,
+//! `retain`, …) and `for … in` loops over it are flagged — unless the same
+//! statement visibly re-establishes an order (`sort*`, collecting into a
+//! `BTreeMap`/`BTreeSet`), or the site carries a waiver explaining why the
+//! iteration order provably cannot matter.
+
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+use std::collections::BTreeSet;
+
+/// Methods that reveal iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Idents whose presence later in the statement re-establishes an order.
+const ORDER_RESTORERS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct HashIter;
+
+impl LintRule for HashIter {
+    fn id(&self) -> &'static str {
+        "hash-iter"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no HashMap/HashSet iteration in determinism-critical code unless sorted or waived"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        // Determinism-critical scope: library code everywhere but the bench
+        // harness (which never feeds simulation state).
+        if file.class != FileClass::Library || file.krate == "bench" {
+            return Vec::new();
+        }
+        let bound = hash_bound_idents(ctx);
+        if bound.is_empty() {
+            return Vec::new();
+        }
+
+        let mut findings = Vec::new();
+        let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let n = file.code.len();
+        for ci in 0..n {
+            let Some(t) = code_tok(file, ci) else {
+                continue;
+            };
+            if t.in_test {
+                continue;
+            }
+            // `name.iter()` and friends.
+            if t.kind == crate::lexer::TokenKind::Ident && bound.contains(t.text.as_str()) {
+                let dot = code_tok(file, ci + 1)
+                    .map(|t| t.is_punct("."))
+                    .unwrap_or(false);
+                let method = code_tok(file, ci + 2);
+                if dot {
+                    if let Some(m) = method {
+                        if ITER_METHODS.contains(&m.text.as_str())
+                            && !statement_restores_order(ctx, ci)
+                            && seen.insert((t.line, t.col))
+                        {
+                            findings.push(Finding::at(
+                                self,
+                                ctx,
+                                t.line,
+                                t.col,
+                                format!(
+                                    "iteration over hash-ordered `{}` (.{}()) in determinism-critical code; \
+                                     use a BTree collection, sort the result, or waive with a reason",
+                                    t.text, m.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            // `for pat in …name…` loops.
+            if t.is_ident("for") {
+                if let Some(in_at) = (ci + 1..(ci + 24).min(n))
+                    .find(|&j| code_tok(file, j).map(|t| t.is_ident("in")).unwrap_or(false))
+                {
+                    for j in in_at + 1..(in_at + 16).min(n) {
+                        let Some(e) = code_tok(file, j) else { break };
+                        if e.is_punct("{") {
+                            break;
+                        }
+                        if e.kind == crate::lexer::TokenKind::Ident
+                            && bound.contains(e.text.as_str())
+                            && !statement_restores_order(ctx, j)
+                            && seen.insert((e.line, e.col))
+                        {
+                            findings.push(Finding::at(
+                                self,
+                                ctx,
+                                e.line,
+                                e.col,
+                                format!(
+                                    "`for` loop over hash-ordered `{}` in determinism-critical code; \
+                                     use a BTree collection, sort first, or waive with a reason",
+                                    e.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Pass 1: names declared (or initialized) as `HashMap`/`HashSet`.
+fn hash_bound_idents(ctx: &RuleCtx<'_>) -> BTreeSet<String> {
+    let file = ctx.file;
+    let mut bound = BTreeSet::new();
+    let n = file.code.len();
+    for ci in 0..n {
+        let Some(t) = code_tok(file, ci) else {
+            continue;
+        };
+        if t.kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        // `name: …HashMap<…>…` (fields, typed lets, fn params).
+        if code_tok(file, ci + 1)
+            .map(|p| p.is_punct(":"))
+            .unwrap_or(false)
+            && type_window_mentions_hash(ctx, ci + 2)
+        {
+            bound.insert(t.text.clone());
+        }
+        // `let [mut] name = …HashMap::…` / `HashSet::…`.
+        if t.is_ident("let") {
+            let mut j = ci + 1;
+            if code_tok(file, j)
+                .map(|t| t.is_ident("mut"))
+                .unwrap_or(false)
+            {
+                j += 1;
+            }
+            let Some(name) = code_tok(file, j) else {
+                continue;
+            };
+            if name.kind != crate::lexer::TokenKind::Ident {
+                continue;
+            }
+            // Find `=` before the statement ends, then look for Hash…::.
+            for k in j + 1..(j + 40).min(n) {
+                let Some(tk) = code_tok(file, k) else { break };
+                if tk.is_punct(";") {
+                    break;
+                }
+                if (tk.is_ident("HashMap") || tk.is_ident("HashSet"))
+                    && code_tok(file, k + 1)
+                        .map(|p| p.is_punct("::"))
+                        .unwrap_or(false)
+                {
+                    bound.insert(name.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    bound
+}
+
+/// Whether the type expression starting at code index `start` mentions
+/// `HashMap`/`HashSet` before the binding ends (`,`/`)`/`;`/`=`/`{` at
+/// angle-depth 0).
+fn type_window_mentions_hash(ctx: &RuleCtx<'_>, start: usize) -> bool {
+    let file = ctx.file;
+    let mut angle = 0i32;
+    for j in start..(start + 24).min(file.code.len()) {
+        let Some(t) = code_tok(file, j) else {
+            return false;
+        };
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if t.kind == crate::lexer::TokenKind::Ident => return true,
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "," | ")" | ";" | "=" | "{" if angle <= 0 => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether the rest of the statement containing code index `ci` visibly
+/// re-establishes an order (sorting, collecting into a BTree collection).
+fn statement_restores_order(ctx: &RuleCtx<'_>, ci: usize) -> bool {
+    let file = ctx.file;
+    for j in ci + 1..(ci + 60).min(file.code.len()) {
+        let Some(t) = code_tok(file, j) else {
+            return false;
+        };
+        // `{` ends the window too: a sort inside a loop/closure body does
+        // not order the iteration that produced the elements.
+        if t.is_punct(";") || t.is_punct("{") {
+            return false;
+        }
+        if t.kind == crate::lexer::TokenKind::Ident && ORDER_RESTORERS.contains(&t.text.as_str()) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,181 @@
+//! The pluggable lint-rule engine: [`LintRule`], [`RuleCtx`], [`Finding`],
+//! and the [`RuleSet`] registry.
+//!
+//! Deliberately the same architecture as the recommendation engine in
+//! `blockoptr::recommend::rules` — one module per rule, an ordered
+//! registry with per-rule disable, findings attributed by stable kebab-case
+//! rule id — but pointed at the *source tree* instead of a blockchain log:
+//! the invariants the golden tests sample dynamically (byte-identical
+//! output at any thread count, sim-time-only logic, panic-free libraries)
+//! are proved absent as hazard classes, not just unobserved.
+
+pub mod allow_justify;
+pub mod float_eq;
+pub mod hash_iter;
+pub mod no_print;
+pub mod no_unwrap;
+pub mod nondet_seam;
+pub mod thread_spawn;
+pub mod wall_clock;
+
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a rule may look at for one file.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleCtx<'a> {
+    /// The lexed, classified file under scan.
+    pub file: &'a SourceFile,
+}
+
+/// One diagnostic: where, which rule, and what is wrong.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Id of the producing rule.
+    pub rule: String,
+    /// Crate the file belongs to.
+    pub krate: String,
+    /// What is wrong (one sentence, actionable).
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// A finding by `rule` at `line:col` of `ctx`'s file.
+    pub fn at(
+        rule: &dyn LintRule,
+        ctx: &RuleCtx<'_>,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Finding {
+        Finding {
+            file: ctx.file.path.clone(),
+            line,
+            col,
+            rule: rule.id().to_string(),
+            krate: ctx.file.krate.clone(),
+            message,
+            snippet: ctx.file.line_text(line).trim().to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+/// A pluggable source-level detector.
+///
+/// Implementations must be deterministic and side-effect free: the scanner
+/// may evaluate rules over files in any grouping, and the final report is
+/// sorted, so nothing about ordering may leak into the findings.
+pub trait LintRule: fmt::Debug + Send + Sync {
+    /// Stable kebab-case identifier (used by waivers and `--disable`).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--list` and the README catalogue.
+    fn summary(&self) -> &'static str;
+
+    /// Evaluate the rule against one file.
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding>;
+
+    /// Post-process this rule's findings across the whole scan (e.g. the
+    /// unwrap budget drops crates within their committed allowance).
+    /// Default: identity.
+    fn finalize(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        findings
+    }
+}
+
+/// An ordered, user-extensible registry of [`LintRule`]s — the analogue of
+/// `recommend::rules::RuleSet`.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<Arc<dyn LintRule>>,
+    disabled: BTreeSet<String>,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::determinism()
+    }
+}
+
+impl RuleSet {
+    /// A registry with no rules.
+    pub fn empty() -> RuleSet {
+        RuleSet {
+            rules: Vec::new(),
+            disabled: BTreeSet::new(),
+        }
+    }
+
+    /// The project catalogue: the eight determinism & robustness rules.
+    pub fn determinism() -> RuleSet {
+        RuleSet::empty()
+            .with_rule(Arc::new(hash_iter::HashIter))
+            .with_rule(Arc::new(wall_clock::WallClock))
+            .with_rule(Arc::new(thread_spawn::ThreadSpawn))
+            .with_rule(Arc::new(no_unwrap::NoUnwrap))
+            .with_rule(Arc::new(float_eq::FloatEq))
+            .with_rule(Arc::new(allow_justify::AllowJustify))
+            .with_rule(Arc::new(no_print::NoPrint))
+            .with_rule(Arc::new(nondet_seam::NondetSeam))
+    }
+
+    /// Register a rule (builder style). Same id replaces in place.
+    pub fn with_rule(mut self, rule: Arc<dyn LintRule>) -> RuleSet {
+        match self.rules.iter_mut().find(|r| r.id() == rule.id()) {
+            Some(slot) => *slot = rule,
+            None => self.rules.push(rule),
+        }
+        self
+    }
+
+    /// Disable a rule by id.
+    pub fn disable(&mut self, id: &str) {
+        self.disabled.insert(id.to_string());
+    }
+
+    /// Builder-style [`disable`](Self::disable).
+    pub fn without(mut self, id: &str) -> RuleSet {
+        self.disable(id);
+        self
+    }
+
+    /// Whether `id` names a registered rule (enabled or not).
+    pub fn knows(&self, id: &str) -> bool {
+        self.rules.iter().any(|r| r.id() == id)
+    }
+
+    /// The enabled rules, in registration order.
+    pub fn enabled(&self) -> impl Iterator<Item = &Arc<dyn LintRule>> {
+        self.rules
+            .iter()
+            .filter(|r| !self.disabled.contains(r.id()))
+    }
+}
+
+// ---- shared token-pattern helpers used by the rule modules ----
+
+/// The code token at code-index `ci`, if any.
+pub(crate) fn code_tok(file: &SourceFile, ci: usize) -> Option<&crate::lexer::Token> {
+    file.code.get(ci).map(|&i| &file.tokens[i])
+}

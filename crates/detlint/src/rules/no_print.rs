@@ -1,0 +1,62 @@
+//! `no-print`: no `println!`/`eprintln!`/`dbg!` in library crates.
+//!
+//! Library output belongs in return values; stdout/stderr belong to the
+//! CLI and the bench harness. A stray `println!` in a library corrupts
+//! `--json` output consumed by scripts, and `dbg!` is debugging residue by
+//! definition. Deliberate operator-facing warnings (e.g. "your
+//! `BLOCKOPTR_WINDOW` is malformed, ignoring it") stay possible through a
+//! waiver that names the audience.
+
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoPrint;
+
+impl LintRule for NoPrint {
+    fn id(&self) -> &'static str {
+        "no-print"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no println!/eprintln!/dbg! in library code (CLI and bench exempt)"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.class != FileClass::Library {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(t) = code_tok(file, ci) else {
+                continue;
+            };
+            if t.in_test {
+                continue;
+            }
+            if PRINT_MACROS.contains(&t.text.as_str())
+                && t.kind == crate::lexer::TokenKind::Ident
+                && code_tok(file, ci + 1)
+                    .map(|n| n.is_punct("!"))
+                    .unwrap_or(false)
+            {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` in library code; return data instead, or waive with the \
+                         audience the output is for",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}

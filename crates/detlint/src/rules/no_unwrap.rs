@@ -1,0 +1,137 @@
+//! `no-unwrap`: no bare `.unwrap()` (or message-less `.expect("")`) in
+//! library non-test code.
+//!
+//! Library panics take the whole analysis down with no actionable message —
+//! the typed `AnalyzeError`/`SpecError` paths exist precisely so callers
+//! get diagnosis instead of a backtrace. Where an invariant genuinely
+//! guarantees success, `.expect("<the invariant>")` states it; bare
+//! `.unwrap()` states nothing.
+//!
+//! The rule carries a committed per-crate allowance (the burn-down budget):
+//! a crate whose bare-unwrap count is within its budget passes, one over it
+//! fails with every site listed. Budgets only ever go **down** — lowering a
+//! number here is the ratchet; raising one needs a very good story in
+//! review.
+
+use crate::lexer::TokenKind;
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+use std::collections::BTreeMap;
+
+/// Committed per-crate allowances for bare `.unwrap()` in library non-test
+/// code. PR 7's burn-down removed every such site, so every budget is 0 —
+/// the table exists so a future regression names the crate it regressed
+/// and so any deliberate re-introduction has to edit a reviewed constant.
+const BUDGETS: &[(&str, usize)] = &[
+    ("blockoptr", 0),
+    ("blockoptr-suite", 0),
+    ("chaincode", 0),
+    ("detlint", 0),
+    ("fabric-sim", 0),
+    ("process-mining", 0),
+    ("sim-core", 0),
+    ("workload", 0),
+];
+
+fn budget(krate: &str) -> usize {
+    BUDGETS
+        .iter()
+        .find(|(k, _)| *k == krate)
+        .map(|(_, b)| *b)
+        .unwrap_or(0)
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoUnwrap;
+
+impl LintRule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no bare .unwrap() / .expect(\"\") in library non-test code (budgeted ratchet)"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.class != FileClass::Library {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(dot) = code_tok(file, ci) else {
+                continue;
+            };
+            if dot.in_test || !dot.is_punct(".") {
+                continue;
+            }
+            let Some(m) = code_tok(file, ci + 1) else {
+                continue;
+            };
+            let bare_unwrap = m.is_ident("unwrap")
+                && code_tok(file, ci + 2)
+                    .map(|t| t.is_punct("("))
+                    .unwrap_or(false)
+                && code_tok(file, ci + 3)
+                    .map(|t| t.is_punct(")"))
+                    .unwrap_or(false);
+            let empty_expect = m.is_ident("expect")
+                && code_tok(file, ci + 2)
+                    .map(|t| t.is_punct("("))
+                    .unwrap_or(false)
+                && code_tok(file, ci + 3)
+                    .map(|t| t.kind == TokenKind::Str && literal_is_empty(&t.text))
+                    .unwrap_or(false);
+            if bare_unwrap || empty_expect {
+                let what = if bare_unwrap {
+                    "bare .unwrap()"
+                } else {
+                    "message-less .expect(\"\")"
+                };
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    m.line,
+                    m.col,
+                    format!(
+                        "{what} in library non-test code; return a typed error or state the \
+                         invariant in .expect(\"…\")"
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+
+    fn finalize(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut per_crate: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            per_crate.entry(f.krate.clone()).or_default().push(f);
+        }
+        let mut out = Vec::new();
+        for (krate, mut fs) in per_crate {
+            let allowed = budget(&krate);
+            let count = fs.len();
+            if count <= allowed {
+                continue;
+            }
+            for f in &mut fs {
+                f.message = format!(
+                    "{} — crate `{krate}` has {count} site(s) against a committed budget of {allowed}",
+                    f.message
+                );
+            }
+            out.extend(fs);
+        }
+        out
+    }
+}
+
+/// Whether a string literal token is empty (`""`, `r""`, `b""`).
+fn literal_is_empty(text: &str) -> bool {
+    text.trim_start_matches(['r', 'b', 'c', '#'])
+        .trim_end_matches('#')
+        == "\"\""
+}

@@ -1,0 +1,84 @@
+//! `nondet-seam`: no ambient nondeterminism — OS entropy, environment
+//! reads — outside the sanctioned seams.
+//!
+//! Every random draw in the workspace flows from an explicit seed
+//! (`rand::Rng` seeded per scenario × seed), and every configuration knob
+//! is an explicit parameter; that is what makes a `ScenarioSpec` a complete
+//! description of a run. `thread_rng`/OS entropy re-introduces hidden
+//! state, and `std::env::var` in a library makes behavior depend on the
+//! caller's shell. The sanctioned seam is `sim_core::pool` (the
+//! `BLOCKOPTR_THREADS` default — thread count is promised not to change
+//! results, and the 1-vs-4 test matrix enforces it). Anything else waives
+//! with the reason the ambient read cannot affect outputs.
+
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+
+/// The sanctioned ambient-read module.
+const SEAM: &str = "crates/sim-core/src/pool.rs";
+
+/// Identifiers that pull in OS entropy.
+const ENTROPY: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NondetSeam;
+
+impl LintRule for NondetSeam {
+    fn id(&self) -> &'static str {
+        "nondet-seam"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no OS entropy or env-dependent defaults outside sanctioned seams"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.class != FileClass::Library || file.path == SEAM {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(t) = code_tok(file, ci) else {
+                continue;
+            };
+            if t.in_test {
+                continue;
+            }
+            if ENTROPY.contains(&t.text.as_str()) && t.kind == crate::lexer::TokenKind::Ident {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    t.line,
+                    t.col,
+                    format!(
+                        "OS entropy source `{}`; every draw must flow from an explicit seed",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // `env::var` / `env::var_os` (with or without a `std::` prefix).
+            if t.is_ident("env")
+                && code_tok(file, ci + 1)
+                    .map(|p| p.is_punct("::"))
+                    .unwrap_or(false)
+                && code_tok(file, ci + 2)
+                    .map(|m| m.is_ident("var") || m.is_ident("var_os"))
+                    .unwrap_or(false)
+            {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    t.line,
+                    t.col,
+                    "environment read in library code; make it an explicit parameter or \
+                     waive with the reason it cannot affect outputs"
+                        .to_string(),
+                ));
+            }
+        }
+        findings
+    }
+}

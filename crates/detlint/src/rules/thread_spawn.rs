@@ -1,0 +1,73 @@
+//! `thread-spawn`: no `std::thread::spawn` (or scoped `.spawn`) outside
+//! `sim_core::pool`.
+//!
+//! Parallelism in this workspace is centralized in
+//! `sim_core::pool::ThreadPool`, which guarantees deterministic result
+//! ordering and honors `BLOCKOPTR_THREADS`. Ad-hoc spawns bypass both: the
+//! thread count stops being configurable and result collection order stops
+//! being a guarantee someone already thought about. Sites that genuinely
+//! need a raw thread (e.g. bridging a live simulation onto a channel) carry
+//! a waiver stating why the pool does not fit.
+
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+
+/// The sanctioned raw-thread module.
+const SEAM: &str = "crates/sim-core/src/pool.rs";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ThreadSpawn;
+
+impl LintRule for ThreadSpawn {
+    fn id(&self) -> &'static str {
+        "thread-spawn"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no std::thread::spawn outside sim_core::pool"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.path == SEAM || !matches!(file.class, FileClass::Library | FileClass::Bin) {
+            return Vec::new();
+        }
+        // Scoped spawns (`scope.spawn(...)`) only count in files that
+        // mention `thread` in non-test code — i.e. files using
+        // `std::thread::scope` — so unrelated `.spawn` methods elsewhere
+        // don't trip the rule.
+        let mentions_thread = (0..file.code.len()).any(|ci| {
+            code_tok(file, ci)
+                .map(|t| !t.in_test && t.is_ident("thread"))
+                .unwrap_or(false)
+        });
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(t) = code_tok(file, ci) else {
+                continue;
+            };
+            if t.in_test || !t.is_ident("spawn") {
+                continue;
+            }
+            let prev = ci.checked_sub(1).and_then(|i| code_tok(file, i));
+            let prev2 = ci.checked_sub(2).and_then(|i| code_tok(file, i));
+            let direct = prev.map(|p| p.is_punct("::")).unwrap_or(false)
+                && prev2.map(|p| p.is_ident("thread")).unwrap_or(false);
+            let scoped = prev.map(|p| p.is_punct(".")).unwrap_or(false) && mentions_thread;
+            if direct || scoped {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    t.line,
+                    t.col,
+                    "raw thread spawn outside sim_core::pool; use ThreadPool (deterministic \
+                     ordering, BLOCKOPTR_THREADS-aware) or waive with the reason the pool \
+                     does not fit"
+                        .to_string(),
+                ));
+            }
+        }
+        findings
+    }
+}

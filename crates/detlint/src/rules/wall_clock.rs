@@ -1,0 +1,60 @@
+//! `wall-clock`: no `std::time::Instant` / `SystemTime` outside the bench
+//! seam — simulation logic runs on sim time only.
+//!
+//! The DES core (`sim_core::des`) owns the clock: every latency, timeout,
+//! and percentile in a report is derived from simulated time, which is what
+//! makes runs replayable and byte-identical across machines and thread
+//! counts. A wall-clock read anywhere in that path silently couples output
+//! to the host. The single sanctioned call site is
+//! `crates/bench/src/wallclock.rs` (the benchmark harness genuinely
+//! measures the machine); everything else goes through it or through sim
+//! time. `std::time::Duration` as a plain value type stays allowed.
+
+use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+
+/// The one file allowed to touch the host clock.
+const SEAM: &str = "crates/bench/src/wallclock.rs";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct WallClock;
+
+impl LintRule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no std::time::{Instant, SystemTime} outside bench::wallclock — sim time only"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let file = ctx.file;
+        if file.path == SEAM {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(t) = code_tok(file, ci) else {
+                continue;
+            };
+            if t.in_test {
+                continue;
+            }
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                findings.push(Finding::at(
+                    self,
+                    ctx,
+                    t.line,
+                    t.col,
+                    format!(
+                        "wall-clock type `{}` outside the bench seam; use sim time \
+                         (sim_core::time) or bench::wallclock::now()",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}

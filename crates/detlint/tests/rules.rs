@@ -1,0 +1,123 @@
+//! Per-rule fixture tests: every committed `fixtures/bad/<rule>.rs` trips
+//! exactly the rule its filename names, every `fixtures/good/<rule>.rs`
+//! scans clean — the same contract `detlint --fixtures` enforces from the
+//! CLI.
+
+use std::path::{Path, PathBuf};
+
+use detlint::{fixtures_selftest, RuleSet, Scanner, SourceFile};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn scan_fixture(sub: &str, stem: &str) -> detlint::Report {
+    let path = fixtures_dir().join(sub).join(format!("{stem}.rs"));
+    let contents = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let file = SourceFile::parse(&format!("{sub}/{stem}.rs"), &contents);
+    Scanner::determinism().scan_sources([&file])
+}
+
+const RULE_STEMS: &[&str] = &[
+    "hash_iter",
+    "wall_clock",
+    "thread_spawn",
+    "no_unwrap",
+    "float_eq",
+    "allow_justify",
+    "no_print",
+    "nondet_seam",
+    "waiver_syntax",
+];
+
+#[test]
+fn every_bad_fixture_trips_its_rule() {
+    for stem in RULE_STEMS {
+        let rule = stem.replace('_', "-");
+        let report = scan_fixture("bad", stem);
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "bad/{stem}.rs produced no `{rule}` finding; got: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_scans_clean() {
+    for stem in RULE_STEMS {
+        let report = scan_fixture("good", stem);
+        assert!(
+            report.clean(),
+            "good/{stem}.rs should be clean; got: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn selftest_passes_on_committed_fixtures() {
+    let transcript = fixtures_selftest(&fixtures_dir(), &RuleSet::determinism())
+        .unwrap_or_else(|t| panic!("fixture self-test failed:\n{t}"));
+    // One PASS line per fixture file, bad and good.
+    assert_eq!(
+        transcript.lines().filter(|l| l.starts_with("PASS")).count(),
+        2 * RULE_STEMS.len(),
+        "{transcript}"
+    );
+}
+
+#[test]
+fn waiver_silences_a_bad_fixture_finding() {
+    // Take the bad no-print fixture and add a well-formed waiver: the
+    // finding must disappear and the waiver must be counted.
+    let path = fixtures_dir().join("bad/no_print.rs");
+    let contents = std::fs::read_to_string(path).expect("fixture exists");
+    let waived = contents.replace(
+        "\n    println!",
+        "\n    // detlint: allow(no-print, reason = \"fixture demo\")\n    println!",
+    );
+    let file = SourceFile::parse("bad/no_print.rs", &waived);
+    let report = Scanner::determinism().scan_sources([&file]);
+    // Only the (unwaived) eprintln survives.
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(report.findings[0].snippet.contains("eprintln"));
+    assert_eq!(report.waivers, 1);
+}
+
+#[test]
+fn findings_carry_position_rule_and_snippet() {
+    let report = scan_fixture("bad", "wall_clock");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "wall-clock")
+        .expect("wall-clock finding");
+    assert_eq!(f.file, "bad/wall_clock.rs");
+    assert!(f.line >= 1 && f.col >= 1);
+    assert!(f.snippet.contains("Instant"), "{f:?}");
+    let rendered = f.to_string();
+    assert!(
+        rendered.starts_with("bad/wall_clock.rs:"),
+        "diagnostics lead with file:line:col — {rendered}"
+    );
+}
+
+#[test]
+fn unwrap_budget_is_a_per_crate_gate() {
+    // Two bare unwraps in an unbudgeted crate: both reported, with the
+    // budget arithmetic spelled out in the message.
+    let report = scan_fixture("bad", "no_unwrap");
+    let unwraps: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "no-unwrap")
+        .collect();
+    assert_eq!(unwraps.len(), 2, "{:?}", report.findings);
+    assert!(
+        unwraps[0].message.contains("budget"),
+        "{}",
+        unwraps[0].message
+    );
+}

@@ -1,0 +1,28 @@
+//! The meta-test: detlint runs clean over the real workspace tree.
+//!
+//! This is the ratchet that keeps the invariants enforced — any new hash
+//! iteration, wall-clock read, raw spawn, bare unwrap, or unjustified
+//! suppression anywhere in the workspace fails `cargo test` here, not just
+//! the (optional) CI lint job.
+
+use std::path::Path;
+
+use detlint::Scanner;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = Scanner::determinism()
+        .scan_tree(&root)
+        .expect("workspace scan succeeds");
+    assert!(report.files_scanned > 30, "walker saw the whole tree");
+    assert!(
+        report.clean(),
+        "detlint found {} violation(s) in the workspace:\n{}",
+        report.findings.len(),
+        report.render()
+    );
+}

@@ -24,7 +24,7 @@ use crate::config::SchedulerKind;
 use crate::rwset::ReadWriteSet;
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimDuration;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Scheduler view of one buffered transaction.
 #[derive(Debug, Clone)]
@@ -45,10 +45,10 @@ pub struct SchedOutcome {
     pub order: Vec<usize>,
     /// Transactions the scheduler aborted (will be flagged as MVCC read
     /// conflicts without state application).
-    pub aborted: HashSet<usize>,
+    pub aborted: BTreeSet<usize>,
     /// Transactions rejected by strict endorsement-freshness checks
     /// (flagged as endorsement policy failures).
-    pub policy_failed: HashSet<usize>,
+    pub policy_failed: BTreeSet<usize>,
     /// Extra ordering-service work this scheduler spent on the block.
     pub extra_cost: SimDuration,
 }
@@ -57,8 +57,8 @@ impl SchedOutcome {
     fn passthrough(n: usize) -> Self {
         SchedOutcome {
             order: (0..n).collect(),
-            aborted: HashSet::new(),
-            policy_failed: HashSet::new(),
+            aborted: BTreeSet::new(),
+            policy_failed: BTreeSet::new(),
             extra_cost: SimDuration::ZERO,
         }
     }
@@ -102,7 +102,7 @@ pub fn schedule_block(kind: SchedulerKind, txs: &[SchedTx<'_>]) -> SchedOutcome 
 /// elimination).
 fn schedule_conflict_graph(txs: &[SchedTx<'_>], sharp: bool) -> SchedOutcome {
     let n = txs.len();
-    let mut policy_failed: HashSet<usize> = HashSet::new();
+    let mut policy_failed: BTreeSet<usize> = BTreeSet::new();
     if sharp {
         let mut violations = 0usize;
         for (i, tx) in txs.iter().enumerate() {
@@ -128,8 +128,8 @@ fn schedule_conflict_graph(txs: &[SchedTx<'_>], sharp: bool) -> SchedOutcome {
 
     // Build "reader-before-writer" edges. Range-read result keys count as
     // reads: a same-block writer of an observed key would invalidate the scan.
-    let mut succs: Vec<HashSet<usize>> = vec![HashSet::new(); n];
-    let mut preds: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     let mut edges = 0usize;
     for (i, tx) in txs.iter().enumerate() {
         if policy_failed.contains(&i) {
@@ -153,10 +153,10 @@ fn schedule_conflict_graph(txs: &[SchedTx<'_>], sharp: bool) -> SchedOutcome {
 
     // Kahn's algorithm with greedy cycle breaking.
     let mut order = Vec::with_capacity(n);
-    let mut aborted: HashSet<usize> = HashSet::new();
+    let mut aborted: BTreeSet<usize> = BTreeSet::new();
     let mut emitted = vec![false; n];
-    let mut indeg: Vec<usize> = preds.iter().map(HashSet::len).collect();
-    let mut ready: std::collections::BTreeSet<usize> = (0..n)
+    let mut indeg: Vec<usize> = preds.iter().map(BTreeSet::len).collect();
+    let mut ready: BTreeSet<usize> = (0..n)
         .filter(|&i| indeg[i] == 0 && !policy_failed.contains(&i))
         .collect();
     let mut remaining: usize = (0..n).filter(|i| !policy_failed.contains(i)).count();

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! The run loop is a [`sim_core::des`] model: each Fabric phase is one
-//! [`Phase`] event kind dispatched by the [`Engine`] handler, and every
+//! `Phase` event kind dispatched by the (private) `Engine` handler, and every
 //! stage is a finite-rate queueing server with its service times drawn from
 //! the [`ResourceProfile`](crate::config::ResourceProfile). All state reads
 //! happen at their simulated instant in global event order, so MVCC
@@ -169,8 +169,8 @@ struct Pending {
 struct InFlightBlock {
     txs: Vec<usize>,
     order: Vec<usize>,
-    aborted: std::collections::HashSet<usize>,
-    policy_failed: std::collections::HashSet<usize>,
+    aborted: std::collections::BTreeSet<usize>,
+    policy_failed: std::collections::BTreeSet<usize>,
     cut_reason: CutReason,
     cut_ts: SimTime,
     number: u64,

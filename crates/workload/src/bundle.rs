@@ -214,8 +214,10 @@ impl WorkloadBundle {
         if self.requests.len() < 2 {
             return 0.0;
         }
-        let first = self.requests.iter().map(|r| r.send_time).min().unwrap();
-        let last = self.requests.iter().map(|r| r.send_time).max().unwrap();
+        let times = || self.requests.iter().map(|r| r.send_time);
+        let (Some(first), Some(last)) = (times().min(), times().max()) else {
+            return 0.0;
+        };
         let span = last.since(first).as_secs_f64();
         if span <= 0.0 {
             0.0

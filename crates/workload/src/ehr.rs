@@ -101,15 +101,18 @@ pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
             }
             2 => {
                 let anomalous = rng.chance(spec.anomalous_revoke_rate);
-                let grants = granted.get(&patient);
-                let inst = if anomalous || grants.is_none_or(BTreeSet::is_empty) {
+                let grants = granted.get_mut(&patient).filter(|g| !g.is_empty());
+                let inst = match grants {
+                    Some(set) if !anomalous => {
+                        let pick = *set
+                            .iter()
+                            .nth(rng.below(set.len()))
+                            .expect("index drawn below the non-empty set's length");
+                        set.remove(&pick);
+                        pick
+                    }
                     // Deliberately target an institute that was never granted.
-                    spec.institutes + rng.below(spec.institutes)
-                } else {
-                    let set = grants.unwrap();
-                    let pick = *set.iter().nth(rng.below(set.len())).unwrap();
-                    granted.get_mut(&patient).unwrap().remove(&pick);
-                    pick
+                    _ => spec.institutes + rng.below(spec.institutes),
                 };
                 (
                     "revokeAccess",
