@@ -19,6 +19,11 @@
 //!    events/s (`SimReport::events` over wall-clock), and an open-loop
 //!    Poisson arrival run ([`workload::ArrivalSpec`]) records tx/s in the
 //!    timeout-cut regime the closed loop never enters.
+//! 4. **Resilience costs are visible.** The open-loop run repeats under an
+//!    injected endorser outage with a retrying client
+//!    ([`workload::FaultSpec`] / [`workload::RetryPolicy`]): throughput
+//!    under degradation and the retry count (asserted > 0) land in the
+//!    artifact, so fault-path overhead has a trajectory too.
 //!
 //! Results are written to `BENCH_plan.json` at the repository root
 //! (override with `BENCH_PLAN_OUT`) to start the perf trajectory; CI
@@ -134,6 +139,32 @@ fn bench_plan_parallel(c: &mut Criterion) {
         .build()
         .expect("open-loop scm spec builds");
 
+    // Outage probe: the same open-loop volume with org-0's endorsers down
+    // for a window and a bounded-retry client — the fault path under load.
+    let mut outage_spec = ScenarioSpec::builtin("scm")
+        .expect("scm is a builtin")
+        .with_transactions(bundle.len())
+        .with_arrival(ArrivalSpec::Poisson {
+            rate: OPEN_LOOP_RATE,
+        });
+    outage_spec
+        .fault
+        .endorser_outages
+        .push(workload::OutageWindow {
+            org: 0,
+            peer: None,
+            start: 2.0,
+            duration: 2.5,
+        });
+    outage_spec.retry = workload::RetryPolicy {
+        endorse_timeout: Some(0.4),
+        max_attempts: 3,
+        backoff_base: 0.05,
+        backoff_multiplier: 2.0,
+        jitter: 0.0,
+    };
+    let (outage_bundle, outage_config) = outage_spec.build().expect("outage scm spec builds");
+
     let mut sim_group = c.benchmark_group("sim_throughput");
     sim_group.sample_size(5);
     sim_group.throughput(Throughput::Elements(bundle.len() as u64));
@@ -143,6 +174,10 @@ fn bench_plan_parallel(c: &mut Criterion) {
     sim_group.throughput(Throughput::Elements(open_bundle.len() as u64));
     sim_group.bench_function("scm_run_open_loop", |b| {
         b.iter(|| black_box(open_bundle.run(open_config.clone())))
+    });
+    sim_group.throughput(Throughput::Elements(outage_bundle.len() as u64));
+    sim_group.bench_function("scm_run_open_loop_outage", |b| {
+        b.iter(|| black_box(outage_bundle.run(outage_config.clone())))
     });
     sim_group.finish();
 
@@ -188,6 +223,19 @@ fn bench_plan_parallel(c: &mut Criterion) {
         "the open-loop probe must exercise timeout cuts (got none)"
     );
 
+    let outage_start = Stopwatch::start();
+    let mut outage_retries = 0usize;
+    for _ in 0..sim_runs {
+        let out = black_box(outage_bundle.run(outage_config.clone()));
+        outage_retries = out.report.degradation.retries;
+    }
+    let outage_secs = outage_start.elapsed().as_secs_f64() / sim_runs as f64;
+    let outage_tps = outage_bundle.len() as f64 / outage_secs;
+    assert!(
+        outage_retries > 0,
+        "the outage probe must exercise the client retry path (got no retries)"
+    );
+
     // The ≥ 2× target needs hardware to scale onto; on narrower machines
     // the ratio is recorded so the trajectory still shows the trend.
     // `BENCH_PLAN_ASSERT=off` downgrades the assertion to record-only for
@@ -213,7 +261,7 @@ fn bench_plan_parallel(c: &mut Criterion) {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0},\n  \"sim_events_per_sec\": {:.0},\n  \"open_loop_rate_tps\": {:.0},\n  \"open_loop_run_secs\": {:.4},\n  \"open_loop_throughput_tps\": {:.0},\n  \"open_loop_timeout_cuts\": {}\n}}\n",
+        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0},\n  \"sim_events_per_sec\": {:.0},\n  \"open_loop_rate_tps\": {:.0},\n  \"open_loop_run_secs\": {:.4},\n  \"open_loop_throughput_tps\": {:.0},\n  \"open_loop_timeout_cuts\": {},\n  \"outage_run_secs\": {:.4},\n  \"outage_throughput_tps\": {:.0},\n  \"outage_retries\": {}\n}}\n",
         bundle.len(),
         plan.len(),
         SEEDS,
@@ -230,6 +278,9 @@ fn bench_plan_parallel(c: &mut Criterion) {
         open_secs,
         open_tps,
         open_timeout_cuts,
+        outage_secs,
+        outage_tps,
+        outage_retries,
     );
     let out_path = std::env::var("BENCH_PLAN_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR")));
@@ -237,7 +288,8 @@ fn bench_plan_parallel(c: &mut Criterion) {
     eprintln!("plan_parallel: speedup {speedup:.2}× on {cores} core(s) — {assertion}");
     eprintln!(
         "sim: {sim_tps:.0} tx/s closed loop ({sim_events_per_sec:.0} events/s), \
-         {open_tps:.0} tx/s open loop ({open_timeout_cuts} timeout cuts)"
+         {open_tps:.0} tx/s open loop ({open_timeout_cuts} timeout cuts), \
+         {outage_tps:.0} tx/s under outage ({outage_retries} retries)"
     );
     eprintln!("results recorded to {out_path}");
 }

@@ -67,6 +67,45 @@ pub enum NetworkChange {
         /// Multiplier for its client count (Table 4 doubles).
         factor: usize,
     },
+    /// Weaken the endorsement policy by one endorser (floor 1) and open it
+    /// to any organizations — the resilience answer to a *sustained* outage:
+    /// fewer signatures needed means fewer chances to hit a dead peer.
+    RelaxEndorsementPolicy,
+}
+
+/// A patch to the client [`RetryPolicy`](fabric_sim::fault::RetryPolicy):
+/// each `Some` field overwrites the corresponding policy knob, each `None`
+/// leaves it alone. Serializable so a tuned plan replays exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryChange {
+    /// New per-fan-out endorsement timeout, seconds.
+    pub endorse_timeout: Option<f64>,
+    /// New total attempt budget (first try + retries).
+    pub max_attempts: Option<usize>,
+    /// New backoff base delay, seconds.
+    pub backoff_base: Option<f64>,
+    /// New backoff growth factor.
+    pub backoff_multiplier: Option<f64>,
+}
+
+impl RetryChange {
+    /// Apply the patch to a policy.
+    pub fn apply(&self, retry: &fabric_sim::fault::RetryPolicy) -> fabric_sim::fault::RetryPolicy {
+        let mut out = retry.clone();
+        if let Some(t) = self.endorse_timeout {
+            out.endorse_timeout = Some(t);
+        }
+        if let Some(n) = self.max_attempts {
+            out.max_attempts = n.max(1);
+        }
+        if let Some(b) = self.backoff_base {
+            out.backoff_base = b.max(0.0);
+        }
+        if let Some(m) = self.backoff_multiplier {
+            out.backoff_multiplier = m.max(1.0);
+        }
+        out
+    }
 }
 
 /// One individually applicable optimization.
@@ -78,6 +117,8 @@ pub enum Action {
     ReconfigureNetwork(NetworkChange),
     /// Install a prepared smart-contract rewrite.
     SelectContractVariant(VariantKind),
+    /// Tune the client retry policy (resilience under injected faults).
+    TuneRetry(RetryChange),
 }
 
 impl fmt::Display for Action {
@@ -105,8 +146,27 @@ impl Action {
             Action::ReconfigureNetwork(NetworkChange::BoostClients { org, factor }) => {
                 format!("clients of Org{} ×{factor}", org + 1)
             }
+            Action::ReconfigureNetwork(NetworkChange::RelaxEndorsementPolicy) => {
+                "endorsement policy → OutOf(k−1, all orgs)".to_string()
+            }
             Action::SelectContractVariant(kind) => {
                 format!("smart contract → {kind} variant")
+            }
+            Action::TuneRetry(change) => {
+                let mut parts = Vec::new();
+                if let Some(t) = change.endorse_timeout {
+                    parts.push(format!("timeout {t:.2} s"));
+                }
+                if let Some(n) = change.max_attempts {
+                    parts.push(format!("attempts {n}"));
+                }
+                if let Some(b) = change.backoff_base {
+                    parts.push(format!("backoff base {b:.2} s"));
+                }
+                if let Some(m) = change.backoff_multiplier {
+                    parts.push(format!("backoff ×{m:.1}"));
+                }
+                format!("retry policy → {}", parts.join(", "))
             }
         }
     }
@@ -147,6 +207,25 @@ impl Action {
                 out.client_boost = Some((*org, *factor));
                 Some(out)
             }
+            Action::ReconfigureNetwork(NetworkChange::RelaxEndorsementPolicy) => {
+                let mut out = config.clone();
+                let k = config
+                    .endorsement_policy
+                    .min_endorsers()
+                    .saturating_sub(1)
+                    .max(1);
+                out.endorsement_policy = EndorsementPolicy::out_of(k, config.orgs);
+                out.endorser_skew = 0.0;
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// The retry-policy patch this action carries, if any.
+    pub fn retry_change(&self) -> Option<&RetryChange> {
+        match self {
+            Action::TuneRetry(change) => Some(change),
             _ => None,
         }
     }
@@ -188,6 +267,9 @@ impl Action {
                     return None;
                 }
                 out.variants.insert(*kind);
+            }
+            Action::TuneRetry(change) => {
+                out.retry = change.apply(&spec.retry);
             }
         }
         Some(out)
@@ -437,13 +519,60 @@ mod tests {
             Action::ReconfigureNetwork(NetworkChange::SetBlockCount { count: 300 }),
             Action::ReconfigureNetwork(NetworkChange::GeneralizeEndorsementPolicy),
             Action::ReconfigureNetwork(NetworkChange::BoostClients { org: 1, factor: 2 }),
+            Action::ReconfigureNetwork(NetworkChange::RelaxEndorsementPolicy),
             Action::SelectContractVariant(VariantKind::Rekeyed),
+            Action::TuneRetry(RetryChange {
+                endorse_timeout: Some(2.0),
+                max_attempts: Some(4),
+                backoff_base: None,
+                backoff_multiplier: Some(2.0),
+            }),
         ];
         for action in actions {
             let json = serde_json::to_string(&action).unwrap();
             let back: Action = serde_json::from_str(&json).unwrap();
             assert_eq!(back, action, "{json}");
         }
+    }
+
+    #[test]
+    fn relax_endorsement_policy_weakens_by_one_with_floor() {
+        let strong = NetworkConfig {
+            orgs: 4,
+            endorsement_policy: EndorsementPolicy::out_of(3, 4),
+            ..NetworkConfig::default()
+        };
+        let relax = Action::ReconfigureNetwork(NetworkChange::RelaxEndorsementPolicy);
+        let out = relax.apply_to_config(&strong).unwrap();
+        assert_eq!(out.endorsement_policy.min_endorsers(), 2);
+        // Already at the floor: a single-endorser policy stays at one.
+        let weak = relax.apply_to_config(&out).unwrap();
+        let floor = relax.apply_to_config(&weak).unwrap();
+        assert_eq!(floor.endorsement_policy.min_endorsers(), 1);
+    }
+
+    #[test]
+    fn tune_retry_patches_only_the_named_knobs() {
+        let change = RetryChange {
+            endorse_timeout: Some(1.5),
+            max_attempts: Some(5),
+            backoff_base: None,
+            backoff_multiplier: None,
+        };
+        let base = fabric_sim::fault::RetryPolicy::default();
+        let tuned = change.apply(&base);
+        assert_eq!(tuned.endorse_timeout, Some(1.5));
+        assert_eq!(tuned.max_attempts, 5);
+        assert_eq!(tuned.backoff_base, base.backoff_base);
+        assert_eq!(tuned.backoff_multiplier, base.backoff_multiplier);
+        let action = Action::TuneRetry(change);
+        assert!(action.describe().contains("timeout 1.50 s"));
+        assert!(action.apply_to_schedule(&[]).is_none());
+        assert!(action.apply_to_config(&NetworkConfig::default()).is_none());
+        // Through the spec layer the patch lands on spec.retry.
+        let spec = workload::ScenarioSpec::builtin("scm").unwrap();
+        let tuned_spec = action.apply_to_spec(&spec).unwrap();
+        assert_eq!(tuned_spec.retry.max_attempts, 5);
     }
 
     #[test]

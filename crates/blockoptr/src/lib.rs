@@ -82,9 +82,10 @@ pub mod pipeline;
 pub mod plan;
 pub mod recommend;
 pub mod report;
+pub mod resilience;
 pub mod session;
 
-pub use action::{Action, NetworkChange, ScheduleRewrite};
+pub use action::{Action, NetworkChange, RetryChange, ScheduleRewrite};
 pub use apply::{apply_system_level, apply_user_level};
 pub use autotune::auto_tune;
 pub use caseid::derive_case_ids;
@@ -98,11 +99,12 @@ pub use plan::{
 };
 pub use recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
 pub use recommend::{Level, Recommendation, Thresholds};
+pub use resilience::{ResilienceCtx, ResilienceRule, ResilienceRuleSet};
 pub use session::{AnalyzeError, Analyzer, Session, SessionFootprint, WindowPolicy};
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
-    pub use crate::action::{Action, NetworkChange, ScheduleRewrite};
+    pub use crate::action::{Action, NetworkChange, RetryChange, ScheduleRewrite};
     pub use crate::apply::{apply_system_level, apply_user_level};
     pub use crate::autotune::auto_tune;
     pub use crate::compliance::{verify_rollout, ComplianceReport};
@@ -111,6 +113,7 @@ pub mod prelude {
     pub use crate::plan::{OptimizationPlan, PlanConfig, PlanOutcome};
     pub use crate::recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
     pub use crate::recommend::{Level, Recommendation, Thresholds};
+    pub use crate::resilience::{ResilienceCtx, ResilienceRule, ResilienceRuleSet};
     pub use crate::session::{AnalyzeError, Analyzer, Session, WindowPolicy};
     pub use chaincode;
     pub use fabric_sim::config::{NetworkConfig, SchedulerKind};

@@ -456,6 +456,8 @@ impl OptimizationPlan {
                 out_bundle = out_bundle.with_requests(requests);
             } else if let Some(cfg) = planned.action.apply_to_config(&out_config) {
                 out_config = cfg;
+            } else if let Some(change) = planned.action.retry_change() {
+                out_bundle.retry = change.apply(&out_bundle.retry);
             } else if let Some(kind) = planned.action.variant() {
                 variants.insert(kind);
             }
@@ -516,6 +518,13 @@ impl OptimizationPlan {
     /// plan together with the baseline run (whose report seeds
     /// [`execute_spec_from_with`](Self::execute_spec_from_with), and whose
     /// ledger the caller may export).
+    ///
+    /// When the baseline run degrades under the spec's fault plan, the
+    /// [resilience catalogue](crate::resilience::ResilienceRuleSet::paper)
+    /// is evaluated against the run's degradation report and its actions
+    /// (retry tuning, backoff widening, endorsement-policy relaxation) are
+    /// appended to the plan — so `optimize --spec faulty.json` closes the
+    /// loop over fault tolerance exactly like it does over throughput.
     pub fn from_spec(
         spec: &ScenarioSpec,
         analyzer: &Analyzer,
@@ -523,7 +532,16 @@ impl OptimizationPlan {
         let (bundle, config) = spec.build()?;
         let output = bundle.run(config);
         let analysis = analyzer.analyze_ledger(&output.ledger)?;
-        Ok((OptimizationPlan::from_analysis(&analysis), output))
+        let mut plan = OptimizationPlan::from_analysis(&analysis);
+        let resilience = crate::resilience::ResilienceRuleSet::paper().evaluate(
+            &crate::resilience::ResilienceCtx {
+                report: &output.report,
+                retry: &spec.retry,
+                config: &spec.network,
+            },
+        );
+        plan.actions.extend(resilience);
+        Ok((plan, output))
     }
 
     /// Describe the single-action configuration for each planned action
@@ -543,6 +561,10 @@ impl OptimizationPlan {
                     )))
                 } else if let Some(cfg) = planned.action.apply_to_config(config) {
                     PreparedAction::Applied(Box::new((bundle.clone(), cfg)))
+                } else if let Some(change) = planned.action.retry_change() {
+                    let mut tuned = bundle.clone();
+                    tuned.retry = change.apply(&tuned.retry);
+                    PreparedAction::Applied(Box::new((tuned, config.clone())))
                 } else if let Some(kind) = planned.action.variant() {
                     let single: BTreeSet<VariantKind> = [kind].into_iter().collect();
                     match bundle.apply_variants(&single) {

@@ -137,6 +137,31 @@ fn percentile_block(measured: &MeasuredReport) -> String {
     )
 }
 
+/// The degradation section of one (primary-seed) report: aggregate retry /
+/// timeout counters and the per-fault-window success rates.
+fn degradation_block(deg: &fabric_sim::report::Degradation, label: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{label} degradation: {} retries, {} timeouts, {} exhausted, \
+         {} dropped proposals, {} dropped endorsements, {} degraded successes",
+        deg.retries,
+        deg.timeouts,
+        deg.retry_exhausted,
+        deg.dropped_proposals,
+        deg.dropped_endorsements,
+        deg.degraded_success,
+    );
+    for w in &deg.windows {
+        let _ = write!(
+            out,
+            "\n  window [{}]: {}/{} ok ({:.1} %) avg latency {:.3} s",
+            w.label, w.successes, w.submitted, w.success_rate_pct, w.avg_latency_s
+        );
+    }
+    out
+}
+
 fn outcome_line(measured: &MeasuredReport, baseline: Option<&MeasuredReport>) -> String {
     let multi = measured.seeds() > 1;
     match baseline {
@@ -176,6 +201,10 @@ pub fn render_outcome(outcome: &PlanOutcome) -> String {
         );
     }
     let _ = writeln!(out, "baseline: {}", outcome_line(&outcome.baseline, None));
+    let base_deg = &outcome.baseline.primary().degradation;
+    if !base_deg.is_trivial() {
+        let _ = writeln!(out, "{}", degradation_block(base_deg, "baseline"));
+    }
     let _ = writeln!(out, "── per action (each applied alone) ──");
     if outcome.actions.is_empty() {
         let _ = writeln!(out, "(no actions)");
@@ -189,6 +218,19 @@ pub fn render_outcome(outcome: &PlanOutcome) -> String {
                     "      {}",
                     outcome_line(measured, Some(&outcome.baseline))
                 );
+                let deg = &measured.primary().degradation;
+                if !deg.is_trivial() || !base_deg.is_trivial() {
+                    let _ = writeln!(
+                        out,
+                        "      resilience: retries {} → {}, timeouts {} → {}, exhausted {} → {}",
+                        base_deg.retries,
+                        deg.retries,
+                        base_deg.timeouts,
+                        deg.timeouts,
+                        base_deg.retry_exhausted,
+                        deg.retry_exhausted,
+                    );
+                }
                 if multi {
                     if let Some(delta) = action.success_rate_delta_stats(&outcome.baseline) {
                         let _ = writeln!(

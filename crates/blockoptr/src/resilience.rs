@@ -1,0 +1,448 @@
+//! Resilience rules: turning a degradation report into retry / policy
+//! tuning actions.
+//!
+//! The paper's nine rules ([`RuleSet::paper`](crate::recommend::rules::RuleSet::paper))
+//! diagnose *steady-state* inefficiencies from the transaction log. Under
+//! injected faults ([`fabric_sim::fault::FaultSpec`]) a different family of
+//! problems appears — endorsement fan-outs that never complete, retry
+//! budgets that run dry, backoff schedules that hammer a congested network
+//! — and the evidence for them lives in the run's
+//! [`Degradation`](fabric_sim::report::Degradation) section, not in the
+//! committed-transaction log. This module mirrors the rule-registry shape
+//! for that family:
+//!
+//! * [`ResilienceRule`] is a stateless detector over a
+//!   [`ResilienceCtx`] (the simulation report, the client's current
+//!   [`RetryPolicy`], the network configuration);
+//! * [`ResilienceRuleSet::paper`] registers the built-in catalogue:
+//!   retry-budget tuning, endorsement-policy relaxation under sustained
+//!   outage, and backoff widening under timeout storms;
+//! * each firing lowers directly to a [`PlannedAction`] (a typed
+//!   [`Action`]), so
+//!   [`OptimizationPlan::from_spec`](crate::plan::OptimizationPlan::from_spec)
+//!   can append resilience actions to the paper plan and the closed loop
+//!   re-measures them like any other optimization.
+
+use crate::action::{Action, NetworkChange, RetryChange};
+use crate::plan::PlannedAction;
+use fabric_sim::config::NetworkConfig;
+use fabric_sim::fault::{RetryPolicy, NO_ENDORSEMENT_REASON, RETRY_EXHAUSTED_REASON};
+use fabric_sim::report::SimReport;
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a resilience rule may look at for one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceCtx<'a> {
+    /// The (primary-seed) simulation report, including its
+    /// [`degradation`](SimReport::degradation) section.
+    pub report: &'a SimReport,
+    /// The retry policy the run executed under.
+    pub retry: &'a RetryPolicy,
+    /// The network configuration the run executed under.
+    pub config: &'a NetworkConfig,
+}
+
+/// A stateless detector over one run's degradation evidence. Fires at most
+/// one action per evaluation (resilience knobs are scalar; there is no
+/// per-activity fan-out like the log rules have).
+pub trait ResilienceRule: fmt::Debug + Send + Sync {
+    /// Stable kebab-case identifier.
+    fn id(&self) -> &str;
+
+    /// Evaluate against one run; `None` when the evidence is absent.
+    fn detect(&self, ctx: &ResilienceCtx<'_>) -> Option<PlannedAction>;
+}
+
+/// An ordered registry of [`ResilienceRule`]s, mirroring
+/// [`RuleSet`](crate::recommend::rules::RuleSet): `Default` is the
+/// built-in catalogue, rules are `Arc`-shared so cloning is cheap, and
+/// registering an existing id replaces in place.
+#[derive(Debug, Clone)]
+pub struct ResilienceRuleSet {
+    rules: Vec<Arc<dyn ResilienceRule>>,
+}
+
+impl Default for ResilienceRuleSet {
+    fn default() -> Self {
+        ResilienceRuleSet::paper()
+    }
+}
+
+impl ResilienceRuleSet {
+    /// A registry with no rules.
+    pub fn empty() -> ResilienceRuleSet {
+        ResilienceRuleSet { rules: Vec::new() }
+    }
+
+    /// The built-in resilience catalogue, in escalation order: first make
+    /// the client retry enough ([`RetryBudget`]), then stop it from
+    /// retrying too *hot* ([`BackoffWidening`]), and only then weaken the
+    /// endorsement policy itself ([`EndorsementRelaxation`]) — the one
+    /// action that trades integrity margin for availability.
+    pub fn paper() -> ResilienceRuleSet {
+        ResilienceRuleSet::empty()
+            .with_rule(Arc::new(RetryBudget))
+            .with_rule(Arc::new(BackoffWidening))
+            .with_rule(Arc::new(EndorsementRelaxation))
+    }
+
+    /// Register a rule (builder style). A rule with the same id replaces
+    /// the existing one, keeping its position.
+    pub fn with_rule(mut self, rule: Arc<dyn ResilienceRule>) -> ResilienceRuleSet {
+        match self.rules.iter_mut().find(|r| r.id() == rule.id()) {
+            Some(slot) => *slot = rule,
+            None => self.rules.push(rule),
+        }
+        self
+    }
+
+    /// Ids of all registered rules, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.id()).collect()
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the registry has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Run every rule and collect the fired actions in registration order.
+    pub fn evaluate(&self, ctx: &ResilienceCtx<'_>) -> Vec<PlannedAction> {
+        self.rules.iter().filter_map(|r| r.detect(ctx)).collect()
+    }
+}
+
+/// The share of early aborts attributed to `reason`, over all requests.
+fn abort_share(report: &SimReport, reason: &str) -> f64 {
+    if report.requests == 0 {
+        return 0.0;
+    }
+    *report.early_abort_reasons.get(reason).unwrap_or(&0) as f64 / report.requests as f64
+}
+
+/// **Retry-budget tuning.** Two shapes of under-provisioned client:
+///
+/// * the wait-forever client (no [`RetryPolicy::endorse_timeout`]) loses a
+///   visible share of transactions to dead endorsers (the
+///   [`NO_ENDORSEMENT_REASON`] breakdown entry) — enable a timeout and a
+///   small retry budget;
+/// * a retrying client still exhausts its budget
+///   ([`Degradation::retry_exhausted`](fabric_sim::report::Degradation::retry_exhausted))
+///   — double the attempt cap.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget;
+
+/// Minimum share of requests lost to unanswered endorsements before the
+/// rule arms a timeout on a wait-forever client.
+const NO_RESULT_SHARE: f64 = 0.01;
+
+impl ResilienceRule for RetryBudget {
+    fn id(&self) -> &str {
+        "retry-budget"
+    }
+
+    fn detect(&self, ctx: &ResilienceCtx<'_>) -> Option<PlannedAction> {
+        let deg = &ctx.report.degradation;
+        let change = if ctx.retry.endorse_timeout.is_none() {
+            if abort_share(ctx.report, NO_ENDORSEMENT_REASON) < NO_RESULT_SHARE {
+                return None;
+            }
+            // A wait-forever client under an outage: give it a timeout
+            // roughly one order above the healthy endorse round-trip and a
+            // modest budget to ride out short windows.
+            RetryChange {
+                endorse_timeout: Some(1.0),
+                max_attempts: Some(4),
+                backoff_base: Some(0.25),
+                backoff_multiplier: None,
+            }
+        } else if deg.retry_exhausted > 0 {
+            RetryChange {
+                endorse_timeout: None,
+                max_attempts: Some(ctx.retry.max_attempts.max(1) * 2),
+                backoff_base: None,
+                backoff_multiplier: None,
+            }
+        } else {
+            return None;
+        };
+        Some(PlannedAction {
+            source: "Retry budget tuning".to_string(),
+            action: Action::TuneRetry(change),
+        })
+    }
+}
+
+/// **Backoff widening.** A timeout storm — timed-out fan-outs rivalling
+/// the committed volume — while the backoff schedule is still tight means
+/// retries re-enter the same congested or dead window they just timed out
+/// of. Widen the schedule: raise the base toward the timeout itself and
+/// ensure exponential growth.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffWidening;
+
+/// Timeouts-per-request ratio that counts as a storm.
+const STORM_RATIO: f64 = 0.5;
+
+impl ResilienceRule for BackoffWidening {
+    fn id(&self) -> &str {
+        "backoff-widening"
+    }
+
+    fn detect(&self, ctx: &ResilienceCtx<'_>) -> Option<PlannedAction> {
+        let deg = &ctx.report.degradation;
+        if ctx.report.requests == 0 || ctx.retry.endorse_timeout.is_none() {
+            return None;
+        }
+        let ratio = deg.timeouts as f64 / ctx.report.requests as f64;
+        if ratio < STORM_RATIO {
+            return None;
+        }
+        let timeout = ctx.retry.endorse_timeout.unwrap_or(1.0);
+        let widened_base = (ctx.retry.backoff_base * 2.0).max(timeout / 2.0);
+        let already_wide =
+            ctx.retry.backoff_base >= widened_base && ctx.retry.backoff_multiplier >= 2.0;
+        if already_wide {
+            return None;
+        }
+        Some(PlannedAction {
+            source: "Backoff widening".to_string(),
+            action: Action::TuneRetry(RetryChange {
+                endorse_timeout: None,
+                max_attempts: None,
+                backoff_base: Some(widened_base),
+                backoff_multiplier: Some(ctx.retry.backoff_multiplier.max(2.0)),
+            }),
+        })
+    }
+}
+
+/// **Endorsement-policy relaxation.** When a fault window shows a
+/// *sustained* outage — an outage window whose in-window success rate
+/// collapses, or a retry budget that keeps running dry — and the policy
+/// still demands more than one endorser, requiring one fewer signature
+/// shrinks the set of peers whose death can strand a transaction.
+/// Deliberately last in the catalogue: it trades integrity margin for
+/// availability (paper §2.1's trust assumption weakens by one org).
+#[derive(Debug, Clone, Copy)]
+pub struct EndorsementRelaxation;
+
+/// In-window success rate (percent) below which an outage window counts as
+/// a sustained availability failure.
+const SUSTAINED_OUTAGE_PCT: f64 = 50.0;
+
+impl ResilienceRule for EndorsementRelaxation {
+    fn id(&self) -> &str {
+        "endorsement-relaxation"
+    }
+
+    fn detect(&self, ctx: &ResilienceCtx<'_>) -> Option<PlannedAction> {
+        if ctx.config.endorsement_policy.min_endorsers() <= 1 {
+            return None;
+        }
+        let deg = &ctx.report.degradation;
+        let sustained_window = deg.windows.iter().any(|w| {
+            w.label.starts_with("outage")
+                && w.submitted > 0
+                && w.success_rate_pct < SUSTAINED_OUTAGE_PCT
+        });
+        // A drained retry budget is the same evidence when the client
+        // *did* retry: the outage outlasted every attempt.
+        let budget_drained =
+            deg.retry_exhausted > 0 || abort_share(ctx.report, RETRY_EXHAUSTED_REASON) > 0.0;
+        if !sustained_window && !budget_drained {
+            return None;
+        }
+        Some(PlannedAction {
+            source: "Endorsement policy relaxation".to_string(),
+            action: Action::ReconfigureNetwork(NetworkChange::RelaxEndorsementPolicy),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::report::{Degradation, FaultWindowStats};
+
+    fn report_with(requests: usize, deg: Degradation) -> SimReport {
+        let ledger = fabric_sim::ledger::Ledger::new();
+        let mut r = SimReport::from_ledger(&ledger, requests, sim_core::time::SimTime::ZERO);
+        r.degradation = deg;
+        r
+    }
+
+    #[test]
+    fn paper_catalogue_registers_three_rules_in_escalation_order() {
+        let rules = ResilienceRuleSet::paper();
+        assert_eq!(
+            rules.ids(),
+            vec!["retry-budget", "backoff-widening", "endorsement-relaxation"]
+        );
+        assert_eq!(rules.len(), 3);
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn quiet_run_fires_nothing() {
+        let report = report_with(100, Degradation::default());
+        let retry = RetryPolicy::default();
+        let config = NetworkConfig::default();
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &config,
+        };
+        assert!(ResilienceRuleSet::paper().evaluate(&ctx).is_empty());
+    }
+
+    #[test]
+    fn wait_forever_client_under_outage_gets_a_timeout() {
+        let mut report = report_with(100, Degradation::default());
+        report
+            .early_abort_reasons
+            .insert(NO_ENDORSEMENT_REASON.to_string(), 10);
+        let retry = RetryPolicy::default();
+        let config = NetworkConfig::default();
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &config,
+        };
+        let fired = ResilienceRuleSet::paper().evaluate(&ctx);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].source, "Retry budget tuning");
+        let change = fired[0].action.retry_change().unwrap();
+        assert!(change.endorse_timeout.is_some());
+        assert!(change.max_attempts.unwrap_or(0) > 1);
+    }
+
+    #[test]
+    fn drained_budget_doubles_attempts_and_relaxes_policy() {
+        let report = report_with(
+            100,
+            Degradation {
+                retries: 40,
+                timeouts: 45,
+                retry_exhausted: 5,
+                ..Degradation::default()
+            },
+        );
+        let retry = RetryPolicy {
+            endorse_timeout: Some(0.5),
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let config = NetworkConfig::default();
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &config,
+        };
+        let fired = ResilienceRuleSet::paper().evaluate(&ctx);
+        let sources: Vec<&str> = fired.iter().map(|a| a.source.as_str()).collect();
+        assert!(sources.contains(&"Retry budget tuning"), "{sources:?}");
+        assert!(
+            sources.contains(&"Endorsement policy relaxation"),
+            "{sources:?}"
+        );
+        let budget = fired
+            .iter()
+            .find(|a| a.source == "Retry budget tuning")
+            .unwrap();
+        assert_eq!(budget.action.retry_change().unwrap().max_attempts, Some(6));
+    }
+
+    #[test]
+    fn timeout_storm_widens_backoff() {
+        let report = report_with(
+            100,
+            Degradation {
+                retries: 60,
+                timeouts: 80,
+                ..Degradation::default()
+            },
+        );
+        let retry = RetryPolicy {
+            endorse_timeout: Some(1.0),
+            max_attempts: 8,
+            backoff_base: 0.05,
+            backoff_multiplier: 1.0,
+            jitter: 0.0,
+        };
+        let config = NetworkConfig::default();
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &config,
+        };
+        let fired = ResilienceRuleSet::paper().evaluate(&ctx);
+        let widen = fired
+            .iter()
+            .find(|a| a.source == "Backoff widening")
+            .expect("storm detected");
+        let change = widen.action.retry_change().unwrap();
+        assert!(change.backoff_base.unwrap() >= 0.5, "{change:?}");
+        assert_eq!(change.backoff_multiplier, Some(2.0));
+    }
+
+    #[test]
+    fn sustained_outage_window_relaxes_policy_only_above_one_endorser() {
+        let deg = Degradation {
+            windows: vec![FaultWindowStats {
+                label: "outage org1 0.50s+1.50s".to_string(),
+                submitted: 40,
+                successes: 4,
+                success_rate_pct: 10.0,
+                avg_latency_s: 2.0,
+            }],
+            ..Degradation::default()
+        };
+        let report = report_with(100, deg);
+        let retry = RetryPolicy::default();
+        let config = NetworkConfig::default();
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &config,
+        };
+        let fired = ResilienceRuleSet::paper().evaluate(&ctx);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].source, "Endorsement policy relaxation");
+
+        // With a single-endorser policy there is nothing left to relax.
+        let weak = NetworkConfig {
+            endorsement_policy: fabric_sim::policy::EndorsementPolicy::out_of(1, 2),
+            ..NetworkConfig::default()
+        };
+        let ctx = ResilienceCtx {
+            report: &report,
+            retry: &retry,
+            config: &weak,
+        };
+        assert!(ResilienceRuleSet::paper().evaluate(&ctx).is_empty());
+    }
+
+    #[test]
+    fn custom_rule_replaces_by_id() {
+        #[derive(Debug)]
+        struct Quiet;
+        impl ResilienceRule for Quiet {
+            fn id(&self) -> &str {
+                "retry-budget"
+            }
+            fn detect(&self, _: &ResilienceCtx<'_>) -> Option<PlannedAction> {
+                None
+            }
+        }
+        let rules = ResilienceRuleSet::paper().with_rule(Arc::new(Quiet));
+        assert_eq!(rules.len(), 3, "same id replaces in place");
+        assert_eq!(rules.ids()[0], "retry-budget");
+    }
+}

@@ -247,3 +247,84 @@ fn optimize_spec_flag_validation() {
         stderr(&out)
     );
 }
+
+/// Malformed fault windows fail spec validation with the dotted field path
+/// (exit 1), before any simulation runs.
+#[test]
+fn optimize_rejects_malformed_fault_windows() {
+    use workload::{OutageWindow, StallWindow};
+
+    let dir = std::env::temp_dir().join("blockoptr_cli_badfault");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faulty.json");
+    let base = workload::ScenarioSpec::builtin("scm").unwrap();
+
+    // Negative outage duration.
+    let mut spec = base.clone();
+    spec.fault.endorser_outages.push(OutageWindow {
+        org: 0,
+        peer: None,
+        start: 1.0,
+        duration: -2.0,
+    });
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let out = blockoptr(&["optimize", "--spec", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("bad spec parameter fault.endorser_outages[0].duration"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Unknown peer index (the default network runs 5 endorsers per org).
+    let mut spec = base.clone();
+    spec.fault.endorser_outages.push(OutageWindow {
+        org: 0,
+        peer: Some(17),
+        start: 1.0,
+        duration: 2.0,
+    });
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let out = blockoptr(&["optimize", "--spec", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("bad spec parameter fault.endorser_outages[0].peer"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Overlapping orderer stalls (no defined release order).
+    let mut spec = base.clone();
+    spec.fault.orderer_stalls.push(StallWindow {
+        start: 1.0,
+        duration: 2.0,
+    });
+    spec.fault.orderer_stalls.push(StallWindow {
+        start: 2.5,
+        duration: 1.0,
+    });
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let out = blockoptr(&["optimize", "--spec", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("bad spec parameter fault.orderer_stalls[1]"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+/// The committed endorser-outage example closes the loop end to end: the
+/// resilience rules fire on the degraded baseline and the rendered outcome
+/// carries the degradation section.
+#[test]
+fn optimize_example_outage_spec_fires_resilience_rules() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/endorser_outage.json"
+    );
+    let out = blockoptr(&["optimize", "--spec", spec, "--seeds", "2", "--dry-run"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Retry budget tuning"), "{text}");
+    assert!(text.contains("Endorsement policy relaxation"), "{text}");
+}

@@ -32,6 +32,7 @@
 pub mod client;
 pub mod config;
 pub mod contract;
+pub mod fault;
 pub mod ledger;
 pub mod orderer;
 pub mod policy;
@@ -46,10 +47,14 @@ pub mod validator;
 
 pub use config::{NetworkConfig, ResourceProfile, SchedulerKind};
 pub use contract::{Contract, ExecStatus, TxContext};
+pub use fault::{
+    DropSpec, FaultSpec, LatencySpike, OutageWindow, RetryPolicy, StallWindow,
+    NO_ENDORSEMENT_REASON, RETRY_EXHAUSTED_REASON,
+};
 pub use ledger::{Block, CutReason, Ledger, TransactionEnvelope, TxStatus};
 pub use policy::EndorsementPolicy;
 pub use policy_parse::parse_policy;
-pub use report::SimReport;
+pub use report::{Degradation, FaultWindowStats, SimReport};
 pub use rwset::{RangeRead, ReadItem, ReadWriteSet, Version, WriteItem};
 pub use sim::{Simulation, TxRequest};
 pub use state::WorldState;

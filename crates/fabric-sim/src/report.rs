@@ -67,6 +67,60 @@ pub struct SimReport {
     /// Total DES events the engine dispatched during the run (the
     /// numerator of the events/s throughput figure).
     pub events: u64,
+    /// Client-resilience measurements under injected faults; trivial (all
+    /// zeros, no windows) for healthy runs.
+    pub degradation: Degradation,
+}
+
+/// How the run degraded under injected faults and what the client's retry
+/// arm did about it. Everything here is zero/empty for a healthy run, so a
+/// no-fault report serializes exactly one extra all-default section.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Endorsement fan-outs the client re-proposed after a timeout.
+    pub retries: usize,
+    /// Endorsement timeouts that fired (each is either retried or final).
+    pub timeouts: usize,
+    /// Transactions abandoned after exhausting the retry budget (these are
+    /// counted under `early_aborted` with the typed retry-exhausted reason).
+    pub retry_exhausted: usize,
+    /// Proposals lost before reaching an endorser.
+    pub dropped_proposals: usize,
+    /// Endorsement replies lost in transit.
+    pub dropped_endorsements: usize,
+    /// Transactions that committed successfully but needed more than one
+    /// attempt — gracefully degraded rather than failed.
+    pub degraded_success: usize,
+    /// Per-fault-window outcome statistics.
+    pub windows: Vec<FaultWindowStats>,
+}
+
+impl Degradation {
+    /// True when nothing fault-related happened (healthy run).
+    pub fn is_trivial(&self) -> bool {
+        self.retries == 0
+            && self.timeouts == 0
+            && self.retry_exhausted == 0
+            && self.dropped_proposals == 0
+            && self.dropped_endorsements == 0
+            && self.degraded_success == 0
+            && self.windows.is_empty()
+    }
+}
+
+/// Outcome of the transactions submitted while one fault window was open.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindowStats {
+    /// Human-readable window description (kind, target, span).
+    pub label: String,
+    /// Requests whose send time fell inside the window.
+    pub submitted: usize,
+    /// …of which committed with `Success`.
+    pub successes: usize,
+    /// `successes / submitted` in percent (0 when nothing was submitted).
+    pub success_rate_pct: f64,
+    /// Mean end-to-end latency of the window's successes, seconds.
+    pub avg_latency_s: f64,
 }
 
 impl SimReport {
@@ -131,6 +185,7 @@ impl SimReport {
             validator_utilization: 0.0,
             endorsements_per_peer: Vec::new(),
             events: 0,
+            degradation: Degradation::default(),
         }
     }
 
@@ -152,14 +207,19 @@ impl SimReport {
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "requests            : {}", self.requests)?;
-        if self.early_abort_reasons.is_empty() {
+        // Categories retracted back to zero (windowed sessions remove the
+        // key via `metrics::decrement`, but merged or hand-built maps may
+        // leave a zero entry) are skipped so the breakdown matches the
+        // remove-at-zero invariant of the tracker layer.
+        let reasons: Vec<String> = self
+            .early_abort_reasons
+            .iter()
+            .filter(|(_, &count)| count > 0)
+            .map(|(reason, count)| format!("{reason}: {count}"))
+            .collect();
+        if reasons.is_empty() {
             writeln!(f, "early aborted       : {}", self.early_aborted)?;
         } else {
-            let reasons: Vec<String> = self
-                .early_abort_reasons
-                .iter()
-                .map(|(reason, count)| format!("{reason}: {count}"))
-                .collect();
             writeln!(
                 f,
                 "early aborted       : {} ({})",
@@ -196,14 +256,38 @@ impl fmt::Display for SimReport {
             "blocks              : {} (avg size {:.1})",
             self.blocks, self.avg_block_size
         )?;
-        writeln!(
+        write!(
             f,
             "utilization         : clients {:.0} % endorsers {:.0} % orderer {:.0} % validator {:.0} %",
             self.client_utilization * 100.0,
             self.endorser_utilization * 100.0,
             self.orderer_utilization * 100.0,
             self.validator_utilization * 100.0
-        )
+        )?;
+        if !self.degradation.is_trivial() {
+            let d = &self.degradation;
+            writeln!(f)?;
+            writeln!(
+                f,
+                "degradation         : retries {} timeouts {} exhausted {}",
+                d.retries, d.timeouts, d.retry_exhausted
+            )?;
+            writeln!(
+                f,
+                "  dropped           : proposals {} endorsements {}",
+                d.dropped_proposals, d.dropped_endorsements
+            )?;
+            write!(f, "  degraded success  : {}", d.degraded_success)?;
+            for w in &d.windows {
+                writeln!(f)?;
+                write!(
+                    f,
+                    "  window [{}]: {}/{} ok ({:.1} %) avg latency {:.3} s",
+                    w.label, w.successes, w.submitted, w.success_rate_pct, w.avg_latency_s
+                )?;
+            }
+        }
+        writeln!(f)
     }
 }
 
@@ -323,5 +407,70 @@ mod tests {
     fn cut_reason_keys_are_lowercase() {
         assert_eq!(cut_reason_key(CutReason::Count), "count");
         assert_eq!(cut_reason_key(CutReason::Timeout), "timeout");
+    }
+
+    #[test]
+    fn zero_count_abort_reasons_are_hidden_from_the_breakdown() {
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let mut r = SimReport::from_ledger(&l, 3, SimTime::ZERO);
+        r.early_aborted = 2;
+        // A windowed session retracts observations as blocks slide out; a
+        // category decremented to zero must not linger in the breakdown.
+        r.early_abort_reasons.insert("stale".to_string(), 0);
+        r.early_abort_reasons.insert("nope".to_string(), 2);
+        let text = r.to_string();
+        assert!(text.contains("early aborted       : 2 (nope: 2)"), "{text}");
+        assert!(!text.contains("stale"), "{text}");
+
+        // All categories retracted: breakdown collapses to the plain line.
+        r.early_abort_reasons.insert("nope".to_string(), 0);
+        let text = r.to_string();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("early aborted"))
+            .expect("early-aborted line present");
+        assert_eq!(line, "early aborted       : 2", "no empty breakdown");
+    }
+
+    #[test]
+    fn abort_reason_breakdown_orders_categories_deterministically() {
+        use crate::fault::RETRY_EXHAUSTED_REASON;
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let mut r = SimReport::from_ledger(&l, 9, SimTime::ZERO);
+        r.early_aborted = 6;
+        r.early_abort_reasons.insert("zz-last".to_string(), 1);
+        r.early_abort_reasons
+            .insert(RETRY_EXHAUSTED_REASON.to_string(), 3);
+        r.early_abort_reasons.insert("aa-first".to_string(), 2);
+        let text = r.to_string();
+        // BTreeMap iteration: lexicographic, so the rendered breakdown is
+        // stable regardless of insertion order, with the retry-exhausted
+        // reason slotted alphabetically.
+        let expected = format!("(aa-first: 2, {RETRY_EXHAUSTED_REASON}: 3, zz-last: 1)");
+        assert!(text.contains(&expected), "{text}");
+    }
+
+    #[test]
+    fn degradation_section_renders_only_under_faults() {
+        let l = ledger_with(&[(TxStatus::Success, 100)]);
+        let mut r = SimReport::from_ledger(&l, 1, SimTime::ZERO);
+        assert!(r.degradation.is_trivial());
+        assert!(!r.to_string().contains("degradation"));
+
+        r.degradation.retries = 4;
+        r.degradation.timeouts = 5;
+        r.degradation.retry_exhausted = 1;
+        r.degradation.degraded_success = 3;
+        r.degradation.windows.push(FaultWindowStats {
+            label: "outage org0 0.0s+2.0s".to_string(),
+            submitted: 10,
+            successes: 7,
+            success_rate_pct: 70.0,
+            avg_latency_s: 0.5,
+        });
+        let text = r.to_string();
+        assert!(text.contains("degradation         : retries 4 timeouts 5 exhausted 1"));
+        assert!(text.contains("degraded success  : 3"));
+        assert!(text.contains("window [outage org0 0.0s+2.0s]: 7/10 ok (70.0 %)"));
     }
 }

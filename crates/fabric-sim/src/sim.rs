@@ -26,9 +26,11 @@
 use crate::client::{EndorserFleet, EndorserSelector, WorkerFleet};
 use crate::config::NetworkConfig;
 use crate::contract::{Contract, ExecStatus, TxContext};
+use crate::fault::RETRY_EXHAUSTED_REASON;
+use crate::fault::{self, FaultRuntime, FaultSpec, RetryPolicy, BACKOFF_STREAM, DROP_STREAM};
 use crate::ledger::{Block, CutReason, Ledger, TransactionEnvelope, TxStatus};
 use crate::orderer::{ArrivalOutcome, BlockCutter, Cut};
-use crate::report::SimReport;
+use crate::report::{Degradation, FaultWindowStats, SimReport};
 use crate::rwset::ReadWriteSet;
 use crate::scheduler::{schedule_block, stale_tolerance_blocks, SchedTx};
 use crate::state::WorldState;
@@ -84,8 +86,19 @@ pub struct SimOutput {
 /// arriving at the very same instant, so `block_timeout` is a hard upper
 /// bound on block age — an envelope landing exactly on the deadline opens
 /// the *next* block rather than sneaking into the expiring one.
+///
+/// Fault-window boundaries outrank everything at a shared instant:
+/// `FaultEnd` before `FaultStart` so abutting windows hand off cleanly, and
+/// both before the pipeline phases so any handler consulting live fault
+/// state observes exactly the static window test `start <= now < end`. The
+/// client's endorsement-timeout arm sits between `Assemble` and the cut
+/// race: a fan-out completing at the very deadline still assembles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Phase {
+    /// A fault window closes (the affected component recovers).
+    FaultEnd,
+    /// A fault window opens (outage / latency spike / orderer stall).
+    FaultStart,
     /// A client creates and signs a proposal.
     Submit,
     /// The signed proposal fans out to the selected endorsers.
@@ -94,6 +107,8 @@ pub(crate) enum Phase {
     Endorse,
     /// The client verifies endorsements and assembles the envelope.
     Assemble,
+    /// The client's endorsement deadline fires: retry or give up.
+    EndorseTimeout,
     /// The envelope reaches the ordering service (may trigger a size cut).
     Order,
     /// The block-timeout timer fires (the losing racer is cancelled).
@@ -107,38 +122,67 @@ pub(crate) enum Phase {
 impl EventKind for Phase {
     fn priority(&self) -> u8 {
         match self {
-            Phase::Submit => 0,
-            Phase::Propose => 1,
-            Phase::Endorse => 2,
-            Phase::Assemble => 3,
-            Phase::CutBlock => 4,
-            Phase::Order => 5,
-            Phase::Validate => 6,
-            Phase::Commit => 7,
+            Phase::FaultEnd => 0,
+            Phase::FaultStart => 1,
+            Phase::Submit => 2,
+            Phase::Propose => 3,
+            Phase::Endorse => 4,
+            Phase::Assemble => 5,
+            Phase::EndorseTimeout => 6,
+            Phase::CutBlock => 7,
+            Phase::Order => 8,
+            Phase::Validate => 9,
+            Phase::Commit => 10,
         }
     }
 }
 
 /// Event subject: which entity a [`Phase`] event targets.
 ///
-/// `idx` is a transaction handle for client/endorse/order phases and a
-/// block handle (index into the in-flight list) for validate/commit;
-/// `slot` selects the endorsement slot within a transaction.
+/// `idx` is a transaction handle for client/endorse/order phases, a block
+/// handle (index into the in-flight list) for validate/commit, and a fault
+/// window index for `FaultStart`/`FaultEnd`; `slot` selects the endorsement
+/// slot within a transaction. `epoch` is the transaction's attempt epoch:
+/// events carrying a stale epoch belong to a fan-out the client already
+/// timed out and are ignored on dispatch.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Target {
     idx: usize,
     slot: usize,
+    epoch: u32,
 }
 
 impl Target {
     fn tx(idx: usize) -> Self {
-        Target { idx, slot: 0 }
+        Target {
+            idx,
+            slot: 0,
+            epoch: 0,
+        }
     }
-    fn endorse(idx: usize, slot: usize) -> Self {
-        Target { idx, slot }
+    fn tx_at(idx: usize, epoch: u32) -> Self {
+        Target {
+            idx,
+            slot: 0,
+            epoch,
+        }
+    }
+    fn endorse(idx: usize, slot: usize, epoch: u32) -> Self {
+        Target { idx, slot, epoch }
     }
     fn block(idx: usize) -> Self {
-        Target { idx, slot: 0 }
+        Target {
+            idx,
+            slot: 0,
+            epoch: 0,
+        }
+    }
+    fn window(idx: usize) -> Self {
+        Target {
+            idx,
+            slot: 0,
+            epoch: 0,
+        }
     }
     fn timer() -> Self {
         Target::default()
@@ -160,6 +204,17 @@ struct Pending {
     endorse_peers: Vec<PeerId>,
     endorse_starts: Vec<SimTime>,
     results: Vec<Option<EndorseResult>>,
+    /// Per-slot: the endorsement reply was lost in transit (fault drop).
+    response_dropped: Vec<bool>,
+    /// Proposal attempts so far (1 after the first fan-out).
+    attempt: usize,
+    /// Current attempt epoch; bumped when a timeout abandons a fan-out.
+    epoch: u32,
+    /// The pending `Assemble` event for the current fan-out, cancellable
+    /// when the endorsement timeout wins the race.
+    assemble_timer: Option<TimerId>,
+    /// The armed endorsement-timeout event, cancelled when assembly wins.
+    timeout_timer: Option<TimerId>,
     mismatch: bool,
     dropped: bool,
 }
@@ -182,6 +237,8 @@ pub struct Simulation {
     config: NetworkConfig,
     contracts: HashMap<String, Arc<dyn Contract>>,
     genesis: Vec<(String, String, Value)>,
+    fault: FaultSpec,
+    retry: RetryPolicy,
 }
 
 /// The DES handler holding all of one run's mutable state. Each [`Phase`]
@@ -194,6 +251,17 @@ struct Engine<'a> {
     endorsers: EndorserFleet,
     selector: EndorserSelector,
     rng: SimRng,
+    /// Compiled fault windows with live activity flags (empty when the
+    /// fault spec is a no-op, in which case no fault events exist either).
+    faults: FaultRuntime,
+    /// Dedicated stream for proposal/endorsement drop draws; untouched in
+    /// healthy runs so enabling drops never perturbs endorser selection.
+    drop_rng: SimRng,
+    /// Dedicated stream for backoff jitter draws (retry path only).
+    backoff_rng: SimRng,
+    /// Client-resilience counters surfaced as the report's degradation
+    /// section.
+    degradation: Degradation,
     cutter: BlockCutter,
     /// The armed block-timeout timer, if any — the cancellable half of the
     /// cut race.
@@ -215,10 +283,13 @@ type Queue = DesQueue<Phase, Target>;
 impl Handler<Phase, Target> for Engine<'_> {
     fn handle(&mut self, now: SimTime, kind: Phase, target: Target, queue: &mut Queue) {
         match kind {
+            Phase::FaultStart => self.faults.activate(target.idx),
+            Phase::FaultEnd => self.faults.deactivate(target.idx),
             Phase::Submit => self.submit(now, target.idx, queue),
-            Phase::Propose => self.propose(now, target.idx, queue),
-            Phase::Endorse => self.endorse(target.idx, target.slot),
-            Phase::Assemble => self.assemble(now, target.idx, queue),
+            Phase::Propose => self.propose(now, target.idx, target.epoch, queue),
+            Phase::Endorse => self.endorse(target.idx, target.slot, target.epoch),
+            Phase::Assemble => self.assemble(now, target.idx, target.epoch, queue),
+            Phase::EndorseTimeout => self.endorse_timeout(now, target.idx, target.epoch, queue),
             Phase::Order => self.order(now, target.idx, queue),
             Phase::CutBlock => self.cut_block(now, queue),
             Phase::Validate => self.validate(now, target.idx, queue),
@@ -247,7 +318,10 @@ impl Engine<'_> {
         queue.schedule(done, Phase::Propose, Target::tx(i));
     }
 
-    fn propose(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+    fn propose(&mut self, now: SimTime, i: usize, epoch: u32, queue: &mut Queue) {
+        if self.pending[i].dropped || self.pending[i].epoch != epoch {
+            return;
+        }
         let res = &self.sim.config.resources;
         let req = &self.requests[i];
         let contract = self
@@ -267,21 +341,82 @@ impl Engine<'_> {
             .iter()
             .copied()
             .collect();
-        let arrival = now + res.net_delay;
+        let arrival = now + self.net_delay();
         let mut last_done = now;
+        self.pending[i].attempt += 1;
+        let drops = self.sim.fault.drop;
+        // Whether every selected endorser can be expected to answer this
+        // fan-out. Peer availability is predicted with the static window
+        // test at the execution start instant, which agrees exactly with
+        // the live flags the `Endorse` handler will observe there.
+        let mut all_responsive = true;
         for (slot, &org) in orgs.iter().enumerate() {
+            let proposal_lost = drops.is_some_and(|d| self.drop_rng.chance(d.proposal_rate));
+            if proposal_lost {
+                // The proposal never reaches the peer: nothing executes and
+                // no `Endorse` event exists for the slot. A placeholder
+                // entry keeps the per-slot vectors aligned; it can never
+                // reach an envelope because a fan-out with a missing result
+                // either retries (vectors cleared) or aborts.
+                self.degradation.dropped_proposals += 1;
+                all_responsive = false;
+                self.pending[i].endorse_peers.push(PeerId { org, index: 0 });
+                self.pending[i].endorse_starts.push(arrival);
+                self.pending[i].results.push(None);
+                self.pending[i].response_dropped.push(false);
+                continue;
+            }
             let (peer, start, done) = self.endorsers.submit(org, arrival, service);
+            let response_lost = drops.is_some_and(|d| self.drop_rng.chance(d.endorsement_rate));
+            if response_lost {
+                self.degradation.dropped_endorsements += 1;
+            }
+            if response_lost || self.faults.peer_down_at(peer, start) {
+                all_responsive = false;
+            }
             self.pending[i].endorse_peers.push(peer);
             self.pending[i].endorse_starts.push(start);
             self.pending[i].results.push(None);
+            self.pending[i].response_dropped.push(response_lost);
             last_done = last_done.max(done);
-            queue.schedule(start, Phase::Endorse, Target::endorse(i, slot));
+            queue.schedule(start, Phase::Endorse, Target::endorse(i, slot, epoch));
         }
         self.pending[i].endorse_orgs = orgs;
-        queue.schedule(last_done + res.net_delay, Phase::Assemble, Target::tx(i));
+        // The client races its endorsement deadline against the fan-out.
+        // Assembly is only scheduled when every slot will answer (or when
+        // no timeout is configured — the legacy client waits forever and
+        // aborts on the incomplete result set).
+        let timeout = self.sim.retry.endorse_timeout_duration();
+        if all_responsive || timeout.is_none() {
+            let at = last_done + self.net_delay();
+            self.pending[i].assemble_timer =
+                Some(queue.schedule_timer(at, Phase::Assemble, Target::tx_at(i, epoch)));
+        }
+        if let Some(deadline) = timeout {
+            self.pending[i].timeout_timer = Some(queue.schedule_timer(
+                now + deadline,
+                Phase::EndorseTimeout,
+                Target::tx_at(i, epoch),
+            ));
+        }
     }
 
-    fn endorse(&mut self, tx: usize, slot: usize) {
+    fn endorse(&mut self, tx: usize, slot: usize, epoch: u32) {
+        {
+            let p = &self.pending[tx];
+            if p.dropped || p.epoch != epoch {
+                return;
+            }
+            // Consult live fault state: a peer inside an active outage
+            // window executes nothing, and a reply the fault plan drops
+            // never reaches the client.
+            if self.faults.peer_down_now(p.endorse_peers[slot]) {
+                return;
+            }
+            if p.response_dropped.get(slot).copied().unwrap_or(false) {
+                return;
+            }
+        }
         let req = &self.requests[tx];
         let contract = &self.sim.contracts[req.contract.as_ref()];
         let mut ctx = TxContext::new(&self.state, contract.name());
@@ -292,20 +427,32 @@ impl Engine<'_> {
         });
     }
 
-    fn assemble(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
+    fn assemble(&mut self, now: SimTime, i: usize, epoch: u32, queue: &mut Queue) {
+        if self.pending[i].dropped || self.pending[i].epoch != epoch {
+            return;
+        }
+        // Assembly won the race: disarm the endorsement deadline.
+        self.pending[i].assemble_timer = None;
+        if let Some(timer) = self.pending[i].timeout_timer.take() {
+            queue.cancel(timer);
+        }
         let p = &mut self.pending[i];
         let mut first_ok: Option<usize> = None;
         let mut aborted = false;
+        let mut missing = false;
         for (slot, r) in p.results.iter().enumerate() {
             match r {
                 Some(EndorseResult::Ok(_)) => {
                     first_ok = first_ok.or(Some(slot));
                 }
                 Some(EndorseResult::Abort(_)) => aborted = true,
-                None => {}
+                // A slot with no result (lost proposal/reply, peer down)
+                // leaves the policy's org set unsatisfied — without a
+                // timeout arm the client gives up here.
+                None => missing = true,
             }
         }
-        let Some(first) = first_ok.filter(|_| !aborted) else {
+        let Some(first) = first_ok.filter(|_| !aborted && !missing) else {
             // The chaincode rejected the proposal on at least one endorser:
             // the client cannot assemble a valid transaction — early abort
             // (pruning path). The contract's reason feeds the report's
@@ -318,7 +465,7 @@ impl Engine<'_> {
                     EndorseResult::Abort(reason) => Some(reason.as_str()),
                     EndorseResult::Ok(_) => None,
                 })
-                .unwrap_or("no endorsement result");
+                .unwrap_or(fault::NO_ENDORSEMENT_REASON);
             *self.abort_reasons.entry(reason.to_string()).or_insert(0) += 1;
             p.dropped = true;
             self.early_aborted += 1;
@@ -341,11 +488,57 @@ impl Engine<'_> {
         p.submit_ts = done;
         // Move the canonical rwset into slot 0 (no clone).
         p.results.swap(0, first);
-        queue.schedule(
-            done + self.sim.config.resources.net_delay,
-            Phase::Order,
-            Target::tx(i),
-        );
+        queue.schedule(done + self.net_delay(), Phase::Order, Target::tx(i));
+    }
+
+    /// The client's endorsement deadline fired before the fan-out
+    /// completed: abandon the current attempt epoch, then either re-select
+    /// endorsers and retry after a deterministic backoff, or — with the
+    /// retry budget exhausted — abort with the typed exhaustion reason.
+    fn endorse_timeout(&mut self, now: SimTime, i: usize, epoch: u32, queue: &mut Queue) {
+        if self.pending[i].dropped || self.pending[i].epoch != epoch {
+            return;
+        }
+        self.pending[i].timeout_timer = None;
+        if let Some(timer) = self.pending[i].assemble_timer.take() {
+            queue.cancel(timer);
+        }
+        self.degradation.timeouts += 1;
+        let max_attempts = self.sim.retry.max_attempts.max(1);
+        let p = &mut self.pending[i];
+        if p.attempt >= max_attempts {
+            *self
+                .abort_reasons
+                .entry(RETRY_EXHAUSTED_REASON.to_string())
+                .or_insert(0) += 1;
+            p.dropped = true;
+            self.early_aborted += 1;
+            self.degradation.retry_exhausted += 1;
+            return;
+        }
+        self.degradation.retries += 1;
+        p.epoch += 1;
+        p.endorse_orgs.clear();
+        p.endorse_peers.clear();
+        p.endorse_starts.clear();
+        p.results.clear();
+        p.response_dropped.clear();
+        p.mismatch = false;
+        let retry_index = p.attempt as u32;
+        let next_epoch = p.epoch;
+        let backoff = self.sim.retry.backoff(retry_index, &mut self.backoff_rng);
+        queue.schedule(now + backoff, Phase::Propose, Target::tx_at(i, next_epoch));
+    }
+
+    /// The base network delay, inflated by any active latency-spike
+    /// windows. Sampled at send time; with no active spike the base delay
+    /// is returned untouched (no float round-trip).
+    fn net_delay(&self) -> SimDuration {
+        let base = self.sim.config.resources.net_delay;
+        match self.faults.latency_factor() {
+            Some(factor) => base.mul_f64(factor),
+            None => base,
+        }
     }
 
     fn order(&mut self, now: SimTime, i: usize, queue: &mut Queue) {
@@ -411,8 +604,11 @@ impl Engine<'_> {
 
         let n = cut.txs.len() as u64;
         let assembly = res.order_block_fixed + res.order_per_tx.mul(n) + outcome.extra_cost;
-        let (_, assembled) = self.orderer_srv.submit(cut.at, assembly);
-        let delivered = assembled + res.raft_delay + res.net_delay;
+        // An orderer stall holds the cut at the door: the block enters the
+        // ordering queue when the stall window lifts.
+        let accepted = self.faults.orderer_release(cut.at).unwrap_or(cut.at);
+        let (_, assembled) = self.orderer_srv.submit(accepted, assembly);
+        let delivered = assembled + res.raft_delay + self.net_delay();
 
         let mut validation = res.validate_block_fixed;
         for &i in &cut.txs {
@@ -506,6 +702,11 @@ impl Engine<'_> {
                     self.inter += 1;
                 }
             }
+            // A success that needed more than one fan-out is a graceful
+            // degradation, not a failure — surfaced in the report.
+            if verdict.status == TxStatus::Success && self.pending[tx_idx].attempt > 1 {
+                self.degradation.degraded_success += 1;
+            }
             // Each transaction commits exactly once, so the canonical rwset
             // and endorser list move into the envelope instead of being
             // cloned.
@@ -543,13 +744,39 @@ impl Engine<'_> {
 }
 
 impl Simulation {
-    /// A simulation over `config` with no contracts installed yet.
+    /// A simulation over `config` with no contracts installed yet and no
+    /// faults configured.
     pub fn new(config: NetworkConfig) -> Self {
         Simulation {
             config,
             contracts: HashMap::new(),
             genesis: Vec::new(),
+            fault: FaultSpec::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Install a fault plan for subsequent runs. The spec must already be
+    /// validated (the declarative scenario layer does this); a no-op spec
+    /// is guaranteed not to change simulation output.
+    pub fn set_fault(&mut self, fault: FaultSpec) {
+        self.fault = fault;
+    }
+
+    /// Install the client retry policy for subsequent runs. The default
+    /// policy (no endorsement timeout) reproduces the legacy client.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The configured fault plan.
+    pub fn fault(&self) -> &FaultSpec {
+        &self.fault
+    }
+
+    /// The configured client retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Install (deploy) a chaincode.
@@ -609,6 +836,19 @@ impl Simulation {
             .map(|&i| requests[i].send_time)
             .unwrap_or(SimTime::ZERO);
         let mut queue: Queue = DesQueue::new();
+        // Fault-window boundaries become cancellable DES events toggling
+        // the runtime's live availability flags. A no-op spec compiles to
+        // zero windows, so healthy runs schedule exactly the same events
+        // (and sequence numbers) as before faults existed.
+        let faults = if self.fault.is_noop() {
+            FaultRuntime::default()
+        } else {
+            FaultRuntime::compile(&self.fault)
+        };
+        for (w, start, end) in faults.spans() {
+            let _ = queue.schedule_timer(start, Phase::FaultStart, Target::window(w));
+            let _ = queue.schedule_timer(end, Phase::FaultEnd, Target::window(w));
+        }
         for &i in &order {
             queue.schedule(requests[i].send_time, Phase::Submit, Target::tx(i));
         }
@@ -625,6 +865,10 @@ impl Simulation {
                 self.endorser_skew_from_seed(),
             ),
             rng: SimRng::derive(cfg.seed, 0xE5D0),
+            faults,
+            drop_rng: SimRng::derive(cfg.seed, DROP_STREAM),
+            backoff_rng: SimRng::derive(cfg.seed, BACKOFF_STREAM),
+            degradation: Degradation::default(),
             cutter: BlockCutter::new(cfg.block_count, cfg.block_bytes, cfg.block_timeout),
             cut_timer: None,
             orderer_srv: QueueServer::new(),
@@ -650,8 +894,13 @@ impl Simulation {
             abort_reasons,
             intra,
             inter,
+            mut degradation,
             ..
         } = engine;
+
+        if !self.fault.is_noop() {
+            degradation.windows = fault_window_stats(&self.fault, requests, &ledger);
+        }
 
         let mut report = SimReport::from_ledger(&ledger, requests.len(), first_send);
         report.early_aborted = early_aborted;
@@ -659,6 +908,7 @@ impl Simulation {
         report.intra_block_conflicts = intra;
         report.inter_block_conflicts = inter;
         report.events = events;
+        report.degradation = degradation;
         let horizon = SimTime::ZERO
             + SimDuration::from_secs_f64(report.duration_s)
             + first_send.since(SimTime::ZERO);
@@ -691,6 +941,85 @@ impl Simulation {
         // Envelope framing + one signature per endorsement.
         256 + rw + args + 96 * p.endorse_peers.len() as u64
     }
+}
+
+/// Per-fault-window outcome statistics: which requests were sent while the
+/// window was open, and how they fared. Transaction ids are request
+/// indices, so the committed outcomes map back onto send times directly.
+fn fault_window_stats(
+    fault: &FaultSpec,
+    requests: &[TxRequest],
+    ledger: &Ledger,
+) -> Vec<FaultWindowStats> {
+    fn at(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+    let mut outcomes: BTreeMap<u64, (bool, f64)> = BTreeMap::new();
+    for t in ledger.transactions() {
+        outcomes.insert(t.id.0, (t.status.is_success(), t.latency().as_secs_f64()));
+    }
+    let mut windows: Vec<(String, SimTime, SimTime)> = Vec::new();
+    for w in &fault.endorser_outages {
+        let label = match w.peer {
+            Some(p) => format!(
+                "outage org{} peer{} {:.2}s+{:.2}s",
+                w.org, p, w.start, w.duration
+            ),
+            None => format!("outage org{} {:.2}s+{:.2}s", w.org, w.start, w.duration),
+        };
+        windows.push((label, at(w.start), at(w.start + w.duration)));
+    }
+    for s in &fault.latency_spikes {
+        windows.push((
+            format!(
+                "latency x{:.1} {:.2}s+{:.2}s",
+                s.multiplier, s.start, s.duration
+            ),
+            at(s.start),
+            at(s.start + s.duration),
+        ));
+    }
+    for s in &fault.orderer_stalls {
+        windows.push((
+            format!("stall {:.2}s+{:.2}s", s.start, s.duration),
+            at(s.start),
+            at(s.start + s.duration),
+        ));
+    }
+    windows
+        .into_iter()
+        .map(|(label, start, end)| {
+            let mut submitted = 0usize;
+            let mut successes = 0usize;
+            let mut latency_sum = 0.0f64;
+            for (i, req) in requests.iter().enumerate() {
+                if req.send_time >= start && req.send_time < end {
+                    submitted += 1;
+                    if let Some(&(ok, latency)) = outcomes.get(&(i as u64)) {
+                        if ok {
+                            successes += 1;
+                            latency_sum += latency;
+                        }
+                    }
+                }
+            }
+            FaultWindowStats {
+                label,
+                submitted,
+                successes,
+                success_rate_pct: if submitted == 0 {
+                    0.0
+                } else {
+                    successes as f64 / submitted as f64 * 100.0
+                },
+                avg_latency_s: if successes == 0 {
+                    0.0
+                } else {
+                    latency_sum / successes as f64
+                },
+            }
+        })
+        .collect()
 }
 
 fn ratio(busy: SimDuration, horizon: SimTime, servers: usize) -> f64 {
@@ -1003,5 +1332,220 @@ mod tests {
             "events {} too low",
             out.report.events
         );
+    }
+
+    // ---- fault injection & client resilience ----
+
+    use crate::fault::{
+        DropSpec, FaultSpec, LatencySpike, OutageWindow, RetryPolicy, StallWindow,
+        RETRY_EXHAUSTED_REASON,
+    };
+
+    fn puts(n: u64) -> Vec<TxRequest> {
+        (0..n)
+            .map(|i| req(i, "put", vec![format!("k{i}").into(), Value::Int(1)]))
+            .collect()
+    }
+
+    fn org0_outage(start: f64, duration: f64) -> FaultSpec {
+        FaultSpec {
+            endorser_outages: vec![OutageWindow {
+                org: 0,
+                peer: None,
+                start,
+                duration,
+            }],
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn outage_without_retry_aborts_affected_transactions() {
+        let mut s = sim(); // majority of 2 orgs: every tx needs org 0
+        s.set_fault(org0_outage(0.0, 60.0));
+        let out = s.run(&puts(5));
+        assert_eq!(out.report.committed, 0, "{}", out.report);
+        assert_eq!(out.report.early_aborted, 5);
+        assert_eq!(
+            out.report.early_abort_reasons.get("no endorsement result"),
+            Some(&5)
+        );
+        let windows = &out.report.degradation.windows;
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].submitted, 5);
+        assert_eq!(windows[0].successes, 0);
+        assert!(windows[0].label.starts_with("outage org0"));
+    }
+
+    #[test]
+    fn retry_rescues_transactions_once_the_outage_lifts() {
+        let mut s = sim();
+        s.set_fault(org0_outage(0.0, 0.5));
+        s.set_retry(RetryPolicy {
+            endorse_timeout: Some(0.2),
+            max_attempts: 10,
+            backoff_base: 0.1,
+            backoff_multiplier: 2.0,
+            jitter: 0.0,
+        });
+        let out = s.run(&puts(3));
+        assert_eq!(out.report.committed, 3, "{}", out.report);
+        assert_eq!(out.report.successes, 3);
+        let d = &out.report.degradation;
+        assert!(d.retries > 0, "{d:?}");
+        assert!(d.timeouts > 0);
+        assert_eq!(d.retry_exhausted, 0);
+        assert_eq!(d.degraded_success, 3, "all successes needed retries");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_as_typed_abort_reason() {
+        let mut s = sim();
+        s.set_fault(org0_outage(0.0, 60.0));
+        s.set_retry(RetryPolicy {
+            endorse_timeout: Some(0.1),
+            max_attempts: 2,
+            backoff_base: 0.05,
+            backoff_multiplier: 2.0,
+            jitter: 0.0,
+        });
+        let out = s.run(&puts(4));
+        assert_eq!(out.report.committed, 0);
+        assert_eq!(out.report.early_aborted, 4);
+        assert_eq!(
+            out.report.early_abort_reasons.get(RETRY_EXHAUSTED_REASON),
+            Some(&4)
+        );
+        let d = &out.report.degradation;
+        assert_eq!(d.retry_exhausted, 4);
+        assert_eq!(d.retries, 4, "one retry each before exhaustion");
+        assert_eq!(d.timeouts, 8, "two timeouts per transaction");
+        let text = out.report.to_string();
+        assert!(text.contains(RETRY_EXHAUSTED_REASON), "{text}");
+        assert!(text.contains("degradation"), "{text}");
+    }
+
+    #[test]
+    fn latency_spike_inflates_end_to_end_latency() {
+        let healthy = sim().run(&puts(5));
+        let mut s = sim();
+        s.set_fault(FaultSpec {
+            latency_spikes: vec![LatencySpike {
+                start: 0.0,
+                duration: 120.0,
+                multiplier: 40.0,
+            }],
+            ..FaultSpec::default()
+        });
+        let spiked = s.run(&puts(5));
+        assert_eq!(spiked.report.committed, 5);
+        assert!(
+            spiked.report.avg_latency_s > healthy.report.avg_latency_s,
+            "spiked {} <= healthy {}",
+            spiked.report.avg_latency_s,
+            healthy.report.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn orderer_stall_delays_the_block() {
+        let mut s = sim();
+        s.set_fault(FaultSpec {
+            orderer_stalls: vec![StallWindow {
+                start: 0.0,
+                duration: 2.0,
+            }],
+            ..FaultSpec::default()
+        });
+        let out = s.run(&puts(1));
+        assert_eq!(out.report.committed, 1);
+        let commit = out.ledger.blocks()[0].commit_ts;
+        assert!(
+            commit >= SimTime::from_secs(2),
+            "block committed at {commit:?} inside the stall"
+        );
+    }
+
+    #[test]
+    fn endorsement_drops_without_retry_abort() {
+        let mut s = sim();
+        s.set_fault(FaultSpec {
+            drop: Some(DropSpec {
+                proposal_rate: 0.0,
+                endorsement_rate: 1.0,
+            }),
+            ..FaultSpec::default()
+        });
+        let out = s.run(&puts(3));
+        assert_eq!(out.report.committed, 0);
+        assert_eq!(out.report.early_aborted, 3);
+        assert!(out.report.degradation.dropped_endorsements >= 3);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let build = || {
+            let mut s = sim();
+            s.set_fault(FaultSpec {
+                endorser_outages: vec![OutageWindow {
+                    org: 1,
+                    peer: Some(0),
+                    start: 0.05,
+                    duration: 0.3,
+                }],
+                drop: Some(DropSpec {
+                    proposal_rate: 0.2,
+                    endorsement_rate: 0.2,
+                }),
+                ..FaultSpec::default()
+            });
+            s.set_retry(RetryPolicy {
+                endorse_timeout: Some(0.15),
+                max_attempts: 4,
+                backoff_base: 0.02,
+                backoff_multiplier: 2.0,
+                jitter: 0.3,
+            });
+            s
+        };
+        let reqs = puts(40);
+        let a = build().run(&reqs);
+        let b = build().run(&reqs);
+        assert_eq!(a.report.events, b.report.events);
+        assert_eq!(a.report.degradation, b.report.degradation);
+        let ids_a: Vec<(u64, TxStatus)> = a
+            .ledger
+            .transactions()
+            .map(|t| (t.id.0, t.status))
+            .collect();
+        let ids_b: Vec<(u64, TxStatus)> = b
+            .ledger
+            .transactions()
+            .map(|t| (t.id.0, t.status))
+            .collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn noop_fault_spec_changes_nothing() {
+        let reqs: Vec<TxRequest> = (0..30)
+            .map(|i| req(i, "upd", vec!["counter".into()]))
+            .collect();
+        let plain = sim().run(&reqs);
+        let mut s = sim();
+        // A present-but-empty fault spec and zero drop rates must leave
+        // the run byte-identical: no events, no RNG draws.
+        s.set_fault(FaultSpec {
+            drop: Some(DropSpec::default()),
+            ..FaultSpec::default()
+        });
+        s.set_retry(RetryPolicy::default());
+        let gated = s.run(&reqs);
+        assert_eq!(plain.report.events, gated.report.events);
+        assert_eq!(plain.report.successes, gated.report.successes);
+        let ids_a: Vec<u64> = plain.ledger.transactions().map(|t| t.id.0).collect();
+        let ids_b: Vec<u64> = gated.ledger.transactions().map(|t| t.id.0).collect();
+        assert_eq!(ids_a, ids_b);
+        assert!(gated.report.degradation.is_trivial());
     }
 }

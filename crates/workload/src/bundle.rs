@@ -2,6 +2,7 @@
 
 use fabric_sim::config::NetworkConfig;
 use fabric_sim::contract::Contract;
+use fabric_sim::fault::{FaultSpec, RetryPolicy};
 use fabric_sim::sim::{SimOutput, Simulation, TxRequest};
 use fabric_sim::types::Value;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,10 @@ pub struct WorkloadBundle {
     pub requests: Vec<TxRequest>,
     /// Prepared smart-contract rewrites (see [`VariantKind`]).
     variants: VariantTable,
+    /// Fault plan the run executes under (default: no faults).
+    pub fault: FaultSpec,
+    /// Client resilience policy (default: the legacy wait-forever client).
+    pub retry: RetryPolicy,
     /// Provenance: the declarative spec this bundle was built from (set by
     /// [`crate::scenario::ScenarioSpec::build`], cleared by any rewrite).
     pub(crate) source: Option<Arc<crate::scenario::ScenarioSpec>>,
@@ -91,6 +96,8 @@ impl WorkloadBundle {
             genesis,
             requests,
             variants: VariantTable::default(),
+            fault: FaultSpec::default(),
+            retry: RetryPolicy::default(),
             source: None,
         }
     }
@@ -150,7 +157,8 @@ impl WorkloadBundle {
         let resolver = self.variants.resolver.clone()?;
         resolver(self, kinds)
     }
-    /// Build a ready-to-run [`Simulation`] for `config`.
+    /// Build a ready-to-run [`Simulation`] for `config`, carrying the
+    /// bundle's fault plan and retry policy into the engine.
     pub fn simulation(&self, config: NetworkConfig) -> Simulation {
         let mut sim = Simulation::new(config);
         for c in &self.contracts {
@@ -159,6 +167,8 @@ impl WorkloadBundle {
         for (ns, key, value) in &self.genesis {
             sim.seed(ns, key, value.clone());
         }
+        sim.set_fault(self.fault.clone());
+        sim.set_retry(self.retry.clone());
         sim
     }
 

@@ -31,6 +31,9 @@ pub mod spec;
 pub mod synthetic;
 
 pub use bundle::{VariantKind, VariantResolver, WorkloadBundle};
+pub use fabric_sim::fault::{
+    DropSpec, FaultSpec, LatencySpike, OutageWindow, RetryPolicy, StallWindow,
+};
 pub use scenario::{
     ArrivalSpec, ScenarioSpec, ScheduleSpec, SpecError, SpecTransform, WorkloadSpec,
 };

@@ -34,6 +34,7 @@ use crate::bundle::{VariantKind, WorkloadBundle};
 use crate::spec::ControlVariables;
 use crate::{drm, dv, ehr, lap, optimize, scm, synthetic};
 use fabric_sim::config::NetworkConfig;
+use fabric_sim::fault::{FaultSpec, RetryPolicy};
 use fabric_sim::sim::TxRequest;
 use fabric_sim::types::Value;
 use serde::{Deserialize, Serialize};
@@ -337,6 +338,12 @@ pub struct ScenarioSpec {
     pub variants: BTreeSet<VariantKind>,
     /// The network configuration the scenario runs under.
     pub network: NetworkConfig,
+    /// Declarative fault plan (outages, latency spikes, orderer stalls,
+    /// message drops). Absent in JSON ⇒ no faults.
+    pub fault: FaultSpec,
+    /// Client resilience policy (endorsement timeout, retries, backoff).
+    /// Absent in JSON ⇒ the legacy wait-forever client.
+    pub retry: RetryPolicy,
 }
 
 impl Serialize for ScenarioSpec {
@@ -348,6 +355,8 @@ impl Serialize for ScenarioSpec {
             ("transforms".to_string(), self.transforms.to_value()),
             ("variants".to_string(), self.variants.to_value()),
             ("network".to_string(), self.network.to_value()),
+            ("fault".to_string(), self.fault.to_value()),
+            ("retry".to_string(), self.retry.to_value()),
         ])
     }
 }
@@ -372,6 +381,15 @@ impl Deserialize for ScenarioSpec {
             transforms: Deserialize::from_value(field("transforms")?)?,
             variants: Deserialize::from_value(field("variants")?)?,
             network: Deserialize::from_value(field("network")?)?,
+            // Pre-fault specs carry neither field: no faults, legacy client.
+            fault: match v.field("fault") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => FaultSpec::default(),
+            },
+            retry: match v.field("retry") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => RetryPolicy::default(),
+            },
         })
     }
 }
@@ -440,6 +458,8 @@ impl ScenarioSpec {
             transforms: Vec::new(),
             variants: BTreeSet::new(),
             network,
+            fault: FaultSpec::default(),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -639,6 +659,116 @@ impl ScenarioSpec {
             1,
         )?;
         check_min("network.clients_per_org", self.network.clients_per_org, 1)?;
+        self.validate_fault()?;
+        self.validate_retry()?;
+        Ok(())
+    }
+
+    /// Domain checks for the fault plan: every window must be a real,
+    /// positive span of time, outages must name peers the network actually
+    /// has, spikes must not *speed up* the network, and orderer stalls
+    /// must not overlap (two concurrent stalls have no defined release
+    /// order).
+    fn validate_fault(&self) -> Result<(), SpecError> {
+        fn check_window(prefix: &str, start: f64, duration: f64) -> Result<(), SpecError> {
+            if !start.is_finite() || start < 0.0 {
+                return Err(bad(
+                    &format!("{prefix}.start"),
+                    format!("must be nonnegative seconds, got {start}"),
+                ));
+            }
+            if !duration.is_finite() || duration <= 0.0 {
+                return Err(bad(
+                    &format!("{prefix}.duration"),
+                    format!("must be positive seconds, got {duration}"),
+                ));
+            }
+            Ok(())
+        }
+        for (i, w) in self.fault.endorser_outages.iter().enumerate() {
+            let prefix = format!("fault.endorser_outages[{i}]");
+            check_window(&prefix, w.start, w.duration)?;
+            if usize::from(w.org) >= self.network.orgs {
+                return Err(bad(
+                    &format!("{prefix}.org"),
+                    format!(
+                        "org {} does not exist (network has {} orgs)",
+                        w.org, self.network.orgs
+                    ),
+                ));
+            }
+            if let Some(peer) = w.peer {
+                let per_org = self.network.endorsers_per_org();
+                if usize::from(peer) >= per_org {
+                    return Err(bad(
+                        &format!("{prefix}.peer"),
+                        format!("peer {peer} does not exist (each org runs {per_org} endorsers)"),
+                    ));
+                }
+            }
+        }
+        for (i, s) in self.fault.latency_spikes.iter().enumerate() {
+            let prefix = format!("fault.latency_spikes[{i}]");
+            check_window(&prefix, s.start, s.duration)?;
+            if !s.multiplier.is_finite() || s.multiplier < 1.0 {
+                return Err(bad(
+                    &format!("{prefix}.multiplier"),
+                    format!("must be at least 1, got {}", s.multiplier),
+                ));
+            }
+        }
+        for (i, s) in self.fault.orderer_stalls.iter().enumerate() {
+            check_window(&format!("fault.orderer_stalls[{i}]"), s.start, s.duration)?;
+        }
+        for (j, b) in self.fault.orderer_stalls.iter().enumerate() {
+            for (i, a) in self.fault.orderer_stalls.iter().enumerate().take(j) {
+                if a.start < b.start + b.duration && b.start < a.start + a.duration {
+                    return Err(bad(
+                        &format!("fault.orderer_stalls[{j}]"),
+                        format!("overlaps fault.orderer_stalls[{i}]"),
+                    ));
+                }
+            }
+        }
+        if let Some(drop) = self.fault.drop {
+            check_share("fault.drop.proposal_rate", drop.proposal_rate)?;
+            check_share("fault.drop.endorsement_rate", drop.endorsement_rate)?;
+        }
+        Ok(())
+    }
+
+    /// Domain checks for the client resilience policy.
+    fn validate_retry(&self) -> Result<(), SpecError> {
+        check_min("retry.max_attempts", self.retry.max_attempts, 1)?;
+        if let Some(t) = self.retry.endorse_timeout {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(bad(
+                    "retry.endorse_timeout",
+                    format!("must be positive seconds, got {t}"),
+                ));
+            }
+        }
+        if !self.retry.backoff_base.is_finite() || self.retry.backoff_base < 0.0 {
+            return Err(bad(
+                "retry.backoff_base",
+                format!(
+                    "must be nonnegative seconds, got {}",
+                    self.retry.backoff_base
+                ),
+            ));
+        }
+        if !self.retry.backoff_multiplier.is_finite() || self.retry.backoff_multiplier < 1.0 {
+            return Err(bad(
+                "retry.backoff_multiplier",
+                format!("must be at least 1, got {}", self.retry.backoff_multiplier),
+            ));
+        }
+        if !self.retry.jitter.is_finite() || !(0.0..1.0).contains(&self.retry.jitter) {
+            return Err(bad(
+                "retry.jitter",
+                format!("must be in [0, 1), got {}", self.retry.jitter),
+            ));
+        }
         Ok(())
     }
 
@@ -681,6 +811,8 @@ impl ScenarioSpec {
             let restamped = self.arrival.restamp(&bundle.requests, self.seed());
             bundle = bundle.with_requests(restamped);
         }
+        bundle.fault = self.fault.clone();
+        bundle.retry = self.retry.clone();
         Ok((bundle.with_spec(self.clone()), self.network.clone()))
     }
 
@@ -764,6 +896,10 @@ pub fn freeze(
         transforms: Vec::new(),
         variants: BTreeSet::new(),
         network: network.clone(),
+        // Faults and resilience are run conditions, not traffic: they
+        // survive freezing so a replay degrades the same way.
+        fault: bundle.fault.clone(),
+        retry: bundle.retry.clone(),
     })
 }
 
@@ -786,6 +922,7 @@ impl WorkloadBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fabric_sim::fault::{DropSpec, LatencySpike, OutageWindow, StallWindow};
 
     #[test]
     fn builtin_names_cover_all_generators() {
@@ -910,6 +1047,8 @@ mod tests {
             transforms: vec![],
             variants: BTreeSet::new(),
             network: NetworkConfig::default(),
+            fault: FaultSpec::default(),
+            retry: RetryPolicy::default(),
         };
         match spec.validate().unwrap_err() {
             SpecError::UnknownContract { name, known } => {
@@ -1073,5 +1212,147 @@ mod tests {
             format!("{:?}", b.report),
             "frozen schedule replays the exact run"
         );
+    }
+
+    /// A representative non-trivial fault plan + retry policy for tests.
+    fn faulty_fixture() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::builtin("scm").unwrap();
+        spec.fault.endorser_outages.push(OutageWindow {
+            org: 0,
+            peer: Some(2),
+            start: 0.5,
+            duration: 1.5,
+        });
+        spec.fault.latency_spikes.push(LatencySpike {
+            start: 1.0,
+            duration: 2.0,
+            multiplier: 4.0,
+        });
+        spec.fault.orderer_stalls.push(StallWindow {
+            start: 3.0,
+            duration: 0.5,
+        });
+        spec.fault.drop = Some(DropSpec {
+            proposal_rate: 0.05,
+            endorsement_rate: 0.1,
+        });
+        spec.retry = RetryPolicy {
+            endorse_timeout: Some(0.75),
+            max_attempts: 4,
+            backoff_base: 0.1,
+            backoff_multiplier: 2.0,
+            jitter: 0.25,
+        };
+        spec
+    }
+
+    #[test]
+    fn missing_fault_and_retry_fields_default_to_noop() {
+        // Specs saved before the fault layer carry neither field; strip
+        // them from fresh JSON and the spec must still parse as no-faults
+        // with the legacy wait-forever client.
+        let spec = ScenarioSpec::builtin("drm").unwrap();
+        let mut v = serde_json::value_from_str(&spec.to_json()).unwrap();
+        if let serde_json::Value::Object(fields) = &mut v {
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "fault" && k != "retry");
+            assert_eq!(fields.len(), before - 2, "fixture removed both fields");
+        }
+        let back = ScenarioSpec::from_json(&v.render(false)).unwrap();
+        assert!(back.fault.is_noop());
+        assert!(back.retry.is_noop());
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn fault_and_retry_round_trip_through_json() {
+        let spec = faulty_fixture();
+        spec.validate().unwrap();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn bad_fault_parameters_are_rejected_with_dotted_paths() {
+        type Poison = Box<dyn Fn(&mut ScenarioSpec)>;
+        let cases: Vec<(&str, Poison)> = vec![
+            (
+                "fault.endorser_outages[0].duration",
+                Box::new(|s| s.fault.endorser_outages[0].duration = -1.0),
+            ),
+            (
+                "fault.endorser_outages[0].start",
+                Box::new(|s| s.fault.endorser_outages[0].start = f64::NAN),
+            ),
+            (
+                "fault.endorser_outages[0].org",
+                Box::new(|s| s.fault.endorser_outages[0].org = 2),
+            ),
+            (
+                "fault.endorser_outages[0].peer",
+                Box::new(|s| s.fault.endorser_outages[0].peer = Some(5)),
+            ),
+            (
+                "fault.latency_spikes[0].multiplier",
+                Box::new(|s| s.fault.latency_spikes[0].multiplier = 0.5),
+            ),
+            (
+                "fault.orderer_stalls[1]",
+                Box::new(|s| {
+                    s.fault.orderer_stalls.push(StallWindow {
+                        start: 3.25,
+                        duration: 1.0,
+                    })
+                }),
+            ),
+            (
+                "fault.drop.endorsement_rate",
+                Box::new(|s| {
+                    s.fault.drop = Some(DropSpec {
+                        proposal_rate: 0.0,
+                        endorsement_rate: 1.5,
+                    })
+                }),
+            ),
+            ("retry.max_attempts", Box::new(|s| s.retry.max_attempts = 0)),
+            (
+                "retry.endorse_timeout",
+                Box::new(|s| s.retry.endorse_timeout = Some(0.0)),
+            ),
+            (
+                "retry.backoff_multiplier",
+                Box::new(|s| s.retry.backoff_multiplier = 0.0),
+            ),
+            ("retry.jitter", Box::new(|s| s.retry.jitter = 1.0)),
+        ];
+        for (field, poison) in cases {
+            let mut spec = faulty_fixture();
+            poison(&mut spec);
+            match spec.validate().unwrap_err() {
+                SpecError::BadParameter { field: f, .. } => assert_eq!(f, field),
+                other => panic!("expected BadParameter for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn build_threads_fault_and_retry_into_the_bundle() {
+        let spec = faulty_fixture();
+        let (bundle, config) = spec.build().unwrap();
+        assert_eq!(bundle.fault, spec.fault);
+        assert_eq!(bundle.retry, spec.retry);
+        let sim = bundle.simulation(config);
+        assert_eq!(*sim.fault(), spec.fault);
+        assert_eq!(*sim.retry(), spec.retry);
+    }
+
+    #[test]
+    fn freeze_carries_fault_and_retry() {
+        let spec = faulty_fixture();
+        let (bundle, config) = spec.build().unwrap();
+        let frozen = freeze("scm-faulty", &bundle, &config).unwrap();
+        frozen.validate().unwrap();
+        assert_eq!(frozen.fault, spec.fault);
+        assert_eq!(frozen.retry, spec.retry);
     }
 }

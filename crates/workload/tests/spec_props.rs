@@ -190,6 +190,8 @@ fn unknown_contract_names_are_typed_errors() {
         transforms: vec![],
         variants: BTreeSet::new(),
         network: fabric_sim::config::NetworkConfig::default(),
+        fault: workload::FaultSpec::default(),
+        retry: workload::RetryPolicy::default(),
     };
     match spec.validate() {
         Err(SpecError::UnknownContract { name, known }) => {
