@@ -43,6 +43,12 @@ use sim_core::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+/// Seed-stream label for the engine's service-time draws. Like
+/// [`DROP_STREAM`]/[`BACKOFF_STREAM`], the engine RNG is derived from the
+/// network seed through a dedicated named stream so new consumers of the
+/// seed can never perturb existing draw sequences.
+pub const ENGINE_STREAM: u64 = 0xE5D0;
+
 /// One workload transaction to inject.
 ///
 /// Names and arguments are shared ([`Name`] = `Arc<str>`, `Arc<[Value]>`):
@@ -864,7 +870,7 @@ impl Simulation {
                 cfg.orgs,
                 self.endorser_skew_from_seed(),
             ),
-            rng: SimRng::derive(cfg.seed, 0xE5D0),
+            rng: SimRng::derive(cfg.seed, ENGINE_STREAM),
             faults,
             drop_rng: SimRng::derive(cfg.seed, DROP_STREAM),
             backoff_rng: SimRng::derive(cfg.seed, BACKOFF_STREAM),

@@ -54,9 +54,12 @@ pub fn music_key(i: usize) -> String {
     format!("M{i:04}")
 }
 
+/// Seed-stream label for DRM generation (see `DV_STREAM` for the pattern).
+pub const DRM_STREAM: u64 = 0xD6A0;
+
 /// Generate the DRM workload with the base contract.
 pub fn generate(spec: &DrmSpec) -> WorkloadBundle {
-    let mut rng = SimRng::derive(spec.seed, 0xD6A0);
+    let mut rng = SimRng::derive(spec.seed, DRM_STREAM);
     let popularity = Zipf::new(spec.catalogue, spec.popularity_skew);
     let other = ["create", "queryRightHolders", "viewMetaData", "calcRevenue"];
     let inter = Exponential::with_mean(SimDuration::from_secs_f64(1.0 / spec.send_rate.max(1e-9)));

@@ -63,9 +63,12 @@ pub fn institute_name(i: usize) -> String {
     format!("inst{i:02}")
 }
 
+/// Seed-stream label for EHR generation (see `DV_STREAM` for the pattern).
+pub const EHR_STREAM: u64 = 0xE4B0;
+
 /// Generate the EHR workload with the base contract.
 pub fn generate(spec: &EhrSpec) -> WorkloadBundle {
-    let mut rng = SimRng::derive(spec.seed, 0xE4B0);
+    let mut rng = SimRng::derive(spec.seed, EHR_STREAM);
     // Residual mix: queries dominate the non-update traffic (institutes
     // poll records far more often than access rights change).
     let rest = 1.0 - spec.update_share;

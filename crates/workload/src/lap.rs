@@ -109,9 +109,12 @@ fn application_trace(rng: &mut SimRng, rework_rate: f64) -> Vec<&'static str> {
     trace
 }
 
+/// Seed-stream label for LAP generation (see `DV_STREAM` for the pattern).
+pub const LAP_STREAM: u64 = 0x1A90;
+
 /// Generate the LAP workload with the paper's by-employee data model.
 pub fn generate(spec: &LapSpec) -> WorkloadBundle {
-    let mut rng = SimRng::derive(spec.seed, 0x1A90);
+    let mut rng = SimRng::derive(spec.seed, LAP_STREAM);
 
     // Employee assignment: employee 1 takes `hot_employee_share`, the rest
     // share the remainder evenly.

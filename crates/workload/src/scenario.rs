@@ -513,6 +513,9 @@ impl ScenarioSpec {
     /// here with a typed [`SpecError`] instead of tripping a generator
     /// assertion.
     pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.trim().is_empty() {
+            return Err(bad("name", "scenario name must be non-empty"));
+        }
         match &self.workload {
             WorkloadSpec::Synthetic(cv) => {
                 check_rate("synthetic.send_rate", cv.send_rate)?;
@@ -596,6 +599,17 @@ impl ScenarioSpec {
                         }
                     })?;
                     namespaces.insert(contract.name().to_string());
+                }
+                for (i, (ns, _key, _value)) in s.genesis.iter().enumerate() {
+                    if !namespaces.contains(ns.as_str()) {
+                        return Err(bad(
+                            &format!("schedule.genesis[{i}].namespace"),
+                            format!(
+                                "namespace {ns:?} is not installed by {:?}",
+                                s.contracts
+                            ),
+                        ));
+                    }
                 }
                 for (i, r) in s.requests.iter().enumerate() {
                     if !namespaces.contains(r.contract.as_ref()) {
@@ -1054,6 +1068,40 @@ mod tests {
             SpecError::UnknownContract { name, known } => {
                 assert_eq!(name, "no-such-contract");
                 assert!(known.contains(&"scm".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_scenario_name_is_rejected() {
+        let mut spec = ScenarioSpec::builtin("scm").unwrap();
+        spec.name = "  ".into();
+        match spec.validate().unwrap_err() {
+            SpecError::BadParameter { field, .. } => assert_eq!(field, "name"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_specs_validate_genesis_namespaces() {
+        let spec = ScenarioSpec {
+            name: "byo".into(),
+            workload: WorkloadSpec::Schedule(ScheduleSpec {
+                contracts: vec!["scm".into()],
+                genesis: vec![("drm".into(), "M0001".into(), Value::Unit)],
+                requests: vec![],
+            }),
+            arrival: ArrivalSpec::Closed,
+            transforms: vec![],
+            variants: BTreeSet::new(),
+            network: NetworkConfig::default(),
+            fault: FaultSpec::default(),
+            retry: RetryPolicy::default(),
+        };
+        match spec.validate().unwrap_err() {
+            SpecError::BadParameter { field, .. } => {
+                assert_eq!(field, "schedule.genesis[0].namespace");
             }
             other => panic!("{other:?}"),
         }

@@ -70,9 +70,17 @@ pub fn audit_key(i: usize) -> String {
     format!("A{i:04}")
 }
 
+/// Seed-stream label for SCM generation (see `DV_STREAM` for the pattern).
+pub const SCM_STREAM: u64 = 0x5C31;
+
+/// Base of the per-product sub-streams: product `p` draws from
+/// `SCM_PRODUCT_STREAM + p`, keeping anomaly placement independent of how
+/// many other products exist.
+pub const SCM_PRODUCT_STREAM: u64 = 0xA110;
+
 /// Generate the SCM workload with the base (unpruned) contract.
 pub fn generate(spec: &ScmSpec) -> WorkloadBundle {
-    let mut rng = SimRng::derive(spec.seed, 0x5C31);
+    let mut rng = SimRng::derive(spec.seed, SCM_STREAM);
     let flow_share = 1.0 - spec.query_share - spec.audit_share;
     assert!(flow_share > 0.0, "query+audit shares must leave room");
 
@@ -175,7 +183,7 @@ pub fn pruned(bundle: WorkloadBundle) -> WorkloadBundle {
 pub const REORDERABLE: [&str; 2] = ["queryProducts", "updateAuditInfo"];
 
 fn rng_for_product(seed: u64, product: usize) -> SimRng {
-    SimRng::derive(seed, 0xA110 + product as u64)
+    SimRng::derive(seed, SCM_PRODUCT_STREAM + product as u64)
 }
 
 #[cfg(test)]

@@ -26,9 +26,13 @@ pub fn key_name(i: usize) -> String {
     format!("k{i:05}")
 }
 
+/// Seed-stream label for synthetic generation (see `DV_STREAM` for the
+/// pattern).
+pub const SYNTHETIC_STREAM: u64 = 0x5E17;
+
 /// Generate the synthetic workload bundle for `cv`.
 pub fn generate(cv: &ControlVariables) -> WorkloadBundle {
-    let mut rng = SimRng::derive(cv.seed, 0x5E17);
+    let mut rng = SimRng::derive(cv.seed, SYNTHETIC_STREAM);
     let zipf = Zipf::new(KEYSPACE, cv.zipf_exponent());
     let mix = DiscreteWeighted::new(&cv.workload.mix());
     let orgs = cv.effective_orgs();
