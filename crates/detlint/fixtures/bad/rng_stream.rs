@@ -1,0 +1,12 @@
+// Fixture: a magic literal as the stream argument and a raw seed_from_u64
+// construction. Must trip `rng-stream` (anonymous streams collide
+// silently; raw construction bypasses stream discipline entirely).
+pub fn generate(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, 0xBEEF);
+    rng.next_u64()
+}
+
+pub fn warmup() -> u64 {
+    let mut rng = SimRng::seed_from_u64(42);
+    rng.next_u64()
+}

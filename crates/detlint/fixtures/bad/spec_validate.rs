@@ -1,0 +1,21 @@
+// Fixture: a serde-visible spec struct whose `burst` field no validate()
+// arm ever names. Must trip `spec-validate` (the field silently
+// round-trips through serde unconstrained).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSpec {
+    pub rate: f64,
+    pub count: usize,
+    pub burst: f64,
+}
+
+impl RunSpec {
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err("run.rate must be positive".to_string());
+        }
+        if self.count == 0 {
+            return Err("run.count must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}

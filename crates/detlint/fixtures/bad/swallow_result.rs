@@ -1,0 +1,17 @@
+// Fixture: a Result discarded with `let _ =` and another swallowed by a
+// statement-position `.ok()`. Must trip `swallow-result` (the error path
+// is compiled out of existence — silent failure).
+pub fn persist(n: u64) -> Result<u64, String> {
+    if n == 0 {
+        return Err("nothing to persist".to_string());
+    }
+    Ok(n)
+}
+
+pub fn checkpoint(n: u64) {
+    let _ = persist(n);
+}
+
+pub fn flush(n: u64) {
+    persist(n).ok();
+}

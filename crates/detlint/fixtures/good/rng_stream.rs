@@ -1,0 +1,18 @@
+// Fixture: the sanctioned shape — one named *_STREAM constant per
+// consumer, derived from the scenario seed, offsets allowed for
+// per-entity sub-streams. Must scan clean.
+
+/// Seed-stream label for this generator.
+pub const GOOD_STREAM: u64 = 0x600D;
+
+/// Seed-stream base for per-product sub-streams.
+pub const PRODUCT_STREAM: u64 = 0xA0;
+
+pub fn generate(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, GOOD_STREAM);
+    rng.next_u64()
+}
+
+pub fn product_rng(seed: u64, product: usize) -> SimRng {
+    SimRng::derive(seed, PRODUCT_STREAM + product as u64)
+}

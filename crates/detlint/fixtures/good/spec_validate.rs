@@ -1,0 +1,28 @@
+// Fixture: every serde-visible field is named by dotted path in the
+// validate() string set — directly or through a reachable helper — and
+// the genuinely unconstrained field carries a load-bearing waiver. Must
+// scan clean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSpec {
+    pub rate: f64,
+    pub count: usize,
+    // detlint: allow(spec-validate, reason = "every u64 is a valid seed")
+    pub seed: u64,
+}
+
+impl RunSpec {
+    pub fn validate(&self) -> Result<(), String> {
+        check_rate("run.rate", self.rate)?;
+        if self.count == 0 {
+            return Err("run.count must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+fn check_rate(field: &str, rate: f64) -> Result<(), String> {
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!("{field} must be positive"));
+    }
+    Ok(())
+}

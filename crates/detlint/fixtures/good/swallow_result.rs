@@ -1,0 +1,23 @@
+// Fixture: the sanctioned shapes — propagate with `?`, discard values
+// that are not Results (Option lookups, plain ids), keep the Option a
+// bound `.ok()` produces. Must scan clean.
+pub fn persist(n: u64) -> Result<u64, String> {
+    if n == 0 {
+        return Err("nothing to persist".to_string());
+    }
+    Ok(n)
+}
+
+pub fn lookup(k: u64) -> Option<u64> {
+    if k > 0 { Some(k) } else { None }
+}
+
+pub fn checkpoint(n: u64) -> Result<u64, String> {
+    let id = persist(n)?;
+    let _ = lookup(id);
+    Ok(id)
+}
+
+pub fn latest(n: u64) -> Option<u64> {
+    persist(n).ok()
+}

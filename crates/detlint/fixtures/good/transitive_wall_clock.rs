@@ -1,0 +1,23 @@
+// Fixture: the event loop computes in sim-time only; nothing reachable
+// from Simulation::run or a Handler impl touches host time. Must scan
+// clean.
+pub struct Simulation {
+    now: u64,
+}
+
+impl Simulation {
+    pub fn run(&mut self) -> u64 {
+        self.step();
+        self.now
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+    }
+}
+
+impl Handler for Simulation {
+    fn handle(&mut self) {
+        self.step();
+    }
+}

@@ -1,0 +1,7 @@
+// First (legal) draw site for SHARED_STREAM.
+pub const SHARED_STREAM: u64 = 0x51;
+
+pub fn first(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, SHARED_STREAM);
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+// Second draw site interposing on the same stream — must trip
+// `rng-stream` at this site, resolved through the use-import.
+use gen::streams::SHARED_STREAM;
+
+pub fn second(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, SHARED_STREAM);
+    rng.next_u64()
+}

@@ -1,0 +1,20 @@
+// An RNG derived inside code reachable from a Handler impl — derivation
+// order then depends on event interleaving. Must trip `rng-stream`.
+pub const LATE_STREAM: u64 = 0x1A7E;
+
+pub struct Engine {
+    seed: u64,
+}
+
+impl Handler for Engine {
+    fn handle(&mut self) {
+        self.draw();
+    }
+}
+
+impl Engine {
+    fn draw(&mut self) -> u64 {
+        let mut rng = SimRng::derive(self.seed, LATE_STREAM);
+        rng.next_u64()
+    }
+}

@@ -1,0 +1,7 @@
+// A nested spec validated from another crate; `ghost` is never named by
+// any reachable validate() literal. Must trip `spec-validate`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DropSpec {
+    pub loss_rate: f64,
+    pub ghost: f64,
+}

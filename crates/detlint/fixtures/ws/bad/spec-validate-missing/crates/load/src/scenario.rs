@@ -1,0 +1,21 @@
+// The top-level spec's validate() names `fault.drop.loss_rate` but not
+// `ghost` — the gap the rule exists to catch.
+use core::fault::DropSpec;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopSpec {
+    pub name: String,
+    pub drop: DropSpec,
+}
+
+impl TopSpec {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("name must be non-empty".to_string());
+        }
+        if !self.drop.loss_rate.is_finite() {
+            return Err("fault.drop.loss_rate must be a share".to_string());
+        }
+        Ok(())
+    }
+}

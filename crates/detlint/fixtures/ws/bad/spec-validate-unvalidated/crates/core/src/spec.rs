@@ -1,0 +1,7 @@
+// A serde-visible spec struct in a workspace with no *Spec::validate at
+// all — every field is unconstrained. Must trip `spec-validate`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoneSpec {
+    pub width: usize,
+    pub depth: usize,
+}

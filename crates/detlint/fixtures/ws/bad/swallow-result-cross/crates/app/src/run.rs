@@ -1,0 +1,7 @@
+// The discard, resolved through the use-import into the other crate.
+// Must trip `swallow-result`.
+use io::store::flush_all;
+
+pub fn shutdown(n: u64) {
+    let _ = flush_all(n);
+}

@@ -1,0 +1,7 @@
+// The fallible half: a Result-returning library function.
+pub fn flush_all(n: u64) -> Result<u64, String> {
+    if n == 0 {
+        return Err("nothing to flush".to_string());
+    }
+    Ok(n)
+}

@@ -1,0 +1,6 @@
+// The sanctioned wall-clock seam — legal on its own, illegal to reach
+// from the event loop.
+pub fn measure() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+// Simulation::run reaches the benchmark wall-clock seam through a helper
+// in another crate. Must trip `transitive-wall-clock` — every hop is
+// individually clean (no direct Instant outside the seam file).
+pub struct Simulation;
+
+impl Simulation {
+    pub fn run(&mut self) -> u64 {
+        observe()
+    }
+}
+
+fn observe() -> u64 {
+    measure()
+}

@@ -1,0 +1,7 @@
+// One named stream per consumer; this one draws ARRIVAL_STREAM.
+pub const ARRIVAL_STREAM: u64 = 0xA771;
+
+pub fn arrivals(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, ARRIVAL_STREAM);
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+// A second consumer declares its own stream instead of interposing on
+// ARRIVAL_STREAM. Must scan clean.
+pub const BACKOFF_STREAM: u64 = 0xB0FF;
+
+pub fn backoffs(seed: u64) -> u64 {
+    let mut rng = SimRng::derive(seed, BACKOFF_STREAM);
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+// A nested spec whose fields are all named by the other crate's
+// validate() through a reachable helper. Must scan clean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DropSpec {
+    pub loss_rate: f64,
+}

@@ -1,0 +1,229 @@
+//! Committed per-crate finding allowances (the burn-down ratchet file).
+//!
+//! `detlint-budgets.json` at the workspace root holds, per budgeted rule,
+//! the number of findings each crate is still allowed:
+//!
+//! ```json
+//! {
+//!   "no-unwrap": { "fabric-sim": 0, "workload": 0 },
+//!   "swallow-result": { "fabric-sim": 0 }
+//! }
+//! ```
+//!
+//! Budgets only ever go **down**: `tests/budgets_ratchet.rs` fails when the
+//! live count in any crate exceeds its committed number, and
+//! `detlint --write-budgets` regenerates the file from the live counts so
+//! a burn-down PR can commit the lower numbers. The parser is hand-rolled
+//! (two-level string→string→integer objects only) to keep the linter
+//! dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rule, per-crate allowances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// `rule id → crate → allowed finding count`.
+    pub rules: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Budgets {
+    /// The allowances for `rule` (empty map when the rule has none —
+    /// every lookup then defaults to 0).
+    pub fn for_rule(&self, rule: &str) -> BTreeMap<String, usize> {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Deterministic JSON rendering (sorted keys, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (ri, (rule, crates)) in self.rules.iter().enumerate() {
+            let _ = write!(out, "  \"{rule}\": {{");
+            for (ci, (krate, n)) in crates.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\n    \"{krate}\": {n}",
+                    if ci > 0 { "," } else { "" }
+                );
+            }
+            if !crates.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push('}');
+            if ri + 1 < self.rules.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse the budget file. Accepts exactly the shape [`to_json`]
+    /// produces (a two-level object of non-negative integers) plus
+    /// arbitrary whitespace.
+    ///
+    /// [`to_json`]: Self::to_json
+    pub fn parse(text: &str) -> Result<Budgets, String> {
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        p.skip_ws();
+        p.expect('{')?;
+        let mut rules = BTreeMap::new();
+        p.skip_ws();
+        if p.peek() != Some('}') {
+            loop {
+                p.skip_ws();
+                let rule = p.string()?;
+                p.skip_ws();
+                p.expect(':')?;
+                p.skip_ws();
+                p.expect('{')?;
+                let mut crates = BTreeMap::new();
+                p.skip_ws();
+                if p.peek() != Some('}') {
+                    loop {
+                        p.skip_ws();
+                        let krate = p.string()?;
+                        p.skip_ws();
+                        p.expect(':')?;
+                        p.skip_ws();
+                        let n = p.number()?;
+                        crates.insert(krate, n);
+                        p.skip_ws();
+                        match p.next() {
+                            Some(',') => continue,
+                            Some('}') => break,
+                            other => {
+                                return Err(p.err_at(format!("expected , or }}, got {other:?}")))
+                            }
+                        }
+                    }
+                } else {
+                    p.next();
+                }
+                rules.insert(rule, crates);
+                p.skip_ws();
+                match p.next() {
+                    Some(',') => continue,
+                    Some('}') => break,
+                    other => return Err(p.err_at(format!("expected , or }}, got {other:?}"))),
+                }
+            }
+        } else {
+            p.next();
+        }
+        p.skip_ws();
+        if let Some(c) = p.peek() {
+            return Err(p.err_at(format!("trailing content starting at {c:?}")));
+        }
+        Ok(Budgets { rules })
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn pos(&mut self) -> usize {
+        self.chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.text.len())
+    }
+
+    fn err_at(&mut self, what: String) -> String {
+        let pos = self.pos();
+        format!("detlint-budgets.json: {what} at byte {pos}")
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().map(|c| c.is_whitespace()).unwrap_or(false) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(self.err_at(format!("expected {want:?}, got {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => return Err(self.err_at("escapes are not supported".into())),
+                Some(c) => out.push(c),
+                None => return Err(self.err_at("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let mut digits = String::new();
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            digits.push(self.next().expect("peeked"));
+        }
+        digits
+            .parse()
+            .map_err(|_| self.err_at(format!("expected a non-negative integer, got {digits:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Budgets::default();
+        b.rules
+            .entry("no-unwrap".into())
+            .or_default()
+            .insert("fabric-sim".into(), 2);
+        b.rules
+            .entry("swallow-result".into())
+            .or_default()
+            .insert("workload".into(), 0);
+        let json = b.to_json();
+        let back = Budgets::parse(&json).expect("own output parses");
+        assert_eq!(back, b, "{json}");
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(Budgets::parse("{}\n").expect("parses"), Budgets::default());
+    }
+
+    #[test]
+    fn lookups_default_to_zero() {
+        let b = Budgets::parse("{\"no-unwrap\": {\"a\": 3}}").expect("parses");
+        assert_eq!(b.for_rule("no-unwrap").get("a"), Some(&3));
+        assert_eq!(b.for_rule("no-unwrap").get("b"), None);
+        assert!(b.for_rule("swallow-result").is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_position() {
+        let err = Budgets::parse("{\"x\": {\"a\": -1}}").expect_err("negative");
+        assert!(err.contains("byte"), "{err}");
+        assert!(Budgets::parse("{\"x\": [1]}").is_err());
+        assert!(Budgets::parse("{\"x\": {}} trailing").is_err());
+    }
+}

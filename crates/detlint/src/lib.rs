@@ -65,16 +65,27 @@
 //! assert_eq!(report.findings[0].rule, "no-todo");
 //! ```
 
+pub mod budget;
+pub mod index;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod source;
 
+pub use budget::Budgets;
+pub use index::Workspace;
 pub use rules::{Finding, LintRule, RuleCtx, RuleSet};
 pub use source::{FileClass, SourceFile, Waiver};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The committed budget file, at the workspace root.
+pub const BUDGET_FILE: &str = "detlint-budgets.json";
+
+/// The rules whose findings are budgeted (keys of [`BUDGET_FILE`]).
+pub const BUDGETED_RULES: &[&str] = &[rules::no_unwrap::ID, rules::swallow_result::ID];
 
 /// The id under which malformed waiver comments are reported. Always on:
 /// it cannot be disabled or waived (a broken waiver must never silence
@@ -90,6 +101,13 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of well-formed waivers encountered (applied or not).
     pub waivers: usize,
+    /// Pre-finalize (waiver-filtered) site counts: `rule → crate → count`.
+    /// This is what `--write-budgets` snapshots — the budget ratchet
+    /// compares these live counts against the committed allowances.
+    pub rule_sites: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Crates that contributed at least one library-classed file to the
+    /// scan (the universe the budget file zero-fills over).
+    pub library_crates: BTreeSet<String>,
 }
 
 impl Report {
@@ -146,6 +164,67 @@ impl Report {
         ));
         out
     }
+
+    /// GitHub Actions annotation rendering: one
+    /// `::error file=…,line=…,col=…::message` per finding, so findings
+    /// surface inline on the PR diff. Clean scans produce a single
+    /// `::notice` summary line.
+    pub fn to_github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "::error file={},line={},col={}::[{}] {}\n",
+                github_escape_property(&f.file),
+                f.line,
+                f.col,
+                f.rule,
+                github_escape_data(&format!("{} | {}", f.message, f.snippet)),
+            ));
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "::notice::detlint clean — {} file(s), {} waiver(s)\n",
+                self.files_scanned, self.waivers
+            ));
+        }
+        out
+    }
+
+    /// The live per-crate counts for the budgeted rules, zero-filled over
+    /// every library crate — exactly the content `--write-budgets` puts in
+    /// [`BUDGET_FILE`].
+    pub fn live_budgets(&self) -> Budgets {
+        let mut budgets = Budgets::default();
+        for &rule in BUDGETED_RULES {
+            let crates = budgets.rules.entry(rule.to_string()).or_default();
+            for krate in &self.library_crates {
+                crates.insert(krate.clone(), 0);
+            }
+            if let Some(live) = self.rule_sites.get(rule) {
+                for (krate, &n) in live {
+                    crates.insert(krate.clone(), n);
+                }
+            }
+        }
+        budgets
+    }
+}
+
+/// Escape a GitHub annotation *property* value (file=): `%`, `\r`, `\n`,
+/// plus the property separators `,` and `:`.
+fn github_escape_property(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escape a GitHub annotation *message*: `%`, `\r`, `\n`.
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn json_escape(s: &str) -> String {
@@ -186,17 +265,24 @@ impl Scanner {
         Scanner::new(RuleSet::determinism())
     }
 
-    /// Scan already-parsed sources. Waived findings are dropped, rules'
+    /// Scan already-parsed sources. Per-file rules run first, then the
+    /// workspace is indexed (symbol table + call graph) and each rule's
+    /// [`check_workspace`](LintRule::check_workspace) hook runs over it.
+    /// Waived findings are dropped (workspace findings are waiver-filtered
+    /// by the file and line they name), rules'
     /// [`finalize`](LintRule::finalize) hooks run over the survivors, and
     /// malformed waivers surface as [`WAIVER_SYNTAX`] findings.
     pub fn scan_sources<'a>(&self, files: impl IntoIterator<Item = &'a SourceFile>) -> Report {
+        let files: Vec<&SourceFile> = files.into_iter().collect();
         let mut per_rule: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
         let mut extra: Vec<Finding> = Vec::new();
-        let mut files_scanned = 0usize;
         let mut waivers = 0usize;
-        for file in files {
-            files_scanned += 1;
+        let mut library_crates: BTreeSet<String> = BTreeSet::new();
+        for file in &files {
             waivers += file.waiver_list.len();
+            if file.class == FileClass::Library {
+                library_crates.insert(file.krate.clone());
+            }
             let ctx = RuleCtx { file };
             for rule in self.rules.enabled() {
                 for finding in rule.check(&ctx) {
@@ -223,6 +309,30 @@ impl Scanner {
                 });
             }
         }
+        let by_path: BTreeMap<&str, &SourceFile> =
+            files.iter().map(|f| (f.path.as_str(), *f)).collect();
+        let ws = Workspace::build(files.clone());
+        for rule in self.rules.enabled() {
+            for finding in rule.check_workspace(&ws) {
+                let waived = by_path
+                    .get(finding.file.as_str())
+                    .map(|f| f.is_waived(rule.id(), finding.line))
+                    .unwrap_or(false);
+                if !waived {
+                    per_rule
+                        .entry(finding.rule.clone())
+                        .or_default()
+                        .push(finding);
+                }
+            }
+        }
+        let mut rule_sites: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (rule, fs) in &per_rule {
+            let per_crate = rule_sites.entry(rule.clone()).or_default();
+            for f in fs {
+                *per_crate.entry(f.krate.clone()).or_insert(0) += 1;
+            }
+        }
         let mut findings: Vec<Finding> = Vec::new();
         for rule in self.rules.enabled() {
             if let Some(fs) = per_rule.remove(rule.id()) {
@@ -238,26 +348,35 @@ impl Scanner {
         findings.sort();
         Report {
             findings,
-            files_scanned,
+            files_scanned: files.len(),
             waivers,
+            rule_sites,
+            library_crates,
         }
     }
 
     /// Walk `root`, parse every `.rs` file (skipping vendor/, target/, fixtures/, .git), scan.
     pub fn scan_tree(&self, root: &Path) -> io::Result<Report> {
-        let mut paths = Vec::new();
-        collect_rs_files(root, root, &mut paths)?;
-        paths.sort();
-        let mut sources = Vec::with_capacity(paths.len());
-        for p in &paths {
-            let contents = std::fs::read_to_string(root.join(p))?;
-            sources.push(SourceFile::parse(
-                &p.to_string_lossy().replace('\\', "/"),
-                &contents,
-            ));
-        }
+        let sources = load_tree(root)?;
         Ok(self.scan_sources(sources.iter()))
     }
+}
+
+/// Walk `root` and parse every `.rs` file (skipping vendor/, target/,
+/// fixtures/, .git) into [`SourceFile`]s, sorted by path.
+pub fn load_tree(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let contents = std::fs::read_to_string(root.join(p))?;
+        sources.push(SourceFile::parse(
+            &p.to_string_lossy().replace('\\', "/"),
+            &contents,
+        ));
+    }
+    Ok(sources)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -302,6 +421,116 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
             return None;
         }
     }
+}
+
+/// One inline waiver, as listed by the audit: where it is, what it
+/// waives, why — and which of its rules are stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Workspace-relative path of the file carrying the waiver.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// Rule ids the waiver names.
+    pub rules: Vec<String>,
+    /// The stated reason.
+    pub reason: String,
+    /// The subset of `rules` that no longer fire on the lines this waiver
+    /// covers — dead weight that should be deleted.
+    pub stale: Vec<String>,
+}
+
+/// Outcome of `--waiver-audit`: every inline waiver in the tree, with
+/// staleness computed against an unwaived scan.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All well-formed waivers, sorted by (file, line).
+    pub entries: Vec<AuditEntry>,
+}
+
+impl AuditReport {
+    /// Number of (waiver, rule) pairs that are stale.
+    pub fn stale_count(&self) -> usize {
+        self.entries.iter().map(|e| e.stale.len()).sum()
+    }
+
+    /// Human-readable listing: one line per waiver, stale rules flagged.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}:{} allow({}) reason = \"{}\"",
+                e.file,
+                e.line,
+                e.rules.join(", "),
+                e.reason
+            ));
+            if !e.stale.is_empty() {
+                out.push_str(&format!("  ⚠ STALE: {}", e.stale.join(", ")));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "detlint: {} waiver(s), {} stale rule reference(s)\n",
+            self.entries.len(),
+            self.stale_count()
+        ));
+        out
+    }
+}
+
+/// Audit every inline waiver in `files`: list file/rules/reason, and flag
+/// waivers whose rule no longer fires on the lines they cover (computed
+/// by re-running all of `rules` with waivers ignored and budgets out of
+/// the picture — a waiver whose finding only survives finalize is still
+/// *live*).
+pub fn waiver_audit(files: &[SourceFile], rules: &RuleSet) -> AuditReport {
+    // Raw findings: no waiver filtering, no finalize.
+    let mut raw: BTreeSet<(String, String, u32)> = BTreeSet::new();
+    for file in files {
+        let ctx = RuleCtx { file };
+        for rule in rules.enabled() {
+            for f in rule.check(&ctx) {
+                raw.insert((f.rule, f.file, f.line));
+            }
+        }
+    }
+    let ws = Workspace::build(files.iter().collect());
+    for rule in rules.enabled() {
+        for f in rule.check_workspace(&ws) {
+            raw.insert((f.rule, f.file, f.line));
+        }
+    }
+    let mut entries = Vec::new();
+    for file in files {
+        for w in &file.waiver_list {
+            // A waiver covers its own line, plus the next line when the
+            // comment sits alone (mirrors `SourceFile` waiver scoping).
+            let mut covered = vec![w.line];
+            if !file.has_code_on(w.line) {
+                covered.push(w.line + 1);
+            }
+            let stale: Vec<String> = w
+                .rules
+                .iter()
+                .filter(|r| {
+                    !covered
+                        .iter()
+                        .any(|&l| raw.contains(&(r.to_string(), file.path.clone(), l)))
+                })
+                .cloned()
+                .collect();
+            entries.push(AuditEntry {
+                file: file.path.clone(),
+                line: w.line,
+                rules: w.rules.clone(),
+                reason: w.reason.clone(),
+                stale,
+            });
+        }
+    }
+    entries.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    AuditReport { entries }
 }
 
 /// Run the committed fixture suite: every `bad/<rule>.rs` must trip the
@@ -356,11 +585,81 @@ pub fn fixtures_selftest(fixtures_dir: &Path, rules: &RuleSet) -> Result<String,
             }
         }
     }
+    // Cross-file cases: each `ws/{bad,good}/<case>/` directory is a
+    // mini-workspace scanned as a whole, so symbol-index and call-graph
+    // rules get exercised across file boundaries. The case name's longest
+    // rule-id prefix names the rule a bad case must trip.
+    for (sub, expect_bad) in [("bad", true), ("good", false)] {
+        let dir = fixtures_dir.join("ws").join(sub);
+        let mut cases: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect(),
+            Err(e) => return Err(format!("cannot read {}: {e}", dir.display())),
+        };
+        cases.sort();
+        for case in cases {
+            let case_name = case
+                .file_name()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_default();
+            let rule_id = match longest_rule_prefix(&case_name, rules) {
+                Some(id) => id,
+                None => {
+                    failed = true;
+                    out.push_str(&format!(
+                        "FAIL ws/{sub}/{case_name}/ — no registered rule id prefixes the case name\n"
+                    ));
+                    continue;
+                }
+            };
+            let report = match scanner.scan_tree(&case) {
+                Ok(r) => r,
+                Err(e) => {
+                    failed = true;
+                    out.push_str(&format!("FAIL ws/{sub}/{case_name}/ — scan error: {e}\n"));
+                    continue;
+                }
+            };
+            let hits = report.findings.iter().filter(|f| f.rule == rule_id).count();
+            let ok = if expect_bad { hits > 0 } else { report.clean() };
+            if !ok {
+                failed = true;
+            }
+            out.push_str(&format!(
+                "{} ws/{sub}/{case_name}/ — {hits} finding(s) of `{rule_id}`, {} total across {} file(s)\n",
+                if ok { "PASS" } else { "FAIL" },
+                report.findings.len(),
+                report.files_scanned,
+            ));
+            if !ok && !report.findings.is_empty() {
+                for f in &report.findings {
+                    out.push_str(&format!(
+                        "    unexpected: {}:{}:{} [{}] {}\n",
+                        f.file, f.line, f.col, f.rule, f.message
+                    ));
+                }
+            }
+        }
+    }
     if failed {
         Err(out)
     } else {
         Ok(out)
     }
+}
+
+/// The longest registered rule id that prefixes `case` (kebab-case), so
+/// `rng-stream-dup` maps to `rng-stream` even though `rng` alone is no
+/// rule.
+fn longest_rule_prefix(case: &str, rules: &RuleSet) -> Option<String> {
+    rules
+        .enabled()
+        .map(|r| r.id())
+        .filter(|id| case == *id || case.starts_with(&format!("{id}-")))
+        .max_by_key(|id| id.len())
+        .map(|id| id.to_string())
 }
 
 #[cfg(test)]

@@ -3,47 +3,81 @@
 //!
 //! ```text
 //! detlint                      # scan the enclosing workspace, human output
-//! detlint --json               # machine-readable report on stdout
+//! detlint --format github      # GitHub Actions ::error annotations
+//! detlint --json               # machine-readable report (= --format json)
 //! detlint --root PATH          # scan PATH instead of the enclosing workspace
 //! detlint --disable RULE       # drop a rule for this run (repeatable)
 //! detlint --fixtures           # run the committed fixture self-test
+//! detlint --waiver-audit       # list inline waivers, flag stale ones
+//! detlint --write-budgets      # regenerate detlint-budgets.json from live counts
 //! detlint --list               # print the rule catalogue
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings (or fixture self-test failure), 2 usage
-//! or I/O error.
+//! Budgeted rules (`no-unwrap`, `swallow-result`) read their committed
+//! per-crate allowances from `detlint-budgets.json` at the scan root; a
+//! missing file means every budget is 0.
+//!
+//! Exit codes: 0 clean, 1 findings (or fixture self-test failure, or
+//! stale waivers under `--waiver-audit`), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use detlint::{find_workspace_root, fixtures_selftest, RuleSet, Scanner};
+use detlint::{
+    find_workspace_root, fixtures_selftest, load_tree, waiver_audit, Budgets, RuleSet, Scanner,
+    BUDGET_FILE,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 struct Opts {
-    json: bool,
+    format: Format,
     fixtures: bool,
     list: bool,
+    audit: bool,
+    write_budgets: bool,
     root: Option<PathBuf>,
     disable: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: detlint [--json] [--root PATH] [--disable RULE]... [--fixtures] [--list]"
+    "usage: detlint [--format human|json|github] [--json] [--root PATH] \
+     [--disable RULE]... [--fixtures] [--waiver-audit] [--write-budgets] [--list]"
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
-        json: false,
+        format: Format::Human,
         fixtures: false,
         list: false,
+        audit: false,
+        write_budgets: false,
         root: None,
         disable: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                i += 1;
+                let fmt = args.get(i).ok_or("--format needs human, json, or github")?;
+                opts.format = match fmt.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             "--fixtures" => opts.fixtures = true,
             "--list" => opts.list = true,
+            "--waiver-audit" => opts.audit = true,
+            "--write-budgets" => opts.write_budgets = true,
             "--root" => {
                 i += 1;
                 let path = args.get(i).ok_or("--root needs a path")?;
@@ -75,15 +109,6 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut rules = RuleSet::determinism();
-    for id in &opts.disable {
-        if !rules.knows(id) {
-            eprintln!("detlint: unknown rule `{id}` (see --list)");
-            return ExitCode::from(2);
-        }
-        rules = rules.without(id);
-    }
-
     if opts.list {
         for rule in RuleSet::determinism().enabled() {
             let mark = if opts.disable.iter().any(|d| d == rule.id()) {
@@ -91,10 +116,10 @@ fn main() -> ExitCode {
             } else {
                 ' '
             };
-            println!("{mark} {:<14} {}", rule.id(), rule.summary());
+            println!("{mark} {:<21} {}", rule.id(), rule.summary());
         }
         println!(
-            "  {:<14} malformed waiver comments (always on)",
+            "  {:<21} malformed waiver comments (always on)",
             detlint::WAIVER_SYNTAX
         );
         return ExitCode::SUCCESS;
@@ -123,6 +148,28 @@ fn main() -> ExitCode {
         }
     };
 
+    // Budgets come from the committed file at the scan root; absence means
+    // the strictest configuration (all zeros).
+    let budget_path = root.join(BUDGET_FILE);
+    let budgets = match std::fs::read_to_string(&budget_path) {
+        Ok(text) => match Budgets::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Budgets::default(),
+    };
+    let mut rules = RuleSet::determinism_with_budgets(&budgets);
+    for id in &opts.disable {
+        if !rules.knows(id) {
+            eprintln!("detlint: unknown rule `{id}` (see --list)");
+            return ExitCode::from(2);
+        }
+        rules = rules.without(id);
+    }
+
     if opts.fixtures {
         let dir = root.join("crates/detlint/fixtures");
         return match fixtures_selftest(&dir, &rules) {
@@ -138,6 +185,24 @@ fn main() -> ExitCode {
         };
     }
 
+    if opts.audit {
+        let sources = match load_tree(&root) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detlint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let audit = waiver_audit(&sources, &rules);
+        print!("{}", audit.render());
+        return if audit.stale_count() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("detlint: stale waivers — delete the dead allow() comments");
+            ExitCode::from(1)
+        };
+    }
+
     let report = match Scanner::new(rules).scan_tree(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -145,10 +210,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if opts.json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{}", report.render());
+
+    if opts.write_budgets {
+        let json = report.live_budgets().to_json();
+        if let Err(e) = std::fs::write(&budget_path, &json) {
+            eprintln!("detlint: cannot write {}: {e}", budget_path.display());
+            return ExitCode::from(2);
+        }
+        println!("detlint: wrote {}", budget_path.display());
+        print!("{json}");
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.format {
+        Format::Human => print!("{}", report.render()),
+        Format::Json => println!("{}", report.to_json()),
+        Format::Github => print!("{}", report.to_github()),
     }
     if report.clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,921 @@
+//! Item-level structure on top of the token stream: fn/struct/enum/impl/
+//! use/mod/const items with spans, signatures, and attributes.
+//!
+//! This is deliberately *not* a full Rust parser — no expressions, no
+//! patterns, no types beyond their source text. It recovers exactly the
+//! structure the workspace index ([`crate::index`]) needs: which functions
+//! exist (with receiver/impl context and body span), which structs carry
+//! which fields and derives, which constants are declared, and what every
+//! `use` statement aliases. Anything it does not understand it skips
+//! token-by-token; a parse can degrade (fewer items recovered) but never
+//! fail.
+//!
+//! All positions are **code-token indices** (indices into
+//! [`SourceFile::code`]), so rule code can walk item bodies with the same
+//! cursor arithmetic the token-level rules use.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One function or method declaration.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Declared name (methods included).
+    pub name: String,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Source text of the return type (`""` when none is declared).
+    pub ret: String,
+    /// Body span as a half-open code-index range (past `{`, at `}`), or
+    /// `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+    /// Line of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Whether the declaration sits in a test region.
+    pub in_test: bool,
+    /// The `Self` type when declared inside an `impl` block.
+    pub impl_ty: Option<String>,
+    /// The trait when declared inside an `impl Trait for Type` block.
+    pub trait_name: Option<String>,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Source text of the field type.
+    pub ty: String,
+    /// Line of the field name.
+    pub line: u32,
+}
+
+/// One struct declaration (tuple/unit structs parse with no fields).
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// Named fields in declaration order.
+    pub fields: Vec<FieldDecl>,
+    /// Traits named in `#[derive(...)]` attributes on the item.
+    pub derives: Vec<String>,
+    /// Line of the name token.
+    pub line: u32,
+    /// Whether the declaration sits in a test region.
+    pub in_test: bool,
+}
+
+/// One enum declaration (variants are not recovered — no rule needs them).
+#[derive(Debug, Clone)]
+pub struct EnumDecl {
+    /// Enum name.
+    pub name: String,
+    /// Traits named in `#[derive(...)]` attributes on the item.
+    pub derives: Vec<String>,
+    /// Line of the name token.
+    pub line: u32,
+}
+
+/// One `const` or `static` item.
+#[derive(Debug, Clone)]
+pub struct ConstDecl {
+    /// Item name.
+    pub name: String,
+    /// Source text of the declared type.
+    pub ty: String,
+    /// Line of the name token.
+    pub line: u32,
+    /// Whether the declaration sits in a test region.
+    pub in_test: bool,
+}
+
+/// One name introduced by a `use` statement (groups expanded, `as` applied).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The name visible in this file.
+    pub alias: String,
+    /// The full path segments, last segment = the imported name.
+    pub path: Vec<String>,
+}
+
+/// Everything recovered from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Free functions and methods, in source order.
+    pub fns: Vec<FnDecl>,
+    /// Struct declarations.
+    pub structs: Vec<StructDecl>,
+    /// Enum declarations.
+    pub enums: Vec<EnumDecl>,
+    /// `const` / `static` items.
+    pub consts: Vec<ConstDecl>,
+    /// Expanded `use` aliases.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Parse the item structure of `file`.
+pub fn parse_file(file: &SourceFile) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut p = Parser { file, pos: 0 };
+    let end = file.code.len();
+    p.items(end, &mut out, None);
+    out
+}
+
+#[derive(Clone)]
+struct ImplCtx {
+    self_ty: String,
+    trait_name: Option<String>,
+}
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, ci: usize) -> Option<&'a Token> {
+        self.file.code.get(ci).map(|&i| &self.file.tokens[i])
+    }
+
+    fn at_punct(&self, text: &str) -> bool {
+        self.tok(self.pos)
+            .map(|t| t.is_punct(text))
+            .unwrap_or(false)
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.tok(self.pos)
+            .map(|t| t.is_ident(text))
+            .unwrap_or(false)
+    }
+
+    /// Render `lo..hi` as source-ish text (single spaces between tokens).
+    fn render(&self, lo: usize, hi: usize) -> String {
+        let mut s = String::new();
+        for ci in lo..hi {
+            if let Some(t) = self.tok(ci) {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(&t.text);
+            }
+        }
+        s
+    }
+
+    /// Code-index of the bracket matching the one at `open` (which must be
+    /// `open_text`), or `None` when unbalanced.
+    fn matching(&self, open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut ci = open;
+        while let Some(t) = self.tok(ci) {
+            if t.is_punct(open_text) {
+                depth += 1;
+            } else if t.is_punct(close_text) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+            ci += 1;
+        }
+        None
+    }
+
+    /// Skip a balanced `<...>` generic-argument list starting at `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            } else if t.is_punct("{") || t.is_punct(";") {
+                // Safety valve: a stray `<` (comparison) never closes.
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip to just past the end of the item starting at the current
+    /// position: past a terminating `;`, or past the matching `}` of the
+    /// item's first block.
+    fn skip_item(&mut self) {
+        let mut round = 0i32;
+        let mut square = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => round += 1,
+                    ")" => round -= 1,
+                    "[" => square += 1,
+                    "]" => square -= 1,
+                    ";" if round == 0 && square == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    "{" if round == 0 && square == 0 => {
+                        let end = self.matching(self.pos, "{", "}");
+                        self.pos = end.map(|e| e + 1).unwrap_or(self.file.code.len());
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parse items until code-index `end`.
+    fn items(&mut self, end: usize, out: &mut ParsedFile, ctx: Option<&ImplCtx>) {
+        let mut derives: Vec<String> = Vec::new();
+        while self.pos < end {
+            if self.at_punct("#") {
+                derives.extend(self.attr());
+                continue;
+            }
+            let Some(t) = self.tok(self.pos) else { break };
+            if t.kind != TokenKind::Ident {
+                self.pos += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    self.pos += 1;
+                    if self.at_punct("(") {
+                        let close = self.matching(self.pos, "(", ")");
+                        self.pos = close.map(|c| c + 1).unwrap_or(self.pos + 1);
+                    }
+                }
+                "unsafe" | "async" | "default" | "extern" => self.pos += 1,
+                "use" => {
+                    self.parse_use(out);
+                    derives.clear();
+                }
+                "const" | "static" => {
+                    if self
+                        .tok(self.pos + 1)
+                        .map(|n| n.is_ident("fn"))
+                        .unwrap_or(false)
+                    {
+                        self.pos += 1; // `const fn` — a fn modifier, not an item
+                    } else {
+                        self.parse_const(out);
+                        derives.clear();
+                    }
+                }
+                "fn" => {
+                    self.parse_fn(out, ctx);
+                    derives.clear();
+                }
+                "struct" => {
+                    self.parse_struct(out, std::mem::take(&mut derives));
+                }
+                "enum" => {
+                    self.parse_enum(out, std::mem::take(&mut derives));
+                }
+                "impl" => {
+                    self.parse_impl(out);
+                    derives.clear();
+                }
+                "mod" => {
+                    self.parse_mod(out, ctx);
+                    derives.clear();
+                }
+                "trait" | "union" | "type" | "macro_rules" => {
+                    self.skip_item();
+                    derives.clear();
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = end;
+    }
+
+    /// Parse an attribute at `#`; returns the derive names when it is a
+    /// `#[derive(...)]`.
+    fn attr(&mut self) -> Vec<String> {
+        let mut j = self.pos + 1;
+        if self.tok(j).map(|t| t.is_punct("!")).unwrap_or(false) {
+            j += 1;
+        }
+        if !self.tok(j).map(|t| t.is_punct("[")).unwrap_or(false) {
+            self.pos += 1;
+            return Vec::new();
+        }
+        let Some(close) = self.matching(j, "[", "]") else {
+            self.pos = self.file.code.len();
+            return Vec::new();
+        };
+        let mut derives = Vec::new();
+        if self
+            .tok(j + 1)
+            .map(|t| t.is_ident("derive"))
+            .unwrap_or(false)
+        {
+            for ci in j + 2..close {
+                if let Some(t) = self.tok(ci) {
+                    if t.kind == TokenKind::Ident {
+                        derives.push(t.text.clone());
+                    }
+                }
+            }
+        }
+        self.pos = close + 1;
+        derives
+    }
+
+    fn parse_use(&mut self, out: &mut ParsedFile) {
+        let start = self.pos + 1;
+        // Find the terminating `;` (braces in use-trees never nest other
+        // statements, so a flat scan over `{`/`}` depth suffices).
+        let mut depth = 0i32;
+        let mut end = start;
+        while let Some(t) = self.tok(end) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+            } else if t.is_punct(";") && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let texts: Vec<(bool, String)> = (start..end)
+            .filter_map(|ci| self.tok(ci))
+            .map(|t| (t.kind == TokenKind::Ident, t.text.clone()))
+            .collect();
+        expand_use(&texts, &mut Vec::new(), &mut out.uses);
+        self.pos = end + 1;
+    }
+
+    fn parse_const(&mut self, out: &mut ParsedFile) {
+        let kw = self.tok(self.pos).cloned();
+        self.pos += 1;
+        if self.at_ident("mut") {
+            self.pos += 1; // `static mut`
+        }
+        let Some(name_tok) = self.tok(self.pos) else {
+            return;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            self.skip_item();
+            return;
+        }
+        let (name, line) = (name_tok.text.clone(), name_tok.line);
+        let in_test = kw.map(|t| t.in_test).unwrap_or(false);
+        self.pos += 1;
+        let mut ty = String::new();
+        if self.at_punct(":") {
+            self.pos += 1;
+            let ty_lo = self.pos;
+            while let Some(t) = self.tok(self.pos) {
+                if t.is_punct("=") || t.is_punct(";") {
+                    break;
+                }
+                self.pos += 1;
+            }
+            ty = self.render(ty_lo, self.pos);
+        }
+        self.skip_item(); // through the value to `;`
+        out.consts.push(ConstDecl {
+            name,
+            ty,
+            line,
+            in_test,
+        });
+    }
+
+    fn parse_fn(&mut self, out: &mut ParsedFile, ctx: Option<&ImplCtx>) {
+        let in_test = self.tok(self.pos).map(|t| t.in_test).unwrap_or(false);
+        self.pos += 1; // past `fn`
+        let Some(name_tok) = self.tok(self.pos) else {
+            return;
+        };
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        if !self.at_punct("(") {
+            return; // degraded parse; resynchronize at the next item
+        }
+        let Some(params_close) = self.matching(self.pos, "(", ")") else {
+            self.pos = self.file.code.len();
+            return;
+        };
+        // `self` receiver: an ident `self` before the first top-level comma.
+        let mut has_self = false;
+        let mut depth = 0i32;
+        for ci in self.pos + 1..params_close {
+            let Some(t) = self.tok(ci) else { break };
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+            } else if t.is_ident("self") {
+                has_self = true;
+            }
+        }
+        self.pos = params_close + 1;
+        let mut ret = String::new();
+        if self.at_punct("->") {
+            self.pos += 1;
+            let lo = self.pos;
+            let mut angle = 0i32;
+            while let Some(t) = self.tok(self.pos) {
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if angle <= 0 && (t.is_punct("{") || t.is_punct(";") || t.is_ident("where"))
+                {
+                    break;
+                }
+                self.pos += 1;
+            }
+            ret = self.render(lo, self.pos);
+        }
+        if self.at_ident("where") {
+            while let Some(t) = self.tok(self.pos) {
+                if t.is_punct("{") || t.is_punct(";") {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let body = if self.at_punct("{") {
+            let Some(close) = self.matching(self.pos, "{", "}") else {
+                self.pos = self.file.code.len();
+                return;
+            };
+            let span = (self.pos + 1, close);
+            self.pos = close + 1;
+            Some(span)
+        } else {
+            if self.at_punct(";") {
+                self.pos += 1;
+            }
+            None
+        };
+        out.fns.push(FnDecl {
+            name,
+            has_self,
+            ret,
+            body,
+            line,
+            col,
+            in_test,
+            impl_ty: ctx.map(|c| c.self_ty.clone()),
+            trait_name: ctx.and_then(|c| c.trait_name.clone()),
+        });
+    }
+
+    fn parse_struct(&mut self, out: &mut ParsedFile, derives: Vec<String>) {
+        self.pos += 1; // past `struct`
+        let Some(name_tok) = self.tok(self.pos) else {
+            return;
+        };
+        let (name, line, in_test) = (name_tok.text.clone(), name_tok.line, name_tok.in_test);
+        self.pos += 1;
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        while self.at_ident("where")
+            || !(self.at_punct("{") || self.at_punct("(") || self.at_punct(";"))
+        {
+            if self.tok(self.pos).is_none() {
+                return;
+            }
+            self.pos += 1;
+        }
+        let mut fields = Vec::new();
+        if self.at_punct("{") {
+            let Some(close) = self.matching(self.pos, "{", "}") else {
+                self.pos = self.file.code.len();
+                return;
+            };
+            fields = self.parse_fields(self.pos + 1, close);
+            self.pos = close + 1;
+        } else {
+            self.skip_item(); // tuple `( ... );` or unit `;`
+        }
+        out.structs.push(StructDecl {
+            name,
+            fields,
+            derives,
+            line,
+            in_test,
+        });
+    }
+
+    /// Parse named fields in `lo..hi` (inside the struct braces).
+    fn parse_fields(&self, lo: usize, hi: usize) -> Vec<FieldDecl> {
+        let mut fields = Vec::new();
+        let mut ci = lo;
+        while ci < hi {
+            // Skip attributes and visibility.
+            while ci < hi {
+                let Some(t) = self.tok(ci) else { return fields };
+                if t.is_punct("#") {
+                    let mut j = ci + 1;
+                    if self.tok(j).map(|t| t.is_punct("[")).unwrap_or(false) {
+                        match self.matching(j, "[", "]") {
+                            Some(c) => ci = c + 1,
+                            None => return fields,
+                        }
+                        continue;
+                    }
+                    j += 1;
+                    ci = j;
+                    continue;
+                }
+                if t.is_ident("pub") {
+                    ci += 1;
+                    if self.tok(ci).map(|t| t.is_punct("(")).unwrap_or(false) {
+                        match self.matching(ci, "(", ")") {
+                            Some(c) => ci = c + 1,
+                            None => return fields,
+                        }
+                    }
+                    continue;
+                }
+                break;
+            }
+            let Some(name_tok) = self.tok(ci) else {
+                return fields;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                ci += 1;
+                continue;
+            }
+            let (fname, fline) = (name_tok.text.clone(), name_tok.line);
+            ci += 1;
+            if !self.tok(ci).map(|t| t.is_punct(":")).unwrap_or(false) {
+                continue; // not a field after all; resynchronize
+            }
+            ci += 1;
+            // Type runs to the next comma at zero bracket/angle depth.
+            let ty_lo = ci;
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            while ci < hi {
+                let Some(t) = self.tok(ci) else { break };
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "," if depth == 0 && angle <= 0 => break,
+                        _ => {}
+                    }
+                }
+                ci += 1;
+            }
+            fields.push(FieldDecl {
+                name: fname,
+                ty: self.render(ty_lo, ci),
+                line: fline,
+            });
+            ci += 1; // past the comma
+        }
+        fields
+    }
+
+    fn parse_enum(&mut self, out: &mut ParsedFile, derives: Vec<String>) {
+        self.pos += 1; // past `enum`
+        let Some(name_tok) = self.tok(self.pos) else {
+            return;
+        };
+        let (name, line) = (name_tok.text.clone(), name_tok.line);
+        self.skip_item();
+        out.enums.push(EnumDecl {
+            name,
+            derives,
+            line,
+        });
+    }
+
+    fn parse_impl(&mut self, out: &mut ParsedFile) {
+        self.pos += 1; // past `impl`
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // Header runs to the opening `{` (angles tracked so `for` inside
+        // generic arguments is not mistaken for the trait separator).
+        let lo = self.pos;
+        let mut angle = 0i32;
+        let mut for_at: Option<usize> = None;
+        while let Some(t) = self.tok(self.pos) {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle <= 0 && t.is_ident("for") {
+                for_at = Some(self.pos);
+            } else if angle <= 0 && (t.is_punct("{") || t.is_ident("where")) {
+                break;
+            } else if t.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+        let hi = self.pos;
+        if self.at_ident("where") {
+            while let Some(t) = self.tok(self.pos) {
+                if t.is_punct("{") {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let (trait_name, self_ty) = match for_at {
+            Some(f) => (self.path_head(lo, f), self.path_head(f + 1, hi)),
+            None => (None, self.path_head(lo, hi)),
+        };
+        if !self.at_punct("{") {
+            return;
+        }
+        let Some(close) = self.matching(self.pos, "{", "}") else {
+            self.pos = self.file.code.len();
+            return;
+        };
+        let body_lo = self.pos + 1;
+        self.pos = body_lo;
+        let ctx = ImplCtx {
+            self_ty: self_ty.unwrap_or_default(),
+            trait_name,
+        };
+        let mut scratch = ParsedFile::default();
+        self.items(close, &mut scratch, Some(&ctx));
+        out.fns.extend(scratch.fns);
+        out.consts.extend(scratch.consts);
+        self.pos = close + 1;
+    }
+
+    /// The last path ident before any generic arguments in `lo..hi`
+    /// (`des :: Handler < K , S >` → `Handler`; `& mut Engine < '_ >` →
+    /// `Engine`).
+    fn path_head(&self, lo: usize, hi: usize) -> Option<String> {
+        let mut last: Option<String> = None;
+        for ci in lo..hi {
+            let Some(t) = self.tok(ci) else { break };
+            if t.is_punct("<") {
+                break;
+            }
+            if t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn" | "for") {
+                last = Some(t.text.clone());
+            }
+        }
+        last
+    }
+
+    fn parse_mod(&mut self, out: &mut ParsedFile, ctx: Option<&ImplCtx>) {
+        self.pos += 1; // past `mod`
+        self.pos += 1; // past the name
+        if self.at_punct(";") {
+            self.pos += 1;
+            return;
+        }
+        if !self.at_punct("{") {
+            return;
+        }
+        let Some(close) = self.matching(self.pos, "{", "}") else {
+            self.pos = self.file.code.len();
+            return;
+        };
+        self.pos += 1;
+        self.items(close, out, ctx);
+        self.pos = close + 1;
+    }
+}
+
+/// Expand a use-tree token sequence into `(alias, path)` pairs.
+/// `texts` holds `(is_ident, text)` for each token after `use`.
+fn expand_use(texts: &[(bool, String)], prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) {
+    let mut i = 0usize;
+    while i < texts.len() {
+        let (is_ident, text) = &texts[i];
+        if *is_ident {
+            if text == "as" {
+                if let Some((true, alias)) = texts.get(i + 1) {
+                    out.push(UseDecl {
+                        alias: alias.clone(),
+                        path: prefix.clone(),
+                    });
+                }
+                return;
+            }
+            if text == "self" {
+                // `a::b::{self, c}`: import `b` itself.
+                if let Some(alias) = prefix.last().cloned() {
+                    out.push(UseDecl {
+                        alias,
+                        path: prefix.clone(),
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            prefix.push(text.clone());
+            i += 1;
+            continue;
+        }
+        match text.as_str() {
+            "::" => i += 1,
+            "*" => return, // glob: nothing nameable to record
+            "{" => {
+                // Split the group body on top-level commas; recurse per arm.
+                let mut depth = 0i32;
+                let mut close = i;
+                for (j, (_, t)) in texts.iter().enumerate().skip(i) {
+                    match t.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if close == i {
+                    return; // unbalanced
+                }
+                let body = &texts[i + 1..close];
+                let mut depth = 0i32;
+                let mut arm_start = 0usize;
+                for (j, (_, t)) in body.iter().enumerate() {
+                    match t.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            expand_use(&body[arm_start..j], &mut prefix.clone(), out);
+                            arm_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if arm_start < body.len() {
+                    expand_use(&body[arm_start..], &mut prefix.clone(), out);
+                }
+                return;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(alias) = prefix.last().cloned() {
+        out.push(UseDecl {
+            alias,
+            path: std::mem::take(prefix),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&SourceFile::parse("crates/fabric-sim/src/x.rs", src))
+    }
+
+    #[test]
+    fn free_fn_with_signature() {
+        let p = parse("pub fn run(a: u64, b: &str) -> Result<u32, Error> { helper(a); }\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "run");
+        assert!(!f.has_self);
+        assert!(f.ret.contains("Result"));
+        assert!(f.body.is_some());
+        assert!(f.impl_ty.is_none());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type_and_trait() {
+        let src = "
+            struct Engine;
+            impl Engine { fn go(&mut self) {} }
+            impl<K, S> Handler<K, S> for Engine { fn handle(&mut self, k: K) {} }
+        ";
+        let p = parse(src);
+        let go = p.fns.iter().find(|f| f.name == "go").expect("go");
+        assert_eq!(go.impl_ty.as_deref(), Some("Engine"));
+        assert!(go.has_self);
+        assert!(go.trait_name.is_none());
+        let h = p.fns.iter().find(|f| f.name == "handle").expect("handle");
+        assert_eq!(h.impl_ty.as_deref(), Some("Engine"));
+        assert_eq!(h.trait_name.as_deref(), Some("Handler"));
+    }
+
+    #[test]
+    fn struct_fields_and_derives() {
+        let src = "
+            #[derive(Debug, Clone, Serialize, Deserialize)]
+            pub struct DropSpec {
+                pub proposal_rate: f64,
+                pub map: BTreeMap<String, u64>,
+                hidden: Option<Vec<u8>>,
+            }
+        ";
+        let p = parse(src);
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "DropSpec");
+        assert!(s.derives.iter().any(|d| d == "Serialize"));
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["proposal_rate", "map", "hidden"]);
+        assert!(s.fields[1].ty.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn use_groups_and_aliases_expand() {
+        let src = "
+            use crate::fault::{self, FaultSpec, RetryPolicy as Retry, nested::{A, B}};
+            use sim_core::rng::SimRng;
+            use std::collections::*;
+        ";
+        let p = parse(src);
+        let alias = |a: &str| p.uses.iter().find(|u| u.alias == a);
+        assert!(alias("fault").is_some(), "{:?}", p.uses);
+        assert!(alias("FaultSpec").is_some());
+        let retry = alias("Retry").expect("as-alias");
+        assert_eq!(retry.path.last().map(String::as_str), Some("RetryPolicy"));
+        assert!(alias("A").is_some());
+        assert!(alias("B").is_some());
+        assert_eq!(
+            alias("SimRng").expect("simrng").path,
+            vec!["sim_core", "rng", "SimRng"]
+        );
+    }
+
+    #[test]
+    fn consts_record_types_and_test_flag() {
+        let src = "
+            pub const DROP_STREAM: u64 = 0xFA17D;
+            static NAME: &str = \"x\";
+            #[cfg(test)]
+            mod tests {
+                const T: u64 = 1;
+            }
+        ";
+        let p = parse(src);
+        let drop = p
+            .consts
+            .iter()
+            .find(|c| c.name == "DROP_STREAM")
+            .expect("c");
+        assert_eq!(drop.ty, "u64");
+        assert!(!drop.in_test);
+        assert!(p.consts.iter().find(|c| c.name == "T").expect("t").in_test);
+    }
+
+    #[test]
+    fn bodies_are_code_index_spans() {
+        let src = "fn a() { one(); two(); } fn b() {}";
+        let file = SourceFile::parse("crates/fabric-sim/src/x.rs", src);
+        let p = parse_file(&file);
+        let (lo, hi) = p.fns[0].body.expect("body");
+        let texts: Vec<&str> = (lo..hi)
+            .map(|ci| file.tokens[file.code[ci]].text.as_str())
+            .collect();
+        assert_eq!(texts, vec!["one", "(", ")", ";", "two", "(", ")", ";"]);
+        let (blo, bhi) = p.fns[1].body.expect("body");
+        assert_eq!(blo, bhi);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_parse_without_fields() {
+        let p = parse("struct Marker; struct Pair(u32, u32); struct After { x: u8 }");
+        assert_eq!(p.structs.len(), 3);
+        assert!(p.structs[0].fields.is_empty());
+        assert!(p.structs[1].fields.is_empty());
+        assert_eq!(p.structs[2].fields.len(), 1);
+    }
+
+    #[test]
+    fn manual_trait_impl_without_generics() {
+        // The vendored serde shim style: `impl Serialize for X`.
+        let src = "impl Serialize for OutageWindow { fn to_value(&self) -> Value { x() } }";
+        let p = parse(src);
+        let f = &p.fns[0];
+        assert_eq!(f.trait_name.as_deref(), Some("Serialize"));
+        assert_eq!(f.impl_ty.as_deref(), Some("OutageWindow"));
+    }
+}

@@ -14,40 +14,32 @@
 //! review.
 
 use crate::lexer::TokenKind;
-use crate::rules::{code_tok, Finding, LintRule, RuleCtx};
+use crate::rules::{apply_budget, code_tok, Finding, LintRule, RuleCtx};
 use crate::source::FileClass;
 use std::collections::BTreeMap;
 
-/// Committed per-crate allowances for bare `.unwrap()` in library non-test
-/// code. PR 7's burn-down removed every such site, so every budget is 0 —
-/// the table exists so a future regression names the crate it regressed
-/// and so any deliberate re-introduction has to edit a reviewed constant.
-const BUDGETS: &[(&str, usize)] = &[
-    ("blockoptr", 0),
-    ("blockoptr-suite", 0),
-    ("chaincode", 0),
-    ("detlint", 0),
-    ("fabric-sim", 0),
-    ("process-mining", 0),
-    ("sim-core", 0),
-    ("workload", 0),
-];
-
-fn budget(krate: &str) -> usize {
-    BUDGETS
-        .iter()
-        .find(|(k, _)| *k == krate)
-        .map(|(_, b)| *b)
-        .unwrap_or(0)
-}
+/// This rule's stable id (also the key in `detlint-budgets.json`).
+pub const ID: &str = "no-unwrap";
 
 /// See module docs.
-#[derive(Debug)]
-pub struct NoUnwrap;
+#[derive(Debug, Default)]
+pub struct NoUnwrap {
+    /// Committed per-crate allowances, injected from the budget file
+    /// (`detlint-budgets.json`). A crate absent from the map has budget 0,
+    /// so the default is the strictest configuration.
+    budgets: BTreeMap<String, usize>,
+}
+
+impl NoUnwrap {
+    /// The rule under the committed allowances in `budgets`.
+    pub fn new(budgets: BTreeMap<String, usize>) -> NoUnwrap {
+        NoUnwrap { budgets }
+    }
+}
 
 impl LintRule for NoUnwrap {
     fn id(&self) -> &'static str {
-        "no-unwrap"
+        ID
     }
 
     fn summary(&self) -> &'static str {
@@ -106,26 +98,7 @@ impl LintRule for NoUnwrap {
     }
 
     fn finalize(&self, findings: Vec<Finding>) -> Vec<Finding> {
-        let mut per_crate: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
-        for f in findings {
-            per_crate.entry(f.krate.clone()).or_default().push(f);
-        }
-        let mut out = Vec::new();
-        for (krate, mut fs) in per_crate {
-            let allowed = budget(&krate);
-            let count = fs.len();
-            if count <= allowed {
-                continue;
-            }
-            for f in &mut fs {
-                f.message = format!(
-                    "{} — crate `{krate}` has {count} site(s) against a committed budget of {allowed}",
-                    f.message
-                );
-            }
-            out.extend(fs);
-        }
-        out
+        apply_budget(&self.budgets, findings)
     }
 }
 

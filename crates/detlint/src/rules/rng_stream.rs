@@ -1,0 +1,348 @@
+//! `rng-stream`: every RNG must be derived from a named `*_STREAM` seed
+//! constant, each stream must have exactly one library draw site, and no
+//! stream may be derived on the event path.
+//!
+//! The determinism story of the simulator rests on *stream discipline*:
+//! every independent consumer of randomness derives its own `SimRng` from
+//! the scenario seed and a documented `u64` stream label (`DROP_STREAM`,
+//! `BACKOFF_STREAM`, `ENGINE_STREAM`, …). That keeps draws independent of
+//! event interleaving and means adding a consumer never perturbs existing
+//! ones. Three ways to silently break it:
+//!
+//! 1. constructing an RNG directly (`seed_from_u64`, or a magic literal as
+//!    the stream argument) — the stream is anonymous, collisions are
+//!    invisible in review;
+//! 2. deriving from an *existing* named stream at a second library site —
+//!    the new draw site interposes on the stream and shifts every
+//!    subsequent draw of the original consumer;
+//! 3. deriving inside a DES event handler — the derivation order then
+//!    depends on event interleaving instead of setup order.
+//!
+//! The construction seam is `crates/sim-core/src/rng.rs` (the `SimRng`
+//! implementation itself); everything it does internally is exempt.
+
+use crate::index::Workspace;
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+use std::collections::BTreeMap;
+
+/// This rule's stable id.
+pub const ID: &str = "rng-stream";
+
+/// The one file allowed to touch raw RNG construction.
+const SEAM: &str = "crates/sim-core/src/rng.rs";
+
+/// Draw sites per resolved stream constant: (const file, const name) →
+/// (site file, line, col) list.
+type StreamSites = BTreeMap<(usize, String), Vec<(usize, u32, u32)>>;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct RngStream;
+
+impl LintRule for RngStream {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn summary(&self) -> &'static str {
+        "RNGs derive from a named *_STREAM constant; one library draw site per stream; \
+         no derivation on the event path"
+    }
+
+    fn check(&self, _ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        Vec::new()
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        // Single-ident derive sites per resolved stream constant, for the
+        // one-draw-site-per-stream check: (const file, const name) → sites.
+        let mut per_stream: StreamSites = BTreeMap::new();
+        // Every derive call site, for the event-path check.
+        let mut derive_sites: Vec<(usize, usize)> = Vec::new();
+
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.class != FileClass::Library || file.path == SEAM {
+                continue;
+            }
+            for ci in 0..file.code.len() {
+                let Some(t) = ws.tok(fi, ci) else { continue };
+                if t.in_test || t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let follows_rng_path = ci >= 2
+                    && ws
+                        .tok(fi, ci - 1)
+                        .map(|p| p.is_punct("::"))
+                        .unwrap_or(false)
+                    && ws
+                        .tok(fi, ci - 2)
+                        .map(|p| p.kind == TokenKind::Ident && p.text.ends_with("Rng"))
+                        .unwrap_or(false);
+                let opens_call = ws.tok(fi, ci + 1).map(|n| n.is_punct("(")).unwrap_or(false);
+                if !follows_rng_path || !opens_call {
+                    continue;
+                }
+                if t.text == "seed_from_u64" {
+                    findings.push(Finding::in_file(
+                        ID,
+                        file,
+                        t.line,
+                        t.col,
+                        "raw RNG construction via seed_from_u64 — derive from the scenario \
+                         seed with a named *_STREAM constant (SimRng::derive(seed, X_STREAM))"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                if t.text != "derive" {
+                    continue;
+                }
+                derive_sites.push((fi, ci));
+                match stream_arg(ws, fi, ci) {
+                    Some((arg_ci, name)) => {
+                        let resolves_to_u64 = ws
+                            .resolve_const(fi, &name)
+                            .map(|c| c.ty.contains("u64"))
+                            .unwrap_or(false);
+                        if !name.ends_with("_STREAM") || !resolves_to_u64 {
+                            let t = ws.tok(fi, ci).expect("derive token exists");
+                            findings.push(Finding::in_file(
+                                ID,
+                                file,
+                                t.line,
+                                t.col,
+                                format!(
+                                    "stream argument `{name}` is not a named u64 *_STREAM \
+                                     constant — declare one next to DROP_STREAM/BACKOFF_STREAM \
+                                     and derive from it"
+                                ),
+                            ));
+                        } else if let Some(c) = ws.resolve_const(fi, &name) {
+                            // Pure single-ident stream (no `+ offset`): one
+                            // library draw site allowed per stream.
+                            let closes = ws
+                                .tok(fi, arg_ci + 1)
+                                .map(|n| n.is_punct(")"))
+                                .unwrap_or(false);
+                            if closes {
+                                let site = ws.tok(fi, arg_ci).expect("arg token exists");
+                                per_stream
+                                    .entry((c.file, c.name.clone()))
+                                    .or_default()
+                                    .push((fi, site.line, site.col));
+                            }
+                        }
+                    }
+                    None => {
+                        findings.push(Finding::in_file(
+                            ID,
+                            file,
+                            t.line,
+                            t.col,
+                            "derive call whose stream argument does not start with a named \
+                             *_STREAM constant — anonymous streams collide silently"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        for ((_, stream), mut sites) in per_stream {
+            if sites.len() < 2 {
+                continue;
+            }
+            sites.sort();
+            for &(fi, line, col) in &sites[1..] {
+                findings.push(Finding::in_file(
+                    ID,
+                    ws.files[fi],
+                    line,
+                    col,
+                    format!(
+                        "second library draw site for `{stream}` — a new consumer must \
+                         declare its own *_STREAM constant, not interpose on an existing \
+                         stream ({} sites total)",
+                        sites.len()
+                    ),
+                ));
+            }
+        }
+
+        // Event-path check: no derive inside code reachable from a DES
+        // `Handler` implementation — derivation order would then depend on
+        // event interleaving.
+        let roots: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.trait_name.as_deref() == Some("Handler") && !f.in_test)
+            .map(|(i, _)| i)
+            .collect();
+        if !roots.is_empty() {
+            let reach = ws.reachable(&roots);
+            for &(fi, ci) in &derive_sites {
+                let Some(owner) = ws.enclosing_fn(fi, ci) else {
+                    continue;
+                };
+                if reach.contains_key(&owner) {
+                    let t = ws.tok(fi, ci).expect("derive token exists");
+                    findings.push(Finding::in_file(
+                        ID,
+                        ws.files[fi],
+                        t.line,
+                        t.col,
+                        format!(
+                            "RNG derived on the event path (reachable from a Handler impl \
+                             via {}) — derive all streams during setup, before events run",
+                            ws.chain(&reach, owner)
+                        ),
+                    ));
+                }
+            }
+        }
+
+        findings
+    }
+}
+
+/// The first token of the second argument of the `derive(seed, STREAM…)`
+/// call whose name token sits at `ci`: skip to the comma at paren depth 1,
+/// return the following ident. `None` when the second argument is missing
+/// or does not start with an identifier.
+fn stream_arg(ws: &Workspace<'_>, fi: usize, ci: usize) -> Option<(usize, String)> {
+    let mut depth = 0i32;
+    let mut j = ci + 1;
+    loop {
+        let t = ws.tok(fi, j)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            "," if depth == 1 && t.kind == TokenKind::Punct => {
+                let arg = ws.tok(fi, j + 1)?;
+                if arg.kind == TokenKind::Ident {
+                    return Some((j + 1, arg.text.clone()));
+                }
+                return None;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn scan(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let ws = Workspace::build(sources.iter().collect());
+        RngStream.check_workspace(&ws)
+    }
+
+    #[test]
+    fn named_stream_derivation_is_clean() {
+        let findings = scan(&[(
+            "crates/a/src/gen.rs",
+            "pub const GEN_STREAM: u64 = 7;\n\
+             pub fn generate(seed: u64) { let rng = SimRng::derive(seed, GEN_STREAM); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn magic_literal_stream_is_flagged() {
+        let findings = scan(&[(
+            "crates/a/src/gen.rs",
+            "pub fn generate(seed: u64) { let rng = SimRng::derive(seed, 0xBEEF); }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("*_STREAM"), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_seed_from_u64_is_flagged_outside_the_seam() {
+        let findings = scan(&[(
+            "crates/a/src/gen.rs",
+            "pub fn generate() { let rng = SimRng::seed_from_u64(42); }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("seed_from_u64"));
+    }
+
+    #[test]
+    fn second_draw_site_on_a_stream_is_flagged_cross_file() {
+        let findings = scan(&[
+            (
+                "crates/a/src/streams.rs",
+                "pub const SHARED_STREAM: u64 = 1;\n\
+                 pub fn first(seed: u64) { let rng = SimRng::derive(seed, SHARED_STREAM); }",
+            ),
+            (
+                "crates/b/src/other.rs",
+                "use a::streams::SHARED_STREAM;\n\
+                 pub fn second(seed: u64) { let rng = SimRng::derive(seed, SHARED_STREAM); }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("second library draw site"));
+    }
+
+    #[test]
+    fn offset_streams_do_not_count_as_duplicates() {
+        let findings = scan(&[(
+            "crates/a/src/gen.rs",
+            "pub const P_STREAM: u64 = 1;\n\
+             pub fn a(seed: u64) { let r = SimRng::derive(seed, P_STREAM + 1); }\n\
+             pub fn b(seed: u64) { let r = SimRng::derive(seed, P_STREAM + 2); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn derive_reachable_from_a_handler_is_flagged() {
+        let findings = scan(&[(
+            "crates/a/src/sim.rs",
+            "pub const H_STREAM: u64 = 1;\n\
+             struct Engine;\n\
+             impl Handler for Engine {\n\
+                 fn handle(&mut self) { self.draw(); }\n\
+             }\n\
+             impl Engine {\n\
+                 fn draw(&mut self) { let r = SimRng::derive(1, H_STREAM); }\n\
+             }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("event path"), "{findings:?}");
+        assert!(
+            findings[0].message.contains("Engine::handle"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_and_the_seam_are_exempt() {
+        let findings = scan(&[
+            (
+                "crates/sim-core/src/rng.rs",
+                "impl SimRng { pub fn derive(seed: u64, s: u64) -> SimRng { \
+                 SimRng::seed_from_u64(seed ^ s) } }",
+            ),
+            (
+                "crates/a/src/gen.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() { let r = SimRng::seed_from_u64(1); }\n}",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

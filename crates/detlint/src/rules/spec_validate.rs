@@ -1,0 +1,299 @@
+//! `spec-validate`: every field of a serde-visible `*Spec` struct must be
+//! named, by dotted path, somewhere in the string set reachable from the
+//! spec-validation entry points.
+//!
+//! The scenario layer's contract is that `validate()` rejects every bad
+//! spec with a `BadParameter { field, … }` naming the offending field by
+//! dotted path (`"scm.send_rate"`, `"fault.drop.proposal_rate"`). That
+//! contract silently rots in one specific way: a field is added to a spec
+//! struct, serde happily round-trips it, and no validation arm ever looks
+//! at it. This rule closes the gap structurally: for each library struct
+//! whose name ends in `Spec` and which is serde-visible (a
+//! `Serialize`/`Deserialize` derive or a manual impl), every named field
+//! must appear as a path segment in some string literal inside the
+//! relevant `validate()` — or inside any function reachable from it, so
+//! helpers like `check_rate("scm.send_rate", …)` and `validate_fault()`
+//! count.
+//!
+//! "Relevant" is resolved conservatively: a struct with its own
+//! `validate()` method is checked against that method's reachable string
+//! set; a nested spec without one (e.g. `DropSpec`, validated by
+//! `ScenarioSpec::validate`) is checked against the union over every
+//! `*Spec::validate` in the workspace. A field that is genuinely
+//! unconstrained (any value is valid — e.g. a seed) carries a waiver
+//! saying so on its declaration line.
+
+use crate::index::Workspace;
+use crate::parse::StructDecl;
+use crate::rules::{Finding, LintRule, RuleCtx};
+use crate::source::FileClass;
+use std::collections::BTreeSet;
+
+/// This rule's stable id.
+pub const ID: &str = "spec-validate";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct SpecValidate;
+
+impl LintRule for SpecValidate {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn summary(&self) -> &'static str {
+        "every field of a serde-visible *Spec struct is named by dotted path in the \
+         reachable validate() string set"
+    }
+
+    fn check(&self, _ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        Vec::new()
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>) -> Vec<Finding> {
+        // The spec-validation universe: every `validate` method on a
+        // `*Spec` type (plus free `validate` fns in files that declare a
+        // spec struct — the mini-fixture shape).
+        let spec_validates: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == "validate" && !f.in_test)
+            .filter(|(_, f)| match &f.impl_ty {
+                Some(ty) => ty.ends_with("Spec"),
+                None => ws.parsed[f.file]
+                    .structs
+                    .iter()
+                    .any(|s| s.name.ends_with("Spec")),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let union_mentions = mention_set(ws, &spec_validates);
+
+        let mut findings = Vec::new();
+        for sym in &ws.structs {
+            let file = ws.files[sym.file];
+            let s = &sym.decl;
+            if file.class != FileClass::Library
+                || s.in_test
+                || !s.name.ends_with("Spec")
+                || s.fields.is_empty()
+                || !serde_visible(ws, s)
+            {
+                continue;
+            }
+            // Own validate() wins; nested specs fall back to the union.
+            let own: Vec<usize> = spec_validates
+                .iter()
+                .copied()
+                .filter(|&i| ws.fns[i].impl_ty.as_deref() == Some(s.name.as_str()))
+                .collect();
+            if spec_validates.is_empty() {
+                findings.push(Finding::in_file(
+                    ID,
+                    file,
+                    s.line,
+                    1,
+                    format!(
+                        "serde-visible spec struct `{}` has no reachable validate(): no \
+                         *Spec::validate exists in the workspace to constrain its fields",
+                        s.name
+                    ),
+                ));
+                continue;
+            }
+            let own_mentions;
+            let mentions = if own.is_empty() {
+                &union_mentions
+            } else {
+                own_mentions = mention_set(ws, &own);
+                &own_mentions
+            };
+            for field in &s.fields {
+                if !mentions.contains(field.name.as_str()) {
+                    findings.push(Finding::in_file(
+                        ID,
+                        file,
+                        field.line,
+                        1,
+                        format!(
+                            "field `{}.{}` is serde-visible but never named in the \
+                             reachable validate() string set — add a dotted-path check \
+                             (or a waiver stating why any value is valid)",
+                            s.name, field.name
+                        ),
+                    ));
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Whether `s` crosses the serde boundary: a `Serialize`/`Deserialize`
+/// derive, or a manual `impl Serialize/Deserialize for S` anywhere in the
+/// workspace.
+fn serde_visible(ws: &Workspace<'_>, s: &StructDecl) -> bool {
+    if s.derives
+        .iter()
+        .any(|d| d == "Serialize" || d == "Deserialize")
+    {
+        return true;
+    }
+    ws.fns.iter().any(|f| {
+        f.impl_ty.as_deref() == Some(s.name.as_str())
+            && matches!(
+                f.trait_name.as_deref(),
+                Some("Serialize") | Some("Deserialize")
+            )
+    })
+}
+
+/// The ident segments of every string literal in `roots`' bodies and in
+/// everything reachable from them: `"scm.send_rate"` contributes `scm`
+/// and `send_rate`.
+fn mention_set(ws: &Workspace<'_>, roots: &[usize]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for &f in ws.reachable(roots).keys() {
+        for lit in ws.strings_in(f) {
+            let mut seg = String::new();
+            for c in lit.chars() {
+                if c.is_alphanumeric() || c == '_' {
+                    seg.push(c);
+                } else if !seg.is_empty() {
+                    out.insert(std::mem::take(&mut seg));
+                }
+            }
+            if !seg.is_empty() {
+                out.insert(seg);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn scan(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let ws = Workspace::build(sources.iter().collect());
+        SpecValidate.check_workspace(&ws)
+    }
+
+    const SPEC_WITH_VALIDATE: &str = "
+        #[derive(Debug, Serialize, Deserialize)]
+        pub struct RunSpec {
+            pub rate: f64,
+            pub count: usize,
+        }
+        impl RunSpec {
+            pub fn validate(&self) -> Result<(), String> {
+                if self.rate <= 0.0 { return Err(\"run.rate must be positive\".into()); }
+                if self.count == 0 { return Err(\"run.count must be at least 1\".into()); }
+                Ok(())
+            }
+        }
+    ";
+
+    #[test]
+    fn fully_validated_spec_is_clean() {
+        let findings = scan(&[("crates/a/src/spec.rs", SPEC_WITH_VALIDATE)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn field_added_without_touching_validate_is_flagged() {
+        let src = SPEC_WITH_VALIDATE.replace(
+            "pub count: usize,",
+            "pub count: usize,\n            pub burst: f64,",
+        );
+        let findings = scan(&[("crates/a/src/spec.rs", &src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("RunSpec.burst"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn mentions_through_reachable_helpers_count() {
+        let src = "
+            #[derive(Serialize)]
+            pub struct JobSpec { pub width: usize }
+            impl JobSpec {
+                pub fn validate(&self) -> Result<(), String> { check(self.width) }
+            }
+            fn check(w: usize) -> Result<(), String> {
+                if w == 0 { return Err(\"job.width must be positive\".into()); }
+                Ok(())
+            }
+        ";
+        let findings = scan(&[("crates/a/src/spec.rs", src)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn nested_spec_without_own_validate_uses_the_union() {
+        let findings = scan(&[
+            (
+                "crates/core/src/fault.rs",
+                "#[derive(Serialize, Deserialize)]\n\
+                 pub struct DropSpec { pub loss_rate: f64, pub ghost: f64 }",
+            ),
+            (
+                "crates/load/src/scenario.rs",
+                "#[derive(Serialize, Deserialize)]\n\
+                 pub struct TopSpec { pub name: String }\n\
+                 impl TopSpec {\n\
+                     pub fn validate(&self) -> Result<(), String> {\n\
+                         if self.name.is_empty() { return Err(\"name empty\".into()); }\n\
+                         Err(\"fault.drop.loss_rate must be a share\".into())\n\
+                     }\n\
+                 }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("DropSpec.ghost"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn spec_with_no_validate_anywhere_is_flagged_at_the_struct() {
+        let findings = scan(&[(
+            "crates/a/src/spec.rs",
+            "#[derive(Serialize)]\npub struct LoneSpec { pub x: u32 }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("no reachable validate()"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn manual_serde_impls_make_a_struct_visible() {
+        let findings = scan(&[(
+            "crates/a/src/spec.rs",
+            "pub struct HandSpec { pub y: u32 }\n\
+             impl Serialize for HandSpec { fn to_value(&self) -> Value { Value::Unit } }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn non_serde_and_test_structs_are_exempt() {
+        let findings = scan(&[(
+            "crates/a/src/spec.rs",
+            "pub struct PlainSpec { pub z: u32 }\n\
+             #[cfg(test)]\nmod tests {\n\
+                 #[derive(Serialize)]\n    struct TestSpec { q: u32 }\n\
+             }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

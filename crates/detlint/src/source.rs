@@ -110,6 +110,12 @@ impl SourceFile {
             .unwrap_or(false)
     }
 
+    /// Whether any code (non-comment) token sits on `line` — the test
+    /// that decides whether a waiver comment covers the next line too.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.code.iter().any(|&i| self.tokens[i].line == line)
+    }
+
     /// Whether any non-doc comment exists on `line`.
     pub fn has_plain_comment_on(&self, line: u32) -> bool {
         self.tokens.iter().any(|t| {

@@ -1,0 +1,73 @@
+//! The budget ratchet: committed per-crate allowances in
+//! `detlint-budgets.json` may only shrink. Live counts above a committed
+//! budget fail the clean-scan meta-test; this test closes the other
+//! direction — committed budgets above live counts (slack that would let
+//! new debt in unnoticed) fail here.
+
+use std::path::{Path, PathBuf};
+
+use detlint::{Budgets, RuleSet, Scanner, BUDGETED_RULES, BUDGET_FILE};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn committed() -> Budgets {
+    let text = std::fs::read_to_string(workspace_root().join(BUDGET_FILE))
+        .expect("committed budget file exists");
+    Budgets::parse(&text).expect("committed budget file parses")
+}
+
+#[test]
+fn committed_budgets_cover_exactly_the_budgeted_rules() {
+    let budgets = committed();
+    let rules: Vec<&str> = budgets.rules.keys().map(String::as_str).collect();
+    assert_eq!(
+        rules, BUDGETED_RULES,
+        "budget file tracks the budgeted rules"
+    );
+}
+
+/// The whole point of the ratchet: the workspace carries zero legacy debt,
+/// and the committed file says so. Raising any number here is a review
+/// decision, not a drive-by.
+#[test]
+fn committed_budgets_are_all_zero() {
+    let budgets = committed();
+    for (rule, crates) in &budgets.rules {
+        for (krate, n) in crates {
+            assert_eq!(*n, 0, "`{rule}` budget for crate `{krate}` must stay 0");
+        }
+    }
+}
+
+/// Budgets never exceed live counts: slack in the committed file would let
+/// new violations land without tripping any test. `--write-budgets`
+/// regenerates the file at exactly the live counts.
+#[test]
+fn committed_budgets_carry_no_slack() {
+    let budgets = committed();
+    let report = Scanner::new(RuleSet::determinism_with_budgets(&budgets))
+        .scan_tree(&workspace_root())
+        .expect("workspace scan succeeds");
+    let live = report.live_budgets();
+    for rule in BUDGETED_RULES {
+        let committed = budgets.rules.get(*rule).cloned().unwrap_or_default();
+        let actual = live.rules.get(*rule).cloned().unwrap_or_default();
+        for (krate, allowed) in &committed {
+            let sites = actual.get(krate).copied().unwrap_or(0);
+            assert!(
+                *allowed <= sites,
+                "`{rule}` budget for crate `{krate}` is {allowed} but only \
+                 {sites} site(s) exist — run `detlint --write-budgets`"
+            );
+        }
+    }
+    // And the regenerated file round-trips byte-identically: the committed
+    // artifact is exactly what --write-budgets would produce today.
+    let text = std::fs::read_to_string(workspace_root().join(BUDGET_FILE)).unwrap();
+    assert_eq!(text, live.to_json(), "run `detlint --write-budgets`");
+}

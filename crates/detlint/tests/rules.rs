@@ -29,7 +29,14 @@ const RULE_STEMS: &[&str] = &[
     "no_print",
     "nondet_seam",
     "waiver_syntax",
+    "rng_stream",
+    "spec_validate",
+    "swallow_result",
+    "transitive_wall_clock",
 ];
+
+/// Cross-file mini-workspace cases under `fixtures/ws/{bad,good}/`.
+const WS_CASES: usize = 8;
 
 #[test]
 fn every_bad_fixture_trips_its_rule() {
@@ -60,10 +67,11 @@ fn every_good_fixture_scans_clean() {
 fn selftest_passes_on_committed_fixtures() {
     let transcript = fixtures_selftest(&fixtures_dir(), &RuleSet::determinism())
         .unwrap_or_else(|t| panic!("fixture self-test failed:\n{t}"));
-    // One PASS line per fixture file, bad and good.
+    // One PASS line per single-file fixture (bad and good) plus one per
+    // cross-file mini-workspace case.
     assert_eq!(
         transcript.lines().filter(|l| l.starts_with("PASS")).count(),
-        2 * RULE_STEMS.len(),
+        2 * RULE_STEMS.len() + WS_CASES,
         "{transcript}"
     );
 }

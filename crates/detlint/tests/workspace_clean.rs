@@ -1,22 +1,33 @@
 //! The meta-test: detlint runs clean over the real workspace tree.
 //!
 //! This is the ratchet that keeps the invariants enforced — any new hash
-//! iteration, wall-clock read, raw spawn, bare unwrap, or unjustified
+//! iteration, wall-clock read, raw spawn, bare unwrap, swallowed Result,
+//! unvalidated spec field, off-stream RNG derivation, or unjustified
 //! suppression anywhere in the workspace fails `cargo test` here, not just
 //! the (optional) CI lint job.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use detlint::Scanner;
+use detlint::{load_tree, waiver_audit, Budgets, RuleSet, Scanner, BUDGET_FILE};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn committed_rules() -> RuleSet {
+    let text = std::fs::read_to_string(workspace_root().join(BUDGET_FILE))
+        .expect("committed budget file exists");
+    let budgets = Budgets::parse(&text).expect("committed budget file parses");
+    RuleSet::determinism_with_budgets(&budgets)
+}
 
 #[test]
 fn workspace_scans_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("workspace root resolves");
-    let report = Scanner::determinism()
-        .scan_tree(&root)
+    let report = Scanner::new(committed_rules())
+        .scan_tree(&workspace_root())
         .expect("workspace scan succeeds");
     assert!(report.files_scanned > 30, "walker saw the whole tree");
     assert!(
@@ -24,5 +35,17 @@ fn workspace_scans_clean() {
         "detlint found {} violation(s) in the workspace:\n{}",
         report.findings.len(),
         report.render()
+    );
+}
+
+#[test]
+fn workspace_has_no_stale_waivers() {
+    let sources = load_tree(&workspace_root()).expect("workspace loads");
+    let audit = waiver_audit(&sources, &committed_rules());
+    assert_eq!(
+        audit.stale_count(),
+        0,
+        "stale waivers — delete the dead allow() comments:\n{}",
+        audit.render()
     );
 }

@@ -327,6 +327,7 @@ pub struct ScenarioSpec {
     /// Display name (the built-in scenario name, or a user label).
     pub name: String,
     /// Schedule/genesis/contract production.
+    // detlint: allow(spec-validate, reason = "validated structurally: every validate() arm names this field's contents by workload-kind prefix (scm., dv., …)")
     pub workload: WorkloadSpec,
     /// How transactions enter the network: the schedule's own closed-loop
     /// timestamps, or an open-loop re-stamping ([`ArrivalSpec`]).
@@ -335,6 +336,7 @@ pub struct ScenarioSpec {
     pub transforms: Vec<SpecTransform>,
     /// Prepared contract rewrites to install (resolved as one set through
     /// the workload's variant table).
+    // detlint: allow(spec-validate, reason = "validated through the typed UnsupportedVariant error path, which carries the offending variants instead of a dotted string")
     pub variants: BTreeSet<VariantKind>,
     /// The network configuration the scenario runs under.
     pub network: NetworkConfig,
@@ -604,10 +606,7 @@ impl ScenarioSpec {
                     if !namespaces.contains(ns.as_str()) {
                         return Err(bad(
                             &format!("schedule.genesis[{i}].namespace"),
-                            format!(
-                                "namespace {ns:?} is not installed by {:?}",
-                                s.contracts
-                            ),
+                            format!("namespace {ns:?} is not installed by {:?}", s.contracts),
                         ));
                     }
                 }
