@@ -24,6 +24,16 @@
 //!    ([`workload::FaultSpec`] / [`workload::RetryPolicy`]): throughput
 //!    under degradation and the retry count (asserted > 0) land in the
 //!    artifact, so fault-path overhead has a trajectory too.
+//! 5. **Sharded ingest sustains.** A larger ledger's commit-ordered log
+//!    is split into contiguous shards, each shard ingested into its own
+//!    fresh [`blockoptr::Session`] (as independent shards would), and the
+//!    shards folded with `Session::merge` — the monoid the equivalence
+//!    tests pin. Recorded: sustained ingest throughput (`ingest_tps`),
+//!    the merged session's estimated resident footprint
+//!    (`session_footprint_bytes`), and the serialized size of a slimmed
+//!    multi-seed measurement (`measured_report_bytes`) — the three
+//!    numbers that regress first if the measurement pipeline drifts back
+//!    toward O(raw).
 //!
 //! Results are written to `BENCH_plan.json` at the repository root
 //! (override with `BENCH_PLAN_OUT`) to start the perf trajectory; CI
@@ -40,6 +50,11 @@ use workload::{scm, ArrivalSpec, ScenarioSpec};
 
 const SEEDS: usize = 4;
 const PARALLEL_THREADS: usize = 4;
+
+/// Shards for the sustained-ingest probe: contiguous slices of the
+/// commit-ordered log ingested into independent sessions, then folded
+/// with `Session::merge`.
+const INGEST_SHARDS: usize = 4;
 
 /// Open-loop arrival rate for the DES probe (tx/s). Sparse enough that a
 /// 100-transaction block takes longer than the 1 s block timeout to fill,
@@ -236,6 +251,63 @@ fn bench_plan_parallel(c: &mut Criterion) {
         "the outage probe must exercise the client retry path (got no retries)"
     );
 
+    // Sustained-ingest probe: shard a larger ledger across fresh sessions,
+    // fold with `Session::merge`, and time the whole ingest + fold. The
+    // merge equivalence tests guarantee the folded session is
+    // byte-identical to serial ingest, so this measures the sharded hot
+    // path the daemon-style deployment would run.
+    let ingest_txs = std::env::var("BENCH_INGEST_TXS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let (ingest_bundle, ingest_config) = ScenarioSpec::builtin("scm")
+        .expect("scm is a builtin")
+        .with_transactions(ingest_txs)
+        .build()
+        .expect("ingest scm spec builds");
+    let ingest_ledger = ingest_bundle.run(ingest_config).ledger;
+    // Extract the commit-ordered log once (global commit indices), then
+    // pre-slice it into the contiguous shard streams each ingester would
+    // receive; only ingestion + folding is timed.
+    let full_log = blockoptr::log::BlockchainLog::from_ledger(&ingest_ledger);
+    let records = full_log.records().to_vec();
+    let shard_logs: Vec<blockoptr::log::BlockchainLog> = records
+        .chunks(records.len().div_ceil(INGEST_SHARDS).max(1))
+        .map(|piece| {
+            let blocks = piece
+                .iter()
+                .map(|r| r.block)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            blockoptr::log::BlockchainLog::from_records(piece.to_vec(), blocks)
+        })
+        .collect();
+    let analyzer = blockoptr::Analyzer::new();
+    let ingest_start = Stopwatch::start();
+    let mut shards: Vec<blockoptr::Session> = shard_logs
+        .into_iter()
+        .map(|log| {
+            let mut session = analyzer.session().expect("fresh session");
+            session
+                .ingest_log(log)
+                .expect("commit-ordered shard ingests cleanly");
+            session
+        })
+        .collect();
+    let mut merged = shards.remove(0);
+    for shard in shards {
+        merged
+            .merge(shard)
+            .expect("contiguous shards merge cleanly");
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    let ingest_records = merged.len() + merged.evicted();
+    let ingest_tps = ingest_records as f64 / ingest_secs.max(1e-12);
+    let session_footprint_bytes = merged.footprint().approx_bytes();
+    let measured_report_bytes = serde_json::to_string(&serial_outcome.baseline)
+        .expect("a measured report serializes")
+        .len();
+
     // The ≥ 2× target needs hardware to scale onto; on narrower machines
     // the ratio is recorded so the trajectory still shows the trend.
     // `BENCH_PLAN_ASSERT=off` downgrades the assertion to record-only for
@@ -261,7 +333,7 @@ fn bench_plan_parallel(c: &mut Criterion) {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0},\n  \"sim_events_per_sec\": {:.0},\n  \"open_loop_rate_tps\": {:.0},\n  \"open_loop_run_secs\": {:.4},\n  \"open_loop_throughput_tps\": {:.0},\n  \"open_loop_timeout_cuts\": {},\n  \"outage_run_secs\": {:.4},\n  \"outage_throughput_tps\": {:.0},\n  \"outage_retries\": {}\n}}\n",
+        "{{\n  \"bench\": \"plan_parallel\",\n  \"workload\": \"scm\",\n  \"transactions\": {},\n  \"plan_actions\": {},\n  \"seeds\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"speedup\": {:.3},\n  \"identical_outcomes\": true,\n  \"speedup_assertion\": \"{}\",\n  \"sim_run_secs\": {:.4},\n  \"sim_throughput_tps\": {:.0},\n  \"sim_events_per_sec\": {:.0},\n  \"open_loop_rate_tps\": {:.0},\n  \"open_loop_run_secs\": {:.4},\n  \"open_loop_throughput_tps\": {:.0},\n  \"open_loop_timeout_cuts\": {},\n  \"outage_run_secs\": {:.4},\n  \"outage_throughput_tps\": {:.0},\n  \"outage_retries\": {},\n  \"ingest_shards\": {},\n  \"ingest_transactions\": {},\n  \"ingest_secs\": {:.4},\n  \"ingest_tps\": {:.0},\n  \"session_footprint_bytes\": {},\n  \"measured_report_bytes\": {}\n}}\n",
         bundle.len(),
         plan.len(),
         SEEDS,
@@ -281,6 +353,12 @@ fn bench_plan_parallel(c: &mut Criterion) {
         outage_secs,
         outage_tps,
         outage_retries,
+        INGEST_SHARDS,
+        ingest_records,
+        ingest_secs,
+        ingest_tps,
+        session_footprint_bytes,
+        measured_report_bytes,
     );
     let out_path = std::env::var("BENCH_PLAN_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR")));
@@ -290,6 +368,11 @@ fn bench_plan_parallel(c: &mut Criterion) {
         "sim: {sim_tps:.0} tx/s closed loop ({sim_events_per_sec:.0} events/s), \
          {open_tps:.0} tx/s open loop ({open_timeout_cuts} timeout cuts), \
          {outage_tps:.0} tx/s under outage ({outage_retries} retries)"
+    );
+    eprintln!(
+        "ingest: {ingest_tps:.0} tx/s over {INGEST_SHARDS} shards \
+         ({ingest_records} records; session {session_footprint_bytes} B, \
+         measured report {measured_report_bytes} B)"
     );
     eprintln!("results recorded to {out_path}");
 }

@@ -95,12 +95,12 @@ pub use log::{BlockchainLog, TxRecord};
 pub use pipeline::{Analysis, BlockOptR};
 pub use plan::{
     t95, ActionOutcome, ActionResult, MeasuredReport, MetricStats, OptimizationPlan, PlanConfig,
-    PlanOutcome, PlannedAction,
+    PlanOutcome, PlannedAction, SeedReport,
 };
 pub use recommend::rules::{Finding, Rule, RuleCtx, RuleSet};
 pub use recommend::{Level, Recommendation, Thresholds};
 pub use resilience::{ResilienceCtx, ResilienceRule, ResilienceRuleSet};
-pub use session::{AnalyzeError, Analyzer, Session, SessionFootprint, WindowPolicy};
+pub use session::{AnalyzeError, Analyzer, Session, SessionFootprint, Snapshot, WindowPolicy};
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {

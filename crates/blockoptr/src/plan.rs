@@ -23,8 +23,9 @@
 //!   the combination) is simulated once per seed. Seed 0 is the network
 //!   configuration's own seed; seed *i* is derived from it by XOR-ing a
 //!   golden-ratio multiple, so the list is deterministic and collision
-//!   free. Each [`MeasuredReport`] keeps the full per-seed report list
-//!   plus mean / sample standard deviation / 95 % confidence half-width
+//!   free. Each [`MeasuredReport`] keeps the primary seed's full report,
+//!   one scalar [`SeedReport`] row per seed, the merged latency sketch,
+//!   and mean / sample standard deviation / 95 % confidence half-width
 //!   ([`MetricStats`]) for the three figure metrics. Deltas are computed
 //!   **pairwise per seed** (action seed *i* minus baseline seed *i*) and
 //!   then aggregated, which cancels the common per-seed workload noise —
@@ -79,6 +80,7 @@ use fabric_sim::report::SimReport;
 use fabric_sim::sim::SimOutput;
 use serde::{Deserialize, Serialize};
 use sim_core::pool::{self, ThreadPool};
+use sim_core::sketch::QuantileSketch;
 use std::collections::BTreeSet;
 use workload::{ScenarioSpec, VariantKind, WorkloadBundle};
 
@@ -208,13 +210,71 @@ impl MetricStats {
     }
 }
 
-/// One configuration measured over every executed seed: the full per-seed
-/// reports plus aggregate statistics for the three figure metrics.
+/// One seed's scalar metric row — everything the seed-paired delta and
+/// confidence-interval machinery reads, distilled from a full
+/// [`SimReport`]. A 20-seed measurement used to retain 20 full reports
+/// (ledger-sized `Vec`s of per-peer counters, fault windows, cut-reason
+/// maps); now each non-primary seed contributes this fixed-size row plus
+/// its latency sketch, so a [`MeasuredReport`]'s footprint is
+/// O(seeds · scalars + sketch) instead of O(seeds · report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedReport {
+    /// Client requests issued.
+    pub requests: usize,
+    /// Transactions committed to blocks (success or failure).
+    pub committed: usize,
+    /// Transactions committed successfully.
+    pub successes: usize,
+    /// MVCC read-conflict failures.
+    pub mvcc_conflicts: usize,
+    /// Successes / requests, in percent.
+    pub success_rate_pct: f64,
+    /// Mean end-to-end latency (s).
+    pub avg_latency_s: f64,
+    /// Median Submit→Commit event-time latency (s).
+    pub latency_p50: f64,
+    /// 95th-percentile Submit→Commit event-time latency (s).
+    pub latency_p95: f64,
+    /// 99th-percentile Submit→Commit event-time latency (s).
+    pub latency_p99: f64,
+    /// Success throughput (tx/s).
+    pub success_throughput: f64,
+}
+
+impl SeedReport {
+    /// Distill one run's scalar row from its full report.
+    pub fn of(report: &SimReport) -> SeedReport {
+        SeedReport {
+            requests: report.requests,
+            committed: report.committed,
+            successes: report.successes,
+            mvcc_conflicts: report.mvcc_conflicts,
+            success_rate_pct: report.success_rate_pct,
+            avg_latency_s: report.avg_latency_s,
+            latency_p50: report.latency.p50,
+            latency_p95: report.latency.p95,
+            latency_p99: report.latency.p99,
+            success_throughput: report.success_throughput,
+        }
+    }
+}
+
+/// One configuration measured over every executed seed: the primary seed's
+/// full report, one scalar [`SeedReport`] row per seed (for seed-paired
+/// deltas), the merged latency sketch over all seeds, and aggregate
+/// statistics for the figure metrics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MeasuredReport {
-    /// Reports in seed-list order; index 0 is the primary seed (the
-    /// network configuration's own).
-    pub per_seed: Vec<SimReport>,
+    /// The primary seed's full report (seed 0: the configuration's own
+    /// seed) — what single-seed callers and the figure tables read.
+    pub primary: SimReport,
+    /// Scalar rows in seed-list order; index 0 mirrors `primary`.
+    pub per_seed: Vec<SeedReport>,
+    /// All seeds' success latencies merged into one mergeable sketch
+    /// (exact up to [`sim_core::sketch::EXACT_CAP`] values, certified
+    /// rank-error bound beyond) — cross-seed percentiles without keeping
+    /// any seed's raw latency list.
+    pub latency_sketch: QuantileSketch,
     /// Success rate (%) over seeds.
     pub success_rate: MetricStats,
     /// Mean end-to-end latency (s) over seeds.
@@ -230,27 +290,44 @@ pub struct MeasuredReport {
 }
 
 impl MeasuredReport {
-    /// Aggregate a non-empty per-seed report list.
-    pub fn from_reports(per_seed: Vec<SimReport>) -> MeasuredReport {
-        assert!(!per_seed.is_empty(), "a measurement needs at least one run");
-        let stat = |f: fn(&SimReport) -> f64| {
+    /// Aggregate a non-empty per-seed report list: the first report (the
+    /// primary seed) is kept whole, every report contributes a scalar row
+    /// and its latency sketch, and the full non-primary reports are
+    /// dropped.
+    pub fn from_reports(reports: Vec<SimReport>) -> MeasuredReport {
+        assert!(!reports.is_empty(), "a measurement needs at least one run");
+        let per_seed: Vec<SeedReport> = reports.iter().map(SeedReport::of).collect();
+        let mut latency_sketch = QuantileSketch::new();
+        for report in &reports {
+            latency_sketch.merge(&report.latency_sketch);
+        }
+        let stat = |f: fn(&SeedReport) -> f64| {
             MetricStats::of(&per_seed.iter().map(f).collect::<Vec<f64>>())
         };
+        let success_rate = stat(|r| r.success_rate_pct);
+        let latency = stat(|r| r.avg_latency_s);
+        let latency_p50 = stat(|r| r.latency_p50);
+        let latency_p95 = stat(|r| r.latency_p95);
+        let latency_p99 = stat(|r| r.latency_p99);
+        let throughput = stat(|r| r.success_throughput);
+        let primary = reports.into_iter().next().expect("non-empty checked above");
         MeasuredReport {
-            success_rate: stat(|r| r.success_rate_pct),
-            latency: stat(|r| r.avg_latency_s),
-            latency_p50: stat(|r| r.latency.p50),
-            latency_p95: stat(|r| r.latency.p95),
-            latency_p99: stat(|r| r.latency.p99),
-            throughput: stat(|r| r.success_throughput),
+            primary,
             per_seed,
+            latency_sketch,
+            success_rate,
+            latency,
+            latency_p50,
+            latency_p95,
+            latency_p99,
+            throughput,
         }
     }
 
     /// The primary seed's report (seed 0: the configuration's own seed) —
     /// what single-seed callers and the figure tables read.
     pub fn primary(&self) -> &SimReport {
-        &self.per_seed[0]
+        &self.primary
     }
 
     /// Number of executed seeds.
@@ -301,7 +378,7 @@ impl ActionOutcome {
     fn delta_stats(
         &self,
         baseline: &MeasuredReport,
-        metric: fn(&SimReport) -> f64,
+        metric: fn(&SeedReport) -> f64,
     ) -> Option<MetricStats> {
         let after = self.after.as_ref()?;
         let deltas: Vec<f64> = after
@@ -768,10 +845,15 @@ impl OptimizationPlan {
         reused_baseline: Option<SimReport>,
     ) -> Result<PlanOutcome, AnalyzeError> {
         let seeds = plan_config.seed_list(spec.seed());
-        // One freshly generated workload per seed. Generation is cheap
-        // next to simulation, so this happens serially up front; failures
-        // (malformed parameters, unknown contracts, unresolvable variant
-        // combinations) surface here before any simulation runs.
+        // One freshly generated workload per seed, fanned out over the
+        // same pool the simulations use: at `--seeds 32` the generation
+        // phase is itself a visible serial prefix, and each build is
+        // independent and deterministic in its seed. The pool returns
+        // results in job order, so the pair list — and every downstream
+        // byte — is identical for any thread count. Failures (malformed
+        // parameters, unknown contracts, unresolvable variant
+        // combinations) still surface here before any simulation runs,
+        // reported for the lowest failing seed.
         //
         // Seed 0 builds the spec *verbatim*: `with_seed` would overwrite
         // the network seed with the workload seed, and a hand-edited spec
@@ -779,16 +861,16 @@ impl OptimizationPlan {
         // a different primary configuration than the one a reused
         // `from_spec` baseline was taken from, skewing every seed-paired
         // delta.
-        let pairs: Vec<(WorkloadBundle, NetworkConfig)> = seeds
-            .iter()
-            .enumerate()
-            .map(|(i, &seed)| {
+        let build_jobs: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+        let pairs: Vec<(WorkloadBundle, NetworkConfig)> = ThreadPool::new(plan_config.threads)
+            .map(build_jobs, |(i, seed)| {
                 if i == 0 {
                     spec.build()
                 } else {
                     spec.clone().with_seed(seed).build()
                 }
             })
+            .into_iter()
             .collect::<Result<_, _>>()?;
 
         // Classify each action once per seed. Applied-ness is structural

@@ -103,6 +103,12 @@ pub enum AnalyzeError {
     /// typed [`workload::SpecError`]: unknown contract ids, out-of-domain
     /// parameters, unsupported variant sets, malformed JSON.
     Spec(workload::SpecError),
+    /// Two sessions with incompatible configurations were merged
+    /// ([`Session::merge`]): tracker state is parameterized by the metric
+    /// interval (rate buckets) and the window policy (eviction anchors),
+    /// so differing values cannot be combined meaningfully. Carries a
+    /// human-readable description of what differed.
+    MergeMismatch(String),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -128,6 +134,9 @@ impl fmt::Display for AnalyzeError {
                 known.join(", ")
             ),
             AnalyzeError::Spec(err) => write!(f, "scenario spec: {err}"),
+            AnalyzeError::MergeMismatch(what) => {
+                write!(f, "cannot merge sessions: {what}")
+            }
         }
     }
 }
@@ -668,6 +677,103 @@ impl CaseTracker {
         }
     }
 
+    /// Fold a later shard's case state into this one (sharded-ingest
+    /// merge). `shift` is the offset added to other's absolute stream
+    /// positions; `merged_records` is the full retained record slice
+    /// *after* the logs were joined, with `merged_records[0]` at absolute
+    /// position `base`.
+    ///
+    /// The family statistics are exact multisets, so they sum; the winning
+    /// family is then re-picked *fresh* — no hysteresis band, because a
+    /// merged session must equal a **single-batch** ingest of the
+    /// concatenated stream and the band is a batch-boundary affordance.
+    /// When both shards already maintain structures for that winner, the
+    /// event log and DFG merge incrementally: other's trace fragments are
+    /// absorbed and each case open in both shards stitches its fragments
+    /// ([`DirectlyFollowsGraph::stitch_traces`]) — O(other), not
+    /// O(window). A family change rebuilds from the merged records (rare:
+    /// shards of one stream almost always agree on the dominant family).
+    fn merge(
+        &mut self,
+        other: &CaseTracker,
+        shift: usize,
+        merged_records: &[TxRecord],
+        base: usize,
+    ) {
+        for (fam, &n) in &other.coverage {
+            *self.coverage.entry(fam.clone()).or_insert(0) += n;
+        }
+        for (fam, values) in &other.distinct {
+            let into = self.distinct.entry(fam.clone()).or_default();
+            for (value, &n) in values {
+                *into.entry(value.clone()).or_insert(0) += n;
+            }
+        }
+        let winner =
+            caseid::pick_family(&self.coverage, &self.distinct, merged_records.len().max(1))
+                .map(|(family, _, _)| family)
+                .unwrap_or_default();
+        if winner != self.family || winner != other.family {
+            self.family = winner;
+            self.rebuild_structures(merged_records, base);
+            return;
+        }
+
+        // Same family on both sides: stitch the incremental structures.
+        // Other's positions all exceed self's, so self's traces keep their
+        // (first-occurrence) order and other-only traces append after them
+        // in other's own order — exactly the order a single scan produces.
+        self.dfg.absorb(&other.dfg);
+        let ids = Arc::make_mut(&mut self.case_ids);
+        ids.extend(other.case_ids.iter().cloned());
+        for trace in other.event_log.traces() {
+            let case = &trace.case_id;
+            let queue = other.positions.get(case).expect("open case has positions");
+            let shifted = queue.iter().map(|&p| p + shift);
+            match self.case_trace.get(case) {
+                Some(&idx) => {
+                    // The case spans the boundary: append the later
+                    // fragment's events and replace the two boundary facts
+                    // (other's trace start, self's trace end) with the
+                    // joining edge.
+                    let log = Arc::make_mut(&mut self.event_log);
+                    let open = log.trace_mut(idx).expect("trace index is valid");
+                    let tail = open
+                        .activities
+                        .last()
+                        .expect("open traces are non-empty")
+                        .clone();
+                    let head = trace.activities.first().expect("traces are non-empty");
+                    self.dfg.stitch_traces(&tail, head);
+                    open.activities.extend(trace.activities.iter().cloned());
+                    self.positions
+                        .get_mut(case)
+                        .expect("open case has positions")
+                        .extend(shifted);
+                }
+                None => {
+                    let log = Arc::make_mut(&mut self.event_log);
+                    self.case_trace.insert(case.clone(), log.len());
+                    log.push(trace.clone());
+                    self.positions.insert(case.clone(), shifted.collect());
+                }
+            }
+        }
+    }
+
+    /// Rebase every stored absolute stream position by `delta` (merge
+    /// adoption path: a later shard's state becomes the merged state
+    /// wholesale, and its shard-local positions move onto the global
+    /// stream axis). Trace indices are positions into the event log, not
+    /// the stream, so `case_trace` is untouched.
+    fn shift_positions(&mut self, delta: usize) {
+        for queue in self.positions.values_mut() {
+            for p in queue.iter_mut() {
+                *p += delta;
+            }
+        }
+    }
+
     fn derivation(&self, total_records: usize) -> CaseDerivation {
         let total = total_records.max(1);
         let covered = self.coverage.get(&self.family).copied().unwrap_or(0);
@@ -712,6 +818,37 @@ pub struct SessionFootprint {
     pub case_events: usize,
     pub dfg_edges: usize,
     pub families: usize,
+}
+
+impl SessionFootprint {
+    /// Order-of-magnitude resident-set estimate in bytes: each entry count
+    /// weighted by a fixed per-entry cost (struct size plus typical heap
+    /// payload — key strings, map nodes). Deterministic by construction
+    /// (pure arithmetic over the counts), so sharded-ingest equivalence
+    /// tests can compare it byte-for-byte, and the sustained-ingest bench
+    /// reports it as `session_footprint_bytes`. Under a bounded
+    /// [`WindowPolicy`] it inherits every field's flatness: the estimate is
+    /// a linear function of counts that eviction keeps bounded.
+    pub fn approx_bytes(&self) -> usize {
+        // Weights: mem::size_of of the dominant struct rounded up for its
+        // heap parts (e.g. a TxRecord's strings, args, and rwset vectors).
+        self.records * 320
+            + self.rate_intervals * 8
+            + self.send_times * 24
+            + self.blocks * 16
+            + self.endorser_peers * 32
+            + self.invoker_clients * 48
+            + self.failed_keys * 48
+            + self.hotkey_entries * 48
+            + self.conflicts * 160
+            + self.writer_entries * 56
+            + self.activity_entries * 56
+            + self.delta_deps * 40
+            + self.activity_types * 64
+            + self.case_events * 40
+            + self.dfg_edges * 72
+            + self.families * 48
+    }
 }
 
 /// A stateful incremental analysis: feed it blocks, take snapshots.
@@ -1225,6 +1362,208 @@ impl Session {
             thresholds,
             recommendations,
         }
+    }
+
+    /// Fold another session's accumulated state into this one — the
+    /// session-level **monoid operation** for sharded ingestion: split a
+    /// stream across `k` sessions (threads, processes, machines), ingest
+    /// each shard independently, and merge the results in any association
+    /// order. The merged state is byte-equal — snapshot, footprint, and
+    /// eviction counter — to a single session ingesting the concatenated
+    /// stream in **one batch** (the same reference the sharded
+    /// `observe_from` path reproduces). The empty session is the identity.
+    ///
+    /// `other` must hold the records that *follow* self's stream:
+    /// commit indices must continue strictly above self's
+    /// ([`AnalyzeError::OutOfOrder`] otherwise), and on a bounded
+    /// [`WindowPolicy`] block numbers must not decrease across the
+    /// boundary ([`AnalyzeError::BlockOrder`]). Both sessions must agree
+    /// on the metric interval and window policy
+    /// ([`AnalyzeError::MergeMismatch`]); the receiver's remaining
+    /// configuration (thresholds, rules, auto-tuning) wins.
+    ///
+    /// Cost: O(|other| + merged tracker state), never O(self's window) —
+    /// every tracker merges by summation, the conflict scan resolves only
+    /// boundary-crossing pairs, and case traces stitch incrementally
+    /// unless the winning identifier family changes (rare). One
+    /// deliberate semantic difference from batch-by-batch streaming: the
+    /// identifier family is re-picked *fresh* on merge (no hysteresis
+    /// band), because the reference is a single-batch ingest.
+    ///
+    /// With a bounded window, merging re-evicts: if `other` already
+    /// evicted records, everything in `self` is older than other's
+    /// eviction cutoff (block numbers and commit timestamps are
+    /// nondecreasing across the validated boundary), so the serial
+    /// reference would have evicted all of it — the merge adopts other's
+    /// state wholesale, rebased onto the global stream axis.
+    pub fn merge(&mut self, other: Session) -> Result<(), AnalyzeError> {
+        let a = self.config.metric_config.interval;
+        let b = other.config.metric_config.interval;
+        if a.as_micros() != b.as_micros() {
+            return Err(AnalyzeError::MergeMismatch(format!(
+                "metric intervals differ ({} µs vs {} µs)",
+                a.as_micros(),
+                b.as_micros()
+            )));
+        }
+        if self.config.window != other.config.window {
+            return Err(AnalyzeError::MergeMismatch(format!(
+                "window policies differ ({} vs {})",
+                self.config.window, other.config.window
+            )));
+        }
+        // Identity: nothing to fold in.
+        if other.is_empty() && other.evicted == 0 {
+            return Ok(());
+        }
+        // Stream-order validation across the boundary, before any state
+        // changes (mirrors ingest_log).
+        if let (Some(after), Some(index)) = (
+            self.log.records().last().map(|r| r.commit_index),
+            other.log.records().first().map(|r| r.commit_index),
+        ) {
+            if index <= after {
+                return Err(AnalyzeError::OutOfOrder { index, after });
+            }
+        }
+        if self.config.window != WindowPolicy::Unbounded {
+            if let (Some(after), Some(block)) = (
+                self.log.records().last().map(|r| r.block),
+                other.log.records().first().map(|r| r.block),
+            ) {
+                if block < after {
+                    return Err(AnalyzeError::BlockOrder { block, after });
+                }
+            }
+        }
+        // Adoption: a fresh receiver takes other's state wholesale (the
+        // receiver's configuration wins — the checked fields are equal and
+        // nothing else is baked into tracker state).
+        if self.is_empty() && self.evicted == 0 {
+            let config = self.config.clone();
+            *self = other;
+            self.config = config;
+            return Ok(());
+        }
+        let shift = self.evicted + self.log.len();
+        // Adoption, windowed: other already evicted, so its cutoff —
+        // computed from the stream's tail, which other holds — lies above
+        // everything self ever ingested (nondecreasing blocks and commit
+        // timestamps across the validated boundary). The serial reference
+        // would therefore have evicted all of self; adopt other's state
+        // rebased onto the global position axis.
+        if other.evicted > 0 {
+            let config = self.config.clone();
+            let prior = shift;
+            *self = other;
+            self.config = config;
+            self.evicted += prior;
+            self.correlation.shift_positions(prior);
+            self.cases.shift_positions(prior);
+            // Idempotent safety pass (a no-op: other evicted at its final
+            // batch boundary, and the cutoff only depends on the tail).
+            self.evict_expired();
+            return Ok(());
+        }
+
+        // Main path: other never evicted, so its trackers are exactly the
+        // monoid elements of its record multiset. The boundary-crossing
+        // conflict scan needs self's record slice *before* the logs join.
+        self.correlation.merge(
+            &other.correlation,
+            self.log.records(),
+            other.log.records(),
+            shift,
+        );
+        self.rates.merge(&other.rates);
+        // Distinct new blocks must be counted before the per-block sizes
+        // merge (a block cut across the shard boundary is not re-counted).
+        let new_blocks = other
+            .block_sizes
+            .keys()
+            .filter(|b| !self.block_sizes.contains_key(b))
+            .count();
+        BlockMetrics::merge_sizes(&mut self.block_sizes, &other.block_sizes);
+        self.endorsers.merge(&other.endorsers);
+        self.invokers.merge(&other.invokers);
+        self.keys.merge(&other.keys);
+        // The count index is derivable state; rebuilding it from the merged
+        // frequencies equals maintaining it incrementally.
+        self.hotkey_index = HotkeyIndex::rebuild_from(&self.keys.kfreq);
+        crate::recommend::merge_activity_type_histograms(&mut self.type_hist, &other.type_hist);
+        self.last_block = self.last_block.max(other.last_block);
+        self.first_send = match (self.first_send, other.first_send) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_commit = match (self.last_commit, other.last_commit) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        {
+            let log = Arc::make_mut(&mut self.log);
+            let other_log = Arc::try_unwrap(other.log).unwrap_or_else(|arc| (*arc).clone());
+            let (records, _declared) = other_log.into_records();
+            for record in records {
+                log.push_record(record);
+            }
+            log.add_blocks(new_blocks);
+        }
+        let log = Arc::clone(&self.log);
+        self.cases
+            .merge(&other.cases, shift, log.records(), self.evicted);
+        // With a bounded window the merged batch decides what aged out —
+        // exactly like the end of an ingest batch.
+        self.evict_expired();
+        Ok(())
+    }
+
+    /// Detach a mergeable point-in-time copy of the current state (cheap:
+    /// the log, conflict history, and case structures are shared
+    /// copy-on-write). The session keeps ingesting; the [`Snapshot`] can be
+    /// shipped elsewhere and folded with others via [`Snapshot::merge`].
+    pub fn detach(&self) -> Snapshot {
+        Snapshot {
+            session: self.clone(),
+        }
+    }
+}
+
+/// A detached, mergeable copy of a [`Session`]'s accumulated state — the
+/// monoid surface of the analysis pipeline for shard-and-fold ingestion.
+///
+/// Not to be confused with [`Session::snapshot`], which materializes an
+/// [`Analysis`] (the derived metrics); a `Snapshot` carries the raw running
+/// state so it can still be **merged**. Split a stream across sessions,
+/// [`detach`](Session::detach) each, fold them with [`Snapshot::merge`] in
+/// any association order, and the result is byte-equal to one session
+/// ingesting the whole stream in a single batch.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    session: Session,
+}
+
+impl Snapshot {
+    /// Fold another snapshot into this one (see [`Session::merge`] for the
+    /// ordering/compatibility contract and the equivalence guarantee).
+    pub fn merge(&mut self, other: Snapshot) -> Result<(), AnalyzeError> {
+        self.session.merge(other.session)
+    }
+
+    /// Materialize the derived [`Analysis`] (errors when empty).
+    pub fn analysis(&self) -> Result<Analysis, AnalyzeError> {
+        self.session.snapshot()
+    }
+
+    /// Per-tracker state sizes (see [`Session::footprint`]).
+    pub fn footprint(&self) -> SessionFootprint {
+        self.session.footprint()
+    }
+
+    /// Turn the snapshot back into a live session (e.g. to keep ingesting
+    /// after a fold).
+    pub fn into_session(self) -> Session {
+        self.session
     }
 }
 
@@ -1990,6 +2329,204 @@ mod tests {
             "A",
             "a one-record lead must not flip the family on a 10-record log"
         );
+    }
+
+    /// One chunk of a partitioned log, with its own distinct-block tally
+    /// (what an export of just that slice would declare).
+    fn chunk_log(records: &[TxRecord]) -> BlockchainLog {
+        let blocks: BTreeSet<u64> = records.iter().map(|r| r.block).collect();
+        BlockchainLog::from_records(records.to_vec(), blocks.len())
+    }
+
+    /// Snapshot + footprint + eviction counter, canonically rendered — the
+    /// byte-equality witness for merge tests (the raw `Session` Debug goes
+    /// through `HashMap`s whose iteration order is instance-dependent).
+    fn merge_witness(session: &Session) -> String {
+        format!(
+            "{:?}|{:?}|{}",
+            session.snapshot().unwrap(),
+            session.footprint(),
+            session.evicted()
+        )
+    }
+
+    /// The merge monoid law: any partition of a stream across k sessions,
+    /// merged in any association order, byte-equals a single session
+    /// ingesting the whole stream in one batch.
+    #[test]
+    fn merged_shards_equal_single_batch_ingest() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let mut reference = Analyzer::new().session().unwrap();
+        reference.ingest_log(full.clone()).unwrap();
+        let expected = merge_witness(&reference);
+
+        let records = full.records();
+        let cuts = [records.len() / 4, records.len() / 2, 4 * records.len() / 5];
+        let shard = |lo: usize, hi: usize| {
+            let mut s = Analyzer::new().session().unwrap();
+            s.ingest_log(chunk_log(&records[lo..hi])).unwrap();
+            s
+        };
+        // Left-assoc: ((a·b)·c)·d
+        let mut left = shard(0, cuts[0]);
+        left.merge(shard(cuts[0], cuts[1])).unwrap();
+        left.merge(shard(cuts[1], cuts[2])).unwrap();
+        left.merge(shard(cuts[2], records.len())).unwrap();
+        assert_eq!(merge_witness(&left), expected);
+        // Right-assoc: a·(b·(c·d))
+        let mut tail = shard(cuts[1], cuts[2]);
+        tail.merge(shard(cuts[2], records.len())).unwrap();
+        let mut mid = shard(cuts[0], cuts[1]);
+        mid.merge(tail).unwrap();
+        let mut right = shard(0, cuts[0]);
+        right.merge(mid).unwrap();
+        assert_eq!(merge_witness(&right), expected);
+    }
+
+    /// The empty session is the merge identity, on both sides.
+    #[test]
+    fn empty_session_is_the_merge_identity() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let mut loaded = Analyzer::new().session().unwrap();
+        loaded.ingest_log(full.clone()).unwrap();
+        let expected = merge_witness(&loaded);
+
+        // Right identity: folding in an empty session is a no-op.
+        loaded.merge(Analyzer::new().session().unwrap()).unwrap();
+        assert_eq!(merge_witness(&loaded), expected);
+        // Left identity: an empty receiver adopts the other state.
+        let mut fresh = Analyzer::new().session().unwrap();
+        fresh.merge(loaded).unwrap();
+        assert_eq!(merge_witness(&fresh), expected);
+    }
+
+    #[test]
+    fn merge_validates_configuration_and_stream_order() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let records = full.records();
+        let mut head = Analyzer::new().session().unwrap();
+        head.ingest_log(chunk_log(&records[..records.len() / 2]))
+            .unwrap();
+
+        // Mismatched metric interval.
+        let coarse = Analyzer::new()
+            .metric_config(MetricConfig {
+                interval: sim_core::time::SimDuration::from_secs(5),
+                ..Default::default()
+            })
+            .session()
+            .unwrap();
+        let err = head.clone().merge(coarse).unwrap_err();
+        assert!(matches!(err, AnalyzeError::MergeMismatch(_)));
+        assert!(err.to_string().contains("metric intervals differ"));
+        // Mismatched window policy.
+        let windowed = Analyzer::new()
+            .window(WindowPolicy::LastBlocks(4))
+            .session()
+            .unwrap();
+        let err = head.clone().merge(windowed).unwrap_err();
+        assert!(err.to_string().contains("window policies differ"));
+        // Overlapping streams are rejected before any state changes.
+        let mut overlap = Analyzer::new().session().unwrap();
+        overlap
+            .ingest_log(chunk_log(&records[records.len() / 4..]))
+            .unwrap();
+        let before = merge_witness(&head);
+        assert!(matches!(
+            head.merge(overlap).unwrap_err(),
+            AnalyzeError::OutOfOrder { .. }
+        ));
+        assert_eq!(merge_witness(&head), before, "failed merge mutated state");
+    }
+
+    /// Windowed merges re-evict: both the main path (other below its
+    /// eviction threshold) and the adoption path (other already evicted)
+    /// must reproduce a single-batch windowed ingest byte-for-byte.
+    #[test]
+    fn windowed_merges_equal_single_batch_ingest() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let records = full.records();
+        let policy = WindowPolicy::LastBlocks(3);
+        let analyzer = Analyzer::new().window(policy);
+        let mut reference = analyzer.session().unwrap();
+        reference.ingest_log(full.clone()).unwrap();
+        assert!(reference.evicted() > 0, "the log spans > 3 blocks");
+        let expected = merge_witness(&reference);
+
+        // Adoption path: the tail shard spans far more than 3 blocks, so
+        // it evicts on its own and the merge adopts its state.
+        let cut = records.len() / 5;
+        let mut merged = analyzer.session().unwrap();
+        merged.ingest_log(chunk_log(&records[..cut])).unwrap();
+        let mut tail = analyzer.session().unwrap();
+        tail.ingest_log(chunk_log(&records[cut..])).unwrap();
+        assert!(tail.evicted() > 0, "tail shard evicts by itself");
+        merged.merge(tail).unwrap();
+        assert_eq!(merge_witness(&merged), expected);
+
+        // Main path: the tail shard alone stays within the window, so the
+        // merge itself must evict the aged-out prefix.
+        let suffix_start = {
+            let blocks: BTreeSet<u64> = records.iter().map(|r| r.block).collect();
+            let cutoff = *blocks.iter().rev().nth(1).expect("several blocks");
+            records.iter().position(|r| r.block >= cutoff).unwrap()
+        };
+        let mut merged = analyzer.session().unwrap();
+        merged
+            .ingest_log(chunk_log(&records[..suffix_start]))
+            .unwrap();
+        let mut tail = analyzer.session().unwrap();
+        tail.ingest_log(chunk_log(&records[suffix_start..]))
+            .unwrap();
+        assert_eq!(tail.evicted(), 0, "two blocks fit the window");
+        merged.merge(tail).unwrap();
+        assert_eq!(merge_witness(&merged), expected);
+    }
+
+    /// Snapshots detach cheaply, merge like sessions, and can resume
+    /// ingesting.
+    #[test]
+    fn detached_snapshots_merge_and_resume() {
+        let output = small_output();
+        let full = BlockchainLog::from_ledger(&output.ledger);
+        let records = full.records();
+        let mid = records.len() / 2;
+        let mut reference = Analyzer::new().session().unwrap();
+        reference.ingest_log(full.clone()).unwrap();
+
+        let mut head = Analyzer::new().session().unwrap();
+        head.ingest_log(chunk_log(&records[..mid])).unwrap();
+        let mut tail = Analyzer::new().session().unwrap();
+        tail.ingest_log(chunk_log(&records[mid..])).unwrap();
+
+        let mut folded = head.detach();
+        folded.merge(tail.detach()).unwrap();
+        assert_eq!(folded.footprint(), reference.footprint());
+        assert_eq!(
+            format!("{:?}", folded.analysis().unwrap()),
+            format!("{:?}", reference.snapshot().unwrap())
+        );
+        // A snapshot turns back into a live session.
+        let resumed = folded.into_session();
+        assert_eq!(resumed.len(), reference.len());
+        assert_eq!(merge_witness(&resumed), merge_witness(&reference));
+    }
+
+    /// The footprint's byte estimate is deterministic arithmetic over the
+    /// counts, so equal footprints mean equal estimates — and a non-empty
+    /// session reports a non-zero resident size.
+    #[test]
+    fn footprint_byte_estimate_tracks_counts() {
+        let output = small_output();
+        let mut session = Analyzer::new().session().unwrap();
+        assert_eq!(session.footprint().approx_bytes(), 0);
+        session.ingest_ledger(&output.ledger);
+        let fp = session.footprint();
+        assert!(fp.approx_bytes() >= fp.records * 320);
     }
 
     #[test]

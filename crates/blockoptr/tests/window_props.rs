@@ -314,6 +314,94 @@ fn surviving_trace_is_reordered_to_first_event_position() {
     assert_byte_equality(&session, policy, &full);
 }
 
+/// Resident-byte boundedness: a windowed session fed a periodic stream for
+/// ≥ 10× its window must hold its estimated footprint
+/// ([`blockoptr::SessionFootprint::approx_bytes`]) in steady state — the
+/// byte estimate observed late in the run never exceeds what the warm-up
+/// period already reached. (Every block has identical composition, so once
+/// the window is full the retained state is count-identical each period;
+/// growth here would mean a tracker is leaking state past eviction.)
+#[test]
+fn footprint_bytes_stay_bounded_over_long_runs() {
+    fn rec(i: usize) -> TxRecord {
+        let activities = ["open", "work", "close"];
+        let mut rwset = ReadWriteSet::new();
+        rwset.record_read(format!("ns/k{}", i % 6), Some(Version::new(1, 0)));
+        if i.is_multiple_of(2) {
+            rwset.record_write(format!("ns/k{}", i % 6), Some(Value::Int(1)));
+        }
+        TxRecord {
+            commit_index: i,
+            block: (i as u64) / 6 + 1,
+            client_ts: SimTime::from_millis(i as u64 * 100),
+            commit_ts: SimTime::from_millis(i as u64 * 100 + 1_000),
+            contract: "cc".into(),
+            activity: activities[i % 3].into(),
+            args: vec![Value::Str(format!("CASE{:03}", i % 6))],
+            endorsers: vec![PeerId {
+                org: OrgId((i % 3) as u16),
+                index: 0,
+            }],
+            invoker: ClientId {
+                org: OrgId((i % 2) as u16),
+                index: 0,
+            },
+            rwset,
+            status: if i.is_multiple_of(5) {
+                TxStatus::MvccReadConflict
+            } else {
+                TxStatus::Success
+            },
+            tx_type: if i.is_multiple_of(2) {
+                TxType::Update
+            } else {
+                TxType::Read
+            },
+        }
+    }
+    const WINDOW_BLOCKS: usize = 5;
+    const PER_BLOCK: usize = 6;
+    const TOTAL_BLOCKS: usize = 12 * WINDOW_BLOCKS; // ≥ 10× the window
+    let policy = WindowPolicy::LastBlocks(WINDOW_BLOCKS);
+    let mut session = Analyzer::new().window(policy).session().unwrap();
+    let mut warmup_max = 0usize;
+    let mut steady_max = 0usize;
+    for b in 0..TOTAL_BLOCKS {
+        let records: Vec<TxRecord> = (b * PER_BLOCK..(b + 1) * PER_BLOCK).map(rec).collect();
+        session
+            .ingest_log(BlockchainLog::from_records(records, 1))
+            .unwrap();
+        let bytes = session.footprint().approx_bytes();
+        assert!(bytes > 0, "a non-empty session has resident state");
+        // Warm-up covers 3× the window: the session fills, evicts for the
+        // first time, and settles into its periodic steady state.
+        if b < 3 * WINDOW_BLOCKS {
+            warmup_max = warmup_max.max(bytes);
+        } else {
+            steady_max = steady_max.max(bytes);
+        }
+    }
+    assert!(session.evicted() > 0, "the run must actually evict");
+    assert!(
+        steady_max <= warmup_max,
+        "footprint grew past warm-up over a ≥10×-window run: \
+         steady max {steady_max} B > warm-up max {warmup_max} B"
+    );
+    // The estimate tracks the counters it is derived from: a fresh session
+    // over the retained suffix reports the same bytes.
+    let full = {
+        let records: Vec<TxRecord> = (0..TOTAL_BLOCKS * PER_BLOCK).map(rec).collect();
+        let blocks: std::collections::BTreeSet<u64> = records.iter().map(|r| r.block).collect();
+        let count = blocks.len();
+        BlockchainLog::from_records(records, count)
+    };
+    let fresh = fresh_session(retained_suffix(&full, policy));
+    assert_eq!(
+        session.footprint().approx_bytes(),
+        fresh.footprint().approx_bytes()
+    );
+}
+
 /// The suite-wide window policy (`BLOCKOPTR_WINDOW`, as CI sets it) holds
 /// the equivalence too, on a real simulated ledger — block-by-block like a
 /// monitoring loop, under whatever thread count `BLOCKOPTR_THREADS` says.

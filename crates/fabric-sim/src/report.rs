@@ -8,6 +8,7 @@
 
 use crate::ledger::{CutReason, Ledger, TxStatus};
 use serde::{Deserialize, Serialize};
+use sim_core::sketch::QuantileSketch;
 use sim_core::stats::Summary;
 use sim_core::time::SimTime;
 use std::collections::BTreeMap;
@@ -44,8 +45,17 @@ pub struct SimReport {
     pub success_throughput: f64,
     /// Mean end-to-end latency of successful transactions, seconds.
     pub avg_latency_s: f64,
-    /// Latency distribution of successful transactions (seconds).
+    /// Latency distribution of successful transactions (seconds), derived
+    /// from [`latency_sketch`](Self::latency_sketch).
     pub latency: Summary,
+    /// The mergeable per-run latency sketch the summary above is derived
+    /// from — O([`sketch`](sim_core::sketch)) instead of O(successes):
+    /// exact (bit-equal to `Summary::of` over the raw latencies) up to
+    /// [`EXACT_CAP`](sim_core::sketch::EXACT_CAP) values, rank-bounded
+    /// beyond.
+    /// Multi-seed aggregation (the planner's measured reports) folds these
+    /// per-seed sketches instead of re-collecting raw latencies.
+    pub latency_sketch: QuantileSketch,
     /// `successes / committed`, in percent.
     pub success_rate_pct: f64,
     /// Number of blocks committed.
@@ -142,12 +152,14 @@ impl SimReport {
             .unwrap_or(first_send);
         let duration_s = last_commit.since(first_send).as_secs_f64().max(1e-9);
 
-        let latencies: Vec<f64> = ledger
-            .transactions()
-            .filter(|t| t.status.is_success())
-            .map(|t| t.latency().as_secs_f64())
-            .collect();
-        let latency = Summary::of(&latencies);
+        // Stream latencies through the mergeable sketch instead of
+        // collecting the raw vector: O(sketch) storage, and the summary is
+        // bit-equal to `Summary::of` while the run fits the exact cap.
+        let mut latency_sketch = QuantileSketch::new();
+        for t in ledger.transactions().filter(|t| t.status.is_success()) {
+            latency_sketch.insert(t.latency().as_secs_f64());
+        }
+        let latency = latency_sketch.summary();
 
         let mut cut_reasons: BTreeMap<String, usize> = BTreeMap::new();
         for b in ledger.blocks() {
@@ -171,6 +183,7 @@ impl SimReport {
             success_throughput: successes as f64 / duration_s,
             avg_latency_s: latency.mean,
             latency,
+            latency_sketch,
             success_rate_pct: if committed == 0 {
                 0.0
             } else {
@@ -373,6 +386,22 @@ mod tests {
         let r = SimReport::from_ledger(&l, 2, SimTime::ZERO);
         assert!((r.avg_latency_s - 0.1).abs() < 1e-9);
         assert_eq!(r.latency.count, 1);
+    }
+
+    #[test]
+    fn latency_sketch_rides_along_and_matches_summary() {
+        let l = ledger_with(&[
+            (TxStatus::Success, 100),
+            (TxStatus::Success, 300),
+            (TxStatus::MvccReadConflict, 900),
+        ]);
+        let r = SimReport::from_ledger(&l, 3, SimTime::ZERO);
+        assert_eq!(r.latency_sketch.count(), 2, "successes only");
+        assert!(r.latency_sketch.is_exact(), "small runs stay exact");
+        assert_eq!(
+            format!("{:?}", r.latency_sketch.summary()),
+            format!("{:?}", r.latency)
+        );
     }
 
     #[test]

@@ -105,6 +105,51 @@ impl DirectlyFollowsGraph {
         dec(&mut self.activity_counts, head);
     }
 
+    /// Fold another DFG into this one (sharded-ingest merge): every count —
+    /// edges, starts, ends, activities — is summed key-by-key. The result
+    /// treats the two graphs' trace sets as disjoint; when a logical trace
+    /// actually spans the shard boundary, follow up with
+    /// [`stitch_traces`](Self::stitch_traces) per spanning case.
+    pub fn absorb(&mut self, other: &DirectlyFollowsGraph) {
+        for (edge, &n) in &other.edges {
+            *self.edges.entry(edge.clone()).or_insert(0) += n;
+        }
+        for (a, &n) in &other.starts {
+            *self.starts.entry(a.clone()).or_insert(0) += n;
+        }
+        for (a, &n) in &other.ends {
+            *self.ends.entry(a.clone()).or_insert(0) += n;
+        }
+        for (a, &n) in &other.activity_counts {
+            *self.activity_counts.entry(a.clone()).or_insert(0) += n;
+        }
+    }
+
+    /// Join two trace fragments of the same case across a shard boundary
+    /// (after [`absorb`](Self::absorb)): the earlier fragment ended in
+    /// `prev_tail`, the later one started with `head`. The later fragment's
+    /// start and the earlier fragment's end were both counted as if the
+    /// fragments were whole traces; joining them replaces those two
+    /// boundary facts with the `prev_tail ≻ head` edge — exactly what one
+    /// continuous trace would have recorded.
+    pub fn stitch_traces(&mut self, prev_tail: &str, head: &str) {
+        fn dec(map: &mut BTreeMap<String, usize>, key: &str) {
+            match map.get_mut(key) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    map.remove(key);
+                }
+                None => panic!("stitch without a matching boundary count for {key:?}"),
+            }
+        }
+        dec(&mut self.starts, head);
+        dec(&mut self.ends, prev_tail);
+        *self
+            .edges
+            .entry((prev_tail.to_string(), head.to_string()))
+            .or_insert(0) += 1;
+    }
+
     /// How often `b` directly follows `a`.
     pub fn count(&self, a: &str, b: &str) -> usize {
         self.edges
@@ -207,6 +252,29 @@ mod tests {
         let batch_edges: Vec<_> = batch.edges().collect();
         assert_eq!(inc_edges, batch_edges);
         assert_eq!(incremental.activity_count("b"), batch.activity_count("b"));
+    }
+
+    /// Absorb + per-spanning-case stitches must equal building the DFG from
+    /// the joined traces directly.
+    #[test]
+    fn absorb_and_stitch_equal_joined_build() {
+        // Case X spans the boundary: ["a","b"] ++ ["c","d"]; case Y lives
+        // entirely in the first shard; case Z entirely in the second.
+        let left = DirectlyFollowsGraph::from_log(&log_from(&[&["a", "b"], &["y1", "y2"]]));
+        let right = DirectlyFollowsGraph::from_log(&log_from(&[&["c", "d"], &["z1"]]));
+        let mut merged = left.clone();
+        merged.absorb(&right);
+        merged.stitch_traces("b", "c");
+        let joined = DirectlyFollowsGraph::from_log(&log_from(&[
+            &["a", "b", "c", "d"],
+            &["y1", "y2"],
+            &["z1"],
+        ]));
+        assert_eq!(format!("{merged:?}"), format!("{joined:?}"));
+        // Absorbing an empty graph is the identity.
+        let before = format!("{merged:?}");
+        merged.absorb(&DirectlyFollowsGraph::default());
+        assert_eq!(format!("{merged:?}"), before);
     }
 
     #[test]

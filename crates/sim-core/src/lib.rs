@@ -19,6 +19,9 @@
 //!   ordering service, validators and clients;
 //! * [`stats`] — summaries (mean / percentiles), time-bucketed rate series and
 //!   fixed-width histograms used by the metric-derivation layer;
+//! * [`sketch`] — a deterministic, serializable, mergeable quantile sketch
+//!   (KLL-style, certified rank-error bound, small-n exact mode) so latency
+//!   distributions from long runs are O(sketch) instead of O(observations);
 //! * [`pool`] — a scoped-thread worker pool with deterministic result
 //!   ordering, used to fan repeated simulation runs (multi-seed plan
 //!   execution, experiment grids) across cores.
@@ -32,6 +35,7 @@ pub mod events;
 pub mod pool;
 pub mod rng;
 pub mod server;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 
@@ -41,5 +45,6 @@ pub use events::EventQueue;
 pub use pool::ThreadPool;
 pub use rng::SimRng;
 pub use server::{MultiServer, QueueServer};
+pub use sketch::QuantileSketch;
 pub use stats::{Summary, TimeBuckets};
 pub use time::{SimDuration, SimTime};

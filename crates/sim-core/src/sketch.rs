@@ -1,0 +1,436 @@
+//! Deterministic, mergeable quantile sketch.
+//!
+//! [`QuantileSketch`] summarizes an `f64` series in bounded space while
+//! answering rank/quantile queries with a *certified* error bound. It is the
+//! storage format for latency distributions on the streaming hot path:
+//! month-long runs and `--seeds 100` grids hold O(sketch) instead of one
+//! `f64` per observation.
+//!
+//! Three properties drive the design:
+//!
+//! * **Deterministic.** No randomness anywhere (classic KLL compacts a random
+//!   half; we alternate parity with a per-level compaction counter instead),
+//!   so the same insert/merge sequence always produces the same bytes —
+//!   required by the repo-wide replay guarantees and the detlint gate.
+//! * **Exact below [`EXACT_CAP`].** Until more than `EXACT_CAP` values have
+//!   been inserted the sketch is a plain buffer in insertion order and
+//!   [`summary`](QuantileSketch::summary) returns *exactly*
+//!   [`Summary::of`] of that buffer — bit-for-bit, so golden-pinned short
+//!   runs (≤ 800 transactions) do not move when a `Vec<f64>` is replaced by
+//!   a sketch.
+//! * **Mergeable.** [`merge`](QuantileSketch::merge) folds two sketches into
+//!   one whose error bound is the sum of the inputs' bounds. Two exact
+//!   sketches whose combined size still fits `EXACT_CAP` merge to an exact
+//!   sketch (self's values followed by other's).
+//!
+//! # Error bound
+//!
+//! The compacted representation is a KLL-style level hierarchy: level `l`
+//! holds items of weight `2^l`. When a level reaches [`LEVEL_CAP`] items its
+//! buffer is sorted and every other item (alternating the starting parity
+//! per compaction) is promoted to the next level with doubled weight.
+//! One compaction at level `l` perturbs any rank query by at most `2^l`,
+//! so the worst-case rank error of every quantile answer is
+//!
+//! ```text
+//! max_rank_error = Σ_l compactions(l) · 2^l
+//! ```
+//!
+//! which the sketch tracks exactly and reports via
+//! [`max_rank_error`](QuantileSketch::max_rank_error). A level fills after
+//! `LEVEL_CAP` inserts of weight `2^l`, so level `l` compacts about
+//! `n / (2^l · LEVEL_CAP)` times and the bound telescopes to
+//! `max_rank_error ≤ 2·L·n / LEVEL_CAP` where `L ≤ log2(n / LEVEL_CAP) + 2`
+//! is the number of occupied levels — i.e. a relative rank error of
+//! `ε = 2·L / LEVEL_CAP` (about 3 % at n = 10⁶ with the default
+//! `LEVEL_CAP = 256`). The accuracy proptests assert the *certified* bound,
+//! not the asymptotic one.
+
+use crate::stats::{percentile_sorted, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Inserted values are kept verbatim (exact mode) until the count exceeds
+/// this cap. Deliberately larger than the 800-transaction golden runs so the
+/// pinned fingerprints stay in exact mode.
+pub const EXACT_CAP: usize = 1024;
+
+/// Per-level buffer capacity of the compacted representation.
+pub const LEVEL_CAP: usize = 256;
+
+/// A deterministic, serializable, mergeable quantile sketch (KLL-style with
+/// alternating-parity compaction and a small-n exact mode). See the module
+/// docs for the error bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Exact-mode buffer in insertion order; non-empty only while `levels`
+    /// is empty (the sketch "spills" at most once, never goes back).
+    exact: Vec<f64>,
+    /// `levels[l]` holds items of weight `2^l`, unsorted between compactions.
+    levels: Vec<Vec<f64>>,
+    /// Number of compactions performed per level; parity picks which half
+    /// survives, and the running sum certifies the rank-error bound.
+    compactions: Vec<u64>,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            exact: Vec::new(),
+            levels: Vec::new(),
+            compactions: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Number of values inserted (including values since compacted away).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no values have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the sketch still stores every inserted value verbatim (all
+    /// queries are exact; `summary()` bit-matches [`Summary::of`]).
+    pub fn is_exact(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Certified worst-case rank error of any quantile answer:
+    /// `Σ_l compactions(l) · 2^l`. Zero in exact mode.
+    pub fn max_rank_error(&self) -> u64 {
+        self.compactions
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| c * (1u64 << l))
+            .sum()
+    }
+
+    /// Bytes of heap state retained by the sketch (the capacity the buffers
+    /// actually hold, not the logical length).
+    pub fn footprint_bytes(&self) -> usize {
+        let f64s = self.exact.capacity()
+            + self
+                .levels
+                .iter()
+                .map(|level| level.capacity())
+                .sum::<usize>();
+        f64s * std::mem::size_of::<f64>()
+            + self.levels.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self.compactions.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Insert one observation. NaNs are rejected by debug assertion (the
+    /// measurement pipeline never produces them).
+    pub fn insert(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "no NaNs in measurements");
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        if self.count == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        if self.is_exact() {
+            self.exact.push(v);
+            if self.exact.len() > EXACT_CAP {
+                self.spill();
+            }
+        } else {
+            self.level_mut(0).push(v);
+            self.compact_overflowing();
+        }
+    }
+
+    /// Fold `other` into `self`. The result summarizes the concatenation of
+    /// both inputs; its certified rank-error bound is at most the sum of the
+    /// inputs' bounds plus the compactions the merge itself performs (all
+    /// reflected in [`max_rank_error`](QuantileSketch::max_rank_error)).
+    /// Exact + exact stays exact when the combined size fits
+    /// [`EXACT_CAP`] (self's values followed by other's).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.count += other.count;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        if self.is_exact() && other.is_exact() && self.exact.len() + other.exact.len() <= EXACT_CAP
+        {
+            self.exact.extend_from_slice(&other.exact);
+            return;
+        }
+        if !self.is_exact() || !other.is_exact() {
+            // At least one side already spilled: the merge result is
+            // compacted regardless of combined size.
+            self.spill();
+        }
+        self.level_mut(0).extend_from_slice(&other.exact);
+        for (l, level) in other.levels.iter().enumerate() {
+            self.level_mut(l).extend_from_slice(level);
+        }
+        for (l, &c) in other.compactions.iter().enumerate() {
+            self.level_mut(l); // ensure the counter slot exists
+            self.compactions[l] += c;
+        }
+        self.compact_overflowing();
+    }
+
+    /// The quantile at `p ∈ [0, 1]` (nearest-rank). Exact below
+    /// [`EXACT_CAP`]; otherwise within
+    /// [`max_rank_error`](QuantileSketch::max_rank_error) ranks of the true
+    /// answer. Returns 0 for an empty sketch (matching [`Summary::of`]).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.is_exact() {
+            let mut sorted = self.exact.clone();
+            sorted.sort_by(f64::total_cmp);
+            return percentile_sorted(&sorted, p);
+        }
+        let mut weighted: Vec<(f64, u64)> = Vec::new();
+        weighted.extend(self.exact.iter().map(|&v| (v, 1)));
+        for (l, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            weighted.extend(level.iter().map(|&v| (v, w)));
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(v, w) in &weighted {
+            seen += w;
+            if seen >= target {
+                return v;
+            }
+        }
+        // Unreachable (cumulative weight reaches `total ≥ target`), but the
+        // last stored value is the only sensible answer if it ever were.
+        self.max
+    }
+
+    /// Summary statistics of everything inserted. In exact mode this is
+    /// bit-for-bit [`Summary::of`] over the values in insertion order; in
+    /// compacted mode the moments are exact (streamed sums) and the
+    /// percentiles carry the certified rank-error bound.
+    pub fn summary(&self) -> Summary {
+        if self.is_exact() {
+            return Summary::of(&self.exact);
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        let var = (self.sum_sq / n - mean * mean).max(0.0);
+        Summary {
+            count: self.count as usize,
+            mean,
+            stddev: var.sqrt(),
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Move the exact buffer into level 0 (one-way transition out of exact
+    /// mode) and restore the level-capacity invariant.
+    fn spill(&mut self) {
+        if self.exact.is_empty() {
+            return;
+        }
+        let spilled = std::mem::take(&mut self.exact);
+        self.level_mut(0).extend(spilled);
+        self.compact_overflowing();
+    }
+
+    fn level_mut(&mut self, l: usize) -> &mut Vec<f64> {
+        while self.levels.len() <= l {
+            self.levels.push(Vec::new());
+            self.compactions.push(0);
+        }
+        &mut self.levels[l]
+    }
+
+    /// Compact every level holding ≥ [`LEVEL_CAP`] items, bottom-up. Each
+    /// compaction sorts the buffer, promotes every other item (starting
+    /// parity alternates per level via the compaction counter) to the next
+    /// level with doubled weight, and empties the buffer.
+    fn compact_overflowing(&mut self) {
+        let mut l = 0;
+        while l < self.levels.len() {
+            if self.levels[l].len() >= LEVEL_CAP {
+                let mut buf = std::mem::take(&mut self.levels[l]);
+                buf.sort_by(f64::total_cmp);
+                let parity = (self.compactions[l] % 2) as usize;
+                self.compactions[l] += 1;
+                let survivors: Vec<f64> = buf.iter().skip(parity).step_by(2).copied().collect();
+                self.level_mut(l + 1).extend(survivors);
+            }
+            l += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_rank_of(values: &[f64], q: f64) -> (usize, usize) {
+        // Ranks (1-based) of values ≤ q and < q: the answer is acceptable if
+        // the target rank falls within [lo - err, hi + err].
+        let below = values.iter().filter(|&&v| v < q).count();
+        let at_or_below = values.iter().filter(|&&v| v <= q).count();
+        (below + 1, at_or_below)
+    }
+
+    #[test]
+    fn empty_sketch_matches_empty_summary() {
+        let s = QuantileSketch::new();
+        assert_eq!(
+            format!("{:?}", s.summary()),
+            format!("{:?}", Summary::of(&[]))
+        );
+        assert_eq!(s.quantile(0.5).to_bits(), 0.0f64.to_bits());
+        assert!(s.is_exact());
+        assert_eq!(s.max_rank_error(), 0);
+    }
+
+    #[test]
+    fn exact_mode_bit_matches_summary_of() {
+        let values: Vec<f64> = (0..800).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut s = QuantileSketch::new();
+        for &v in &values {
+            s.insert(v);
+        }
+        assert!(s.is_exact(), "800 < EXACT_CAP must stay exact");
+        let direct = Summary::of(&values);
+        let sketched = s.summary();
+        assert_eq!(format!("{direct:?}"), format!("{sketched:?}"));
+        assert_eq!(direct.mean.to_bits(), sketched.mean.to_bits());
+        assert_eq!(direct.p99.to_bits(), sketched.p99.to_bits());
+    }
+
+    #[test]
+    fn exact_merge_is_concatenation() {
+        let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let b: Vec<f64> = (300..500).map(|i| i as f64).collect();
+        let mut sa = QuantileSketch::new();
+        for &v in &a {
+            sa.insert(v);
+        }
+        let mut sb = QuantileSketch::new();
+        for &v in &b {
+            sb.insert(v);
+        }
+        sa.merge(&sb);
+        assert!(sa.is_exact());
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(
+            format!("{:?}", sa.summary()),
+            format!("{:?}", Summary::of(&concat))
+        );
+    }
+
+    #[test]
+    fn spill_happens_once_past_the_cap() {
+        let mut s = QuantileSketch::new();
+        for i in 0..(EXACT_CAP + 1) {
+            s.insert(i as f64);
+        }
+        assert!(!s.is_exact());
+        assert_eq!(s.count(), (EXACT_CAP + 1) as u64);
+        assert!(s.max_rank_error() > 0);
+    }
+
+    #[test]
+    fn compacted_quantiles_stay_within_certified_bound() {
+        let n = 50_000usize;
+        let values: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f64).collect();
+        let mut s = QuantileSketch::new();
+        for &v in &values {
+            s.insert(v);
+        }
+        let err = s.max_rank_error() as usize;
+        assert!(err > 0 && err < n / 10, "bound should be nontrivial: {err}");
+        for &p in &[0.5, 0.95, 0.99] {
+            let q = s.quantile(p);
+            let target = ((p * n as f64).ceil() as usize).clamp(1, n);
+            let (lo, hi) = exact_rank_of(&values, q);
+            assert!(
+                lo.saturating_sub(err) <= target && target <= hi + err,
+                "p{p}: answer rank [{lo},{hi}] ± {err} misses target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_of_compacted_sketches_sums_the_bound() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for i in 0..5_000 {
+            a.insert(i as f64);
+            b.insert((i + 5_000) as f64);
+        }
+        let bound_before = a.max_rank_error() + b.max_rank_error();
+        a.merge(&b);
+        assert_eq!(a.count(), 10_000);
+        assert!(a.max_rank_error() >= bound_before);
+        let med = a.quantile(0.5);
+        assert!(
+            (med - 5_000.0).abs() < 2.0 * a.max_rank_error() as f64,
+            "median {med} too far from 5000"
+        );
+        let s = a.summary();
+        assert!((s.mean - 4_999.5).abs() < 1e-6, "moments are exact");
+        assert_eq!(s.min.to_bits(), 0.0f64.to_bits());
+        assert_eq!(s.max.to_bits(), 9_999.0f64.to_bits());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_bytes() {
+        let mut s = QuantileSketch::new();
+        for i in 0..3_000 {
+            s.insert((i % 97) as f64 * 0.5);
+        }
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: QuantileSketch = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(format!("{s:?}"), format!("{back:?}"));
+        assert_eq!(s.quantile(0.95).to_bits(), back.quantile(0.95).to_bits());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the quantile sketch's two contracts:
+//!
+//! * **small-n exact mode** — below [`EXACT_CAP`] the sketch is a verbatim
+//!   buffer and `summary()` bit-matches [`Summary::of`];
+//! * **certified rank error** — past the cap, every quantile answer's rank
+//!   lies within [`QuantileSketch::max_rank_error`] ranks of the query
+//!   target, for arbitrary value distributions, insertion orders, and
+//!   arbitrary shard/merge splits.
+
+use proptest::prelude::*;
+use sim_core::sketch::{QuantileSketch, EXACT_CAP};
+use sim_core::stats::Summary;
+
+/// Finite, NaN-free observations with repeats and wide magnitude spread.
+fn arb_values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (0i64..4_001, 1u32..4).prop_map(|(v, scale)| v as f64 / 10f64.powi(scale as i32)),
+        len,
+    )
+}
+
+/// The 1-based rank window `[lo, hi]` that value `q` occupies in `values`:
+/// a quantile answer is correct within `err` ranks if the target rank falls
+/// inside `[lo - err, hi + err]`.
+fn rank_window(values: &[f64], q: f64) -> (usize, usize) {
+    let below = values.iter().filter(|&&v| v < q).count();
+    let at_or_below = values.iter().filter(|&&v| v <= q).count();
+    (below + 1, at_or_below)
+}
+
+fn assert_within_certified_bound(sketch: &QuantileSketch, values: &[f64]) {
+    let n = values.len();
+    let err = sketch.max_rank_error() as usize;
+    for &p in &[0.50, 0.95, 0.99] {
+        let q = sketch.quantile(p);
+        let target = ((p * n as f64).ceil() as usize).clamp(1, n);
+        let (lo, hi) = rank_window(values, q);
+        assert!(
+            lo.saturating_sub(err) <= target && target <= hi + err,
+            "p{p}: answer {q} has rank window [{lo},{hi}] ± {err}, \
+             missing target rank {target} of {n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Below the cap the sketch *is* the raw buffer: `summary()` returns
+    /// the bit-identical result of [`Summary::of`] over the insertion-order
+    /// values, and the certified error is zero.
+    #[test]
+    fn small_n_summary_bit_matches_summary_of(values in arb_values(0..EXACT_CAP)) {
+        let mut sketch = QuantileSketch::new();
+        for &v in &values {
+            sketch.insert(v);
+        }
+        prop_assert!(sketch.is_exact());
+        prop_assert_eq!(sketch.max_rank_error(), 0);
+        let direct = Summary::of(&values);
+        let sketched = sketch.summary();
+        prop_assert_eq!(format!("{direct:?}"), format!("{sketched:?}"));
+        prop_assert_eq!(direct.mean.to_bits(), sketched.mean.to_bits());
+        prop_assert_eq!(direct.p50.to_bits(), sketched.p50.to_bits());
+        prop_assert_eq!(direct.p95.to_bits(), sketched.p95.to_bits());
+        prop_assert_eq!(direct.p99.to_bits(), sketched.p99.to_bits());
+    }
+
+    /// Past the cap, p50/p95/p99 answers stay within the *certified* (not
+    /// asymptotic) rank-error bound for arbitrary distributions.
+    #[test]
+    fn compacted_quantiles_respect_certified_rank_error(
+        values in arb_values((EXACT_CAP + 1)..4 * EXACT_CAP),
+    ) {
+        let mut sketch = QuantileSketch::new();
+        for &v in &values {
+            sketch.insert(v);
+        }
+        prop_assert!(!sketch.is_exact());
+        prop_assert_eq!(sketch.count(), values.len() as u64);
+        assert_within_certified_bound(&sketch, &values);
+        // Moments never degrade: they are streamed exactly.
+        let s = sketch.summary();
+        let direct = Summary::of(&values);
+        prop_assert!((s.mean - direct.mean).abs() <= 1e-9 * direct.mean.abs().max(1.0));
+        prop_assert_eq!(s.min.to_bits(), direct.min.to_bits());
+        prop_assert_eq!(s.max.to_bits(), direct.max.to_bits());
+    }
+
+    /// Sharded ingestion: split the stream anywhere, sketch each shard
+    /// independently, merge — the merged sketch still answers within its
+    /// own (summed) certified bound over the full concatenation.
+    #[test]
+    fn merged_shards_respect_certified_rank_error(
+        values in arb_values(2..3 * EXACT_CAP),
+        shards in 2usize..5,
+    ) {
+        let chunk = values.len().div_ceil(shards).max(1);
+        let mut merged = QuantileSketch::new();
+        for piece in values.chunks(chunk) {
+            let mut s = QuantileSketch::new();
+            for &v in piece {
+                s.insert(v);
+            }
+            merged.merge(&s);
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        assert_within_certified_bound(&merged, &values);
+        // Exact shards whose union fits the cap merge back to exact mode —
+        // and then the merged summary bit-matches the concatenation.
+        if values.len() <= EXACT_CAP {
+            prop_assert!(merged.is_exact());
+            prop_assert_eq!(
+                format!("{:?}", merged.summary()),
+                format!("{:?}", Summary::of(&values))
+            );
+        }
+    }
+}

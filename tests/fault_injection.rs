@@ -261,7 +261,7 @@ fn tuned_outage_spec_improves_goodput_with_ci_excluding_zero() {
         .combined
         .as_ref()
         .expect("resilience actions apply, so a combined run exists");
-    let goodput = |r: &fabric_sim::report::SimReport| r.successes as f64 / r.requests as f64;
+    let goodput = |r: &blockoptr::plan::SeedReport| r.successes as f64 / r.requests as f64;
     let deltas: Vec<f64> = combined
         .per_seed
         .iter()
